@@ -1,0 +1,89 @@
+// Ablation (section 4.4): the routing-table fitness metric. The paper
+// keeps the candidate routing tables with the lowest *variance of segments
+// per server*. This bench compares that selection against keeping random
+// candidates, reporting the load balance of the tables a broker would
+// actually use.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "routing/routing.h"
+
+namespace pinot {
+namespace {
+
+std::map<std::string, std::vector<std::string>> MakeReplicaMap(
+    int num_segments, int num_servers, int replicas, Random* rng) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (int s = 0; s < num_segments; ++s) {
+    std::vector<std::string> servers;
+    while (static_cast<int>(servers.size()) < replicas) {
+      std::string candidate =
+          "server-" + std::to_string(rng->NextUint64(num_servers));
+      if (std::find(servers.begin(), servers.end(), candidate) ==
+          servers.end()) {
+        servers.push_back(std::move(candidate));
+      }
+    }
+    out["segment-" + std::to_string(s)] = std::move(servers);
+  }
+  return out;
+}
+
+double MaxLoad(const RoutingTable& table) {
+  size_t max_load = 0;
+  for (const auto& [server, segments] : table.server_segments) {
+    max_load = std::max(max_load, segments.size());
+  }
+  return static_cast<double>(max_load);
+}
+
+int Main() {
+  Random rng(42);
+  auto replicas = MakeReplicaMap(1200, 40, 3, &rng);
+
+  GeneratedRoutingOptions options;
+  options.target_server_count = 8;
+  options.tables_to_generate = 200;
+  options.tables_to_keep = 10;
+
+  std::printf("# Ablation — routing-table selection metric (variance)\n");
+  std::printf("# 1200 segments, 40 servers, 3 replicas, T=8, G=200, C=10\n");
+  std::printf("%-26s %14s %14s %12s\n", "selection", "mean_variance",
+              "mean_max_load", "servers/qry");
+
+  // Variance-selected tables (Algorithm 2).
+  {
+    auto tables = GenerateRoutingTables(replicas, options, &rng);
+    double variance = 0, max_load = 0, servers = 0;
+    for (const auto& table : tables) {
+      variance += RoutingTableMetric(table);
+      max_load += MaxLoad(table);
+      servers += table.num_servers();
+    }
+    const double n = static_cast<double>(tables.size());
+    std::printf("%-26s %14.2f %14.1f %12.1f\n", "variance-metric (paper)",
+                variance / n, max_load / n, servers / n);
+  }
+
+  // Random keep: first C candidates, no selection.
+  {
+    double variance = 0, max_load = 0, servers = 0;
+    for (int i = 0; i < options.tables_to_keep; ++i) {
+      RoutingTable table =
+          GenerateRoutingTable(replicas, options.target_server_count, &rng);
+      variance += RoutingTableMetric(table);
+      max_load += MaxLoad(table);
+      servers += table.num_servers();
+    }
+    const double n = options.tables_to_keep;
+    std::printf("%-26s %14.2f %14.1f %12.1f\n", "random-keep", variance / n,
+                max_load / n, servers / n);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pinot
+
+int main() { return pinot::Main(); }

@@ -1,0 +1,73 @@
+// Ablation (section 4.3): the star-tree max-leaf-records threshold. A
+// smaller threshold splits deeper (bigger tree, fewer records scanned per
+// query); a larger threshold keeps the tree small but scans more records
+// at the leaves. This sweep reports the size/records-scanned/latency
+// tradeoff behind the paper's 10k default.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "query/segment_executor.h"
+
+namespace pinot {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  Workload workload = MakeAnomalyWorkload(options.workload_options());
+  std::vector<Query> queries = ParseQueries(workload);
+
+  std::printf("# Ablation — star-tree max_leaf_records sweep (%u rows)\n",
+              options.rows);
+  std::printf("%-14s %14s %14s %16s %12s\n", "max_leaf", "tree_records",
+              "tree_bytes", "avg_recs/query", "avg_ms");
+
+  for (uint32_t max_leaf : {100u, 1000u, 10000u, 100000u}) {
+    SegmentBuildConfig config = workload.pinot_config;
+    config.star_tree.max_leaf_records = max_leaf;
+    auto segments =
+        BuildSegments(workload, config, options.num_segments, "abl");
+
+    uint64_t tree_records = 0;
+    uint64_t tree_bytes = 0;
+    for (const auto& segment : segments) {
+      const StarTree* tree = segment->star_tree();
+      if (tree != nullptr) {
+        tree_records += tree->num_records();
+        tree_bytes += tree->SizeInBytes();
+      }
+    }
+
+    uint64_t scanned = 0;
+    uint64_t eligible = 0;
+    double total_ms = 0;
+    const size_t sample = std::min<size_t>(queries.size(), 500);
+    for (size_t i = 0; i < sample; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      PartialResult partial = ExecuteQueryOnSegments(segments, queries[i]);
+      total_ms += std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      if (partial.stats.used_star_tree) {
+        scanned += partial.stats.star_tree_records_scanned;
+        ++eligible;
+      }
+    }
+    std::printf("%-14u %14lu %14lu %16.0f %12.3f\n", max_leaf,
+                static_cast<unsigned long>(tree_records),
+                static_cast<unsigned long>(tree_bytes),
+                eligible == 0 ? 0.0
+                              : static_cast<double>(scanned) /
+                                    static_cast<double>(eligible),
+                total_ms / static_cast<double>(sample));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinot
+
+int main(int argc, char** argv) { return pinot::bench::Main(argc, argv); }

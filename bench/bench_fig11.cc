@@ -1,0 +1,86 @@
+// Figure 11: comparison of indexing techniques on the anomaly-detection
+// dataset — latency vs query rate for Druid(-like), Pinot without indexes,
+// Pinot with inverted indexes, and Pinot with the star-tree index.
+//
+// Expected shape (paper): druid-like and no-index saturate first, inverted
+// indexes roughly double Pinot's scalability, and the star-tree gives the
+// largest gain.
+
+#include "baseline/druid_like.h"
+#include "bench/bench_util.h"
+#include "query/result.h"
+
+namespace pinot {
+namespace bench {
+namespace {
+
+struct Engine {
+  std::string name;
+  std::vector<std::shared_ptr<SegmentInterface>> segments;
+};
+
+uint64_t TotalBytes(const Engine& engine) {
+  uint64_t total = 0;
+  for (const auto& segment : engine.segments) {
+    auto immutable = std::dynamic_pointer_cast<const ImmutableSegment>(segment);
+    if (immutable != nullptr) total += immutable->SizeInBytes();
+  }
+  return total;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  Workload workload = MakeAnomalyWorkload(options.workload_options());
+  std::vector<Query> queries = ParseQueries(workload);
+
+  std::vector<Engine> engines;
+  engines.push_back({"druid-like",
+                     BuildSegments(workload, DruidLikeBuildConfig(workload.schema),
+                                   options.num_segments, "druid")});
+  engines.push_back({"pinot-no-index",
+                     BuildSegments(workload, SegmentBuildConfig{},
+                                   options.num_segments, "noidx")});
+  SegmentBuildConfig inverted_only = workload.pinot_config;
+  inverted_only.star_tree = StarTreeConfig{};
+  engines.push_back({"pinot-inverted",
+                     BuildSegments(workload, inverted_only,
+                                   options.num_segments, "inv")});
+  engines.push_back({"pinot-star-tree",
+                     BuildSegments(workload, workload.pinot_config,
+                                   options.num_segments, "star")});
+
+  std::printf("# dataset: %u rows, %d segments, %zu sampled queries\n",
+              options.rows, options.num_segments, queries.size());
+  for (const auto& engine : engines) {
+    std::printf("# %-18s segment bytes: %10lu\n", engine.name.c_str(),
+                static_cast<unsigned long>(TotalBytes(engine)));
+  }
+  PrintQpsHeader("Figure 11",
+                 "indexing techniques on the anomaly detection dataset");
+
+  for (const auto& engine : engines) {
+    for (double qps : options.qps_sweep) {
+      QpsPoint point = RunQpsPoint(
+          [&](int i) {
+            PartialResult partial =
+                ExecuteQueryOnSegments(engine.segments, queries[i]);
+            QueryResult result =
+                ReduceToFinalResult(queries[i], std::move(partial));
+            (void)result;
+          },
+          static_cast<int>(queries.size()), qps, options.client_threads,
+          options.duration_ms);
+      PrintQpsPoint(engine.name, point);
+      // Stop sweeping a config once it is hopelessly saturated; the paper
+      // plots cut off the same way.
+      if (point.avg_ms > 250) break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinot
+
+int main(int argc, char** argv) { return pinot::bench::Main(argc, argv); }

@@ -1,0 +1,111 @@
+// Figure 12: distribution of query latency when running queries
+// sequentially on the anomaly-detection dataset (the paper shows a kernel
+// density estimate; we print per-config percentiles plus a log-bucketed
+// histogram of the same distribution).
+
+#include <cmath>
+
+#include "baseline/druid_like.h"
+#include "bench/bench_util.h"
+
+namespace pinot {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  // The paper executes 10000 queries sequentially.
+  options.num_queries = std::min(options.num_queries * 5, 10000);
+  Workload workload = MakeAnomalyWorkload(options.workload_options());
+  std::vector<Query> queries = ParseQueries(workload);
+
+  struct Engine {
+    std::string name;
+    std::vector<std::shared_ptr<SegmentInterface>> segments;
+  };
+  std::vector<Engine> engines;
+  engines.push_back({"druid-like",
+                     BuildSegments(workload, DruidLikeBuildConfig(workload.schema),
+                                   options.num_segments, "druid")});
+  engines.push_back({"pinot-no-index",
+                     BuildSegments(workload, SegmentBuildConfig{},
+                                   options.num_segments, "noidx")});
+  SegmentBuildConfig inverted_only = workload.pinot_config;
+  inverted_only.star_tree = StarTreeConfig{};
+  engines.push_back({"pinot-inverted",
+                     BuildSegments(workload, inverted_only,
+                                   options.num_segments, "inv")});
+  engines.push_back({"pinot-star-tree",
+                     BuildSegments(workload, workload.pinot_config,
+                                   options.num_segments, "star")});
+
+  std::printf(
+      "# Figure 12 — latency distribution, %zu sequential queries per "
+      "config\n",
+      queries.size());
+  std::printf("%-18s %9s %9s %9s %9s %9s %9s\n", "config", "avg_ms", "p10_ms",
+              "p50_ms", "p90_ms", "p99_ms", "max_ms");
+
+  // Log-spaced histogram buckets (ms).
+  const std::vector<double> edges = {0.05, 0.1, 0.2, 0.5, 1, 2,
+                                     5,    10,  20,  50,  100};
+  std::vector<std::pair<std::string, std::vector<int>>> histograms;
+
+  for (const auto& engine : engines) {
+    std::vector<double> latencies;
+    latencies.reserve(queries.size());
+    for (const auto& query : queries) {
+      const auto start = std::chrono::steady_clock::now();
+      PartialResult partial = ExecuteQueryOnSegments(engine.segments, query);
+      (void)partial;
+      latencies.push_back(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+    }
+    std::vector<double> sorted = latencies;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0;
+    for (double v : sorted) sum += v;
+    std::printf("%-18s %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+                engine.name.c_str(), sum / sorted.size(),
+                Percentile(sorted, 0.10), Percentile(sorted, 0.50),
+                Percentile(sorted, 0.90), Percentile(sorted, 0.99),
+                sorted.back());
+
+    std::vector<int> buckets(edges.size() + 1, 0);
+    for (double v : latencies) {
+      size_t b = 0;
+      while (b < edges.size() && v >= edges[b]) ++b;
+      ++buckets[b];
+    }
+    histograms.emplace_back(engine.name, std::move(buckets));
+  }
+
+  std::printf("\n# latency histogram (queries per bucket)\n%-18s", "bucket_ms");
+  for (const auto& [name, buckets] : histograms) {
+    std::printf(" %16s", name.c_str());
+  }
+  std::printf("\n");
+  for (size_t b = 0; b <= edges.size(); ++b) {
+    if (b == 0) {
+      std::printf("%-18s", ("<" + std::to_string(edges[0])).c_str());
+    } else if (b == edges.size()) {
+      std::printf("%-18s", (">=" + std::to_string(edges.back())).c_str());
+    } else {
+      char label[32];
+      std::snprintf(label, sizeof(label), "[%g, %g)", edges[b - 1], edges[b]);
+      std::printf("%-18s", label);
+    }
+    for (const auto& [name, buckets] : histograms) {
+      std::printf(" %16d", buckets[b]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinot
+
+int main(int argc, char** argv) { return pinot::bench::Main(argc, argv); }

@@ -1,0 +1,88 @@
+// Figure 13: distribution of the ratio of preaggregated (star-tree)
+// records scanned during query execution versus the number of original
+// unaggregated records the same query touches on raw data. Ratios close to
+// zero mean the star-tree answered the query from far fewer records.
+
+#include "bench/bench_util.h"
+#include "query/segment_executor.h"
+
+namespace pinot {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  Workload workload = MakeAnomalyWorkload(options.workload_options());
+  std::vector<Query> queries = ParseQueries(workload);
+
+  auto star_segments = BuildSegments(workload, workload.pinot_config,
+                                     options.num_segments, "star");
+  auto raw_segments = BuildSegments(workload, SegmentBuildConfig{},
+                                    options.num_segments, "raw");
+
+  std::vector<double> ratios;
+  uint64_t star_eligible = 0;
+  for (const auto& query : queries) {
+    PartialResult star;
+    for (const auto& segment : star_segments) {
+      (void)ExecuteQueryOnSegment(*segment, query, &star);
+    }
+    if (!star.stats.used_star_tree) continue;
+    ++star_eligible;
+
+    PartialResult raw;
+    for (const auto& segment : raw_segments) {
+      (void)ExecuteQueryOnSegment(*segment, query, &raw);
+    }
+    // Raw execution scans every document matching the filter.
+    const uint64_t raw_records = raw.stats.docs_matched;
+    if (raw_records == 0) continue;
+    ratios.push_back(
+        static_cast<double>(star.stats.star_tree_records_scanned) /
+        static_cast<double>(raw_records));
+  }
+
+  std::printf("# Figure 13 — star-tree preaggregation ratio distribution\n");
+  std::printf("# %zu queries, %lu star-tree eligible, %zu with matches\n",
+              queries.size(), static_cast<unsigned long>(star_eligible),
+              ratios.size());
+
+  std::vector<double> sorted = ratios;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  std::printf("%-10s %10s %10s %10s %10s %10s\n", "metric", "mean", "p10",
+              "p50", "p90", "p99");
+  std::printf("%-10s %10.4f %10.4f %10.4f %10.4f %10.4f\n", "ratio",
+              sorted.empty() ? 0 : sum / sorted.size(),
+              Percentile(sorted, 0.10), Percentile(sorted, 0.50),
+              Percentile(sorted, 0.90), Percentile(sorted, 0.99));
+
+  // Histogram over [0, 1+] like the paper's density plot.
+  const int kBuckets = 20;
+  std::vector<int> buckets(kBuckets + 1, 0);
+  for (double v : ratios) {
+    int b = static_cast<int>(v * kBuckets);
+    if (b > kBuckets) b = kBuckets;
+    ++buckets[b];
+  }
+  std::printf("\n%-14s %10s\n", "ratio_bucket", "queries");
+  for (int b = 0; b <= kBuckets; ++b) {
+    char label[32];
+    if (b == kBuckets) {
+      std::snprintf(label, sizeof(label), ">=1.0");
+    } else {
+      std::snprintf(label, sizeof(label), "[%.2f,%.2f)",
+                    static_cast<double>(b) / kBuckets,
+                    static_cast<double>(b + 1) / kBuckets);
+    }
+    std::printf("%-14s %10d\n", label, buckets[b]);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinot
+
+int main(int argc, char** argv) { return pinot::bench::Main(argc, argv); }

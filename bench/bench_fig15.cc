@@ -1,0 +1,64 @@
+// Figure 15: comparison of indexing techniques on the "Who viewed my
+// profile" dataset — the physically sorted column against a roaring-bitmap
+// inverted index on the same column (both inside Pinot). Per section 4.2,
+// the sorted layout should scale to higher query rates because each query
+// touches one contiguous range instead of performing bitmap operations.
+
+#include "bench/bench_util.h"
+
+namespace pinot {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  Workload workload = MakeWvmpWorkload(options.workload_options());
+  std::vector<Query> queries = ParseQueries(workload);
+
+  SegmentBuildConfig sorted_config;
+  sorted_config.sort_columns = {"vieweeId"};
+
+  SegmentBuildConfig inverted_config;
+  inverted_config.inverted_index_columns = {"vieweeId"};
+
+  struct Engine {
+    std::string name;
+    std::vector<std::shared_ptr<SegmentInterface>> segments;
+  };
+  std::vector<Engine> engines;
+  engines.push_back({"pinot-sorted-column",
+                     BuildSegments(workload, sorted_config,
+                                   options.num_segments, "sorted")});
+  engines.push_back({"pinot-inverted-index",
+                     BuildSegments(workload, inverted_config,
+                                   options.num_segments, "inverted")});
+
+  std::printf("# dataset: %u rows, %d segments, %zu sampled queries\n",
+              options.rows, options.num_segments, queries.size());
+  PrintQpsHeader("Figure 15",
+                 "sorted column vs inverted index on the WVMP dataset");
+
+  for (const auto& engine : engines) {
+    for (double qps : options.qps_sweep) {
+      QpsPoint point = RunQpsPoint(
+          [&](int i) {
+            PartialResult partial =
+                ExecuteQueryOnSegments(engine.segments, queries[i]);
+            QueryResult result =
+                ReduceToFinalResult(queries[i], std::move(partial));
+            (void)result;
+          },
+          static_cast<int>(queries.size()), qps, options.client_threads,
+          options.duration_ms);
+      PrintQpsPoint(engine.name, point);
+      if (point.avg_ms > 250) break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinot
+
+int main(int argc, char** argv) { return pinot::bench::Main(argc, argv); }

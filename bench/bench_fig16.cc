@@ -1,0 +1,169 @@
+// Figure 16: routing optimizations on the impression-discounting dataset,
+// measured against an in-process multi-server cluster. Configurations:
+//   druid-like          — all-dims inverted indexes, balanced routing
+//   pinot-balanced      — sorted data, default balanced routing (all
+//                         servers contacted per query)
+//   pinot-generated     — Algorithms 1-2 routing tables (few servers per
+//                         query)
+//   pinot-partitioned   — partition-aware routing (only servers holding
+//                         the member's partition are contacted)
+//
+// Every server charges a fixed artificial per-request latency modeling the
+// real network + scheduling cost of contacting a host, and one server is a
+// straggler (10x slower responses), reproducing the phenomenon the paper
+// cites for large clusters ("the more likely it is that a single host in
+// the cluster will be unavailable or have issues that slow down query
+// processing", referencing Dremel's straggler measurements). Routing
+// strategies that contact fewer hosts per query dodge the straggler on
+// most queries, which is where the flatter latency curves come from.
+
+#include "baseline/druid_like.h"
+#include "bench/bench_util.h"
+#include "cluster/pinot_cluster.h"
+#include "common/hash.h"
+
+namespace pinot {
+namespace bench {
+namespace {
+
+constexpr int kServers = 6;
+constexpr int kPartitions = 6;
+constexpr int kSegmentsUnpartitioned = 12;
+
+std::unique_ptr<PinotCluster> MakeCluster(const Workload& workload,
+                                          RoutingStrategy strategy,
+                                          bool druid_indexes,
+                                          bool partitioned) {
+  PinotClusterOptions options;
+  options.num_servers = kServers;
+  options.num_brokers = 1;
+  options.broker_options.scatter_threads = 16;
+  options.server_options.num_query_threads = 2;
+  options.server_options.artificial_latency_micros = 250;
+  auto cluster = std::make_unique<PinotCluster>(options);
+  // One misbehaving host (see header comment).
+  cluster->server(kServers - 1)->set_artificial_latency_micros(2500);
+
+  TableConfig config;
+  config.name = workload.name;
+  config.type = TableType::kOffline;
+  config.schema = workload.schema;
+  config.num_replicas = 2;
+  config.routing = strategy;
+  config.target_servers_per_query = 2;
+  config.routing_tables_to_generate = 100;
+  config.routing_tables_to_keep = 10;
+  if (partitioned) {
+    config.partition_column = workload.partition_column;
+    config.num_partitions = kPartitions;
+  }
+  Controller* leader = cluster->leader_controller();
+  Status st = config.name.empty() ? Status::OK() : leader->AddTable(config);
+  if (!st.ok()) {
+    std::fprintf(stderr, "AddTable: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+
+  SegmentBuildConfig build = druid_indexes
+                                 ? DruidLikeBuildConfig(workload.schema)
+                                 : workload.pinot_config;
+  build.table_name = config.PhysicalName();
+
+  // Partition rows: by the Kafka-compatible partition function when the
+  // table is partitioned, round-robin otherwise.
+  const int num_buckets = partitioned ? kPartitions : kSegmentsUnpartitioned;
+  std::vector<std::vector<const Row*>> buckets(num_buckets);
+  int rr = 0;
+  for (const auto& row : workload.rows) {
+    if (partitioned) {
+      const std::string key = ValueToString(row.Get(workload.partition_column));
+      buckets[KafkaPartition(key, kPartitions)].push_back(&row);
+    } else {
+      buckets[rr++ % num_buckets].push_back(&row);
+    }
+  }
+  for (int b = 0; b < num_buckets; ++b) {
+    SegmentBuildConfig segment_build = build;
+    segment_build.segment_name = "seg_" + std::to_string(b);
+    if (partitioned) {
+      segment_build.partition_id = b;
+      segment_build.partition_column = workload.partition_column;
+      segment_build.num_partitions = kPartitions;
+    }
+    SegmentBuilder builder(workload.schema, segment_build);
+    for (const Row* row : buckets[b]) {
+      Status add = builder.AddRow(*row);
+      if (!add.ok()) std::abort();
+    }
+    auto segment = builder.Build();
+    if (!segment.ok()) std::abort();
+    Status upload = leader->UploadSegment(config.PhysicalName(),
+                                          (*segment)->SerializeToBlob());
+    if (!upload.ok()) {
+      std::fprintf(stderr, "upload: %s\n", upload.ToString().c_str());
+      std::abort();
+    }
+  }
+  return cluster;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  options.qps_sweep = {50, 100, 200, 400, 800, 1600, 3200};
+  // Re-parse so an explicit --qps= wins over the figure default.
+  options = [&] {
+    BenchOptions o = BenchOptions::Parse(argc, argv);
+    bool qps_given = false;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]).rfind("--qps=", 0) == 0) qps_given = true;
+    }
+    if (!qps_given) o.qps_sweep = {50, 100, 200, 400, 800, 1600, 3200};
+    return o;
+  }();
+
+  Workload workload = MakeImpressionWorkload(options.workload_options());
+
+  struct Setup {
+    std::string name;
+    RoutingStrategy strategy;
+    bool druid;
+    bool partitioned;
+  };
+  const std::vector<Setup> setups = {
+      {"druid-like", RoutingStrategy::kBalanced, true, false},
+      {"pinot-balanced", RoutingStrategy::kBalanced, false, false},
+      {"pinot-generated", RoutingStrategy::kGenerated, false, false},
+      {"pinot-partitioned", RoutingStrategy::kPartitionAware, false, true},
+  };
+
+  std::printf(
+      "# dataset: %u rows, %d servers, replicas=2, per-request server "
+      "latency 250us\n",
+      options.rows, kServers);
+  PrintQpsHeader("Figure 16",
+                 "routing optimizations on the impression-discounting dataset");
+
+  for (const auto& setup : setups) {
+    auto cluster =
+        MakeCluster(workload, setup.strategy, setup.druid, setup.partitioned);
+    Broker* broker = cluster->broker(0);
+    for (double qps : options.qps_sweep) {
+      QpsPoint point = RunQpsPoint(
+          [&](int i) {
+            QueryResult result = broker->Execute(workload.queries[i]);
+            (void)result;
+          },
+          static_cast<int>(workload.queries.size()), qps,
+          options.client_threads, options.duration_ms);
+      PrintQpsPoint(setup.name, point);
+      if (point.avg_ms > 250) break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pinot
+
+int main(int argc, char** argv) { return pinot::bench::Main(argc, argv); }

@@ -1,0 +1,220 @@
+#ifndef PINOT_BENCH_BENCH_UTIL_H_
+#define PINOT_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "query/parser.h"
+#include "query/table_executor.h"
+#include "segment/segment_builder.h"
+#include "workload/workloads.h"
+
+namespace pinot {
+namespace bench {
+
+/// Command-line knobs shared by the figure benches. Defaults keep the full
+/// suite under a few minutes; raise --rows / --duration-ms for
+/// higher-fidelity curves.
+struct BenchOptions {
+  uint32_t rows = 150000;
+  int num_segments = 4;
+  int num_queries = 2000;
+  int client_threads = 8;
+  int64_t duration_ms = 800;
+  std::vector<double> qps_sweep = {100, 400, 1600, 6400, 12800, 25600};
+  uint64_t seed = 42;
+
+  static BenchOptions Parse(int argc, char** argv) {
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value_of = [&arg](const char* prefix) -> const char* {
+        const size_t n = std::string(prefix).size();
+        return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+      };
+      if (const char* v = value_of("--rows=")) {
+        options.rows = static_cast<uint32_t>(std::atoll(v));
+      } else if (const char* v = value_of("--segments=")) {
+        options.num_segments = std::atoi(v);
+      } else if (const char* v = value_of("--queries=")) {
+        options.num_queries = std::atoi(v);
+      } else if (const char* v = value_of("--threads=")) {
+        options.client_threads = std::atoi(v);
+      } else if (const char* v = value_of("--duration-ms=")) {
+        options.duration_ms = std::atoll(v);
+      } else if (const char* v = value_of("--qps=")) {
+        options.qps_sweep.clear();
+        std::string list = v;
+        size_t pos = 0;
+        while (pos < list.size()) {
+          size_t comma = list.find(',', pos);
+          if (comma == std::string::npos) comma = list.size();
+          options.qps_sweep.push_back(std::atof(list.substr(pos, comma - pos).c_str()));
+          pos = comma + 1;
+        }
+      }
+    }
+    return options;
+  }
+
+  WorkloadOptions workload_options() const {
+    WorkloadOptions wo;
+    wo.num_rows = rows;
+    wo.num_queries = num_queries;
+    wo.seed = seed;
+    return wo;
+  }
+};
+
+/// Splits a workload's rows into `num_segments` segments built with
+/// `config`.
+inline std::vector<std::shared_ptr<SegmentInterface>> BuildSegments(
+    const Workload& workload, SegmentBuildConfig config, int num_segments,
+    const std::string& name_prefix) {
+  std::vector<std::shared_ptr<SegmentInterface>> segments;
+  const size_t per_segment =
+      (workload.rows.size() + num_segments - 1) / num_segments;
+  size_t next = 0;
+  for (int s = 0; s < num_segments && next < workload.rows.size(); ++s) {
+    SegmentBuildConfig segment_config = config;
+    segment_config.table_name = workload.name;
+    segment_config.segment_name = name_prefix + "_" + std::to_string(s);
+    SegmentBuilder builder(workload.schema, segment_config);
+    for (size_t i = 0; i < per_segment && next < workload.rows.size();
+         ++i, ++next) {
+      Status st = builder.AddRow(workload.rows[next]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "AddRow failed: %s\n", st.ToString().c_str());
+        std::abort();
+      }
+    }
+    auto segment = builder.Build();
+    if (!segment.ok()) {
+      std::fprintf(stderr, "Build failed: %s\n",
+                   segment.status().ToString().c_str());
+      std::abort();
+    }
+    segments.push_back(*segment);
+  }
+  return segments;
+}
+
+inline std::vector<Query> ParseQueries(const Workload& workload) {
+  std::vector<Query> out;
+  out.reserve(workload.queries.size());
+  for (const auto& pql : workload.queries) {
+    auto query = ParsePql(pql);
+    if (!query.ok()) {
+      std::fprintf(stderr, "bad query %s: %s\n", pql.c_str(),
+                   query.status().ToString().c_str());
+      std::abort();
+    }
+    out.push_back(std::move(*query));
+  }
+  return out;
+}
+
+/// One point of a latency-vs-QPS curve.
+struct QpsPoint {
+  double offered_qps = 0;
+  double achieved_qps = 0;
+  double avg_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  uint64_t queries = 0;
+};
+
+inline double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t index = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[index];
+}
+
+/// Open-loop load generator: `client_threads` threads issue queries at
+/// fixed per-thread intervals summing to `target_qps`; latency is measured
+/// from each query's *scheduled* time so queue buildup past saturation is
+/// visible (no coordinated omission). This reproduces the shape of the
+/// paper's latency-vs-QPS figures on a single machine.
+inline QpsPoint RunQpsPoint(const std::function<void(int)>& issue_query,
+                            int num_queries, double target_qps,
+                            int client_threads, int64_t duration_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now() + std::chrono::milliseconds(10);
+  const auto deadline = start + std::chrono::milliseconds(duration_ms);
+  const double interval_s = client_threads / target_qps;
+
+  std::vector<std::vector<double>> latencies(client_threads);
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> issued{0};
+  for (int t = 0; t < client_threads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(1000 + t);
+      auto& local = latencies[t];
+      int64_t slot = 0;
+      while (true) {
+        const auto scheduled =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            (slot + static_cast<double>(t) / client_threads) *
+                            interval_s));
+        if (scheduled >= deadline) break;
+        std::this_thread::sleep_until(scheduled);
+        issue_query(static_cast<int>(rng.NextUint64(num_queries)));
+        const auto done = Clock::now();
+        local.push_back(
+            std::chrono::duration<double, std::milli>(done - scheduled)
+                .count());
+        issued.fetch_add(1, std::memory_order_relaxed);
+        ++slot;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::vector<double> all;
+  for (auto& local : latencies) {
+    all.insert(all.end(), local.begin(), local.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  QpsPoint point;
+  point.offered_qps = target_qps;
+  point.queries = issued.load();
+  point.achieved_qps = point.queries / (duration_ms / 1000.0);
+  double sum = 0;
+  for (double v : all) sum += v;
+  point.avg_ms = all.empty() ? 0 : sum / all.size();
+  point.p50_ms = Percentile(all, 0.50);
+  point.p95_ms = Percentile(all, 0.95);
+  point.p99_ms = Percentile(all, 0.99);
+  return point;
+}
+
+inline void PrintQpsHeader(const char* figure, const char* description) {
+  std::printf("# %s — %s\n", figure, description);
+  std::printf("%-28s %12s %12s %10s %10s %10s %10s\n", "config",
+              "offered_qps", "achieved_qps", "avg_ms", "p50_ms", "p95_ms",
+              "p99_ms");
+}
+
+inline void PrintQpsPoint(const std::string& config, const QpsPoint& point) {
+  std::printf("%-28s %12.0f %12.0f %10.3f %10.3f %10.3f %10.3f\n",
+              config.c_str(), point.offered_qps, point.achieved_qps,
+              point.avg_ms, point.p50_ms, point.p95_ms, point.p99_ms);
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace pinot
+
+#endif  // PINOT_BENCH_BENCH_UTIL_H_

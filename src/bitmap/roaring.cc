@@ -1,0 +1,810 @@
+#include "bitmap/roaring.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace pinot {
+
+using bitmap_internal::ArrayContainer;
+using bitmap_internal::BitsetContainer;
+using bitmap_internal::kArrayContainerMax;
+using bitmap_internal::RunContainer;
+
+namespace {
+
+inline uint16_t HighBits(uint32_t v) { return static_cast<uint16_t>(v >> 16); }
+inline uint16_t LowBits(uint32_t v) { return static_cast<uint16_t>(v & 0xffff); }
+
+inline void BitsetSet(BitsetContainer* b, uint16_t low) {
+  uint64_t& word = b->words[low >> 6];
+  const uint64_t mask = uint64_t{1} << (low & 63);
+  if ((word & mask) == 0) {
+    word |= mask;
+    ++b->cardinality;
+  }
+}
+
+inline bool BitsetTest(const BitsetContainer& b, uint16_t low) {
+  return (b.words[low >> 6] >> (low & 63)) & 1;
+}
+
+// Sets bits [lo, hi] inclusive within the bitset.
+void BitsetSetRange(BitsetContainer* b, uint32_t lo, uint32_t hi) {
+  for (uint32_t w = lo >> 6; w <= (hi >> 6); ++w) {
+    uint64_t mask = ~uint64_t{0};
+    if (w == (lo >> 6)) mask &= ~uint64_t{0} << (lo & 63);
+    if (w == (hi >> 6)) mask &= ~uint64_t{0} >> (63 - (hi & 63));
+    b->cardinality += static_cast<uint32_t>(
+        std::popcount(mask & ~b->words[w]));
+    b->words[w] |= mask;
+  }
+}
+
+uint32_t RunContainerCardinality(const RunContainer& rc) {
+  uint32_t total = 0;
+  for (const auto& run : rc.runs) total += static_cast<uint32_t>(run.length) + 1;
+  return total;
+}
+
+bool RunContainerContains(const RunContainer& rc, uint16_t low) {
+  // Binary search for the last run with start <= low.
+  int lo = 0, hi = static_cast<int>(rc.runs.size()) - 1;
+  while (lo <= hi) {
+    const int mid = (lo + hi) / 2;
+    const auto& run = rc.runs[mid];
+    if (run.start > low) {
+      hi = mid - 1;
+    } else if (static_cast<uint32_t>(run.start) + run.length < low) {
+      lo = mid + 1;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+RoaringBitmap::RoaringBitmap(const RoaringBitmap& other) {
+  *this = other;
+}
+
+RoaringBitmap& RoaringBitmap::operator=(const RoaringBitmap& other) {
+  if (this == &other) return *this;
+  containers_.clear();
+  containers_.reserve(other.containers_.size());
+  for (const auto& src : other.containers_) {
+    Entry entry;
+    entry.key = src.key;
+    entry.container.kind = src.container.kind;
+    entry.container.array = src.container.array;
+    entry.container.run = src.container.run;
+    if (src.container.bitset != nullptr) {
+      entry.container.bitset = std::make_unique<BitsetContainer>(
+          *src.container.bitset);
+    }
+    containers_.push_back(std::move(entry));
+  }
+  return *this;
+}
+
+uint32_t RoaringBitmap::Container::Cardinality() const {
+  switch (kind) {
+    case Kind::kArray:
+      return static_cast<uint32_t>(array.values.size());
+    case Kind::kBitset:
+      return bitset->cardinality;
+    case Kind::kRun:
+      return RunContainerCardinality(run);
+  }
+  return 0;
+}
+
+bool RoaringBitmap::Container::Contains(uint16_t low) const {
+  switch (kind) {
+    case Kind::kArray:
+      return std::binary_search(array.values.begin(), array.values.end(), low);
+    case Kind::kBitset:
+      return BitsetTest(*bitset, low);
+    case Kind::kRun:
+      return RunContainerContains(run, low);
+  }
+  return false;
+}
+
+int RoaringBitmap::FindEntry(uint16_t key) const {
+  auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Entry& e, uint16_t k) { return e.key < k; });
+  if (it != containers_.end() && it->key == key) {
+    return static_cast<int>(it - containers_.begin());
+  }
+  return -1;
+}
+
+RoaringBitmap::Entry& RoaringBitmap::GetOrCreateEntry(uint16_t key) {
+  auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Entry& e, uint16_t k) { return e.key < k; });
+  if (it != containers_.end() && it->key == key) return *it;
+  Entry entry;
+  entry.key = key;
+  return *containers_.insert(it, std::move(entry));
+}
+
+RoaringBitmap RoaringBitmap::FromValues(const std::vector<uint32_t>& values) {
+  std::vector<uint32_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  RoaringBitmap bm;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    const uint16_t key = HighBits(sorted[i]);
+    size_t j = i;
+    while (j < sorted.size() && HighBits(sorted[j]) == key) ++j;
+    Entry entry;
+    entry.key = key;
+    const size_t count = j - i;
+    if (count <= kArrayContainerMax) {
+      entry.container.kind = Kind::kArray;
+      entry.container.array.values.reserve(count);
+      for (size_t k = i; k < j; ++k) {
+        entry.container.array.values.push_back(LowBits(sorted[k]));
+      }
+    } else {
+      entry.container.kind = Kind::kBitset;
+      entry.container.bitset = std::make_unique<BitsetContainer>();
+      for (size_t k = i; k < j; ++k) {
+        BitsetSet(entry.container.bitset.get(), LowBits(sorted[k]));
+      }
+    }
+    bm.containers_.push_back(std::move(entry));
+    i = j;
+  }
+  return bm;
+}
+
+RoaringBitmap RoaringBitmap::FromRange(uint32_t begin, uint32_t end) {
+  RoaringBitmap bm;
+  bm.AddRange(begin, end);
+  return bm;
+}
+
+void RoaringBitmap::Add(uint32_t value) {
+  Entry& entry = GetOrCreateEntry(HighBits(value));
+  Container& c = entry.container;
+  const uint16_t low = LowBits(value);
+  switch (c.kind) {
+    case Kind::kArray: {
+      auto it = std::lower_bound(c.array.values.begin(), c.array.values.end(),
+                                 low);
+      if (it != c.array.values.end() && *it == low) return;
+      c.array.values.insert(it, low);
+      if (c.array.values.size() > kArrayContainerMax) {
+        auto bitset = std::make_unique<BitsetContainer>();
+        for (uint16_t v : c.array.values) BitsetSet(bitset.get(), v);
+        c.kind = Kind::kBitset;
+        c.bitset = std::move(bitset);
+        c.array.values.clear();
+        c.array.values.shrink_to_fit();
+      }
+      return;
+    }
+    case Kind::kBitset:
+      BitsetSet(c.bitset.get(), low);
+      return;
+    case Kind::kRun: {
+      if (RunContainerContains(c.run, low)) return;
+      // Adds after RunOptimize are rare; convert back to a bitset.
+      auto bitset = std::make_unique<BitsetContainer>();
+      ToBitset(c, bitset.get());
+      BitsetSet(bitset.get(), low);
+      c = FromBitset(std::move(*bitset));
+      return;
+    }
+  }
+}
+
+void RoaringBitmap::AddRange(uint32_t begin, uint32_t end) {
+  if (begin >= end) return;
+  const uint32_t last = end - 1;
+  for (uint32_t key = HighBits(begin); ; ++key) {
+    const uint32_t chunk_base = static_cast<uint32_t>(key) << 16;
+    const uint32_t lo = std::max(begin, chunk_base) - chunk_base;
+    const uint32_t hi = std::min(last, chunk_base + 0xffff) - chunk_base;
+    Entry& entry = GetOrCreateEntry(static_cast<uint16_t>(key));
+    Container& c = entry.container;
+    if (c.kind == Kind::kArray && c.array.values.empty()) {
+      // Fresh chunk: store as a single run.
+      c.kind = Kind::kRun;
+      c.run.runs.push_back({static_cast<uint16_t>(lo),
+                            static_cast<uint16_t>(hi - lo)});
+    } else {
+      auto bitset = std::make_unique<BitsetContainer>();
+      ToBitset(c, bitset.get());
+      BitsetSetRange(bitset.get(), lo, hi);
+      c = FromBitset(std::move(*bitset));
+    }
+    if (key == HighBits(last)) break;
+  }
+}
+
+bool RoaringBitmap::Contains(uint32_t value) const {
+  const int idx = FindEntry(HighBits(value));
+  if (idx < 0) return false;
+  return containers_[idx].container.Contains(LowBits(value));
+}
+
+uint64_t RoaringBitmap::Cardinality() const {
+  uint64_t total = 0;
+  for (const auto& entry : containers_) {
+    total += entry.container.Cardinality();
+  }
+  return total;
+}
+
+uint32_t RoaringBitmap::Minimum() const {
+  assert(!containers_.empty());
+  const Entry& entry = containers_.front();
+  const uint32_t base = static_cast<uint32_t>(entry.key) << 16;
+  const Container& c = entry.container;
+  switch (c.kind) {
+    case Kind::kArray:
+      return base + c.array.values.front();
+    case Kind::kRun:
+      return base + c.run.runs.front().start;
+    case Kind::kBitset:
+      for (size_t w = 0; w < c.bitset->words.size(); ++w) {
+        if (c.bitset->words[w] != 0) {
+          return base + static_cast<uint32_t>(w * 64 +
+                                              std::countr_zero(c.bitset->words[w]));
+        }
+      }
+  }
+  assert(false);
+  return 0;
+}
+
+uint32_t RoaringBitmap::Maximum() const {
+  assert(!containers_.empty());
+  const Entry& entry = containers_.back();
+  const uint32_t base = static_cast<uint32_t>(entry.key) << 16;
+  const Container& c = entry.container;
+  switch (c.kind) {
+    case Kind::kArray:
+      return base + c.array.values.back();
+    case Kind::kRun:
+      return base + static_cast<uint32_t>(c.run.runs.back().start) +
+             c.run.runs.back().length;
+    case Kind::kBitset:
+      for (size_t w = c.bitset->words.size(); w-- > 0;) {
+        if (c.bitset->words[w] != 0) {
+          return base + static_cast<uint32_t>(
+                            w * 64 + 63 - std::countl_zero(c.bitset->words[w]));
+        }
+      }
+  }
+  assert(false);
+  return 0;
+}
+
+void RoaringBitmap::ToBitset(const Container& c, BitsetContainer* out) {
+  switch (c.kind) {
+    case Kind::kArray:
+      for (uint16_t v : c.array.values) BitsetSet(out, v);
+      return;
+    case Kind::kBitset:
+      *out = *c.bitset;
+      return;
+    case Kind::kRun:
+      for (const auto& run : c.run.runs) {
+        BitsetSetRange(out, run.start,
+                       static_cast<uint32_t>(run.start) + run.length);
+      }
+      return;
+  }
+}
+
+RoaringBitmap::Container RoaringBitmap::FromBitset(BitsetContainer bitset) {
+  Container c;
+  if (bitset.cardinality <= kArrayContainerMax) {
+    c.kind = Kind::kArray;
+    c.array.values.reserve(bitset.cardinality);
+    for (size_t w = 0; w < bitset.words.size(); ++w) {
+      uint64_t word = bitset.words[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        c.array.values.push_back(static_cast<uint16_t>(w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  } else {
+    c.kind = Kind::kBitset;
+    c.bitset = std::make_unique<BitsetContainer>(std::move(bitset));
+  }
+  return c;
+}
+
+RoaringBitmap::Container RoaringBitmap::AndContainers(const Container& a,
+                                                      const Container& b) {
+  // Array vs array: linear merge intersection.
+  if (a.kind == Kind::kArray && b.kind == Kind::kArray) {
+    Container c;
+    c.kind = Kind::kArray;
+    std::set_intersection(a.array.values.begin(), a.array.values.end(),
+                          b.array.values.begin(), b.array.values.end(),
+                          std::back_inserter(c.array.values));
+    return c;
+  }
+  // Array vs anything: probe the other container.
+  const Container* arr = nullptr;
+  const Container* other = nullptr;
+  if (a.kind == Kind::kArray) {
+    arr = &a;
+    other = &b;
+  } else if (b.kind == Kind::kArray) {
+    arr = &b;
+    other = &a;
+  }
+  if (arr != nullptr) {
+    Container c;
+    c.kind = Kind::kArray;
+    for (uint16_t v : arr->array.values) {
+      if (other->Contains(v)) c.array.values.push_back(v);
+    }
+    return c;
+  }
+  // Dense vs dense: word-wise AND through bitsets.
+  BitsetContainer ba, bb;
+  ToBitset(a, &ba);
+  ToBitset(b, &bb);
+  BitsetContainer out;
+  for (size_t w = 0; w < out.words.size(); ++w) {
+    out.words[w] = ba.words[w] & bb.words[w];
+    out.cardinality += static_cast<uint32_t>(std::popcount(out.words[w]));
+  }
+  return FromBitset(std::move(out));
+}
+
+RoaringBitmap::Container RoaringBitmap::OrContainers(const Container& a,
+                                                     const Container& b) {
+  if (a.kind == Kind::kArray && b.kind == Kind::kArray &&
+      a.array.values.size() + b.array.values.size() <= kArrayContainerMax) {
+    Container c;
+    c.kind = Kind::kArray;
+    std::set_union(a.array.values.begin(), a.array.values.end(),
+                   b.array.values.begin(), b.array.values.end(),
+                   std::back_inserter(c.array.values));
+    return c;
+  }
+  BitsetContainer ba, bb;
+  ToBitset(a, &ba);
+  ToBitset(b, &bb);
+  BitsetContainer out;
+  for (size_t w = 0; w < out.words.size(); ++w) {
+    out.words[w] = ba.words[w] | bb.words[w];
+    out.cardinality += static_cast<uint32_t>(std::popcount(out.words[w]));
+  }
+  return FromBitset(std::move(out));
+}
+
+RoaringBitmap::Container RoaringBitmap::AndNotContainers(const Container& a,
+                                                         const Container& b) {
+  if (a.kind == Kind::kArray) {
+    Container c;
+    c.kind = Kind::kArray;
+    for (uint16_t v : a.array.values) {
+      if (!b.Contains(v)) c.array.values.push_back(v);
+    }
+    return c;
+  }
+  BitsetContainer ba, bb;
+  ToBitset(a, &ba);
+  ToBitset(b, &bb);
+  BitsetContainer out;
+  for (size_t w = 0; w < out.words.size(); ++w) {
+    out.words[w] = ba.words[w] & ~bb.words[w];
+    out.cardinality += static_cast<uint32_t>(std::popcount(out.words[w]));
+  }
+  return FromBitset(std::move(out));
+}
+
+RoaringBitmap RoaringBitmap::And(const RoaringBitmap& other) const {
+  RoaringBitmap result;
+  size_t i = 0, j = 0;
+  while (i < containers_.size() && j < other.containers_.size()) {
+    const uint16_t ka = containers_[i].key;
+    const uint16_t kb = other.containers_[j].key;
+    if (ka < kb) {
+      ++i;
+    } else if (kb < ka) {
+      ++j;
+    } else {
+      Container c =
+          AndContainers(containers_[i].container, other.containers_[j].container);
+      if (c.Cardinality() > 0) {
+        Entry entry;
+        entry.key = ka;
+        entry.container = std::move(c);
+        result.containers_.push_back(std::move(entry));
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return result;
+}
+
+RoaringBitmap RoaringBitmap::Or(const RoaringBitmap& other) const {
+  RoaringBitmap result;
+  size_t i = 0, j = 0;
+  auto copy_container = [](const Container& src) {
+    Container c;
+    c.kind = src.kind;
+    c.array = src.array;
+    c.run = src.run;
+    if (src.bitset != nullptr) {
+      c.bitset = std::make_unique<BitsetContainer>(*src.bitset);
+    }
+    return c;
+  };
+  while (i < containers_.size() || j < other.containers_.size()) {
+    Entry entry;
+    if (j >= other.containers_.size() ||
+        (i < containers_.size() && containers_[i].key < other.containers_[j].key)) {
+      entry.key = containers_[i].key;
+      entry.container = copy_container(containers_[i].container);
+      ++i;
+    } else if (i >= containers_.size() ||
+               other.containers_[j].key < containers_[i].key) {
+      entry.key = other.containers_[j].key;
+      entry.container = copy_container(other.containers_[j].container);
+      ++j;
+    } else {
+      entry.key = containers_[i].key;
+      entry.container = OrContainers(containers_[i].container,
+                                     other.containers_[j].container);
+      ++i;
+      ++j;
+    }
+    result.containers_.push_back(std::move(entry));
+  }
+  return result;
+}
+
+RoaringBitmap RoaringBitmap::AndNot(const RoaringBitmap& other) const {
+  RoaringBitmap result;
+  auto copy_container = [](const Container& src) {
+    Container c;
+    c.kind = src.kind;
+    c.array = src.array;
+    c.run = src.run;
+    if (src.bitset != nullptr) {
+      c.bitset = std::make_unique<BitsetContainer>(*src.bitset);
+    }
+    return c;
+  };
+  for (const auto& entry : containers_) {
+    const int idx = other.FindEntry(entry.key);
+    Entry out;
+    out.key = entry.key;
+    if (idx < 0) {
+      out.container = copy_container(entry.container);
+    } else {
+      out.container =
+          AndNotContainers(entry.container, other.containers_[idx].container);
+    }
+    if (out.container.Cardinality() > 0) {
+      result.containers_.push_back(std::move(out));
+    }
+  }
+  return result;
+}
+
+RoaringBitmap RoaringBitmap::Not(uint32_t universe_size) const {
+  return FromRange(0, universe_size).AndNot(*this);
+}
+
+void RoaringBitmap::OrWith(const RoaringBitmap& other) {
+  *this = Or(other);
+}
+
+void RoaringBitmap::RunOptimize() {
+  for (auto& entry : containers_) {
+    Container& c = entry.container;
+    // Count maximal runs in this container.
+    uint32_t num_runs = 0;
+    switch (c.kind) {
+      case Kind::kRun:
+        continue;  // Already run-encoded.
+      case Kind::kArray: {
+        const auto& vals = c.array.values;
+        for (size_t i = 0; i < vals.size(); ++i) {
+          if (i == 0 || vals[i] != vals[i - 1] + 1) ++num_runs;
+        }
+        // Run encoding: 4 bytes/run vs 2 bytes/value.
+        if (num_runs * 2 >= vals.size()) continue;
+        RunContainer rc;
+        rc.runs.reserve(num_runs);
+        for (size_t i = 0; i < vals.size(); ++i) {
+          if (i == 0 || vals[i] != vals[i - 1] + 1) {
+            rc.runs.push_back({vals[i], 0});
+          } else {
+            ++rc.runs.back().length;
+          }
+        }
+        c.kind = Kind::kRun;
+        c.run = std::move(rc);
+        c.array.values.clear();
+        c.array.values.shrink_to_fit();
+        break;
+      }
+      case Kind::kBitset: {
+        // num_runs = sum over words of transitions 0->1.
+        const auto& words = c.bitset->words;
+        for (size_t w = 0; w < words.size(); ++w) {
+          const uint64_t word = words[w];
+          const uint64_t prev_bit =
+              (w == 0) ? 0 : (words[w - 1] >> 63) & 1;
+          // Starts of runs: bits set where previous bit is clear.
+          const uint64_t shifted = (word << 1) | prev_bit;
+          num_runs += static_cast<uint32_t>(std::popcount(word & ~shifted));
+        }
+        // Run encoding: 4 bytes/run vs fixed 8192 bytes.
+        if (num_runs * 4 >= 8192) continue;
+        RunContainer rc;
+        rc.runs.reserve(num_runs);
+        int32_t run_start = -1;
+        for (uint32_t v = 0; v < 65536; ++v) {
+          const bool set = BitsetTest(*c.bitset, static_cast<uint16_t>(v));
+          if (set && run_start < 0) run_start = static_cast<int32_t>(v);
+          if (!set && run_start >= 0) {
+            rc.runs.push_back({static_cast<uint16_t>(run_start),
+                               static_cast<uint16_t>(v - 1 - run_start)});
+            run_start = -1;
+          }
+        }
+        if (run_start >= 0) {
+          rc.runs.push_back({static_cast<uint16_t>(run_start),
+                             static_cast<uint16_t>(65535 - run_start)});
+        }
+        c.kind = Kind::kRun;
+        c.run = std::move(rc);
+        c.bitset.reset();
+        break;
+      }
+    }
+  }
+}
+
+void RoaringBitmap::ForEachInContainer(
+    const Container& c, uint32_t base,
+    const std::function<void(uint32_t)>& fn) {
+  switch (c.kind) {
+    case Kind::kArray:
+      for (uint16_t v : c.array.values) fn(base + v);
+      return;
+    case Kind::kBitset:
+      for (size_t w = 0; w < c.bitset->words.size(); ++w) {
+        uint64_t word = c.bitset->words[w];
+        while (word != 0) {
+          const int bit = std::countr_zero(word);
+          fn(base + static_cast<uint32_t>(w * 64 + bit));
+          word &= word - 1;
+        }
+      }
+      return;
+    case Kind::kRun:
+      for (const auto& run : c.run.runs) {
+        const uint32_t end = base + run.start + run.length;
+        for (uint32_t v = base + run.start; v <= end; ++v) fn(v);
+      }
+      return;
+  }
+}
+
+void RoaringBitmap::ForEach(const std::function<void(uint32_t)>& fn) const {
+  for (const auto& entry : containers_) {
+    ForEachInContainer(entry.container,
+                       static_cast<uint32_t>(entry.key) << 16, fn);
+  }
+}
+
+void RoaringBitmap::ForEachRange(
+    const std::function<void(uint32_t, uint32_t)>& fn) const {
+  // Accumulate maximal runs across container boundaries.
+  bool have_run = false;
+  uint32_t run_begin = 0;
+  uint32_t run_end = 0;  // Exclusive.
+  auto emit = [&](uint32_t begin, uint32_t end) {
+    if (have_run && begin == run_end) {
+      run_end = end;
+      return;
+    }
+    if (have_run) fn(run_begin, run_end);
+    run_begin = begin;
+    run_end = end;
+    have_run = true;
+  };
+  for (const auto& entry : containers_) {
+    const uint32_t base = static_cast<uint32_t>(entry.key) << 16;
+    const Container& c = entry.container;
+    switch (c.kind) {
+      case Kind::kArray: {
+        const auto& vals = c.array.values;
+        size_t i = 0;
+        while (i < vals.size()) {
+          size_t j = i + 1;
+          while (j < vals.size() && vals[j] == vals[j - 1] + 1) ++j;
+          emit(base + vals[i], base + vals[j - 1] + 1);
+          i = j;
+        }
+        break;
+      }
+      case Kind::kRun:
+        for (const auto& run : c.run.runs) {
+          emit(base + run.start,
+               base + static_cast<uint32_t>(run.start) + run.length + 1);
+        }
+        break;
+      case Kind::kBitset: {
+        int64_t start = -1;
+        for (uint32_t w = 0; w < 1024; ++w) {
+          uint64_t word = c.bitset->words[w];
+          if (word == ~uint64_t{0}) {
+            if (start < 0) start = static_cast<int64_t>(w) * 64;
+            continue;
+          }
+          for (int bit = 0; bit < 64; ++bit) {
+            const bool set = (word >> bit) & 1;
+            const uint32_t v = w * 64 + bit;
+            if (set && start < 0) start = v;
+            if (!set && start >= 0) {
+              emit(base + static_cast<uint32_t>(start), base + v);
+              start = -1;
+            }
+          }
+        }
+        if (start >= 0) {
+          emit(base + static_cast<uint32_t>(start), base + 65536);
+        }
+        break;
+      }
+    }
+  }
+  if (have_run) fn(run_begin, run_end);
+}
+
+std::vector<uint32_t> RoaringBitmap::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Cardinality());
+  ForEach([&out](uint32_t v) { out.push_back(v); });
+  return out;
+}
+
+bool RoaringBitmap::operator==(const RoaringBitmap& other) const {
+  if (Cardinality() != other.Cardinality()) return false;
+  bool equal = true;
+  ForEach([&other, &equal](uint32_t v) {
+    if (!other.Contains(v)) equal = false;
+  });
+  return equal;
+}
+
+uint64_t RoaringBitmap::SizeInBytes() const {
+  uint64_t total = 0;
+  for (const auto& entry : containers_) {
+    total += sizeof(Entry);
+    switch (entry.container.kind) {
+      case Kind::kArray:
+        total += entry.container.array.values.size() * sizeof(uint16_t);
+        break;
+      case Kind::kBitset:
+        total += sizeof(BitsetContainer);
+        break;
+      case Kind::kRun:
+        total += entry.container.run.runs.size() * sizeof(RunContainer::Run);
+        break;
+    }
+  }
+  return total;
+}
+
+RoaringBitmap::ContainerStats RoaringBitmap::GetContainerStats() const {
+  ContainerStats stats;
+  for (const auto& entry : containers_) {
+    switch (entry.container.kind) {
+      case Kind::kArray:
+        ++stats.array_containers;
+        break;
+      case Kind::kBitset:
+        ++stats.bitset_containers;
+        break;
+      case Kind::kRun:
+        ++stats.run_containers;
+        break;
+    }
+  }
+  return stats;
+}
+
+void RoaringBitmap::Serialize(ByteWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(containers_.size()));
+  for (const auto& entry : containers_) {
+    writer->WriteU32(entry.key);
+    writer->WriteU8(static_cast<uint8_t>(entry.container.kind));
+    switch (entry.container.kind) {
+      case Kind::kArray: {
+        const auto& vals = entry.container.array.values;
+        writer->WriteU32(static_cast<uint32_t>(vals.size()));
+        writer->WriteRaw(vals.data(), vals.size() * sizeof(uint16_t));
+        break;
+      }
+      case Kind::kBitset: {
+        const auto& bitset = *entry.container.bitset;
+        writer->WriteU32(bitset.cardinality);
+        writer->WriteRaw(bitset.words.data(),
+                         bitset.words.size() * sizeof(uint64_t));
+        break;
+      }
+      case Kind::kRun: {
+        const auto& runs = entry.container.run.runs;
+        writer->WriteU32(static_cast<uint32_t>(runs.size()));
+        for (const auto& run : runs) {
+          writer->WriteU32(run.start);
+          writer->WriteU32(run.length);
+        }
+        break;
+      }
+    }
+  }
+}
+
+Result<RoaringBitmap> RoaringBitmap::Deserialize(ByteReader* reader) {
+  RoaringBitmap bm;
+  PINOT_ASSIGN_OR_RETURN(uint32_t num_containers, reader->ReadU32());
+  bm.containers_.reserve(num_containers);
+  for (uint32_t i = 0; i < num_containers; ++i) {
+    PINOT_ASSIGN_OR_RETURN(uint32_t key, reader->ReadU32());
+    PINOT_ASSIGN_OR_RETURN(uint8_t kind_byte, reader->ReadU8());
+    if (kind_byte > 2) return Status::Corruption("bad container kind");
+    Entry entry;
+    entry.key = static_cast<uint16_t>(key);
+    entry.container.kind = static_cast<Kind>(kind_byte);
+    switch (entry.container.kind) {
+      case Kind::kArray: {
+        PINOT_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+        entry.container.array.values.resize(n);
+        PINOT_RETURN_NOT_OK(reader->ReadRaw(
+            entry.container.array.values.data(), n * sizeof(uint16_t)));
+        break;
+      }
+      case Kind::kBitset: {
+        PINOT_ASSIGN_OR_RETURN(uint32_t card, reader->ReadU32());
+        entry.container.bitset = std::make_unique<BitsetContainer>();
+        entry.container.bitset->cardinality = card;
+        PINOT_RETURN_NOT_OK(
+            reader->ReadRaw(entry.container.bitset->words.data(),
+                            entry.container.bitset->words.size() *
+                                sizeof(uint64_t)));
+        break;
+      }
+      case Kind::kRun: {
+        PINOT_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+        entry.container.run.runs.reserve(n);
+        for (uint32_t r = 0; r < n; ++r) {
+          PINOT_ASSIGN_OR_RETURN(uint32_t start, reader->ReadU32());
+          PINOT_ASSIGN_OR_RETURN(uint32_t length, reader->ReadU32());
+          entry.container.run.runs.push_back(
+              {static_cast<uint16_t>(start), static_cast<uint16_t>(length)});
+        }
+        break;
+      }
+    }
+    bm.containers_.push_back(std::move(entry));
+  }
+  return bm;
+}
+
+}  // namespace pinot

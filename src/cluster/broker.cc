@@ -1,0 +1,340 @@
+#include "cluster/broker.h"
+
+#include <chrono>
+
+#include "cluster/property_store.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "query/parser.h"
+
+namespace pinot {
+
+Broker::Broker(std::string id, ClusterContext ctx, Options options)
+    : id_(std::move(id)),
+      ctx_(std::move(ctx)),
+      options_(options),
+      pool_(options.scatter_threads),
+      rng_(options.seed) {}
+
+Broker::Broker(std::string id, ClusterContext ctx)
+    : Broker(std::move(id), std::move(ctx), Options()) {}
+
+Broker::~Broker() {
+  if (view_watch_handle_ >= 0) {
+    ctx_.cluster->UnwatchExternalView(view_watch_handle_);
+  }
+}
+
+void Broker::Start() {
+  ctx_.cluster->RegisterInstance(id_, {"broker"}, nullptr);
+  view_watch_handle_ = ctx_.cluster->WatchExternalView(
+      [this](const std::string& table) { RebuildRouting(table); });
+}
+
+void Broker::RebuildRouting(const std::string& physical_table) {
+  auto routing = std::make_shared<TableRouting>();
+
+  // Table config (for strategy parameters); may be absent for tables we
+  // only see through the view.
+  auto encoded =
+      ctx_.property_store->Get(zkpaths::TableConfigPath(physical_table));
+  if (encoded.ok()) {
+    ByteReader reader(*encoded);
+    auto config = TableConfig::Deserialize(&reader);
+    if (config.ok()) {
+      routing->config = std::move(config).value();
+      routing->config_loaded = true;
+    }
+  }
+
+  const TableView view = ctx_.cluster->GetExternalView(physical_table);
+  routing->segment_servers = QueryableReplicas(view);
+
+  // Partition metadata for partition-aware pruning.
+  if (routing->config_loaded &&
+      routing->config.routing == RoutingStrategy::kPartitionAware) {
+    for (const auto& [segment, servers] : routing->segment_servers) {
+      auto meta_encoded = ctx_.property_store->Get(
+          zkpaths::SegmentMetadataPath(physical_table, segment));
+      int32_t partition = -1;
+      if (meta_encoded.ok()) {
+        auto meta = SegmentZkMetadata::Decode(*meta_encoded);
+        if (meta.ok()) partition = meta->partition;
+      }
+      routing->segment_partitions[segment] = partition;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!routing->segment_servers.empty()) {
+    switch (routing->config_loaded ? routing->config.routing
+                                   : RoutingStrategy::kBalanced) {
+      case RoutingStrategy::kBalanced:
+        for (int i = 0; i < options_.balanced_tables; ++i) {
+          routing->routing_tables.push_back(
+              BuildBalancedRoutingTable(routing->segment_servers, &rng_));
+        }
+        break;
+      case RoutingStrategy::kGenerated: {
+        GeneratedRoutingOptions gen;
+        gen.target_server_count = routing->config.target_servers_per_query;
+        gen.tables_to_generate = routing->config.routing_tables_to_generate;
+        gen.tables_to_keep = routing->config.routing_tables_to_keep;
+        routing->routing_tables =
+            GenerateRoutingTables(routing->segment_servers, gen, &rng_);
+        break;
+      }
+      case RoutingStrategy::kPartitionAware:
+        // Built per query from the filter (section 4.4).
+        break;
+    }
+  }
+  routing_[physical_table] = std::move(routing);
+}
+
+std::shared_ptr<Broker::TableRouting> Broker::GetRouting(
+    const std::string& physical_table) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = routing_.find(physical_table);
+    if (it != routing_.end()) return it->second;
+  }
+  RebuildRouting(physical_table);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return routing_[physical_table];
+}
+
+namespace {
+
+// Finds EQ/IN predicates on `column` in the top-level conjunction and
+// returns the matching partition set; `all_partitions` when the filter
+// does not constrain the column.
+void CollectPartitionValues(const FilterNode& node, const std::string& column,
+                            std::vector<Value>* values, bool* constrained) {
+  switch (node.kind) {
+    case FilterNode::Kind::kLeaf:
+      if (node.predicate.column == column &&
+          (node.predicate.op == PredicateOp::kEq ||
+           node.predicate.op == PredicateOp::kIn)) {
+        *constrained = true;
+        for (const auto& v : node.predicate.values) values->push_back(v);
+      }
+      return;
+    case FilterNode::Kind::kAnd:
+      for (const auto& child : node.children) {
+        CollectPartitionValues(child, column, values, constrained);
+      }
+      return;
+    case FilterNode::Kind::kOr:
+      // Partition pruning across OR requires every branch to constrain the
+      // column; keep it conservative and do not prune.
+      return;
+  }
+}
+
+}  // namespace
+
+RoutingTable Broker::BuildPartitionAwareTable(const TableRouting& routing,
+                                              const Query& query) {
+  // Which partitions can match the query?
+  std::vector<Value> values;
+  bool constrained = false;
+  if (query.filter.has_value() && routing.config.num_partitions > 0) {
+    CollectPartitionValues(*query.filter, routing.config.partition_column,
+                           &values, &constrained);
+  }
+  std::vector<bool> wanted(
+      std::max(routing.config.num_partitions, 1), !constrained);
+  if (constrained) {
+    for (const auto& v : values) {
+      const int partition = KafkaPartition(
+          ValueToString(v), routing.config.num_partitions);
+      wanted[partition] = true;
+    }
+  }
+
+  RoutingTable table;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [segment, servers] : routing.segment_servers) {
+    auto part_it = routing.segment_partitions.find(segment);
+    const int32_t partition =
+        part_it == routing.segment_partitions.end() ? -1 : part_it->second;
+    // Unpartitioned segments (-1) must always be queried.
+    if (partition >= 0 && partition < static_cast<int>(wanted.size()) &&
+        !wanted[partition]) {
+      continue;
+    }
+    const std::string& server =
+        servers[rng_.NextUint64(servers.size())];
+    table.server_segments[server].push_back(segment);
+  }
+  return table;
+}
+
+void Broker::QueryPhysicalTable(const std::string& physical_table,
+                                const Query& query, PartialResult* merged) {
+  std::shared_ptr<TableRouting> routing = GetRouting(physical_table);
+  if (routing->segment_servers.empty()) {
+    return;  // Table has no queryable segments (not an error).
+  }
+
+  // Pick the routing table (section 3.3.3 step 2: "picked at random").
+  RoutingTable table;
+  const RoutingStrategy strategy = routing->config_loaded
+                                       ? routing->config.routing
+                                       : RoutingStrategy::kBalanced;
+  if (strategy == RoutingStrategy::kPartitionAware) {
+    table = BuildPartitionAwareTable(*routing, query);
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (routing->routing_tables.empty()) return;
+    table = routing->routing_tables[rng_.NextUint64(
+        routing->routing_tables.size())];
+  }
+
+  // Scatter (step 3).
+  struct ScatterCall {
+    std::string server;
+    PartialResult result;
+    std::future<void> done;
+  };
+  std::vector<std::shared_ptr<ScatterCall>> calls;
+  for (auto& [server, segments] : table.server_segments) {
+    QueryServerApi* endpoint = ctx_.server_endpoint
+                                   ? ctx_.server_endpoint(server)
+                                   : nullptr;
+    if (endpoint == nullptr || !ctx_.cluster->IsInstanceAlive(server)) {
+      merged->status = Status::Unavailable("server unreachable: " + server);
+      continue;
+    }
+    auto call = std::make_shared<ScatterCall>();
+    call->server = server;
+    ServerQueryRequest request;
+    request.physical_table = physical_table;
+    request.query = query;
+    request.segments = segments;
+    request.tenant = routing->config_loaded
+                         ? routing->config.server_tenant
+                         : std::string();
+    request.timeout_millis = options_.default_timeout_millis;
+    call->done = pool_.Submit([call, endpoint, request = std::move(request)] {
+      call->result = endpoint->ExecuteServerQuery(request);
+    });
+    calls.push_back(std::move(call));
+  }
+
+  // Gather (steps 6-7) with a deadline; timeouts flag the result partial.
+  // Timed-out calls are abandoned (the worker lambda keeps the call alive
+  // via shared ownership).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            options_.default_timeout_millis);
+  for (auto& call : calls) {
+    if (call->done.wait_until(deadline) == std::future_status::ready) {
+      merged->Merge(std::move(call->result));
+    } else {
+      merged->status =
+          Status::Timeout("server timed out: " + call->server);
+    }
+  }
+}
+
+QueryResult Broker::Execute(const std::string& pql) {
+  auto query = ParsePql(pql);
+  if (!query.ok()) {
+    QueryResult result;
+    result.partial = true;
+    result.error_message = query.status().ToString();
+    return result;
+  }
+  return ExecuteQuery(*query);
+}
+
+QueryResult Broker::ExecuteQuery(const Query& query) {
+  const auto start = std::chrono::steady_clock::now();
+  PartialResult merged;
+
+  // Resolve the logical table into physical tables. A name that is already
+  // physical is used as-is.
+  std::vector<std::pair<std::string, Query>> plans;
+  auto is_physical = [](const std::string& name) {
+    return name.size() > 8 &&
+           (name.rfind("_OFFLINE") == name.size() - 8 ||
+            (name.size() > 9 && name.rfind("_REALTIME") == name.size() - 9));
+  };
+  if (is_physical(query.table)) {
+    plans.emplace_back(query.table, query);
+  } else {
+    const std::string offline = query.table + "_OFFLINE";
+    const std::string realtime = query.table + "_REALTIME";
+    const bool has_offline =
+        ctx_.property_store->Exists(zkpaths::TableConfigPath(offline));
+    const bool has_realtime =
+        ctx_.property_store->Exists(zkpaths::TableConfigPath(realtime));
+    if (has_offline && has_realtime) {
+      // Hybrid rewrite (section 3.3.3, Figure 6): offline serves strictly
+      // before the time boundary, realtime serves at/after it.
+      auto boundary_str =
+          ctx_.property_store->Get(zkpaths::TimeBoundaryPath(query.table));
+      auto config_encoded =
+          ctx_.property_store->Get(zkpaths::TableConfigPath(offline));
+      std::string time_column;
+      if (config_encoded.ok()) {
+        ByteReader reader(*config_encoded);
+        auto config = TableConfig::Deserialize(&reader);
+        if (config.ok()) time_column = config->schema.time_column();
+      }
+      if (boundary_str.ok() && !time_column.empty()) {
+        const int64_t boundary = std::stoll(*boundary_str);
+        auto with_time_filter = [&](const Query& base, bool offline_side) {
+          Query q = base;
+          Predicate pred;
+          pred.column = time_column;
+          pred.op = PredicateOp::kRange;
+          if (offline_side) {
+            pred.upper = boundary - 1;
+            pred.upper_inclusive = true;
+          } else {
+            pred.lower = boundary;
+            pred.lower_inclusive = true;
+          }
+          FilterNode leaf = FilterNode::Leaf(std::move(pred));
+          if (q.filter.has_value()) {
+            q.filter = FilterNode::And({*std::move(q.filter), std::move(leaf)});
+          } else {
+            q.filter = std::move(leaf);
+          }
+          return q;
+        };
+        plans.emplace_back(offline, with_time_filter(query, true));
+        plans.emplace_back(realtime, with_time_filter(query, false));
+      } else {
+        plans.emplace_back(offline, query);
+        plans.emplace_back(realtime, query);
+      }
+    } else if (has_offline) {
+      plans.emplace_back(offline, query);
+    } else if (has_realtime) {
+      plans.emplace_back(realtime, query);
+    } else {
+      QueryResult result;
+      result.partial = true;
+      result.error_message = "no such table: " + query.table;
+      return result;
+    }
+  }
+
+  for (const auto& [physical, subquery] : plans) {
+    QueryPhysicalTable(physical, subquery, &merged);
+  }
+
+  QueryResult result = ReduceToFinalResult(query, std::move(merged));
+  result.latency_millis =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      1000.0;
+  return result;
+}
+
+}  // namespace pinot

@@ -1,0 +1,90 @@
+#ifndef PINOT_CLUSTER_BROKER_H_
+#define PINOT_CLUSTER_BROKER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_context.h"
+#include "cluster/cluster_manager.h"
+#include "cluster/table_config.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "routing/routing.h"
+
+namespace pinot {
+
+/// A Pinot broker (paper sections 3.2-3.3): parses queries, rewrites
+/// hybrid-table queries around the time boundary (Figure 6), picks a
+/// routing table at random, scatters sub-queries to servers, gathers and
+/// merges partial results, and flags the response partial on errors or
+/// timeouts. Routing tables are rebuilt whenever the external view changes
+/// (section 3.3.2).
+class Broker {
+ public:
+  struct Options {
+    int scatter_threads = 8;
+    int64_t default_timeout_millis = 10000;
+    uint64_t seed = 1234;
+    // Number of precomputed tables for the balanced strategy (queries pick
+    // one at random).
+    int balanced_tables = 3;
+  };
+
+  Broker(std::string id, ClusterContext ctx, Options options);
+  Broker(std::string id, ClusterContext ctx);
+  ~Broker();
+
+  /// Registers the instance and subscribes to external-view changes.
+  void Start();
+
+  const std::string& id() const { return id_; }
+
+  /// Full client entry point: parse, route, scatter, gather, reduce.
+  QueryResult Execute(const std::string& pql);
+  QueryResult ExecuteQuery(const Query& query);
+
+  /// Forces a routing rebuild for one physical table (normally triggered
+  /// by the external-view watch).
+  void RebuildRouting(const std::string& physical_table);
+
+ private:
+  struct TableRouting {
+    TableConfig config;
+    bool config_loaded = false;
+    std::vector<RoutingTable> routing_tables;
+    // Segment -> partition id (-1 when unpartitioned), for partition-aware
+    // pruning.
+    std::map<std::string, int32_t> segment_partitions;
+    // Segment -> queryable replicas, for partition-aware per-query routing.
+    std::map<std::string, std::vector<std::string>> segment_servers;
+  };
+
+  /// Runs one physical table's scatter/gather and merges into `merged`.
+  void QueryPhysicalTable(const std::string& physical_table,
+                          const Query& query, PartialResult* merged);
+
+  /// Builds the per-query routing for a partition-aware table.
+  RoutingTable BuildPartitionAwareTable(const TableRouting& routing,
+                                        const Query& query);
+
+  std::shared_ptr<TableRouting> GetRouting(const std::string& physical_table);
+
+  const std::string id_;
+  ClusterContext ctx_;
+  Options options_;
+  ThreadPool pool_;
+  int view_watch_handle_ = -1;
+
+  mutable std::mutex mutex_;
+  Random rng_;
+  std::map<std::string, std::shared_ptr<TableRouting>> routing_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_CLUSTER_BROKER_H_

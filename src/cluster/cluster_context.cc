@@ -1,0 +1,37 @@
+#include "cluster/cluster_context.h"
+
+#include "common/bytes.h"
+
+namespace pinot {
+
+std::string SegmentZkMetadata::Encode() const {
+  ByteWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(state));
+  writer.WriteI32(partition);
+  writer.WriteI64(start_offset);
+  writer.WriteI64(end_offset);
+  writer.WriteI32(sequence);
+  writer.WriteI64(min_time);
+  writer.WriteI64(max_time);
+  writer.WriteU32(crc);
+  return writer.TakeBuffer();
+}
+
+Result<SegmentZkMetadata> SegmentZkMetadata::Decode(
+    const std::string& encoded) {
+  ByteReader reader(encoded);
+  SegmentZkMetadata meta;
+  PINOT_ASSIGN_OR_RETURN(uint8_t status_byte, reader.ReadU8());
+  if (status_byte > 1) return Status::Corruption("bad segment status");
+  meta.state = static_cast<State>(status_byte);
+  PINOT_ASSIGN_OR_RETURN(meta.partition, reader.ReadI32());
+  PINOT_ASSIGN_OR_RETURN(meta.start_offset, reader.ReadI64());
+  PINOT_ASSIGN_OR_RETURN(meta.end_offset, reader.ReadI64());
+  PINOT_ASSIGN_OR_RETURN(meta.sequence, reader.ReadI32());
+  PINOT_ASSIGN_OR_RETURN(meta.min_time, reader.ReadI64());
+  PINOT_ASSIGN_OR_RETURN(meta.max_time, reader.ReadI64());
+  PINOT_ASSIGN_OR_RETURN(meta.crc, reader.ReadU32());
+  return meta;
+}
+
+}  // namespace pinot

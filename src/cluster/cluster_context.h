@@ -1,0 +1,117 @@
+#ifndef PINOT_CLUSTER_CLUSTER_CONTEXT_H_
+#define PINOT_CLUSTER_CLUSTER_CONTEXT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "realtime/completion.h"
+
+namespace pinot {
+
+class ClusterManager;
+class PropertyStore;
+class ObjectStore;
+class StreamRegistry;
+
+/// A query as shipped from a broker to one server: the parsed query plus
+/// the subset of segments this server must process (paper section 3.3.3
+/// step 3).
+struct ServerQueryRequest {
+  std::string physical_table;
+  Query query;
+  std::vector<std::string> segments;
+  std::string tenant;  // Token-bucket accounting key (section 4.5).
+  int64_t timeout_millis = 10000;
+};
+
+/// The query-execution endpoint a server exposes to brokers.
+class QueryServerApi {
+ public:
+  virtual ~QueryServerApi() = default;
+  virtual PartialResult ExecuteServerQuery(const ServerQueryRequest& request) = 0;
+};
+
+/// The endpoints a controller exposes to servers for the realtime segment
+/// completion protocol (paper section 3.3.6).
+class ControllerApi {
+ public:
+  virtual ~ControllerApi() = default;
+
+  virtual CompletionResponse SegmentConsumedUntil(
+      const std::string& physical_table, const std::string& segment,
+      const std::string& server, int64_t offset) = 0;
+
+  virtual Status CommitSegment(const std::string& physical_table,
+                               const std::string& segment,
+                               const std::string& server, int64_t offset,
+                               const std::string& blob) = 0;
+};
+
+/// Shared wiring between the in-process cluster components. In production
+/// these links are Zookeeper sessions and HTTP connections; here they are
+/// direct interfaces, preserving the protocol structure (who talks to whom
+/// and with what messages) while replacing the transport.
+struct ClusterContext {
+  Clock* clock = nullptr;
+  ClusterManager* cluster = nullptr;
+  PropertyStore* property_store = nullptr;
+  ObjectStore* object_store = nullptr;
+  StreamRegistry* streams = nullptr;
+
+  /// Resolves the current leader controller endpoint (null when no leader).
+  std::function<ControllerApi*()> leader_controller;
+
+  /// Resolves a server instance id to its query endpoint (null when the
+  /// server is unknown or unreachable).
+  std::function<QueryServerApi*(const std::string&)> server_endpoint;
+};
+
+/// Property-store layout helpers shared by controller, broker, and server.
+namespace zkpaths {
+
+inline std::string TableConfigPath(const std::string& physical_table) {
+  return "/CONFIGS/" + physical_table;
+}
+inline std::string SegmentMetadataPrefix(const std::string& physical_table) {
+  return "/SEGMENTS/" + physical_table + "/";
+}
+inline std::string SegmentMetadataPath(const std::string& physical_table,
+                                       const std::string& segment) {
+  return SegmentMetadataPrefix(physical_table) + segment;
+}
+inline std::string TimeBoundaryPath(const std::string& logical_table) {
+  return "/TIMEBOUNDARY/" + logical_table;
+}
+inline std::string SegmentBlobKey(const std::string& physical_table,
+                                  const std::string& segment) {
+  return "segments/" + physical_table + "/" + segment;
+}
+
+}  // namespace zkpaths
+
+/// Metadata the controller records per segment in the property store; the
+/// broker reads it for partition pruning and the time boundary, servers
+/// read it to start stream consumers.
+struct SegmentZkMetadata {
+  enum class State { kInProgress, kDone };
+
+  State state = State::kDone;
+  int32_t partition = -1;       // Stream/table partition, -1 unpartitioned.
+  int64_t start_offset = -1;    // Consuming segments: first stream offset.
+  int64_t end_offset = -1;      // Committed segments: one past the last.
+  int32_t sequence = 0;         // Consuming-segment sequence number.
+  int64_t min_time = 0;
+  int64_t max_time = -1;
+  uint32_t crc = 0;
+
+  std::string Encode() const;
+  static Result<SegmentZkMetadata> Decode(const std::string& encoded);
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_CLUSTER_CLUSTER_CONTEXT_H_

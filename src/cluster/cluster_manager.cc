@@ -1,0 +1,389 @@
+#include "cluster/cluster_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pinot {
+
+const char* SegmentStateToString(SegmentState state) {
+  switch (state) {
+    case SegmentState::kOffline:
+      return "OFFLINE";
+    case SegmentState::kConsuming:
+      return "CONSUMING";
+    case SegmentState::kOnline:
+      return "ONLINE";
+    case SegmentState::kDropped:
+      return "DROPPED";
+  }
+  return "?";
+}
+
+void ClusterManager::RegisterInstance(const std::string& instance,
+                                      const std::vector<std::string>& tags,
+                                      StateTransitionHandler* handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instance& info = instances_[instance];
+  info.tags = tags;
+  info.handler = handler;
+  info.alive = true;
+}
+
+bool ClusterManager::IsInstanceAlive(const std::string& instance) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = instances_.find(instance);
+  return it != instances_.end() && it->second.alive;
+}
+
+std::vector<std::string> ClusterManager::GetInstancesWithTag(
+    const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [id, info] : instances_) {
+    if (std::find(info.tags.begin(), info.tags.end(), tag) !=
+        info.tags.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ClusterManager::GetAliveInstancesWithTag(
+    const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [id, info] : instances_) {
+    if (info.alive && std::find(info.tags.begin(), info.tags.end(), tag) !=
+                          info.tags.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<SegmentState> ClusterManager::TransitionPath(SegmentState from,
+                                                         SegmentState to) {
+  if (from == to) return {};
+  // Legal edges (Figure 3): OFFLINE -> {ONLINE, CONSUMING, DROPPED},
+  // CONSUMING -> {ONLINE, OFFLINE, DROPPED}, ONLINE -> {OFFLINE, DROPPED}.
+  switch (from) {
+    case SegmentState::kOffline:
+      return {to};  // All targets reachable directly.
+    case SegmentState::kConsuming:
+      if (to == SegmentState::kOnline || to == SegmentState::kOffline ||
+          to == SegmentState::kDropped) {
+        return {to};
+      }
+      return {to};
+    case SegmentState::kOnline:
+      if (to == SegmentState::kOffline || to == SegmentState::kDropped) {
+        return {to};
+      }
+      // ONLINE -> CONSUMING must route through OFFLINE.
+      return {SegmentState::kOffline, to};
+    case SegmentState::kDropped:
+      return {SegmentState::kOffline, to};
+  }
+  return {to};
+}
+
+void ClusterManager::PlanTransitionsLocked(
+    const std::string& table, const std::string& segment,
+    std::vector<PendingTransition>* plan) {
+  const InstanceStates& ideal = ideal_state_[table][segment];
+  InstanceStates& external = external_view_[table][segment];
+
+  // Instances present in the external view but absent (or dropped) in the
+  // ideal state must drop the segment.
+  for (const auto& [instance, state] : external) {
+    auto it = ideal.find(instance);
+    if (it == ideal.end()) {
+      auto inst = instances_.find(instance);
+      if (inst != instances_.end() && inst->second.alive) {
+        plan->push_back(
+            {table, segment, instance, state, SegmentState::kDropped});
+      }
+    }
+  }
+  // Converge each ideal replica.
+  for (const auto& [instance, desired] : ideal) {
+    auto inst = instances_.find(instance);
+    if (inst == instances_.end() || !inst->second.alive) continue;
+    auto cur = external.find(instance);
+    const SegmentState current =
+        cur == external.end() ? SegmentState::kOffline : cur->second;
+    if (current == desired) continue;
+    SegmentState hop_from = current;
+    for (SegmentState hop : TransitionPath(current, desired)) {
+      plan->push_back({table, segment, instance, hop_from, hop});
+      hop_from = hop;
+    }
+  }
+}
+
+void ClusterManager::ExecuteTransitions(std::vector<PendingTransition> plan) {
+  for (const auto& t : plan) {
+    StateTransitionHandler* handler = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = instances_.find(t.instance);
+      if (it == instances_.end() || !it->second.alive) continue;
+      handler = it->second.handler;
+    }
+    Status st = Status::OK();
+    if (handler != nullptr) {
+      st = handler->OnSegmentStateTransition(t.table, t.segment, t.from,
+                                             t.to);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      InstanceStates& states = external_view_[t.table][t.segment];
+      if (st.ok()) {
+        if (t.to == SegmentState::kDropped) {
+          states.erase(t.instance);
+          if (states.empty()) external_view_[t.table].erase(t.segment);
+        } else {
+          states[t.instance] = t.to;
+        }
+      } else {
+        // Helix would move the replica to ERROR; we log and leave the
+        // previous state out of the view so brokers avoid the replica.
+        PINOT_LOG_WARN << "transition failed on " << t.instance << " for "
+                       << t.table << "/" << t.segment << ": "
+                       << st.ToString();
+        states.erase(t.instance);
+      }
+    }
+    NotifyViewWatchers(t.table);
+  }
+}
+
+void ClusterManager::SetSegmentIdealState(const std::string& table,
+                                          const std::string& segment,
+                                          const InstanceStates& desired) {
+  std::vector<PendingTransition> plan;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ideal_state_[table][segment] = desired;
+    PlanTransitionsLocked(table, segment, &plan);
+  }
+  ExecuteTransitions(std::move(plan));
+}
+
+void ClusterManager::RemoveSegment(const std::string& table,
+                                   const std::string& segment) {
+  std::vector<PendingTransition> plan;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto table_it = ideal_state_.find(table);
+    if (table_it != ideal_state_.end()) {
+      table_it->second.erase(segment);
+    }
+    auto view_it = external_view_.find(table);
+    if (view_it != external_view_.end()) {
+      auto seg_it = view_it->second.find(segment);
+      if (seg_it != view_it->second.end()) {
+        for (const auto& [instance, state] : seg_it->second) {
+          auto inst = instances_.find(instance);
+          if (inst != instances_.end() && inst->second.alive) {
+            plan.push_back(
+                {table, segment, instance, state, SegmentState::kDropped});
+          }
+        }
+      }
+    }
+  }
+  ExecuteTransitions(std::move(plan));
+}
+
+TableView ClusterManager::GetIdealState(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ideal_state_.find(table);
+  return it == ideal_state_.end() ? TableView{} : it->second;
+}
+
+TableView ClusterManager::GetExternalView(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = external_view_.find(table);
+  return it == external_view_.end() ? TableView{} : it->second;
+}
+
+std::vector<std::string> ClusterManager::GetTables() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [table, view] : ideal_state_) out.push_back(table);
+  return out;
+}
+
+int ClusterManager::WatchExternalView(
+    std::function<void(const std::string&)> cb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int handle = next_watch_handle_++;
+  view_watchers_.emplace_back(handle, std::move(cb));
+  return handle;
+}
+
+void ClusterManager::UnwatchExternalView(int handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = view_watchers_.begin(); it != view_watchers_.end(); ++it) {
+    if (it->first == handle) {
+      view_watchers_.erase(it);
+      return;
+    }
+  }
+}
+
+void ClusterManager::NotifyViewWatchers(const std::string& table) {
+  std::vector<std::function<void(const std::string&)>> watchers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [handle, cb] : view_watchers_) watchers.push_back(cb);
+  }
+  for (const auto& cb : watchers) cb(table);
+}
+
+void ClusterManager::SetInstanceAlive(const std::string& instance,
+                                      bool alive) {
+  std::vector<PendingTransition> plan;
+  std::vector<std::string> touched_tables;
+  std::vector<std::function<void()>> leadership_callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = instances_.find(instance);
+    if (it == instances_.end()) return;
+    if (it->second.alive == alive) return;
+    it->second.alive = alive;
+    if (!alive) {
+      // Remove the instance from every external view; its local state is
+      // considered lost (stateless instances, section 3.4).
+      for (auto& [table, view] : external_view_) {
+        bool changed = false;
+        for (auto seg_it = view.begin(); seg_it != view.end();) {
+          changed |= seg_it->second.erase(instance) > 0;
+          if (seg_it->second.empty()) {
+            seg_it = view.erase(seg_it);
+          } else {
+            ++seg_it;
+          }
+        }
+        if (changed) touched_tables.push_back(table);
+      }
+      // Controller death triggers re-election.
+      if (leader_ == instance) ElectLeaderLocked(&leadership_callbacks);
+    } else {
+      // Replay the ideal state onto the recovered (blank) instance.
+      for (const auto& [table, view] : ideal_state_) {
+        for (const auto& [segment, states] : view) {
+          if (states.count(instance) > 0) {
+            PlanTransitionsLocked(table, segment, &plan);
+          }
+        }
+      }
+      // Controllers rejoin the election queue.
+      for (const auto& controller : controllers_) {
+        if (controller.id == instance && leader_.empty()) {
+          ElectLeaderLocked(&leadership_callbacks);
+        }
+      }
+    }
+  }
+  for (const auto& cb : leadership_callbacks) cb();
+  for (const auto& table : touched_tables) NotifyViewWatchers(table);
+  ExecuteTransitions(std::move(plan));
+}
+
+void ClusterManager::ElectLeaderLocked(
+    std::vector<std::function<void()>>* callbacks) {
+  const std::string old_leader = leader_;
+  leader_.clear();
+  for (const auto& controller : controllers_) {
+    auto it = instances_.find(controller.id);
+    const bool alive = it == instances_.end() ? true : it->second.alive;
+    if (alive) {
+      leader_ = controller.id;
+      break;
+    }
+  }
+  for (const auto& controller : controllers_) {
+    if (controller.id == old_leader && old_leader != leader_ &&
+        controller.on_leadership) {
+      auto cb = controller.on_leadership;
+      callbacks->push_back([cb] { cb(false); });
+    }
+    if (controller.id == leader_ && old_leader != leader_ &&
+        controller.on_leadership) {
+      auto cb = controller.on_leadership;
+      callbacks->push_back([cb] { cb(true); });
+    }
+  }
+}
+
+Status ClusterManager::SendUserMessage(const std::string& instance,
+                                       const std::string& type,
+                                       const std::string& payload) {
+  StateTransitionHandler* handler = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = instances_.find(instance);
+    if (it == instances_.end()) {
+      return Status::NotFound("no such instance: " + instance);
+    }
+    if (!it->second.alive) {
+      return Status::Unavailable("instance is down: " + instance);
+    }
+    handler = it->second.handler;
+  }
+  if (handler == nullptr) {
+    return Status::NotImplemented("instance has no handler: " + instance);
+  }
+  return handler->OnUserMessage(type, payload);
+}
+
+void ClusterManager::BroadcastUserMessage(const std::string& tag,
+                                          const std::string& type,
+                                          const std::string& payload) {
+  for (const auto& instance : GetAliveInstancesWithTag(tag)) {
+    Status st = SendUserMessage(instance, type, payload);
+    if (!st.ok() && st.code() != StatusCode::kNotImplemented) {
+      PINOT_LOG_WARN << "user message " << type << " failed on " << instance
+                     << ": " << st.ToString();
+    }
+  }
+}
+
+void ClusterManager::RegisterController(const std::string& controller,
+                                        std::function<void(bool)> on_leadership) {
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    controllers_.push_back({controller, std::move(on_leadership)});
+    if (instances_.count(controller) == 0) {
+      instances_[controller] = Instance{{"controller"}, nullptr, true};
+    }
+    if (leader_.empty()) ElectLeaderLocked(&callbacks);
+  }
+  for (const auto& cb : callbacks) cb();
+}
+
+void ClusterManager::DeregisterController(const std::string& controller) {
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = controllers_.begin(); it != controllers_.end(); ++it) {
+      if (it->id == controller) {
+        controllers_.erase(it);
+        break;
+      }
+    }
+    if (leader_ == controller) ElectLeaderLocked(&callbacks);
+  }
+  for (const auto& cb : callbacks) cb();
+}
+
+std::string ClusterManager::leader() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return leader_;
+}
+
+}  // namespace pinot

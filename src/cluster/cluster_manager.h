@@ -1,0 +1,160 @@
+#ifndef PINOT_CLUSTER_CLUSTER_MANAGER_H_
+#define PINOT_CLUSTER_CLUSTER_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pinot {
+
+/// Segment states of the Pinot state machine (paper Figure 3).
+enum class SegmentState { kOffline, kConsuming, kOnline, kDropped };
+
+const char* SegmentStateToString(SegmentState state);
+
+/// Implemented by servers: invoked by the cluster manager to execute a
+/// state transition (e.g. OFFLINE -> ONLINE fetches and loads the segment;
+/// paper Figure 4).
+class StateTransitionHandler {
+ public:
+  virtual ~StateTransitionHandler() = default;
+  virtual Status OnSegmentStateTransition(const std::string& table,
+                                          const std::string& segment,
+                                          SegmentState from,
+                                          SegmentState to) = 0;
+
+  /// Helix-style user-defined message (used for table reloads and
+  /// on-demand index creation, paper sections 4.1 / 5.2).
+  virtual Status OnUserMessage(const std::string& type,
+                               const std::string& payload) {
+    (void)type;
+    (void)payload;
+    return Status::NotImplemented("no user-message handler");
+  }
+};
+
+/// instance id -> state, for one segment.
+using InstanceStates = std::map<std::string, SegmentState>;
+/// segment -> instance states, for one table.
+using TableView = std::map<std::string, InstanceStates>;
+
+/// In-process reproduction of Apache Helix as Pinot uses it (paper sections
+/// 3.2-3.3): an authoritative *ideal state* owned by controllers, an
+/// *external view* reflecting what servers actually did, state-machine
+/// transition dispatch to participants, liveness, tags for tenant grouping,
+/// and single-master controller leader election.
+///
+/// Transition dispatch is synchronous on the mutating caller's thread;
+/// external-view watchers (brokers) fire after each applied transition,
+/// which reproduces the routing-table refresh flow of section 3.3.2.
+class ClusterManager {
+ public:
+  // --- Instances -----------------------------------------------------------
+
+  /// Registers a participant. `handler` may be null (e.g. broker instances
+  /// that never host segments).
+  void RegisterInstance(const std::string& instance,
+                        const std::vector<std::string>& tags,
+                        StateTransitionHandler* handler);
+
+  /// Simulates instance death/recovery. Death removes the instance from
+  /// every external view (watchers fire); recovery replays the ideal state
+  /// onto the instance, as Helix does when a participant reconnects.
+  void SetInstanceAlive(const std::string& instance, bool alive);
+  bool IsInstanceAlive(const std::string& instance) const;
+
+  std::vector<std::string> GetInstancesWithTag(const std::string& tag) const;
+  std::vector<std::string> GetAliveInstancesWithTag(
+      const std::string& tag) const;
+
+  // --- Ideal state / external view ----------------------------------------
+
+  /// Sets the desired replica states for one segment and dispatches the
+  /// transitions needed to converge live instances.
+  void SetSegmentIdealState(const std::string& table,
+                            const std::string& segment,
+                            const InstanceStates& desired);
+
+  /// Removes a segment entirely (dispatches -> DROPPED transitions).
+  void RemoveSegment(const std::string& table, const std::string& segment);
+
+  TableView GetIdealState(const std::string& table) const;
+  TableView GetExternalView(const std::string& table) const;
+  std::vector<std::string> GetTables() const;
+
+  /// Registers a callback fired whenever any table's external view changes
+  /// (brokers use this to rebuild routing tables). Returns a handle.
+  int WatchExternalView(std::function<void(const std::string& table)> cb);
+  void UnwatchExternalView(int handle);
+
+  /// Delivers a user-defined message to one instance (NotFound/Unavailable
+  /// when missing or dead).
+  Status SendUserMessage(const std::string& instance, const std::string& type,
+                         const std::string& payload);
+
+  /// Delivers a user-defined message to every alive instance with `tag`.
+  void BroadcastUserMessage(const std::string& tag, const std::string& type,
+                            const std::string& payload);
+
+  // --- Controller leadership ------------------------------------------------
+
+  /// Registers a controller for leader election; the first registered (or
+  /// the next alive one after a failure) becomes leader. `on_leadership`
+  /// is invoked with true/false as leadership is gained/lost.
+  void RegisterController(const std::string& controller,
+                          std::function<void(bool)> on_leadership);
+  void DeregisterController(const std::string& controller);
+  std::string leader() const;
+
+ private:
+  struct Instance {
+    std::vector<std::string> tags;
+    StateTransitionHandler* handler = nullptr;
+    bool alive = true;
+  };
+  struct Controller {
+    std::string id;
+    std::function<void(bool)> on_leadership;
+  };
+
+  struct PendingTransition {
+    std::string table;
+    std::string segment;
+    std::string instance;
+    SegmentState from;
+    SegmentState to;
+  };
+
+  // Computes the legal transition path of Figure 3 from `from` to `to`.
+  static std::vector<SegmentState> TransitionPath(SegmentState from,
+                                                  SegmentState to);
+
+  // Diffs ideal vs external for (table, segment, instance); appends needed
+  // hops. Caller holds mutex_.
+  void PlanTransitionsLocked(const std::string& table,
+                             const std::string& segment,
+                             std::vector<PendingTransition>* plan);
+
+  void ExecuteTransitions(std::vector<PendingTransition> plan);
+  void NotifyViewWatchers(const std::string& table);
+  void ElectLeaderLocked(std::vector<std::function<void()>>* callbacks);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Instance> instances_;
+  std::map<std::string, TableView> ideal_state_;    // table -> view
+  std::map<std::string, TableView> external_view_;  // table -> view
+  std::vector<std::pair<int, std::function<void(const std::string&)>>>
+      view_watchers_;
+  int next_watch_handle_ = 1;
+  std::vector<Controller> controllers_;
+  std::string leader_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_CLUSTER_CLUSTER_MANAGER_H_

@@ -1,0 +1,423 @@
+#include "cluster/controller.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "segment/segment.h"
+#include "stream/stream.h"
+
+namespace pinot {
+
+Controller::Controller(std::string id, ClusterContext ctx, Options options)
+    : id_(std::move(id)), ctx_(std::move(ctx)), options_(options) {}
+
+Controller::Controller(std::string id, ClusterContext ctx)
+    : Controller(std::move(id), std::move(ctx), Options()) {}
+
+void Controller::Start() {
+  ctx_.cluster->RegisterController(id_, [this](bool is_leader) {
+    if (is_leader) {
+      // A fresh, blank completion state machine per leadership term
+      // (paper section 3.3.6: controller failover restarts the FSM).
+      std::lock_guard<std::mutex> lock(mutex_);
+      completion_ = std::make_unique<SegmentCompletionManager>(
+          ctx_.clock, options_.completion_max_wait_millis);
+    }
+    leader_.store(is_leader, std::memory_order_release);
+  });
+}
+
+Status Controller::StoreTableConfig(const TableConfig& config) {
+  ByteWriter writer;
+  config.Serialize(&writer);
+  ctx_.property_store->Set(zkpaths::TableConfigPath(config.PhysicalName()),
+                           writer.TakeBuffer());
+  return Status::OK();
+}
+
+Result<TableConfig> Controller::GetTableConfig(
+    const std::string& physical_table) const {
+  PINOT_ASSIGN_OR_RETURN(
+      std::string encoded,
+      ctx_.property_store->Get(zkpaths::TableConfigPath(physical_table)));
+  ByteReader reader(encoded);
+  return TableConfig::Deserialize(&reader);
+}
+
+std::vector<std::string> Controller::ListTables() const {
+  std::vector<std::string> out;
+  for (const auto& path : ctx_.property_store->ListPrefix("/CONFIGS/")) {
+    out.push_back(path.substr(std::string("/CONFIGS/").size()));
+  }
+  return out;
+}
+
+std::vector<std::string> Controller::PickServers(const TableConfig& config,
+                                                 int count) const {
+  std::vector<std::string> candidates =
+      ctx_.cluster->GetAliveInstancesWithTag(config.server_tenant);
+  // Least-loaded first, by current ideal-state segment count for this table.
+  const TableView ideal = ctx_.cluster->GetIdealState(config.PhysicalName());
+  std::unordered_map<std::string, int> load;
+  for (const auto& [segment, states] : ideal) {
+    for (const auto& [instance, state] : states) ++load[instance];
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&load](const std::string& a, const std::string& b) {
+                     return load[a] < load[b];
+                   });
+  if (static_cast<int>(candidates.size()) > count) candidates.resize(count);
+  return candidates;
+}
+
+std::string Controller::ConsumingSegmentName(
+    const std::string& physical_table, int partition, int sequence) {
+  return physical_table + "__" + std::to_string(partition) + "__" +
+         std::to_string(sequence);
+}
+
+Status Controller::AddTable(const TableConfig& config) {
+  if (!IsLeader()) return Status::Unavailable("not the leader controller");
+  const std::string physical = config.PhysicalName();
+  if (ctx_.property_store->Exists(zkpaths::TableConfigPath(physical))) {
+    return Status::AlreadyExists("table already exists: " + physical);
+  }
+  // Validate before persisting the config so a failed AddTable leaves no
+  // partial state behind.
+  StreamTopic* topic = nullptr;
+  if (config.type == TableType::kRealtime) {
+    if (config.realtime.topic.empty()) {
+      return Status::InvalidArgument("realtime table requires a topic");
+    }
+    topic = ctx_.streams->GetTopic(config.realtime.topic);
+    if (topic == nullptr) {
+      return Status::NotFound("no such stream topic: " +
+                              config.realtime.topic);
+    }
+  }
+  PINOT_RETURN_NOT_OK(StoreTableConfig(config));
+
+  if (config.type == TableType::kRealtime) {
+    // One consuming segment per stream partition, started at the current
+    // earliest retained offset.
+    for (int partition = 0; partition < topic->num_partitions();
+         ++partition) {
+      const std::vector<std::string> instances =
+          PickServers(config, config.num_replicas);
+      if (instances.empty()) {
+        return Status::Unavailable("no servers available for tenant " +
+                                   config.server_tenant);
+      }
+      PINOT_RETURN_NOT_OK(CreateConsumingSegment(
+          config, partition, /*sequence=*/0,
+          topic->EarliestOffset(partition), instances));
+    }
+  }
+  return Status::OK();
+}
+
+Status Controller::UpdateTableConfig(const TableConfig& config) {
+  if (!IsLeader()) return Status::Unavailable("not the leader controller");
+  const std::string physical = config.PhysicalName();
+  if (!ctx_.property_store->Exists(zkpaths::TableConfigPath(physical))) {
+    return Status::NotFound("no such table: " + physical);
+  }
+  return StoreTableConfig(config);
+}
+
+Status Controller::DeleteTable(const std::string& physical_table) {
+  if (!IsLeader()) return Status::Unavailable("not the leader controller");
+  for (const auto& path : ctx_.property_store->ListPrefix(
+           zkpaths::SegmentMetadataPrefix(physical_table))) {
+    const std::string segment =
+        path.substr(zkpaths::SegmentMetadataPrefix(physical_table).size());
+    ctx_.cluster->RemoveSegment(physical_table, segment);
+    (void)ctx_.object_store->Delete(
+        zkpaths::SegmentBlobKey(physical_table, segment));
+    (void)ctx_.property_store->Delete(path);
+  }
+  return ctx_.property_store->Delete(zkpaths::TableConfigPath(physical_table));
+}
+
+Status Controller::CreateConsumingSegment(
+    const TableConfig& config, int partition, int sequence,
+    int64_t start_offset, const std::vector<std::string>& instances) {
+  const std::string physical = config.PhysicalName();
+  const std::string segment =
+      ConsumingSegmentName(physical, partition, sequence);
+  SegmentZkMetadata meta;
+  meta.state = SegmentZkMetadata::State::kInProgress;
+  meta.partition = partition;
+  meta.start_offset = start_offset;
+  meta.sequence = sequence;
+  ctx_.property_store->Set(zkpaths::SegmentMetadataPath(physical, segment),
+                           meta.Encode());
+  InstanceStates desired;
+  for (const auto& instance : instances) {
+    desired[instance] = SegmentState::kConsuming;
+  }
+  ctx_.cluster->SetSegmentIdealState(physical, segment, desired);
+  return Status::OK();
+}
+
+void Controller::UpdateTimeBoundary(const std::string& physical_table) {
+  // Only offline tables define the hybrid time boundary (section 3.3.3).
+  const std::string suffix = "_OFFLINE";
+  if (physical_table.size() <= suffix.size() ||
+      physical_table.compare(physical_table.size() - suffix.size(),
+                             suffix.size(), suffix) != 0) {
+    return;
+  }
+  const std::string logical =
+      physical_table.substr(0, physical_table.size() - suffix.size());
+  int64_t max_time = INT64_MIN;
+  for (const auto& path : ctx_.property_store->ListPrefix(
+           zkpaths::SegmentMetadataPrefix(physical_table))) {
+    auto encoded = ctx_.property_store->Get(path);
+    if (!encoded.ok()) continue;
+    auto meta = SegmentZkMetadata::Decode(*encoded);
+    if (!meta.ok()) continue;
+    max_time = std::max(max_time, meta->max_time);
+  }
+  if (max_time != INT64_MIN) {
+    ctx_.property_store->Set(zkpaths::TimeBoundaryPath(logical),
+                             std::to_string(max_time));
+  }
+}
+
+Status Controller::UploadSegment(const std::string& physical_table,
+                                 const std::string& blob) {
+  if (!IsLeader()) return Status::Unavailable("not the leader controller");
+  PINOT_ASSIGN_OR_RETURN(TableConfig config, GetTableConfig(physical_table));
+
+  // "Unpacks it to ensure its integrity" — deserialization verifies the
+  // CRC envelope (section 3.3.5).
+  PINOT_ASSIGN_OR_RETURN(std::shared_ptr<ImmutableSegment> segment,
+                         ImmutableSegment::DeserializeFromBlob(blob));
+  const std::string& segment_name = segment->metadata().segment_name;
+  if (segment_name.empty()) {
+    return Status::InvalidArgument("segment has no name");
+  }
+
+  // Quota check: projected table size after this upload.
+  const std::string blob_key =
+      zkpaths::SegmentBlobKey(physical_table, segment_name);
+  if (config.quota_bytes >= 0) {
+    uint64_t current = ctx_.object_store->BytesUnderPrefix(
+        "segments/" + physical_table + "/");
+    auto existing = ctx_.object_store->Get(blob_key);
+    if (existing.ok()) current -= existing->size();
+    if (current + blob.size() > static_cast<uint64_t>(config.quota_bytes)) {
+      return Status::QuotaExceeded("table over quota: " + physical_table);
+    }
+  }
+
+  const bool replace =
+      ctx_.property_store->Exists(
+          zkpaths::SegmentMetadataPath(physical_table, segment_name));
+
+  ctx_.object_store->Put(blob_key, blob);
+  SegmentZkMetadata meta;
+  meta.state = SegmentZkMetadata::State::kDone;
+  meta.partition = segment->metadata().partition_id;
+  meta.min_time = segment->metadata().min_time;
+  meta.max_time = segment->metadata().max_time;
+  meta.crc = Crc32(blob);
+  ctx_.property_store->Set(
+      zkpaths::SegmentMetadataPath(physical_table, segment_name),
+      meta.Encode());
+  UpdateTimeBoundary(physical_table);
+
+  if (replace) {
+    // Refresh in place: bounce replicas through OFFLINE so they reload the
+    // new blob ("segments themselves can be replaced with a newer
+    // version", section 3.1).
+    TableView ideal = ctx_.cluster->GetIdealState(physical_table);
+    auto it = ideal.find(segment_name);
+    if (it != ideal.end()) {
+      InstanceStates offline_states;
+      for (const auto& [instance, state] : it->second) {
+        offline_states[instance] = SegmentState::kOffline;
+      }
+      ctx_.cluster->SetSegmentIdealState(physical_table, segment_name,
+                                         offline_states);
+      ctx_.cluster->SetSegmentIdealState(physical_table, segment_name,
+                                         it->second);
+      return Status::OK();
+    }
+  }
+  const std::vector<std::string> instances =
+      PickServers(config, config.num_replicas);
+  if (instances.empty()) {
+    return Status::Unavailable("no servers available for tenant " +
+                               config.server_tenant);
+  }
+  InstanceStates desired;
+  for (const auto& instance : instances) {
+    desired[instance] = SegmentState::kOnline;
+  }
+  ctx_.cluster->SetSegmentIdealState(physical_table, segment_name, desired);
+  return Status::OK();
+}
+
+Status Controller::DeleteSegment(const std::string& physical_table,
+                                 const std::string& segment) {
+  if (!IsLeader()) return Status::Unavailable("not the leader controller");
+  ctx_.cluster->RemoveSegment(physical_table, segment);
+  (void)ctx_.object_store->Delete(
+      zkpaths::SegmentBlobKey(physical_table, segment));
+  PINOT_RETURN_NOT_OK(ctx_.property_store->Delete(
+      zkpaths::SegmentMetadataPath(physical_table, segment)));
+  UpdateTimeBoundary(physical_table);
+  return Status::OK();
+}
+
+Status Controller::AddColumn(const std::string& physical_table,
+                             const FieldSpec& field) {
+  if (!IsLeader()) return Status::Unavailable("not the leader controller");
+  PINOT_ASSIGN_OR_RETURN(TableConfig config, GetTableConfig(physical_table));
+  PINOT_RETURN_NOT_OK(config.schema.AddField(field));
+  PINOT_RETURN_NOT_OK(StoreTableConfig(config));
+  // Servers default-fill the new column on their hosted segments within a
+  // reload pass (section 5.2: "made available within a few minutes").
+  ctx_.cluster->BroadcastUserMessage(config.server_tenant, "reload_table",
+                                     physical_table);
+  return Status::OK();
+}
+
+Status Controller::RequestInvertedIndex(const std::string& physical_table,
+                                        const std::string& column) {
+  if (!IsLeader()) return Status::Unavailable("not the leader controller");
+  PINOT_ASSIGN_OR_RETURN(TableConfig config, GetTableConfig(physical_table));
+  ctx_.cluster->BroadcastUserMessage(config.server_tenant,
+                                     "create_inverted_index",
+                                     physical_table + "\n" + column);
+  return Status::OK();
+}
+
+int Controller::RunRetentionManager() {
+  if (!IsLeader()) return 0;
+  int removed = 0;
+  for (const auto& physical : ListTables()) {
+    auto config = GetTableConfig(physical);
+    if (!config.ok() || config->retention_time_units < 0) continue;
+    const int64_t now_units =
+        ctx_.clock->NowMillis() / config->time_unit_millis;
+    const int64_t cutoff = now_units - config->retention_time_units;
+    for (const auto& path : ctx_.property_store->ListPrefix(
+             zkpaths::SegmentMetadataPrefix(physical))) {
+      auto encoded = ctx_.property_store->Get(path);
+      if (!encoded.ok()) continue;
+      auto meta = SegmentZkMetadata::Decode(*encoded);
+      if (!meta.ok()) continue;
+      if (meta->state != SegmentZkMetadata::State::kDone) continue;
+      if (meta->max_time >= cutoff) continue;
+      const std::string segment =
+          path.substr(zkpaths::SegmentMetadataPrefix(physical).size());
+      PINOT_LOG_INFO << "retention GC dropping " << physical << "/"
+                     << segment;
+      if (DeleteSegment(physical, segment).ok()) ++removed;
+    }
+  }
+  return removed;
+}
+
+void Controller::ScheduleTask(Task task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tasks_.push_back(std::move(task));
+}
+
+std::optional<Controller::Task> Controller::FetchTask() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tasks_.empty()) return std::nullopt;
+  Task task = std::move(tasks_.front());
+  tasks_.pop_front();
+  return task;
+}
+
+size_t Controller::PendingTaskCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+CompletionResponse Controller::SegmentConsumedUntil(
+    const std::string& physical_table, const std::string& segment,
+    const std::string& server, int64_t offset) {
+  if (!IsLeader()) return {CompletionInstruction::kNotLeader, -1};
+  auto config = GetTableConfig(physical_table);
+  const int num_replicas = config.ok() ? config->num_replicas : 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (completion_ == nullptr) return {CompletionInstruction::kNotLeader, -1};
+  return completion_->OnSegmentConsumed(segment, server, offset,
+                                        num_replicas);
+}
+
+Status Controller::CommitSegment(const std::string& physical_table,
+                                 const std::string& segment,
+                                 const std::string& server, int64_t offset,
+                                 const std::string& blob) {
+  if (!IsLeader()) return Status::Unavailable("not the leader controller");
+  SegmentCompletionManager* completion;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (completion_ == nullptr) {
+      return Status::Unavailable("completion manager not initialized");
+    }
+    completion = completion_.get();
+  }
+  PINOT_RETURN_NOT_OK(completion->OnCommitStart(segment, server, offset));
+
+  auto parsed = ImmutableSegment::DeserializeFromBlob(blob);
+  if (!parsed.ok()) {
+    completion->OnCommitFailure(segment);
+    return parsed.status();
+  }
+
+  // Read the consuming-segment metadata for partition/sequence.
+  auto encoded = ctx_.property_store->Get(
+      zkpaths::SegmentMetadataPath(physical_table, segment));
+  if (!encoded.ok()) {
+    completion->OnCommitFailure(segment);
+    return encoded.status();
+  }
+  auto meta = SegmentZkMetadata::Decode(*encoded);
+  if (!meta.ok()) {
+    completion->OnCommitFailure(segment);
+    return meta.status();
+  }
+
+  ctx_.object_store->Put(zkpaths::SegmentBlobKey(physical_table, segment),
+                         blob);
+  meta->state = SegmentZkMetadata::State::kDone;
+  meta->end_offset = offset;
+  meta->min_time = (*parsed)->metadata().min_time;
+  meta->max_time = (*parsed)->metadata().max_time;
+  meta->crc = Crc32(blob);
+  ctx_.property_store->Set(
+      zkpaths::SegmentMetadataPath(physical_table, segment), meta->Encode());
+  completion->OnCommitSuccess(segment, offset);
+
+  // Flip the committed segment's replicas to ONLINE...
+  TableView ideal = ctx_.cluster->GetIdealState(physical_table);
+  auto it = ideal.find(segment);
+  std::vector<std::string> instances;
+  if (it != ideal.end()) {
+    InstanceStates online;
+    for (const auto& [instance, state] : it->second) {
+      online[instance] = SegmentState::kOnline;
+      instances.push_back(instance);
+    }
+    ctx_.cluster->SetSegmentIdealState(physical_table, segment, online);
+  }
+  // ... and start the next consuming segment at the committed offset.
+  auto config = GetTableConfig(physical_table);
+  if (config.ok() && !instances.empty()) {
+    PINOT_RETURN_NOT_OK(CreateConsumingSegment(
+        *config, meta->partition, meta->sequence + 1, offset, instances));
+  }
+  return Status::OK();
+}
+
+}  // namespace pinot

@@ -1,0 +1,130 @@
+#ifndef PINOT_CLUSTER_CONTROLLER_H_
+#define PINOT_CLUSTER_CONTROLLER_H_
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_context.h"
+#include "cluster/cluster_manager.h"
+#include "cluster/object_store.h"
+#include "cluster/property_store.h"
+#include "cluster/table_config.h"
+#include "realtime/completion.h"
+
+namespace pinot {
+
+/// The Pinot controller (paper section 3.2): owns the authoritative
+/// segment-to-server mapping, handles segment uploads (Figure 8), table
+/// administration, retention garbage collection, live schema additions
+/// (section 5.2), the realtime segment completion protocol (section 3.3.6),
+/// and the minion task queue. Three controllers typically run per
+/// datacenter with a single Helix-elected master; non-leader controllers
+/// answer NOTLEADER / FailedPrecondition and otherwise idle.
+class Controller : public ControllerApi {
+ public:
+  struct Options {
+    // Max time the completion FSM waits for all replicas to poll before
+    // deciding a committer.
+    int64_t completion_max_wait_millis = 3000;
+  };
+
+  /// A maintenance task executed by minions (paper section 3.2).
+  struct Task {
+    std::string type;
+    std::string physical_table;
+    std::string segment;
+    std::string payload;
+  };
+
+  Controller(std::string id, ClusterContext ctx, Options options);
+  Controller(std::string id, ClusterContext ctx);
+
+  /// Registers with the cluster manager and joins leader election.
+  void Start();
+
+  const std::string& id() const { return id_; }
+  bool IsLeader() const { return leader_.load(std::memory_order_acquire); }
+
+  // --- Table administration (the controller "REST API") --------------------
+
+  /// Creates a table: persists the config and, for realtime tables, creates
+  /// the initial CONSUMING segment for every stream partition.
+  Status AddTable(const TableConfig& config);
+
+  /// Replaces a table's config (the source-control config sync of section
+  /// 5.2). The schema must be evolved through AddColumn.
+  Status UpdateTableConfig(const TableConfig& config);
+
+  Result<TableConfig> GetTableConfig(const std::string& physical_table) const;
+  std::vector<std::string> ListTables() const;
+  Status DeleteTable(const std::string& physical_table);
+
+  /// Segment upload (paper section 3.3.5): verifies integrity via the
+  /// blob's CRC envelope, enforces the table quota, persists the blob,
+  /// writes metadata, and assigns replicas to ONLINE. Re-uploading an
+  /// existing segment name atomically replaces it.
+  Status UploadSegment(const std::string& physical_table,
+                       const std::string& blob);
+
+  Status DeleteSegment(const std::string& physical_table,
+                       const std::string& segment);
+
+  /// Adds a column to a live table (section 5.2): evolves the stored
+  /// schema and tells every server to default-fill existing segments.
+  Status AddColumn(const std::string& physical_table, const FieldSpec& field);
+
+  /// Tells every server hosting the table to build an inverted index on
+  /// `column` (the automated index advisor's action, section 5.2).
+  Status RequestInvertedIndex(const std::string& physical_table,
+                              const std::string& column);
+
+  /// Garbage-collects segments past the table retention (section 3.2).
+  /// Returns the number of segments removed.
+  int RunRetentionManager();
+
+  // --- Minion task queue ----------------------------------------------------
+
+  void ScheduleTask(Task task);
+  std::optional<Task> FetchTask();
+  size_t PendingTaskCount() const;
+
+  // --- ControllerApi (realtime completion protocol) -------------------------
+
+  CompletionResponse SegmentConsumedUntil(const std::string& physical_table,
+                                          const std::string& segment,
+                                          const std::string& server,
+                                          int64_t offset) override;
+
+  Status CommitSegment(const std::string& physical_table,
+                       const std::string& segment, const std::string& server,
+                       int64_t offset, const std::string& blob) override;
+
+ private:
+  Status StoreTableConfig(const TableConfig& config);
+  std::vector<std::string> PickServers(const TableConfig& config,
+                                       int count) const;
+  Status CreateConsumingSegment(const TableConfig& config, int partition,
+                                int sequence, int64_t start_offset,
+                                const std::vector<std::string>& instances);
+  void UpdateTimeBoundary(const std::string& physical_table);
+  static std::string ConsumingSegmentName(const std::string& physical_table,
+                                          int partition, int sequence);
+
+  const std::string id_;
+  ClusterContext ctx_;
+  const Options options_;
+  std::atomic<bool> leader_{false};
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<SegmentCompletionManager> completion_;
+  std::deque<Task> tasks_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_CLUSTER_CONTROLLER_H_

@@ -1,0 +1,100 @@
+#include "cluster/index_advisor.h"
+
+#include <algorithm>
+
+namespace pinot {
+
+void IndexAdvisor::CollectFilterColumns(const FilterNode& node,
+                                        std::vector<std::string>* out) {
+  switch (node.kind) {
+    case FilterNode::Kind::kLeaf:
+      out->push_back(node.predicate.column);
+      return;
+    case FilterNode::Kind::kAnd:
+    case FilterNode::Kind::kOr:
+      for (const auto& child : node.children) {
+        CollectFilterColumns(child, out);
+      }
+      return;
+  }
+}
+
+void IndexAdvisor::RecordQuery(const std::string& physical_table,
+                               const Query& query, uint64_t docs_scanned) {
+  std::vector<std::string> columns;
+  if (query.filter.has_value()) {
+    CollectFilterColumns(*query.filter, &columns);
+  }
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  TableLog& log = logs_[physical_table];
+  ++log.queries;
+  log.docs_scanned += docs_scanned;
+  for (const auto& column : columns) {
+    ++log.columns[column].filter_count;
+  }
+}
+
+std::vector<IndexAdvisor::Recommendation> IndexAdvisor::Analyze(
+    const TableConfig& config) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Recommendation> out;
+  auto it = logs_.find(config.PhysicalName());
+  if (it == logs_.end()) return out;
+  const TableLog& log = it->second;
+  if (log.queries == 0) return out;
+  const double avg_scanned =
+      static_cast<double>(log.docs_scanned) / log.queries;
+  if (avg_scanned < options_.min_avg_docs_scanned) return out;
+
+  const std::string sorted_column =
+      config.sort_columns.empty() ? "" : config.sort_columns.front();
+  for (const auto& [column, stats] : log.columns) {
+    if (stats.filter_count < options_.min_filter_count) continue;
+    if (column == sorted_column) continue;  // Served by the sorted layout.
+    if (std::find(config.inverted_index_columns.begin(),
+                  config.inverted_index_columns.end(),
+                  column) != config.inverted_index_columns.end()) {
+      continue;  // Already indexed.
+    }
+    const FieldSpec* field = config.schema.GetField(column);
+    if (field == nullptr || field->role == FieldRole::kMetric) continue;
+    out.push_back({config.PhysicalName(), column, stats.filter_count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              return a.filter_count > b.filter_count;
+            });
+  return out;
+}
+
+std::vector<IndexAdvisor::Recommendation> IndexAdvisor::Apply(
+    Controller* controller, const std::string& physical_table) {
+  auto config = controller->GetTableConfig(physical_table);
+  if (!config.ok()) return {};
+  std::vector<Recommendation> recommendations = Analyze(*config);
+  if (recommendations.empty()) return recommendations;
+
+  // Future segments get the index at build time...
+  for (const auto& rec : recommendations) {
+    config->inverted_index_columns.push_back(rec.column);
+  }
+  (void)controller->UpdateTableConfig(*config);
+  // ...and servers build it on already-loaded segments now (the
+  // append-only index file of section 3.2 allows this without a rebuild).
+  for (const auto& rec : recommendations) {
+    (void)controller->RequestInvertedIndex(physical_table, rec.column);
+  }
+  return recommendations;
+}
+
+uint64_t IndexAdvisor::logged_queries(
+    const std::string& physical_table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = logs_.find(physical_table);
+  return it == logs_.end() ? 0 : it->second.queries;
+}
+
+}  // namespace pinot

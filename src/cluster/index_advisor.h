@@ -1,0 +1,81 @@
+#ifndef PINOT_CLUSTER_INDEX_ADVISOR_H_
+#define PINOT_CLUSTER_INDEX_ADVISOR_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/controller.h"
+#include "cluster/table_config.h"
+#include "query/query.h"
+
+namespace pinot {
+
+/// The automated index advisor (paper section 5.2): "We also parse the
+/// query logs and execution statistics on an ongoing basis in order to
+/// automatically add inverted indexes on columns where they would prove
+/// beneficial." Brokers record every executed query into the log; the
+/// advisor counts how often each column appears in filter predicates,
+/// weighted by the documents scanned, and asks the controller to build
+/// inverted indexes on heavily-filtered columns that have neither an
+/// inverted index nor the sorted layout.
+class IndexAdvisor {
+ public:
+  struct Options {
+    // Minimum number of logged queries filtering on a column before it is
+    // considered.
+    uint64_t min_filter_count = 100;
+    // Minimum average documents scanned per query on the table before an
+    // index is worth building.
+    double min_avg_docs_scanned = 1000;
+  };
+
+  struct Recommendation {
+    std::string physical_table;
+    std::string column;
+    uint64_t filter_count = 0;
+  };
+
+  IndexAdvisor() : IndexAdvisor(Options()) {}
+  explicit IndexAdvisor(Options options) : options_(options) {}
+
+  /// Records one executed query and its execution statistics (called by
+  /// the broker or an offline log-processing job).
+  void RecordQuery(const std::string& physical_table, const Query& query,
+                   uint64_t docs_scanned);
+
+  /// Analyzes the log against the table's current config and returns the
+  /// columns that should get inverted indexes.
+  std::vector<Recommendation> Analyze(const TableConfig& config) const;
+
+  /// Analyze + apply: sends RequestInvertedIndex to the controller for
+  /// every recommendation and updates the stored table config so future
+  /// segments are built with the index. Returns the applied
+  /// recommendations.
+  std::vector<Recommendation> Apply(Controller* controller,
+                                    const std::string& physical_table);
+
+  uint64_t logged_queries(const std::string& physical_table) const;
+
+ private:
+  struct ColumnStatsEntry {
+    uint64_t filter_count = 0;
+  };
+  struct TableLog {
+    uint64_t queries = 0;
+    uint64_t docs_scanned = 0;
+    std::map<std::string, ColumnStatsEntry> columns;
+  };
+
+  static void CollectFilterColumns(const FilterNode& node,
+                                   std::vector<std::string>* out);
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, TableLog> logs_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_CLUSTER_INDEX_ADVISOR_H_

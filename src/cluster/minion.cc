@@ -1,0 +1,124 @@
+#include "cluster/minion.h"
+
+#include "cluster/cluster_manager.h"
+#include "cluster/object_store.h"
+#include "common/logging.h"
+#include "query/filter_evaluator.h"
+#include "segment/row_extract.h"
+#include "segment/segment_builder.h"
+
+namespace pinot {
+
+Minion::Minion(std::string id, ClusterContext ctx, Controller* controller)
+    : id_(std::move(id)), ctx_(std::move(ctx)), controller_(controller) {}
+
+void Minion::Start() {
+  ctx_.cluster->RegisterInstance(id_, {"minion"}, nullptr);
+  RegisterExecutor("purge", RunPurgeTask);
+}
+
+void Minion::RegisterExecutor(const std::string& type,
+                              TaskExecutor executor) {
+  executors_[type] = std::move(executor);
+}
+
+int Minion::ProcessTasks(int max_tasks) {
+  int executed = 0;
+  for (int i = 0; i < max_tasks; ++i) {
+    auto task = controller_->FetchTask();
+    if (!task.has_value()) break;
+    auto it = executors_.find(task->type);
+    if (it == executors_.end()) {
+      PINOT_LOG_WARN << id_ << ": no executor for task type " << task->type;
+      continue;
+    }
+    Status st = it->second(*task, *this);
+    if (st.ok()) {
+      ++executed;
+    } else {
+      PINOT_LOG_WARN << id_ << ": task " << task->type << " on "
+                     << task->physical_table << "/" << task->segment
+                     << " failed: " << st.ToString();
+    }
+  }
+  return executed;
+}
+
+Status RunPurgeTask(const Controller::Task& task, Minion& minion) {
+  const size_t newline = task.payload.find('\n');
+  if (newline == std::string::npos) {
+    return Status::InvalidArgument("bad purge payload");
+  }
+  const std::string column = task.payload.substr(0, newline);
+  const std::string value_text = task.payload.substr(newline + 1);
+
+  // Download.
+  PINOT_ASSIGN_OR_RETURN(
+      std::string blob,
+      minion.ctx().object_store->Get(
+          zkpaths::SegmentBlobKey(task.physical_table, task.segment)));
+  PINOT_ASSIGN_OR_RETURN(std::shared_ptr<ImmutableSegment> segment,
+                         ImmutableSegment::DeserializeFromBlob(blob));
+
+  const ColumnReader* target = segment->GetColumn(column);
+  if (target == nullptr) {
+    return Status::NotFound("purge column not in segment: " + column);
+  }
+
+  // Rebuild the original build configuration from the segment itself so
+  // the rewritten segment keeps its indexes.
+  SegmentBuildConfig config;
+  config.table_name = segment->metadata().table_name;
+  config.segment_name = segment->metadata().segment_name;
+  if (!segment->metadata().sorted_column.empty()) {
+    config.sort_columns = {segment->metadata().sorted_column};
+  }
+  for (const auto& field : segment->schema().fields()) {
+    const ColumnReader* reader = segment->GetColumn(field.name);
+    if (reader != nullptr && reader->inverted_index() != nullptr) {
+      config.inverted_index_columns.push_back(field.name);
+    }
+  }
+  if (segment->star_tree() != nullptr) {
+    config.star_tree = segment->star_tree()->config();
+  }
+  config.partition_id = segment->metadata().partition_id;
+  config.partition_column = segment->metadata().partition_column;
+  config.num_partitions = segment->metadata().num_partitions;
+
+  // Expunge: match the rendered value against the column's value domain.
+  Predicate pred;
+  pred.column = column;
+  pred.op = PredicateOp::kEq;
+  switch (target->dictionary().storage()) {
+    case Dictionary::Storage::kInt64:
+      pred.values.emplace_back(static_cast<int64_t>(
+          std::strtoll(value_text.c_str(), nullptr, 10)));
+      break;
+    case Dictionary::Storage::kDouble:
+      pred.values.emplace_back(std::strtod(value_text.c_str(), nullptr));
+      break;
+    case Dictionary::Storage::kString:
+      pred.values.emplace_back(value_text);
+      break;
+  }
+  FilterEvaluator evaluator(*segment, nullptr);
+  std::optional<FilterNode> filter;
+  filter.emplace(FilterNode::Leaf(std::move(pred)));
+  PINOT_ASSIGN_OR_RETURN(DocIdSet purged, evaluator.Evaluate(filter));
+  RoaringBitmap purged_bitmap = purged.ToBitmap();
+
+  SegmentBuilder builder(segment->schema(), config, minion.ctx().clock);
+  for (uint32_t doc = 0; doc < segment->num_docs(); ++doc) {
+    if (purged_bitmap.Contains(doc)) continue;
+    PINOT_RETURN_NOT_OK(builder.AddRow(ExtractRow(*segment, doc)));
+  }
+  PINOT_ASSIGN_OR_RETURN(std::shared_ptr<ImmutableSegment> rebuilt,
+                         builder.Build());
+
+  // Re-upload under the same name (atomic replace through the controller).
+  return minion.controller()->UploadSegment(task.physical_table,
+                                            rebuilt->SerializeToBlob());
+}
+
+}  // namespace pinot

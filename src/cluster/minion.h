@@ -1,0 +1,56 @@
+#ifndef PINOT_CLUSTER_MINION_H_
+#define PINOT_CLUSTER_MINION_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "cluster/cluster_context.h"
+#include "cluster/controller.h"
+
+namespace pinot {
+
+/// A Pinot minion (paper section 3.2): executes compute-intensive
+/// maintenance tasks scheduled by the controller. The task registry is
+/// extensible ("the task management and scheduling is extensible to add
+/// new job and schedule types"); the built-in purge task implements the
+/// legally-required record expunging flow described in the paper.
+class Minion {
+ public:
+  /// Executors receive the task and the minion (for cluster access) and
+  /// return the task outcome.
+  using TaskExecutor =
+      std::function<Status(const Controller::Task&, Minion&)>;
+
+  Minion(std::string id, ClusterContext ctx, Controller* controller);
+
+  /// Registers with the cluster and installs the built-in "purge"
+  /// executor.
+  void Start();
+
+  const std::string& id() const { return id_; }
+  ClusterContext& ctx() { return ctx_; }
+  Controller* controller() { return controller_; }
+
+  void RegisterExecutor(const std::string& type, TaskExecutor executor);
+
+  /// Polls the controller's task queue and runs up to `max_tasks` tasks.
+  /// Returns the number executed successfully.
+  int ProcessTasks(int max_tasks = 1000);
+
+ private:
+  const std::string id_;
+  ClusterContext ctx_;
+  Controller* const controller_;
+  std::map<std::string, TaskExecutor> executors_;
+};
+
+/// Built-in purge executor. Task payload: "<column>\n<rendered value>".
+/// Downloads the segment, drops every record whose `column` equals the
+/// value, rebuilds the segment with its original indexes, and re-uploads
+/// it under the same name (atomic replace).
+Status RunPurgeTask(const Controller::Task& task, Minion& minion);
+
+}  // namespace pinot
+
+#endif  // PINOT_CLUSTER_MINION_H_

@@ -1,0 +1,44 @@
+#include "cluster/object_store.h"
+
+namespace pinot {
+
+void ObjectStore::Put(const std::string& key, std::string blob) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blobs_[key] = std::move(blob);
+}
+
+Result<std::string> ObjectStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return Status::NotFound("no such object: " + key);
+  return it->second;
+}
+
+bool ObjectStore::Exists(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blobs_.count(key) > 0;
+}
+
+Status ObjectStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (blobs_.erase(key) == 0) {
+    return Status::NotFound("no such object: " + key);
+  }
+  return Status::OK();
+}
+
+uint64_t ObjectStore::BytesUnderPrefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [key, blob] : blobs_) {
+    if (key.compare(0, prefix.size(), prefix) == 0) total += blob.size();
+  }
+  return total;
+}
+
+size_t ObjectStore::object_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blobs_.size();
+}
+
+}  // namespace pinot

@@ -1,0 +1,42 @@
+#ifndef PINOT_CLUSTER_OBJECT_STORE_H_
+#define PINOT_CLUSTER_OBJECT_STORE_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+
+namespace pinot {
+
+/// Durable blob store for segment data (paper sections 3.2, 3.4: "all
+/// persistent data is stored in the durable object storage system ...
+/// local storage is only used as a cache"). At LinkedIn this is an NFS
+/// mount or Azure Disk; here it is an in-memory map with the same
+/// semantics: whole-object put/get and atomic replace (segment data is
+/// immutable, but "segments themselves can be replaced with a newer
+/// version").
+class ObjectStore {
+ public:
+  void Put(const std::string& key, std::string blob);
+
+  Result<std::string> Get(const std::string& key) const;
+
+  bool Exists(const std::string& key) const;
+
+  Status Delete(const std::string& key);
+
+  /// Total bytes stored under keys starting with `prefix` (used by the
+  /// controller's table quota check, section 3.3.5).
+  uint64_t BytesUnderPrefix(const std::string& prefix) const;
+
+  size_t object_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::string> blobs_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_CLUSTER_OBJECT_STORE_H_

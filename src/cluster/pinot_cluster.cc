@@ -1,0 +1,99 @@
+#include "cluster/pinot_cluster.h"
+
+namespace pinot {
+
+PinotCluster::PinotCluster(PinotClusterOptions options)
+    : streams_(options.clock != nullptr ? options.clock
+                                        : RealClock::Instance()) {
+  ctx_.clock =
+      options.clock != nullptr ? options.clock : RealClock::Instance();
+  ctx_.cluster = &cluster_;
+  ctx_.property_store = &property_store_;
+  ctx_.object_store = &object_store_;
+  ctx_.streams = &streams_;
+  ctx_.leader_controller = [this]() -> ControllerApi* {
+    return leader_controller();
+  };
+  ctx_.server_endpoint = [this](const std::string& id) -> QueryServerApi* {
+    for (auto& server : servers_) {
+      if (server->id() == id) return server.get();
+    }
+    return nullptr;
+  };
+
+  for (int i = 0; i < options.num_controllers; ++i) {
+    controllers_.push_back(std::make_unique<Controller>(
+        "controller-" + std::to_string(i), ctx_, options.controller_options));
+    controllers_.back()->Start();
+  }
+  for (int i = 0; i < options.num_servers; ++i) {
+    servers_.push_back(std::make_unique<Server>(
+        "server-" + std::to_string(i), ctx_, options.server_options));
+    servers_.back()->Start();
+  }
+  for (int i = 0; i < options.num_brokers; ++i) {
+    Broker::Options broker_options = options.broker_options;
+    broker_options.seed += static_cast<uint64_t>(i) * 7919;
+    brokers_.push_back(std::make_unique<Broker>(
+        "broker-" + std::to_string(i), ctx_, broker_options));
+    brokers_.back()->Start();
+  }
+  for (int i = 0; i < options.num_minions; ++i) {
+    minions_.push_back(std::make_unique<Minion>(
+        "minion-" + std::to_string(i), ctx_, controllers_[0].get()));
+    minions_.back()->Start();
+  }
+}
+
+PinotCluster::~PinotCluster() = default;
+
+Controller* PinotCluster::leader_controller() {
+  const std::string leader = cluster_.leader();
+  for (auto& controller : controllers_) {
+    if (controller->id() == leader) return controller.get();
+  }
+  return nullptr;
+}
+
+QueryResult PinotCluster::Execute(const std::string& pql) {
+  return brokers_[0]->Execute(pql);
+}
+
+int PinotCluster::ProcessRealtimeTicks(int rounds) {
+  int indexed = 0;
+  for (int round = 0; round < rounds; ++round) {
+    for (auto& server : servers_) {
+      if (cluster_.IsInstanceAlive(server->id())) {
+        indexed += server->ProcessRealtimeTick();
+      }
+    }
+  }
+  return indexed;
+}
+
+void PinotCluster::DrainRealtime(int max_rounds) {
+  for (int round = 0; round < max_rounds; ++round) {
+    if (ProcessRealtimeTicks(1) == 0) {
+      // One extra quiescent round lets completion-protocol polls settle.
+      if (ProcessRealtimeTicks(1) == 0) return;
+    }
+  }
+}
+
+void PinotCluster::KillServer(int i) {
+  cluster_.SetInstanceAlive(servers_[i]->id(), false);
+}
+
+void PinotCluster::ReviveServer(int i) {
+  cluster_.SetInstanceAlive(servers_[i]->id(), true);
+}
+
+void PinotCluster::KillController(int i) {
+  cluster_.SetInstanceAlive(controllers_[i]->id(), false);
+}
+
+void PinotCluster::ReviveController(int i) {
+  cluster_.SetInstanceAlive(controllers_[i]->id(), true);
+}
+
+}  // namespace pinot

@@ -1,0 +1,102 @@
+#ifndef PINOT_CLUSTER_PINOT_CLUSTER_H_
+#define PINOT_CLUSTER_PINOT_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/broker.h"
+#include "cluster/cluster_context.h"
+#include "cluster/cluster_manager.h"
+#include "cluster/controller.h"
+#include "cluster/minion.h"
+#include "cluster/object_store.h"
+#include "cluster/property_store.h"
+#include "cluster/server.h"
+#include "common/clock.h"
+#include "stream/stream.h"
+
+namespace pinot {
+
+/// Wiring options for an in-process Pinot cluster.
+struct PinotClusterOptions {
+  int num_controllers = 1;  // Paper runs three with a single master.
+  int num_servers = 3;
+  int num_brokers = 1;
+  int num_minions = 0;
+  Controller::Options controller_options;
+  Server::Options server_options;
+  Broker::Options broker_options;
+  /// Time source; null uses the process-wide real clock. Tests inject a
+  /// SimulatedClock to drive retention, flush thresholds and the
+  /// completion-protocol timeouts deterministically.
+  Clock* clock = nullptr;
+};
+
+/// An entire Pinot deployment in one process: Zookeeper-sim, object store,
+/// stream registry, controllers (with leader election), servers, brokers,
+/// and minions — wired through in-process endpoints. This is the facade
+/// examples, integration tests, and the QPS benches build on.
+class PinotCluster {
+ public:
+  explicit PinotCluster(PinotClusterOptions options = PinotClusterOptions());
+  ~PinotCluster();
+
+  PinotCluster(const PinotCluster&) = delete;
+  PinotCluster& operator=(const PinotCluster&) = delete;
+
+  // --- Component access -------------------------------------------------------
+
+  ClusterContext& ctx() { return ctx_; }
+  ClusterManager* cluster_manager() { return &cluster_; }
+  PropertyStore* property_store() { return &property_store_; }
+  ObjectStore* object_store() { return &object_store_; }
+  StreamRegistry* streams() { return &streams_; }
+  Clock* clock() { return ctx_.clock; }
+
+  int num_controllers() const { return static_cast<int>(controllers_.size()); }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  int num_brokers() const { return static_cast<int>(brokers_.size()); }
+  Controller* controller(int i) { return controllers_[i].get(); }
+  Server* server(int i) { return servers_[i].get(); }
+  Broker* broker(int i) { return brokers_[i].get(); }
+  Minion* minion(int i) { return minions_[i].get(); }
+
+  /// The current leader controller (null during failover gaps).
+  Controller* leader_controller();
+
+  // --- Convenience ------------------------------------------------------------
+
+  /// Runs a PQL query through broker 0.
+  QueryResult Execute(const std::string& pql);
+
+  /// Ticks realtime consumption on every server `rounds` times; returns
+  /// total rows indexed.
+  int ProcessRealtimeTicks(int rounds = 1);
+
+  /// Drives realtime consumption until all servers report no progress and
+  /// no consuming segment is mid-completion (bounded by `max_rounds`).
+  void DrainRealtime(int max_rounds = 1000);
+
+  // --- Failure injection --------------------------------------------------------
+
+  void KillServer(int i);
+  void ReviveServer(int i);
+  void KillController(int i);
+  void ReviveController(int i);
+
+ private:
+  ClusterManager cluster_;
+  PropertyStore property_store_;
+  ObjectStore object_store_;
+  StreamRegistry streams_;
+  ClusterContext ctx_;
+  std::vector<std::unique_ptr<Controller>> controllers_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+  std::vector<std::unique_ptr<Minion>> minions_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_CLUSTER_PINOT_CLUSTER_H_

@@ -1,0 +1,105 @@
+#include "cluster/property_store.h"
+
+namespace pinot {
+
+void PropertyStore::Set(const std::string& path, std::string value) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entries_[path];
+    entry.value = std::move(value);
+    ++entry.version;
+  }
+  NotifyWatchers(path);
+}
+
+Result<std::string> PropertyStore::Get(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return Status::NotFound("no such path: " + path);
+  return it->second.value;
+}
+
+Result<std::pair<std::string, int64_t>> PropertyStore::GetWithVersion(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return Status::NotFound("no such path: " + path);
+  return std::make_pair(it->second.value, it->second.version);
+}
+
+Status PropertyStore::CompareAndSet(const std::string& path,
+                                    int64_t expected_version,
+                                    std::string value) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(path);
+    const int64_t current = it == entries_.end() ? -1 : it->second.version;
+    if (current != expected_version) {
+      return Status::FailedPrecondition("version mismatch on " + path);
+    }
+    Entry& entry = entries_[path];
+    entry.value = std::move(value);
+    ++entry.version;
+  }
+  NotifyWatchers(path);
+  return Status::OK();
+}
+
+Status PropertyStore::Delete(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.erase(path) == 0) {
+      return Status::NotFound("no such path: " + path);
+    }
+  }
+  NotifyWatchers(path);
+  return Status::OK();
+}
+
+bool PropertyStore::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(path) > 0;
+}
+
+std::vector<std::string> PropertyStore::ListPrefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+int PropertyStore::RegisterWatch(const std::string& prefix, Watcher watcher) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int handle = next_watch_handle_++;
+  watches_.push_back({handle, prefix, std::move(watcher)});
+  return handle;
+}
+
+void PropertyStore::UnregisterWatch(int handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = watches_.begin(); it != watches_.end(); ++it) {
+    if (it->handle == handle) {
+      watches_.erase(it);
+      return;
+    }
+  }
+}
+
+void PropertyStore::NotifyWatchers(const std::string& path) {
+  std::vector<Watcher> to_notify;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& watch : watches_) {
+      if (path.compare(0, watch.prefix.size(), watch.prefix) == 0) {
+        to_notify.push_back(watch.watcher);
+      }
+    }
+  }
+  for (const auto& watcher : to_notify) watcher(path);
+}
+
+}  // namespace pinot

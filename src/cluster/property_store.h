@@ -1,0 +1,73 @@
+#ifndef PINOT_CLUSTER_PROPERTY_STORE_H_
+#define PINOT_CLUSTER_PROPERTY_STORE_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pinot {
+
+/// In-process reproduction of the Zookeeper-backed metadata store (paper
+/// section 3.2: "Zookeeper is used as a persistent metadata store and as
+/// the communication mechanism between nodes in the cluster"). Provides a
+/// versioned path -> value map with compare-and-set and prefix watches;
+/// watch callbacks fire synchronously after each mutation, outside the
+/// store lock.
+class PropertyStore {
+ public:
+  using Watcher = std::function<void(const std::string& path)>;
+
+  /// Creates or overwrites `path`, bumping its version.
+  void Set(const std::string& path, std::string value);
+
+  Result<std::string> Get(const std::string& path) const;
+
+  /// Value plus its version for optimistic concurrency.
+  Result<std::pair<std::string, int64_t>> GetWithVersion(
+      const std::string& path) const;
+
+  /// Writes only when the current version matches `expected_version`
+  /// (use -1 to require the path not exist). Returns FailedPrecondition on
+  /// mismatch.
+  Status CompareAndSet(const std::string& path, int64_t expected_version,
+                       std::string value);
+
+  Status Delete(const std::string& path);
+
+  bool Exists(const std::string& path) const;
+
+  /// Paths that start with `prefix`, sorted.
+  std::vector<std::string> ListPrefix(const std::string& prefix) const;
+
+  /// Registers a watcher over a path prefix; returns a handle for
+  /// UnregisterWatch. The watcher fires on every Set/CompareAndSet/Delete
+  /// under the prefix.
+  int RegisterWatch(const std::string& prefix, Watcher watcher);
+  void UnregisterWatch(int handle);
+
+ private:
+  struct Entry {
+    std::string value;
+    int64_t version = 0;
+  };
+  struct Watch {
+    int handle;
+    std::string prefix;
+    Watcher watcher;
+  };
+
+  void NotifyWatchers(const std::string& path);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::vector<Watch> watches_;
+  int next_watch_handle_ = 1;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_CLUSTER_PROPERTY_STORE_H_

@@ -1,0 +1,403 @@
+#include "cluster/server.h"
+
+#include <chrono>
+#include <thread>
+
+#include "cluster/object_store.h"
+#include "cluster/property_store.h"
+#include "common/logging.h"
+#include "query/table_executor.h"
+#include "stream/stream.h"
+
+namespace pinot {
+
+Server::Server(std::string id, ClusterContext ctx, Options options)
+    : id_(std::move(id)),
+      ctx_(std::move(ctx)),
+      options_(options),
+      pool_(options.num_query_threads),
+      quota_(ctx_.clock) {}
+
+Server::Server(std::string id, ClusterContext ctx)
+    : Server(std::move(id), std::move(ctx), Options()) {}
+
+Server::~Server() = default;
+
+void Server::Start() {
+  ctx_.cluster->RegisterInstance(id_, {"server", options_.tenant_tag}, this);
+}
+
+Result<TableConfig> Server::LoadTableConfig(
+    const std::string& physical_table) const {
+  PINOT_ASSIGN_OR_RETURN(
+      std::string encoded,
+      ctx_.property_store->Get(zkpaths::TableConfigPath(physical_table)));
+  ByteReader reader(encoded);
+  return TableConfig::Deserialize(&reader);
+}
+
+PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
+  PartialResult result;
+  const auto start = std::chrono::steady_clock::now();
+
+  // Tenant admission (paper section 4.5): queries for an exhausted tenant
+  // queue until tokens accrue or the request deadline passes.
+  Status admitted = quota_.AdmitQuery(request.tenant, request.timeout_millis);
+  if (!admitted.ok()) {
+    result.status = admitted;
+    return result;
+  }
+
+  if (options_.artificial_latency_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.artificial_latency_micros));
+  }
+
+  std::vector<std::shared_ptr<SegmentInterface>> to_query;
+  bool touches_consuming = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto table_it = segments_.find(request.physical_table);
+    if (table_it == segments_.end()) {
+      result.status =
+          Status::NotFound("server hosts no segments of table " +
+                           request.physical_table);
+      return result;
+    }
+    for (const auto& segment : request.segments) {
+      auto it = table_it->second.find(segment);
+      if (it == table_it->second.end()) {
+        // Routing raced a segment move; report partial data.
+        result.status = Status::NotFound("segment not hosted: " + segment);
+        continue;
+      }
+      to_query.push_back(it->second);
+      auto consuming_table = consuming_.find(request.physical_table);
+      if (consuming_table != consuming_.end() &&
+          consuming_table->second.count(segment) > 0) {
+        touches_consuming = true;
+      }
+    }
+  }
+
+  // Consuming segments are mutated by the ingestion tick; serialize query
+  // execution with ingestion for them.
+  std::unique_lock<std::mutex> consuming_lock(mutex_, std::defer_lock);
+  if (touches_consuming) consuming_lock.lock();
+
+  PartialResult executed =
+      ExecuteQueryOnSegments(to_query, request.query, &pool_);
+  executed.status = result.status.ok() ? executed.status : result.status;
+  result = std::move(executed);
+
+  const double execution_millis =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      1000.0;
+  // Charge execution time to the tenant's bucket (section 4.5).
+  quota_.RecordExecution(request.tenant, execution_millis);
+  return result;
+}
+
+Status Server::LoadOnlineSegment(const std::string& table,
+                                 const std::string& segment) {
+  PINOT_ASSIGN_OR_RETURN(
+      std::string blob,
+      ctx_.object_store->Get(zkpaths::SegmentBlobKey(table, segment)));
+  PINOT_ASSIGN_OR_RETURN(std::shared_ptr<ImmutableSegment> loaded,
+                         ImmutableSegment::DeserializeFromBlob(blob));
+  std::lock_guard<std::mutex> lock(mutex_);
+  segments_[table][segment] = std::move(loaded);
+  return Status::OK();
+}
+
+Status Server::StartConsuming(const std::string& table,
+                              const std::string& segment) {
+  PINOT_ASSIGN_OR_RETURN(TableConfig config, LoadTableConfig(table));
+  PINOT_ASSIGN_OR_RETURN(
+      std::string encoded,
+      ctx_.property_store->Get(zkpaths::SegmentMetadataPath(table, segment)));
+  PINOT_ASSIGN_OR_RETURN(SegmentZkMetadata meta,
+                         SegmentZkMetadata::Decode(encoded));
+  StreamTopic* topic = ctx_.streams->GetTopic(config.realtime.topic);
+  if (topic == nullptr) {
+    return Status::NotFound("no such topic: " + config.realtime.topic);
+  }
+
+  ConsumingState state;
+  state.segment = std::make_shared<MutableSegment>(config.schema, table,
+                                                   segment, ctx_.clock);
+  state.topic = topic;
+  state.partition = meta.partition;
+  state.offset = meta.start_offset;
+  state.flush_threshold_rows = config.realtime.flush_threshold_rows;
+  state.flush_threshold_millis = config.realtime.flush_threshold_millis;
+  state.consumption_start_millis = ctx_.clock->NowMillis();
+  state.seal_config.table_name = table;
+  state.seal_config.segment_name = segment;
+  state.seal_config.sort_columns = config.sort_columns;
+  state.seal_config.inverted_index_columns = config.inverted_index_columns;
+  state.seal_config.star_tree = config.star_tree;
+  if (!config.partition_column.empty()) {
+    state.seal_config.partition_id = meta.partition;
+    state.seal_config.partition_column = config.partition_column;
+    state.seal_config.num_partitions = config.num_partitions;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  segments_[table][segment] = state.segment;
+  consuming_[table][segment] = std::move(state);
+  return Status::OK();
+}
+
+Status Server::PromoteConsuming(const std::string& table,
+                                const std::string& segment) {
+  // CONSUMING -> ONLINE: use the local sealed copy when the completion
+  // protocol told us to KEEP/COMMIT it; otherwise fetch the authoritative
+  // copy (DISCARD path).
+  std::shared_ptr<ImmutableSegment> sealed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto table_it = consuming_.find(table);
+    if (table_it != consuming_.end()) {
+      auto it = table_it->second.find(segment);
+      if (it != table_it->second.end()) {
+        sealed = it->second.sealed;
+        table_it->second.erase(it);
+      }
+    }
+  }
+  if (sealed != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    segments_[table][segment] = std::move(sealed);
+    return Status::OK();
+  }
+  return LoadOnlineSegment(table, segment);
+}
+
+Status Server::OnSegmentStateTransition(const std::string& table,
+                                        const std::string& segment,
+                                        SegmentState from, SegmentState to) {
+  switch (to) {
+    case SegmentState::kOnline:
+      if (from == SegmentState::kConsuming) {
+        return PromoteConsuming(table, segment);
+      }
+      return LoadOnlineSegment(table, segment);
+    case SegmentState::kConsuming:
+      return StartConsuming(table, segment);
+    case SegmentState::kOffline:
+    case SegmentState::kDropped: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto table_it = segments_.find(table);
+      if (table_it != segments_.end()) {
+        table_it->second.erase(segment);
+        if (table_it->second.empty()) segments_.erase(table_it);
+      }
+      auto consuming_it = consuming_.find(table);
+      if (consuming_it != consuming_.end()) {
+        consuming_it->second.erase(segment);
+        if (consuming_it->second.empty()) consuming_.erase(consuming_it);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("bad transition target");
+}
+
+Status Server::OnUserMessage(const std::string& type,
+                             const std::string& payload) {
+  if (type == "reload_table") {
+    // Live schema addition (section 5.2): default-fill new columns on all
+    // hosted immutable segments of the table.
+    const std::string& table = payload;
+    auto config = LoadTableConfig(table);
+    if (!config.ok()) return config.status();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto table_it = segments_.find(table);
+    if (table_it == segments_.end()) return Status::OK();
+    for (auto& [segment_name, segment] : table_it->second) {
+      auto immutable = std::dynamic_pointer_cast<ImmutableSegment>(segment);
+      if (immutable == nullptr) continue;  // Consuming segments pick the
+                                           // schema up at their next seal.
+      for (const auto& field : config->schema.fields()) {
+        if (immutable->GetColumn(field.name) == nullptr) {
+          PINOT_RETURN_NOT_OK(immutable->AddDefaultColumn(field));
+        }
+      }
+    }
+    return Status::OK();
+  }
+  if (type == "create_inverted_index") {
+    const size_t newline = payload.find('\n');
+    if (newline == std::string::npos) {
+      return Status::InvalidArgument("bad create_inverted_index payload");
+    }
+    const std::string table = payload.substr(0, newline);
+    const std::string column = payload.substr(newline + 1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto table_it = segments_.find(table);
+    if (table_it == segments_.end()) return Status::OK();
+    for (auto& [segment_name, segment] : table_it->second) {
+      auto immutable = std::dynamic_pointer_cast<ImmutableSegment>(segment);
+      if (immutable == nullptr) continue;
+      PINOT_RETURN_NOT_OK(immutable->CreateInvertedIndex(column));
+    }
+    return Status::OK();
+  }
+  return Status::NotImplemented("unknown message type: " + type);
+}
+
+int Server::TickConsuming(const std::string& table,
+                          const std::string& segment, ConsumingState* state) {
+  int indexed = 0;
+  // End criteria: configured row count or consumption time (section
+  // 3.3.6), or an explicit CATCHUP target from the controller.
+  auto reached_end = [&]() {
+    if (state->catchup_target >= 0) return state->offset >= state->catchup_target;
+    if (state->segment->num_docs() >=
+        static_cast<uint32_t>(state->flush_threshold_rows)) {
+      return true;
+    }
+    return ctx_.clock->NowMillis() - state->consumption_start_millis >=
+           state->flush_threshold_millis;
+  };
+
+  while (!reached_end() && indexed < options_.max_fetch_batch) {
+    int64_t limit = options_.max_fetch_batch - indexed;
+    if (state->catchup_target >= 0) {
+      limit = std::min<int64_t>(limit, state->catchup_target - state->offset);
+    }
+    if (limit <= 0) break;
+    auto batch = state->topic->Fetch(state->partition, state->offset,
+                                     static_cast<int>(limit));
+    if (!batch.ok()) {
+      if (batch.status().code() == StatusCode::kOutOfRange) {
+        // The consumer fell behind the stream's retention horizon; jump to
+        // the earliest retained offset (events in between are lost, as
+        // they would be with Kafka).
+        const int64_t earliest =
+            state->topic->EarliestOffset(state->partition);
+        PINOT_LOG_WARN << id_ << " fell behind retention on " << segment
+                       << "; resetting offset " << state->offset << " -> "
+                       << earliest;
+        state->offset = earliest;
+        continue;
+      }
+      PINOT_LOG_ERROR << id_ << " fetch failed for " << segment << ": "
+                      << batch.status().ToString();
+      break;
+    }
+    if (batch->empty()) break;  // Caught up with the stream.
+    for (const auto& message : *batch) {
+      Status st = state->segment->Index(message.row);
+      if (!st.ok()) {
+        PINOT_LOG_WARN << id_ << " failed to index event: " << st.ToString();
+      }
+      state->offset = message.offset + 1;
+      ++indexed;
+      if (reached_end()) break;
+    }
+  }
+
+  if (!reached_end()) return indexed;
+
+  // End criteria reached: run the completion protocol against the leader.
+  ControllerApi* leader =
+      ctx_.leader_controller ? ctx_.leader_controller() : nullptr;
+  if (leader == nullptr) return indexed;
+  const CompletionResponse response =
+      leader->SegmentConsumedUntil(table, segment, id_, state->offset);
+  switch (response.instruction) {
+    case CompletionInstruction::kHold:
+    case CompletionInstruction::kNotLeader:
+      break;  // Poll again next tick.
+    case CompletionInstruction::kCatchup:
+      state->catchup_target = response.target_offset;
+      break;
+    case CompletionInstruction::kKeep: {
+      auto sealed = state->segment->Seal(state->seal_config);
+      if (sealed.ok()) state->sealed = *sealed;
+      break;
+    }
+    case CompletionInstruction::kDiscard:
+      state->sealed = nullptr;  // Promotion will download the winner.
+      break;
+    case CompletionInstruction::kCommit: {
+      auto sealed = state->segment->Seal(state->seal_config);
+      if (!sealed.ok()) {
+        PINOT_LOG_ERROR << id_ << " seal failed: "
+                        << sealed.status().ToString();
+        break;
+      }
+      state->sealed = *sealed;
+      const std::string blob = (*sealed)->SerializeToBlob();
+      Status st =
+          leader->CommitSegment(table, segment, id_, state->offset, blob);
+      if (!st.ok()) {
+        PINOT_LOG_WARN << id_ << " commit rejected for " << segment << ": "
+                       << st.ToString();
+        state->sealed = nullptr;  // Resume polling next tick.
+      }
+      break;
+    }
+  }
+  return indexed;
+}
+
+int Server::ProcessRealtimeTick() {
+  // Snapshot the consuming set, then tick each under the server lock so
+  // ingestion is serialized with queries over mutable segments.
+  std::vector<std::pair<std::string, std::string>> targets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [table, segment_map] : consuming_) {
+      for (const auto& [segment, state] : segment_map) {
+        targets.emplace_back(table, segment);
+      }
+    }
+  }
+  int indexed = 0;
+  for (const auto& [table, segment] : targets) {
+    // The completion protocol may call back into the controller, which can
+    // dispatch CONSUMING->ONLINE transitions back into this server; those
+    // re-enter via OnSegmentStateTransition which takes mutex_, so tick
+    // outside the lock and re-validate the state each iteration.
+    ConsumingState* state = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto table_it = consuming_.find(table);
+      if (table_it == consuming_.end()) continue;
+      auto it = table_it->second.find(segment);
+      if (it == table_it->second.end()) continue;
+      state = &it->second;
+    }
+    indexed += TickConsuming(table, segment, state);
+  }
+  return indexed;
+}
+
+std::vector<std::string> Server::HostedSegments(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  auto it = segments_.find(table);
+  if (it == segments_.end()) return out;
+  for (const auto& [segment, view] : it->second) out.push_back(segment);
+  return out;
+}
+
+uint64_t Server::HostedDataBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [table, segment_map] : segments_) {
+    for (const auto& [segment, view] : segment_map) {
+      auto immutable = std::dynamic_pointer_cast<const ImmutableSegment>(view);
+      if (immutable != nullptr) total += immutable->SizeInBytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace pinot

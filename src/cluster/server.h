@@ -1,0 +1,119 @@
+#ifndef PINOT_CLUSTER_SERVER_H_
+#define PINOT_CLUSTER_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_context.h"
+#include "cluster/cluster_manager.h"
+#include "cluster/table_config.h"
+#include "common/thread_pool.h"
+#include "realtime/mutable_segment.h"
+#include "segment/segment.h"
+#include "stream/stream.h"
+#include "tenant/token_bucket.h"
+
+namespace pinot {
+
+/// A Pinot server (paper section 3.2): hosts segments, executes queries on
+/// them, consumes realtime data from the stream, and reacts to Helix state
+/// transitions (Figure 4: fetch from the object store, unpack, load, serve).
+/// Local segment state is a pure cache of the object store, so a dead
+/// server can be replaced by a blank one (section 3.4).
+class Server : public StateTransitionHandler, public QueryServerApi {
+ public:
+  struct Options {
+    std::string tenant_tag = "DefaultTenant";
+    int num_query_threads = 4;
+    // Fixed extra latency added to every query execution, used by the
+    // QPS benches to model network + scheduling delay of a real host.
+    int64_t artificial_latency_micros = 0;
+    // Messages fetched from the stream per consuming segment per tick.
+    int max_fetch_batch = 1000;
+  };
+
+  Server(std::string id, ClusterContext ctx, Options options);
+  Server(std::string id, ClusterContext ctx);
+  ~Server() override;
+
+  /// Registers the instance (tags: "server" + tenant tag).
+  void Start();
+
+  const std::string& id() const { return id_; }
+  TenantQuotaManager* quota_manager() { return &quota_; }
+
+  // --- QueryServerApi --------------------------------------------------------
+
+  /// Executes a scatter request: admission through the tenant's token
+  /// bucket, per-segment physical planning, parallel execution, combine.
+  PartialResult ExecuteServerQuery(const ServerQueryRequest& request) override;
+
+  // --- StateTransitionHandler -----------------------------------------------
+
+  Status OnSegmentStateTransition(const std::string& table,
+                                  const std::string& segment,
+                                  SegmentState from, SegmentState to) override;
+  Status OnUserMessage(const std::string& type,
+                       const std::string& payload) override;
+
+  // --- Realtime ingestion -----------------------------------------------------
+
+  /// Drives every consuming segment one step: fetch + index a batch, and
+  /// when the end criteria is reached run the completion protocol against
+  /// the leader controller. Returns the number of rows indexed.
+  int ProcessRealtimeTick();
+
+  // --- Introspection ----------------------------------------------------------
+
+  std::vector<std::string> HostedSegments(const std::string& table) const;
+  uint64_t HostedDataBytes() const;
+  void set_artificial_latency_micros(int64_t micros) {
+    options_.artificial_latency_micros = micros;
+  }
+
+ private:
+  // One replica of a consuming segment (paper section 3.3.6).
+  struct ConsumingState {
+    std::shared_ptr<MutableSegment> segment;
+    StreamTopic* topic = nullptr;
+    int partition = -1;
+    int64_t offset = 0;
+    int64_t flush_threshold_rows = 0;
+    int64_t flush_threshold_millis = 0;
+    int64_t consumption_start_millis = 0;
+    int64_t catchup_target = -1;       // CATCHUP instruction target.
+    bool awaiting_completion = false;  // End criteria reached.
+    std::shared_ptr<ImmutableSegment> sealed;  // Local commit candidate.
+    SegmentBuildConfig seal_config;
+  };
+
+  Result<TableConfig> LoadTableConfig(const std::string& physical_table) const;
+  Status LoadOnlineSegment(const std::string& table,
+                           const std::string& segment);
+  Status StartConsuming(const std::string& table, const std::string& segment);
+  Status PromoteConsuming(const std::string& table,
+                          const std::string& segment);
+  // Drives one consuming segment; returns rows indexed.
+  int TickConsuming(const std::string& table, const std::string& segment,
+                    ConsumingState* state);
+
+  const std::string id_;
+  ClusterContext ctx_;
+  Options options_;
+  ThreadPool pool_;
+  TenantQuotaManager quota_;
+
+  mutable std::mutex mutex_;
+  // table -> segment -> queryable view.
+  std::map<std::string, std::map<std::string, std::shared_ptr<SegmentInterface>>>
+      segments_;
+  // table -> segment -> consuming replica state.
+  std::map<std::string, std::map<std::string, ConsumingState>> consuming_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_CLUSTER_SERVER_H_

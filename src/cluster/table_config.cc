@@ -1,0 +1,104 @@
+#include "cluster/table_config.h"
+
+namespace pinot {
+
+const char* TableTypeToString(TableType type) {
+  return type == TableType::kOffline ? "OFFLINE" : "REALTIME";
+}
+
+const char* RoutingStrategyToString(RoutingStrategy strategy) {
+  switch (strategy) {
+    case RoutingStrategy::kBalanced:
+      return "balanced";
+    case RoutingStrategy::kGenerated:
+      return "generated";
+    case RoutingStrategy::kPartitionAware:
+      return "partition-aware";
+  }
+  return "?";
+}
+
+std::string TableConfig::PhysicalName() const {
+  return name + "_" + TableTypeToString(type);
+}
+
+namespace {
+void WriteStringList(const std::vector<std::string>& list,
+                     ByteWriter* writer) {
+  writer->WriteU32(static_cast<uint32_t>(list.size()));
+  for (const auto& s : list) writer->WriteString(s);
+}
+
+Result<std::vector<std::string>> ReadStringList(ByteReader* reader) {
+  PINOT_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+  std::vector<std::string> out(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PINOT_ASSIGN_OR_RETURN(out[i], reader->ReadString());
+  }
+  return out;
+}
+}  // namespace
+
+void TableConfig::Serialize(ByteWriter* writer) const {
+  writer->WriteString(name);
+  writer->WriteU8(static_cast<uint8_t>(type));
+  schema.Serialize(writer);
+  writer->WriteI32(num_replicas);
+  writer->WriteString(server_tenant);
+  WriteStringList(sort_columns, writer);
+  WriteStringList(inverted_index_columns, writer);
+  WriteStringList(star_tree.dimensions, writer);
+  WriteStringList(star_tree.metrics, writer);
+  writer->WriteU32(star_tree.max_leaf_records);
+  writer->WriteI64(retention_time_units);
+  writer->WriteI64(time_unit_millis);
+  writer->WriteI64(quota_bytes);
+  writer->WriteU8(static_cast<uint8_t>(routing));
+  writer->WriteI32(target_servers_per_query);
+  writer->WriteI32(routing_tables_to_generate);
+  writer->WriteI32(routing_tables_to_keep);
+  writer->WriteString(partition_column);
+  writer->WriteI32(num_partitions);
+  writer->WriteString(realtime.topic);
+  writer->WriteI32(realtime.num_partitions);
+  writer->WriteI64(realtime.flush_threshold_rows);
+  writer->WriteI64(realtime.flush_threshold_millis);
+}
+
+Result<TableConfig> TableConfig::Deserialize(ByteReader* reader) {
+  TableConfig config;
+  PINOT_ASSIGN_OR_RETURN(config.name, reader->ReadString());
+  PINOT_ASSIGN_OR_RETURN(uint8_t type_byte, reader->ReadU8());
+  if (type_byte > 1) return Status::Corruption("bad table type");
+  config.type = static_cast<TableType>(type_byte);
+  PINOT_ASSIGN_OR_RETURN(config.schema, Schema::Deserialize(reader));
+  PINOT_ASSIGN_OR_RETURN(config.num_replicas, reader->ReadI32());
+  PINOT_ASSIGN_OR_RETURN(config.server_tenant, reader->ReadString());
+  PINOT_ASSIGN_OR_RETURN(config.sort_columns, ReadStringList(reader));
+  PINOT_ASSIGN_OR_RETURN(config.inverted_index_columns,
+                         ReadStringList(reader));
+  PINOT_ASSIGN_OR_RETURN(config.star_tree.dimensions, ReadStringList(reader));
+  PINOT_ASSIGN_OR_RETURN(config.star_tree.metrics, ReadStringList(reader));
+  PINOT_ASSIGN_OR_RETURN(config.star_tree.max_leaf_records, reader->ReadU32());
+  PINOT_ASSIGN_OR_RETURN(config.retention_time_units, reader->ReadI64());
+  PINOT_ASSIGN_OR_RETURN(config.time_unit_millis, reader->ReadI64());
+  PINOT_ASSIGN_OR_RETURN(config.quota_bytes, reader->ReadI64());
+  PINOT_ASSIGN_OR_RETURN(uint8_t routing_byte, reader->ReadU8());
+  if (routing_byte > 2) return Status::Corruption("bad routing strategy");
+  config.routing = static_cast<RoutingStrategy>(routing_byte);
+  PINOT_ASSIGN_OR_RETURN(config.target_servers_per_query, reader->ReadI32());
+  PINOT_ASSIGN_OR_RETURN(config.routing_tables_to_generate,
+                         reader->ReadI32());
+  PINOT_ASSIGN_OR_RETURN(config.routing_tables_to_keep, reader->ReadI32());
+  PINOT_ASSIGN_OR_RETURN(config.partition_column, reader->ReadString());
+  PINOT_ASSIGN_OR_RETURN(config.num_partitions, reader->ReadI32());
+  PINOT_ASSIGN_OR_RETURN(config.realtime.topic, reader->ReadString());
+  PINOT_ASSIGN_OR_RETURN(config.realtime.num_partitions, reader->ReadI32());
+  PINOT_ASSIGN_OR_RETURN(config.realtime.flush_threshold_rows,
+                         reader->ReadI64());
+  PINOT_ASSIGN_OR_RETURN(config.realtime.flush_threshold_millis,
+                         reader->ReadI64());
+  return config;
+}
+
+}  // namespace pinot

@@ -1,0 +1,88 @@
+#ifndef PINOT_CLUSTER_TABLE_CONFIG_H_
+#define PINOT_CLUSTER_TABLE_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "data/schema.h"
+#include "startree/star_tree.h"
+
+namespace pinot {
+
+/// Offline tables hold pushed (Hadoop-generated) segments; realtime tables
+/// consume from a stream. A *hybrid* table is an offline and a realtime
+/// table sharing a logical name (paper section 3.3.3, Figure 6).
+enum class TableType { kOffline, kRealtime };
+
+const char* TableTypeToString(TableType type);
+
+/// Broker routing strategy for the table (paper section 4.4).
+enum class RoutingStrategy {
+  kBalanced,        // All servers contacted, segments split evenly.
+  kGenerated,       // Algorithms 1-2: precomputed minimal-subset tables.
+  kPartitionAware,  // Route only to servers holding relevant partitions.
+};
+
+const char* RoutingStrategyToString(RoutingStrategy strategy);
+
+/// Stream-ingestion settings for realtime tables (paper section 3.3.6:
+/// "Pinot supports flushing segments after a configurable number of records
+/// and after a configurable amount of time").
+struct RealtimeIngestionConfig {
+  std::string topic;
+  int num_partitions = 1;
+  int64_t flush_threshold_rows = 100000;
+  int64_t flush_threshold_millis = 6LL * 3600 * 1000;
+};
+
+/// Per-table configuration. At LinkedIn these are kept in source control
+/// and synced through the controller REST API (paper section 5.2); here
+/// they serialize into the property store.
+struct TableConfig {
+  std::string name;  // Logical table name (no type suffix).
+  TableType type = TableType::kOffline;
+  Schema schema;
+  int num_replicas = 1;
+  std::string server_tenant = "DefaultTenant";
+
+  // Segment-generation options.
+  std::vector<std::string> sort_columns;
+  std::vector<std::string> inverted_index_columns;
+  StarTreeConfig star_tree;
+
+  // Retention in time-column units; segments whose max_time falls behind
+  // (now - retention) are garbage-collected by the controller. -1 keeps
+  // data forever. `time_unit_millis` converts wall-clock time to the time
+  // column's unit (default: days).
+  int64_t retention_time_units = -1;
+  int64_t time_unit_millis = 86400000;
+
+  // Storage quota enforced on upload (paper section 3.3.5); -1 unlimited.
+  int64_t quota_bytes = -1;
+
+  RoutingStrategy routing = RoutingStrategy::kBalanced;
+  // kGenerated: target server count per query (T in Algorithm 1) and the
+  // generate/keep counts (G and C in Algorithm 2).
+  int target_servers_per_query = 4;
+  int routing_tables_to_generate = 100;
+  int routing_tables_to_keep = 10;
+
+  // kPartitionAware: the partition column + count (Kafka-compatible
+  // murmur2 partition function).
+  std::string partition_column;
+  int num_partitions = 0;
+
+  RealtimeIngestionConfig realtime;
+
+  /// The physical table name, e.g. "impressions_OFFLINE".
+  std::string PhysicalName() const;
+
+  void Serialize(ByteWriter* writer) const;
+  static Result<TableConfig> Deserialize(ByteReader* reader);
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_CLUSTER_TABLE_CONFIG_H_

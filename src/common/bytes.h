@@ -1,0 +1,119 @@
+#ifndef PINOT_COMMON_BYTES_H_
+#define PINOT_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pinot {
+
+/// Append-only little-endian byte sink used by the on-disk segment format
+/// (the paper's "index file" is append-only so servers can add inverted
+/// indexes on demand; see section 3.2).
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+
+  /// Length-prefixed (u32) string.
+  void WriteString(std::string_view s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    WriteRaw(s.data(), s.size());
+  }
+
+  void WriteRaw(const void* data, size_t size) {
+    const char* p = static_cast<const char*>(data);
+    buffer_.insert(buffer_.end(), p, p + size);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string&& TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked little-endian reader over a byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8() {
+    uint8_t v;
+    PINOT_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint32_t> ReadU32() {
+    uint32_t v;
+    PINOT_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint64_t> ReadU64() {
+    uint64_t v;
+    PINOT_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<int32_t> ReadI32() {
+    int32_t v;
+    PINOT_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<int64_t> ReadI64() {
+    int64_t v;
+    PINOT_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<float> ReadF32() {
+    float v;
+    PINOT_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<double> ReadF64() {
+    double v;
+    PINOT_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    PINOT_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    if (pos_ + len > data_.size()) {
+      return Status::Corruption("string length exceeds buffer");
+    }
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  Status ReadRaw(void* out, size_t size) {
+    if (pos_ + size > data_.size()) {
+      return Status::Corruption("read past end of buffer");
+    }
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+    return Status::OK();
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_COMMON_BYTES_H_

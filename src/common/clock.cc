@@ -1,0 +1,18 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace pinot {
+
+int64_t RealClock::NowMillis() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+RealClock* RealClock::Instance() {
+  static RealClock* instance = new RealClock();
+  return instance;
+}
+
+}  // namespace pinot

@@ -1,0 +1,53 @@
+#ifndef PINOT_COMMON_CLOCK_H_
+#define PINOT_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pinot {
+
+/// Abstract time source. All Pinot components take time through this
+/// interface so that protocol behaviour (segment completion timeouts,
+/// retention, token bucket refill) is deterministic under test.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Milliseconds since an arbitrary epoch (Unix epoch for the real clock).
+  virtual int64_t NowMillis() const = 0;
+};
+
+/// Wall-clock backed by std::chrono::system_clock.
+class RealClock : public Clock {
+ public:
+  int64_t NowMillis() const override;
+
+  /// A process-wide shared instance.
+  static RealClock* Instance();
+};
+
+/// Manually-advanced clock for deterministic tests and simulations.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_millis = 0) : now_(start_millis) {}
+
+  int64_t NowMillis() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  /// Moves time forward by `delta_millis` (must be non-negative).
+  void AdvanceMillis(int64_t delta_millis) {
+    now_.fetch_add(delta_millis, std::memory_order_acq_rel);
+  }
+
+  void SetMillis(int64_t now_millis) {
+    now_.store(now_millis, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_COMMON_CLOCK_H_

@@ -1,0 +1,80 @@
+#include "common/hash.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace pinot {
+
+uint32_t Murmur2(std::string_view data, uint32_t seed) {
+  const uint32_t m = 0x5bd1e995;
+  const int r = 24;
+  const size_t length = data.size();
+  uint32_t h = seed ^ static_cast<uint32_t>(length);
+
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data.data());
+  size_t len = length;
+  while (len >= 4) {
+    uint32_t k;
+    std::memcpy(&k, p, 4);
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h *= m;
+    h ^= k;
+    p += 4;
+    len -= 4;
+  }
+
+  switch (len) {
+    case 3:
+      h ^= static_cast<uint32_t>(p[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h ^= static_cast<uint32_t>(p[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h ^= static_cast<uint32_t>(p[0]);
+      h *= m;
+      break;
+    default:
+      break;
+  }
+
+  h ^= h >> 13;
+  h *= m;
+  h ^= h >> 15;
+  return h;
+}
+
+int32_t KafkaPartition(std::string_view key, int32_t num_partitions) {
+  assert(num_partitions > 0);
+  const uint32_t hash = Murmur2(key) & 0x7fffffff;
+  return static_cast<int32_t>(hash % static_cast<uint32_t>(num_partitions));
+}
+
+namespace {
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320 ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const Crc32Table* table = new Crc32Table();
+  uint32_t crc = 0xffffffff;
+  for (unsigned char byte : data) {
+    crc = table->entries[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffff;
+}
+
+}  // namespace pinot

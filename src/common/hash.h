@@ -1,0 +1,26 @@
+#ifndef PINOT_COMMON_HASH_H_
+#define PINOT_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pinot {
+
+/// Murmur2 hash (32-bit), matching the implementation used by the Apache
+/// Kafka default partitioner. Pinot ships a partition function with exactly
+/// this behaviour so that offline data can be partitioned the same way as
+/// the realtime (Kafka-ingested) data (paper section 4.4).
+uint32_t Murmur2(std::string_view data, uint32_t seed = 0x9747b28c);
+
+/// Kafka's default partition assignment: positive murmur2 of the key,
+/// modulo the partition count.
+int32_t KafkaPartition(std::string_view key, int32_t num_partitions);
+
+/// CRC-32 (IEEE 802.3 polynomial). Used for segment integrity checks on
+/// upload (paper section 3.3.5: the controller "unpacks it to ensure its
+/// integrity").
+uint32_t Crc32(std::string_view data);
+
+}  // namespace pinot
+
+#endif  // PINOT_COMMON_HASH_H_

@@ -1,0 +1,66 @@
+#ifndef PINOT_COMMON_LOGGING_H_
+#define PINOT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pinot {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kWarn so tests and benchmarks stay quiet unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define PINOT_LOG(level)                                      \
+  (::pinot::GetLogLevel() > ::pinot::LogLevel::level)         \
+      ? (void)0                                               \
+      : (void)(::pinot::internal::LogMessage(                 \
+            ::pinot::LogLevel::level, __FILE__, __LINE__))
+
+// Streaming form: PINOT_LOG_INFO << "msg" << x;
+#define PINOT_LOG_STREAM(level) \
+  ::pinot::internal::LogMessage(::pinot::LogLevel::level, __FILE__, __LINE__)
+
+#define PINOT_LOG_DEBUG PINOT_LOG_STREAM(kDebug)
+#define PINOT_LOG_INFO PINOT_LOG_STREAM(kInfo)
+#define PINOT_LOG_WARN PINOT_LOG_STREAM(kWarn)
+#define PINOT_LOG_ERROR PINOT_LOG_STREAM(kError)
+
+}  // namespace pinot
+
+#endif  // PINOT_COMMON_LOGGING_H_

@@ -1,0 +1,61 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pinot {
+
+namespace {
+// Helper for the rejection-inversion sampler: computes
+// ((1 + x)^(1 - s) - 1) / (1 - s), continuous at s == 1 where it is
+// log1p(x).
+double HIntegral(double x, double s) {
+  const double log_x = std::log1p(x);
+  if (std::abs(s - 1.0) < 1e-12) return log_x;
+  return std::expm1((1.0 - s) * log_x) / (1.0 - s);
+}
+
+double HIntegralInverse(double x, double s) {
+  if (std::abs(s - 1.0) < 1e-12) return std::expm1(x);
+  double t = x * (1.0 - s);
+  if (t < -1.0) t = -1.0;  // Clamp against numerical noise.
+  return std::expm1(std::log1p(t) / (1.0 - s));
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s > 0.0);
+  h_integral_x1_ = HIntegral(0.5, s_) - 1.0;
+  h_integral_num_elements_ = HIntegral(static_cast<double>(n_) - 0.5, s_);
+  threshold_ = 2.0 - HIntegralInverse(HIntegral(1.5, s_) - std::exp(-s_ * std::log(2.0)), s_);
+}
+
+double ZipfGenerator::H(double x) const {
+  return std::exp(-s_ * std::log1p(x));
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  return HIntegralInverse(x, s_);
+}
+
+uint64_t ZipfGenerator::Next(Random& rng) {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u = h_integral_num_elements_ +
+                     rng.NextDouble() *
+                         (h_integral_x1_ - h_integral_num_elements_);
+    const double x = HInverse(u);
+    // k is the candidate rank in [1, n]; map to [0, n) on return.
+    double kd = std::floor(x + 1.5);
+    if (kd < 1.0) kd = 1.0;
+    if (kd > static_cast<double>(n_)) kd = static_cast<double>(n_);
+    const uint64_t k = static_cast<uint64_t>(kd);
+    if (kd - x <= threshold_ ||
+        u >= HIntegral(kd - 0.5, s_) - H(kd - 1.0)) {
+      return k - 1;
+    }
+  }
+}
+
+}  // namespace pinot

@@ -1,0 +1,70 @@
+#ifndef PINOT_COMMON_RANDOM_H_
+#define PINOT_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pinot {
+
+/// Seeded pseudo-random source. All randomness in the library (routing table
+/// generation, workload generators) flows through this class so runs are
+/// reproducible given a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound) {
+    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt64InRange(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// True with probability `p`.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed integer generator over [0, n). Used by the workload
+/// generators to model the long-tail dimension value distributions that the
+/// paper's production datasets exhibit (section 4.3: "data sets which have a
+/// long tail distribution").
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger so setup is
+/// O(1) and sampling is O(1) expected, independent of n.
+class ZipfGenerator {
+ public:
+  /// `n` values, skew `s` (typical: 0.8 - 1.2). `s` must be > 0 and != 1 is
+  /// not required (s == 1 is handled).
+  ZipfGenerator(uint64_t n, double s);
+
+  /// Returns a value in [0, n); value 0 is the most frequent.
+  uint64_t Next(Random& rng);
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double threshold_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_COMMON_RANDOM_H_

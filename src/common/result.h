@@ -1,0 +1,73 @@
+#ifndef PINOT_COMMON_RESULT_H_
+#define PINOT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pinot {
+
+/// A value-or-error type (StatusOr idiom). `Result<T>` holds either an OK
+/// status plus a T, or a non-OK status. Access to the value when the status
+/// is not OK is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result; `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define PINOT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define PINOT_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define PINOT_ASSIGN_OR_RETURN_NAME(a, b) PINOT_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define PINOT_ASSIGN_OR_RETURN(lhs, expr) \
+  PINOT_ASSIGN_OR_RETURN_IMPL(            \
+      PINOT_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace pinot
+
+#endif  // PINOT_COMMON_RESULT_H_

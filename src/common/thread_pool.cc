@@ -1,0 +1,63 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cassert>
+
+namespace pinot {
+
+ThreadPool::ThreadPool(int num_threads) {
+  assert(num_threads > 0);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(int count, const std::function<void(int)>& task) {
+  if (count <= 0) return;
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    futures.push_back(Submit([&task, i] { task(i); }));
+  }
+  for (auto& future : futures) future.wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace pinot

@@ -1,0 +1,46 @@
+#ifndef PINOT_COMMON_THREAD_POOL_H_
+#define PINOT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pinot {
+
+/// Fixed-size worker pool used by the server-side query execution scheduler
+/// (paper section 3.3.4: "query plans are then submitted for execution to
+/// the query execution scheduler. Query plans are processed in parallel").
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs `task` for i in [0, count) across the pool and blocks until all
+  /// complete. Convenience for per-segment parallel plan execution.
+  void ParallelFor(int count, const std::function<void(int)>& task);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_COMMON_THREAD_POOL_H_

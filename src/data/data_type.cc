@@ -1,0 +1,44 @@
+#include "data/data_type.h"
+
+namespace pinot {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt:
+      return "INT";
+    case DataType::kLong:
+      return "LONG";
+    case DataType::kFloat:
+      return "FLOAT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kBoolean:
+      return "BOOLEAN";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+bool IsIntegralType(DataType type) {
+  return type == DataType::kInt || type == DataType::kLong ||
+         type == DataType::kBoolean;
+}
+
+bool IsFloatingType(DataType type) {
+  return type == DataType::kFloat || type == DataType::kDouble;
+}
+
+const char* FieldRoleToString(FieldRole role) {
+  switch (role) {
+    case FieldRole::kDimension:
+      return "DIMENSION";
+    case FieldRole::kMetric:
+      return "METRIC";
+    case FieldRole::kTime:
+      return "TIME";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace pinot

@@ -1,0 +1,41 @@
+#ifndef PINOT_DATA_DATA_TYPE_H_
+#define PINOT_DATA_DATA_TYPE_H_
+
+#include <string>
+
+namespace pinot {
+
+/// Column data types supported by Pinot (paper section 3.1: "integers of
+/// various lengths, floating point numbers, strings and booleans. Arrays of
+/// the previous types are also supported").
+enum class DataType {
+  kInt,      // 32-bit signed integer.
+  kLong,     // 64-bit signed integer.
+  kFloat,    // 32-bit IEEE-754.
+  kDouble,   // 64-bit IEEE-754.
+  kBoolean,  // Stored as 0/1.
+  kString,   // UTF-8 string.
+};
+
+const char* DataTypeToString(DataType type);
+
+/// True for kInt/kLong/kBoolean: dictionary-encoded as int64 internally.
+bool IsIntegralType(DataType type);
+
+/// True for kFloat/kDouble: dictionary-encoded as double internally.
+bool IsFloatingType(DataType type);
+
+/// Role of a column in the table (paper section 3.1: "Each column can be
+/// either a dimension or a metric", plus the special time column used for
+/// hybrid-table merging and retention).
+enum class FieldRole {
+  kDimension,
+  kMetric,
+  kTime,
+};
+
+const char* FieldRoleToString(FieldRole role);
+
+}  // namespace pinot
+
+#endif  // PINOT_DATA_DATA_TYPE_H_

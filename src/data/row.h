@@ -1,0 +1,57 @@
+#ifndef PINOT_DATA_ROW_H_
+#define PINOT_DATA_ROW_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace pinot {
+
+/// One record as produced by ingestion (a Kafka event or an offline row).
+/// Field access is by name; the segment builder resolves names against the
+/// table schema and fills defaults for missing fields.
+class Row {
+ public:
+  Row() = default;
+
+  Row& Set(const std::string& name, Value value) {
+    values_[name] = std::move(value);
+    return *this;
+  }
+  Row& SetLong(const std::string& name, int64_t v) { return Set(name, v); }
+  Row& SetDouble(const std::string& name, double v) { return Set(name, v); }
+  Row& SetString(const std::string& name, std::string v) {
+    return Set(name, std::move(v));
+  }
+  Row& SetLongArray(const std::string& name, std::vector<int64_t> v) {
+    return Set(name, std::move(v));
+  }
+  Row& SetStringArray(const std::string& name, std::vector<std::string> v) {
+    return Set(name, std::move(v));
+  }
+
+  /// Value for `name`, or null Value if unset.
+  const Value& Get(const std::string& name) const {
+    static const Value kNull{};
+    auto it = values_.find(name);
+    return it == values_.end() ? kNull : it->second;
+  }
+
+  bool Has(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+  const std::unordered_map<std::string, Value>& values() const {
+    return values_;
+  }
+
+ private:
+  std::unordered_map<std::string, Value> values_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_DATA_ROW_H_

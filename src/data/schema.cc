@@ -1,0 +1,156 @@
+#include "data/schema.h"
+
+namespace pinot {
+
+FieldSpec FieldSpec::Dimension(std::string name, DataType type,
+                               bool single_value) {
+  FieldSpec spec;
+  spec.name = std::move(name);
+  spec.type = type;
+  spec.role = FieldRole::kDimension;
+  spec.single_value = single_value;
+  return spec;
+}
+
+FieldSpec FieldSpec::Metric(std::string name, DataType type) {
+  FieldSpec spec;
+  spec.name = std::move(name);
+  spec.type = type;
+  spec.role = FieldRole::kMetric;
+  return spec;
+}
+
+FieldSpec FieldSpec::Time(std::string name, DataType type) {
+  FieldSpec spec;
+  spec.name = std::move(name);
+  spec.type = type;
+  spec.role = FieldRole::kTime;
+  return spec;
+}
+
+Schema::Schema(std::vector<FieldSpec> fields) : fields_(std::move(fields)) {
+  for (int i = 0; i < static_cast<int>(fields_.size()); ++i) {
+    index_[fields_[i].name] = i;
+    if (fields_[i].role == FieldRole::kTime) time_column_ = fields_[i].name;
+  }
+}
+
+Result<Schema> Schema::Make(std::vector<FieldSpec> fields) {
+  int time_columns = 0;
+  std::unordered_map<std::string, int> seen;
+  for (const auto& field : fields) {
+    if (field.name.empty()) {
+      return Status::InvalidArgument("field with empty name");
+    }
+    if (seen.count(field.name) > 0) {
+      return Status::InvalidArgument("duplicate field name: " + field.name);
+    }
+    seen[field.name] = 1;
+    if (field.role == FieldRole::kTime) {
+      ++time_columns;
+      if (!IsIntegralType(field.type)) {
+        return Status::InvalidArgument(
+            "time column must be an integral type: " + field.name);
+      }
+      if (!field.single_value) {
+        return Status::InvalidArgument(
+            "time column must be single-value: " + field.name);
+      }
+    }
+    if (field.role == FieldRole::kMetric) {
+      if (field.type == DataType::kString) {
+        return Status::InvalidArgument(
+            "metric column must be numeric: " + field.name);
+      }
+      if (!field.single_value) {
+        return Status::InvalidArgument(
+            "metric column must be single-value: " + field.name);
+      }
+    }
+  }
+  if (time_columns > 1) {
+    return Status::InvalidArgument("schema has more than one time column");
+  }
+  return Schema(std::move(fields));
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const FieldSpec* Schema::GetField(const std::string& name) const {
+  const int idx = IndexOf(name);
+  return idx < 0 ? nullptr : &fields_[idx];
+}
+
+Status Schema::AddField(const FieldSpec& field) {
+  if (index_.count(field.name) > 0) {
+    return Status::AlreadyExists("field already exists: " + field.name);
+  }
+  if (field.role == FieldRole::kTime && !time_column_.empty()) {
+    return Status::InvalidArgument("schema already has a time column");
+  }
+  index_[field.name] = static_cast<int>(fields_.size());
+  fields_.push_back(field);
+  if (field.role == FieldRole::kTime) time_column_ = field.name;
+  return Status::OK();
+}
+
+Value Schema::EffectiveDefault(int index) const {
+  const FieldSpec& field = fields_[index];
+  if (!IsNull(field.default_value)) return field.default_value;
+  if (!field.single_value) {
+    if (IsIntegralType(field.type)) return std::vector<int64_t>{};
+    if (IsFloatingType(field.type)) return std::vector<double>{};
+    return std::vector<std::string>{};
+  }
+  if (IsIntegralType(field.type)) return int64_t{0};
+  if (IsFloatingType(field.type)) return 0.0;
+  return std::string();
+}
+
+std::vector<std::string> Schema::FieldNames() const {
+  std::vector<std::string> names;
+  names.reserve(fields_.size());
+  for (const auto& field : fields_) names.push_back(field.name);
+  return names;
+}
+
+void Schema::Serialize(ByteWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(fields_.size()));
+  for (const auto& field : fields_) {
+    writer->WriteString(field.name);
+    writer->WriteU8(static_cast<uint8_t>(field.type));
+    writer->WriteU8(static_cast<uint8_t>(field.role));
+    writer->WriteU8(field.single_value ? 1 : 0);
+    WriteValue(field.default_value, writer);
+  }
+}
+
+Result<Schema> Schema::Deserialize(ByteReader* reader) {
+  PINOT_ASSIGN_OR_RETURN(uint32_t num_fields, reader->ReadU32());
+  std::vector<FieldSpec> fields;
+  fields.reserve(num_fields);
+  for (uint32_t i = 0; i < num_fields; ++i) {
+    FieldSpec field;
+    PINOT_ASSIGN_OR_RETURN(field.name, reader->ReadString());
+    PINOT_ASSIGN_OR_RETURN(uint8_t type_byte, reader->ReadU8());
+    if (type_byte > static_cast<uint8_t>(DataType::kString)) {
+      return Status::Corruption("bad data type");
+    }
+    field.type = static_cast<DataType>(type_byte);
+    PINOT_ASSIGN_OR_RETURN(uint8_t role_byte, reader->ReadU8());
+    if (role_byte > static_cast<uint8_t>(FieldRole::kTime)) {
+      return Status::Corruption("bad field role");
+    }
+    field.role = static_cast<FieldRole>(role_byte);
+    PINOT_ASSIGN_OR_RETURN(uint8_t sv, reader->ReadU8());
+    field.single_value = sv != 0;
+    PINOT_ASSIGN_OR_RETURN(field.default_value, ReadValue(reader));
+    fields.push_back(std::move(field));
+  }
+  return Schema::Make(std::move(fields));
+}
+
+}  // namespace pinot

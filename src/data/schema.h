@@ -1,0 +1,81 @@
+#ifndef PINOT_DATA_SCHEMA_H_
+#define PINOT_DATA_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "data/data_type.h"
+#include "data/value.h"
+
+namespace pinot {
+
+/// Specification of one column: name, type, role, arity and default value.
+/// Defaults are what on-the-fly schema evolution fills into pre-existing
+/// segments (paper section 5.2: a new column "is automatically added with a
+/// default value on all previously existing segments").
+struct FieldSpec {
+  std::string name;
+  DataType type = DataType::kInt;
+  FieldRole role = FieldRole::kDimension;
+  bool single_value = true;
+  Value default_value;  // monostate -> type-specific zero/empty default.
+
+  static FieldSpec Dimension(std::string name, DataType type,
+                             bool single_value = true);
+  static FieldSpec Metric(std::string name, DataType type);
+  /// Time column; value granularity is whatever the table uses (e.g. days
+  /// since epoch). Must be an integral type.
+  static FieldSpec Time(std::string name, DataType type = DataType::kLong);
+};
+
+/// A fixed table schema (paper section 3.1). Immutable once built except for
+/// AddField, which implements the zero-downtime column addition of section
+/// 5.2.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FieldSpec> fields);
+
+  /// Validates and builds a schema: unique names, at most one time column,
+  /// metrics must be numeric single-value.
+  static Result<Schema> Make(std::vector<FieldSpec> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const FieldSpec& field(int index) const { return fields_[index]; }
+  const std::vector<FieldSpec>& fields() const { return fields_; }
+
+  /// Index of the column, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+  bool HasField(const std::string& name) const { return IndexOf(name) >= 0; }
+  const FieldSpec* GetField(const std::string& name) const;
+
+  /// Name of the time column; empty if the schema has none.
+  const std::string& time_column() const { return time_column_; }
+  bool HasTimeColumn() const { return !time_column_.empty(); }
+
+  /// Adds a column to an existing schema (live schema evolution). Fails if
+  /// the name already exists or a second time column is added.
+  Status AddField(const FieldSpec& field);
+
+  /// The effective default for a field: its declared default, or the
+  /// type-specific zero (0 / 0.0 / "" / empty array).
+  Value EffectiveDefault(int index) const;
+
+  std::vector<std::string> FieldNames() const;
+
+  void Serialize(ByteWriter* writer) const;
+  static Result<Schema> Deserialize(ByteReader* reader);
+
+ private:
+  std::vector<FieldSpec> fields_;
+  std::unordered_map<std::string, int> index_;
+  std::string time_column_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_DATA_SCHEMA_H_

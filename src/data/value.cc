@@ -1,0 +1,125 @@
+#include "data/value.h"
+
+#include <sstream>
+
+#include "common/bytes.h"
+
+namespace pinot {
+
+namespace {
+
+struct ToStringVisitor {
+  std::string operator()(std::monostate) const { return "null"; }
+  std::string operator()(int64_t x) const { return std::to_string(x); }
+  std::string operator()(double x) const {
+    std::ostringstream os;
+    os << x;
+    return os.str();
+  }
+  std::string operator()(const std::string& s) const { return s; }
+  template <typename T>
+  std::string operator()(const std::vector<T>& xs) const {
+    std::string out = "[";
+    for (size_t i = 0; i < xs.size(); ++i) {
+      if (i > 0) out += ",";
+      out += ToStringVisitor{}(xs[i]);
+    }
+    out += "]";
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string ValueToString(const Value& v) {
+  return std::visit(ToStringVisitor{}, v);
+}
+
+double ValueToDouble(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  return 0.0;
+}
+
+void WriteValue(const Value& v, ByteWriter* writer) {
+  writer->WriteU8(static_cast<uint8_t>(v.index()));
+  switch (v.index()) {
+    case 0:
+      break;
+    case 1:
+      writer->WriteI64(std::get<int64_t>(v));
+      break;
+    case 2:
+      writer->WriteF64(std::get<double>(v));
+      break;
+    case 3:
+      writer->WriteString(std::get<std::string>(v));
+      break;
+    case 4: {
+      const auto& xs = std::get<std::vector<int64_t>>(v);
+      writer->WriteU32(static_cast<uint32_t>(xs.size()));
+      for (int64_t x : xs) writer->WriteI64(x);
+      break;
+    }
+    case 5: {
+      const auto& xs = std::get<std::vector<double>>(v);
+      writer->WriteU32(static_cast<uint32_t>(xs.size()));
+      for (double x : xs) writer->WriteF64(x);
+      break;
+    }
+    case 6: {
+      const auto& xs = std::get<std::vector<std::string>>(v);
+      writer->WriteU32(static_cast<uint32_t>(xs.size()));
+      for (const auto& x : xs) writer->WriteString(x);
+      break;
+    }
+  }
+}
+
+Result<Value> ReadValue(ByteReader* reader) {
+  PINOT_ASSIGN_OR_RETURN(uint8_t tag, reader->ReadU8());
+  switch (tag) {
+    case 0:
+      return Value{};
+    case 1: {
+      PINOT_ASSIGN_OR_RETURN(int64_t x, reader->ReadI64());
+      return Value{x};
+    }
+    case 2: {
+      PINOT_ASSIGN_OR_RETURN(double x, reader->ReadF64());
+      return Value{x};
+    }
+    case 3: {
+      PINOT_ASSIGN_OR_RETURN(std::string x, reader->ReadString());
+      return Value{std::move(x)};
+    }
+    case 4: {
+      PINOT_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+      std::vector<int64_t> xs(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        PINOT_ASSIGN_OR_RETURN(xs[i], reader->ReadI64());
+      }
+      return Value{std::move(xs)};
+    }
+    case 5: {
+      PINOT_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+      std::vector<double> xs(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        PINOT_ASSIGN_OR_RETURN(xs[i], reader->ReadF64());
+      }
+      return Value{std::move(xs)};
+    }
+    case 6: {
+      PINOT_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+      std::vector<std::string> xs(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        PINOT_ASSIGN_OR_RETURN(xs[i], reader->ReadString());
+      }
+      return Value{std::move(xs)};
+    }
+    default:
+      return Status::Corruption("bad value tag");
+  }
+}
+
+}  // namespace pinot

@@ -1,0 +1,53 @@
+#ifndef PINOT_DATA_VALUE_H_
+#define PINOT_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "data/data_type.h"
+
+namespace pinot {
+
+/// A single cell value. Integral column types (INT/LONG/BOOLEAN) are carried
+/// as int64_t, floating types as double, strings as std::string. Multi-value
+/// (array) columns carry a vector of the scalar representation.
+using Value = std::variant<std::monostate,          // Null / unset.
+                           int64_t,                 // Integral types.
+                           double,                  // Floating types.
+                           std::string,             // STRING.
+                           std::vector<int64_t>,    // Multi-value integral.
+                           std::vector<double>,     // Multi-value floating.
+                           std::vector<std::string>  // Multi-value string.
+                           >;
+
+inline bool IsNull(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+inline bool IsMultiValue(const Value& v) {
+  return std::holds_alternative<std::vector<int64_t>>(v) ||
+         std::holds_alternative<std::vector<double>>(v) ||
+         std::holds_alternative<std::vector<std::string>>(v);
+}
+
+/// Renders a value for result rows and debugging.
+std::string ValueToString(const Value& v);
+
+/// Converts a value to double for metric aggregation. Null -> 0, string ->
+/// 0 (metrics are numeric; the query planner rejects aggregations on string
+/// columns before execution).
+double ValueToDouble(const Value& v);
+
+class ByteWriter;
+class ByteReader;
+
+/// Serializes a value with a type tag (used by segment metadata defaults).
+void WriteValue(const Value& v, ByteWriter* writer);
+Result<Value> ReadValue(ByteReader* reader);
+
+}  // namespace pinot
+
+#endif  // PINOT_DATA_VALUE_H_

@@ -1,0 +1,103 @@
+#include "index/inverted_index.h"
+
+namespace pinot {
+
+InvertedIndex InvertedIndex::BuildFromForwardIndex(const ForwardIndex& forward,
+                                                   int cardinality) {
+  InvertedIndex index;
+  // Collect doc lists per dict id, then convert to bitmaps; building via
+  // sorted vectors avoids repeated bitmap insertion costs.
+  std::vector<std::vector<uint32_t>> postings(cardinality);
+  if (forward.single_value()) {
+    for (uint32_t doc = 0; doc < forward.num_docs(); ++doc) {
+      postings[forward.Get(doc)].push_back(doc);
+    }
+  } else {
+    std::vector<uint32_t> ids;
+    for (uint32_t doc = 0; doc < forward.num_docs(); ++doc) {
+      forward.GetMulti(doc, &ids);
+      for (uint32_t id : ids) postings[id].push_back(doc);
+    }
+  }
+  index.bitmaps_.reserve(cardinality);
+  for (auto& docs : postings) {
+    RoaringBitmap bm = RoaringBitmap::FromValues(docs);
+    bm.RunOptimize();
+    index.bitmaps_.push_back(std::move(bm));
+  }
+  return index;
+}
+
+RoaringBitmap InvertedIndex::GetBitmapForRange(int lo, int hi) const {
+  RoaringBitmap result;
+  for (int id = lo; id <= hi; ++id) {
+    result.OrWith(bitmaps_[id]);
+  }
+  return result;
+}
+
+uint64_t InvertedIndex::SizeInBytes() const {
+  uint64_t total = 0;
+  for (const auto& bm : bitmaps_) total += bm.SizeInBytes();
+  return total;
+}
+
+void InvertedIndex::Serialize(ByteWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(bitmaps_.size()));
+  for (const auto& bm : bitmaps_) bm.Serialize(writer);
+}
+
+Result<InvertedIndex> InvertedIndex::Deserialize(ByteReader* reader) {
+  InvertedIndex index;
+  PINOT_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+  index.bitmaps_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PINOT_ASSIGN_OR_RETURN(RoaringBitmap bm, RoaringBitmap::Deserialize(reader));
+    index.bitmaps_.push_back(std::move(bm));
+  }
+  return index;
+}
+
+Result<SortedIndex> SortedIndex::BuildFromForwardIndex(
+    const ForwardIndex& forward, int cardinality) {
+  if (!forward.single_value()) {
+    return Status::InvalidArgument(
+        "sorted index requires a single-value column");
+  }
+  SortedIndex index;
+  index.starts_.assign(cardinality, 0);
+  index.ends_.assign(cardinality, 0);
+  uint32_t prev_id = 0;
+  for (uint32_t doc = 0; doc < forward.num_docs(); ++doc) {
+    const uint32_t id = forward.Get(doc);
+    if (doc > 0 && id < prev_id) {
+      return Status::InvalidArgument("column is not sorted");
+    }
+    if (doc == 0 || id != prev_id) {
+      index.starts_[id] = doc;
+    }
+    index.ends_[id] = doc + 1;
+    prev_id = id;
+  }
+  return index;
+}
+
+void SortedIndex::Serialize(ByteWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(starts_.size()));
+  writer->WriteRaw(starts_.data(), starts_.size() * sizeof(uint32_t));
+  writer->WriteRaw(ends_.data(), ends_.size() * sizeof(uint32_t));
+}
+
+Result<SortedIndex> SortedIndex::Deserialize(ByteReader* reader) {
+  SortedIndex index;
+  PINOT_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+  index.starts_.resize(n);
+  index.ends_.resize(n);
+  PINOT_RETURN_NOT_OK(
+      reader->ReadRaw(index.starts_.data(), n * sizeof(uint32_t)));
+  PINOT_RETURN_NOT_OK(
+      reader->ReadRaw(index.ends_.data(), n * sizeof(uint32_t)));
+  return index;
+}
+
+}  // namespace pinot

@@ -1,0 +1,91 @@
+#ifndef PINOT_INDEX_INVERTED_INDEX_H_
+#define PINOT_INDEX_INVERTED_INDEX_H_
+
+#include <vector>
+
+#include "bitmap/roaring.h"
+#include "common/bytes.h"
+#include "common/result.h"
+#include "segment/forward_index.h"
+
+namespace pinot {
+
+/// Bitmap-based inverted index for one column: one roaring bitmap of doc ids
+/// per dictionary id (paper section 4.2). Can be built on demand on servers
+/// because the segment's index file is append-only (section 3.2).
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Builds the index from a column's forward index (single- or
+  /// multi-value).
+  static InvertedIndex BuildFromForwardIndex(const ForwardIndex& forward,
+                                             int cardinality);
+
+  int cardinality() const { return static_cast<int>(bitmaps_.size()); }
+
+  /// Doc ids whose column value has dictionary id `dict_id`.
+  const RoaringBitmap& GetBitmap(int dict_id) const {
+    return bitmaps_[dict_id];
+  }
+
+  /// Union of bitmaps for an inclusive dict-id range [lo, hi].
+  RoaringBitmap GetBitmapForRange(int lo, int hi) const;
+
+  uint64_t SizeInBytes() const;
+
+  void Serialize(ByteWriter* writer) const;
+  static Result<InvertedIndex> Deserialize(ByteReader* reader);
+
+ private:
+  std::vector<RoaringBitmap> bitmaps_;
+};
+
+/// Index over a physically sorted column: because documents are ordered by
+/// this column's value (hence by dictionary id, since immutable dictionary
+/// ids are assigned in value order), each dictionary id maps to one
+/// contiguous doc-id range. Queries filtered on the sorted column touch
+/// only a contiguous slice of every column (paper section 4.2).
+class SortedIndex {
+ public:
+  SortedIndex() = default;
+
+  /// Builds from a single-value forward index whose ids must be
+  /// non-decreasing.
+  static Result<SortedIndex> BuildFromForwardIndex(const ForwardIndex& forward,
+                                                   int cardinality);
+
+  int cardinality() const {
+    return static_cast<int>(starts_.size());
+  }
+
+  /// Doc-id range [begin, end) for `dict_id`.
+  void GetDocRange(int dict_id, uint32_t* begin, uint32_t* end) const {
+    *begin = starts_[dict_id];
+    *end = ends_[dict_id];
+  }
+
+  /// Doc-id range [begin, end) covering the inclusive dict-id interval
+  /// [lo, hi]; contiguous because both ids and docs are sorted.
+  void GetDocRangeForIdRange(int lo, int hi, uint32_t* begin,
+                             uint32_t* end) const {
+    *begin = starts_[lo];
+    *end = ends_[hi];
+  }
+
+  uint64_t SizeInBytes() const {
+    return (starts_.size() + ends_.size()) * sizeof(uint32_t);
+  }
+
+  void Serialize(ByteWriter* writer) const;
+  static Result<SortedIndex> Deserialize(ByteReader* reader);
+
+ private:
+  // Per dictionary id: [starts_[id], ends_[id]) is the doc range.
+  std::vector<uint32_t> starts_;
+  std::vector<uint32_t> ends_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_INDEX_INVERTED_INDEX_H_

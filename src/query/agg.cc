@@ -1,0 +1,33 @@
+#include "query/agg.h"
+
+#include <cstring>
+
+namespace pinot {
+
+Value FinalizeAgg(AggregationType type, const AggState& state) {
+  switch (type) {
+    case AggregationType::kCount:
+      return state.count;
+    case AggregationType::kSum:
+      return state.count == 0 ? Value{0.0} : Value{state.sum};
+    case AggregationType::kMin:
+      return state.count == 0 ? Value{} : Value{state.min};
+    case AggregationType::kMax:
+      return state.count == 0 ? Value{} : Value{state.max};
+    case AggregationType::kAvg:
+      return state.count == 0
+                 ? Value{}
+                 : Value{state.sum / static_cast<double>(state.count)};
+    case AggregationType::kDistinctCount:
+      return state.distinct == nullptr ? Value{int64_t{0}}
+                                       : Value{state.distinct->size()};
+  }
+  return Value{};
+}
+
+double AggSortValue(AggregationType type, const AggState& state) {
+  const Value v = FinalizeAgg(type, state);
+  return ValueToDouble(v);
+}
+
+}  // namespace pinot

@@ -1,0 +1,103 @@
+#ifndef PINOT_QUERY_AGG_H_
+#define PINOT_QUERY_AGG_H_
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "data/value.h"
+#include "query/query.h"
+
+namespace pinot {
+
+/// Exact distinct-value accumulator for DISTINCTCOUNT. The paper calls out
+/// that preaggregation loses the ability to compute exact "distinct count"
+/// (section 2); Pinot answers it from raw data, so this set holds actual
+/// column values and merges across segments and servers.
+class DistinctSet {
+ public:
+  void AddInt64(int64_t v) { ints_.insert(v); }
+  void AddDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    doubles_.insert(bits);
+  }
+  void AddString(const std::string& v) { strings_.insert(v); }
+
+  void Merge(const DistinctSet& other) {
+    ints_.insert(other.ints_.begin(), other.ints_.end());
+    doubles_.insert(other.doubles_.begin(), other.doubles_.end());
+    strings_.insert(other.strings_.begin(), other.strings_.end());
+  }
+
+  int64_t size() const {
+    return static_cast<int64_t>(ints_.size() + doubles_.size() +
+                                strings_.size());
+  }
+
+ private:
+  std::unordered_set<int64_t> ints_;
+  std::unordered_set<uint64_t> doubles_;  // IEEE-754 bit patterns.
+  std::unordered_set<std::string> strings_;
+};
+
+/// Mergeable accumulator for one aggregation function. Holds sum/min/max/
+/// count so a single state type serves every AggregationType; the distinct
+/// set is allocated lazily (only DISTINCTCOUNT pays for it).
+struct AggState {
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  int64_t count = 0;
+  std::unique_ptr<DistinctSet> distinct;
+
+  AggState() = default;
+  AggState(AggState&&) = default;
+  AggState& operator=(AggState&&) = default;
+
+  void AddDouble(double v) {
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+    ++count;
+  }
+
+  /// Adds a preaggregated slice (used by the star-tree execution path).
+  void AddPreaggregated(double slice_sum, double slice_min, double slice_max,
+                        int64_t slice_count) {
+    sum += slice_sum;
+    if (slice_min < min) min = slice_min;
+    if (slice_max > max) max = slice_max;
+    count += slice_count;
+  }
+
+  DistinctSet* MutableDistinct() {
+    if (distinct == nullptr) distinct = std::make_unique<DistinctSet>();
+    return distinct.get();
+  }
+
+  void Merge(AggState&& other) {
+    sum += other.sum;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+    count += other.count;
+    if (other.distinct != nullptr) {
+      MutableDistinct()->Merge(*other.distinct);
+    }
+  }
+};
+
+/// Converts a merged state into the final result value for `type`.
+Value FinalizeAgg(AggregationType type, const AggState& state);
+
+/// Sort key used to order group-by rows (descending TOP n): the numeric
+/// magnitude of the finalized aggregate.
+double AggSortValue(AggregationType type, const AggState& state);
+
+}  // namespace pinot
+
+#endif  // PINOT_QUERY_AGG_H_

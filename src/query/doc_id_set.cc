@@ -1,0 +1,104 @@
+#include "query/doc_id_set.h"
+
+#include <algorithm>
+
+namespace pinot {
+
+uint64_t DocIdSet::Cardinality() const {
+  switch (kind_) {
+    case Kind::kAll:
+      return num_docs_;
+    case Kind::kNone:
+      return 0;
+    case Kind::kRange:
+      return end_ - begin_;
+    case Kind::kBitmap:
+      return bitmap_.Cardinality();
+  }
+  return 0;
+}
+
+void DocIdSet::ForEachDoc(const std::function<void(uint32_t)>& fn) const {
+  switch (kind_) {
+    case Kind::kAll:
+      for (uint32_t doc = 0; doc < num_docs_; ++doc) fn(doc);
+      return;
+    case Kind::kNone:
+      return;
+    case Kind::kRange:
+      for (uint32_t doc = begin_; doc < end_; ++doc) fn(doc);
+      return;
+    case Kind::kBitmap:
+      bitmap_.ForEach(fn);
+      return;
+  }
+}
+
+void DocIdSet::ForEachRange(
+    const std::function<void(uint32_t, uint32_t)>& fn) const {
+  switch (kind_) {
+    case Kind::kAll:
+      if (num_docs_ > 0) fn(0, num_docs_);
+      return;
+    case Kind::kNone:
+      return;
+    case Kind::kRange:
+      fn(begin_, end_);
+      return;
+    case Kind::kBitmap:
+      bitmap_.ForEachRange(fn);
+      return;
+  }
+}
+
+DocIdSet DocIdSet::Intersect(const DocIdSet& other) const {
+  if (IsEmpty() || other.IsEmpty()) return None(num_docs_);
+  if (IsAll()) return other;
+  if (other.IsAll()) return *this;
+  if (IsRangeLike() && other.IsRangeLike()) {
+    return FromRange(std::max(range_begin(), other.range_begin()),
+                     std::min(range_end(), other.range_end()), num_docs_);
+  }
+  if (IsRangeLike()) {
+    return FromBitmap(
+        other.bitmap_.And(RoaringBitmap::FromRange(range_begin(), range_end())),
+        num_docs_);
+  }
+  if (other.IsRangeLike()) {
+    return FromBitmap(bitmap_.And(RoaringBitmap::FromRange(
+                          other.range_begin(), other.range_end())),
+                      num_docs_);
+  }
+  return FromBitmap(bitmap_.And(other.bitmap_), num_docs_);
+}
+
+DocIdSet DocIdSet::Union(const DocIdSet& other) const {
+  if (IsAll() || other.IsAll()) return All(num_docs_);
+  if (IsEmpty()) return other;
+  if (other.IsEmpty()) return *this;
+  if (IsRangeLike() && other.IsRangeLike()) {
+    // Contiguous only when the ranges touch or overlap.
+    if (range_begin() <= other.range_end() &&
+        other.range_begin() <= range_end()) {
+      return FromRange(std::min(range_begin(), other.range_begin()),
+                       std::max(range_end(), other.range_end()), num_docs_);
+    }
+  }
+  return FromBitmap(ToBitmap().Or(other.ToBitmap()), num_docs_);
+}
+
+RoaringBitmap DocIdSet::ToBitmap() const {
+  switch (kind_) {
+    case Kind::kAll:
+      return RoaringBitmap::FromRange(0, num_docs_);
+    case Kind::kNone:
+      return RoaringBitmap();
+    case Kind::kRange:
+      return RoaringBitmap::FromRange(begin_, end_);
+    case Kind::kBitmap:
+      return bitmap_;
+  }
+  return RoaringBitmap();
+}
+
+}  // namespace pinot

@@ -1,0 +1,91 @@
+#ifndef PINOT_QUERY_DOC_ID_SET_H_
+#define PINOT_QUERY_DOC_ID_SET_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "bitmap/roaring.h"
+
+namespace pinot {
+
+/// The set of document ids matching a filter (or partial filter) within one
+/// segment. Filter operators on the physically sorted column produce
+/// contiguous ranges; bitmap and scan operators produce roaring bitmaps
+/// (paper section 4.2). Keeping the range representation explicit is what
+/// lets subsequent operators evaluate only part of the column.
+class DocIdSet {
+ public:
+  enum class Kind { kAll, kNone, kRange, kBitmap };
+
+  /// All documents [0, num_docs).
+  static DocIdSet All(uint32_t num_docs) {
+    DocIdSet set;
+    set.kind_ = Kind::kAll;
+    set.num_docs_ = num_docs;
+    return set;
+  }
+
+  static DocIdSet None(uint32_t num_docs) {
+    DocIdSet set;
+    set.kind_ = Kind::kNone;
+    set.num_docs_ = num_docs;
+    return set;
+  }
+
+  /// Contiguous [begin, end).
+  static DocIdSet FromRange(uint32_t begin, uint32_t end, uint32_t num_docs) {
+    if (begin >= end) return None(num_docs);
+    if (begin == 0 && end >= num_docs) return All(num_docs);
+    DocIdSet set;
+    set.kind_ = Kind::kRange;
+    set.num_docs_ = num_docs;
+    set.begin_ = begin;
+    set.end_ = end;
+    return set;
+  }
+
+  static DocIdSet FromBitmap(RoaringBitmap bitmap, uint32_t num_docs) {
+    if (bitmap.Empty()) return None(num_docs);
+    DocIdSet set;
+    set.kind_ = Kind::kBitmap;
+    set.num_docs_ = num_docs;
+    set.bitmap_ = std::move(bitmap);
+    return set;
+  }
+
+  Kind kind() const { return kind_; }
+  uint32_t num_docs() const { return num_docs_; }
+  bool IsEmpty() const { return kind_ == Kind::kNone; }
+  bool IsAll() const { return kind_ == Kind::kAll; }
+  bool IsRangeLike() const {
+    return kind_ == Kind::kAll || kind_ == Kind::kRange;
+  }
+
+  /// Range bounds; valid for kAll (0, num_docs) and kRange.
+  uint32_t range_begin() const { return kind_ == Kind::kAll ? 0 : begin_; }
+  uint32_t range_end() const {
+    return kind_ == Kind::kAll ? num_docs_ : end_;
+  }
+
+  uint64_t Cardinality() const;
+
+  void ForEachDoc(const std::function<void(uint32_t)>& fn) const;
+  void ForEachRange(const std::function<void(uint32_t, uint32_t)>& fn) const;
+
+  DocIdSet Intersect(const DocIdSet& other) const;
+  DocIdSet Union(const DocIdSet& other) const;
+
+  /// Materializes the set as a bitmap (copies for kBitmap).
+  RoaringBitmap ToBitmap() const;
+
+ private:
+  Kind kind_ = Kind::kNone;
+  uint32_t num_docs_ = 0;
+  uint32_t begin_ = 0;
+  uint32_t end_ = 0;
+  RoaringBitmap bitmap_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_QUERY_DOC_ID_SET_H_

@@ -1,0 +1,402 @@
+#include "query/filter_evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pinot {
+
+bool DictIdMatch::Matches(uint32_t dict_id) const {
+  if (match_all) return true;
+  if (match_none) return false;
+  if (contiguous) {
+    return static_cast<int>(dict_id) >= lo && static_cast<int>(dict_id) <= hi;
+  }
+  const bool in_list =
+      std::binary_search(ids.begin(), ids.end(), dict_id);
+  return negated ? !in_list : in_list;
+}
+
+DictIdMatch MatchDictIds(const Dictionary& dict, const Predicate& pred) {
+  DictIdMatch match;
+  const int cardinality = dict.size();
+  switch (pred.op) {
+    case PredicateOp::kEq: {
+      const int id = dict.IndexOf(pred.values[0]);
+      if (id < 0) {
+        match.match_none = true;
+      } else {
+        match.contiguous = true;
+        match.lo = id;
+        match.hi = id;
+        if (cardinality == 1) match.match_all = true;
+      }
+      return match;
+    }
+    case PredicateOp::kNotEq: {
+      const int id = dict.IndexOf(pred.values[0]);
+      if (id < 0) {
+        match.match_all = true;
+      } else if (cardinality == 1) {
+        match.match_none = true;
+      } else {
+        match.negated = true;
+        match.ids.push_back(static_cast<uint32_t>(id));
+      }
+      return match;
+    }
+    case PredicateOp::kIn:
+    case PredicateOp::kNotIn: {
+      std::vector<uint32_t> ids;
+      for (const auto& value : pred.values) {
+        const int id = dict.IndexOf(value);
+        if (id >= 0) ids.push_back(static_cast<uint32_t>(id));
+      }
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      const bool covers_all =
+          static_cast<int>(ids.size()) == cardinality;
+      if (pred.op == PredicateOp::kIn) {
+        if (ids.empty()) {
+          match.match_none = true;
+        } else if (covers_all) {
+          match.match_all = true;
+        } else if (ids.back() - ids.front() + 1 == ids.size()) {
+          match.contiguous = true;
+          match.lo = static_cast<int>(ids.front());
+          match.hi = static_cast<int>(ids.back());
+        } else {
+          match.ids = std::move(ids);
+        }
+      } else {
+        if (ids.empty()) {
+          match.match_all = true;
+        } else if (covers_all) {
+          match.match_none = true;
+        } else {
+          match.negated = true;
+          match.ids = std::move(ids);
+        }
+      }
+      return match;
+    }
+    case PredicateOp::kRange: {
+      if (dict.sorted()) {
+        const Dictionary::IdRange range =
+            dict.RangeFor(pred.lower, pred.lower_inclusive, pred.upper,
+                          pred.upper_inclusive);
+        if (range.empty()) {
+          match.match_none = true;
+        } else if (range.lo == 0 && range.hi == cardinality - 1) {
+          match.match_all = true;
+        } else {
+          match.contiguous = true;
+          match.lo = range.lo;
+          match.hi = range.hi;
+        }
+      } else {
+        // Unsorted (realtime) dictionary: scan all dictionary entries.
+        for (int id = 0; id < cardinality; ++id) {
+          bool ok = true;
+          if (pred.lower.has_value()) {
+            const int c = dict.CompareValueAt(id, *pred.lower);
+            ok = pred.lower_inclusive ? c >= 0 : c > 0;
+          }
+          if (ok && pred.upper.has_value()) {
+            const int c = dict.CompareValueAt(id, *pred.upper);
+            ok = pred.upper_inclusive ? c <= 0 : c < 0;
+          }
+          if (ok) match.ids.push_back(static_cast<uint32_t>(id));
+        }
+        if (match.ids.empty()) {
+          match.match_none = true;
+        } else if (static_cast<int>(match.ids.size()) == cardinality) {
+          match.match_all = true;
+          match.ids.clear();
+        }
+      }
+      return match;
+    }
+  }
+  return match;
+}
+
+namespace {
+
+int CompareForPredicate(const Value& a, const Value& b) {
+  const auto* sa = std::get_if<std::string>(&a);
+  const auto* sb = std::get_if<std::string>(&b);
+  if (sa != nullptr && sb != nullptr) return sa->compare(*sb);
+  const double da = ValueToDouble(a);
+  const double db = ValueToDouble(b);
+  return da < db ? -1 : (da > db ? 1 : 0);
+}
+
+}  // namespace
+
+bool PredicateMatchesValue(const Predicate& pred, const Value& value) {
+  // Multi-value: positive predicates match when any entry matches;
+  // negated predicates match when no entry is excluded.
+  if (IsMultiValue(value)) {
+    std::vector<Value> entries;
+    if (const auto* xs = std::get_if<std::vector<int64_t>>(&value)) {
+      for (int64_t x : *xs) entries.emplace_back(x);
+    } else if (const auto* ds = std::get_if<std::vector<double>>(&value)) {
+      for (double d : *ds) entries.emplace_back(d);
+    } else if (const auto* ss =
+                   std::get_if<std::vector<std::string>>(&value)) {
+      for (const auto& s : *ss) entries.emplace_back(s);
+    }
+    const bool negated =
+        pred.op == PredicateOp::kNotEq || pred.op == PredicateOp::kNotIn;
+    if (negated) {
+      Predicate positive = pred;
+      positive.op = pred.op == PredicateOp::kNotEq ? PredicateOp::kEq
+                                                   : PredicateOp::kIn;
+      for (const auto& entry : entries) {
+        if (PredicateMatchesValue(positive, entry)) return false;
+      }
+      return true;
+    }
+    for (const auto& entry : entries) {
+      if (PredicateMatchesValue(pred, entry)) return true;
+    }
+    return false;
+  }
+  switch (pred.op) {
+    case PredicateOp::kEq:
+      return CompareForPredicate(value, pred.values[0]) == 0;
+    case PredicateOp::kNotEq:
+      return CompareForPredicate(value, pred.values[0]) != 0;
+    case PredicateOp::kIn:
+    case PredicateOp::kNotIn: {
+      bool found = false;
+      for (const auto& candidate : pred.values) {
+        if (CompareForPredicate(value, candidate) == 0) {
+          found = true;
+          break;
+        }
+      }
+      return pred.op == PredicateOp::kIn ? found : !found;
+    }
+    case PredicateOp::kRange: {
+      if (pred.lower.has_value()) {
+        const int c = CompareForPredicate(value, *pred.lower);
+        if (pred.lower_inclusive ? c < 0 : c <= 0) return false;
+      }
+      if (pred.upper.has_value()) {
+        const int c = CompareForPredicate(value, *pred.upper);
+        if (pred.upper_inclusive ? c > 0 : c >= 0) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<DocIdSet> FilterEvaluator::Evaluate(
+    const std::optional<FilterNode>& filter) {
+  if (!filter.has_value()) return DocIdSet::All(segment_.num_docs());
+  return EvalNode(*filter, nullptr);
+}
+
+FilterEvaluator::LeafStrategy FilterEvaluator::ClassifyLeaf(
+    const Predicate& pred) const {
+  const ColumnReader* column = segment_.GetColumn(pred.column);
+  if (column == nullptr) return LeafStrategy::kConstant;
+  const DictIdMatch match = MatchDictIds(column->dictionary(), pred);
+  if (match.match_all || match.match_none) return LeafStrategy::kConstant;
+  if (column->sorted_index() != nullptr && match.contiguous) {
+    return LeafStrategy::kSortedRange;
+  }
+  if (column->inverted_index() != nullptr) return LeafStrategy::kInverted;
+  return LeafStrategy::kScan;
+}
+
+int FilterEvaluator::EstimateCost(const FilterNode& node) const {
+  if (node.kind != FilterNode::Kind::kLeaf) {
+    // Composite children: assume moderately expensive.
+    return 100;
+  }
+  switch (ClassifyLeaf(node.predicate)) {
+    case LeafStrategy::kConstant:
+      return 0;
+    case LeafStrategy::kSortedRange:
+      return 1;
+    case LeafStrategy::kInverted:
+      return 10;
+    case LeafStrategy::kScan:
+      return 1000;
+  }
+  return 1000;
+}
+
+Result<DocIdSet> FilterEvaluator::EvalNode(const FilterNode& node,
+                                           const DocIdSet* domain) {
+  switch (node.kind) {
+    case FilterNode::Kind::kLeaf:
+      return EvalLeaf(node.predicate, domain);
+    case FilterNode::Kind::kAnd:
+      return EvalAnd(node.children, domain);
+    case FilterNode::Kind::kOr:
+      return EvalOr(node.children, domain);
+  }
+  return Status::Internal("bad filter node");
+}
+
+Result<DocIdSet> FilterEvaluator::EvalAnd(
+    const std::vector<FilterNode>& children, const DocIdSet* domain) {
+  // Order children by estimated cost so sorted-range operators run first
+  // and narrow the domain for the expensive scans (paper section 4.2).
+  std::vector<const FilterNode*> ordered;
+  ordered.reserve(children.size());
+  for (const auto& child : children) ordered.push_back(&child);
+  if (reorder_predicates_) {
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [this](const FilterNode* a, const FilterNode* b) {
+                       return EstimateCost(*a) < EstimateCost(*b);
+                     });
+  }
+
+  DocIdSet current =
+      domain != nullptr ? *domain : DocIdSet::All(segment_.num_docs());
+  for (const FilterNode* child : ordered) {
+    PINOT_ASSIGN_OR_RETURN(DocIdSet child_set, EvalNode(*child, &current));
+    current = current.Intersect(child_set);
+    if (current.IsEmpty()) break;
+  }
+  return current;
+}
+
+Result<DocIdSet> FilterEvaluator::EvalOr(
+    const std::vector<FilterNode>& children, const DocIdSet* domain) {
+  DocIdSet result = DocIdSet::None(segment_.num_docs());
+  for (const auto& child : children) {
+    PINOT_ASSIGN_OR_RETURN(DocIdSet child_set, EvalNode(child, domain));
+    result = result.Union(child_set);
+    if (result.IsAll()) break;
+  }
+  if (domain != nullptr) return result.Intersect(*domain);
+  return result;
+}
+
+Result<DocIdSet> FilterEvaluator::EvalLeaf(const Predicate& pred,
+                                           const DocIdSet* domain) {
+  const uint32_t num_docs = segment_.num_docs();
+  auto bounded = [&](DocIdSet set) {
+    return domain != nullptr ? set.Intersect(*domain) : set;
+  };
+
+  const ColumnReader* column = segment_.GetColumn(pred.column);
+  if (column == nullptr) {
+    // Column added to the schema after this segment was built: every doc
+    // virtually holds the schema default (paper section 5.2).
+    const int field_index = segment_.schema().IndexOf(pred.column);
+    if (field_index < 0) {
+      return Status::NotFound("unknown column in filter: " + pred.column);
+    }
+    const Value default_value =
+        segment_.schema().EffectiveDefault(field_index);
+    if (PredicateMatchesValue(pred, default_value)) {
+      return bounded(DocIdSet::All(num_docs));
+    }
+    return DocIdSet::None(num_docs);
+  }
+
+  const DictIdMatch match = MatchDictIds(column->dictionary(), pred);
+  if (match.match_none) return DocIdSet::None(num_docs);
+  if (match.match_all) return bounded(DocIdSet::All(num_docs));
+
+  // Sorted-range operator: a contiguous dict-id interval on a physically
+  // sorted column is a contiguous doc range.
+  if (column->sorted_index() != nullptr && match.contiguous) {
+    uint32_t begin, end;
+    column->sorted_index()->GetDocRangeForIdRange(match.lo, match.hi, &begin,
+                                                  &end);
+    return bounded(DocIdSet::FromRange(begin, end, num_docs));
+  }
+
+  // Inverted-index operator.
+  if (column->inverted_index() != nullptr) {
+    const InvertedIndex& inverted = *column->inverted_index();
+    RoaringBitmap bitmap;
+    if (match.contiguous) {
+      bitmap = inverted.GetBitmapForRange(match.lo, match.hi);
+    } else {
+      for (uint32_t id : match.ids) {
+        bitmap.OrWith(inverted.GetBitmap(static_cast<int>(id)));
+      }
+      if (match.negated) bitmap = bitmap.Not(num_docs);
+    }
+    return bounded(DocIdSet::FromBitmap(std::move(bitmap), num_docs));
+  }
+
+  // Scan operator, restricted to the current domain.
+  const DocIdSet scan_domain =
+      domain != nullptr ? *domain : DocIdSet::All(num_docs);
+  return ScanColumn(*column, match, scan_domain);
+}
+
+DocIdSet FilterEvaluator::ScanColumn(const ColumnReader& column,
+                                     const DictIdMatch& match,
+                                     const DocIdSet& domain) {
+  const uint32_t num_docs = segment_.num_docs();
+  // O(1) membership mask over dictionary ids.
+  const int cardinality = column.dictionary().size();
+  std::vector<uint8_t> mask(cardinality, match.negated ? 1 : 0);
+  if (match.contiguous) {
+    for (int id = match.lo; id <= match.hi; ++id) mask[id] = 1;
+  } else {
+    for (uint32_t id : match.ids) mask[id] = match.negated ? 0 : 1;
+  }
+
+  std::vector<uint32_t> matching;
+  uint64_t scanned = 0;
+  if (column.spec().single_value) {
+    domain.ForEachRange([&](uint32_t begin, uint32_t end) {
+      scanned += end - begin;
+      for (uint32_t doc = begin; doc < end; ++doc) {
+        if (mask[column.GetDictId(doc)] != 0) matching.push_back(doc);
+      }
+    });
+  } else if (!match.negated) {
+    // Multi-value, positive predicate: the document matches when *any*
+    // entry matches.
+    std::vector<uint32_t> ids;
+    domain.ForEachRange([&](uint32_t begin, uint32_t end) {
+      scanned += end - begin;
+      for (uint32_t doc = begin; doc < end; ++doc) {
+        column.GetDictIds(doc, &ids);
+        for (uint32_t id : ids) {
+          if (mask[id] != 0) {
+            matching.push_back(doc);
+            break;
+          }
+        }
+      }
+    });
+  } else {
+    // Multi-value, negated predicate (!=, NOT IN): document-level negation
+    // — the document matches when *no* entry is excluded (vacuously true
+    // for empty arrays). This matches the inverted-index path, which
+    // complements the union of the excluded values' bitmaps.
+    std::vector<uint32_t> ids;
+    domain.ForEachRange([&](uint32_t begin, uint32_t end) {
+      scanned += end - begin;
+      for (uint32_t doc = begin; doc < end; ++doc) {
+        column.GetDictIds(doc, &ids);
+        bool excluded = false;
+        for (uint32_t id : ids) {
+          if (mask[id] == 0) {
+            excluded = true;
+            break;
+          }
+        }
+        if (!excluded) matching.push_back(doc);
+      }
+    });
+  }
+  if (stats_ != nullptr) stats_->docs_scanned += scanned;
+  return DocIdSet::FromBitmap(RoaringBitmap::FromValues(matching), num_docs);
+}
+
+}  // namespace pinot

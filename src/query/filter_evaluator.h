@@ -1,0 +1,89 @@
+#ifndef PINOT_QUERY_FILTER_EVALUATOR_H_
+#define PINOT_QUERY_FILTER_EVALUATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "query/doc_id_set.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "segment/segment.h"
+
+namespace pinot {
+
+/// A predicate translated into the dictionary-id domain of one segment's
+/// column. Immutable dictionaries assign ids in value order, so range
+/// predicates become contiguous id intervals.
+struct DictIdMatch {
+  bool match_all = false;
+  bool match_none = false;
+  // When negated, `ids` lists the *excluded* ids.
+  bool negated = false;
+  // Contiguous inclusive interval [lo, hi]; only set when !negated.
+  bool contiguous = false;
+  int lo = 0;
+  int hi = -1;
+  // Sorted matching (or excluded) ids when not contiguous.
+  std::vector<uint32_t> ids;
+
+  bool Matches(uint32_t dict_id) const;
+};
+
+/// Translates `pred` against `dict` (handles sorted and unsorted
+/// dictionaries; the latter scan the dictionary for range predicates).
+DictIdMatch MatchDictIds(const Dictionary& dict, const Predicate& pred);
+
+/// Value-level predicate test, used for columns that exist in the schema
+/// but not in a given segment (pre-schema-evolution segments): the column
+/// is virtually filled with the schema default.
+bool PredicateMatchesValue(const Predicate& pred, const Value& value);
+
+/// Evaluates a filter tree against one segment, producing the matching doc
+/// ids. Implements the paper's physical-operator selection and ordering
+/// (sections 3.3.4 and 4.2): per-leaf, the evaluator picks sorted-range,
+/// inverted-bitmap, or scan execution based on the column's available
+/// indexes; AND nodes evaluate children in ascending estimated cost and
+/// pass the accumulated doc-id set to subsequent scan operators so they
+/// only evaluate part of the column.
+class FilterEvaluator {
+ public:
+  /// `stats` may be null. The evaluator borrows `segment`.
+  FilterEvaluator(const SegmentInterface& segment, ExecutionStats* stats)
+      : segment_(segment), stats_(stats) {}
+
+  Result<DocIdSet> Evaluate(const std::optional<FilterNode>& filter);
+
+  /// Cost classes used to order AND children (ablation: predicate
+  /// reordering).
+  enum class LeafStrategy { kConstant, kSortedRange, kInverted, kScan };
+
+  /// Picks the execution strategy for a predicate on `column` (public for
+  /// tests and the planner ablation bench).
+  LeafStrategy ClassifyLeaf(const Predicate& pred) const;
+
+  /// Disables cost-based reordering of AND children (children evaluate in
+  /// query order). Used by the predicate-order ablation bench.
+  void set_reorder_predicates(bool reorder) { reorder_predicates_ = reorder; }
+
+ private:
+  Result<DocIdSet> EvalNode(const FilterNode& node, const DocIdSet* domain);
+  Result<DocIdSet> EvalAnd(const std::vector<FilterNode>& children,
+                           const DocIdSet* domain);
+  Result<DocIdSet> EvalOr(const std::vector<FilterNode>& children,
+                          const DocIdSet* domain);
+  Result<DocIdSet> EvalLeaf(const Predicate& pred, const DocIdSet* domain);
+
+  DocIdSet ScanColumn(const ColumnReader& column, const DictIdMatch& match,
+                      const DocIdSet& domain);
+
+  int EstimateCost(const FilterNode& node) const;
+
+  const SegmentInterface& segment_;
+  ExecutionStats* stats_;
+  bool reorder_predicates_ = true;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_QUERY_FILTER_EVALUATOR_H_

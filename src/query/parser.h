@@ -1,0 +1,30 @@
+#ifndef PINOT_QUERY_PARSER_H_
+#define PINOT_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/query.h"
+
+namespace pinot {
+
+/// Parses a PQL statement into a Query. PQL grammar (paper section 3.1 —
+/// a subset of SQL without joins, nested queries, DDL, or DML):
+///
+///   SELECT (agg(col) [, ...] | col [, ...] | *)
+///   FROM table
+///   [WHERE predicate]
+///   [GROUP BY col [, ...]]
+///   [TOP n]
+///   [ORDER BY col [DESC|ASC] [, ...]]
+///   [LIMIT n]
+///
+/// Predicates: =, !=, <>, <, <=, >, >=, BETWEEN x AND y, IN (...),
+/// NOT IN (...), combined with AND / OR and parentheses. Literals are
+/// integers, floating-point numbers, and single-quoted strings (with ''
+/// as the quote escape).
+Result<Query> ParsePql(std::string_view pql);
+
+}  // namespace pinot
+
+#endif  // PINOT_QUERY_PARSER_H_

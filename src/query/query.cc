@@ -1,0 +1,131 @@
+#include "query/query.h"
+
+#include <sstream>
+
+namespace pinot {
+
+const char* AggregationTypeToString(AggregationType type) {
+  switch (type) {
+    case AggregationType::kCount:
+      return "count";
+    case AggregationType::kSum:
+      return "sum";
+    case AggregationType::kMin:
+      return "min";
+    case AggregationType::kMax:
+      return "max";
+    case AggregationType::kAvg:
+      return "avg";
+    case AggregationType::kDistinctCount:
+      return "distinctcount";
+  }
+  return "?";
+}
+
+std::string AggregationSpec::ToString() const {
+  std::string out = AggregationTypeToString(type);
+  out += "(";
+  out += column.empty() ? "*" : column;
+  out += ")";
+  return out;
+}
+
+namespace {
+
+// Renders a literal in PQL syntax: strings single-quoted with '' escapes.
+std::string LiteralToString(const Value& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    std::string out = "'";
+    for (char c : *s) {
+      if (c == '\'') out += "''";
+      else out += c;
+    }
+    out += "'";
+    return out;
+  }
+  return ValueToString(v);
+}
+
+}  // namespace
+
+std::string Predicate::ToString() const {
+  std::ostringstream os;
+  os << column;
+  switch (op) {
+    case PredicateOp::kEq:
+      os << " = " << LiteralToString(values[0]);
+      break;
+    case PredicateOp::kNotEq:
+      os << " != " << LiteralToString(values[0]);
+      break;
+    case PredicateOp::kIn:
+    case PredicateOp::kNotIn: {
+      os << (op == PredicateOp::kIn ? " IN (" : " NOT IN (");
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << LiteralToString(values[i]);
+      }
+      os << ")";
+      break;
+    }
+    case PredicateOp::kRange:
+      if (lower.has_value() && upper.has_value()) {
+        os << " BETWEEN " << LiteralToString(*lower) << " AND "
+           << LiteralToString(*upper);
+      } else if (lower.has_value()) {
+        os << (lower_inclusive ? " >= " : " > ") << LiteralToString(*lower);
+      } else if (upper.has_value()) {
+        os << (upper_inclusive ? " <= " : " < ") << LiteralToString(*upper);
+      }
+      break;
+  }
+  return os.str();
+}
+
+std::string FilterNode::ToString() const {
+  if (kind == Kind::kLeaf) return predicate.ToString();
+  std::string out = "(";
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) out += kind == Kind::kAnd ? " AND " : " OR ";
+    out += children[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (IsAggregation()) {
+    for (size_t i = 0; i < aggregations.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << aggregations[i].ToString();
+    }
+  } else {
+    for (size_t i = 0; i < selection_columns.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << selection_columns[i];
+    }
+  }
+  os << " FROM " << table;
+  if (filter.has_value()) os << " WHERE " << filter->ToString();
+  if (HasGroupBy()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << group_by[i];
+    }
+    os << " TOP " << top_n;
+  }
+  if (!order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << order_by[i].first << (order_by[i].second ? " DESC" : "");
+    }
+  }
+  if (!IsAggregation() || !HasGroupBy()) os << " LIMIT " << limit;
+  return os.str();
+}
+
+}  // namespace pinot

@@ -1,0 +1,115 @@
+#ifndef PINOT_QUERY_QUERY_H_
+#define PINOT_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace pinot {
+
+/// Aggregation functions supported by PQL (paper section 3.1 and section 6:
+/// "simple aggregations (sum of clicks/views, distinct count of viewers)").
+enum class AggregationType {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kDistinctCount,
+};
+
+const char* AggregationTypeToString(AggregationType type);
+
+struct AggregationSpec {
+  AggregationType type = AggregationType::kCount;
+  std::string column;  // Empty for COUNT(*).
+
+  std::string ToString() const;
+};
+
+/// Leaf comparison operators. Ranges cover >, >=, <, <=, BETWEEN.
+enum class PredicateOp {
+  kEq,
+  kNotEq,
+  kIn,
+  kNotIn,
+  kRange,
+};
+
+struct Predicate {
+  std::string column;
+  PredicateOp op = PredicateOp::kEq;
+  // kEq/kNotEq: one value. kIn/kNotIn: n values.
+  std::vector<Value> values;
+  // kRange bounds; unset side is unbounded.
+  std::optional<Value> lower;
+  std::optional<Value> upper;
+  bool lower_inclusive = true;
+  bool upper_inclusive = true;
+
+  std::string ToString() const;
+};
+
+/// Boolean filter tree: leaves are predicates, internal nodes AND/OR.
+struct FilterNode {
+  enum class Kind { kLeaf, kAnd, kOr };
+
+  Kind kind = Kind::kLeaf;
+  Predicate predicate;              // kLeaf.
+  std::vector<FilterNode> children;  // kAnd / kOr.
+
+  static FilterNode Leaf(Predicate p) {
+    FilterNode node;
+    node.kind = Kind::kLeaf;
+    node.predicate = std::move(p);
+    return node;
+  }
+  static FilterNode And(std::vector<FilterNode> children) {
+    FilterNode node;
+    node.kind = Kind::kAnd;
+    node.children = std::move(children);
+    return node;
+  }
+  static FilterNode Or(std::vector<FilterNode> children) {
+    FilterNode node;
+    node.kind = Kind::kOr;
+    node.children = std::move(children);
+    return node;
+  }
+
+  std::string ToString() const;
+};
+
+/// A parsed PQL query (paper section 3.1: "PQL is modeled around SQL and
+/// supports selection, projection, aggregations, and top-n queries, but does
+/// not support joins or nested queries").
+struct Query {
+  std::string table;
+
+  // Aggregation mode: one or more aggregations, optional group-by.
+  std::vector<AggregationSpec> aggregations;
+  std::vector<std::string> group_by;
+
+  // Selection mode: projected columns ("*" expands at execution).
+  std::vector<std::string> selection_columns;
+
+  std::optional<FilterNode> filter;
+
+  // TOP n for group-by results; LIMIT for selections.
+  int top_n = 10;
+  int limit = 10;
+
+  // Selection ordering: (column, descending).
+  std::vector<std::pair<std::string, bool>> order_by;
+
+  bool IsAggregation() const { return !aggregations.empty(); }
+  bool HasGroupBy() const { return !group_by.empty(); }
+
+  std::string ToString() const;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_QUERY_QUERY_H_

@@ -1,0 +1,187 @@
+#include "query/result.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pinot {
+
+std::string EncodeGroupKey(const std::vector<Value>& keys) {
+  std::string out;
+  for (const auto& key : keys) {
+    out += ValueToString(key);
+    out += '\x1f';  // Unit separator; cannot appear in rendered numbers.
+  }
+  return out;
+}
+
+void PartialResult::Merge(PartialResult&& other) {
+  if (!other.status.ok() && status.ok()) status = other.status;
+  stats.Merge(other.stats);
+  total_docs += other.total_docs;
+
+  if (aggregates.empty()) {
+    aggregates = std::move(other.aggregates);
+  } else if (!other.aggregates.empty()) {
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      aggregates[i].Merge(std::move(other.aggregates[i]));
+    }
+  }
+
+  for (auto& [key, entry] : other.groups) {
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      groups.emplace(key, std::move(entry));
+    } else {
+      for (size_t i = 0; i < it->second.states.size(); ++i) {
+        it->second.states[i].Merge(std::move(entry.states[i]));
+      }
+    }
+  }
+
+  for (auto& row : other.selection_rows) {
+    selection_rows.push_back(std::move(row));
+  }
+}
+
+namespace {
+
+// Comparator for selection ORDER BY: compares two rows on the given
+// (column index, descending) list.
+struct RowComparator {
+  const std::vector<std::pair<int, bool>>* order;
+
+  static int CompareValues(const Value& a, const Value& b) {
+    const auto* sa = std::get_if<std::string>(&a);
+    const auto* sb = std::get_if<std::string>(&b);
+    if (sa != nullptr && sb != nullptr) return sa->compare(*sb);
+    const double da = ValueToDouble(a);
+    const double db = ValueToDouble(b);
+    return da < db ? -1 : (da > db ? 1 : 0);
+  }
+
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    for (const auto& [index, desc] : *order) {
+      const int c = CompareValues(a[index], b[index]);
+      if (c != 0) return desc ? c > 0 : c < 0;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+QueryResult ReduceToFinalResult(const Query& query, PartialResult&& partial) {
+  QueryResult result;
+  result.stats = partial.stats;
+  result.total_docs = partial.total_docs;
+  if (!partial.status.ok()) {
+    result.partial = true;
+    result.error_message = partial.status.ToString();
+  }
+
+  if (query.IsAggregation()) {
+    for (const auto& spec : query.aggregations) {
+      result.aggregation_names.push_back(spec.ToString());
+    }
+    if (!query.HasGroupBy()) {
+      if (partial.aggregates.empty()) {
+        partial.aggregates.resize(query.aggregations.size());
+      }
+      for (size_t i = 0; i < query.aggregations.size(); ++i) {
+        result.aggregates.push_back(
+            FinalizeAgg(query.aggregations[i].type, partial.aggregates[i]));
+      }
+    } else {
+      result.group_by_columns = query.group_by;
+      // Order groups descending by the first aggregation and keep TOP n.
+      std::vector<PartialResult::GroupEntry*> entries;
+      entries.reserve(partial.groups.size());
+      for (auto& [key, entry] : partial.groups) entries.push_back(&entry);
+      const AggregationType first_type = query.aggregations[0].type;
+      std::sort(entries.begin(), entries.end(),
+                [first_type](const PartialResult::GroupEntry* a,
+                             const PartialResult::GroupEntry* b) {
+                  return AggSortValue(first_type, a->states[0]) >
+                         AggSortValue(first_type, b->states[0]);
+                });
+      const size_t n = std::min<size_t>(entries.size(),
+                                        static_cast<size_t>(query.top_n));
+      result.group_rows.reserve(n);
+      for (size_t g = 0; g < n; ++g) {
+        QueryResult::GroupRow row;
+        row.keys = std::move(entries[g]->keys);
+        for (size_t i = 0; i < query.aggregations.size(); ++i) {
+          row.values.push_back(FinalizeAgg(query.aggregations[i].type,
+                                           entries[g]->states[i]));
+        }
+        result.group_rows.push_back(std::move(row));
+      }
+    }
+  } else {
+    result.selection_columns = query.selection_columns;
+    auto& rows = partial.selection_rows;
+    if (!query.order_by.empty()) {
+      // Map order-by columns to selection indexes.
+      std::vector<std::pair<int, bool>> order;
+      for (const auto& [column, desc] : query.order_by) {
+        for (size_t i = 0; i < query.selection_columns.size(); ++i) {
+          if (query.selection_columns[i] == column) {
+            order.emplace_back(static_cast<int>(i), desc);
+            break;
+          }
+        }
+      }
+      if (!order.empty()) {
+        RowComparator cmp{&order};
+        const size_t keep = std::min<size_t>(
+            rows.size(), static_cast<size_t>(query.limit));
+        std::partial_sort(rows.begin(), rows.begin() + keep, rows.end(), cmp);
+      }
+    }
+    if (rows.size() > static_cast<size_t>(query.limit)) {
+      rows.resize(query.limit);
+    }
+    result.selection_rows = std::move(rows);
+  }
+  return result;
+}
+
+std::string QueryResult::ToString() const {
+  std::ostringstream os;
+  if (partial) os << "[PARTIAL: " << error_message << "]\n";
+  if (!aggregates.empty()) {
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      os << aggregation_names[i] << " = " << ValueToString(aggregates[i])
+         << "\n";
+    }
+  }
+  if (!group_rows.empty()) {
+    for (const auto& column : group_by_columns) os << column << "\t";
+    for (const auto& name : aggregation_names) os << name << "\t";
+    os << "\n";
+    for (const auto& row : group_rows) {
+      for (const auto& key : row.keys) os << ValueToString(key) << "\t";
+      for (const auto& value : row.values) os << ValueToString(value) << "\t";
+      os << "\n";
+    }
+  }
+  if (!selection_rows.empty()) {
+    for (const auto& column : selection_columns) os << column << "\t";
+    os << "\n";
+    for (const auto& row : selection_rows) {
+      for (const auto& value : row) os << ValueToString(value) << "\t";
+      os << "\n";
+    }
+  }
+  os << "(docs scanned: " << stats.docs_scanned
+     << ", matched: " << stats.docs_matched
+     << ", total: " << total_docs;
+  if (stats.used_star_tree) {
+    os << ", star-tree records: " << stats.star_tree_records_scanned;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pinot

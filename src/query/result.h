@@ -1,0 +1,107 @@
+#ifndef PINOT_QUERY_RESULT_H_
+#define PINOT_QUERY_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+#include "query/agg.h"
+#include "query/query.h"
+
+namespace pinot {
+
+/// Counters accumulated during execution; used for Figure 13 (preaggregated
+/// records scanned vs raw records) and for the automated index advisor
+/// (section 5.2 parses execution statistics to add inverted indexes).
+struct ExecutionStats {
+  uint64_t docs_scanned = 0;         // Raw documents visited post-filter.
+  uint64_t docs_matched = 0;         // Documents matching the filter.
+  uint64_t segments_queried = 0;
+  uint64_t segments_pruned = 0;      // Skipped via metadata/partition.
+  uint64_t star_tree_records_scanned = 0;
+  bool used_star_tree = false;
+  bool answered_from_metadata = false;
+
+  void Merge(const ExecutionStats& other) {
+    docs_scanned += other.docs_scanned;
+    docs_matched += other.docs_matched;
+    segments_queried += other.segments_queried;
+    segments_pruned += other.segments_pruned;
+    star_tree_records_scanned += other.star_tree_records_scanned;
+    used_star_tree = used_star_tree || other.used_star_tree;
+    answered_from_metadata =
+        answered_from_metadata || other.answered_from_metadata;
+  }
+};
+
+/// Unfinalized result of executing a query over one or more segments.
+/// Mergeable across segments (server-side combine, paper section 3.3.3 step
+/// 6) and across servers (broker-side merge, step 7).
+struct PartialResult {
+  // Aggregation without group-by: one state per aggregation spec.
+  std::vector<AggState> aggregates;
+
+  // Group-by: encoded group key -> (key values, one state per spec).
+  struct GroupEntry {
+    std::vector<Value> keys;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<std::string, GroupEntry> groups;
+
+  // Selection rows (unfinalized; trimmed to limit during reduce).
+  std::vector<std::vector<Value>> selection_rows;
+
+  ExecutionStats stats;
+  int64_t total_docs = 0;  // Total documents in the queried segments.
+
+  // Execution errors; a non-OK status marks the merged result partial.
+  Status status;
+
+  void Merge(PartialResult&& other);
+};
+
+/// Encodes group-key values into a hashable string key (values from
+/// different segments hash identically, unlike dictionary ids).
+std::string EncodeGroupKey(const std::vector<Value>& keys);
+
+/// Final client-facing query response (paper section 3.3.3 step 8; errors
+/// or timeouts mark the result as partial instead of failing it).
+struct QueryResult {
+  bool partial = false;
+  std::string error_message;
+
+  // Aggregation mode.
+  std::vector<std::string> aggregation_names;
+  std::vector<Value> aggregates;
+
+  // Group-by mode: rows sorted descending by the first aggregation, top-n.
+  struct GroupRow {
+    std::vector<Value> keys;
+    std::vector<Value> values;
+  };
+  std::vector<std::string> group_by_columns;
+  std::vector<GroupRow> group_rows;
+
+  // Selection mode.
+  std::vector<std::string> selection_columns;
+  std::vector<std::vector<Value>> selection_rows;
+
+  ExecutionStats stats;
+  int64_t total_docs = 0;
+  double latency_millis = 0;
+
+  /// Human-readable rendering for examples and debugging.
+  std::string ToString() const;
+};
+
+/// Broker-side reduce: finalizes a merged PartialResult into the client
+/// response (computes avg/distinct-count, sorts group rows, applies TOP n /
+/// LIMIT and selection ordering).
+QueryResult ReduceToFinalResult(const Query& query, PartialResult&& partial);
+
+}  // namespace pinot
+
+#endif  // PINOT_QUERY_RESULT_H_

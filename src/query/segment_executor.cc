@@ -1,0 +1,687 @@
+#include "query/segment_executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+#include "query/filter_evaluator.h"
+#include "startree/star_tree.h"
+
+namespace pinot {
+
+namespace {
+
+constexpr uint32_t kMissingColumnId = 0xffffffff;
+
+// Maximum number of dictionary ids we are willing to expand a range
+// predicate into for star-tree traversal before falling back to raw
+// execution.
+constexpr size_t kMaxStarTreeIdExpansion = 65536;
+
+// Reads the full value of a column for one document (dictionary decode).
+Value ReadDocValue(const ColumnReader& column, uint32_t doc,
+                   std::vector<uint32_t>* scratch) {
+  if (column.spec().single_value) {
+    return column.dictionary().ValueAt(
+        static_cast<int>(column.GetDictId(doc)));
+  }
+  column.GetDictIds(doc, scratch);
+  const Dictionary& dict = column.dictionary();
+  switch (dict.storage()) {
+    case Dictionary::Storage::kInt64: {
+      std::vector<int64_t> out;
+      out.reserve(scratch->size());
+      for (uint32_t id : *scratch) out.push_back(dict.Int64At(id));
+      return out;
+    }
+    case Dictionary::Storage::kDouble: {
+      std::vector<double> out;
+      out.reserve(scratch->size());
+      for (uint32_t id : *scratch) out.push_back(dict.DoubleAt(id));
+      return out;
+    }
+    case Dictionary::Storage::kString: {
+      std::vector<std::string> out;
+      out.reserve(scratch->size());
+      for (uint32_t id : *scratch) out.push_back(dict.StringAt(id));
+      return out;
+    }
+  }
+  return Value{};
+}
+
+// One aggregation bound to a segment column (or to a constant default when
+// the segment predates the column).
+struct BoundAggregation {
+  AggregationType type = AggregationType::kCount;
+  const ColumnReader* column = nullptr;  // Null for COUNT(*) / missing col.
+  bool count_star = false;
+  double default_double = 0;             // Missing column: constant value.
+  Value default_value;
+
+  void Accumulate(uint32_t doc, AggState* state,
+                  std::vector<uint32_t>* scratch) const {
+    switch (type) {
+      case AggregationType::kCount:
+        ++state->count;
+        return;
+      case AggregationType::kSum:
+      case AggregationType::kMin:
+      case AggregationType::kMax:
+      case AggregationType::kAvg: {
+        double v = default_double;
+        if (column != nullptr) {
+          v = column->dictionary().DoubleValueAt(
+              static_cast<int>(column->GetDictId(doc)));
+        }
+        state->AddDouble(v);
+        return;
+      }
+      case AggregationType::kDistinctCount: {
+        DistinctSet* distinct = state->MutableDistinct();
+        if (column == nullptr) {
+          AddValueToDistinct(default_value, distinct);
+          ++state->count;
+          return;
+        }
+        const Dictionary& dict = column->dictionary();
+        if (column->spec().single_value) {
+          AddDictIdToDistinct(dict, column->GetDictId(doc), distinct);
+        } else {
+          column->GetDictIds(doc, scratch);
+          for (uint32_t id : *scratch) {
+            AddDictIdToDistinct(dict, id, distinct);
+          }
+        }
+        ++state->count;
+        return;
+      }
+    }
+  }
+
+  static void AddDictIdToDistinct(const Dictionary& dict, uint32_t id,
+                                  DistinctSet* distinct) {
+    switch (dict.storage()) {
+      case Dictionary::Storage::kInt64:
+        distinct->AddInt64(dict.Int64At(static_cast<int>(id)));
+        return;
+      case Dictionary::Storage::kDouble:
+        distinct->AddDouble(dict.DoubleAt(static_cast<int>(id)));
+        return;
+      case Dictionary::Storage::kString:
+        distinct->AddString(dict.StringAt(static_cast<int>(id)));
+        return;
+    }
+  }
+
+  static void AddValueToDistinct(const Value& v, DistinctSet* distinct) {
+    if (const auto* i = std::get_if<int64_t>(&v)) {
+      distinct->AddInt64(*i);
+    } else if (const auto* d = std::get_if<double>(&v)) {
+      distinct->AddDouble(*d);
+    } else if (const auto* s = std::get_if<std::string>(&v)) {
+      distinct->AddString(*s);
+    }
+  }
+};
+
+Status BindAggregations(const SegmentInterface& segment, const Query& query,
+                        std::vector<BoundAggregation>* out) {
+  const Schema& schema = segment.schema();
+  for (const auto& spec : query.aggregations) {
+    BoundAggregation bound;
+    bound.type = spec.type;
+    if (spec.column.empty()) {
+      if (spec.type != AggregationType::kCount) {
+        return Status::InvalidArgument("aggregation requires a column: " +
+                                       spec.ToString());
+      }
+      bound.count_star = true;
+    } else {
+      const int field_index = schema.IndexOf(spec.column);
+      if (field_index < 0) {
+        return Status::NotFound("unknown aggregation column: " + spec.column);
+      }
+      const FieldSpec& field = schema.field(field_index);
+      if (spec.type != AggregationType::kCount &&
+          spec.type != AggregationType::kDistinctCount) {
+        if (field.type == DataType::kString) {
+          return Status::InvalidArgument(
+              "numeric aggregation on string column: " + spec.column);
+        }
+        if (!field.single_value) {
+          return Status::InvalidArgument(
+              "numeric aggregation on multi-value column: " + spec.column);
+        }
+      }
+      bound.column = segment.GetColumn(spec.column);
+      if (bound.column == nullptr) {
+        bound.default_value = schema.EffectiveDefault(field_index);
+        bound.default_double = ValueToDouble(bound.default_value);
+      }
+    }
+    out->push_back(std::move(bound));
+  }
+  return Status::OK();
+}
+
+// --- Group-by helpers ------------------------------------------------------
+
+// Per-segment group keys are raw dictionary-id bytes (fast); they are
+// re-encoded into value-based keys before leaving the segment so results
+// merge correctly across segments.
+void AppendIdToKey(uint32_t id, std::string* key) {
+  char bytes[4];
+  std::memcpy(bytes, &id, 4);
+  key->append(bytes, 4);
+}
+
+struct GroupByColumn {
+  const ColumnReader* column = nullptr;  // Null -> missing (default value).
+  Value default_value;
+  bool single_value = true;
+};
+
+// Decodes a dict-id key back into group values.
+std::vector<Value> DecodeGroupKey(const std::string& key,
+                                  const std::vector<GroupByColumn>& columns) {
+  std::vector<Value> values;
+  values.reserve(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    uint32_t id;
+    std::memcpy(&id, key.data() + i * 4, 4);
+    if (columns[i].column == nullptr || id == kMissingColumnId) {
+      values.push_back(columns[i].default_value);
+    } else {
+      values.push_back(
+          columns[i].column->dictionary().ValueAt(static_cast<int>(id)));
+    }
+  }
+  return values;
+}
+
+using LocalGroups = std::unordered_map<std::string, std::vector<AggState>>;
+
+// Emits one (doc, group-key) contribution; recursion handles multi-value
+// group columns by exploding every entry combination.
+template <typename Fn>
+void ForEachGroupKey(const std::vector<GroupByColumn>& columns, uint32_t doc,
+                     size_t index, std::string* key,
+                     std::vector<std::vector<uint32_t>>* scratch, Fn&& fn) {
+  if (index == columns.size()) {
+    fn(*key);
+    return;
+  }
+  const GroupByColumn& gb = columns[index];
+  const size_t key_size = key->size();
+  if (gb.column == nullptr) {
+    AppendIdToKey(kMissingColumnId, key);
+    ForEachGroupKey(columns, doc, index + 1, key, scratch, fn);
+    key->resize(key_size);
+    return;
+  }
+  if (gb.single_value) {
+    AppendIdToKey(gb.column->GetDictId(doc), key);
+    ForEachGroupKey(columns, doc, index + 1, key, scratch, fn);
+    key->resize(key_size);
+    return;
+  }
+  std::vector<uint32_t>& ids = (*scratch)[index];
+  gb.column->GetDictIds(doc, &ids);
+  if (ids.empty()) {
+    AppendIdToKey(kMissingColumnId, key);
+    ForEachGroupKey(columns, doc, index + 1, key, scratch, fn);
+    key->resize(key_size);
+    return;
+  }
+  for (uint32_t id : ids) {
+    AppendIdToKey(id, key);
+    ForEachGroupKey(columns, doc, index + 1, key, scratch, fn);
+    key->resize(key_size);
+  }
+}
+
+void FlushLocalGroups(const std::vector<GroupByColumn>& columns,
+                      LocalGroups&& local, PartialResult* out) {
+  for (auto& [key, states] : local) {
+    std::vector<Value> values = DecodeGroupKey(key, columns);
+    std::string value_key = EncodeGroupKey(values);
+    auto it = out->groups.find(value_key);
+    if (it == out->groups.end()) {
+      PartialResult::GroupEntry entry;
+      entry.keys = std::move(values);
+      entry.states = std::move(states);
+      out->groups.emplace(std::move(value_key), std::move(entry));
+    } else {
+      for (size_t i = 0; i < states.size(); ++i) {
+        it->second.states[i].Merge(std::move(states[i]));
+      }
+    }
+  }
+}
+
+// --- Star-tree path --------------------------------------------------------
+
+// Collects the AND-of-leaves predicate list from a filter tree; returns
+// false when the tree has ORs across columns or nesting the star-tree
+// traversal cannot serve.
+bool FlattenConjunction(const FilterNode& node,
+                        std::vector<const Predicate*>* out) {
+  switch (node.kind) {
+    case FilterNode::Kind::kLeaf:
+      out->push_back(&node.predicate);
+      return true;
+    case FilterNode::Kind::kAnd:
+      for (const auto& child : node.children) {
+        if (!FlattenConjunction(child, out)) return false;
+      }
+      return true;
+    case FilterNode::Kind::kOr:
+      return false;
+  }
+  return false;
+}
+
+bool StarTreeEligible(const SegmentInterface& segment, const Query& query,
+                      std::vector<const Predicate*>* predicates) {
+  const StarTree* tree = segment.star_tree();
+  if (tree == nullptr) return false;
+  if (!query.IsAggregation()) return false;
+  for (const auto& spec : query.aggregations) {
+    switch (spec.type) {
+      case AggregationType::kCount:
+        if (!spec.column.empty() &&
+            tree->MetricIndex(spec.column) < 0) {
+          return false;
+        }
+        break;
+      case AggregationType::kSum:
+      case AggregationType::kMin:
+      case AggregationType::kMax:
+      case AggregationType::kAvg:
+        if (tree->MetricIndex(spec.column) < 0) return false;
+        break;
+      case AggregationType::kDistinctCount:
+        return false;  // Needs raw data (paper section 2).
+    }
+  }
+  for (const auto& column : query.group_by) {
+    if (tree->DimensionIndex(column) < 0) return false;
+  }
+  if (query.filter.has_value()) {
+    if (!FlattenConjunction(*query.filter, predicates)) return false;
+    for (const Predicate* pred : *predicates) {
+      if (tree->DimensionIndex(pred->column) < 0) return false;
+      if (pred->op == PredicateOp::kNotEq || pred->op == PredicateOp::kNotIn) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Status ExecuteWithStarTree(const SegmentInterface& segment,
+                           const Query& query,
+                           const std::vector<const Predicate*>& predicates,
+                           PartialResult* out) {
+  const StarTree& tree = *segment.star_tree();
+  const int num_dims = static_cast<int>(tree.config().dimensions.size());
+
+  // Build per-dimension specs: matching dict ids + group-by flags.
+  std::vector<StarTree::DimensionSpec> specs(num_dims);
+  for (const Predicate* pred : predicates) {
+    const int dim = tree.DimensionIndex(pred->column);
+    const ColumnReader* column = segment.GetColumn(pred->column);
+    if (column == nullptr) {
+      return Status::Internal("star-tree dimension column missing");
+    }
+    const DictIdMatch match = MatchDictIds(column->dictionary(), *pred);
+    if (match.match_none) return Status::OK();  // Empty result.
+    if (match.match_all) continue;
+    StarTree::DimensionSpec& spec = specs[dim];
+    std::vector<uint32_t> ids;
+    if (match.contiguous) {
+      if (static_cast<size_t>(match.hi - match.lo + 1) >
+          kMaxStarTreeIdExpansion) {
+        return Status::ResourceExhausted("star-tree id expansion too large");
+      }
+      for (int id = match.lo; id <= match.hi; ++id) {
+        ids.push_back(static_cast<uint32_t>(id));
+      }
+    } else {
+      ids = match.ids;
+    }
+    if (spec.has_predicate) {
+      // Two predicates on the same dimension: intersect the id sets.
+      std::vector<uint32_t> merged;
+      std::set_intersection(spec.matching_ids.begin(),
+                            spec.matching_ids.end(), ids.begin(), ids.end(),
+                            std::back_inserter(merged));
+      spec.matching_ids = std::move(merged);
+      if (spec.matching_ids.empty()) return Status::OK();
+    } else {
+      spec.has_predicate = true;
+      spec.matching_ids = std::move(ids);
+    }
+  }
+  std::vector<int> group_dims;
+  std::vector<GroupByColumn> group_columns;
+  for (const auto& column : query.group_by) {
+    const int dim = tree.DimensionIndex(column);
+    specs[dim].group_by = true;
+    group_dims.push_back(dim);
+    GroupByColumn gb;
+    gb.column = segment.GetColumn(column);
+    gb.single_value = true;
+    group_columns.push_back(gb);
+  }
+
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  tree.CollectRecordRanges(specs, &ranges);
+
+  // Aggregate over the collected preaggregated records.
+  std::vector<int> metric_indexes;
+  for (const auto& spec : query.aggregations) {
+    metric_indexes.push_back(
+        spec.column.empty() ? -1 : tree.MetricIndex(spec.column));
+  }
+
+  // Predicate dims needing per-record re-checks.
+  std::vector<int> check_dims;
+  for (int d = 0; d < num_dims; ++d) {
+    if (specs[d].has_predicate) check_dims.push_back(d);
+  }
+
+  const size_t num_aggs = query.aggregations.size();
+  std::vector<AggState> totals(num_aggs);
+  LocalGroups local;
+  std::string key;
+  uint64_t records_scanned = 0;
+
+  for (const auto& [begin, end] : ranges) {
+    for (uint32_t record = begin; record < end; ++record) {
+      ++records_scanned;
+      bool keep = true;
+      for (int dim : check_dims) {
+        const uint32_t value = tree.DimValue(dim, record);
+        if (!std::binary_search(specs[dim].matching_ids.begin(),
+                                specs[dim].matching_ids.end(), value)) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) continue;
+
+      std::vector<AggState>* states = &totals;
+      if (!group_dims.empty()) {
+        key.clear();
+        for (int dim : group_dims) {
+          AppendIdToKey(tree.DimValue(dim, record), &key);
+        }
+        auto [it, inserted] = local.try_emplace(key);
+        if (inserted) it->second.resize(num_aggs);
+        states = &it->second;
+      }
+
+      for (size_t a = 0; a < num_aggs; ++a) {
+        AggState& state = (*states)[a];
+        const int metric = metric_indexes[a];
+        switch (query.aggregations[a].type) {
+          case AggregationType::kCount:
+            state.count += tree.Count(record);
+            break;
+          case AggregationType::kSum:
+          case AggregationType::kAvg:
+          case AggregationType::kMin:
+          case AggregationType::kMax:
+            state.AddPreaggregated(tree.MetricSum(metric, record),
+                                   tree.MetricMin(metric, record),
+                                   tree.MetricMax(metric, record),
+                                   tree.Count(record));
+            break;
+          case AggregationType::kDistinctCount:
+            break;  // Excluded by eligibility.
+        }
+      }
+      out->stats.docs_matched += tree.Count(record);
+    }
+  }
+
+  out->stats.star_tree_records_scanned += records_scanned;
+  out->stats.used_star_tree = true;
+
+  if (group_dims.empty()) {
+    if (out->aggregates.empty()) {
+      out->aggregates = std::move(totals);
+    } else {
+      for (size_t i = 0; i < totals.size(); ++i) {
+        out->aggregates[i].Merge(std::move(totals[i]));
+      }
+    }
+  } else {
+    FlushLocalGroups(group_columns, std::move(local), out);
+  }
+  return Status::OK();
+}
+
+// --- Metadata-only path ----------------------------------------------------
+
+bool TryMetadataOnlyPlan(const SegmentInterface& segment, const Query& query,
+                         PartialResult* out) {
+  if (!query.IsAggregation() || query.HasGroupBy() ||
+      query.filter.has_value()) {
+    return false;
+  }
+  std::vector<AggState> states(query.aggregations.size());
+  for (size_t i = 0; i < query.aggregations.size(); ++i) {
+    const auto& spec = query.aggregations[i];
+    if (spec.type == AggregationType::kCount && spec.column.empty()) {
+      states[i].count = segment.num_docs();
+      continue;
+    }
+    if (spec.type == AggregationType::kMin ||
+        spec.type == AggregationType::kMax) {
+      const ColumnReader* column = segment.GetColumn(spec.column);
+      if (column == nullptr || !column->spec().single_value ||
+          column->spec().type == DataType::kString ||
+          segment.num_docs() == 0) {
+        return false;
+      }
+      const ColumnStats& stats = column->stats();
+      states[i].AddPreaggregated(0, ValueToDouble(stats.min_value),
+                                 ValueToDouble(stats.max_value),
+                                 segment.num_docs());
+      states[i].sum = 0;
+      continue;
+    }
+    return false;
+  }
+  if (out->aggregates.empty()) {
+    out->aggregates = std::move(states);
+  } else {
+    for (size_t i = 0; i < states.size(); ++i) {
+      out->aggregates[i].Merge(std::move(states[i]));
+    }
+  }
+  out->stats.answered_from_metadata = true;
+  out->stats.docs_matched += segment.num_docs();
+  return true;
+}
+
+// --- Raw path: selection ---------------------------------------------------
+
+Status ExecuteSelection(const SegmentInterface& segment, const Query& query,
+                        const DocIdSet& docs, PartialResult* out) {
+  const Schema& schema = segment.schema();
+  std::vector<std::string> columns;
+  if (query.selection_columns.size() == 1 &&
+      query.selection_columns[0] == "*") {
+    columns = schema.FieldNames();
+  } else {
+    columns = query.selection_columns;
+  }
+  struct Projected {
+    const ColumnReader* column;
+    Value default_value;
+  };
+  std::vector<Projected> projected;
+  for (const auto& name : columns) {
+    const int field_index = schema.IndexOf(name);
+    if (field_index < 0) {
+      return Status::NotFound("unknown selection column: " + name);
+    }
+    Projected p;
+    p.column = segment.GetColumn(name);
+    if (p.column == nullptr) {
+      p.default_value = schema.EffectiveDefault(field_index);
+    }
+    projected.push_back(std::move(p));
+  }
+
+  const bool need_all = !query.order_by.empty();
+  const size_t limit = static_cast<size_t>(query.limit);
+  std::vector<uint32_t> scratch;
+  bool done = false;
+  uint64_t scanned = 0;
+  docs.ForEachRange([&](uint32_t begin, uint32_t end) {
+    if (done) return;
+    for (uint32_t doc = begin; doc < end && !done; ++doc) {
+      ++scanned;
+      std::vector<Value> row;
+      row.reserve(projected.size());
+      for (const auto& p : projected) {
+        if (p.column == nullptr) {
+          row.push_back(p.default_value);
+        } else {
+          row.push_back(ReadDocValue(*p.column, doc, &scratch));
+        }
+      }
+      out->selection_rows.push_back(std::move(row));
+      if (!need_all && out->selection_rows.size() >= limit) done = true;
+    }
+  });
+  out->stats.docs_scanned += scanned;
+  return Status::OK();
+}
+
+}  // namespace
+
+bool CanUseStarTree(const SegmentInterface& segment, const Query& query) {
+  std::vector<const Predicate*> predicates;
+  return StarTreeEligible(segment, query, &predicates);
+}
+
+Status ExecuteQueryOnSegment(const SegmentInterface& segment,
+                             const Query& query, PartialResult* out) {
+  out->total_docs += segment.num_docs();
+  out->stats.segments_queried += 1;
+
+  // 1. Metadata-only plan.
+  if (TryMetadataOnlyPlan(segment, query, out)) return Status::OK();
+
+  // 2. Star-tree plan.
+  {
+    std::vector<const Predicate*> predicates;
+    if (StarTreeEligible(segment, query, &predicates)) {
+      Status st = ExecuteWithStarTree(segment, query, predicates, out);
+      // ResourceExhausted -> predicate expansion too large; fall through to
+      // the raw plan.
+      if (!st.IsQuotaExceeded() &&
+          st.code() != StatusCode::kResourceExhausted) {
+        return st;
+      }
+    }
+  }
+
+  // 3. Raw plan.
+  FilterEvaluator evaluator(segment, &out->stats);
+  PINOT_ASSIGN_OR_RETURN(DocIdSet docs, evaluator.Evaluate(query.filter));
+  out->stats.docs_matched += docs.Cardinality();
+
+  if (!query.IsAggregation()) {
+    return ExecuteSelection(segment, query, docs, out);
+  }
+
+  std::vector<BoundAggregation> bound;
+  PINOT_RETURN_NOT_OK(BindAggregations(segment, query, &bound));
+
+  if (!query.HasGroupBy()) {
+    std::vector<AggState> states(bound.size());
+    // COUNT-only queries need no per-document work.
+    bool count_only = true;
+    for (const auto& b : bound) {
+      if (b.type != AggregationType::kCount) {
+        count_only = false;
+        break;
+      }
+    }
+    if (count_only) {
+      const int64_t matched = static_cast<int64_t>(docs.Cardinality());
+      for (auto& state : states) state.count = matched;
+    } else {
+      std::vector<uint32_t> scratch;
+      uint64_t scanned = 0;
+      docs.ForEachRange([&](uint32_t begin, uint32_t end) {
+        scanned += end - begin;
+        for (uint32_t doc = begin; doc < end; ++doc) {
+          for (size_t i = 0; i < bound.size(); ++i) {
+            bound[i].Accumulate(doc, &states[i], &scratch);
+          }
+        }
+      });
+      out->stats.docs_scanned += scanned;
+    }
+    if (out->aggregates.empty()) {
+      out->aggregates = std::move(states);
+    } else {
+      for (size_t i = 0; i < states.size(); ++i) {
+        out->aggregates[i].Merge(std::move(states[i]));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Group-by over raw documents.
+  const Schema& schema = segment.schema();
+  std::vector<GroupByColumn> group_columns;
+  for (const auto& name : query.group_by) {
+    const int field_index = schema.IndexOf(name);
+    if (field_index < 0) {
+      return Status::NotFound("unknown group-by column: " + name);
+    }
+    GroupByColumn gb;
+    gb.column = segment.GetColumn(name);
+    gb.single_value = schema.field(field_index).single_value;
+    if (gb.column == nullptr) {
+      gb.default_value = schema.EffectiveDefault(field_index);
+    }
+    group_columns.push_back(std::move(gb));
+  }
+
+  LocalGroups local;
+  std::string key;
+  std::vector<std::vector<uint32_t>> mv_scratch(group_columns.size());
+  std::vector<uint32_t> scratch;
+  const size_t num_aggs = bound.size();
+  uint64_t scanned = 0;
+  docs.ForEachRange([&](uint32_t begin, uint32_t end) {
+    scanned += end - begin;
+    for (uint32_t doc = begin; doc < end; ++doc) {
+      key.clear();
+      ForEachGroupKey(group_columns, doc, 0, &key, &mv_scratch,
+                      [&](const std::string& group_key) {
+                        auto [it, inserted] = local.try_emplace(group_key);
+                        if (inserted) it->second.resize(num_aggs);
+                        for (size_t i = 0; i < num_aggs; ++i) {
+                          bound[i].Accumulate(doc, &it->second[i], &scratch);
+                        }
+                      });
+    }
+  });
+  out->stats.docs_scanned += scanned;
+  FlushLocalGroups(group_columns, std::move(local), out);
+  return Status::OK();
+}
+
+}  // namespace pinot

@@ -1,0 +1,31 @@
+#ifndef PINOT_QUERY_SEGMENT_EXECUTOR_H_
+#define PINOT_QUERY_SEGMENT_EXECUTOR_H_
+
+#include "common/status.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "segment/segment.h"
+
+namespace pinot {
+
+/// Executes `query` against one segment and merges the outcome into `out`.
+///
+/// Per-segment physical planning (paper section 3.3.4): the executor picks,
+/// in order of preference,
+///   1. a metadata-only plan (COUNT(*)/MIN/MAX with no filter),
+///   2. a star-tree plan when the segment has a star-tree covering the
+///      query's filter/group-by dimensions and aggregation metrics
+///      (section 4.3), or
+///   3. the raw plan: filter evaluation (sorted-range / inverted / scan
+///      operators chosen per column) followed by aggregation, group-by, or
+///      selection over the matching documents.
+Status ExecuteQueryOnSegment(const SegmentInterface& segment,
+                             const Query& query, PartialResult* out);
+
+/// True when the segment's star-tree can answer the query (exposed for
+/// tests and the Figure 13 bench).
+bool CanUseStarTree(const SegmentInterface& segment, const Query& query);
+
+}  // namespace pinot
+
+#endif  // PINOT_QUERY_SEGMENT_EXECUTOR_H_

@@ -1,0 +1,124 @@
+#include "query/table_executor.h"
+
+#include <mutex>
+
+#include "query/segment_executor.h"
+
+namespace pinot {
+
+namespace {
+
+int CompareValuesForPrune(const Value& a, const Value& b) {
+  const auto* sa = std::get_if<std::string>(&a);
+  const auto* sb = std::get_if<std::string>(&b);
+  if (sa != nullptr && sb != nullptr) return sa->compare(*sb);
+  const double da = ValueToDouble(a);
+  const double db = ValueToDouble(b);
+  return da < db ? -1 : (da > db ? 1 : 0);
+}
+
+// Returns true when `pred` provably matches no document given the column's
+// [min, max] statistics.
+bool PredicateDisjointFromStats(const Predicate& pred,
+                                const ColumnStats& stats) {
+  switch (pred.op) {
+    case PredicateOp::kEq: {
+      const Value& v = pred.values[0];
+      return CompareValuesForPrune(v, stats.min_value) < 0 ||
+             CompareValuesForPrune(v, stats.max_value) > 0;
+    }
+    case PredicateOp::kIn: {
+      for (const auto& v : pred.values) {
+        if (CompareValuesForPrune(v, stats.min_value) >= 0 &&
+            CompareValuesForPrune(v, stats.max_value) <= 0) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case PredicateOp::kRange: {
+      if (pred.lower.has_value()) {
+        const int c = CompareValuesForPrune(*pred.lower, stats.max_value);
+        if (c > 0 || (c == 0 && !pred.lower_inclusive)) return true;
+      }
+      if (pred.upper.has_value()) {
+        const int c = CompareValuesForPrune(*pred.upper, stats.min_value);
+        if (c < 0 || (c == 0 && !pred.upper_inclusive)) return true;
+      }
+      return false;
+    }
+    case PredicateOp::kNotEq:
+    case PredicateOp::kNotIn:
+      return false;
+  }
+  return false;
+}
+
+// Walks top-level AND leaves only: if any single conjunct is disjoint from
+// the segment, the whole filter is.
+bool FilterDisjointFromSegment(const SegmentInterface& segment,
+                               const FilterNode& node) {
+  switch (node.kind) {
+    case FilterNode::Kind::kLeaf: {
+      const ColumnReader* column = segment.GetColumn(node.predicate.column);
+      if (column == nullptr) return false;
+      return PredicateDisjointFromStats(node.predicate, column->stats());
+    }
+    case FilterNode::Kind::kAnd:
+      for (const auto& child : node.children) {
+        if (FilterDisjointFromSegment(segment, child)) return true;
+      }
+      return false;
+    case FilterNode::Kind::kOr:
+      for (const auto& child : node.children) {
+        if (!FilterDisjointFromSegment(segment, child)) return false;
+      }
+      return !node.children.empty();
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CanPruneSegment(const SegmentInterface& segment, const Query& query) {
+  if (!query.filter.has_value()) return false;
+  if (segment.num_docs() == 0) return true;
+  return FilterDisjointFromSegment(segment, *query.filter);
+}
+
+PartialResult ExecuteQueryOnSegments(
+    const std::vector<std::shared_ptr<SegmentInterface>>& segments,
+    const Query& query, ThreadPool* pool) {
+  PartialResult merged;
+
+  std::vector<std::shared_ptr<SegmentInterface>> to_run;
+  for (const auto& segment : segments) {
+    if (CanPruneSegment(*segment, query)) {
+      merged.stats.segments_pruned += 1;
+      merged.total_docs += segment->num_docs();
+    } else {
+      to_run.push_back(segment);
+    }
+  }
+
+  if (pool == nullptr || to_run.size() <= 1) {
+    for (const auto& segment : to_run) {
+      PartialResult partial;
+      partial.status = ExecuteQueryOnSegment(*segment, query, &partial);
+      merged.Merge(std::move(partial));
+    }
+    return merged;
+  }
+
+  std::vector<PartialResult> partials(to_run.size());
+  pool->ParallelFor(static_cast<int>(to_run.size()), [&](int i) {
+    partials[i].status =
+        ExecuteQueryOnSegment(*to_run[i], query, &partials[i]);
+  });
+  for (auto& partial : partials) {
+    merged.Merge(std::move(partial));
+  }
+  return merged;
+}
+
+}  // namespace pinot

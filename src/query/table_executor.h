@@ -1,0 +1,32 @@
+#ifndef PINOT_QUERY_TABLE_EXECUTOR_H_
+#define PINOT_QUERY_TABLE_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "segment/segment.h"
+
+namespace pinot {
+
+/// Executes `query` over a set of segments, combining the per-segment
+/// partial results (the server-side combine of paper section 3.3.3 step 6;
+/// "query plans are processed in parallel" when `pool` is non-null).
+///
+/// Segments whose metadata proves they cannot match the filter (predicate
+/// value ranges disjoint from the column's min/max) are pruned without
+/// execution; per-segment errors mark the merged result's status, which the
+/// broker surfaces as a partial result rather than a failure.
+PartialResult ExecuteQueryOnSegments(
+    const std::vector<std::shared_ptr<SegmentInterface>>& segments,
+    const Query& query, ThreadPool* pool = nullptr);
+
+/// True when segment metadata alone proves the filter matches nothing in
+/// this segment (exposed for tests).
+bool CanPruneSegment(const SegmentInterface& segment, const Query& query);
+
+}  // namespace pinot
+
+#endif  // PINOT_QUERY_TABLE_EXECUTOR_H_

@@ -1,0 +1,133 @@
+#include "realtime/completion.h"
+
+#include <algorithm>
+
+namespace pinot {
+
+const char* CompletionInstructionToString(CompletionInstruction instruction) {
+  switch (instruction) {
+    case CompletionInstruction::kHold:
+      return "HOLD";
+    case CompletionInstruction::kDiscard:
+      return "DISCARD";
+    case CompletionInstruction::kCatchup:
+      return "CATCHUP";
+    case CompletionInstruction::kKeep:
+      return "KEEP";
+    case CompletionInstruction::kCommit:
+      return "COMMIT";
+    case CompletionInstruction::kNotLeader:
+      return "NOTLEADER";
+  }
+  return "?";
+}
+
+CompletionResponse SegmentCompletionManager::OnSegmentConsumed(
+    const std::string& segment, const std::string& server, int64_t offset,
+    int num_replicas) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SegmentFsm& fsm = segments_[segment];
+  if (fsm.offsets.empty()) fsm.first_poll_millis = clock_->NowMillis();
+
+  if (fsm.state == FsmState::kCommitted) {
+    if (offset == fsm.committed_offset) {
+      return {CompletionInstruction::kKeep, fsm.committed_offset};
+    }
+    return {CompletionInstruction::kDiscard, fsm.committed_offset};
+  }
+
+  auto it = fsm.offsets.find(server);
+  if (it == fsm.offsets.end()) {
+    fsm.offsets[server] = offset;
+  } else {
+    it->second = std::max(it->second, offset);
+  }
+
+  if (fsm.state == FsmState::kCommitterDecided ||
+      fsm.state == FsmState::kCommitting) {
+    if (offset < fsm.target_offset) {
+      return {CompletionInstruction::kCatchup, fsm.target_offset};
+    }
+    if (server == fsm.committer && offset == fsm.target_offset &&
+        fsm.state == FsmState::kCommitterDecided) {
+      return {CompletionInstruction::kCommit, fsm.target_offset};
+    }
+    // Another replica already at the target, or the committer's commit is
+    // in flight: wait for the outcome.
+    return {CompletionInstruction::kHold, fsm.target_offset};
+  }
+
+  // Gathering: wait for all replicas or the timeout since the first poll.
+  const bool all_reported =
+      static_cast<int>(fsm.offsets.size()) >= num_replicas;
+  const bool timed_out =
+      clock_->NowMillis() - fsm.first_poll_millis >= max_wait_millis_;
+  if (!all_reported && !timed_out) {
+    return {CompletionInstruction::kHold, -1};
+  }
+
+  // Decide: drive everyone to the largest reported offset; the first
+  // replica polling at that offset becomes the committer.
+  int64_t max_offset = -1;
+  for (const auto& [replica, replica_offset] : fsm.offsets) {
+    max_offset = std::max(max_offset, replica_offset);
+  }
+  fsm.target_offset = max_offset;
+  if (offset < max_offset) {
+    return {CompletionInstruction::kCatchup, max_offset};
+  }
+  fsm.state = FsmState::kCommitterDecided;
+  fsm.committer = server;
+  return {CompletionInstruction::kCommit, max_offset};
+}
+
+Status SegmentCompletionManager::OnCommitStart(const std::string& segment,
+                                               const std::string& server,
+                                               int64_t offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) {
+    return Status::FailedPrecondition("no completion state for " + segment);
+  }
+  SegmentFsm& fsm = it->second;
+  if (fsm.state != FsmState::kCommitterDecided || fsm.committer != server ||
+      fsm.target_offset != offset) {
+    return Status::FailedPrecondition("not the designated committer");
+  }
+  fsm.state = FsmState::kCommitting;
+  return Status::OK();
+}
+
+void SegmentCompletionManager::OnCommitSuccess(const std::string& segment,
+                                               int64_t offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SegmentFsm& fsm = segments_[segment];
+  fsm.state = FsmState::kCommitted;
+  fsm.committed_offset = offset;
+}
+
+void SegmentCompletionManager::OnCommitFailure(const std::string& segment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) return;
+  if (it->second.state == FsmState::kCommitting) {
+    // Allow a different replica at the target offset to become committer.
+    it->second.state = FsmState::kGathering;
+    it->second.committer.clear();
+  }
+}
+
+bool SegmentCompletionManager::IsCommitted(const std::string& segment) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = segments_.find(segment);
+  return it != segments_.end() && it->second.state == FsmState::kCommitted;
+}
+
+int64_t SegmentCompletionManager::CommittedOffset(
+    const std::string& segment) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = segments_.find(segment);
+  return it == segments_.end() ? -1 : it->second.committed_offset;
+}
+
+}  // namespace pinot

@@ -1,0 +1,88 @@
+#ifndef PINOT_REALTIME_COMPLETION_H_
+#define PINOT_REALTIME_COMPLETION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace pinot {
+
+/// Instructions the controller returns to a polling server (paper section
+/// 3.3.6).
+enum class CompletionInstruction {
+  kHold,       // Do nothing; poll again later.
+  kDiscard,    // Drop local data; fetch the committed copy.
+  kCatchup,    // Consume up to target_offset, then poll again.
+  kKeep,       // Local data equals the committed copy; flush and load it.
+  kCommit,     // Flush and attempt to commit.
+  kNotLeader,  // This controller is not the leader; look up the leader.
+};
+
+const char* CompletionInstructionToString(CompletionInstruction instruction);
+
+struct CompletionResponse {
+  CompletionInstruction instruction = CompletionInstruction::kHold;
+  // kCatchup: offset to consume to. kKeep/kDiscard: the committed offset.
+  int64_t target_offset = -1;
+};
+
+/// The leader controller's per-segment consensus state machine (paper
+/// section 3.3.6): replicas consuming the same partition from the same
+/// start offset poll with their current offsets; the manager waits until
+/// all replicas have reported or a timeout elapses, drives stragglers to
+/// the largest offset via CATCHUP, picks one replica at the largest offset
+/// as the committer, and hands every other replica KEEP or DISCARD once the
+/// commit lands. "On controller failure, a new blank state machine is
+/// started on the new leader controller; this only delays the segment
+/// commit, but otherwise has no effect on correctness" — modeled by simply
+/// constructing a fresh manager.
+class SegmentCompletionManager {
+ public:
+  SegmentCompletionManager(Clock* clock, int64_t max_wait_millis)
+      : clock_(clock), max_wait_millis_(max_wait_millis) {}
+
+  /// A server finished (or paused) consuming `segment` at `offset`.
+  CompletionResponse OnSegmentConsumed(const std::string& segment,
+                                       const std::string& server,
+                                       int64_t offset, int num_replicas);
+
+  /// The designated committer attempts the commit. OK means the caller
+  /// (controller) should persist the blob and finalize the segment;
+  /// FailedPrecondition sends the server back to polling.
+  Status OnCommitStart(const std::string& segment, const std::string& server,
+                       int64_t offset);
+
+  /// Finalizes a successful commit (controller persisted the blob).
+  void OnCommitSuccess(const std::string& segment, int64_t offset);
+
+  /// Reverts to gathering when the commit fails mid-flight.
+  void OnCommitFailure(const std::string& segment);
+
+  bool IsCommitted(const std::string& segment) const;
+  int64_t CommittedOffset(const std::string& segment) const;
+
+ private:
+  enum class FsmState { kGathering, kCommitterDecided, kCommitting, kCommitted };
+
+  struct SegmentFsm {
+    FsmState state = FsmState::kGathering;
+    std::map<std::string, int64_t> offsets;  // server -> latest reported.
+    int64_t first_poll_millis = 0;
+    std::string committer;
+    int64_t target_offset = -1;
+    int64_t committed_offset = -1;
+  };
+
+  Clock* const clock_;
+  const int64_t max_wait_millis_;
+  mutable std::mutex mutex_;
+  std::map<std::string, SegmentFsm> segments_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_REALTIME_COMPLETION_H_

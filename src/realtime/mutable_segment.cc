@@ -1,0 +1,140 @@
+#include "realtime/mutable_segment.h"
+
+#include <algorithm>
+
+namespace pinot {
+
+/// Growable column: mutable dictionary + unpacked dict-id vectors. No
+/// inverted or sorted indexes (consuming segments are scanned; they are
+/// small and bounded by the flush threshold).
+class MutableSegment::MutableColumn : public ColumnReader {
+ public:
+  explicit MutableColumn(FieldSpec spec)
+      : spec_(std::move(spec)),
+        dictionary_(Dictionary::CreateMutable(spec_.type)) {
+    stats_.is_sorted = false;
+  }
+
+  const FieldSpec& spec() const override { return spec_; }
+  const Dictionary& dictionary() const override { return dictionary_; }
+  const ColumnStats& stats() const override { return stats_; }
+
+  uint32_t GetDictId(uint32_t doc) const override { return sv_ids_[doc]; }
+  void GetDictIds(uint32_t doc, std::vector<uint32_t>* out) const override {
+    *out = mv_ids_[doc];
+  }
+
+  const InvertedIndex* inverted_index() const override { return nullptr; }
+  const SortedIndex* sorted_index() const override { return nullptr; }
+
+  void Append(const Value& value, const Schema& schema, int field_index) {
+    const Value& effective =
+        IsNull(value) ? schema.EffectiveDefault(field_index) : value;
+    if (spec_.single_value) {
+      const int id = dictionary_.GetOrAdd(effective);
+      sv_ids_.push_back(static_cast<uint32_t>(id));
+      ++stats_.total_entries;
+    } else {
+      std::vector<uint32_t> ids;
+      if (const auto* xs = std::get_if<std::vector<int64_t>>(&effective)) {
+        for (int64_t v : *xs) {
+          ids.push_back(static_cast<uint32_t>(dictionary_.GetOrAdd(v)));
+        }
+      } else if (const auto* ds =
+                     std::get_if<std::vector<double>>(&effective)) {
+        for (double v : *ds) {
+          ids.push_back(static_cast<uint32_t>(dictionary_.GetOrAdd(v)));
+        }
+      } else if (const auto* ss =
+                     std::get_if<std::vector<std::string>>(&effective)) {
+        for (const auto& v : *ss) {
+          ids.push_back(static_cast<uint32_t>(dictionary_.GetOrAdd(v)));
+        }
+      }
+      stats_.total_entries += static_cast<uint32_t>(ids.size());
+      stats_.max_entries_per_row = std::max(
+          stats_.max_entries_per_row, static_cast<uint32_t>(ids.size()));
+      mv_ids_.push_back(std::move(ids));
+    }
+    stats_.cardinality = dictionary_.size();
+    if (dictionary_.size() > 0) {
+      stats_.min_value = dictionary_.MinValue();
+      stats_.max_value = dictionary_.MaxValue();
+    }
+  }
+
+ private:
+  FieldSpec spec_;
+  Dictionary dictionary_;
+  ColumnStats stats_;
+  std::vector<uint32_t> sv_ids_;
+  std::vector<std::vector<uint32_t>> mv_ids_;
+};
+
+MutableSegment::MutableSegment(Schema schema, std::string table_name,
+                               std::string segment_name, Clock* clock)
+    : schema_(std::move(schema)), clock_(clock) {
+  metadata_.table_name = std::move(table_name);
+  metadata_.segment_name = std::move(segment_name);
+  metadata_.creation_time_millis = clock_->NowMillis();
+  metadata_.min_time = INT64_MAX;
+  metadata_.max_time = INT64_MIN;
+  columns_.reserve(schema_.num_fields());
+  for (const auto& field : schema_.fields()) {
+    columns_.push_back(std::make_unique<MutableColumn>(field));
+  }
+}
+
+MutableSegment::~MutableSegment() = default;
+
+Status MutableSegment::Index(const Row& row) {
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    const FieldSpec& field = schema_.field(i);
+    const Value& value = row.Get(field.name);
+    if (!IsNull(value)) {
+      if (field.single_value && IsMultiValue(value)) {
+        return Status::InvalidArgument(
+            "multi-value supplied for single-value column " + field.name);
+      }
+      if (!field.single_value && !IsMultiValue(value)) {
+        return Status::InvalidArgument(
+            "single value supplied for multi-value column " + field.name);
+      }
+    }
+    columns_[i]->Append(value, schema_, i);
+    if (field.role == FieldRole::kTime) {
+      const Value& effective =
+          IsNull(value) ? schema_.EffectiveDefault(i) : value;
+      const int64_t t = ValueToDouble(effective);
+      metadata_.min_time = std::min(metadata_.min_time, t);
+      metadata_.max_time = std::max(metadata_.max_time, t);
+    }
+  }
+  rows_.push_back(row);
+  ++num_docs_;
+  metadata_.num_docs = num_docs_;
+  return Status::OK();
+}
+
+const ColumnReader* MutableSegment::GetColumn(const std::string& name) const {
+  const int index = schema_.IndexOf(name);
+  return index < 0 ? nullptr : columns_[index].get();
+}
+
+Result<std::shared_ptr<ImmutableSegment>> MutableSegment::Seal(
+    const SegmentBuildConfig& config) const {
+  SegmentBuildConfig effective = config;
+  if (effective.table_name.empty()) {
+    effective.table_name = metadata_.table_name;
+  }
+  if (effective.segment_name.empty()) {
+    effective.segment_name = metadata_.segment_name;
+  }
+  SegmentBuilder builder(schema_, std::move(effective), clock_);
+  for (const auto& row : rows_) {
+    PINOT_RETURN_NOT_OK(builder.AddRow(row));
+  }
+  return builder.Build();
+}
+
+}  // namespace pinot

@@ -1,0 +1,61 @@
+#ifndef PINOT_REALTIME_MUTABLE_SEGMENT_H_
+#define PINOT_REALTIME_MUTABLE_SEGMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "data/row.h"
+#include "data/schema.h"
+#include "segment/segment.h"
+#include "segment/segment_builder.h"
+
+namespace pinot {
+
+/// An in-memory *consuming* segment fed from a stream partition (paper
+/// sections 3.3.1, 3.3.6). Columns are dictionary-encoded with mutable
+/// (arrival-order, hash-lookup) dictionaries and plain dict-id arrays, and
+/// the segment is queryable while it grows. Sealing re-encodes the rows
+/// into an ImmutableSegment with sorted dictionaries, bit packing, and the
+/// table's configured indexes.
+///
+/// Thread safety: one writer (the stream consumer); concurrent readers must
+/// be externally synchronized with the writer (the owning server serializes
+/// index/query access to consuming segments).
+class MutableSegment : public SegmentInterface {
+ public:
+  MutableSegment(Schema schema, std::string table_name,
+                 std::string segment_name, Clock* clock);
+  ~MutableSegment() override;
+
+  /// Appends one event. Missing fields take schema defaults.
+  Status Index(const Row& row);
+
+  // SegmentInterface:
+  const Schema& schema() const override { return schema_; }
+  uint32_t num_docs() const override { return num_docs_; }
+  const SegmentMetadata& metadata() const override { return metadata_; }
+  const ColumnReader* GetColumn(const std::string& name) const override;
+
+  /// Builds the immutable replacement for this segment using the table's
+  /// segment-generation options (sort columns, inverted indexes,
+  /// star-tree).
+  Result<std::shared_ptr<ImmutableSegment>> Seal(
+      const SegmentBuildConfig& config) const;
+
+ private:
+  class MutableColumn;
+
+  Schema schema_;
+  SegmentMetadata metadata_;
+  Clock* clock_;
+  std::vector<std::unique_ptr<MutableColumn>> columns_;
+  std::vector<Row> rows_;  // Retained for sealing.
+  uint32_t num_docs_ = 0;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_REALTIME_MUTABLE_SEGMENT_H_

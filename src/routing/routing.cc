@@ -1,0 +1,224 @@
+#include "routing/routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pinot {
+
+std::map<std::string, std::vector<std::string>> QueryableReplicas(
+    const TableView& external_view) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const auto& [segment, states] : external_view) {
+    std::vector<std::string> servers;
+    for (const auto& [instance, state] : states) {
+      if (state == SegmentState::kOnline ||
+          state == SegmentState::kConsuming) {
+        servers.push_back(instance);
+      }
+    }
+    if (!servers.empty()) out.emplace(segment, std::move(servers));
+  }
+  return out;
+}
+
+RoutingTable BuildBalancedRoutingTable(
+    const std::map<std::string, std::vector<std::string>>& segment_servers,
+    Random* rng) {
+  RoutingTable table;
+  std::unordered_map<std::string, int> load;
+  // Iterate segments in a shuffled order so ties don't always favour the
+  // same replica.
+  std::vector<const std::pair<const std::string, std::vector<std::string>>*>
+      items;
+  for (const auto& entry : segment_servers) items.push_back(&entry);
+  std::shuffle(items.begin(), items.end(), rng->engine());
+  for (const auto* entry : items) {
+    const auto& [segment, servers] = *entry;
+    const std::string* best = nullptr;
+    int best_load = INT32_MAX;
+    for (const auto& server : servers) {
+      const int l = load[server];
+      if (l < best_load) {
+        best_load = l;
+        best = &server;
+      }
+    }
+    assert(best != nullptr);
+    table.server_segments[*best].push_back(segment);
+    ++load[*best];
+  }
+  for (auto& [server, segments] : table.server_segments) {
+    std::sort(segments.begin(), segments.end());
+  }
+  return table;
+}
+
+namespace {
+
+// PickWeightedRandomReplica (Algorithm 1): chooses among the candidate
+// instances with probability inversely proportional to the load already
+// assigned in this routing table.
+const std::string* PickWeightedRandomReplica(
+    const std::unordered_map<std::string, int>& load,
+    const std::vector<const std::string*>& candidates, Random* rng) {
+  int max_load = 0;
+  for (const auto* server : candidates) {
+    auto it = load.find(*server);
+    if (it != load.end()) max_load = std::max(max_load, it->second);
+  }
+  std::vector<double> weights;
+  double total = 0;
+  for (const auto* server : candidates) {
+    auto it = load.find(*server);
+    const int l = it == load.end() ? 0 : it->second;
+    const double w = static_cast<double>(max_load - l + 1);
+    weights.push_back(w);
+    total += w;
+  }
+  double r = rng->NextDouble() * total;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0) return candidates[i];
+  }
+  return candidates.back();
+}
+
+}  // namespace
+
+RoutingTable GenerateRoutingTable(
+    const std::map<std::string, std::vector<std::string>>& segment_servers,
+    int target_server_count, Random* rng) {
+  // Build IS (instance -> segments) and the instance list I.
+  std::unordered_map<std::string, std::vector<const std::string*>>
+      instance_segments;
+  std::vector<std::string> instances;
+  for (const auto& [segment, servers] : segment_servers) {
+    for (const auto& server : servers) {
+      auto [it, inserted] = instance_segments.try_emplace(server);
+      if (inserted) instances.push_back(server);
+      it->second.push_back(&segment);
+    }
+  }
+  std::sort(instances.begin(), instances.end());
+
+  std::set<std::string> orphan_segments;  // S_orphan
+  for (const auto& [segment, servers] : segment_servers) {
+    orphan_segments.insert(segment);
+  }
+  std::unordered_set<std::string> used_instances;  // I_used
+
+  auto absorb_instance = [&](const std::string& instance) {
+    if (!used_instances.insert(instance).second) return;
+    for (const std::string* segment : instance_segments[instance]) {
+      orphan_segments.erase(*segment);
+    }
+  };
+
+  if (static_cast<int>(instances.size()) <= target_server_count) {
+    for (const auto& instance : instances) absorb_instance(instance);
+    orphan_segments.clear();
+  } else {
+    while (static_cast<int>(used_instances.size()) < target_server_count) {
+      absorb_instance(instances[rng->NextUint64(instances.size())]);
+    }
+  }
+  // Add servers until every orphan segment is covered.
+  while (!orphan_segments.empty()) {
+    const std::string& first = *orphan_segments.begin();
+    const auto& candidates = segment_servers.at(first);
+    absorb_instance(candidates[rng->NextUint64(candidates.size())]);
+  }
+
+  // Q_si: segments in ascending order of usable instance count.
+  struct SegmentCandidates {
+    const std::string* segment;
+    std::vector<const std::string*> instances;
+  };
+  std::vector<SegmentCandidates> queue;
+  queue.reserve(segment_servers.size());
+  for (const auto& [segment, servers] : segment_servers) {
+    SegmentCandidates sc;
+    sc.segment = &segment;
+    for (const auto& server : servers) {
+      if (used_instances.count(server) > 0) sc.instances.push_back(&server);
+    }
+    assert(!sc.instances.empty());
+    queue.push_back(std::move(sc));
+  }
+  std::stable_sort(queue.begin(), queue.end(),
+                   [](const SegmentCandidates& a, const SegmentCandidates& b) {
+                     return a.instances.size() < b.instances.size();
+                   });
+
+  RoutingTable table;
+  std::unordered_map<std::string, int> load;
+  for (const auto& sc : queue) {
+    const std::string* picked =
+        PickWeightedRandomReplica(load, sc.instances, rng);
+    table.server_segments[*picked].push_back(*sc.segment);
+    ++load[*picked];
+  }
+  for (auto& [server, segments] : table.server_segments) {
+    std::sort(segments.begin(), segments.end());
+  }
+  return table;
+}
+
+double RoutingTableMetric(const RoutingTable& table) {
+  if (table.server_segments.empty()) return 0;
+  double mean = 0;
+  for (const auto& [server, segments] : table.server_segments) {
+    mean += static_cast<double>(segments.size());
+  }
+  mean /= static_cast<double>(table.server_segments.size());
+  double variance = 0;
+  for (const auto& [server, segments] : table.server_segments) {
+    const double d = static_cast<double>(segments.size()) - mean;
+    variance += d * d;
+  }
+  return variance / static_cast<double>(table.server_segments.size());
+}
+
+std::vector<RoutingTable> GenerateRoutingTables(
+    const std::map<std::string, std::vector<std::string>>& segment_servers,
+    const GeneratedRoutingOptions& options, Random* rng) {
+  if (segment_servers.empty()) return {};
+  // Max-heap of (metric, table) keeping the C lowest-metric tables.
+  using HeapEntry = std::pair<double, RoutingTable>;
+  auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+    return a.first < b.first;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(
+      cmp);
+
+  for (int i = 0; i < options.tables_to_keep; ++i) {
+    RoutingTable table = GenerateRoutingTable(
+        segment_servers, options.target_server_count, rng);
+    const double metric = RoutingTableMetric(table);
+    heap.emplace(metric, std::move(table));
+  }
+  for (int i = options.tables_to_keep; i < options.tables_to_generate; ++i) {
+    RoutingTable table = GenerateRoutingTable(
+        segment_servers, options.target_server_count, rng);
+    const double metric = RoutingTableMetric(table);
+    if (metric <= heap.top().first) {
+      heap.pop();
+      heap.emplace(metric, std::move(table));
+    }
+  }
+
+  std::vector<RoutingTable> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(std::move(const_cast<HeapEntry&>(heap.top()).second));
+    heap.pop();
+  }
+  std::reverse(out.begin(), out.end());  // Best (lowest metric) first.
+  return out;
+}
+
+}  // namespace pinot

@@ -1,0 +1,70 @@
+#ifndef PINOT_ROUTING_ROUTING_H_
+#define PINOT_ROUTING_ROUTING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "cluster/cluster_manager.h"
+
+namespace pinot {
+
+/// One precomputed routing table: the servers a query is scattered to and
+/// the subset of segments each server processes. The union of all segment
+/// lists covers the table exactly once (paper section 4.4).
+struct RoutingTable {
+  std::map<std::string, std::vector<std::string>> server_segments;
+
+  int num_servers() const { return static_cast<int>(server_segments.size()); }
+  size_t total_segments() const {
+    size_t n = 0;
+    for (const auto& [server, segments] : server_segments) {
+      n += segments.size();
+    }
+    return n;
+  }
+};
+
+/// Extracts, from a table's external view, the queryable (segment ->
+/// servers) map: replicas in ONLINE or CONSUMING state.
+std::map<std::string, std::vector<std::string>> QueryableReplicas(
+    const TableView& external_view);
+
+/// Default *balanced* strategy: every server hosting any segment is used,
+/// and each segment is assigned to one of its replicas such that load is
+/// spread evenly (section 4.4: "simply divides all the segments contained
+/// in a table in an equal fashion across all available servers").
+RoutingTable BuildBalancedRoutingTable(
+    const std::map<std::string, std::vector<std::string>>& segment_servers,
+    Random* rng);
+
+/// Options for the large-cluster random-greedy strategy (Algorithms 1-2).
+struct GeneratedRoutingOptions {
+  int target_server_count = 4;     // T in Algorithm 1.
+  int tables_to_generate = 100;    // G in Algorithm 2.
+  int tables_to_keep = 10;         // C in Algorithm 2.
+};
+
+/// Algorithm 1: builds one routing table over an approximately minimal
+/// server subset — picks T random instances, adds servers until every
+/// segment is covered, then assigns each segment (in ascending order of
+/// candidate count) to a weighted-random replica that balances load.
+RoutingTable GenerateRoutingTable(
+    const std::map<std::string, std::vector<std::string>>& segment_servers,
+    int target_server_count, Random* rng);
+
+/// Fitness metric used to select routing tables: the variance of the number
+/// of segments assigned per server ("empirical testing has shown that the
+/// variance of the number of segments assigned per server works well").
+double RoutingTableMetric(const RoutingTable& table);
+
+/// Algorithm 2: generates `tables_to_generate` candidates and keeps the
+/// `tables_to_keep` with the lowest metric.
+std::vector<RoutingTable> GenerateRoutingTables(
+    const std::map<std::string, std::vector<std::string>>& segment_servers,
+    const GeneratedRoutingOptions& options, Random* rng);
+
+}  // namespace pinot
+
+#endif  // PINOT_ROUTING_ROUTING_H_

@@ -1,0 +1,375 @@
+#include "segment/dictionary.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pinot {
+
+namespace {
+
+// Extracts the canonical scalar from a Value for each storage class.
+int64_t AsInt64(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return *i;
+  if (const auto* d = std::get_if<double>(&v)) return static_cast<int64_t>(*d);
+  return 0;
+}
+
+double AsDouble(const Value& v) {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<int64_t>(&v)) return static_cast<double>(*i);
+  return 0.0;
+}
+
+std::string AsString(const Value& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  return ValueToString(v);
+}
+
+template <typename T>
+void SortUnique(std::vector<T>* values) {
+  std::sort(values->begin(), values->end());
+  values->erase(std::unique(values->begin(), values->end()), values->end());
+}
+
+template <typename T>
+int SortedIndexOf(const std::vector<T>& values, const T& v) {
+  auto it = std::lower_bound(values.begin(), values.end(), v);
+  if (it != values.end() && *it == v) {
+    return static_cast<int>(it - values.begin());
+  }
+  return -1;
+}
+
+}  // namespace
+
+Dictionary::Storage Dictionary::StorageFor(DataType type) {
+  if (IsIntegralType(type)) return Storage::kInt64;
+  if (IsFloatingType(type)) return Storage::kDouble;
+  return Storage::kString;
+}
+
+Dictionary Dictionary::BuildSortedInt64(std::vector<int64_t> values) {
+  SortUnique(&values);
+  Dictionary dict(Storage::kInt64, /*sorted=*/true);
+  dict.int64_values_ = std::move(values);
+  return dict;
+}
+
+Dictionary Dictionary::BuildSortedDouble(std::vector<double> values) {
+  SortUnique(&values);
+  Dictionary dict(Storage::kDouble, /*sorted=*/true);
+  dict.double_values_ = std::move(values);
+  return dict;
+}
+
+Dictionary Dictionary::BuildSortedString(std::vector<std::string> values) {
+  SortUnique(&values);
+  Dictionary dict(Storage::kString, /*sorted=*/true);
+  dict.string_values_ = std::move(values);
+  return dict;
+}
+
+Dictionary Dictionary::CreateMutable(DataType type) {
+  return Dictionary(StorageFor(type), /*sorted=*/false);
+}
+
+int Dictionary::size() const {
+  switch (storage_) {
+    case Storage::kInt64:
+      return static_cast<int>(int64_values_.size());
+    case Storage::kDouble:
+      return static_cast<int>(double_values_.size());
+    case Storage::kString:
+      return static_cast<int>(string_values_.size());
+  }
+  return 0;
+}
+
+int Dictionary::IndexOf(const Value& value) const {
+  switch (storage_) {
+    case Storage::kInt64:
+      return IndexOfInt64(AsInt64(value));
+    case Storage::kDouble:
+      return IndexOfDouble(AsDouble(value));
+    case Storage::kString:
+      return IndexOfString(AsString(value));
+  }
+  return -1;
+}
+
+int Dictionary::IndexOfInt64(int64_t v) const {
+  if (sorted_) return SortedIndexOf(int64_values_, v);
+  auto it = int64_map_.find(v);
+  return it == int64_map_.end() ? -1 : it->second;
+}
+
+int Dictionary::IndexOfDouble(double v) const {
+  if (sorted_) return SortedIndexOf(double_values_, v);
+  auto it = double_map_.find(v);
+  return it == double_map_.end() ? -1 : it->second;
+}
+
+int Dictionary::IndexOfString(const std::string& v) const {
+  if (sorted_) return SortedIndexOf(string_values_, v);
+  auto it = string_map_.find(v);
+  return it == string_map_.end() ? -1 : it->second;
+}
+
+int Dictionary::GetOrAdd(const Value& value) {
+  assert(!sorted_);
+  switch (storage_) {
+    case Storage::kInt64: {
+      const int64_t v = AsInt64(value);
+      auto [it, inserted] =
+          int64_map_.emplace(v, static_cast<int>(int64_values_.size()));
+      if (inserted) int64_values_.push_back(v);
+      return it->second;
+    }
+    case Storage::kDouble: {
+      const double v = AsDouble(value);
+      auto [it, inserted] =
+          double_map_.emplace(v, static_cast<int>(double_values_.size()));
+      if (inserted) double_values_.push_back(v);
+      return it->second;
+    }
+    case Storage::kString: {
+      std::string v = AsString(value);
+      auto it = string_map_.find(v);
+      if (it != string_map_.end()) return it->second;
+      const int id = static_cast<int>(string_values_.size());
+      string_values_.push_back(v);
+      string_map_.emplace(std::move(v), id);
+      return id;
+    }
+  }
+  return -1;
+}
+
+Value Dictionary::ValueAt(int dict_id) const {
+  switch (storage_) {
+    case Storage::kInt64:
+      return int64_values_[dict_id];
+    case Storage::kDouble:
+      return double_values_[dict_id];
+    case Storage::kString:
+      return string_values_[dict_id];
+  }
+  return Value{};
+}
+
+double Dictionary::DoubleValueAt(int dict_id) const {
+  switch (storage_) {
+    case Storage::kInt64:
+      return static_cast<double>(int64_values_[dict_id]);
+    case Storage::kDouble:
+      return double_values_[dict_id];
+    case Storage::kString:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+namespace {
+
+template <typename T>
+Dictionary::IdRange RangeForImpl(const std::vector<T>& values,
+                                 const std::optional<T>& lower,
+                                 bool lower_inclusive,
+                                 const std::optional<T>& upper,
+                                 bool upper_inclusive) {
+  Dictionary::IdRange range;
+  range.lo = 0;
+  range.hi = static_cast<int>(values.size()) - 1;
+  if (lower.has_value()) {
+    auto it = lower_inclusive
+                  ? std::lower_bound(values.begin(), values.end(), *lower)
+                  : std::upper_bound(values.begin(), values.end(), *lower);
+    range.lo = static_cast<int>(it - values.begin());
+  }
+  if (upper.has_value()) {
+    auto it = upper_inclusive
+                  ? std::upper_bound(values.begin(), values.end(), *upper)
+                  : std::lower_bound(values.begin(), values.end(), *upper);
+    range.hi = static_cast<int>(it - values.begin()) - 1;
+  }
+  return range;
+}
+
+}  // namespace
+
+Dictionary::IdRange Dictionary::RangeFor(const std::optional<Value>& lower,
+                                         bool lower_inclusive,
+                                         const std::optional<Value>& upper,
+                                         bool upper_inclusive) const {
+  assert(sorted_);
+  switch (storage_) {
+    case Storage::kInt64: {
+      std::optional<int64_t> lo, hi;
+      if (lower.has_value()) lo = AsInt64(*lower);
+      if (upper.has_value()) hi = AsInt64(*upper);
+      return RangeForImpl(int64_values_, lo, lower_inclusive, hi,
+                          upper_inclusive);
+    }
+    case Storage::kDouble: {
+      std::optional<double> lo, hi;
+      if (lower.has_value()) lo = AsDouble(*lower);
+      if (upper.has_value()) hi = AsDouble(*upper);
+      return RangeForImpl(double_values_, lo, lower_inclusive, hi,
+                          upper_inclusive);
+    }
+    case Storage::kString: {
+      std::optional<std::string> lo, hi;
+      if (lower.has_value()) lo = AsString(*lower);
+      if (upper.has_value()) hi = AsString(*upper);
+      return RangeForImpl(string_values_, lo, lower_inclusive, hi,
+                          upper_inclusive);
+    }
+  }
+  return IdRange{};
+}
+
+int Dictionary::CompareValueAt(int dict_id, const Value& v) const {
+  switch (storage_) {
+    case Storage::kInt64: {
+      const int64_t a = int64_values_[dict_id];
+      const int64_t b = AsInt64(v);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case Storage::kDouble: {
+      const double a = double_values_[dict_id];
+      const double b = AsDouble(v);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case Storage::kString: {
+      return string_values_[dict_id].compare(AsString(v));
+    }
+  }
+  return 0;
+}
+
+Value Dictionary::MinValue() const {
+  assert(size() > 0);
+  if (sorted_) return ValueAt(0);
+  switch (storage_) {
+    case Storage::kInt64:
+      return *std::min_element(int64_values_.begin(), int64_values_.end());
+    case Storage::kDouble:
+      return *std::min_element(double_values_.begin(), double_values_.end());
+    case Storage::kString:
+      return *std::min_element(string_values_.begin(), string_values_.end());
+  }
+  return Value{};
+}
+
+Value Dictionary::MaxValue() const {
+  assert(size() > 0);
+  if (sorted_) return ValueAt(size() - 1);
+  switch (storage_) {
+    case Storage::kInt64:
+      return *std::max_element(int64_values_.begin(), int64_values_.end());
+    case Storage::kDouble:
+      return *std::max_element(double_values_.begin(), double_values_.end());
+    case Storage::kString:
+      return *std::max_element(string_values_.begin(), string_values_.end());
+  }
+  return Value{};
+}
+
+Dictionary Dictionary::ToSorted(std::vector<int>* old_to_new) const {
+  const int n = size();
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  auto comparator = [this](int a, int b) {
+    switch (storage_) {
+      case Storage::kInt64:
+        return int64_values_[a] < int64_values_[b];
+      case Storage::kDouble:
+        return double_values_[a] < double_values_[b];
+      case Storage::kString:
+        return string_values_[a] < string_values_[b];
+    }
+    return false;
+  };
+  std::sort(order.begin(), order.end(), comparator);
+
+  old_to_new->assign(n, 0);
+  Dictionary dict(storage_, /*sorted=*/true);
+  for (int new_id = 0; new_id < n; ++new_id) {
+    const int old_id = order[new_id];
+    (*old_to_new)[old_id] = new_id;
+    switch (storage_) {
+      case Storage::kInt64:
+        dict.int64_values_.push_back(int64_values_[old_id]);
+        break;
+      case Storage::kDouble:
+        dict.double_values_.push_back(double_values_[old_id]);
+        break;
+      case Storage::kString:
+        dict.string_values_.push_back(string_values_[old_id]);
+        break;
+    }
+  }
+  return dict;
+}
+
+void Dictionary::Serialize(ByteWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(storage_));
+  writer->WriteU8(sorted_ ? 1 : 0);
+  writer->WriteU32(static_cast<uint32_t>(size()));
+  switch (storage_) {
+    case Storage::kInt64:
+      for (int64_t v : int64_values_) writer->WriteI64(v);
+      break;
+    case Storage::kDouble:
+      for (double v : double_values_) writer->WriteF64(v);
+      break;
+    case Storage::kString:
+      for (const auto& v : string_values_) writer->WriteString(v);
+      break;
+  }
+}
+
+Result<Dictionary> Dictionary::Deserialize(ByteReader* reader) {
+  PINOT_ASSIGN_OR_RETURN(uint8_t storage_byte, reader->ReadU8());
+  PINOT_ASSIGN_OR_RETURN(uint8_t sorted_byte, reader->ReadU8());
+  PINOT_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+  if (storage_byte > 2) return Status::Corruption("bad dictionary storage");
+  Dictionary dict(static_cast<Storage>(storage_byte), sorted_byte != 0);
+  switch (dict.storage_) {
+    case Storage::kInt64:
+      dict.int64_values_.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        PINOT_ASSIGN_OR_RETURN(int64_t v, reader->ReadI64());
+        dict.int64_values_.push_back(v);
+        if (!dict.sorted_) dict.int64_map_[v] = static_cast<int>(i);
+      }
+      break;
+    case Storage::kDouble:
+      dict.double_values_.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        PINOT_ASSIGN_OR_RETURN(double v, reader->ReadF64());
+        dict.double_values_.push_back(v);
+        if (!dict.sorted_) dict.double_map_[v] = static_cast<int>(i);
+      }
+      break;
+    case Storage::kString:
+      dict.string_values_.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        PINOT_ASSIGN_OR_RETURN(std::string v, reader->ReadString());
+        dict.string_values_.push_back(v);
+        if (!dict.sorted_) dict.string_map_[v] = static_cast<int>(i);
+      }
+      break;
+  }
+  return dict;
+}
+
+uint64_t Dictionary::SizeInBytes() const {
+  uint64_t total = 0;
+  total += int64_values_.size() * sizeof(int64_t);
+  total += double_values_.size() * sizeof(double);
+  for (const auto& s : string_values_) total += s.size() + sizeof(std::string);
+  return total;
+}
+
+}  // namespace pinot

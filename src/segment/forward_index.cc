@@ -1,0 +1,117 @@
+#include "segment/forward_index.h"
+
+#include <cassert>
+
+namespace pinot {
+
+int FixedBitVector::BitsFor(uint32_t max_value) {
+  int bits = 0;
+  while (max_value != 0) {
+    ++bits;
+    max_value >>= 1;
+  }
+  return bits;
+}
+
+FixedBitVector::FixedBitVector(const std::vector<uint32_t>& values,
+                               uint32_t max_value)
+    : size_(static_cast<uint32_t>(values.size())),
+      bits_(BitsFor(max_value)) {
+  mask_ = bits_ == 0 ? 0 : (~uint64_t{0} >> (64 - bits_));
+  if (bits_ == 0) return;
+  const uint64_t total_bits = static_cast<uint64_t>(size_) * bits_;
+  words_.assign((total_bits + 63) / 64 + 1, 0);
+  for (uint32_t i = 0; i < size_; ++i) {
+    assert(values[i] <= max_value);
+    const uint64_t bit_pos = static_cast<uint64_t>(i) * bits_;
+    const uint64_t word_index = bit_pos >> 6;
+    const int offset = static_cast<int>(bit_pos & 63);
+    words_[word_index] |= static_cast<uint64_t>(values[i]) << offset;
+    if (offset + bits_ > 64) {
+      words_[word_index + 1] |=
+          static_cast<uint64_t>(values[i]) >> (64 - offset);
+    }
+  }
+}
+
+void FixedBitVector::Serialize(ByteWriter* writer) const {
+  writer->WriteU32(size_);
+  writer->WriteU32(static_cast<uint32_t>(bits_));
+  writer->WriteU64(words_.size());
+  writer->WriteRaw(words_.data(), words_.size() * sizeof(uint64_t));
+}
+
+Result<FixedBitVector> FixedBitVector::Deserialize(ByteReader* reader) {
+  FixedBitVector v;
+  PINOT_ASSIGN_OR_RETURN(v.size_, reader->ReadU32());
+  PINOT_ASSIGN_OR_RETURN(uint32_t bits, reader->ReadU32());
+  if (bits > 32) return Status::Corruption("bad bit width");
+  v.bits_ = static_cast<int>(bits);
+  v.mask_ = v.bits_ == 0 ? 0 : (~uint64_t{0} >> (64 - v.bits_));
+  PINOT_ASSIGN_OR_RETURN(uint64_t num_words, reader->ReadU64());
+  v.words_.resize(num_words);
+  PINOT_RETURN_NOT_OK(
+      reader->ReadRaw(v.words_.data(), num_words * sizeof(uint64_t)));
+  return v;
+}
+
+ForwardIndex ForwardIndex::BuildSingle(const std::vector<uint32_t>& dict_ids,
+                                       uint32_t cardinality) {
+  ForwardIndex index;
+  index.single_value_ = true;
+  index.num_docs_ = static_cast<uint32_t>(dict_ids.size());
+  const uint32_t max_id = cardinality == 0 ? 0 : cardinality - 1;
+  index.values_ = FixedBitVector(dict_ids, max_id);
+  return index;
+}
+
+ForwardIndex ForwardIndex::BuildMulti(
+    const std::vector<std::vector<uint32_t>>& dict_ids, uint32_t cardinality) {
+  ForwardIndex index;
+  index.single_value_ = false;
+  index.num_docs_ = static_cast<uint32_t>(dict_ids.size());
+  std::vector<uint32_t> flat;
+  std::vector<uint32_t> offsets;
+  offsets.reserve(dict_ids.size() + 1);
+  offsets.push_back(0);
+  for (const auto& ids : dict_ids) {
+    flat.insert(flat.end(), ids.begin(), ids.end());
+    offsets.push_back(static_cast<uint32_t>(flat.size()));
+  }
+  const uint32_t max_id = cardinality == 0 ? 0 : cardinality - 1;
+  index.values_ = FixedBitVector(flat, max_id);
+  index.offsets_ =
+      FixedBitVector(offsets, offsets.empty() ? 0 : offsets.back());
+  return index;
+}
+
+void ForwardIndex::GetMulti(uint32_t doc, std::vector<uint32_t>* out) const {
+  assert(!single_value_);
+  out->clear();
+  const uint32_t begin = offsets_.Get(doc);
+  const uint32_t end = offsets_.Get(doc + 1);
+  out->reserve(end - begin);
+  for (uint32_t i = begin; i < end; ++i) out->push_back(values_.Get(i));
+}
+
+void ForwardIndex::Serialize(ByteWriter* writer) const {
+  writer->WriteU8(single_value_ ? 1 : 0);
+  writer->WriteU32(num_docs_);
+  values_.Serialize(writer);
+  if (!single_value_) offsets_.Serialize(writer);
+}
+
+Result<ForwardIndex> ForwardIndex::Deserialize(ByteReader* reader) {
+  ForwardIndex index;
+  PINOT_ASSIGN_OR_RETURN(uint8_t sv, reader->ReadU8());
+  index.single_value_ = sv != 0;
+  PINOT_ASSIGN_OR_RETURN(index.num_docs_, reader->ReadU32());
+  PINOT_ASSIGN_OR_RETURN(index.values_, FixedBitVector::Deserialize(reader));
+  if (!index.single_value_) {
+    PINOT_ASSIGN_OR_RETURN(index.offsets_,
+                           FixedBitVector::Deserialize(reader));
+  }
+  return index;
+}
+
+}  // namespace pinot

@@ -1,0 +1,45 @@
+#include "segment/row_extract.h"
+
+namespace pinot {
+
+Row ExtractRow(const SegmentInterface& segment, uint32_t doc) {
+  Row row;
+  std::vector<uint32_t> ids;
+  for (const auto& field : segment.schema().fields()) {
+    const ColumnReader* column = segment.GetColumn(field.name);
+    if (column == nullptr) continue;
+    const Dictionary& dict = column->dictionary();
+    if (field.single_value) {
+      row.Set(field.name,
+              dict.ValueAt(static_cast<int>(column->GetDictId(doc))));
+      continue;
+    }
+    column->GetDictIds(doc, &ids);
+    switch (dict.storage()) {
+      case Dictionary::Storage::kInt64: {
+        std::vector<int64_t> values;
+        values.reserve(ids.size());
+        for (uint32_t id : ids) values.push_back(dict.Int64At(id));
+        row.Set(field.name, std::move(values));
+        break;
+      }
+      case Dictionary::Storage::kDouble: {
+        std::vector<double> values;
+        values.reserve(ids.size());
+        for (uint32_t id : ids) values.push_back(dict.DoubleAt(id));
+        row.Set(field.name, std::move(values));
+        break;
+      }
+      case Dictionary::Storage::kString: {
+        std::vector<std::string> values;
+        values.reserve(ids.size());
+        for (uint32_t id : ids) values.push_back(dict.StringAt(id));
+        row.Set(field.name, std::move(values));
+        break;
+      }
+    }
+  }
+  return row;
+}
+
+}  // namespace pinot

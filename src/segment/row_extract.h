@@ -1,0 +1,17 @@
+#ifndef PINOT_SEGMENT_ROW_EXTRACT_H_
+#define PINOT_SEGMENT_ROW_EXTRACT_H_
+
+#include "data/row.h"
+#include "segment/segment.h"
+
+namespace pinot {
+
+/// Reconstructs document `doc` of `segment` as an ingestion Row (full
+/// dictionary decode). Used by maintenance tasks that rewrite segments,
+/// e.g. the minion purge job (paper section 3.2: "download segments,
+/// expunge the unwanted records, rewrite and reindex the segments").
+Row ExtractRow(const SegmentInterface& segment, uint32_t doc);
+
+}  // namespace pinot
+
+#endif  // PINOT_SEGMENT_ROW_EXTRACT_H_

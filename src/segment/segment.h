@@ -1,0 +1,193 @@
+#ifndef PINOT_SEGMENT_SEGMENT_H_
+#define PINOT_SEGMENT_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+#include "index/inverted_index.h"
+#include "segment/dictionary.h"
+#include "segment/forward_index.h"
+
+namespace pinot {
+
+class StarTree;
+
+/// Per-column statistics recorded in segment metadata and used for
+/// cost-based physical operator ordering (paper section 3.3.4: "operators
+/// can be reordered in order to lower the overall cost ... based on
+/// per-column statistics").
+struct ColumnStats {
+  int cardinality = 0;
+  Value min_value;
+  Value max_value;
+  bool is_sorted = false;       // Doc order equals value order.
+  uint32_t total_entries = 0;   // Sum of entry counts (== num_docs for SV).
+  uint32_t max_entries_per_row = 1;
+};
+
+/// Read access to one column of a (mutable or immutable) segment.
+class ColumnReader {
+ public:
+  virtual ~ColumnReader() = default;
+
+  virtual const FieldSpec& spec() const = 0;
+  virtual const Dictionary& dictionary() const = 0;
+  virtual const ColumnStats& stats() const = 0;
+
+  /// Single-value columns: dictionary id of `doc`.
+  virtual uint32_t GetDictId(uint32_t doc) const = 0;
+
+  /// Multi-value columns: dictionary ids of `doc` (clears `out`).
+  virtual void GetDictIds(uint32_t doc, std::vector<uint32_t>* out) const = 0;
+
+  /// Indexes; null when not present on this column.
+  virtual const InvertedIndex* inverted_index() const = 0;
+  virtual const SortedIndex* sorted_index() const = 0;
+};
+
+/// Descriptive metadata for a segment (paper section 3.2: "The segment
+/// metadata provides information about the set of columns in the segment,
+/// their type, cardinality, encoding, various statistics, and the indexes
+/// available").
+struct SegmentMetadata {
+  std::string table_name;
+  std::string segment_name;
+  uint32_t num_docs = 0;
+  // Time range covered by the segment's time column (0/−1 when the schema
+  // has no time column). Drives retention and the hybrid-table time
+  // boundary.
+  int64_t min_time = 0;
+  int64_t max_time = -1;
+  int64_t creation_time_millis = 0;
+  // Name of the column the segment is physically sorted on; empty if none.
+  std::string sorted_column;
+  // Partitioned tables: which partition this segment holds; -1 when the
+  // table is unpartitioned. partition_column/num_partitions describe the
+  // partition function (Kafka-compatible murmur2; section 4.4).
+  int32_t partition_id = -1;
+  std::string partition_column;
+  int32_t num_partitions = 0;
+  uint32_t crc = 0;
+};
+
+/// Common read interface for immutable (offline/sealed) and mutable
+/// (realtime consuming) segments; all query operators run against this.
+class SegmentInterface {
+ public:
+  virtual ~SegmentInterface() = default;
+
+  virtual const Schema& schema() const = 0;
+  virtual uint32_t num_docs() const = 0;
+  virtual const SegmentMetadata& metadata() const = 0;
+
+  /// Returns the column reader, or nullptr when the column does not exist
+  /// in this segment (e.g. a column added to the schema after the segment
+  /// was built and not yet defaulted in).
+  virtual const ColumnReader* GetColumn(const std::string& name) const = 0;
+
+  /// Star-tree index, or nullptr when the segment has none.
+  virtual const StarTree* star_tree() const { return nullptr; }
+};
+
+/// A fully-built immutable segment (paper section 3.1: "Data in segments is
+/// immutable, although segments themselves can be replaced with a newer
+/// version").
+class ImmutableSegment : public SegmentInterface {
+ public:
+  /// One column: dictionary + forward index + optional indexes + stats.
+  class Column : public ColumnReader {
+   public:
+    Column(FieldSpec spec, Dictionary dictionary, ForwardIndex forward,
+           ColumnStats stats)
+        : spec_(std::move(spec)),
+          dictionary_(std::move(dictionary)),
+          forward_(std::move(forward)),
+          stats_(std::move(stats)) {}
+
+    const FieldSpec& spec() const override { return spec_; }
+    const Dictionary& dictionary() const override { return dictionary_; }
+    const ColumnStats& stats() const override { return stats_; }
+
+    uint32_t GetDictId(uint32_t doc) const override {
+      return forward_.Get(doc);
+    }
+    void GetDictIds(uint32_t doc, std::vector<uint32_t>* out) const override {
+      forward_.GetMulti(doc, out);
+    }
+
+    const InvertedIndex* inverted_index() const override {
+      return inverted_.get();
+    }
+    const SortedIndex* sorted_index() const override { return sorted_.get(); }
+
+    const ForwardIndex& forward_index() const { return forward_; }
+
+    void SetInvertedIndex(std::unique_ptr<InvertedIndex> index) {
+      inverted_ = std::move(index);
+    }
+    void SetSortedIndex(std::unique_ptr<SortedIndex> index) {
+      sorted_ = std::move(index);
+    }
+
+    uint64_t SizeInBytes() const;
+
+   private:
+    FieldSpec spec_;
+    Dictionary dictionary_;
+    ForwardIndex forward_;
+    ColumnStats stats_;
+    std::unique_ptr<InvertedIndex> inverted_;
+    std::unique_ptr<SortedIndex> sorted_;
+  };
+
+  ImmutableSegment(Schema schema, SegmentMetadata metadata,
+                   std::vector<std::unique_ptr<Column>> columns);
+  ~ImmutableSegment() override;
+
+  const Schema& schema() const override { return schema_; }
+  uint32_t num_docs() const override { return metadata_.num_docs; }
+  const SegmentMetadata& metadata() const override { return metadata_; }
+  const ColumnReader* GetColumn(const std::string& name) const override;
+  const StarTree* star_tree() const override;
+
+  Column* GetMutableColumn(const std::string& name);
+
+  /// Builds an inverted index for `column` if it does not already have one
+  /// (the on-demand reindexing of paper sections 3.2 / 5.2).
+  Status CreateInvertedIndex(const std::string& column);
+
+  /// Adds a column filled with the schema default for every document
+  /// (paper section 5.2 live schema addition). Costs O(1) space: the
+  /// dictionary has one entry, so the forward index packs 0 bits per doc.
+  Status AddDefaultColumn(const FieldSpec& field);
+
+  void SetStarTree(std::unique_ptr<StarTree> tree);
+
+  /// Total approximate in-memory footprint of dictionaries, forward
+  /// indexes, and indexes.
+  uint64_t SizeInBytes() const;
+
+  /// Serializes the whole segment (schema, metadata, columns, indexes,
+  /// star-tree) into a blob suitable for the object store. The blob embeds
+  /// a CRC over the column data.
+  std::string SerializeToBlob() const;
+
+  static Result<std::shared_ptr<ImmutableSegment>> DeserializeFromBlob(
+      std::string_view blob);
+
+ private:
+  Schema schema_;
+  SegmentMetadata metadata_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::unordered_map<std::string, int> column_index_;
+  std::unique_ptr<StarTree> star_tree_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_SEGMENT_SEGMENT_H_

@@ -1,0 +1,378 @@
+#include "segment/segment_builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace pinot {
+
+namespace {
+
+int64_t CoerceInt64(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return *i;
+  if (const auto* d = std::get_if<double>(&v)) return static_cast<int64_t>(*d);
+  return 0;
+}
+
+double CoerceDouble(const Value& v) {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<int64_t>(&v)) return static_cast<double>(*i);
+  return 0.0;
+}
+
+std::string CoerceString(const Value& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  return ValueToString(v);
+}
+
+}  // namespace
+
+SegmentBuilder::SegmentBuilder(Schema schema, SegmentBuildConfig config,
+                               Clock* clock)
+    : schema_(std::move(schema)),
+      config_(std::move(config)),
+      clock_(clock),
+      columns_(schema_.num_fields()) {}
+
+Status SegmentBuilder::AddRow(const Row& row) {
+  assert(!built_);
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    const FieldSpec& field = schema_.field(i);
+    const Value& provided = row.Get(field.name);
+    if (IsNull(provided)) {
+      PINOT_RETURN_NOT_OK(AppendValue(i, schema_.EffectiveDefault(i)));
+    } else {
+      if (field.single_value && IsMultiValue(provided)) {
+        return Status::InvalidArgument("multi-value supplied for single-value column " +
+                                       field.name);
+      }
+      if (!field.single_value && !IsMultiValue(provided)) {
+        return Status::InvalidArgument("single value supplied for multi-value column " +
+                                       field.name);
+      }
+      PINOT_RETURN_NOT_OK(AppendValue(i, provided));
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status SegmentBuilder::AppendValue(int field_index, const Value& value) {
+  const FieldSpec& field = schema_.field(field_index);
+  RawColumn& column = columns_[field_index];
+  const Dictionary::Storage storage = Dictionary::StorageFor(field.type);
+  if (field.single_value) {
+    switch (storage) {
+      case Dictionary::Storage::kInt64:
+        column.i64.push_back(CoerceInt64(value));
+        return Status::OK();
+      case Dictionary::Storage::kDouble:
+        column.f64.push_back(CoerceDouble(value));
+        return Status::OK();
+      case Dictionary::Storage::kString:
+        column.str.push_back(CoerceString(value));
+        return Status::OK();
+    }
+  } else {
+    switch (storage) {
+      case Dictionary::Storage::kInt64: {
+        std::vector<int64_t> entries;
+        if (const auto* xs = std::get_if<std::vector<int64_t>>(&value)) {
+          entries = *xs;
+        } else if (const auto* ds = std::get_if<std::vector<double>>(&value)) {
+          for (double d : *ds) entries.push_back(static_cast<int64_t>(d));
+        }
+        column.mi64.push_back(std::move(entries));
+        return Status::OK();
+      }
+      case Dictionary::Storage::kDouble: {
+        std::vector<double> entries;
+        if (const auto* xs = std::get_if<std::vector<double>>(&value)) {
+          entries = *xs;
+        } else if (const auto* is = std::get_if<std::vector<int64_t>>(&value)) {
+          for (int64_t i : *is) entries.push_back(static_cast<double>(i));
+        }
+        column.mf64.push_back(std::move(entries));
+        return Status::OK();
+      }
+      case Dictionary::Storage::kString: {
+        std::vector<std::string> entries;
+        if (const auto* xs = std::get_if<std::vector<std::string>>(&value)) {
+          entries = *xs;
+        }
+        column.mstr.push_back(std::move(entries));
+        return Status::OK();
+      }
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::shared_ptr<ImmutableSegment>> SegmentBuilder::Build() {
+  assert(!built_);
+  built_ = true;
+  const uint32_t n = num_rows_;
+
+  // Validate sort columns: must be single-value columns of the schema.
+  for (const auto& name : config_.sort_columns) {
+    const FieldSpec* spec = schema_.GetField(name);
+    if (spec == nullptr) {
+      return Status::InvalidArgument("sort column not in schema: " + name);
+    }
+    if (!spec->single_value) {
+      return Status::InvalidArgument("sort column must be single-value: " +
+                                     name);
+    }
+  }
+
+  // Physical record reordering by the configured sort columns
+  // (paper section 4.2).
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (!config_.sort_columns.empty()) {
+    std::vector<int> sort_indexes;
+    for (const auto& name : config_.sort_columns) {
+      sort_indexes.push_back(schema_.IndexOf(name));
+    }
+    std::stable_sort(
+        order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+          for (int field_index : sort_indexes) {
+            const RawColumn& column = columns_[field_index];
+            const FieldSpec& field = schema_.field(field_index);
+            switch (Dictionary::StorageFor(field.type)) {
+              case Dictionary::Storage::kInt64:
+                if (column.i64[a] != column.i64[b]) {
+                  return column.i64[a] < column.i64[b];
+                }
+                break;
+              case Dictionary::Storage::kDouble:
+                if (column.f64[a] != column.f64[b]) {
+                  return column.f64[a] < column.f64[b];
+                }
+                break;
+              case Dictionary::Storage::kString:
+                if (column.str[a] != column.str[b]) {
+                  return column.str[a] < column.str[b];
+                }
+                break;
+            }
+          }
+          return false;
+        });
+  }
+
+  SegmentMetadata metadata;
+  metadata.table_name = config_.table_name;
+  metadata.segment_name = config_.segment_name;
+  metadata.num_docs = n;
+  metadata.creation_time_millis = clock_->NowMillis();
+  metadata.sorted_column =
+      config_.sort_columns.empty() ? "" : config_.sort_columns.front();
+  metadata.partition_id = config_.partition_id;
+  metadata.partition_column = config_.partition_column;
+  metadata.num_partitions = config_.num_partitions;
+
+  std::vector<std::unique_ptr<ImmutableSegment::Column>> built_columns;
+  built_columns.reserve(schema_.num_fields());
+
+  // Per-column dict ids in sorted doc order; kept for star-tree input.
+  std::vector<std::vector<uint32_t>> sv_dict_ids(schema_.num_fields());
+
+  for (int f = 0; f < schema_.num_fields(); ++f) {
+    const FieldSpec& field = schema_.field(f);
+    RawColumn& raw = columns_[f];
+    const Dictionary::Storage storage = Dictionary::StorageFor(field.type);
+
+    Dictionary dictionary = [&] {
+      switch (storage) {
+        case Dictionary::Storage::kInt64: {
+          std::vector<int64_t> values = raw.i64;
+          for (const auto& xs : raw.mi64) {
+            values.insert(values.end(), xs.begin(), xs.end());
+          }
+          if (values.empty()) values.push_back(0);
+          return Dictionary::BuildSortedInt64(std::move(values));
+        }
+        case Dictionary::Storage::kDouble: {
+          std::vector<double> values = raw.f64;
+          for (const auto& xs : raw.mf64) {
+            values.insert(values.end(), xs.begin(), xs.end());
+          }
+          if (values.empty()) values.push_back(0.0);
+          return Dictionary::BuildSortedDouble(std::move(values));
+        }
+        case Dictionary::Storage::kString: {
+          std::vector<std::string> values = raw.str;
+          for (const auto& xs : raw.mstr) {
+            values.insert(values.end(), xs.begin(), xs.end());
+          }
+          if (values.empty()) values.push_back(std::string());
+          return Dictionary::BuildSortedString(std::move(values));
+        }
+      }
+      return Dictionary::BuildSortedInt64({0});
+    }();
+
+    ColumnStats stats;
+    stats.cardinality = dictionary.size();
+    stats.min_value = dictionary.MinValue();
+    stats.max_value = dictionary.MaxValue();
+
+    ForwardIndex forward;
+    if (field.single_value) {
+      std::vector<uint32_t>& ids = sv_dict_ids[f];
+      ids.resize(n);
+      bool is_sorted = true;
+      for (uint32_t doc = 0; doc < n; ++doc) {
+        const uint32_t src = order[doc];
+        int id = -1;
+        switch (storage) {
+          case Dictionary::Storage::kInt64:
+            id = dictionary.IndexOfInt64(raw.i64[src]);
+            break;
+          case Dictionary::Storage::kDouble:
+            id = dictionary.IndexOfDouble(raw.f64[src]);
+            break;
+          case Dictionary::Storage::kString:
+            id = dictionary.IndexOfString(raw.str[src]);
+            break;
+        }
+        assert(id >= 0);
+        ids[doc] = static_cast<uint32_t>(id);
+        if (doc > 0 && ids[doc] < ids[doc - 1]) is_sorted = false;
+      }
+      stats.is_sorted = n == 0 ? true : is_sorted;
+      stats.total_entries = n;
+      stats.max_entries_per_row = 1;
+      forward = ForwardIndex::BuildSingle(ids, dictionary.size());
+    } else {
+      std::vector<std::vector<uint32_t>> ids(n);
+      uint32_t total_entries = 0;
+      uint32_t max_entries = 0;
+      for (uint32_t doc = 0; doc < n; ++doc) {
+        const uint32_t src = order[doc];
+        std::vector<uint32_t>& out = ids[doc];
+        switch (storage) {
+          case Dictionary::Storage::kInt64:
+            for (int64_t v : raw.mi64[src]) {
+              out.push_back(
+                  static_cast<uint32_t>(dictionary.IndexOfInt64(v)));
+            }
+            break;
+          case Dictionary::Storage::kDouble:
+            for (double v : raw.mf64[src]) {
+              out.push_back(
+                  static_cast<uint32_t>(dictionary.IndexOfDouble(v)));
+            }
+            break;
+          case Dictionary::Storage::kString:
+            for (const auto& v : raw.mstr[src]) {
+              out.push_back(
+                  static_cast<uint32_t>(dictionary.IndexOfString(v)));
+            }
+            break;
+        }
+        total_entries += static_cast<uint32_t>(out.size());
+        max_entries = std::max(max_entries,
+                               static_cast<uint32_t>(out.size()));
+      }
+      stats.is_sorted = false;
+      stats.total_entries = total_entries;
+      stats.max_entries_per_row = max_entries;
+      forward = ForwardIndex::BuildMulti(ids, dictionary.size());
+    }
+
+    // Time column range for hybrid-table merging and retention.
+    if (field.role == FieldRole::kTime && n > 0) {
+      metadata.min_time = CoerceInt64(dictionary.MinValue());
+      metadata.max_time = CoerceInt64(dictionary.MaxValue());
+    }
+
+    auto column = std::make_unique<ImmutableSegment::Column>(
+        field, std::move(dictionary), std::move(forward), stats);
+
+    // Auto-attach a sorted index to any column whose doc order matches its
+    // value order (always true for the primary sort column).
+    if (stats.is_sorted && field.single_value && n > 0) {
+      auto sorted = SortedIndex::BuildFromForwardIndex(
+          column->forward_index(), column->dictionary().size());
+      if (sorted.ok()) {
+        column->SetSortedIndex(
+            std::make_unique<SortedIndex>(std::move(sorted).value()));
+      }
+    }
+
+    const bool wants_inverted =
+        std::find(config_.inverted_index_columns.begin(),
+                  config_.inverted_index_columns.end(),
+                  field.name) != config_.inverted_index_columns.end();
+    if (wants_inverted) {
+      column->SetInvertedIndex(
+          std::make_unique<InvertedIndex>(InvertedIndex::BuildFromForwardIndex(
+              column->forward_index(), column->dictionary().size())));
+    }
+
+    built_columns.push_back(std::move(column));
+  }
+
+  auto segment = std::make_shared<ImmutableSegment>(
+      schema_, std::move(metadata), std::move(built_columns));
+
+  // Star-tree generation (section 4.3): dimension dict ids plus raw metric
+  // values per document.
+  if (config_.star_tree.enabled() && n > 0) {
+    std::vector<int> dim_fields;
+    for (const auto& name : config_.star_tree.dimensions) {
+      const int idx = schema_.IndexOf(name);
+      if (idx < 0) {
+        return Status::InvalidArgument("star-tree dimension not in schema: " +
+                                       name);
+      }
+      if (!schema_.field(idx).single_value) {
+        return Status::InvalidArgument(
+            "star-tree dimension must be single-value: " + name);
+      }
+      dim_fields.push_back(idx);
+    }
+    std::vector<int> metric_fields;
+    for (const auto& name : config_.star_tree.metrics) {
+      const int idx = schema_.IndexOf(name);
+      if (idx < 0) {
+        return Status::InvalidArgument("star-tree metric not in schema: " +
+                                       name);
+      }
+      metric_fields.push_back(idx);
+    }
+    std::vector<StarTree::InputRecord> records(n);
+    for (uint32_t doc = 0; doc < n; ++doc) {
+      StarTree::InputRecord& record = records[doc];
+      record.dims.reserve(dim_fields.size());
+      for (int field_index : dim_fields) {
+        record.dims.push_back(sv_dict_ids[field_index][doc]);
+      }
+      record.metrics.reserve(metric_fields.size());
+      for (int field_index : metric_fields) {
+        const RawColumn& raw = columns_[field_index];
+        const uint32_t src = order[doc];
+        const FieldSpec& field = schema_.field(field_index);
+        switch (Dictionary::StorageFor(field.type)) {
+          case Dictionary::Storage::kInt64:
+            record.metrics.push_back(static_cast<double>(raw.i64[src]));
+            break;
+          case Dictionary::Storage::kDouble:
+            record.metrics.push_back(raw.f64[src]);
+            break;
+          case Dictionary::Storage::kString:
+            record.metrics.push_back(0.0);
+            break;
+        }
+      }
+    }
+    segment->SetStarTree(std::make_unique<StarTree>(
+        StarTree::Build(config_.star_tree, std::move(records))));
+  }
+
+  return segment;
+}
+
+}  // namespace pinot

@@ -1,0 +1,76 @@
+#ifndef PINOT_SEGMENT_SEGMENT_BUILDER_H_
+#define PINOT_SEGMENT_SEGMENT_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "data/row.h"
+#include "data/schema.h"
+#include "segment/segment.h"
+#include "startree/star_tree.h"
+
+namespace pinot {
+
+/// Build-time options for a segment. The sort columns implement the
+/// physical record reordering of paper section 4.2 ("physically reordering
+/// the data based on primary and secondary columns"); the first sort column
+/// gets a SortedIndex. Inverted indexes and the star-tree are per-table
+/// configuration applied at segment generation time.
+struct SegmentBuildConfig {
+  std::string table_name;
+  std::string segment_name;
+  std::vector<std::string> sort_columns;
+  std::vector<std::string> inverted_index_columns;
+  StarTreeConfig star_tree;
+  // Partitioned tables (section 4.4): recorded in metadata for
+  // partition-aware routing.
+  int32_t partition_id = -1;
+  std::string partition_column;
+  int32_t num_partitions = 0;
+};
+
+/// Builds an ImmutableSegment from rows: accumulates raw values, sorts,
+/// dictionary-encodes, bit-packs, and generates the configured indexes.
+class SegmentBuilder {
+ public:
+  SegmentBuilder(Schema schema, SegmentBuildConfig config,
+                 Clock* clock = RealClock::Instance());
+
+  /// Appends one record. Missing fields take the schema default; values are
+  /// coerced to the column's storage class (e.g. int -> double). Returns
+  /// InvalidArgument on single/multi-value arity mismatches.
+  Status AddRow(const Row& row);
+
+  uint32_t num_rows() const { return num_rows_; }
+
+  /// Finalizes the segment. The builder must not be reused afterwards.
+  Result<std::shared_ptr<ImmutableSegment>> Build();
+
+ private:
+  // Raw accumulated values for one column; exactly one vector is in use,
+  // chosen by storage class and arity.
+  struct RawColumn {
+    std::vector<int64_t> i64;
+    std::vector<double> f64;
+    std::vector<std::string> str;
+    std::vector<std::vector<int64_t>> mi64;
+    std::vector<std::vector<double>> mf64;
+    std::vector<std::vector<std::string>> mstr;
+  };
+
+  Status AppendValue(int field_index, const Value& value);
+
+  Schema schema_;
+  SegmentBuildConfig config_;
+  Clock* clock_;
+  std::vector<RawColumn> columns_;
+  uint32_t num_rows_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_SEGMENT_SEGMENT_BUILDER_H_

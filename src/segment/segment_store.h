@@ -1,0 +1,52 @@
+#ifndef PINOT_SEGMENT_SEGMENT_STORE_H_
+#define PINOT_SEGMENT_SEGMENT_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "segment/segment.h"
+
+namespace pinot {
+
+/// On-disk segment directory format (paper section 3.2 and Figure 1):
+///
+///   "A segment is stored as a directory in the UNIX filesystem consisting
+///    of a segment metadata file and an index file. The segment metadata
+///    provides information about the set of columns in the segment, their
+///    type, cardinality, encoding, various statistics, and the indexes
+///    available for that column. An index file stores indexes for all the
+///    columns. This file is append-only which allows the server to create
+///    inverted indexes on demand."
+///
+/// Layout:
+///   <dir>/metadata.bin — schema, segment metadata, per-column statistics,
+///                        and a directory of (kind, column, offset, size)
+///                        entries pointing into the index file. Rewritten
+///                        atomically (tmp + rename) whenever entries are
+///                        added.
+///   <dir>/index.bin    — concatenated CRC-framed blocks: per-column
+///                        dictionaries and forward indexes, optional
+///                        inverted/sorted indexes, optional star-tree.
+///                        Strictly append-only.
+
+/// Writes the segment as a directory (creates it; overwrites existing
+/// files).
+Status SaveSegmentToDirectory(const ImmutableSegment& segment,
+                              const std::string& dir);
+
+/// Loads a segment directory written by SaveSegmentToDirectory (or extended
+/// by AppendInvertedIndex). Verifies per-block CRCs.
+Result<std::shared_ptr<ImmutableSegment>> LoadSegmentFromDirectory(
+    const std::string& dir);
+
+/// Builds an inverted index for `column` on an on-disk segment by appending
+/// a block to the index file and rewriting the metadata directory — the
+/// index file itself is never rewritten (the on-demand reindexing the paper
+/// describes). No-op if the column already has an inverted index.
+Status AppendInvertedIndexToDirectory(const std::string& dir,
+                                      const std::string& column);
+
+}  // namespace pinot
+
+#endif  // PINOT_SEGMENT_SEGMENT_STORE_H_

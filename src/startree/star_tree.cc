@@ -1,0 +1,358 @@
+#include "startree/star_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pinot {
+
+namespace {
+
+// Lexicographic comparison of dimension vectors starting at `level`.
+bool DimsLessFrom(const std::vector<uint32_t>& a,
+                  const std::vector<uint32_t>& b, int level) {
+  const int n = static_cast<int>(a.size());
+  for (int i = level; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return false;
+}
+
+bool DimsEqualFrom(const std::vector<uint32_t>& a,
+                   const std::vector<uint32_t>& b, int level) {
+  const int n = static_cast<int>(a.size());
+  for (int i = level; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int StarTree::DimensionIndex(const std::string& column) const {
+  for (size_t i = 0; i < config_.dimensions.size(); ++i) {
+    if (config_.dimensions[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int StarTree::MetricIndex(const std::string& column) const {
+  for (size_t i = 0; i < config_.metrics.size(); ++i) {
+    if (config_.metrics[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StarTree StarTree::Build(StarTreeConfig config,
+                         std::vector<InputRecord> records) {
+  StarTree tree;
+  tree.config_ = std::move(config);
+  const int num_metrics = static_cast<int>(tree.config_.metrics.size());
+
+  // Convert inputs into build records, sort by the full dimension order,
+  // and merge duplicates so the base level is fully aggregated.
+  std::vector<BuildRecord> build;
+  build.reserve(records.size());
+  for (auto& input : records) {
+    BuildRecord record;
+    record.dims = std::move(input.dims);
+    record.count = 1;
+    record.sums = input.metrics;
+    record.mins = input.metrics;
+    record.maxs = std::move(input.metrics);
+    build.push_back(std::move(record));
+  }
+  std::sort(build.begin(), build.end(),
+            [](const BuildRecord& a, const BuildRecord& b) {
+              return DimsLessFrom(a.dims, b.dims, 0);
+            });
+  std::vector<BuildRecord> merged;
+  merged.reserve(build.size());
+  for (auto& record : build) {
+    if (!merged.empty() && DimsEqualFrom(merged.back().dims, record.dims, 0)) {
+      BuildRecord& into = merged.back();
+      into.count += record.count;
+      for (int m = 0; m < num_metrics; ++m) {
+        into.sums[m] += record.sums[m];
+        into.mins[m] = std::min(into.mins[m], record.mins[m]);
+        into.maxs[m] = std::max(into.maxs[m], record.maxs[m]);
+      }
+    } else {
+      merged.push_back(std::move(record));
+    }
+  }
+  tree.num_base_records_ = static_cast<uint32_t>(merged.size());
+
+  tree.BuildNode(&merged, 0, static_cast<uint32_t>(merged.size()),
+                 /*level=*/0, kStarValue);
+  tree.Freeze(merged);
+  return tree;
+}
+
+int StarTree::BuildNode(std::vector<BuildRecord>* records, uint32_t start,
+                        uint32_t end, int level, uint32_t value) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_[node_index];
+    node.value = value;
+    node.record_start = start;
+    node.record_end = end;
+  }
+  const int num_dims = static_cast<int>(config_.dimensions.size());
+  if (level >= num_dims || end - start <= config_.max_leaf_records) {
+    return node_index;  // Leaf.
+  }
+  nodes_[node_index].dim = level;
+
+  // Child value ranges: records in [start, end) are sorted by dims[level..].
+  struct Group {
+    uint32_t value;
+    uint32_t start;
+    uint32_t end;
+  };
+  std::vector<Group> groups;
+  {
+    uint32_t i = start;
+    while (i < end) {
+      const uint32_t v = (*records)[i].dims[level];
+      uint32_t j = i + 1;
+      while (j < end && (*records)[j].dims[level] == v) ++j;
+      groups.push_back({v, i, j});
+      i = j;
+    }
+  }
+
+  // Star records: the node's slice aggregated across dims[level].
+  uint32_t star_start = 0;
+  uint32_t star_end = 0;
+  if (groups.size() > 1) {
+    const int num_metrics = static_cast<int>(config_.metrics.size());
+    std::vector<BuildRecord> star;
+    star.reserve(end - start);
+    for (uint32_t i = start; i < end; ++i) {
+      BuildRecord copy = (*records)[i];
+      copy.dims[level] = kStarValue;
+      star.push_back(std::move(copy));
+    }
+    std::sort(star.begin(), star.end(),
+              [level](const BuildRecord& a, const BuildRecord& b) {
+                return DimsLessFrom(a.dims, b.dims, level + 1);
+              });
+    std::vector<BuildRecord> star_merged;
+    star_merged.reserve(star.size());
+    for (auto& record : star) {
+      if (!star_merged.empty() &&
+          DimsEqualFrom(star_merged.back().dims, record.dims, level + 1)) {
+        BuildRecord& into = star_merged.back();
+        into.count += record.count;
+        for (int m = 0; m < num_metrics; ++m) {
+          into.sums[m] += record.sums[m];
+          into.mins[m] = std::min(into.mins[m], record.mins[m]);
+          into.maxs[m] = std::max(into.maxs[m], record.maxs[m]);
+        }
+      } else {
+        star_merged.push_back(std::move(record));
+      }
+    }
+    star_start = static_cast<uint32_t>(records->size());
+    for (auto& record : star_merged) records->push_back(std::move(record));
+    star_end = static_cast<uint32_t>(records->size());
+  }
+
+  // Recurse. Children are built after star records are appended, so all
+  // record ranges are stable (indexes only ever grow).
+  for (const Group& group : groups) {
+    const int child =
+        BuildNode(records, group.start, group.end, level + 1, group.value);
+    nodes_[node_index].children.push_back(child);
+  }
+  if (groups.size() > 1) {
+    const int star_child =
+        BuildNode(records, star_start, star_end, level + 1, kStarValue);
+    nodes_[node_index].star_child = star_child;
+  }
+  return node_index;
+}
+
+void StarTree::Freeze(const std::vector<BuildRecord>& records) {
+  const int num_dims = static_cast<int>(config_.dimensions.size());
+  const int num_metrics = static_cast<int>(config_.metrics.size());
+  const size_t n = records.size();
+  dim_values_.assign(num_dims, {});
+  for (int d = 0; d < num_dims; ++d) dim_values_[d].reserve(n);
+  counts_.reserve(n);
+  metric_sums_.assign(num_metrics, {});
+  metric_mins_.assign(num_metrics, {});
+  metric_maxs_.assign(num_metrics, {});
+  for (int m = 0; m < num_metrics; ++m) {
+    metric_sums_[m].reserve(n);
+    metric_mins_[m].reserve(n);
+    metric_maxs_[m].reserve(n);
+  }
+  for (const auto& record : records) {
+    for (int d = 0; d < num_dims; ++d) {
+      dim_values_[d].push_back(record.dims[d]);
+    }
+    counts_.push_back(record.count);
+    for (int m = 0; m < num_metrics; ++m) {
+      metric_sums_[m].push_back(record.sums[m]);
+      metric_mins_[m].push_back(record.mins[m]);
+      metric_maxs_[m].push_back(record.maxs[m]);
+    }
+  }
+}
+
+void StarTree::CollectRecordRanges(
+    const std::vector<DimensionSpec>& specs,
+    std::vector<std::pair<uint32_t, uint32_t>>* ranges) const {
+  assert(specs.size() == config_.dimensions.size());
+  ranges->clear();
+  if (nodes_.empty()) return;
+  CollectFromNode(0, 0, specs, ranges);
+}
+
+void StarTree::CollectFromNode(
+    int node_index, int level, const std::vector<DimensionSpec>& specs,
+    std::vector<std::pair<uint32_t, uint32_t>>* ranges) const {
+  const Node& node = nodes_[node_index];
+  if (node.IsLeaf()) {
+    if (node.record_end > node.record_start) {
+      ranges->emplace_back(node.record_start, node.record_end);
+    }
+    return;
+  }
+  const int dim = node.dim;
+  const DimensionSpec& spec = specs[dim];
+  if (spec.has_predicate) {
+    // Children are sorted by value (records were sorted); intersect with
+    // the sorted matching-id list by merging.
+    size_t m = 0;
+    for (int child_index : node.children) {
+      const uint32_t v = nodes_[child_index].value;
+      while (m < spec.matching_ids.size() && spec.matching_ids[m] < v) ++m;
+      if (m < spec.matching_ids.size() && spec.matching_ids[m] == v) {
+        CollectFromNode(child_index, level + 1, specs, ranges);
+      }
+    }
+    return;
+  }
+  if (spec.group_by) {
+    for (int child_index : node.children) {
+      CollectFromNode(child_index, level + 1, specs, ranges);
+    }
+    return;
+  }
+  if (node.star_child >= 0) {
+    CollectFromNode(node.star_child, level + 1, specs, ranges);
+  } else {
+    for (int child_index : node.children) {
+      CollectFromNode(child_index, level + 1, specs, ranges);
+    }
+  }
+}
+
+uint64_t StarTree::SizeInBytes() const {
+  uint64_t total = 0;
+  for (const auto& dim : dim_values_) total += dim.size() * sizeof(uint32_t);
+  total += counts_.size() * sizeof(int64_t);
+  for (const auto& m : metric_sums_) total += m.size() * sizeof(double) * 3;
+  for (const auto& node : nodes_) {
+    total += sizeof(Node) + node.children.size() * sizeof(int);
+  }
+  return total;
+}
+
+void StarTree::Serialize(ByteWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(config_.dimensions.size()));
+  for (const auto& d : config_.dimensions) writer->WriteString(d);
+  writer->WriteU32(static_cast<uint32_t>(config_.metrics.size()));
+  for (const auto& m : config_.metrics) writer->WriteString(m);
+  writer->WriteU32(config_.max_leaf_records);
+  writer->WriteU32(num_base_records_);
+
+  const uint32_t num_records = static_cast<uint32_t>(counts_.size());
+  writer->WriteU32(num_records);
+  for (const auto& dim : dim_values_) {
+    writer->WriteRaw(dim.data(), dim.size() * sizeof(uint32_t));
+  }
+  writer->WriteRaw(counts_.data(), counts_.size() * sizeof(int64_t));
+  for (size_t m = 0; m < metric_sums_.size(); ++m) {
+    writer->WriteRaw(metric_sums_[m].data(),
+                     metric_sums_[m].size() * sizeof(double));
+    writer->WriteRaw(metric_mins_[m].data(),
+                     metric_mins_[m].size() * sizeof(double));
+    writer->WriteRaw(metric_maxs_[m].data(),
+                     metric_maxs_[m].size() * sizeof(double));
+  }
+
+  writer->WriteU32(static_cast<uint32_t>(nodes_.size()));
+  for (const auto& node : nodes_) {
+    writer->WriteI32(node.dim);
+    writer->WriteU32(node.value);
+    writer->WriteU32(node.record_start);
+    writer->WriteU32(node.record_end);
+    writer->WriteI32(node.star_child);
+    writer->WriteU32(static_cast<uint32_t>(node.children.size()));
+    for (int child : node.children) writer->WriteI32(child);
+  }
+}
+
+Result<StarTree> StarTree::Deserialize(ByteReader* reader) {
+  StarTree tree;
+  PINOT_ASSIGN_OR_RETURN(uint32_t num_dims, reader->ReadU32());
+  tree.config_.dimensions.resize(num_dims);
+  for (uint32_t i = 0; i < num_dims; ++i) {
+    PINOT_ASSIGN_OR_RETURN(tree.config_.dimensions[i], reader->ReadString());
+  }
+  PINOT_ASSIGN_OR_RETURN(uint32_t num_metrics, reader->ReadU32());
+  tree.config_.metrics.resize(num_metrics);
+  for (uint32_t i = 0; i < num_metrics; ++i) {
+    PINOT_ASSIGN_OR_RETURN(tree.config_.metrics[i], reader->ReadString());
+  }
+  PINOT_ASSIGN_OR_RETURN(tree.config_.max_leaf_records, reader->ReadU32());
+  PINOT_ASSIGN_OR_RETURN(tree.num_base_records_, reader->ReadU32());
+
+  PINOT_ASSIGN_OR_RETURN(uint32_t num_records, reader->ReadU32());
+  tree.dim_values_.assign(num_dims, {});
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    tree.dim_values_[d].resize(num_records);
+    PINOT_RETURN_NOT_OK(reader->ReadRaw(tree.dim_values_[d].data(),
+                                        num_records * sizeof(uint32_t)));
+  }
+  tree.counts_.resize(num_records);
+  PINOT_RETURN_NOT_OK(
+      reader->ReadRaw(tree.counts_.data(), num_records * sizeof(int64_t)));
+  tree.metric_sums_.assign(num_metrics, {});
+  tree.metric_mins_.assign(num_metrics, {});
+  tree.metric_maxs_.assign(num_metrics, {});
+  for (uint32_t m = 0; m < num_metrics; ++m) {
+    tree.metric_sums_[m].resize(num_records);
+    tree.metric_mins_[m].resize(num_records);
+    tree.metric_maxs_[m].resize(num_records);
+    PINOT_RETURN_NOT_OK(reader->ReadRaw(tree.metric_sums_[m].data(),
+                                        num_records * sizeof(double)));
+    PINOT_RETURN_NOT_OK(reader->ReadRaw(tree.metric_mins_[m].data(),
+                                        num_records * sizeof(double)));
+    PINOT_RETURN_NOT_OK(reader->ReadRaw(tree.metric_maxs_[m].data(),
+                                        num_records * sizeof(double)));
+  }
+
+  PINOT_ASSIGN_OR_RETURN(uint32_t num_nodes, reader->ReadU32());
+  tree.nodes_.resize(num_nodes);
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    Node& node = tree.nodes_[i];
+    PINOT_ASSIGN_OR_RETURN(node.dim, reader->ReadI32());
+    PINOT_ASSIGN_OR_RETURN(node.value, reader->ReadU32());
+    PINOT_ASSIGN_OR_RETURN(node.record_start, reader->ReadU32());
+    PINOT_ASSIGN_OR_RETURN(node.record_end, reader->ReadU32());
+    PINOT_ASSIGN_OR_RETURN(node.star_child, reader->ReadI32());
+    PINOT_ASSIGN_OR_RETURN(uint32_t num_children, reader->ReadU32());
+    node.children.resize(num_children);
+    for (uint32_t c = 0; c < num_children; ++c) {
+      PINOT_ASSIGN_OR_RETURN(node.children[c], reader->ReadI32());
+    }
+  }
+  return tree;
+}
+
+}  // namespace pinot

@@ -1,0 +1,142 @@
+#ifndef PINOT_STARTREE_STAR_TREE_H_
+#define PINOT_STARTREE_STAR_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace pinot {
+
+/// Configuration for star-tree generation on a segment (paper section 4.3).
+/// `dimensions` is the split order (most frequently filtered first);
+/// `metrics` are the preaggregated metric columns. A node whose record count
+/// is at or below `max_leaf_records` is not split further.
+struct StarTreeConfig {
+  std::vector<std::string> dimensions;
+  std::vector<std::string> metrics;
+  uint32_t max_leaf_records = 10000;
+
+  bool enabled() const { return !dimensions.empty(); }
+};
+
+/// A star-tree index: a pruned hierarchy of preaggregated records
+/// ("star-cubing", Xin et al.; paper section 4.3). Each tree level splits on
+/// one dimension; every split also has a *star* child holding records
+/// aggregated across all values of that dimension. Queries whose filter and
+/// group-by columns are tree dimensions and whose aggregations are
+/// sum/count/min/max over tree metrics can be answered from far fewer
+/// preaggregated records than raw documents (Figure 13).
+///
+/// Dimension values in star-tree records are the owning segment's
+/// dictionary ids; kStarValue marks the aggregated-across-all-values slot.
+class StarTree {
+ public:
+  static constexpr uint32_t kStarValue = 0xffffffff;
+
+  /// One input record for the builder: dictionary ids per configured
+  /// dimension plus raw metric values per configured metric.
+  struct InputRecord {
+    std::vector<uint32_t> dims;
+    std::vector<double> metrics;
+  };
+
+  /// Builds the tree from one record per document.
+  static StarTree Build(StarTreeConfig config,
+                        std::vector<InputRecord> records);
+
+  const StarTreeConfig& config() const { return config_; }
+  uint32_t num_records() const {
+    return static_cast<uint32_t>(counts_.size());
+  }
+  uint32_t num_base_records() const { return num_base_records_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  uint32_t DimValue(int dim_index, uint32_t record) const {
+    return dim_values_[dim_index][record];
+  }
+  int64_t Count(uint32_t record) const { return counts_[record]; }
+  double MetricSum(int metric_index, uint32_t record) const {
+    return metric_sums_[metric_index][record];
+  }
+  double MetricMin(int metric_index, uint32_t record) const {
+    return metric_mins_[metric_index][record];
+  }
+  double MetricMax(int metric_index, uint32_t record) const {
+    return metric_maxs_[metric_index][record];
+  }
+
+  /// Index of `column` in the configured dimension list, or -1.
+  int DimensionIndex(const std::string& column) const;
+  /// Index of `column` in the configured metric list, or -1.
+  int MetricIndex(const std::string& column) const;
+
+  /// Traversal request: for each tree dimension, an optional predicate
+  /// (sorted list of matching dictionary ids) and whether it is grouped on.
+  struct DimensionSpec {
+    bool has_predicate = false;
+    std::vector<uint32_t> matching_ids;  // Sorted; used when has_predicate.
+    bool group_by = false;
+  };
+
+  /// Collects the record ranges answering a query. Traverses predicate
+  /// dimensions into matching children, group-by dimensions into all
+  /// concrete children, and everything else into the star child. Records in
+  /// the returned ranges still need per-record filtering on predicate
+  /// dimensions at or below the leaf level (the caller re-checks
+  /// `matching_ids` against DimValue).
+  void CollectRecordRanges(
+      const std::vector<DimensionSpec>& specs,
+      std::vector<std::pair<uint32_t, uint32_t>>* ranges) const;
+
+  uint64_t SizeInBytes() const;
+
+  void Serialize(ByteWriter* writer) const;
+  static Result<StarTree> Deserialize(ByteReader* reader);
+
+ private:
+  struct Node {
+    int dim = -1;                 // Split dimension of the *children*.
+    uint32_t value = kStarValue;  // This node's value in the parent's dim.
+    uint32_t record_start = 0;    // Range of records this node covers.
+    uint32_t record_end = 0;
+    std::vector<int> children;    // Indexes into nodes_; sorted by value.
+    int star_child = -1;          // Index of the star child, or -1.
+
+    bool IsLeaf() const { return children.empty(); }
+  };
+
+  struct BuildRecord {
+    std::vector<uint32_t> dims;
+    int64_t count = 0;
+    std::vector<double> sums;
+    std::vector<double> mins;
+    std::vector<double> maxs;
+  };
+
+  int BuildNode(std::vector<BuildRecord>* records, uint32_t start,
+                uint32_t end, int level, uint32_t value);
+  void Freeze(const std::vector<BuildRecord>& records);
+  void CollectFromNode(int node_index, int level,
+                       const std::vector<DimensionSpec>& specs,
+                       std::vector<std::pair<uint32_t, uint32_t>>* ranges)
+      const;
+
+  StarTreeConfig config_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root.
+  uint32_t num_base_records_ = 0;
+
+  // Columnar record storage (frozen after build).
+  std::vector<std::vector<uint32_t>> dim_values_;   // [dim][record]
+  std::vector<int64_t> counts_;                     // [record]
+  std::vector<std::vector<double>> metric_sums_;    // [metric][record]
+  std::vector<std::vector<double>> metric_mins_;
+  std::vector<std::vector<double>> metric_maxs_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_STARTREE_STAR_TREE_H_

@@ -1,0 +1,99 @@
+#include "stream/stream.h"
+
+#include <cassert>
+
+namespace pinot {
+
+StreamTopic::StreamTopic(std::string name, int num_partitions, Clock* clock)
+    : name_(std::move(name)), clock_(clock) {
+  assert(num_partitions > 0);
+  partitions_.reserve(num_partitions);
+  for (int i = 0; i < num_partitions; ++i) {
+    partitions_.push_back(std::make_unique<Partition>());
+  }
+}
+
+std::pair<int, int64_t> StreamTopic::Produce(const std::string& key,
+                                             Row row) {
+  const int partition = KafkaPartition(key, num_partitions());
+  const int64_t offset = ProduceToPartition(partition, key, std::move(row));
+  return {partition, offset};
+}
+
+int64_t StreamTopic::ProduceToPartition(int partition, const std::string& key,
+                                        Row row) {
+  Partition& p = *partitions_[partition];
+  std::lock_guard<std::mutex> lock(p.mutex);
+  StreamMessage message;
+  message.offset = p.next_offset++;
+  message.key = key;
+  message.row = std::move(row);
+  message.timestamp_millis = clock_->NowMillis();
+  p.log.push_back(std::move(message));
+  return p.next_offset - 1;
+}
+
+Result<std::vector<StreamMessage>> StreamTopic::Fetch(int partition,
+                                                      int64_t offset,
+                                                      int max_messages) const {
+  if (partition < 0 || partition >= num_partitions()) {
+    return Status::InvalidArgument("no such partition");
+  }
+  const Partition& p = *partitions_[partition];
+  std::lock_guard<std::mutex> lock(p.mutex);
+  if (offset < p.base_offset) {
+    return Status::OutOfRange("offset below retention horizon");
+  }
+  std::vector<StreamMessage> out;
+  const int64_t start = offset - p.base_offset;
+  for (int64_t i = start;
+       i < static_cast<int64_t>(p.log.size()) &&
+       static_cast<int>(out.size()) < max_messages;
+       ++i) {
+    out.push_back(p.log[i]);
+  }
+  return out;
+}
+
+int64_t StreamTopic::LatestOffset(int partition) const {
+  const Partition& p = *partitions_[partition];
+  std::lock_guard<std::mutex> lock(p.mutex);
+  return p.next_offset;
+}
+
+int64_t StreamTopic::EarliestOffset(int partition) const {
+  const Partition& p = *partitions_[partition];
+  std::lock_guard<std::mutex> lock(p.mutex);
+  return p.base_offset;
+}
+
+void StreamTopic::EnforceRetention(int64_t retention_millis) {
+  const int64_t horizon = clock_->NowMillis() - retention_millis;
+  for (auto& partition : partitions_) {
+    std::lock_guard<std::mutex> lock(partition->mutex);
+    while (!partition->log.empty() &&
+           partition->log.front().timestamp_millis < horizon) {
+      partition->log.pop_front();
+      ++partition->base_offset;
+    }
+  }
+}
+
+StreamTopic* StreamRegistry::GetOrCreateTopic(const std::string& name,
+                                              int num_partitions) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = topics_.find(name);
+  if (it != topics_.end()) return it->second.get();
+  auto topic = std::make_unique<StreamTopic>(name, num_partitions, clock_);
+  StreamTopic* raw = topic.get();
+  topics_.emplace(name, std::move(topic));
+  return raw;
+}
+
+StreamTopic* StreamRegistry::GetTopic(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = topics_.find(name);
+  return it == topics_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace pinot

@@ -1,0 +1,93 @@
+#ifndef PINOT_STREAM_STREAM_H_
+#define PINOT_STREAM_STREAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "data/row.h"
+
+namespace pinot {
+
+/// One event in a stream partition.
+struct StreamMessage {
+  int64_t offset = 0;
+  std::string key;
+  Row row;
+  int64_t timestamp_millis = 0;
+};
+
+/// In-process reproduction of a Kafka topic (paper sections 3.3.1, 3.3.6):
+/// a set of partitions, each an ordered log with monotonically increasing
+/// offsets, a murmur2 key partitioner matching Kafka's default (so Pinot's
+/// offline partition function can line up with the realtime one, section
+/// 4.4), and time-based retention ("Kafka retains data only for a certain
+/// period of time").
+class StreamTopic {
+ public:
+  StreamTopic(std::string name, int num_partitions, Clock* clock);
+
+  const std::string& name() const { return name_; }
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+
+  /// Appends a message, choosing the partition by murmur2(key) like Kafka's
+  /// default partitioner. Returns the (partition, offset) it landed at.
+  std::pair<int, int64_t> Produce(const std::string& key, Row row);
+
+  /// Appends to an explicit partition.
+  int64_t ProduceToPartition(int partition, const std::string& key, Row row);
+
+  /// Reads up to `max_messages` starting at `offset`. Returns OutOfRange
+  /// when `offset` is below the earliest retained offset (consumer fell
+  /// behind retention), and an empty vector at the log end.
+  Result<std::vector<StreamMessage>> Fetch(int partition, int64_t offset,
+                                           int max_messages) const;
+
+  /// Next offset to be written (== latest message offset + 1).
+  int64_t LatestOffset(int partition) const;
+  /// Earliest retained offset.
+  int64_t EarliestOffset(int partition) const;
+
+  /// Drops messages older than `retention_millis` (Kafka time retention).
+  void EnforceRetention(int64_t retention_millis);
+
+ private:
+  struct Partition {
+    mutable std::mutex mutex;
+    std::deque<StreamMessage> log;
+    int64_t base_offset = 0;  // Offset of log.front().
+    int64_t next_offset = 0;
+  };
+
+  std::string name_;
+  Clock* clock_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+};
+
+/// Registry of topics, shared by producers and Pinot servers.
+class StreamRegistry {
+ public:
+  explicit StreamRegistry(Clock* clock) : clock_(clock) {}
+
+  /// Creates the topic if absent; returns it either way.
+  StreamTopic* GetOrCreateTopic(const std::string& name, int num_partitions);
+
+  /// Null when the topic does not exist.
+  StreamTopic* GetTopic(const std::string& name) const;
+
+ private:
+  Clock* clock_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<StreamTopic>> topics_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_STREAM_STREAM_H_

@@ -1,0 +1,90 @@
+#ifndef PINOT_TENANT_TOKEN_BUCKET_H_
+#define PINOT_TENANT_TOKEN_BUCKET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace pinot {
+
+/// Token bucket used to share query resources between colocated tenants
+/// (paper section 4.5): each query deducts tokens proportional to its
+/// execution time; when a tenant's bucket is empty its queries queue until
+/// the bucket refills. The slow refill "allow[s] for short transient spikes
+/// in query loads but prevent[s] a misbehaving tenant from exhausting
+/// resources for other colocated tenants".
+class TokenBucket {
+ public:
+  /// `capacity` is the burst size in tokens; `refill_per_second` the steady
+  /// rate. One token conventionally corresponds to one millisecond of query
+  /// execution time.
+  TokenBucket(double capacity, double refill_per_second, Clock* clock);
+
+  /// True when the bucket currently holds a positive balance (queries are
+  /// admitted while the balance is positive; the actual charge is deducted
+  /// after execution, so a burst can drive the balance negative).
+  bool HasTokens();
+
+  /// Deducts `tokens` (e.g. the query's execution milliseconds). May drive
+  /// the balance negative.
+  void Deduct(double tokens);
+
+  /// Current balance after refill accrual.
+  double Available();
+
+  /// Milliseconds until the balance becomes positive again (0 when it
+  /// already is).
+  int64_t MillisUntilAvailable();
+
+ private:
+  void RefillLocked();
+
+  const double capacity_;
+  const double refill_per_ms_;
+  Clock* const clock_;
+  std::mutex mutex_;
+  double tokens_;
+  int64_t last_refill_millis_;
+};
+
+/// Per-tenant admission control for a server's query scheduler. Queries for
+/// a tenant whose bucket is exhausted wait (bounded) until tokens accrue.
+class TenantQuotaManager {
+ public:
+  struct TenantLimits {
+    double burst_tokens = 500;        // ~500ms of burst execution.
+    double refill_per_second = 100;   // ~10% of one core steady-state.
+  };
+
+  explicit TenantQuotaManager(Clock* clock) : clock_(clock) {}
+
+  /// Registers (or reconfigures) a tenant.
+  void ConfigureTenant(const std::string& tenant, TenantLimits limits);
+
+  /// Blocks until the tenant's bucket admits a query or `timeout_millis`
+  /// elapses. Returns Timeout on expiry, OK on admission. Unknown tenants
+  /// are admitted unconditionally (no quota configured).
+  Status AdmitQuery(const std::string& tenant, int64_t timeout_millis);
+
+  /// Charges `execution_millis` of work to the tenant.
+  void RecordExecution(const std::string& tenant, double execution_millis);
+
+  bool HasTenant(const std::string& tenant) const;
+
+ private:
+  TokenBucket* GetBucket(const std::string& tenant) const;
+
+  Clock* const clock_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<TokenBucket>> buckets_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_TENANT_TOKEN_BUCKET_H_

@@ -1,0 +1,309 @@
+#include "workload/workloads.h"
+
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace pinot {
+
+namespace {
+
+std::vector<std::string> MakeNames(const std::string& prefix, int n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+
+}  // namespace
+
+Workload MakeAnomalyWorkload(const WorkloadOptions& options) {
+  Workload w;
+  w.name = "anomaly";
+  auto schema = Schema::Make({
+      FieldSpec::Dimension("metricName", DataType::kString),
+      FieldSpec::Dimension("country", DataType::kString),
+      FieldSpec::Dimension("platform", DataType::kString),
+      FieldSpec::Dimension("browser", DataType::kString),
+      FieldSpec::Dimension("application", DataType::kString),
+      FieldSpec::Dimension("pageType", DataType::kString),
+      FieldSpec::Metric("value", DataType::kDouble),
+      FieldSpec::Metric("count", DataType::kLong),
+      FieldSpec::Time("day", DataType::kLong),
+  });
+  assert(schema.ok());
+  w.schema = *schema;
+
+  // Cardinalities sized so the dimension cube is dense relative to the row
+  // count (production business-metric data has many rows per combination,
+  // which is what makes preaggregation effective; Figure 13).
+  const auto metrics = MakeNames("metric_", 60);
+  const auto countries = MakeNames("country_", 20);
+  const auto platforms = MakeNames("platform_", 3);
+  const auto browsers = MakeNames("browser_", 5);
+  const auto applications = MakeNames("app_", 12);
+  const auto page_types = MakeNames("page_", 8);
+  constexpr int64_t kFirstDay = 17000;
+  constexpr int kNumDays = 14;
+
+  Random rng(options.seed);
+  ZipfGenerator metric_gen(metrics.size(), 1.1);
+  ZipfGenerator country_gen(countries.size(), 1.2);
+  ZipfGenerator app_gen(applications.size(), 1.0);
+  ZipfGenerator page_gen(page_types.size(), 1.1);
+
+  w.rows.reserve(options.num_rows);
+  for (uint32_t i = 0; i < options.num_rows; ++i) {
+    Row row;
+    row.SetString("metricName", metrics[metric_gen.Next(rng)]);
+    row.SetString("country", countries[country_gen.Next(rng)]);
+    row.SetString("platform", platforms[rng.NextUint64(platforms.size())]);
+    row.SetString("browser", browsers[rng.NextUint64(browsers.size())]);
+    row.SetString("application", applications[app_gen.Next(rng)]);
+    row.SetString("pageType", page_types[page_gen.Next(rng)]);
+    row.SetDouble("value", rng.NextDouble() * 1000);
+    row.SetLong("count", 1 + static_cast<int64_t>(rng.NextUint64(50)));
+    row.SetLong("day", kFirstDay + static_cast<int64_t>(
+                                       rng.NextUint64(kNumDays)));
+    w.rows.push_back(std::move(row));
+  }
+
+  // Query mix: ~60% automated monitoring (fixed shape, varying metric),
+  // ~40% ad hoc drill-down with extra predicates and group-bys.
+  w.queries.reserve(options.num_queries);
+  for (int q = 0; q < options.num_queries; ++q) {
+    const std::string metric = metrics[metric_gen.Next(rng)];
+    const int64_t day_lo =
+        kFirstDay + static_cast<int64_t>(rng.NextUint64(kNumDays - 3));
+    const int64_t day_hi = day_lo + 1 + static_cast<int64_t>(rng.NextUint64(3));
+    if (rng.NextBool(0.6)) {
+      // Automated monitoring: per-day series for one metric.
+      w.queries.push_back(
+          "SELECT sum(value), sum(count) FROM anomaly WHERE metricName = '" +
+          metric + "' AND day BETWEEN " + std::to_string(day_lo) + " AND " +
+          std::to_string(day_hi) + " GROUP BY day TOP 31");
+    } else {
+      // Ad hoc root-cause drill-down.
+      std::string pql = "SELECT sum(value) FROM anomaly WHERE metricName = '" +
+                        metric + "'";
+      if (rng.NextBool(0.6)) {
+        pql += " AND country = '" + countries[country_gen.Next(rng)] + "'";
+      }
+      if (rng.NextBool(0.4)) {
+        pql += " AND platform = '" +
+               platforms[rng.NextUint64(platforms.size())] + "'";
+      }
+      pql += " AND day BETWEEN " + std::to_string(day_lo) + " AND " +
+             std::to_string(day_hi);
+      static const char* kGroupBys[] = {"country", "browser", "application",
+                                        "pageType"};
+      pql += std::string(" GROUP BY ") + kGroupBys[rng.NextUint64(4)] +
+             " TOP 10";
+      w.queries.push_back(std::move(pql));
+    }
+  }
+
+  w.pinot_config.inverted_index_columns = {"metricName", "country",
+                                           "platform"};
+  // Split order: the always-filtered column first, the group-by/time
+  // column last — stars on the middle dimensions then collapse everything
+  // between the filter and the per-day leaves.
+  w.pinot_config.star_tree.dimensions = {"metricName", "country", "platform",
+                                         "browser", "application", "pageType",
+                                         "day"};
+  w.pinot_config.star_tree.metrics = {"value", "count"};
+  w.pinot_config.star_tree.max_leaf_records = 100;
+  return w;
+}
+
+Workload MakeShareAnalyticsWorkload(const WorkloadOptions& options) {
+  Workload w;
+  w.name = "shares";
+  auto schema = Schema::Make({
+      FieldSpec::Dimension("itemId", DataType::kLong),
+      FieldSpec::Dimension("viewerRegion", DataType::kString),
+      FieldSpec::Dimension("viewerSeniority", DataType::kString),
+      FieldSpec::Dimension("viewerIndustry", DataType::kString),
+      FieldSpec::Metric("views", DataType::kLong),
+      FieldSpec::Metric("clicks", DataType::kLong),
+      FieldSpec::Time("day", DataType::kLong),
+  });
+  assert(schema.ok());
+  w.schema = *schema;
+
+  const uint64_t num_items = std::max<uint64_t>(options.num_rows / 40, 100);
+  const auto regions = MakeNames("region_", 20);
+  const auto seniorities = MakeNames("seniority_", 8);
+  const auto industries = MakeNames("industry_", 50);
+
+  Random rng(options.seed);
+  // Item popularity is heavily long-tailed (viral shares).
+  ZipfGenerator item_gen(num_items, 1.05);
+  ZipfGenerator industry_gen(industries.size(), 1.0);
+
+  w.rows.reserve(options.num_rows);
+  for (uint32_t i = 0; i < options.num_rows; ++i) {
+    Row row;
+    row.SetLong("itemId", static_cast<int64_t>(item_gen.Next(rng)));
+    row.SetString("viewerRegion", regions[rng.NextUint64(regions.size())]);
+    row.SetString("viewerSeniority",
+                  seniorities[rng.NextUint64(seniorities.size())]);
+    row.SetString("viewerIndustry", industries[industry_gen.Next(rng)]);
+    row.SetLong("views", 1);
+    row.SetLong("clicks", rng.NextBool(0.1) ? 1 : 0);
+    row.SetLong("day", 17000 + static_cast<int64_t>(rng.NextUint64(30)));
+    w.rows.push_back(std::move(row));
+  }
+
+  // Every query is keyed by an item (the piece of shared content being
+  // analyzed), with a simple aggregation and at most one facet.
+  w.queries.reserve(options.num_queries);
+  for (int q = 0; q < options.num_queries; ++q) {
+    const int64_t item = static_cast<int64_t>(item_gen.Next(rng));
+    const double kind = rng.NextDouble();
+    if (kind < 0.4) {
+      w.queries.push_back(
+          "SELECT sum(views), sum(clicks) FROM shares WHERE itemId = " +
+          std::to_string(item));
+    } else if (kind < 0.8) {
+      static const char* kFacets[] = {"viewerRegion", "viewerSeniority",
+                                      "viewerIndustry"};
+      w.queries.push_back("SELECT sum(views) FROM shares WHERE itemId = " +
+                          std::to_string(item) + " GROUP BY " +
+                          kFacets[rng.NextUint64(3)] + " TOP 10");
+    } else {
+      w.queries.push_back("SELECT count(*) FROM shares WHERE itemId = " +
+                          std::to_string(item) + " AND viewerRegion = '" +
+                          regions[rng.NextUint64(regions.size())] + "'");
+    }
+  }
+
+  // "Data is sorted based on the shared item identifier" (section 6); no
+  // inverted indexes are needed on the facets.
+  w.pinot_config.sort_columns = {"itemId"};
+  return w;
+}
+
+Workload MakeWvmpWorkload(const WorkloadOptions& options) {
+  Workload w;
+  w.name = "wvmp";
+  auto schema = Schema::Make({
+      FieldSpec::Dimension("vieweeId", DataType::kLong),
+      FieldSpec::Dimension("viewerId", DataType::kLong),
+      FieldSpec::Dimension("viewerRegion", DataType::kString),
+      FieldSpec::Dimension("viewerSeniority", DataType::kString),
+      FieldSpec::Dimension("viewerIndustry", DataType::kString),
+      FieldSpec::Metric("views", DataType::kLong),
+      FieldSpec::Time("day", DataType::kLong),
+  });
+  assert(schema.ok());
+  w.schema = *schema;
+
+  const uint64_t num_members = std::max<uint64_t>(options.num_rows / 30, 100);
+  const auto regions = MakeNames("region_", 25);
+  const auto seniorities = MakeNames("seniority_", 8);
+  const auto industries = MakeNames("industry_", 60);
+
+  Random rng(options.seed);
+  // Profile-view counts are long-tailed (influencers vs everyone else).
+  ZipfGenerator viewee_gen(num_members, 0.99);
+  ZipfGenerator industry_gen(industries.size(), 1.0);
+
+  w.rows.reserve(options.num_rows);
+  for (uint32_t i = 0; i < options.num_rows; ++i) {
+    Row row;
+    row.SetLong("vieweeId", static_cast<int64_t>(viewee_gen.Next(rng)));
+    row.SetLong("viewerId",
+                static_cast<int64_t>(rng.NextUint64(num_members)));
+    row.SetString("viewerRegion", regions[rng.NextUint64(regions.size())]);
+    row.SetString("viewerSeniority",
+                  seniorities[rng.NextUint64(seniorities.size())]);
+    row.SetString("viewerIndustry", industries[industry_gen.Next(rng)]);
+    row.SetLong("views", 1);
+    row.SetLong("day", 17000 + static_cast<int64_t>(rng.NextUint64(90)));
+    w.rows.push_back(std::move(row));
+  }
+
+  // "Simple aggregations (sum of clicks/views, distinct count of viewers)
+  // with a few facets such as region, seniority or industry for ... a
+  // given user's profile views" (section 6).
+  w.queries.reserve(options.num_queries);
+  for (int q = 0; q < options.num_queries; ++q) {
+    const int64_t viewee = static_cast<int64_t>(viewee_gen.Next(rng));
+    const double kind = rng.NextDouble();
+    if (kind < 0.35) {
+      w.queries.push_back("SELECT count(*) FROM wvmp WHERE vieweeId = " +
+                          std::to_string(viewee));
+    } else if (kind < 0.55) {
+      w.queries.push_back(
+          "SELECT distinctcount(viewerId) FROM wvmp WHERE vieweeId = " +
+          std::to_string(viewee));
+    } else {
+      static const char* kFacets[] = {"viewerRegion", "viewerSeniority",
+                                      "viewerIndustry"};
+      w.queries.push_back("SELECT sum(views) FROM wvmp WHERE vieweeId = " +
+                          std::to_string(viewee) + " GROUP BY " +
+                          kFacets[rng.NextUint64(3)] + " TOP 10");
+    }
+  }
+
+  w.pinot_config.sort_columns = {"vieweeId"};
+  return w;
+}
+
+Workload MakeImpressionWorkload(const WorkloadOptions& options) {
+  Workload w;
+  w.name = "impressions";
+  auto schema = Schema::Make({
+      FieldSpec::Dimension("memberId", DataType::kLong),
+      FieldSpec::Dimension("itemId", DataType::kLong),
+      FieldSpec::Dimension("channel", DataType::kString),
+      FieldSpec::Metric("impressions", DataType::kLong),
+      FieldSpec::Time("day", DataType::kLong),
+  });
+  assert(schema.ok());
+  w.schema = *schema;
+
+  const uint64_t num_members = std::max<uint64_t>(options.num_rows / 50, 100);
+  const uint64_t num_items = std::max<uint64_t>(options.num_rows / 10, 1000);
+  const auto channels = MakeNames("channel_", 5);
+
+  Random rng(options.seed);
+  ZipfGenerator member_gen(num_members, 0.9);
+  ZipfGenerator item_gen(num_items, 1.1);
+
+  w.rows.reserve(options.num_rows);
+  for (uint32_t i = 0; i < options.num_rows; ++i) {
+    Row row;
+    row.SetLong("memberId", static_cast<int64_t>(member_gen.Next(rng)));
+    row.SetLong("itemId", static_cast<int64_t>(item_gen.Next(rng)));
+    row.SetString("channel", channels[rng.NextUint64(channels.size())]);
+    row.SetLong("impressions", 1);
+    row.SetLong("day", 17000 + static_cast<int64_t>(rng.NextUint64(7)));
+    w.rows.push_back(std::move(row));
+  }
+
+  // "Every news feed view sends several queries to Pinot to fetch the list
+  // of items that have been seen by a user" (section 6): high-throughput
+  // per-member item lookups plus a small share of per-member counts.
+  w.queries.reserve(options.num_queries);
+  for (int q = 0; q < options.num_queries; ++q) {
+    const int64_t member = static_cast<int64_t>(member_gen.Next(rng));
+    if (rng.NextBool(0.85)) {
+      w.queries.push_back(
+          "SELECT sum(impressions) FROM impressions WHERE memberId = " +
+          std::to_string(member) + " GROUP BY itemId TOP 100");
+    } else {
+      w.queries.push_back(
+          "SELECT count(*) FROM impressions WHERE memberId = " +
+          std::to_string(member));
+    }
+  }
+
+  w.pinot_config.sort_columns = {"memberId"};
+  w.partition_column = "memberId";
+  w.num_partitions = 8;
+  return w;
+}
+
+}  // namespace pinot

@@ -1,0 +1,64 @@
+#ifndef PINOT_WORKLOAD_WORKLOADS_H_
+#define PINOT_WORKLOAD_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/row.h"
+#include "data/schema.h"
+#include "segment/segment_builder.h"
+
+namespace pinot {
+
+/// A synthetic reproduction of one of the paper's production scenarios
+/// (section 6): data rows whose dimension-value distributions match the
+/// paper's description (long-tail Zipf dimensions, high-cardinality member/
+/// item identifiers) plus a sampled query set ("queries were sampled to
+/// have tens of thousands of different queries in order to simulate a
+/// production environment").
+struct Workload {
+  std::string name;
+  Schema schema;
+  std::vector<Row> rows;
+  std::vector<std::string> queries;  // PQL.
+  // The index configuration Pinot uses in this scenario (sort columns,
+  // inverted indexes, star-tree), per the paper's description.
+  SegmentBuildConfig pinot_config;
+  // Partition function parameters for the partition-aware variant
+  // (impression-discounting scenario only).
+  std::string partition_column;
+  int num_partitions = 0;
+};
+
+struct WorkloadOptions {
+  uint32_t num_rows = 200000;
+  int num_queries = 2000;
+  uint64_t seed = 42;
+};
+
+/// Anomaly-detection / ad hoc reporting on multidimensional business
+/// metrics (Figures 11-13): ~7 Zipf dimensions + time, two metrics;
+/// queries mix automated monitoring aggregations with ad hoc drill-downs
+/// (1-3 predicates, optional group-by).
+Workload MakeAnomalyWorkload(const WorkloadOptions& options);
+
+/// "Share analytics" (Figure 14): every query filters on a
+/// high-cardinality shared-item identifier; Pinot physically sorts on it
+/// while Druid relies on per-dimension inverted indexes.
+Workload MakeShareAnalyticsWorkload(const WorkloadOptions& options);
+
+/// "Who viewed my profile" (Figure 15): every query filters on vieweeId
+/// with simple aggregations and a few facets; used to compare the sorted
+/// column against a bitmap inverted index on the same column.
+Workload MakeWvmpWorkload(const WorkloadOptions& options);
+
+/// Impression discounting (Figure 16): high-throughput point-ish queries
+/// fetching the items a member has already seen; the table is partitioned
+/// on memberId with the Kafka-compatible partition function so the broker
+/// can prune servers.
+Workload MakeImpressionWorkload(const WorkloadOptions& options);
+
+}  // namespace pinot
+
+#endif  // PINOT_WORKLOAD_WORKLOADS_H_

@@ -1,0 +1,132 @@
+#include "query/agg.h"
+
+#include <gtest/gtest.h>
+
+#include "query/result.h"
+
+namespace pinot {
+namespace {
+
+TEST(AggStateTest, AddDouble) {
+  AggState state;
+  state.AddDouble(3);
+  state.AddDouble(-1);
+  state.AddDouble(10);
+  EXPECT_DOUBLE_EQ(state.sum, 12);
+  EXPECT_DOUBLE_EQ(state.min, -1);
+  EXPECT_DOUBLE_EQ(state.max, 10);
+  EXPECT_EQ(state.count, 3);
+}
+
+TEST(AggStateTest, MergePreservesExtremaAndDistinct) {
+  AggState a, b;
+  a.AddDouble(1);
+  a.MutableDistinct()->AddInt64(1);
+  a.MutableDistinct()->AddInt64(2);
+  b.AddDouble(5);
+  b.MutableDistinct()->AddInt64(2);
+  b.MutableDistinct()->AddInt64(3);
+  a.Merge(std::move(b));
+  EXPECT_DOUBLE_EQ(a.sum, 6);
+  EXPECT_DOUBLE_EQ(a.min, 1);
+  EXPECT_DOUBLE_EQ(a.max, 5);
+  EXPECT_EQ(a.count, 2);
+  EXPECT_EQ(a.distinct->size(), 3);
+}
+
+TEST(AggStateTest, AddPreaggregated) {
+  AggState state;
+  state.AddPreaggregated(100, 2, 50, 10);
+  state.AddPreaggregated(50, -1, 20, 5);
+  EXPECT_DOUBLE_EQ(state.sum, 150);
+  EXPECT_DOUBLE_EQ(state.min, -1);
+  EXPECT_DOUBLE_EQ(state.max, 50);
+  EXPECT_EQ(state.count, 15);
+}
+
+TEST(FinalizeAggTest, AllTypes) {
+  AggState state;
+  state.AddDouble(2);
+  state.AddDouble(4);
+  EXPECT_EQ(std::get<int64_t>(FinalizeAgg(AggregationType::kCount, state)), 2);
+  EXPECT_DOUBLE_EQ(std::get<double>(FinalizeAgg(AggregationType::kSum, state)),
+                   6);
+  EXPECT_DOUBLE_EQ(std::get<double>(FinalizeAgg(AggregationType::kMin, state)),
+                   2);
+  EXPECT_DOUBLE_EQ(std::get<double>(FinalizeAgg(AggregationType::kMax, state)),
+                   4);
+  EXPECT_DOUBLE_EQ(std::get<double>(FinalizeAgg(AggregationType::kAvg, state)),
+                   3);
+}
+
+TEST(FinalizeAggTest, EmptyStates) {
+  AggState empty;
+  EXPECT_EQ(std::get<int64_t>(FinalizeAgg(AggregationType::kCount, empty)), 0);
+  EXPECT_DOUBLE_EQ(
+      std::get<double>(FinalizeAgg(AggregationType::kSum, empty)), 0);
+  EXPECT_TRUE(IsNull(FinalizeAgg(AggregationType::kMin, empty)));
+  EXPECT_TRUE(IsNull(FinalizeAgg(AggregationType::kAvg, empty)));
+  EXPECT_EQ(std::get<int64_t>(
+                FinalizeAgg(AggregationType::kDistinctCount, empty)),
+            0);
+}
+
+TEST(DistinctSetTest, TypeSeparationAndMerge) {
+  DistinctSet set;
+  set.AddInt64(1);
+  set.AddInt64(1);
+  set.AddDouble(1.0);  // Distinct from the integer 1 by design.
+  set.AddString("1");
+  EXPECT_EQ(set.size(), 3);
+  DistinctSet other;
+  other.AddInt64(1);
+  other.AddInt64(2);
+  set.Merge(other);
+  EXPECT_EQ(set.size(), 4);
+}
+
+TEST(PartialResultTest, MergeGroupsByValueKey) {
+  PartialResult a, b;
+  {
+    PartialResult::GroupEntry entry;
+    entry.keys = {Value{std::string("us")}};
+    entry.states.resize(1);
+    entry.states[0].AddDouble(10);
+    a.groups.emplace(EncodeGroupKey(entry.keys), std::move(entry));
+  }
+  {
+    PartialResult::GroupEntry entry;
+    entry.keys = {Value{std::string("us")}};
+    entry.states.resize(1);
+    entry.states[0].AddDouble(5);
+    b.groups.emplace(EncodeGroupKey(entry.keys), std::move(entry));
+    PartialResult::GroupEntry other;
+    other.keys = {Value{std::string("ca")}};
+    other.states.resize(1);
+    other.states[0].AddDouble(7);
+    b.groups.emplace(EncodeGroupKey(other.keys), std::move(other));
+  }
+  a.Merge(std::move(b));
+  ASSERT_EQ(a.groups.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      a.groups[EncodeGroupKey({Value{std::string("us")}})].states[0].sum, 15);
+}
+
+TEST(PartialResultTest, MergeKeepsFirstError) {
+  PartialResult a, b, c;
+  b.status = Status::Timeout("server 1");
+  c.status = Status::NotFound("segment");
+  a.Merge(std::move(b));
+  a.Merge(std::move(c));
+  EXPECT_TRUE(a.status.IsTimeout());
+}
+
+TEST(EncodeGroupKeyTest, DistinguishesValues) {
+  EXPECT_NE(EncodeGroupKey({Value{std::string("a")}, Value{std::string("b")}}),
+            EncodeGroupKey({Value{std::string("ab")}}));
+  EXPECT_EQ(EncodeGroupKey({Value{int64_t{1}}}),
+            EncodeGroupKey({Value{int64_t{1}}}));
+}
+
+}  // namespace
+}  // namespace pinot

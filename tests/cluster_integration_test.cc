@@ -1,0 +1,319 @@
+#include "cluster/pinot_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace pinot {
+namespace {
+
+using test::AnalyticsRows;
+using test::AnalyticsSchema;
+using test::BuildAnalyticsSegment;
+
+TableConfig OfflineAnalyticsConfig(int replicas = 2) {
+  TableConfig config;
+  config.name = "analytics";
+  config.type = TableType::kOffline;
+  config.schema = AnalyticsSchema();
+  config.num_replicas = replicas;
+  return config;
+}
+
+std::string BuildSegmentBlob(const std::string& name,
+                             SegmentBuildConfig config = {}) {
+  config.segment_name = name;
+  config.table_name = "analytics_OFFLINE";
+  auto segment = BuildAnalyticsSegment(std::move(config));
+  return segment->SerializeToBlob();
+}
+
+TEST(ClusterIntegrationTest, UploadAndQueryOfflineTable) {
+  PinotClusterOptions options;
+  options.num_servers = 3;
+  PinotCluster cluster(options);
+  Controller* leader = cluster.leader_controller();
+  ASSERT_NE(leader, nullptr);
+  ASSERT_TRUE(leader->AddTable(OfflineAnalyticsConfig()).ok());
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg0"))
+          .ok());
+
+  auto result = cluster.Execute("SELECT count(*) FROM analytics");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 12);
+
+  result = cluster.Execute(
+      "SELECT sum(impressions) FROM analytics WHERE country = 'us'");
+  EXPECT_DOUBLE_EQ(std::get<double>(result.aggregates[0]), 380);
+}
+
+TEST(ClusterIntegrationTest, SegmentIsReplicated) {
+  PinotClusterOptions options;
+  options.num_servers = 3;
+  PinotCluster cluster(options);
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineAnalyticsConfig(2)).ok());
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg0"))
+          .ok());
+  int hosts = 0;
+  for (int i = 0; i < cluster.num_servers(); ++i) {
+    hosts += cluster.server(i)->HostedSegments("analytics_OFFLINE").size();
+  }
+  EXPECT_EQ(hosts, 2);
+  const TableView view =
+      cluster.cluster_manager()->GetExternalView("analytics_OFFLINE");
+  EXPECT_EQ(view.at("seg0").size(), 2u);
+}
+
+TEST(ClusterIntegrationTest, MultipleSegmentsSpreadAcrossServers) {
+  PinotClusterOptions options;
+  options.num_servers = 3;
+  PinotCluster cluster(options);
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineAnalyticsConfig(1)).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(leader
+                    ->UploadSegment("analytics_OFFLINE",
+                                    BuildSegmentBlob("seg" + std::to_string(i)))
+                    .ok());
+  }
+  // Least-loaded assignment: each of the 3 servers gets 2 segments.
+  for (int i = 0; i < cluster.num_servers(); ++i) {
+    EXPECT_EQ(cluster.server(i)->HostedSegments("analytics_OFFLINE").size(),
+              2u);
+  }
+  auto result = cluster.Execute("SELECT count(*) FROM analytics");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 72);
+}
+
+TEST(ClusterIntegrationTest, ServerFailureDegradesGracefully) {
+  PinotClusterOptions options;
+  options.num_servers = 2;
+  PinotCluster cluster(options);
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineAnalyticsConfig(2)).ok());
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg0"))
+          .ok());
+
+  // With 2 replicas, killing one server leaves the other serving.
+  cluster.KillServer(0);
+  auto result = cluster.Execute("SELECT count(*) FROM analytics");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 12);
+
+  // Killing both: the query comes back partial, not crashed.
+  cluster.KillServer(1);
+  result = cluster.Execute("SELECT count(*) FROM analytics");
+  EXPECT_EQ(result.total_docs, 0);
+
+  // Revival replays segments from the object store (stateless servers).
+  cluster.ReviveServer(0);
+  result = cluster.Execute("SELECT count(*) FROM analytics");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 12);
+}
+
+TEST(ClusterIntegrationTest, ControllerFailover) {
+  PinotClusterOptions options;
+  options.num_controllers = 3;
+  options.num_servers = 2;
+  PinotCluster cluster(options);
+  Controller* leader = cluster.leader_controller();
+  ASSERT_EQ(leader->id(), "controller-0");
+  ASSERT_TRUE(leader->AddTable(OfflineAnalyticsConfig(1)).ok());
+
+  // Non-leaders refuse admin operations.
+  EXPECT_FALSE(cluster.controller(1)
+                   ->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("x"))
+                   .ok());
+
+  cluster.KillController(0);
+  Controller* new_leader = cluster.leader_controller();
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_EQ(new_leader->id(), "controller-1");
+  EXPECT_TRUE(
+      new_leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg0"))
+          .ok());
+  auto result = cluster.Execute("SELECT count(*) FROM analytics");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 12);
+}
+
+TEST(ClusterIntegrationTest, SegmentReplaceIsAtomic) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineAnalyticsConfig(1)).ok());
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg0"))
+          .ok());
+
+  // Replace the segment with one holding only three rows.
+  SegmentBuildConfig config;
+  config.segment_name = "seg0";
+  config.table_name = "analytics_OFFLINE";
+  auto rows = AnalyticsRows();
+  rows.resize(3);
+  auto replacement = BuildAnalyticsSegment(config, rows);
+  ASSERT_TRUE(leader
+                  ->UploadSegment("analytics_OFFLINE",
+                                  replacement->SerializeToBlob())
+                  .ok());
+  auto result = cluster.Execute("SELECT count(*) FROM analytics");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 3);
+}
+
+TEST(ClusterIntegrationTest, QuotaRejectsOversizedTable) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Controller* leader = cluster.leader_controller();
+  TableConfig config = OfflineAnalyticsConfig(1);
+  const std::string blob = BuildSegmentBlob("seg0");
+  config.quota_bytes = static_cast<int64_t>(blob.size() + 100);
+  ASSERT_TRUE(leader->AddTable(config).ok());
+  ASSERT_TRUE(leader->UploadSegment("analytics_OFFLINE", blob).ok());
+  // Second segment exceeds the quota.
+  Status st =
+      leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg1"));
+  EXPECT_TRUE(st.IsQuotaExceeded()) << st.ToString();
+  // Replacing the existing segment stays within quota.
+  EXPECT_TRUE(leader->UploadSegment("analytics_OFFLINE", blob).ok());
+}
+
+TEST(ClusterIntegrationTest, UploadRejectsCorruptBlob) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineAnalyticsConfig(1)).ok());
+  std::string blob = BuildSegmentBlob("seg0");
+  blob[blob.size() / 2] ^= 0x77;
+  Status st = leader->UploadSegment("analytics_OFFLINE", blob);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST(ClusterIntegrationTest, LiveSchemaAddition) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineAnalyticsConfig(1)).ok());
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg0"))
+          .ok());
+
+  FieldSpec platform = FieldSpec::Dimension("platform", DataType::kString);
+  platform.default_value = std::string("web");
+  ASSERT_TRUE(leader->AddColumn("analytics_OFFLINE", platform).ok());
+
+  // The new column is immediately queryable with its default value.
+  auto result = cluster.Execute(
+      "SELECT count(*) FROM analytics WHERE platform = 'web'");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 12);
+  result = cluster.Execute(
+      "SELECT count(*) FROM analytics WHERE platform = 'mobile'");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 0);
+}
+
+TEST(ClusterIntegrationTest, OnDemandInvertedIndexViaController) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineAnalyticsConfig(1)).ok());
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg0"))
+          .ok());
+  ASSERT_TRUE(
+      leader->RequestInvertedIndex("analytics_OFFLINE", "browser").ok());
+  // Query results are unchanged (index is a pure optimization).
+  auto result = cluster.Execute(
+      "SELECT count(*) FROM analytics WHERE browser = 'firefox'");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 5);
+}
+
+TEST(ClusterIntegrationTest, RetentionGarbageCollection) {
+  SimulatedClock clock(0);
+  PinotClusterOptions options;
+  options.clock = &clock;
+  PinotCluster cluster(options);
+  Controller* leader = cluster.leader_controller();
+
+  TableConfig config = OfflineAnalyticsConfig(1);
+  config.retention_time_units = 10;  // Keep 10 days.
+  config.time_unit_millis = 86400000;
+  ASSERT_TRUE(leader->AddTable(config).ok());
+  // Data days are 100..103 (from the fixture).
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg0"))
+          .ok());
+
+  // Day 105: still within retention.
+  clock.SetMillis(105LL * 86400000);
+  EXPECT_EQ(leader->RunRetentionManager(), 0);
+  // Day 120: segment (max day 103) is past 120 - 10 = 110.
+  clock.SetMillis(120LL * 86400000);
+  EXPECT_EQ(leader->RunRetentionManager(), 1);
+  auto result = cluster.Execute("SELECT count(*) FROM analytics");
+  EXPECT_EQ(result.total_docs, 0);
+}
+
+TEST(ClusterIntegrationTest, MinionPurgeTask) {
+  PinotClusterOptions options;
+  options.num_minions = 1;
+  PinotCluster cluster(options);
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineAnalyticsConfig(1)).ok());
+  SegmentBuildConfig build;
+  build.inverted_index_columns = {"browser"};
+  ASSERT_TRUE(leader
+                  ->UploadSegment("analytics_OFFLINE",
+                                  BuildSegmentBlob("seg0", build))
+                  .ok());
+
+  // Purge member 1 (GDPR-style request; 4 rows in the fixture).
+  leader->ScheduleTask({.type = "purge",
+                        .physical_table = "analytics_OFFLINE",
+                        .segment = "seg0",
+                        .payload = "memberId\n1"});
+  EXPECT_EQ(cluster.minion(0)->ProcessTasks(), 1);
+
+  auto result = cluster.Execute("SELECT count(*) FROM analytics");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 8);
+  result =
+      cluster.Execute("SELECT count(*) FROM analytics WHERE memberId = 1");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 0);
+  // The rewritten segment kept its inverted index.
+  result = cluster.Execute(
+      "SELECT count(*) FROM analytics WHERE browser = 'firefox'");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 3);
+}
+
+TEST(ClusterIntegrationTest, UnknownTableIsPartial) {
+  PinotCluster cluster(PinotClusterOptions{});
+  auto result = cluster.Execute("SELECT count(*) FROM nope");
+  EXPECT_TRUE(result.partial);
+}
+
+TEST(ClusterIntegrationTest, TenantIsolation) {
+  PinotClusterOptions options;
+  options.num_servers = 4;
+  PinotCluster cluster(options);
+  Controller* leader = cluster.leader_controller();
+
+  // Re-register two servers under a dedicated tenant tag.
+  cluster.cluster_manager()->RegisterInstance(
+      cluster.server(2)->id(), {"server", "goldTenant"}, cluster.server(2));
+  cluster.cluster_manager()->RegisterInstance(
+      cluster.server(3)->id(), {"server", "goldTenant"}, cluster.server(3));
+
+  TableConfig config = OfflineAnalyticsConfig(2);
+  config.server_tenant = "goldTenant";
+  ASSERT_TRUE(leader->AddTable(config).ok());
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg0"))
+          .ok());
+  // Only the gold-tenant servers host the segment.
+  EXPECT_TRUE(cluster.server(0)->HostedSegments("analytics_OFFLINE").empty());
+  EXPECT_TRUE(cluster.server(1)->HostedSegments("analytics_OFFLINE").empty());
+  EXPECT_EQ(cluster.server(2)->HostedSegments("analytics_OFFLINE").size(), 1u);
+  EXPECT_EQ(cluster.server(3)->HostedSegments("analytics_OFFLINE").size(), 1u);
+}
+
+}  // namespace
+}  // namespace pinot

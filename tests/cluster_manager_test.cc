@@ -1,0 +1,172 @@
+#include "cluster/cluster_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace pinot {
+namespace {
+
+/// Records every transition and can be told to fail.
+class FakeParticipant : public StateTransitionHandler {
+ public:
+  struct Transition {
+    std::string table, segment;
+    SegmentState from, to;
+  };
+
+  Status OnSegmentStateTransition(const std::string& table,
+                                  const std::string& segment,
+                                  SegmentState from, SegmentState to) override {
+    transitions.push_back({table, segment, from, to});
+    return fail_next ? Status::Internal("injected failure") : Status::OK();
+  }
+  Status OnUserMessage(const std::string& type,
+                       const std::string& payload) override {
+    messages.emplace_back(type, payload);
+    return Status::OK();
+  }
+
+  std::vector<Transition> transitions;
+  std::vector<std::pair<std::string, std::string>> messages;
+  bool fail_next = false;
+};
+
+TEST(ClusterManagerTest, OfflineToOnlineTransition) {
+  ClusterManager cm;
+  FakeParticipant s1;
+  cm.RegisterInstance("s1", {"server"}, &s1);
+  cm.SetSegmentIdealState("t", "seg1", {{"s1", SegmentState::kOnline}});
+  ASSERT_EQ(s1.transitions.size(), 1u);
+  EXPECT_EQ(s1.transitions[0].from, SegmentState::kOffline);
+  EXPECT_EQ(s1.transitions[0].to, SegmentState::kOnline);
+  const TableView view = cm.GetExternalView("t");
+  ASSERT_EQ(view.count("seg1"), 1u);
+  EXPECT_EQ(view.at("seg1").at("s1"), SegmentState::kOnline);
+}
+
+TEST(ClusterManagerTest, ConsumingToOnline) {
+  ClusterManager cm;
+  FakeParticipant s1;
+  cm.RegisterInstance("s1", {"server"}, &s1);
+  cm.SetSegmentIdealState("t", "seg1", {{"s1", SegmentState::kConsuming}});
+  cm.SetSegmentIdealState("t", "seg1", {{"s1", SegmentState::kOnline}});
+  ASSERT_EQ(s1.transitions.size(), 2u);
+  EXPECT_EQ(s1.transitions[1].from, SegmentState::kConsuming);
+  EXPECT_EQ(s1.transitions[1].to, SegmentState::kOnline);
+}
+
+TEST(ClusterManagerTest, RemoveSegmentDispatchesDrop) {
+  ClusterManager cm;
+  FakeParticipant s1;
+  cm.RegisterInstance("s1", {"server"}, &s1);
+  cm.SetSegmentIdealState("t", "seg1", {{"s1", SegmentState::kOnline}});
+  cm.RemoveSegment("t", "seg1");
+  ASSERT_EQ(s1.transitions.size(), 2u);
+  EXPECT_EQ(s1.transitions[1].to, SegmentState::kDropped);
+  EXPECT_TRUE(cm.GetExternalView("t").empty());
+}
+
+TEST(ClusterManagerTest, FailedTransitionLeavesReplicaOutOfView) {
+  ClusterManager cm;
+  FakeParticipant s1, s2;
+  cm.RegisterInstance("s1", {"server"}, &s1);
+  cm.RegisterInstance("s2", {"server"}, &s2);
+  s1.fail_next = true;
+  cm.SetSegmentIdealState("t", "seg1", {{"s1", SegmentState::kOnline},
+                                        {"s2", SegmentState::kOnline}});
+  const TableView view = cm.GetExternalView("t");
+  ASSERT_EQ(view.count("seg1"), 1u);
+  EXPECT_EQ(view.at("seg1").count("s1"), 0u);
+  EXPECT_EQ(view.at("seg1").at("s2"), SegmentState::kOnline);
+}
+
+TEST(ClusterManagerTest, DeadInstanceRemovedFromViewAndReplayedOnRevival) {
+  ClusterManager cm;
+  FakeParticipant s1;
+  cm.RegisterInstance("s1", {"server"}, &s1);
+  cm.SetSegmentIdealState("t", "seg1", {{"s1", SegmentState::kOnline}});
+  int view_changes = 0;
+  cm.WatchExternalView([&view_changes](const std::string&) { ++view_changes; });
+
+  cm.SetInstanceAlive("s1", false);
+  EXPECT_TRUE(cm.GetExternalView("t").empty());
+  EXPECT_GE(view_changes, 1);
+
+  // Revival replays the ideal state (OFFLINE -> ONLINE again).
+  cm.SetInstanceAlive("s1", true);
+  ASSERT_EQ(s1.transitions.size(), 2u);
+  EXPECT_EQ(s1.transitions[1].to, SegmentState::kOnline);
+  EXPECT_EQ(cm.GetExternalView("t").at("seg1").at("s1"),
+            SegmentState::kOnline);
+}
+
+TEST(ClusterManagerTest, TagsAndLiveness) {
+  ClusterManager cm;
+  FakeParticipant s1, s2;
+  cm.RegisterInstance("s1", {"server", "tenantA"}, &s1);
+  cm.RegisterInstance("s2", {"server", "tenantB"}, &s2);
+  EXPECT_EQ(cm.GetInstancesWithTag("server").size(), 2u);
+  EXPECT_EQ(cm.GetInstancesWithTag("tenantA"),
+            (std::vector<std::string>{"s1"}));
+  cm.SetInstanceAlive("s1", false);
+  EXPECT_EQ(cm.GetAliveInstancesWithTag("server"),
+            (std::vector<std::string>{"s2"}));
+  EXPECT_EQ(cm.GetInstancesWithTag("server").size(), 2u);
+}
+
+TEST(ClusterManagerTest, LeaderElectionAndFailover) {
+  ClusterManager cm;
+  std::vector<std::pair<std::string, bool>> events;
+  cm.RegisterController("c0", [&](bool l) { events.emplace_back("c0", l); });
+  cm.RegisterController("c1", [&](bool l) { events.emplace_back("c1", l); });
+  EXPECT_EQ(cm.leader(), "c0");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], (std::pair<std::string, bool>{"c0", true}));
+
+  cm.SetInstanceAlive("c0", false);
+  EXPECT_EQ(cm.leader(), "c1");
+  // c0 lost leadership, c1 gained it.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1], (std::pair<std::string, bool>{"c0", false}));
+  EXPECT_EQ(events[2], (std::pair<std::string, bool>{"c1", true}));
+
+  // The original leader coming back does not steal leadership.
+  cm.SetInstanceAlive("c0", true);
+  EXPECT_EQ(cm.leader(), "c1");
+}
+
+TEST(ClusterManagerTest, UserMessages) {
+  ClusterManager cm;
+  FakeParticipant s1, s2;
+  cm.RegisterInstance("s1", {"server", "tenantA"}, &s1);
+  cm.RegisterInstance("s2", {"server", "tenantB"}, &s2);
+  ASSERT_TRUE(cm.SendUserMessage("s1", "reload", "payload").ok());
+  ASSERT_EQ(s1.messages.size(), 1u);
+  EXPECT_EQ(s1.messages[0].first, "reload");
+  EXPECT_FALSE(cm.SendUserMessage("nope", "reload", "").ok());
+
+  cm.BroadcastUserMessage("server", "ping", "x");
+  EXPECT_EQ(s1.messages.size(), 2u);
+  EXPECT_EQ(s2.messages.size(), 1u);
+
+  cm.SetInstanceAlive("s2", false);
+  EXPECT_FALSE(cm.SendUserMessage("s2", "reload", "").ok());
+}
+
+TEST(ClusterManagerTest, ExternalViewWatcherFiresPerTransition) {
+  ClusterManager cm;
+  FakeParticipant s1;
+  cm.RegisterInstance("s1", {"server"}, &s1);
+  std::vector<std::string> tables;
+  const int handle =
+      cm.WatchExternalView([&tables](const std::string& t) { tables.push_back(t); });
+  cm.SetSegmentIdealState("t1", "seg", {{"s1", SegmentState::kOnline}});
+  cm.SetSegmentIdealState("t2", "seg", {{"s1", SegmentState::kOnline}});
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0], "t1");
+  cm.UnwatchExternalView(handle);
+  cm.SetSegmentIdealState("t3", "seg", {{"s1", SegmentState::kOnline}});
+  EXPECT_EQ(tables.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pinot

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/thread_pool.h"
+
+namespace pinot {
+namespace {
+
+TEST(BytesTest, WriteReadRoundTrip) {
+  ByteWriter writer;
+  writer.WriteU8(0xab);
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteU64(0x0123456789abcdefULL);
+  writer.WriteI32(-42);
+  writer.WriteI64(-1LL << 40);
+  writer.WriteF32(1.5f);
+  writer.WriteF64(-2.25);
+  writer.WriteString("hello");
+  writer.WriteString("");
+
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(*reader.ReadU8(), 0xab);
+  EXPECT_EQ(*reader.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(*reader.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*reader.ReadI32(), -42);
+  EXPECT_EQ(*reader.ReadI64(), -1LL << 40);
+  EXPECT_FLOAT_EQ(*reader.ReadF32(), 1.5f);
+  EXPECT_DOUBLE_EQ(*reader.ReadF64(), -2.25);
+  EXPECT_EQ(*reader.ReadString(), "hello");
+  EXPECT_EQ(*reader.ReadString(), "");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, ReadPastEndFails) {
+  ByteWriter writer;
+  writer.WriteU32(7);
+  ByteReader reader(writer.buffer());
+  EXPECT_TRUE(reader.ReadU32().ok());
+  auto more = reader.ReadU32();
+  EXPECT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, CorruptStringLength) {
+  ByteWriter writer;
+  writer.WriteU32(1000);  // Claims 1000 bytes follow; none do.
+  ByteReader reader(writer.buffer());
+  EXPECT_FALSE(reader.ReadString().ok());
+}
+
+TEST(Crc32Test, KnownVectorAndSensitivity) {
+  // Standard check value for "123456789" under CRC-32/IEEE.
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("abc"), Crc32("abd"));
+}
+
+TEST(ClockTest, SimulatedClockControls) {
+  SimulatedClock clock(100);
+  EXPECT_EQ(clock.NowMillis(), 100);
+  clock.AdvanceMillis(50);
+  EXPECT_EQ(clock.NowMillis(), 150);
+  clock.SetMillis(42);
+  EXPECT_EQ(clock.NowMillis(), 42);
+}
+
+TEST(ClockTest, RealClockAdvances) {
+  RealClock* clock = RealClock::Instance();
+  const int64_t a = clock->NowMillis();
+  EXPECT_GT(a, 1600000000000LL);  // After 2020.
+  EXPECT_GE(clock->NowMillis(), a);
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndexes) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(50, [&hits](int i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  pool.ParallelFor(0, [](int) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, DrainsOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace pinot

@@ -1,0 +1,123 @@
+#include "realtime/completion.h"
+
+#include <gtest/gtest.h>
+
+namespace pinot {
+namespace {
+
+TEST(CompletionTest, HoldsUntilAllReplicasReport) {
+  SimulatedClock clock;
+  SegmentCompletionManager manager(&clock, /*max_wait_millis=*/10000);
+  auto r1 = manager.OnSegmentConsumed("seg", "s1", 100, 3);
+  EXPECT_EQ(r1.instruction, CompletionInstruction::kHold);
+  auto r2 = manager.OnSegmentConsumed("seg", "s2", 100, 3);
+  EXPECT_EQ(r2.instruction, CompletionInstruction::kHold);
+  // Third replica completes the quorum; all offsets equal -> it commits.
+  auto r3 = manager.OnSegmentConsumed("seg", "s3", 100, 3);
+  EXPECT_EQ(r3.instruction, CompletionInstruction::kCommit);
+  EXPECT_EQ(r3.target_offset, 100);
+}
+
+TEST(CompletionTest, StragglersGetCatchup) {
+  SimulatedClock clock;
+  SegmentCompletionManager manager(&clock, 10000);
+  manager.OnSegmentConsumed("seg", "s1", 90, 3);
+  manager.OnSegmentConsumed("seg", "s2", 100, 3);
+  // Quorum complete: s3 is behind the max (100) -> CATCHUP to 100.
+  auto r3 = manager.OnSegmentConsumed("seg", "s3", 95, 3);
+  EXPECT_EQ(r3.instruction, CompletionInstruction::kCatchup);
+  EXPECT_EQ(r3.target_offset, 100);
+  // s1 also behind -> CATCHUP.
+  auto r1 = manager.OnSegmentConsumed("seg", "s1", 90, 3);
+  EXPECT_EQ(r1.instruction, CompletionInstruction::kCatchup);
+  // s2 at the max -> becomes committer.
+  auto r2 = manager.OnSegmentConsumed("seg", "s2", 100, 3);
+  EXPECT_EQ(r2.instruction, CompletionInstruction::kCommit);
+  // s3 catches up while commit is pending -> HOLD.
+  auto r3b = manager.OnSegmentConsumed("seg", "s3", 100, 3);
+  EXPECT_EQ(r3b.instruction, CompletionInstruction::kHold);
+}
+
+TEST(CompletionTest, TimeoutAllowsDecisionWithMissingReplica) {
+  SimulatedClock clock;
+  SegmentCompletionManager manager(&clock, 5000);
+  EXPECT_EQ(manager.OnSegmentConsumed("seg", "s1", 100, 3).instruction,
+            CompletionInstruction::kHold);
+  clock.AdvanceMillis(6000);
+  // Only one replica reported but the wait expired: decide anyway.
+  EXPECT_EQ(manager.OnSegmentConsumed("seg", "s1", 100, 3).instruction,
+            CompletionInstruction::kCommit);
+}
+
+TEST(CompletionTest, CommitLifecycleKeepAndDiscard) {
+  SimulatedClock clock;
+  SegmentCompletionManager manager(&clock, 10000);
+  manager.OnSegmentConsumed("seg", "s1", 100, 2);
+  auto r2 = manager.OnSegmentConsumed("seg", "s2", 100, 2);
+  ASSERT_EQ(r2.instruction, CompletionInstruction::kCommit);
+
+  ASSERT_TRUE(manager.OnCommitStart("seg", "s2", 100).ok());
+  // Someone else cannot start a commit mid-flight.
+  EXPECT_FALSE(manager.OnCommitStart("seg", "s1", 100).ok());
+  manager.OnCommitSuccess("seg", 100);
+  EXPECT_TRUE(manager.IsCommitted("seg"));
+  EXPECT_EQ(manager.CommittedOffset("seg"), 100);
+
+  // Replica at the committed offset keeps its local copy...
+  EXPECT_EQ(manager.OnSegmentConsumed("seg", "s1", 100, 2).instruction,
+            CompletionInstruction::kKeep);
+  // ...a divergent replica discards.
+  EXPECT_EQ(manager.OnSegmentConsumed("seg", "s3", 90, 2).instruction,
+            CompletionInstruction::kDiscard);
+}
+
+TEST(CompletionTest, CommitFailureElectsAnotherCommitter) {
+  SimulatedClock clock;
+  SegmentCompletionManager manager(&clock, 10000);
+  manager.OnSegmentConsumed("seg", "s1", 100, 2);
+  auto r2 = manager.OnSegmentConsumed("seg", "s2", 100, 2);
+  ASSERT_EQ(r2.instruction, CompletionInstruction::kCommit);
+  ASSERT_TRUE(manager.OnCommitStart("seg", "s2", 100).ok());
+  manager.OnCommitFailure("seg");
+  EXPECT_FALSE(manager.IsCommitted("seg"));
+  // s1 polls at the target offset and becomes the new committer.
+  auto r1 = manager.OnSegmentConsumed("seg", "s1", 100, 2);
+  EXPECT_EQ(r1.instruction, CompletionInstruction::kCommit);
+  ASSERT_TRUE(manager.OnCommitStart("seg", "s1", 100).ok());
+}
+
+TEST(CompletionTest, CommitStartValidatesCommitterAndOffset) {
+  SimulatedClock clock;
+  SegmentCompletionManager manager(&clock, 10000);
+  manager.OnSegmentConsumed("seg", "s1", 50, 1);
+  EXPECT_FALSE(manager.OnCommitStart("seg", "s1", 49).ok());  // Wrong offset.
+  EXPECT_FALSE(manager.OnCommitStart("other", "s1", 50).ok());  // Unknown.
+  EXPECT_TRUE(manager.OnCommitStart("seg", "s1", 50).ok());
+}
+
+TEST(CompletionTest, ControllerFailoverRestartsBlankFsm) {
+  SimulatedClock clock;
+  SegmentCompletionManager old_leader(&clock, 10000);
+  old_leader.OnSegmentConsumed("seg", "s1", 100, 2);
+  old_leader.OnSegmentConsumed("seg", "s2", 100, 2);
+
+  // New leader starts blank (paper: "this only delays the segment commit,
+  // but otherwise has no effect on correctness").
+  SegmentCompletionManager new_leader(&clock, 10000);
+  EXPECT_EQ(new_leader.OnSegmentConsumed("seg", "s1", 100, 2).instruction,
+            CompletionInstruction::kHold);
+  auto r = new_leader.OnSegmentConsumed("seg", "s2", 100, 2);
+  EXPECT_EQ(r.instruction, CompletionInstruction::kCommit);
+}
+
+TEST(CompletionTest, IndependentSegments) {
+  SimulatedClock clock;
+  SegmentCompletionManager manager(&clock, 10000);
+  EXPECT_EQ(manager.OnSegmentConsumed("a", "s1", 10, 1).instruction,
+            CompletionInstruction::kCommit);
+  EXPECT_EQ(manager.OnSegmentConsumed("b", "s1", 20, 2).instruction,
+            CompletionInstruction::kHold);
+}
+
+}  // namespace
+}  // namespace pinot

@@ -1,0 +1,120 @@
+#include "segment/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace pinot {
+namespace {
+
+TEST(DictionaryTest, SortedInt64AssignsIdsInValueOrder) {
+  Dictionary dict = Dictionary::BuildSortedInt64({30, 10, 20, 10});
+  EXPECT_EQ(dict.size(), 3);
+  EXPECT_TRUE(dict.sorted());
+  EXPECT_EQ(dict.Int64At(0), 10);
+  EXPECT_EQ(dict.Int64At(1), 20);
+  EXPECT_EQ(dict.Int64At(2), 30);
+  EXPECT_EQ(dict.IndexOfInt64(20), 1);
+  EXPECT_EQ(dict.IndexOfInt64(25), -1);
+}
+
+TEST(DictionaryTest, SortedStringLookup) {
+  Dictionary dict = Dictionary::BuildSortedString({"firefox", "chrome",
+                                                   "safari", "chrome"});
+  EXPECT_EQ(dict.size(), 3);
+  EXPECT_EQ(dict.StringAt(0), "chrome");
+  EXPECT_EQ(dict.IndexOfString("safari"), 2);
+  EXPECT_EQ(dict.IndexOfString("opera"), -1);
+  EXPECT_EQ(std::get<std::string>(dict.MinValue()), "chrome");
+  EXPECT_EQ(std::get<std::string>(dict.MaxValue()), "safari");
+}
+
+TEST(DictionaryTest, RangeForInclusiveExclusive) {
+  Dictionary dict = Dictionary::BuildSortedInt64({10, 20, 30, 40, 50});
+  // x >= 20 AND x <= 40 -> ids [1, 3]
+  auto range = dict.RangeFor(Value{int64_t{20}}, true, Value{int64_t{40}},
+                             true);
+  EXPECT_EQ(range.lo, 1);
+  EXPECT_EQ(range.hi, 3);
+  // x > 20 AND x < 40 -> ids [2, 2]
+  range = dict.RangeFor(Value{int64_t{20}}, false, Value{int64_t{40}}, false);
+  EXPECT_EQ(range.lo, 2);
+  EXPECT_EQ(range.hi, 2);
+  // x > 50 -> empty
+  range = dict.RangeFor(Value{int64_t{50}}, false, std::nullopt, true);
+  EXPECT_TRUE(range.empty());
+  // Unbounded -> everything.
+  range = dict.RangeFor(std::nullopt, true, std::nullopt, true);
+  EXPECT_EQ(range.lo, 0);
+  EXPECT_EQ(range.hi, 4);
+  // Bounds between values.
+  range = dict.RangeFor(Value{int64_t{15}}, true, Value{int64_t{35}}, true);
+  EXPECT_EQ(range.lo, 1);
+  EXPECT_EQ(range.hi, 2);
+}
+
+TEST(DictionaryTest, MutableAssignsArrivalOrderIds) {
+  Dictionary dict = Dictionary::CreateMutable(DataType::kString);
+  EXPECT_FALSE(dict.sorted());
+  EXPECT_EQ(dict.GetOrAdd(Value{std::string("b")}), 0);
+  EXPECT_EQ(dict.GetOrAdd(Value{std::string("a")}), 1);
+  EXPECT_EQ(dict.GetOrAdd(Value{std::string("b")}), 0);
+  EXPECT_EQ(dict.size(), 2);
+  EXPECT_EQ(dict.IndexOfString("a"), 1);
+}
+
+TEST(DictionaryTest, MutableCompareValueAt) {
+  Dictionary dict = Dictionary::CreateMutable(DataType::kLong);
+  dict.GetOrAdd(Value{int64_t{50}});
+  dict.GetOrAdd(Value{int64_t{10}});
+  EXPECT_GT(dict.CompareValueAt(0, Value{int64_t{20}}), 0);
+  EXPECT_LT(dict.CompareValueAt(1, Value{int64_t{20}}), 0);
+  EXPECT_EQ(dict.CompareValueAt(0, Value{int64_t{50}}), 0);
+}
+
+TEST(DictionaryTest, ToSortedRemapsIds) {
+  Dictionary dict = Dictionary::CreateMutable(DataType::kLong);
+  dict.GetOrAdd(Value{int64_t{50}});  // old id 0
+  dict.GetOrAdd(Value{int64_t{10}});  // old id 1
+  dict.GetOrAdd(Value{int64_t{30}});  // old id 2
+  std::vector<int> old_to_new;
+  Dictionary sorted = dict.ToSorted(&old_to_new);
+  EXPECT_TRUE(sorted.sorted());
+  EXPECT_EQ(sorted.Int64At(0), 10);
+  EXPECT_EQ(sorted.Int64At(1), 30);
+  EXPECT_EQ(sorted.Int64At(2), 50);
+  EXPECT_EQ(old_to_new, (std::vector<int>{2, 0, 1}));
+}
+
+TEST(DictionaryTest, SerializeRoundTripSorted) {
+  Dictionary dict = Dictionary::BuildSortedDouble({1.5, -2.25, 7.0});
+  ByteWriter writer;
+  dict.Serialize(&writer);
+  ByteReader reader(writer.buffer());
+  auto restored = Dictionary::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 3);
+  EXPECT_DOUBLE_EQ(restored->DoubleAt(0), -2.25);
+  EXPECT_EQ(restored->IndexOfDouble(7.0), 2);
+}
+
+TEST(DictionaryTest, SerializeRoundTripMutableRebuildsMaps) {
+  Dictionary dict = Dictionary::CreateMutable(DataType::kString);
+  dict.GetOrAdd(Value{std::string("z")});
+  dict.GetOrAdd(Value{std::string("a")});
+  ByteWriter writer;
+  dict.Serialize(&writer);
+  ByteReader reader(writer.buffer());
+  auto restored = Dictionary::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored->sorted());
+  EXPECT_EQ(restored->IndexOfString("z"), 0);
+  EXPECT_EQ(restored->IndexOfString("a"), 1);
+}
+
+TEST(DictionaryTest, IndexOfCoercesNumericValueKinds) {
+  Dictionary dict = Dictionary::BuildSortedInt64({10, 20});
+  // A double Value against an integral column coerces.
+  EXPECT_EQ(dict.IndexOf(Value{20.0}), 1);
+}
+
+}  // namespace
+}  // namespace pinot

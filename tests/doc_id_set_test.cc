@@ -1,0 +1,94 @@
+#include "query/doc_id_set.h"
+
+#include <gtest/gtest.h>
+
+namespace pinot {
+namespace {
+
+constexpr uint32_t kDocs = 1000;
+
+TEST(DocIdSetTest, Constructors) {
+  EXPECT_TRUE(DocIdSet::All(kDocs).IsAll());
+  EXPECT_TRUE(DocIdSet::None(kDocs).IsEmpty());
+  EXPECT_EQ(DocIdSet::All(kDocs).Cardinality(), kDocs);
+  EXPECT_EQ(DocIdSet::None(kDocs).Cardinality(), 0u);
+
+  // Full-range collapses to kAll, empty range to kNone.
+  EXPECT_TRUE(DocIdSet::FromRange(0, kDocs, kDocs).IsAll());
+  EXPECT_TRUE(DocIdSet::FromRange(5, 5, kDocs).IsEmpty());
+  EXPECT_TRUE(DocIdSet::FromRange(7, 3, kDocs).IsEmpty());
+  EXPECT_TRUE(DocIdSet::FromBitmap(RoaringBitmap(), kDocs).IsEmpty());
+
+  DocIdSet range = DocIdSet::FromRange(10, 20, kDocs);
+  EXPECT_EQ(range.kind(), DocIdSet::Kind::kRange);
+  EXPECT_EQ(range.Cardinality(), 10u);
+  EXPECT_EQ(range.range_begin(), 10u);
+  EXPECT_EQ(range.range_end(), 20u);
+}
+
+TEST(DocIdSetTest, IntersectRangeWithRange) {
+  DocIdSet a = DocIdSet::FromRange(10, 50, kDocs);
+  DocIdSet b = DocIdSet::FromRange(30, 70, kDocs);
+  DocIdSet c = a.Intersect(b);
+  EXPECT_TRUE(c.IsRangeLike());
+  EXPECT_EQ(c.range_begin(), 30u);
+  EXPECT_EQ(c.range_end(), 50u);
+  // Disjoint ranges -> empty.
+  EXPECT_TRUE(a.Intersect(DocIdSet::FromRange(60, 80, kDocs)).IsEmpty());
+}
+
+TEST(DocIdSetTest, IntersectWithAllAndNone) {
+  DocIdSet range = DocIdSet::FromRange(10, 20, kDocs);
+  EXPECT_EQ(range.Intersect(DocIdSet::All(kDocs)).Cardinality(), 10u);
+  EXPECT_TRUE(range.Intersect(DocIdSet::None(kDocs)).IsEmpty());
+}
+
+TEST(DocIdSetTest, IntersectRangeWithBitmap) {
+  DocIdSet range = DocIdSet::FromRange(10, 20, kDocs);
+  DocIdSet bitmap =
+      DocIdSet::FromBitmap(RoaringBitmap::FromValues({5, 12, 18, 25}), kDocs);
+  EXPECT_EQ(range.Intersect(bitmap).ToBitmap().ToVector(),
+            (std::vector<uint32_t>{12, 18}));
+  EXPECT_EQ(bitmap.Intersect(range).ToBitmap().ToVector(),
+            (std::vector<uint32_t>{12, 18}));
+}
+
+TEST(DocIdSetTest, UnionAdjacentRangesStayRange) {
+  DocIdSet a = DocIdSet::FromRange(10, 20, kDocs);
+  DocIdSet b = DocIdSet::FromRange(20, 30, kDocs);
+  DocIdSet c = a.Union(b);
+  EXPECT_TRUE(c.IsRangeLike());
+  EXPECT_EQ(c.Cardinality(), 20u);
+}
+
+TEST(DocIdSetTest, UnionDisjointRangesBecomesBitmap) {
+  DocIdSet a = DocIdSet::FromRange(10, 20, kDocs);
+  DocIdSet b = DocIdSet::FromRange(30, 40, kDocs);
+  DocIdSet c = a.Union(b);
+  EXPECT_EQ(c.kind(), DocIdSet::Kind::kBitmap);
+  EXPECT_EQ(c.Cardinality(), 20u);
+  EXPECT_TRUE(c.ToBitmap().Contains(15));
+  EXPECT_TRUE(c.ToBitmap().Contains(35));
+  EXPECT_FALSE(c.ToBitmap().Contains(25));
+}
+
+TEST(DocIdSetTest, ForEachRange) {
+  DocIdSet bitmap = DocIdSet::FromBitmap(
+      RoaringBitmap::FromValues({1, 2, 3, 10, 11}), kDocs);
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  bitmap.ForEachRange(
+      [&](uint32_t b, uint32_t e) { ranges.emplace_back(b, e); });
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (std::pair<uint32_t, uint32_t>{1, 4}));
+  EXPECT_EQ(ranges[1], (std::pair<uint32_t, uint32_t>{10, 12}));
+}
+
+TEST(DocIdSetTest, ForEachDocOrder) {
+  DocIdSet range = DocIdSet::FromRange(3, 6, kDocs);
+  std::vector<uint32_t> docs;
+  range.ForEachDoc([&](uint32_t d) { docs.push_back(d); });
+  EXPECT_EQ(docs, (std::vector<uint32_t>{3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace pinot

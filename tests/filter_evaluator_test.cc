@@ -1,0 +1,199 @@
+#include "query/filter_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace pinot {
+namespace {
+
+using test::BuildAnalyticsSegment;
+
+Predicate Eq(const std::string& column, Value v) {
+  Predicate pred;
+  pred.column = column;
+  pred.op = PredicateOp::kEq;
+  pred.values.push_back(std::move(v));
+  return pred;
+}
+
+TEST(DictIdMatchTest, EqOnSortedDictionary) {
+  Dictionary dict = Dictionary::BuildSortedInt64({10, 20, 30});
+  DictIdMatch match = MatchDictIds(dict, Eq("c", int64_t{20}));
+  EXPECT_TRUE(match.contiguous);
+  EXPECT_EQ(match.lo, 1);
+  EXPECT_EQ(match.hi, 1);
+  EXPECT_TRUE(match.Matches(1));
+  EXPECT_FALSE(match.Matches(0));
+
+  EXPECT_TRUE(MatchDictIds(dict, Eq("c", int64_t{25})).match_none);
+}
+
+TEST(DictIdMatchTest, NotEqBecomesNegatedList) {
+  Dictionary dict = Dictionary::BuildSortedInt64({10, 20, 30});
+  Predicate pred = Eq("c", int64_t{20});
+  pred.op = PredicateOp::kNotEq;
+  DictIdMatch match = MatchDictIds(dict, pred);
+  EXPECT_TRUE(match.negated);
+  EXPECT_TRUE(match.Matches(0));
+  EXPECT_FALSE(match.Matches(1));
+  // NotEq of an absent value matches everything.
+  pred.values[0] = int64_t{99};
+  EXPECT_TRUE(MatchDictIds(dict, pred).match_all);
+}
+
+TEST(DictIdMatchTest, ConsecutiveInBecomesContiguous) {
+  Dictionary dict = Dictionary::BuildSortedInt64({10, 20, 30, 40});
+  Predicate pred;
+  pred.column = "c";
+  pred.op = PredicateOp::kIn;
+  pred.values = {Value{int64_t{20}}, Value{int64_t{30}}};
+  DictIdMatch match = MatchDictIds(dict, pred);
+  EXPECT_TRUE(match.contiguous);
+  EXPECT_EQ(match.lo, 1);
+  EXPECT_EQ(match.hi, 2);
+  // Non-consecutive stays a list.
+  pred.values = {Value{int64_t{10}}, Value{int64_t{40}}};
+  match = MatchDictIds(dict, pred);
+  EXPECT_FALSE(match.contiguous);
+  EXPECT_EQ(match.ids, (std::vector<uint32_t>{0, 3}));
+  // Full coverage -> match_all.
+  pred.values = {Value{int64_t{10}}, Value{int64_t{20}}, Value{int64_t{30}},
+                 Value{int64_t{40}}};
+  EXPECT_TRUE(MatchDictIds(dict, pred).match_all);
+}
+
+TEST(DictIdMatchTest, RangeOnUnsortedDictionaryScans) {
+  Dictionary dict = Dictionary::CreateMutable(DataType::kLong);
+  dict.GetOrAdd(Value{int64_t{30}});  // id 0
+  dict.GetOrAdd(Value{int64_t{10}});  // id 1
+  dict.GetOrAdd(Value{int64_t{20}});  // id 2
+  Predicate pred;
+  pred.column = "c";
+  pred.op = PredicateOp::kRange;
+  pred.lower = int64_t{15};
+  pred.lower_inclusive = true;
+  DictIdMatch match = MatchDictIds(dict, pred);
+  EXPECT_FALSE(match.contiguous);
+  EXPECT_EQ(match.ids, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(PredicateMatchesValueTest, ScalarSemantics) {
+  EXPECT_TRUE(PredicateMatchesValue(Eq("c", int64_t{5}), Value{int64_t{5}}));
+  EXPECT_FALSE(PredicateMatchesValue(Eq("c", int64_t{5}), Value{int64_t{6}}));
+  EXPECT_TRUE(PredicateMatchesValue(Eq("c", std::string("x")),
+                                    Value{std::string("x")}));
+  Predicate range;
+  range.column = "c";
+  range.op = PredicateOp::kRange;
+  range.lower = int64_t{3};
+  range.lower_inclusive = false;
+  range.upper = int64_t{7};
+  range.upper_inclusive = true;
+  EXPECT_FALSE(PredicateMatchesValue(range, Value{int64_t{3}}));
+  EXPECT_TRUE(PredicateMatchesValue(range, Value{int64_t{4}}));
+  EXPECT_TRUE(PredicateMatchesValue(range, Value{int64_t{7}}));
+  EXPECT_FALSE(PredicateMatchesValue(range, Value{int64_t{8}}));
+}
+
+TEST(PredicateMatchesValueTest, MultiValueSemantics) {
+  const Value tags = std::vector<std::string>{"a", "b"};
+  EXPECT_TRUE(PredicateMatchesValue(Eq("c", std::string("a")), tags));
+  EXPECT_FALSE(PredicateMatchesValue(Eq("c", std::string("z")), tags));
+  // Negation is document-level: any excluded entry disqualifies the doc.
+  Predicate neq_pred = Eq("c", std::string("a"));
+  neq_pred.op = PredicateOp::kNotEq;
+  EXPECT_FALSE(PredicateMatchesValue(neq_pred, tags));
+  neq_pred.values[0] = std::string("z");
+  EXPECT_TRUE(PredicateMatchesValue(neq_pred, tags));
+  // Empty arrays vacuously satisfy negated predicates and fail positives.
+  const Value empty = std::vector<std::string>{};
+  EXPECT_FALSE(PredicateMatchesValue(Eq("c", std::string("a")), empty));
+  EXPECT_TRUE(PredicateMatchesValue(neq_pred, empty));
+}
+
+TEST(FilterEvaluatorTest, StrategySelection) {
+  SegmentBuildConfig config;
+  config.sort_columns = {"memberId"};
+  config.inverted_index_columns = {"browser"};
+  auto segment = BuildAnalyticsSegment(config);
+  FilterEvaluator evaluator(*segment, nullptr);
+
+  EXPECT_EQ(evaluator.ClassifyLeaf(Eq("memberId", int64_t{1})),
+            FilterEvaluator::LeafStrategy::kSortedRange);
+  EXPECT_EQ(evaluator.ClassifyLeaf(Eq("browser", std::string("firefox"))),
+            FilterEvaluator::LeafStrategy::kInverted);
+  EXPECT_EQ(evaluator.ClassifyLeaf(Eq("country", std::string("us"))),
+            FilterEvaluator::LeafStrategy::kScan);
+  // Value absent from the segment: constant false.
+  EXPECT_EQ(evaluator.ClassifyLeaf(Eq("memberId", int64_t{999})),
+            FilterEvaluator::LeafStrategy::kConstant);
+}
+
+TEST(FilterEvaluatorTest, SortedRangeProducesRangeDocIdSet) {
+  SegmentBuildConfig config;
+  config.sort_columns = {"memberId"};
+  auto segment = BuildAnalyticsSegment(config);
+  auto query = ParsePql("SELECT count(*) FROM t WHERE memberId <= 2");
+  FilterEvaluator evaluator(*segment, nullptr);
+  auto docs = evaluator.Evaluate(query->filter);
+  ASSERT_TRUE(docs.ok());
+  EXPECT_TRUE(docs->IsRangeLike());
+  EXPECT_EQ(docs->Cardinality(), 6u);  // memberId 1 (4 rows) + 2 (2 rows).
+  EXPECT_EQ(docs->range_begin(), 0u);
+}
+
+TEST(FilterEvaluatorTest, AndPushdownRestrictsScanWork) {
+  SegmentBuildConfig config;
+  config.sort_columns = {"memberId"};
+  auto segment = BuildAnalyticsSegment(config);
+  auto query = ParsePql(
+      "SELECT count(*) FROM t WHERE country = 'us' AND memberId = 1");
+  ExecutionStats stats;
+  FilterEvaluator evaluator(*segment, &stats);
+  auto docs = evaluator.Evaluate(query->filter);
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(docs->Cardinality(), 2u);  // us rows with memberId 1.
+  // The country scan ran only within the memberId range (4 docs), not the
+  // full 12-doc segment.
+  EXPECT_EQ(stats.docs_scanned, 4u);
+
+  // Without reordering, the scan runs first over the whole segment.
+  ExecutionStats stats_no_reorder;
+  FilterEvaluator no_reorder(*segment, &stats_no_reorder);
+  no_reorder.set_reorder_predicates(false);
+  auto docs2 = no_reorder.Evaluate(query->filter);
+  ASSERT_TRUE(docs2.ok());
+  EXPECT_EQ(docs2->Cardinality(), 2u);
+  EXPECT_EQ(stats_no_reorder.docs_scanned, 12u);
+}
+
+TEST(FilterEvaluatorTest, EmptyAndShortCircuits) {
+  auto segment = BuildAnalyticsSegment();
+  auto query = ParsePql(
+      "SELECT count(*) FROM t WHERE country = 'nope' AND browser = "
+      "'firefox'");
+  ExecutionStats stats;
+  FilterEvaluator evaluator(*segment, &stats);
+  auto docs = evaluator.Evaluate(query->filter);
+  ASSERT_TRUE(docs.ok());
+  EXPECT_TRUE(docs->IsEmpty());
+  // The firefox scan never ran: the constant-false predicate emptied the
+  // domain first.
+  EXPECT_EQ(stats.docs_scanned, 0u);
+}
+
+TEST(FilterEvaluatorTest, NestedOrInsideAnd) {
+  auto segment = BuildAnalyticsSegment();
+  auto query = ParsePql(
+      "SELECT count(*) FROM t WHERE (browser = 'firefox' OR browser = "
+      "'safari') AND country = 'us'");
+  FilterEvaluator evaluator(*segment, nullptr);
+  auto docs = evaluator.Evaluate(query->filter);
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(docs->Cardinality(), 4u);  // us rows: firefox x3 + safari x1.
+}
+
+}  // namespace
+}  // namespace pinot

@@ -1,0 +1,109 @@
+#include "segment/forward_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace pinot {
+namespace {
+
+TEST(FixedBitVectorTest, BitsFor) {
+  EXPECT_EQ(FixedBitVector::BitsFor(0), 0);
+  EXPECT_EQ(FixedBitVector::BitsFor(1), 1);
+  EXPECT_EQ(FixedBitVector::BitsFor(2), 2);
+  EXPECT_EQ(FixedBitVector::BitsFor(3), 2);
+  EXPECT_EQ(FixedBitVector::BitsFor(255), 8);
+  EXPECT_EQ(FixedBitVector::BitsFor(256), 9);
+  EXPECT_EQ(FixedBitVector::BitsFor(0xffffffff), 32);
+}
+
+TEST(FixedBitVectorTest, ZeroWidthAllZeros) {
+  FixedBitVector v({0, 0, 0}, 0);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.bits(), 0);
+  EXPECT_EQ(v.Get(1), 0u);
+  EXPECT_EQ(v.SizeInBytes(), 0u);
+}
+
+TEST(FixedBitVectorTest, PackUnpackVariousWidths) {
+  for (uint32_t max_value : {1u, 3u, 7u, 100u, 4095u, 1000000u, 0xffffffffu}) {
+    Random rng(max_value);
+    std::vector<uint32_t> values;
+    for (int i = 0; i < 1000; ++i) {
+      values.push_back(static_cast<uint32_t>(
+          rng.NextUint64(static_cast<uint64_t>(max_value) + 1)));
+    }
+    FixedBitVector v(values, max_value);
+    for (size_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(v.Get(static_cast<uint32_t>(i)), values[i])
+          << "max_value=" << max_value << " i=" << i;
+    }
+  }
+}
+
+TEST(FixedBitVectorTest, ValuesSpanningWordBoundaries) {
+  // Width 31 forces many cross-word values.
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 100; ++i) values.push_back((1u << 30) + i);
+  FixedBitVector v(values, (1u << 31) - 1);
+  EXPECT_EQ(v.bits(), 31);
+  for (uint32_t i = 0; i < 100; ++i) EXPECT_EQ(v.Get(i), (1u << 30) + i);
+}
+
+TEST(FixedBitVectorTest, SerializeRoundTrip) {
+  std::vector<uint32_t> values = {5, 0, 9, 3, 7};
+  FixedBitVector v(values, 9);
+  ByteWriter writer;
+  v.Serialize(&writer);
+  ByteReader reader(writer.buffer());
+  auto restored = FixedBitVector::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(restored->Get(static_cast<uint32_t>(i)), values[i]);
+  }
+}
+
+TEST(ForwardIndexTest, SingleValue) {
+  ForwardIndex index = ForwardIndex::BuildSingle({2, 0, 1, 2}, 3);
+  EXPECT_TRUE(index.single_value());
+  EXPECT_EQ(index.num_docs(), 4u);
+  EXPECT_EQ(index.Get(0), 2u);
+  EXPECT_EQ(index.Get(1), 0u);
+  EXPECT_EQ(index.Get(3), 2u);
+}
+
+TEST(ForwardIndexTest, MultiValue) {
+  ForwardIndex index =
+      ForwardIndex::BuildMulti({{0, 1}, {}, {2}, {1, 1, 0}}, 3);
+  EXPECT_FALSE(index.single_value());
+  EXPECT_EQ(index.num_docs(), 4u);
+  std::vector<uint32_t> out;
+  index.GetMulti(0, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 1}));
+  index.GetMulti(1, &out);
+  EXPECT_TRUE(out.empty());
+  index.GetMulti(3, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 1, 0}));
+  EXPECT_EQ(index.TotalEntries(), 6u);
+}
+
+TEST(ForwardIndexTest, SerializeRoundTripMulti) {
+  ForwardIndex index = ForwardIndex::BuildMulti({{0}, {1, 2}, {}}, 3);
+  ByteWriter writer;
+  index.Serialize(&writer);
+  ByteReader reader(writer.buffer());
+  auto restored = ForwardIndex::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  std::vector<uint32_t> out;
+  restored->GetMulti(1, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(ForwardIndexTest, CardinalityOneUsesZeroBits) {
+  ForwardIndex index = ForwardIndex::BuildSingle({0, 0, 0, 0}, 1);
+  EXPECT_EQ(index.SizeInBytes(), 0u);
+  EXPECT_EQ(index.Get(2), 0u);
+}
+
+}  // namespace
+}  // namespace pinot

@@ -1,0 +1,133 @@
+#include "cluster/index_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/pinot_cluster.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace pinot {
+namespace {
+
+TableConfig AdvisorConfig() {
+  TableConfig config;
+  config.name = "analytics";
+  config.type = TableType::kOffline;
+  config.schema = test::AnalyticsSchema();
+  config.sort_columns = {"memberId"};
+  config.inverted_index_columns = {"country"};
+  return config;
+}
+
+void Record(IndexAdvisor& advisor, const std::string& pql,
+            uint64_t docs_scanned, int times = 1) {
+  auto query = ParsePql(pql);
+  ASSERT_TRUE(query.ok()) << pql;
+  for (int i = 0; i < times; ++i) {
+    advisor.RecordQuery("analytics_OFFLINE", *query, docs_scanned);
+  }
+}
+
+TEST(IndexAdvisorTest, RecommendsHeavilyFilteredUnindexedColumn) {
+  IndexAdvisor::Options options;
+  options.min_filter_count = 50;
+  options.min_avg_docs_scanned = 100;
+  IndexAdvisor advisor(options);
+  Record(advisor, "SELECT count(*) FROM analytics WHERE browser = 'firefox'",
+         5000, 200);
+  auto recommendations = advisor.Analyze(AdvisorConfig());
+  ASSERT_EQ(recommendations.size(), 1u);
+  EXPECT_EQ(recommendations[0].column, "browser");
+  EXPECT_EQ(recommendations[0].filter_count, 200u);
+}
+
+TEST(IndexAdvisorTest, SkipsSortedAndAlreadyIndexedColumns) {
+  IndexAdvisor::Options options;
+  options.min_filter_count = 10;
+  options.min_avg_docs_scanned = 0;
+  IndexAdvisor advisor(options);
+  // memberId is the sorted column, country already has an inverted index.
+  Record(advisor,
+         "SELECT count(*) FROM analytics WHERE memberId = 1 AND country = "
+         "'us'",
+         5000, 100);
+  EXPECT_TRUE(advisor.Analyze(AdvisorConfig()).empty());
+}
+
+TEST(IndexAdvisorTest, IgnoresRareFiltersAndCheapTables) {
+  IndexAdvisor::Options options;
+  options.min_filter_count = 100;
+  options.min_avg_docs_scanned = 1000;
+  IndexAdvisor advisor(options);
+  // Too few queries on the column.
+  Record(advisor, "SELECT count(*) FROM analytics WHERE browser = 'x'", 5000,
+         10);
+  EXPECT_TRUE(advisor.Analyze(AdvisorConfig()).empty());
+  // Enough queries, but scans are already cheap.
+  IndexAdvisor advisor2(options);
+  Record(advisor2, "SELECT count(*) FROM analytics WHERE browser = 'x'", 5,
+         500);
+  EXPECT_TRUE(advisor2.Analyze(AdvisorConfig()).empty());
+}
+
+TEST(IndexAdvisorTest, RanksByFilterFrequency) {
+  IndexAdvisor::Options options;
+  options.min_filter_count = 1;
+  options.min_avg_docs_scanned = 0;
+  IndexAdvisor advisor(options);
+  Record(advisor, "SELECT count(*) FROM analytics WHERE browser = 'x'", 100,
+         30);
+  Record(advisor, "SELECT count(*) FROM analytics WHERE day > 5", 100, 80);
+  auto recommendations = advisor.Analyze(AdvisorConfig());
+  ASSERT_EQ(recommendations.size(), 2u);
+  EXPECT_EQ(recommendations[0].column, "day");
+  EXPECT_EQ(recommendations[1].column, "browser");
+}
+
+TEST(IndexAdvisorTest, ApplyUpdatesConfigAndServers) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Controller* leader = cluster.leader_controller();
+  TableConfig config;
+  config.name = "analytics";
+  config.type = TableType::kOffline;
+  config.schema = test::AnalyticsSchema();
+  ASSERT_TRUE(leader->AddTable(config).ok());
+  SegmentBuildConfig build;
+  build.table_name = "analytics_OFFLINE";
+  build.segment_name = "seg0";
+  auto segment = test::BuildAnalyticsSegment(build);
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", segment->SerializeToBlob())
+          .ok());
+
+  IndexAdvisor::Options options;
+  options.min_filter_count = 5;
+  options.min_avg_docs_scanned = 1;
+  IndexAdvisor advisor(options);
+  auto query =
+      ParsePql("SELECT count(*) FROM analytics WHERE browser = 'firefox'");
+  for (int i = 0; i < 10; ++i) {
+    advisor.RecordQuery("analytics_OFFLINE", *query, 1000);
+  }
+
+  auto applied = advisor.Apply(leader, "analytics_OFFLINE");
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_EQ(applied[0].column, "browser");
+
+  // The stored config now lists the column...
+  auto updated = leader->GetTableConfig("analytics_OFFLINE");
+  ASSERT_TRUE(updated.ok());
+  ASSERT_EQ(updated->inverted_index_columns.size(), 1u);
+  EXPECT_EQ(updated->inverted_index_columns[0], "browser");
+
+  // ...and queries keep working (index built on hosted segments).
+  auto result = cluster.Execute(
+      "SELECT count(*) FROM analytics WHERE browser = 'firefox'");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 5);
+
+  // Second Apply is a no-op (column now indexed).
+  EXPECT_TRUE(advisor.Apply(leader, "analytics_OFFLINE").empty());
+}
+
+}  // namespace
+}  // namespace pinot

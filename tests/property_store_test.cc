@@ -1,0 +1,71 @@
+#include "cluster/property_store.h"
+
+#include <gtest/gtest.h>
+
+namespace pinot {
+namespace {
+
+TEST(PropertyStoreTest, SetGetDelete) {
+  PropertyStore store;
+  EXPECT_FALSE(store.Get("/a").ok());
+  store.Set("/a", "1");
+  ASSERT_TRUE(store.Get("/a").ok());
+  EXPECT_EQ(*store.Get("/a"), "1");
+  EXPECT_TRUE(store.Exists("/a"));
+  ASSERT_TRUE(store.Delete("/a").ok());
+  EXPECT_FALSE(store.Exists("/a"));
+  EXPECT_FALSE(store.Delete("/a").ok());
+}
+
+TEST(PropertyStoreTest, VersionsBumpOnWrite) {
+  PropertyStore store;
+  store.Set("/a", "1");
+  auto v1 = store.GetWithVersion("/a");
+  ASSERT_TRUE(v1.ok());
+  store.Set("/a", "2");
+  auto v2 = store.GetWithVersion("/a");
+  EXPECT_GT(v2->second, v1->second);
+  EXPECT_EQ(v2->first, "2");
+}
+
+TEST(PropertyStoreTest, CompareAndSet) {
+  PropertyStore store;
+  // -1 expected version = create-if-absent.
+  ASSERT_TRUE(store.CompareAndSet("/a", -1, "1").ok());
+  EXPECT_FALSE(store.CompareAndSet("/a", -1, "2").ok());
+  auto v = store.GetWithVersion("/a");
+  ASSERT_TRUE(store.CompareAndSet("/a", v->second, "2").ok());
+  EXPECT_FALSE(store.CompareAndSet("/a", v->second, "3").ok());
+  EXPECT_EQ(*store.Get("/a"), "2");
+}
+
+TEST(PropertyStoreTest, ListPrefix) {
+  PropertyStore store;
+  store.Set("/SEGMENTS/t1/s1", "");
+  store.Set("/SEGMENTS/t1/s2", "");
+  store.Set("/SEGMENTS/t2/s1", "");
+  store.Set("/CONFIGS/t1", "");
+  auto paths = store.ListPrefix("/SEGMENTS/t1/");
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "/SEGMENTS/t1/s1");
+  EXPECT_EQ(paths[1], "/SEGMENTS/t1/s2");
+  EXPECT_TRUE(store.ListPrefix("/NOPE/").empty());
+}
+
+TEST(PropertyStoreTest, WatchesFireOnPrefix) {
+  PropertyStore store;
+  std::vector<std::string> seen;
+  const int handle = store.RegisterWatch(
+      "/SEGMENTS/", [&seen](const std::string& path) { seen.push_back(path); });
+  store.Set("/SEGMENTS/t/s1", "x");
+  store.Set("/CONFIGS/t", "y");  // Outside the prefix.
+  store.Set("/SEGMENTS/t/s1", "z");
+  ASSERT_TRUE(store.Delete("/SEGMENTS/t/s1").ok());
+  EXPECT_EQ(seen.size(), 3u);
+  store.UnregisterWatch(handle);
+  store.Set("/SEGMENTS/t/s2", "x");
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pinot

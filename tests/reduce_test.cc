@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/result.h"
+#include "tests/test_util.h"
+
+namespace pinot {
+namespace {
+
+using test::BuildAnalyticsSegment;
+using test::RunPql;
+
+TEST(ReduceTest, TopNOrdersDescendingByFirstAggregation) {
+  auto segment = BuildAnalyticsSegment();
+  auto result = RunPql(
+      segment, "SELECT sum(impressions), count(*) FROM analytics GROUP BY "
+               "country TOP 4");
+  ASSERT_EQ(result.group_rows.size(), 4u);
+  double prev = 1e18;
+  for (const auto& row : result.group_rows) {
+    const double v = ValueToDouble(row.values[0]);
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ReduceTest, TopNTruncates) {
+  auto segment = BuildAnalyticsSegment();
+  auto result = RunPql(
+      segment, "SELECT count(*) FROM analytics GROUP BY memberId TOP 2");
+  EXPECT_EQ(result.group_rows.size(), 2u);
+  // TOP larger than group count returns all groups.
+  result = RunPql(
+      segment, "SELECT count(*) FROM analytics GROUP BY memberId TOP 50");
+  EXPECT_EQ(result.group_rows.size(), 5u);
+}
+
+TEST(ReduceTest, SelectionLimitAppliedAfterMerge) {
+  std::vector<std::shared_ptr<SegmentInterface>> segments = {
+      BuildAnalyticsSegment(), BuildAnalyticsSegment()};
+  auto result =
+      RunPql(segments, "SELECT country FROM analytics LIMIT 5");
+  EXPECT_EQ(result.selection_rows.size(), 5u);
+}
+
+TEST(ReduceTest, SelectionOrderByMultipleColumns) {
+  auto segment = BuildAnalyticsSegment();
+  auto result = RunPql(segment,
+                       "SELECT country, impressions FROM analytics ORDER BY "
+                       "country ASC, impressions DESC LIMIT 4");
+  ASSERT_EQ(result.selection_rows.size(), 4u);
+  // ca rows first (ascending country), ordered by impressions descending.
+  EXPECT_EQ(std::get<std::string>(result.selection_rows[0][0]), "ca");
+  EXPECT_EQ(std::get<int64_t>(result.selection_rows[0][1]), 110);
+  EXPECT_EQ(std::get<std::string>(result.selection_rows[1][0]), "ca");
+  EXPECT_EQ(std::get<int64_t>(result.selection_rows[1][1]), 40);
+  EXPECT_EQ(std::get<std::string>(result.selection_rows[2][0]), "ca");
+  EXPECT_EQ(std::get<int64_t>(result.selection_rows[2][1]), 30);
+  EXPECT_EQ(std::get<std::string>(result.selection_rows[3][0]), "de");
+}
+
+TEST(ReduceTest, PartialFlagPropagates) {
+  Query query = *ParsePql("SELECT count(*) FROM t");
+  PartialResult partial;
+  partial.status = Status::Timeout("server x");
+  QueryResult result = ReduceToFinalResult(query, std::move(partial));
+  EXPECT_TRUE(result.partial);
+  EXPECT_NE(result.error_message.find("server x"), std::string::npos);
+  // Aggregates still materialize (zero-valued) so clients can render.
+  ASSERT_EQ(result.aggregates.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 0);
+}
+
+TEST(ReduceTest, AggregationNamesRendered) {
+  auto segment = BuildAnalyticsSegment();
+  auto result = RunPql(
+      segment, "SELECT sum(clicks), distinctcount(memberId) FROM analytics");
+  ASSERT_EQ(result.aggregation_names.size(), 2u);
+  EXPECT_EQ(result.aggregation_names[0], "sum(clicks)");
+  EXPECT_EQ(result.aggregation_names[1], "distinctcount(memberId)");
+}
+
+TEST(ReduceTest, ToStringIsHumanReadable) {
+  auto segment = BuildAnalyticsSegment();
+  auto result = RunPql(
+      segment, "SELECT sum(impressions) FROM analytics GROUP BY country TOP 2");
+  const std::string rendered = result.ToString();
+  EXPECT_NE(rendered.find("country"), std::string::npos);
+  EXPECT_NE(rendered.find("us"), std::string::npos);
+  EXPECT_NE(rendered.find("sum(impressions)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinot

@@ -1,0 +1,233 @@
+#include "bitmap/roaring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+
+namespace pinot {
+namespace {
+
+TEST(RoaringBitmapTest, EmptyBitmap) {
+  RoaringBitmap bm;
+  EXPECT_TRUE(bm.Empty());
+  EXPECT_EQ(bm.Cardinality(), 0u);
+  EXPECT_FALSE(bm.Contains(0));
+  EXPECT_TRUE(bm.ToVector().empty());
+}
+
+TEST(RoaringBitmapTest, AddAndContains) {
+  RoaringBitmap bm;
+  bm.Add(5);
+  bm.Add(100000);
+  bm.Add(5);  // Duplicate.
+  EXPECT_EQ(bm.Cardinality(), 2u);
+  EXPECT_TRUE(bm.Contains(5));
+  EXPECT_TRUE(bm.Contains(100000));
+  EXPECT_FALSE(bm.Contains(6));
+  EXPECT_EQ(bm.Minimum(), 5u);
+  EXPECT_EQ(bm.Maximum(), 100000u);
+}
+
+TEST(RoaringBitmapTest, FromValuesDeduplicatesAndSorts) {
+  RoaringBitmap bm = RoaringBitmap::FromValues({9, 3, 3, 7, 9, 1});
+  EXPECT_EQ(bm.Cardinality(), 4u);
+  EXPECT_EQ(bm.ToVector(), (std::vector<uint32_t>{1, 3, 7, 9}));
+}
+
+TEST(RoaringBitmapTest, FromRange) {
+  RoaringBitmap bm = RoaringBitmap::FromRange(10, 20);
+  EXPECT_EQ(bm.Cardinality(), 10u);
+  EXPECT_TRUE(bm.Contains(10));
+  EXPECT_TRUE(bm.Contains(19));
+  EXPECT_FALSE(bm.Contains(20));
+  EXPECT_FALSE(bm.Contains(9));
+}
+
+TEST(RoaringBitmapTest, EmptyRange) {
+  EXPECT_TRUE(RoaringBitmap::FromRange(10, 10).Empty());
+  EXPECT_TRUE(RoaringBitmap::FromRange(10, 5).Empty());
+}
+
+TEST(RoaringBitmapTest, RangeAcrossContainerBoundary) {
+  RoaringBitmap bm = RoaringBitmap::FromRange(65530, 65546);
+  EXPECT_EQ(bm.Cardinality(), 16u);
+  for (uint32_t v = 65530; v < 65546; ++v) EXPECT_TRUE(bm.Contains(v));
+  EXPECT_FALSE(bm.Contains(65529));
+  EXPECT_FALSE(bm.Contains(65546));
+}
+
+TEST(RoaringBitmapTest, PromotionToBitsetContainer) {
+  // More than 4096 values in one chunk promotes the container.
+  std::vector<uint32_t> values;
+  for (uint32_t v = 0; v < 5000; ++v) values.push_back(v * 2);
+  RoaringBitmap bm = RoaringBitmap::FromValues(values);
+  EXPECT_EQ(bm.Cardinality(), 5000u);
+  auto stats = bm.GetContainerStats();
+  EXPECT_GE(stats.bitset_containers, 1);
+  for (uint32_t v = 0; v < 5000; ++v) {
+    EXPECT_TRUE(bm.Contains(v * 2));
+    EXPECT_FALSE(bm.Contains(v * 2 + 1));
+  }
+}
+
+TEST(RoaringBitmapTest, IncrementalAddPromotion) {
+  RoaringBitmap bm;
+  for (uint32_t v = 0; v < 5000; ++v) bm.Add(v * 3);
+  EXPECT_EQ(bm.Cardinality(), 5000u);
+  EXPECT_TRUE(bm.Contains(3 * 4999));
+  EXPECT_FALSE(bm.Contains(1));
+}
+
+TEST(RoaringBitmapTest, AndBasic) {
+  RoaringBitmap a = RoaringBitmap::FromValues({1, 2, 3, 100000});
+  RoaringBitmap b = RoaringBitmap::FromValues({2, 3, 4, 100000, 200000});
+  RoaringBitmap c = a.And(b);
+  EXPECT_EQ(c.ToVector(), (std::vector<uint32_t>{2, 3, 100000}));
+}
+
+TEST(RoaringBitmapTest, OrBasic) {
+  RoaringBitmap a = RoaringBitmap::FromValues({1, 3});
+  RoaringBitmap b = RoaringBitmap::FromValues({2, 100000});
+  RoaringBitmap c = a.Or(b);
+  EXPECT_EQ(c.ToVector(), (std::vector<uint32_t>{1, 2, 3, 100000}));
+}
+
+TEST(RoaringBitmapTest, AndNotBasic) {
+  RoaringBitmap a = RoaringBitmap::FromValues({1, 2, 3, 4});
+  RoaringBitmap b = RoaringBitmap::FromValues({2, 4, 5});
+  EXPECT_EQ(a.AndNot(b).ToVector(), (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(RoaringBitmapTest, NotWithinUniverse) {
+  RoaringBitmap a = RoaringBitmap::FromValues({0, 2, 4});
+  EXPECT_EQ(a.Not(6).ToVector(), (std::vector<uint32_t>{1, 3, 5}));
+}
+
+TEST(RoaringBitmapTest, CopySemanticsAreDeep) {
+  RoaringBitmap a = RoaringBitmap::FromRange(0, 100000);  // Dense containers.
+  RoaringBitmap b = a;
+  b.Add(200000);
+  EXPECT_EQ(a.Cardinality(), 100000u);
+  EXPECT_EQ(b.Cardinality(), 100001u);
+  EXPECT_FALSE(a.Contains(200000));
+}
+
+TEST(RoaringBitmapTest, RunOptimizeKeepsContents) {
+  // Built from values so the dense chunks start as bitset containers.
+  std::vector<uint32_t> values;
+  for (uint32_t v = 100; v < 70000; ++v) values.push_back(v);
+  RoaringBitmap bm = RoaringBitmap::FromValues(values);
+  RoaringBitmap copy = bm;
+  bm.RunOptimize();
+  EXPECT_TRUE(bm == copy);
+  auto stats = bm.GetContainerStats();
+  EXPECT_GE(stats.run_containers, 1);
+  // Run-encoded storage should be much smaller than the bitset encoding.
+  EXPECT_LT(bm.SizeInBytes(), copy.SizeInBytes());
+}
+
+TEST(RoaringBitmapTest, AddAfterRunOptimize) {
+  RoaringBitmap bm = RoaringBitmap::FromRange(0, 1000);
+  bm.RunOptimize();
+  bm.Add(5000);
+  EXPECT_EQ(bm.Cardinality(), 1001u);
+  EXPECT_TRUE(bm.Contains(500));
+  EXPECT_TRUE(bm.Contains(5000));
+}
+
+TEST(RoaringBitmapTest, ForEachRangeCoalescesAcrossContainers) {
+  RoaringBitmap bm = RoaringBitmap::FromRange(65000, 66000);
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  bm.ForEachRange([&](uint32_t b, uint32_t e) { ranges.emplace_back(b, e); });
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<uint32_t, uint32_t>{65000, 66000}));
+}
+
+TEST(RoaringBitmapTest, ForEachRangeDisjoint) {
+  RoaringBitmap bm = RoaringBitmap::FromValues({1, 2, 3, 10, 11, 50});
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  bm.ForEachRange([&](uint32_t b, uint32_t e) { ranges.emplace_back(b, e); });
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], (std::pair<uint32_t, uint32_t>{1, 4}));
+  EXPECT_EQ(ranges[1], (std::pair<uint32_t, uint32_t>{10, 12}));
+  EXPECT_EQ(ranges[2], (std::pair<uint32_t, uint32_t>{50, 51}));
+}
+
+TEST(RoaringBitmapTest, SerializeRoundTrip) {
+  RoaringBitmap bm = RoaringBitmap::FromValues({1, 5, 100000, 4000000});
+  bm.AddRange(70000, 80000);
+  bm.RunOptimize();
+  ByteWriter writer;
+  bm.Serialize(&writer);
+  ByteReader reader(writer.buffer());
+  auto restored = RoaringBitmap::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(*restored == bm);
+}
+
+TEST(RoaringBitmapTest, DeserializeRejectsGarbage) {
+  ByteWriter writer;
+  writer.WriteU32(1);
+  writer.WriteU32(0);
+  writer.WriteU8(7);  // Invalid container kind.
+  ByteReader reader(writer.buffer());
+  auto restored = RoaringBitmap::Deserialize(&reader);
+  EXPECT_FALSE(restored.ok());
+}
+
+// Property-style randomized comparison against std::set across densities.
+class RoaringPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RoaringPropertyTest, MatchesReferenceSetOperations) {
+  const double density = GetParam();
+  Random rng(1234 + static_cast<uint64_t>(density * 1000));
+  const uint32_t universe = 200000;
+  std::set<uint32_t> ref_a, ref_b;
+  RoaringBitmap a, b;
+  const int n = static_cast<int>(universe * density);
+  for (int i = 0; i < n; ++i) {
+    const uint32_t va = static_cast<uint32_t>(rng.NextUint64(universe));
+    const uint32_t vb = static_cast<uint32_t>(rng.NextUint64(universe));
+    ref_a.insert(va);
+    a.Add(va);
+    ref_b.insert(vb);
+    b.Add(vb);
+  }
+  ASSERT_EQ(a.Cardinality(), ref_a.size());
+  ASSERT_EQ(b.Cardinality(), ref_b.size());
+
+  std::vector<uint32_t> expected;
+  std::set_intersection(ref_a.begin(), ref_a.end(), ref_b.begin(),
+                        ref_b.end(), std::back_inserter(expected));
+  EXPECT_EQ(a.And(b).ToVector(), expected);
+
+  expected.clear();
+  std::set_union(ref_a.begin(), ref_a.end(), ref_b.begin(), ref_b.end(),
+                 std::back_inserter(expected));
+  EXPECT_EQ(a.Or(b).ToVector(), expected);
+
+  expected.clear();
+  std::set_difference(ref_a.begin(), ref_a.end(), ref_b.begin(), ref_b.end(),
+                      std::back_inserter(expected));
+  EXPECT_EQ(a.AndNot(b).ToVector(), expected);
+
+  // Round-trip through RunOptimize + serialization preserves equality.
+  RoaringBitmap optimized = a;
+  optimized.RunOptimize();
+  EXPECT_TRUE(optimized == a);
+  ByteWriter writer;
+  optimized.Serialize(&writer);
+  ByteReader reader(writer.buffer());
+  auto restored = RoaringBitmap::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(*restored == a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RoaringPropertyTest,
+                         ::testing::Values(0.0005, 0.01, 0.2, 0.9));
+
+}  // namespace
+}  // namespace pinot

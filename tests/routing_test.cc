@@ -1,0 +1,155 @@
+#include "routing/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pinot {
+namespace {
+
+// segment -> replicas fixture: `num_segments` segments spread over
+// `num_servers` servers with `replicas` replicas each (round-robin).
+std::map<std::string, std::vector<std::string>> MakeReplicaMap(
+    int num_segments, int num_servers, int replicas) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (int s = 0; s < num_segments; ++s) {
+    std::vector<std::string> servers;
+    for (int r = 0; r < replicas; ++r) {
+      servers.push_back("server-" + std::to_string((s + r) % num_servers));
+    }
+    out["segment-" + std::to_string(s)] = std::move(servers);
+  }
+  return out;
+}
+
+// Every segment appears exactly once across the routing table, on one of
+// its replicas.
+void CheckCoverage(
+    const RoutingTable& table,
+    const std::map<std::string, std::vector<std::string>>& replicas) {
+  std::set<std::string> seen;
+  for (const auto& [server, segments] : table.server_segments) {
+    for (const auto& segment : segments) {
+      EXPECT_TRUE(seen.insert(segment).second)
+          << segment << " routed twice";
+      const auto& candidates = replicas.at(segment);
+      EXPECT_NE(std::find(candidates.begin(), candidates.end(), server),
+                candidates.end())
+          << segment << " routed to non-replica " << server;
+    }
+  }
+  EXPECT_EQ(seen.size(), replicas.size()) << "not all segments covered";
+}
+
+TEST(RoutingTest, QueryableReplicasFiltersStates) {
+  TableView view;
+  view["s1"] = {{"a", SegmentState::kOnline}, {"b", SegmentState::kOffline}};
+  view["s2"] = {{"a", SegmentState::kConsuming}};
+  view["s3"] = {{"b", SegmentState::kOffline}};
+  auto replicas = QueryableReplicas(view);
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_EQ(replicas["s1"], (std::vector<std::string>{"a"}));
+  EXPECT_EQ(replicas["s2"], (std::vector<std::string>{"a"}));
+}
+
+TEST(RoutingTest, BalancedCoversEverySegmentOnce) {
+  Random rng(1);
+  auto replicas = MakeReplicaMap(100, 10, 3);
+  RoutingTable table = BuildBalancedRoutingTable(replicas, &rng);
+  CheckCoverage(table, replicas);
+  EXPECT_EQ(table.total_segments(), 100u);
+  // Balanced: every server gets roughly 10 segments.
+  for (const auto& [server, segments] : table.server_segments) {
+    EXPECT_GE(segments.size(), 5u);
+    EXPECT_LE(segments.size(), 15u);
+  }
+}
+
+TEST(RoutingTest, GenerateRoutingTableRespectsTargetServerCount) {
+  Random rng(7);
+  auto replicas = MakeReplicaMap(200, 20, 3);
+  for (int target : {4, 8, 12}) {
+    RoutingTable table = GenerateRoutingTable(replicas, target, &rng);
+    CheckCoverage(table, replicas);
+    // Algorithm 1 may add servers beyond T to cover orphans, but should
+    // stay near the target, far below the full cluster.
+    EXPECT_GE(table.num_servers(), std::min(target, 20));
+    EXPECT_LE(table.num_servers(), 20);
+  }
+}
+
+TEST(RoutingTest, GenerateUsesAllServersWhenFewerThanTarget) {
+  Random rng(7);
+  auto replicas = MakeReplicaMap(30, 3, 2);
+  RoutingTable table = GenerateRoutingTable(replicas, 10, &rng);
+  CheckCoverage(table, replicas);
+  EXPECT_EQ(table.num_servers(), 3);
+}
+
+TEST(RoutingTest, MetricIsVarianceOfLoad) {
+  RoutingTable even;
+  even.server_segments["a"] = {"s1", "s2"};
+  even.server_segments["b"] = {"s3", "s4"};
+  EXPECT_DOUBLE_EQ(RoutingTableMetric(even), 0.0);
+
+  RoutingTable skewed;
+  skewed.server_segments["a"] = {"s1", "s2", "s3"};
+  skewed.server_segments["b"] = {"s4"};
+  EXPECT_DOUBLE_EQ(RoutingTableMetric(skewed), 1.0);  // mean 2, deviations ±1.
+}
+
+TEST(RoutingTest, Algorithm2KeepsLowestVarianceTables) {
+  Random rng(42);
+  auto replicas = MakeReplicaMap(300, 24, 3);
+  GeneratedRoutingOptions options;
+  options.target_server_count = 6;
+  options.tables_to_generate = 200;
+  options.tables_to_keep = 10;
+  auto tables = GenerateRoutingTables(replicas, options, &rng);
+  ASSERT_EQ(tables.size(), 10u);
+  for (const auto& table : tables) CheckCoverage(table, replicas);
+  // Kept tables are sorted best-first and at least as good as a fresh
+  // random single candidate on average.
+  for (size_t i = 1; i < tables.size(); ++i) {
+    EXPECT_LE(RoutingTableMetric(tables[i - 1]),
+              RoutingTableMetric(tables[i]) + 1e-9);
+  }
+  double fresh = 0;
+  for (int i = 0; i < 20; ++i) {
+    fresh += RoutingTableMetric(GenerateRoutingTable(replicas, 6, &rng));
+  }
+  fresh /= 20;
+  EXPECT_LE(RoutingTableMetric(tables[0]), fresh + 1e-9);
+}
+
+TEST(RoutingTest, GeneratedTablesContactFewerServersThanBalanced) {
+  // The point of the strategy (section 4.4): fewer hosts per query on a
+  // large cluster.
+  Random rng(3);
+  auto replicas = MakeReplicaMap(600, 50, 3);
+  RoutingTable balanced = BuildBalancedRoutingTable(replicas, &rng);
+  RoutingTable generated = GenerateRoutingTable(replicas, 8, &rng);
+  CheckCoverage(generated, replicas);
+  EXPECT_EQ(balanced.num_servers(), 50);
+  // The ring-replica fixture needs >= ~17 servers for coverage; the greedy
+  // strategy should stay well below the full 50.
+  EXPECT_LT(generated.num_servers(), 32);
+}
+
+TEST(RoutingTest, SingleSegment) {
+  Random rng(5);
+  std::map<std::string, std::vector<std::string>> replicas = {
+      {"only", {"a", "b"}}};
+  RoutingTable table = GenerateRoutingTable(replicas, 4, &rng);
+  CheckCoverage(table, replicas);
+  EXPECT_EQ(table.total_segments(), 1u);
+}
+
+TEST(RoutingTest, EmptyInput) {
+  Random rng(5);
+  auto tables = GenerateRoutingTables({}, GeneratedRoutingOptions{}, &rng);
+  EXPECT_TRUE(tables.empty());
+}
+
+}  // namespace
+}  // namespace pinot

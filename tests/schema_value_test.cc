@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_context.h"
+#include "cluster/table_config.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace pinot {
+namespace {
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(ValueToString(Value{}), "null");
+  EXPECT_EQ(ValueToString(Value{int64_t{-5}}), "-5");
+  EXPECT_EQ(ValueToString(Value{std::string("abc")}), "abc");
+  EXPECT_EQ(ValueToString(Value{std::vector<int64_t>{1, 2}}), "[1,2]");
+  EXPECT_EQ(ValueToString(Value{std::vector<std::string>{"a"}}), "[a]");
+}
+
+TEST(ValueTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(ValueToDouble(Value{int64_t{7}}), 7.0);
+  EXPECT_DOUBLE_EQ(ValueToDouble(Value{2.5}), 2.5);
+  EXPECT_DOUBLE_EQ(ValueToDouble(Value{std::string("x")}), 0.0);
+  EXPECT_DOUBLE_EQ(ValueToDouble(Value{}), 0.0);
+}
+
+TEST(ValueTest, SerializeRoundTripAllAlternatives) {
+  const std::vector<Value> values = {
+      Value{},
+      Value{int64_t{-42}},
+      Value{3.25},
+      Value{std::string("hello")},
+      Value{std::vector<int64_t>{1, -2, 3}},
+      Value{std::vector<double>{0.5, -0.5}},
+      Value{std::vector<std::string>{"a", "", "c"}},
+  };
+  ByteWriter writer;
+  for (const auto& v : values) WriteValue(v, &writer);
+  ByteReader reader(writer.buffer());
+  for (const auto& v : values) {
+    auto restored = ReadValue(&reader);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored->index(), v.index());
+    EXPECT_EQ(ValueToString(*restored), ValueToString(v));
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SchemaTest, ValidationRules) {
+  // Duplicate names.
+  EXPECT_FALSE(Schema::Make({FieldSpec::Dimension("a", DataType::kLong),
+                             FieldSpec::Dimension("a", DataType::kLong)})
+                   .ok());
+  // Two time columns.
+  EXPECT_FALSE(
+      Schema::Make({FieldSpec::Time("t1"), FieldSpec::Time("t2")}).ok());
+  // String time column.
+  EXPECT_FALSE(
+      Schema::Make({FieldSpec::Time("t", DataType::kString)}).ok());
+  // String metric.
+  EXPECT_FALSE(
+      Schema::Make({FieldSpec::Metric("m", DataType::kString)}).ok());
+  // Multi-value metric.
+  {
+    FieldSpec metric = FieldSpec::Metric("m", DataType::kLong);
+    metric.single_value = false;
+    EXPECT_FALSE(Schema::Make({metric}).ok());
+  }
+  // Empty name.
+  EXPECT_FALSE(Schema::Make({FieldSpec::Dimension("", DataType::kLong)}).ok());
+}
+
+TEST(SchemaTest, LookupAndTimeColumn) {
+  auto schema = Schema::Make({FieldSpec::Dimension("d", DataType::kString),
+                              FieldSpec::Metric("m", DataType::kLong),
+                              FieldSpec::Time("t")});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_fields(), 3);
+  EXPECT_EQ(schema->IndexOf("m"), 1);
+  EXPECT_EQ(schema->IndexOf("nope"), -1);
+  EXPECT_TRUE(schema->HasTimeColumn());
+  EXPECT_EQ(schema->time_column(), "t");
+  EXPECT_EQ(schema->FieldNames(),
+            (std::vector<std::string>{"d", "m", "t"}));
+}
+
+TEST(SchemaTest, AddFieldEvolution) {
+  auto schema = Schema::Make({FieldSpec::Dimension("d", DataType::kString)});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->AddField(FieldSpec::Metric("m", DataType::kLong)).ok());
+  EXPECT_EQ(schema->num_fields(), 2);
+  // Duplicate rejected.
+  EXPECT_FALSE(schema->AddField(FieldSpec::Dimension("d", DataType::kLong)).ok());
+  // Second time column rejected.
+  EXPECT_TRUE(schema->AddField(FieldSpec::Time("t")).ok());
+  EXPECT_FALSE(schema->AddField(FieldSpec::Time("t2")).ok());
+}
+
+TEST(SchemaTest, EffectiveDefaults) {
+  FieldSpec with_default = FieldSpec::Dimension("d", DataType::kString);
+  with_default.default_value = std::string("unknown");
+  FieldSpec mv = FieldSpec::Dimension("tags", DataType::kString, false);
+  auto schema = Schema::Make({with_default, mv,
+                              FieldSpec::Metric("m", DataType::kDouble)});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(std::get<std::string>(schema->EffectiveDefault(0)), "unknown");
+  EXPECT_TRUE(std::get<std::vector<std::string>>(schema->EffectiveDefault(1))
+                  .empty());
+  EXPECT_DOUBLE_EQ(std::get<double>(schema->EffectiveDefault(2)), 0.0);
+}
+
+TEST(SchemaTest, SerializeRoundTrip) {
+  FieldSpec with_default = FieldSpec::Dimension("d", DataType::kString);
+  with_default.default_value = std::string("x");
+  auto schema = Schema::Make({with_default,
+                              FieldSpec::Dimension("mv", DataType::kLong, false),
+                              FieldSpec::Metric("m", DataType::kFloat),
+                              FieldSpec::Time("t", DataType::kInt)});
+  ASSERT_TRUE(schema.ok());
+  ByteWriter writer;
+  schema->Serialize(&writer);
+  ByteReader reader(writer.buffer());
+  auto restored = Schema::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_fields(), 4);
+  EXPECT_EQ(restored->field(0).name, "d");
+  EXPECT_EQ(std::get<std::string>(restored->field(0).default_value), "x");
+  EXPECT_FALSE(restored->field(1).single_value);
+  EXPECT_EQ(restored->field(2).type, DataType::kFloat);
+  EXPECT_EQ(restored->time_column(), "t");
+}
+
+TEST(TableConfigTest, SerializeRoundTrip) {
+  TableConfig config;
+  config.name = "events";
+  config.type = TableType::kRealtime;
+  config.schema = *Schema::Make({FieldSpec::Dimension("d", DataType::kString),
+                                 FieldSpec::Time("t")});
+  config.num_replicas = 3;
+  config.server_tenant = "gold";
+  config.sort_columns = {"d"};
+  config.inverted_index_columns = {"d"};
+  config.star_tree.dimensions = {"d", "t"};
+  config.star_tree.metrics = {};
+  config.star_tree.max_leaf_records = 77;
+  config.retention_time_units = 30;
+  config.time_unit_millis = 3600000;
+  config.quota_bytes = 1 << 20;
+  config.routing = RoutingStrategy::kPartitionAware;
+  config.target_servers_per_query = 5;
+  config.partition_column = "d";
+  config.num_partitions = 16;
+  config.realtime.topic = "events";
+  config.realtime.num_partitions = 16;
+  config.realtime.flush_threshold_rows = 1234;
+  config.realtime.flush_threshold_millis = 5678;
+
+  ByteWriter writer;
+  config.Serialize(&writer);
+  ByteReader reader(writer.buffer());
+  auto restored = TableConfig::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->PhysicalName(), "events_REALTIME");
+  EXPECT_EQ(restored->num_replicas, 3);
+  EXPECT_EQ(restored->server_tenant, "gold");
+  EXPECT_EQ(restored->sort_columns, config.sort_columns);
+  EXPECT_EQ(restored->star_tree.max_leaf_records, 77u);
+  EXPECT_EQ(restored->retention_time_units, 30);
+  EXPECT_EQ(restored->time_unit_millis, 3600000);
+  EXPECT_EQ(restored->routing, RoutingStrategy::kPartitionAware);
+  EXPECT_EQ(restored->num_partitions, 16);
+  EXPECT_EQ(restored->realtime.flush_threshold_rows, 1234);
+}
+
+TEST(SegmentZkMetadataTest, EncodeDecodeRoundTrip) {
+  SegmentZkMetadata meta;
+  meta.state = SegmentZkMetadata::State::kInProgress;
+  meta.partition = 5;
+  meta.start_offset = 1000;
+  meta.end_offset = 2000;
+  meta.sequence = 7;
+  meta.min_time = 17000;
+  meta.max_time = 17003;
+  meta.crc = 0xdeadbeef;
+  auto restored = SegmentZkMetadata::Decode(meta.Encode());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->state, SegmentZkMetadata::State::kInProgress);
+  EXPECT_EQ(restored->partition, 5);
+  EXPECT_EQ(restored->start_offset, 1000);
+  EXPECT_EQ(restored->end_offset, 2000);
+  EXPECT_EQ(restored->sequence, 7);
+  EXPECT_EQ(restored->crc, 0xdeadbeefu);
+  EXPECT_FALSE(SegmentZkMetadata::Decode("junk").ok());
+}
+
+}  // namespace
+}  // namespace pinot

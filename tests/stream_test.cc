@@ -1,0 +1,112 @@
+#include "stream/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace pinot {
+namespace {
+
+TEST(HashTest, Murmur2Deterministic) {
+  EXPECT_EQ(Murmur2("hello"), Murmur2("hello"));
+  EXPECT_NE(Murmur2("hello"), Murmur2("hellp"));
+}
+
+TEST(HashTest, KafkaPartitionInRangeAndStable) {
+  for (int parts : {1, 2, 8, 31}) {
+    for (const char* key : {"", "a", "member-12345", "viewer:42"}) {
+      const int32_t p = KafkaPartition(key, parts);
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, parts);
+      EXPECT_EQ(p, KafkaPartition(key, parts));
+    }
+  }
+}
+
+TEST(HashTest, KafkaPartitionSpreadsKeys) {
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[KafkaPartition("key" + std::to_string(i), 8)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 500);  // Roughly uniform.
+    EXPECT_LT(c, 1500);
+  }
+}
+
+TEST(StreamTopicTest, ProduceAndFetch) {
+  SimulatedClock clock;
+  StreamTopic topic("events", 2, &clock);
+  Row row;
+  row.SetLong("x", 1);
+  const auto [partition, offset] = topic.Produce("key1", row);
+  EXPECT_EQ(offset, 0);
+  auto fetched = topic.Fetch(partition, 0, 10);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched->size(), 1u);
+  EXPECT_EQ((*fetched)[0].key, "key1");
+  EXPECT_EQ(std::get<int64_t>((*fetched)[0].row.Get("x")), 1);
+}
+
+TEST(StreamTopicTest, OffsetsAreMonotonicPerPartition) {
+  SimulatedClock clock;
+  StreamTopic topic("events", 1, &clock);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(topic.ProduceToPartition(0, "k", Row()), i);
+  }
+  EXPECT_EQ(topic.LatestOffset(0), 10);
+  EXPECT_EQ(topic.EarliestOffset(0), 0);
+}
+
+TEST(StreamTopicTest, FetchRespectsMaxAndEnd) {
+  SimulatedClock clock;
+  StreamTopic topic("events", 1, &clock);
+  for (int i = 0; i < 10; ++i) topic.ProduceToPartition(0, "k", Row());
+  auto batch = topic.Fetch(0, 4, 3);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 3u);
+  EXPECT_EQ((*batch)[0].offset, 4);
+  // Reading at the log end returns empty.
+  EXPECT_TRUE(topic.Fetch(0, 10, 5)->empty());
+  EXPECT_FALSE(topic.Fetch(5, 0, 1).ok());  // Bad partition.
+}
+
+TEST(StreamTopicTest, SameKeyAlwaysSamePartition) {
+  SimulatedClock clock;
+  StreamTopic topic("events", 8, &clock);
+  int first = -1;
+  for (int i = 0; i < 5; ++i) {
+    const auto [partition, offset] = topic.Produce("member-7", Row());
+    if (first < 0) first = partition;
+    EXPECT_EQ(partition, first);
+  }
+  // And it matches the public partition function.
+  EXPECT_EQ(first, KafkaPartition("member-7", 8));
+}
+
+TEST(StreamTopicTest, RetentionDropsOldMessagesAndAdvancesEarliest) {
+  SimulatedClock clock(1000000);
+  StreamTopic topic("events", 1, &clock);
+  topic.ProduceToPartition(0, "old", Row());
+  clock.AdvanceMillis(10000);
+  topic.ProduceToPartition(0, "new", Row());
+  topic.EnforceRetention(5000);
+  EXPECT_EQ(topic.EarliestOffset(0), 1);
+  EXPECT_EQ(topic.LatestOffset(0), 2);
+  // Reading below the horizon reports OutOfRange (consumer fell behind).
+  EXPECT_FALSE(topic.Fetch(0, 0, 10).ok());
+  auto ok = topic.Fetch(0, 1, 10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[0].key, "new");
+}
+
+TEST(StreamRegistryTest, GetOrCreate) {
+  SimulatedClock clock;
+  StreamRegistry registry(&clock);
+  EXPECT_EQ(registry.GetTopic("t"), nullptr);
+  StreamTopic* topic = registry.GetOrCreateTopic("t", 4);
+  EXPECT_EQ(topic->num_partitions(), 4);
+  EXPECT_EQ(registry.GetOrCreateTopic("t", 8), topic);  // Existing wins.
+  EXPECT_EQ(registry.GetTopic("t"), topic);
+}
+
+}  // namespace
+}  // namespace pinot

@@ -1,0 +1,123 @@
+#include "workload/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "query/parser.h"
+#include "segment/segment_builder.h"
+#include "tests/test_util.h"
+
+namespace pinot {
+namespace {
+
+WorkloadOptions SmallOptions() {
+  WorkloadOptions options;
+  options.num_rows = 3000;
+  options.num_queries = 200;
+  options.seed = 11;
+  return options;
+}
+
+class WorkloadTest : public ::testing::TestWithParam<int> {
+ protected:
+  Workload Make() const {
+    switch (GetParam()) {
+      case 0:
+        return MakeAnomalyWorkload(SmallOptions());
+      case 1:
+        return MakeShareAnalyticsWorkload(SmallOptions());
+      case 2:
+        return MakeWvmpWorkload(SmallOptions());
+      default:
+        return MakeImpressionWorkload(SmallOptions());
+    }
+  }
+};
+
+TEST_P(WorkloadTest, RowsMatchSchemaAndBuild) {
+  Workload workload = Make();
+  EXPECT_EQ(workload.rows.size(), 3000u);
+  SegmentBuildConfig config = workload.pinot_config;
+  config.table_name = workload.name;
+  config.segment_name = "w0";
+  SegmentBuilder builder(workload.schema, config);
+  for (const auto& row : workload.rows) {
+    ASSERT_TRUE(builder.AddRow(row).ok());
+  }
+  auto segment = builder.Build();
+  ASSERT_TRUE(segment.ok()) << segment.status().ToString();
+  EXPECT_EQ((*segment)->num_docs(), 3000u);
+}
+
+TEST_P(WorkloadTest, AllQueriesParseAndExecute) {
+  Workload workload = Make();
+  EXPECT_EQ(workload.queries.size(), 200u);
+  SegmentBuildConfig config = workload.pinot_config;
+  config.table_name = workload.name;
+  config.segment_name = "w0";
+  SegmentBuilder builder(workload.schema, config);
+  for (const auto& row : workload.rows) {
+    ASSERT_TRUE(builder.AddRow(row).ok());
+  }
+  auto segment = builder.Build();
+  ASSERT_TRUE(segment.ok());
+  for (const auto& pql : workload.queries) {
+    auto query = ParsePql(pql);
+    ASSERT_TRUE(query.ok()) << pql;
+    auto result = test::RunPql(*segment, pql);
+    EXPECT_FALSE(result.partial) << pql << ": " << result.error_message;
+  }
+}
+
+TEST_P(WorkloadTest, DeterministicForSeed) {
+  Workload a = Make();
+  Workload b = Make();
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i], b.queries[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, WorkloadTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(ZipfTest, SkewAndRange) {
+  Random rng(3);
+  ZipfGenerator gen(1000, 1.1);
+  std::map<uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = gen.Next(rng);
+    ASSERT_LT(v, 1000u);
+    ++counts[v];
+  }
+  // Rank 0 must dominate and the head must hold most of the mass.
+  EXPECT_GT(counts[0], counts[10] * 2);
+  int head = 0;
+  for (uint64_t v = 0; v < 10; ++v) head += counts[v];
+  EXPECT_GT(head, n / 4);
+  // The tail is still populated (long tail, not truncated).
+  int tail = 0;
+  for (const auto& [v, c] : counts) {
+    if (v >= 500) tail += c;
+  }
+  EXPECT_GT(tail, 0);
+}
+
+TEST(ZipfTest, SingleElementAndLowSkew) {
+  Random rng(4);
+  ZipfGenerator one(1, 1.0);
+  EXPECT_EQ(one.Next(rng), 0u);
+  ZipfGenerator low(50, 0.2);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(low.Next(rng), 50u);
+}
+
+TEST(WorkloadTest2, ImpressionPartitioningMetadata) {
+  Workload workload = MakeImpressionWorkload(SmallOptions());
+  EXPECT_EQ(workload.partition_column, "memberId");
+  EXPECT_GT(workload.num_partitions, 0);
+}
+
+}  // namespace
+}  // namespace pinot
