@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_table.dir/hybrid_table.cpp.o"
+  "CMakeFiles/hybrid_table.dir/hybrid_table.cpp.o.d"
+  "hybrid_table"
+  "hybrid_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_ingestion.dir/realtime_ingestion.cpp.o"
+  "CMakeFiles/realtime_ingestion.dir/realtime_ingestion.cpp.o.d"
+  "realtime_ingestion"
+  "realtime_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvmp_analytics.dir/wvmp_analytics.cpp.o"
+  "CMakeFiles/wvmp_analytics.dir/wvmp_analytics.cpp.o.d"
+  "wvmp_analytics"
+  "wvmp_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvmp_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitmap/roaring.cc" "src/CMakeFiles/pinot.dir/bitmap/roaring.cc.o" "gcc" "src/CMakeFiles/pinot.dir/bitmap/roaring.cc.o.d"
+  "/root/repo/src/cluster/broker.cc" "src/CMakeFiles/pinot.dir/cluster/broker.cc.o" "gcc" "src/CMakeFiles/pinot.dir/cluster/broker.cc.o.d"
+  "/root/repo/src/cluster/cluster_context.cc" "src/CMakeFiles/pinot.dir/cluster/cluster_context.cc.o" "gcc" "src/CMakeFiles/pinot.dir/cluster/cluster_context.cc.o.d"
+  "/root/repo/src/cluster/cluster_manager.cc" "src/CMakeFiles/pinot.dir/cluster/cluster_manager.cc.o" "gcc" "src/CMakeFiles/pinot.dir/cluster/cluster_manager.cc.o.d"
+  "/root/repo/src/cluster/controller.cc" "src/CMakeFiles/pinot.dir/cluster/controller.cc.o" "gcc" "src/CMakeFiles/pinot.dir/cluster/controller.cc.o.d"
+  "/root/repo/src/cluster/index_advisor.cc" "src/CMakeFiles/pinot.dir/cluster/index_advisor.cc.o" "gcc" "src/CMakeFiles/pinot.dir/cluster/index_advisor.cc.o.d"
+  "/root/repo/src/cluster/minion.cc" "src/CMakeFiles/pinot.dir/cluster/minion.cc.o" "gcc" "src/CMakeFiles/pinot.dir/cluster/minion.cc.o.d"
+  "/root/repo/src/cluster/object_store.cc" "src/CMakeFiles/pinot.dir/cluster/object_store.cc.o" "gcc" "src/CMakeFiles/pinot.dir/cluster/object_store.cc.o.d"
+  "/root/repo/src/cluster/pinot_cluster.cc" "src/CMakeFiles/pinot.dir/cluster/pinot_cluster.cc.o" "gcc" "src/CMakeFiles/pinot.dir/cluster/pinot_cluster.cc.o.d"
+  "/root/repo/src/cluster/property_store.cc" "src/CMakeFiles/pinot.dir/cluster/property_store.cc.o" "gcc" "src/CMakeFiles/pinot.dir/cluster/property_store.cc.o.d"
+  "/root/repo/src/cluster/server.cc" "src/CMakeFiles/pinot.dir/cluster/server.cc.o" "gcc" "src/CMakeFiles/pinot.dir/cluster/server.cc.o.d"
+  "/root/repo/src/cluster/table_config.cc" "src/CMakeFiles/pinot.dir/cluster/table_config.cc.o" "gcc" "src/CMakeFiles/pinot.dir/cluster/table_config.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/pinot.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/pinot.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/pinot.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/pinot.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/pinot.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/pinot.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/pinot.dir/common/random.cc.o" "gcc" "src/CMakeFiles/pinot.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/pinot.dir/common/status.cc.o" "gcc" "src/CMakeFiles/pinot.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/pinot.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/pinot.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/data/data_type.cc" "src/CMakeFiles/pinot.dir/data/data_type.cc.o" "gcc" "src/CMakeFiles/pinot.dir/data/data_type.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/pinot.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/pinot.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/CMakeFiles/pinot.dir/data/value.cc.o" "gcc" "src/CMakeFiles/pinot.dir/data/value.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/pinot.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/pinot.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/query/agg.cc" "src/CMakeFiles/pinot.dir/query/agg.cc.o" "gcc" "src/CMakeFiles/pinot.dir/query/agg.cc.o.d"
+  "/root/repo/src/query/doc_id_set.cc" "src/CMakeFiles/pinot.dir/query/doc_id_set.cc.o" "gcc" "src/CMakeFiles/pinot.dir/query/doc_id_set.cc.o.d"
+  "/root/repo/src/query/filter_evaluator.cc" "src/CMakeFiles/pinot.dir/query/filter_evaluator.cc.o" "gcc" "src/CMakeFiles/pinot.dir/query/filter_evaluator.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/pinot.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/pinot.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/pinot.dir/query/query.cc.o" "gcc" "src/CMakeFiles/pinot.dir/query/query.cc.o.d"
+  "/root/repo/src/query/result.cc" "src/CMakeFiles/pinot.dir/query/result.cc.o" "gcc" "src/CMakeFiles/pinot.dir/query/result.cc.o.d"
+  "/root/repo/src/query/segment_executor.cc" "src/CMakeFiles/pinot.dir/query/segment_executor.cc.o" "gcc" "src/CMakeFiles/pinot.dir/query/segment_executor.cc.o.d"
+  "/root/repo/src/query/table_executor.cc" "src/CMakeFiles/pinot.dir/query/table_executor.cc.o" "gcc" "src/CMakeFiles/pinot.dir/query/table_executor.cc.o.d"
+  "/root/repo/src/realtime/completion.cc" "src/CMakeFiles/pinot.dir/realtime/completion.cc.o" "gcc" "src/CMakeFiles/pinot.dir/realtime/completion.cc.o.d"
+  "/root/repo/src/realtime/mutable_segment.cc" "src/CMakeFiles/pinot.dir/realtime/mutable_segment.cc.o" "gcc" "src/CMakeFiles/pinot.dir/realtime/mutable_segment.cc.o.d"
+  "/root/repo/src/routing/routing.cc" "src/CMakeFiles/pinot.dir/routing/routing.cc.o" "gcc" "src/CMakeFiles/pinot.dir/routing/routing.cc.o.d"
+  "/root/repo/src/segment/dictionary.cc" "src/CMakeFiles/pinot.dir/segment/dictionary.cc.o" "gcc" "src/CMakeFiles/pinot.dir/segment/dictionary.cc.o.d"
+  "/root/repo/src/segment/forward_index.cc" "src/CMakeFiles/pinot.dir/segment/forward_index.cc.o" "gcc" "src/CMakeFiles/pinot.dir/segment/forward_index.cc.o.d"
+  "/root/repo/src/segment/row_extract.cc" "src/CMakeFiles/pinot.dir/segment/row_extract.cc.o" "gcc" "src/CMakeFiles/pinot.dir/segment/row_extract.cc.o.d"
+  "/root/repo/src/segment/segment.cc" "src/CMakeFiles/pinot.dir/segment/segment.cc.o" "gcc" "src/CMakeFiles/pinot.dir/segment/segment.cc.o.d"
+  "/root/repo/src/segment/segment_builder.cc" "src/CMakeFiles/pinot.dir/segment/segment_builder.cc.o" "gcc" "src/CMakeFiles/pinot.dir/segment/segment_builder.cc.o.d"
+  "/root/repo/src/segment/segment_store.cc" "src/CMakeFiles/pinot.dir/segment/segment_store.cc.o" "gcc" "src/CMakeFiles/pinot.dir/segment/segment_store.cc.o.d"
+  "/root/repo/src/startree/star_tree.cc" "src/CMakeFiles/pinot.dir/startree/star_tree.cc.o" "gcc" "src/CMakeFiles/pinot.dir/startree/star_tree.cc.o.d"
+  "/root/repo/src/stream/stream.cc" "src/CMakeFiles/pinot.dir/stream/stream.cc.o" "gcc" "src/CMakeFiles/pinot.dir/stream/stream.cc.o.d"
+  "/root/repo/src/tenant/token_bucket.cc" "src/CMakeFiles/pinot.dir/tenant/token_bucket.cc.o" "gcc" "src/CMakeFiles/pinot.dir/tenant/token_bucket.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/CMakeFiles/pinot.dir/workload/workloads.cc.o" "gcc" "src/CMakeFiles/pinot.dir/workload/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

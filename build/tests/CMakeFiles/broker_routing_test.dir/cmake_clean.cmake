@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_routing_test.dir/broker_routing_test.cc.o"
+  "CMakeFiles/broker_routing_test.dir/broker_routing_test.cc.o.d"
+  "broker_routing_test"
+  "broker_routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_manager_test.dir/cluster_manager_test.cc.o"
+  "CMakeFiles/cluster_manager_test.dir/cluster_manager_test.cc.o.d"
+  "cluster_manager_test"
+  "cluster_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_id_set_test.dir/doc_id_set_test.cc.o"
+  "CMakeFiles/doc_id_set_test.dir/doc_id_set_test.cc.o.d"
+  "doc_id_set_test"
+  "doc_id_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_id_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forward_index_test.dir/forward_index_test.cc.o"
+  "CMakeFiles/forward_index_test.dir/forward_index_test.cc.o.d"
+  "forward_index_test"
+  "forward_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forward_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutable_segment_test.dir/mutable_segment_test.cc.o"
+  "CMakeFiles/mutable_segment_test.dir/mutable_segment_test.cc.o.d"
+  "mutable_segment_test"
+  "mutable_segment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutable_segment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

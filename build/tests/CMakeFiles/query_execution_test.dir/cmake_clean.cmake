@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_execution_test.dir/query_execution_test.cc.o"
+  "CMakeFiles/query_execution_test.dir/query_execution_test.cc.o.d"
+  "query_execution_test"
+  "query_execution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_integration_test.dir/realtime_integration_test.cc.o"
+  "CMakeFiles/realtime_integration_test.dir/realtime_integration_test.cc.o.d"
+  "realtime_integration_test"
+  "realtime_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

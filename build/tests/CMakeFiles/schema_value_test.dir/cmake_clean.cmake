@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_value_test.dir/schema_value_test.cc.o"
+  "CMakeFiles/schema_value_test.dir/schema_value_test.cc.o.d"
+  "schema_value_test"
+  "schema_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_controller_test.dir/server_controller_test.cc.o"
+  "CMakeFiles/server_controller_test.dir/server_controller_test.cc.o.d"
+  "server_controller_test"
+  "server_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_tree_test.dir/star_tree_test.cc.o"
+  "CMakeFiles/star_tree_test.dir/star_tree_test.cc.o.d"
+  "star_tree_test"
+  "star_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
