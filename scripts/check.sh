@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local gate: the tier-1 verify build/test cycle, then a second
+# configure with AddressSanitizer + UBSan (PINOT_SANITIZE=ON) and the same
+# test suite under the sanitizers. Run from the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build + ctest (build/) =="
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo
+echo "== sanitizers: ASan+UBSan configure + build + ctest (build-asan/) =="
+cmake -B build-asan -S . -DPINOT_SANITIZE=ON
+cmake --build build-asan -j "${JOBS}"
+(cd build-asan && ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --output-on-failure -j "${JOBS}")
+
+echo
+echo "All checks passed in ${ROOT}."

@@ -676,6 +676,60 @@ void RoaringBitmap::ForEachRange(
   if (have_run) fn(run_begin, run_end);
 }
 
+void RoaringBitmap::ForEachBlock(
+    uint32_t block_size,
+    const std::function<void(uint32_t, uint32_t, const uint32_t*)>& fn)
+    const {
+  assert(block_size > 0);
+  std::vector<uint32_t> buffer;
+  buffer.reserve(std::min<uint32_t>(block_size, 65536));
+  auto flush = [&] {
+    if (!buffer.empty()) {
+      fn(buffer.front(), static_cast<uint32_t>(buffer.size()), buffer.data());
+      buffer.clear();
+    }
+  };
+  for (const auto& entry : containers_) {
+    const uint32_t base = static_cast<uint32_t>(entry.key) << 16;
+    const Container& c = entry.container;
+    switch (c.kind) {
+      case Kind::kArray:
+        for (uint16_t v : c.array.values) {
+          buffer.push_back(base + v);
+          if (buffer.size() >= block_size) flush();
+        }
+        break;
+      case Kind::kBitset:
+        for (size_t w = 0; w < c.bitset->words.size(); ++w) {
+          uint64_t word = c.bitset->words[w];
+          while (word != 0) {
+            const int bit = std::countr_zero(word);
+            buffer.push_back(base + static_cast<uint32_t>(w * 64 + bit));
+            word &= word - 1;
+            if (buffer.size() >= block_size) flush();
+          }
+        }
+        break;
+      case Kind::kRun:
+        // Runs become index ranges directly, chunked to the block size;
+        // no per-document extraction at all.
+        flush();
+        for (const auto& run : c.run.runs) {
+          uint32_t begin = base + run.start;
+          uint32_t remaining = static_cast<uint32_t>(run.length) + 1;
+          while (remaining > 0) {
+            const uint32_t take = std::min(remaining, block_size);
+            fn(begin, take, nullptr);
+            begin += take;
+            remaining -= take;
+          }
+        }
+        break;
+    }
+  }
+  flush();
+}
+
 std::vector<uint32_t> RoaringBitmap::ToVector() const {
   std::vector<uint32_t> out;
   out.reserve(Cardinality());

@@ -103,6 +103,18 @@ class RoaringBitmap {
   void ForEachRange(
       const std::function<void(uint32_t, uint32_t)>& fn) const;
 
+  /// Block-at-a-time iteration for batched scan operators: invokes
+  /// `fn(begin, count, values)` for ascending blocks of at most
+  /// `block_size` values. Run containers emit their runs directly as
+  /// contiguous blocks (`values == nullptr`, covering
+  /// [begin, begin + count)); array and bitset containers are decoded
+  /// per-container into an internal buffer passed as `values`
+  /// (`begin` is then the first value). `block_size` must be positive.
+  void ForEachBlock(
+      uint32_t block_size,
+      const std::function<void(uint32_t, uint32_t, const uint32_t*)>& fn)
+      const;
+
   std::vector<uint32_t> ToVector() const;
 
   bool operator==(const RoaringBitmap& other) const;

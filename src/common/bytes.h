@@ -33,6 +33,7 @@ class ByteWriter {
   }
 
   void WriteRaw(const void* data, size_t size) {
+    if (size == 0) return;  // data may be null (e.g. an empty vector).
     const char* p = static_cast<const char*>(data);
     buffer_.insert(buffer_.end(), p, p + size);
   }
@@ -97,6 +98,7 @@ class ByteReader {
   }
 
   Status ReadRaw(void* out, size_t size) {
+    if (size == 0) return Status::OK();  // out may be null.
     if (pos_ + size > data_.size()) {
       return Status::Corruption("read past end of buffer");
     }

@@ -35,10 +35,21 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::ParallelFor(int count, const std::function<void(int)>& task) {
   if (count <= 0) return;
+  // Chunked dispatch: one queued task per worker, each pulling indexes off
+  // a shared atomic counter. Queue and lock traffic is O(workers) instead
+  // of O(count), which matters for many-segment fan-out queries. The
+  // blocking waits below keep the stack-captured state alive.
+  const int num_tasks = std::min(count, num_threads());
+  std::atomic<int> next{0};
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (int i = 0; i < count; ++i) {
-    futures.push_back(Submit([&task, i] { task(i); }));
+  futures.reserve(num_tasks);
+  for (int t = 0; t < num_tasks; ++t) {
+    futures.push_back(Submit([&task, &next, count] {
+      for (int i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        task(i);
+      }
+    }));
   }
   for (auto& future : futures) future.wait();
 }

@@ -27,6 +27,9 @@ class ThreadPool {
 
   /// Runs `task` for i in [0, count) across the pool and blocks until all
   /// complete. Convenience for per-segment parallel plan execution.
+  /// Dispatches one pool task per worker (not per index); workers claim
+  /// indexes from a shared atomic counter, so large `count` values do not
+  /// flood the queue.
   void ParallelFor(int count, const std::function<void(int)>& task);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }

@@ -51,6 +51,40 @@ void DocIdSet::ForEachRange(
   }
 }
 
+void DocIdSet::ForEachBlock(
+    const std::function<void(const DocIdBlock&)>& fn) const {
+  auto emit_range = [&fn](uint32_t begin, uint32_t end) {
+    while (begin < end) {
+      DocIdBlock block;
+      block.begin = begin;
+      block.count = std::min(end - begin, kDocIdBlockSize);
+      fn(block);
+      begin += block.count;
+    }
+  };
+  switch (kind_) {
+    case Kind::kAll:
+      emit_range(0, num_docs_);
+      return;
+    case Kind::kNone:
+      return;
+    case Kind::kRange:
+      emit_range(begin_, end_);
+      return;
+    case Kind::kBitmap:
+      bitmap_.ForEachBlock(
+          kDocIdBlockSize,
+          [&fn](uint32_t begin, uint32_t count, const uint32_t* docs) {
+            DocIdBlock block;
+            block.begin = begin;
+            block.count = count;
+            block.docs = docs;
+            fn(block);
+          });
+      return;
+  }
+}
+
 DocIdSet DocIdSet::Intersect(const DocIdSet& other) const {
   if (IsEmpty() || other.IsEmpty()) return None(num_docs_);
   if (IsAll()) return other;

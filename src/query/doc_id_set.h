@@ -8,6 +8,23 @@
 
 namespace pinot {
 
+/// Maximum number of doc ids handed to a block consumer at once. Matches
+/// the roaring array-container threshold so one array container decodes
+/// into one block, and keeps per-block scratch buffers (doc ids + decoded
+/// dict ids per column) L1/L2-resident.
+inline constexpr uint32_t kDocIdBlockSize = 4096;
+
+/// One block of ascending doc ids produced by DocIdSet::ForEachBlock.
+/// When `docs` is null the block is the contiguous range
+/// [begin, begin + count); otherwise `docs[0 .. count)` lists the ids and
+/// `begin == docs[0]`.
+struct DocIdBlock {
+  uint32_t begin = 0;
+  uint32_t count = 0;
+  const uint32_t* docs = nullptr;
+  bool contiguous() const { return docs == nullptr; }
+};
+
 /// The set of document ids matching a filter (or partial filter) within one
 /// segment. Filter operators on the physically sorted column produce
 /// contiguous ranges; bitmap and scan operators produce roaring bitmaps
@@ -71,6 +88,13 @@ class DocIdSet {
 
   void ForEachDoc(const std::function<void(uint32_t)>& fn) const;
   void ForEachRange(const std::function<void(uint32_t, uint32_t)>& fn) const;
+
+  /// Invokes `fn` for ascending blocks of at most kDocIdBlockSize doc ids.
+  /// Ranges (and roaring run containers) emit contiguous blocks without
+  /// materializing ids; array/bitset containers emit id-list blocks
+  /// decoded per roaring container. This is the iteration primitive of the
+  /// batched scan path.
+  void ForEachBlock(const std::function<void(const DocIdBlock&)>& fn) const;
 
   DocIdSet Intersect(const DocIdSet& other) const;
   DocIdSet Union(const DocIdSet& other) const;

@@ -242,22 +242,344 @@ void ForEachGroupKey(const std::vector<GroupByColumn>& columns, uint32_t doc,
   }
 }
 
+// Re-encodes one group (dict-id key already decoded to values) into the
+// value-keyed per-segment output, merging states when the group exists.
+void MergeGroupInto(std::vector<Value> values, std::vector<AggState>&& states,
+                    PartialResult* out) {
+  std::string value_key = EncodeGroupKey(values);
+  auto it = out->groups.find(value_key);
+  if (it == out->groups.end()) {
+    PartialResult::GroupEntry entry;
+    entry.keys = std::move(values);
+    entry.states = std::move(states);
+    out->groups.emplace(std::move(value_key), std::move(entry));
+  } else {
+    for (size_t i = 0; i < states.size(); ++i) {
+      it->second.states[i].Merge(std::move(states[i]));
+    }
+  }
+}
+
 void FlushLocalGroups(const std::vector<GroupByColumn>& columns,
                       LocalGroups&& local, PartialResult* out) {
   for (auto& [key, states] : local) {
-    std::vector<Value> values = DecodeGroupKey(key, columns);
-    std::string value_key = EncodeGroupKey(values);
-    auto it = out->groups.find(value_key);
-    if (it == out->groups.end()) {
-      PartialResult::GroupEntry entry;
-      entry.keys = std::move(values);
-      entry.states = std::move(states);
-      out->groups.emplace(std::move(value_key), std::move(entry));
-    } else {
-      for (size_t i = 0; i < states.size(); ++i) {
-        it->second.states[i].Merge(std::move(states[i]));
+    MergeGroupInto(DecodeGroupKey(key, columns), std::move(states), out);
+  }
+}
+
+// --- Batched scan path -----------------------------------------------------
+//
+// Block-at-a-time execution over the raw scan pipeline: the DocIdSet hands
+// out blocks of <= kDocIdBlockSize ascending doc ids, each referenced
+// column's dict ids are bulk-decoded once per block (word-at-a-time bit
+// unpacking), and aggregation kernels run over the decoded arrays. Results
+// are identical to the per-document reference path; only the iteration
+// shape changes.
+
+// DISTINCTCOUNT needs per-document, per-value dictionary access (and
+// multi-value explosion), so it stays on the reference path.
+bool AggsBatchable(const std::vector<BoundAggregation>& bound) {
+  for (const auto& b : bound) {
+    if (b.type == AggregationType::kDistinctCount) return false;
+  }
+  return true;
+}
+
+// Decodes the single-value dict ids of every registered column exactly once
+// per block; kernels index into the shared decoded buffers.
+class BlockDecoder {
+ public:
+  int AddColumn(const ColumnReader* column) {
+    for (size_t s = 0; s < columns_.size(); ++s) {
+      if (columns_[s] == column) return static_cast<int>(s);
+    }
+    columns_.push_back(column);
+    buffers_.emplace_back(kDocIdBlockSize);
+    return static_cast<int>(columns_.size()) - 1;
+  }
+
+  void Decode(const DocIdBlock& block) {
+    for (size_t s = 0; s < columns_.size(); ++s) {
+      if (block.contiguous()) {
+        columns_[s]->GetDictIdRange(block.begin, block.count,
+                                    buffers_[s].data());
+      } else {
+        columns_[s]->GetDictIdBatch(block.docs, block.count,
+                                    buffers_[s].data());
       }
     }
+  }
+
+  const uint32_t* ids(int slot) const { return buffers_[slot].data(); }
+
+ private:
+  std::vector<const ColumnReader*> columns_;
+  std::vector<std::vector<uint32_t>> buffers_;
+};
+
+// Memoized dict-id -> double tables, one per referenced column: metric
+// decode becomes an array load instead of a per-doc dictionary dispatch.
+class ValueTableCache {
+ public:
+  const double* TableFor(const ColumnReader& column) {
+    auto [it, inserted] = tables_.try_emplace(&column);
+    if (inserted) {
+      const Dictionary& dict = column.dictionary();
+      auto table = std::make_unique<std::vector<double>>();
+      table->reserve(static_cast<size_t>(dict.size()));
+      for (int id = 0; id < dict.size(); ++id) {
+        table->push_back(dict.DoubleValueAt(id));
+      }
+      it->second = std::move(table);
+    }
+    return it->second->data();
+  }
+
+ private:
+  std::unordered_map<const ColumnReader*, std::unique_ptr<std::vector<double>>>
+      tables_;
+};
+
+// Decoded-buffer binding of one batchable aggregation.
+struct AggKernel {
+  int slot = -1;                  // BlockDecoder slot; -1 for COUNT/missing.
+  const double* table = nullptr;  // Null for COUNT and missing columns.
+};
+
+std::vector<AggKernel> BindAggKernels(const std::vector<BoundAggregation>& bound,
+                                      BlockDecoder* decoder,
+                                      ValueTableCache* tables) {
+  std::vector<AggKernel> kernels(bound.size());
+  for (size_t i = 0; i < bound.size(); ++i) {
+    if (bound[i].type == AggregationType::kCount) continue;
+    if (bound[i].column != nullptr) {
+      kernels[i].slot = decoder->AddColumn(bound[i].column);
+      kernels[i].table = tables->TableFor(*bound[i].column);
+    }
+  }
+  return kernels;
+}
+
+void ExecuteAggBatched(const std::vector<BoundAggregation>& bound,
+                       const DocIdSet& docs, std::vector<AggState>* states,
+                       uint64_t* scanned) {
+  BlockDecoder decoder;
+  ValueTableCache tables;
+  const std::vector<AggKernel> kernels = BindAggKernels(bound, &decoder, &tables);
+  docs.ForEachBlock([&](const DocIdBlock& block) {
+    *scanned += block.count;
+    decoder.Decode(block);
+    for (size_t i = 0; i < bound.size(); ++i) {
+      AggState& st = (*states)[i];
+      if (bound[i].type == AggregationType::kCount) {
+        st.count += block.count;
+        continue;
+      }
+      if (kernels[i].table == nullptr) {
+        // Missing column: the schema default, once per doc (kept as
+        // repeated adds so the float result matches the per-doc path).
+        for (uint32_t j = 0; j < block.count; ++j) {
+          st.AddDouble(bound[i].default_double);
+        }
+        continue;
+      }
+      const uint32_t* ids = decoder.ids(kernels[i].slot);
+      const double* table = kernels[i].table;
+      double sum = st.sum;
+      double mn = st.min;
+      double mx = st.max;
+      for (uint32_t j = 0; j < block.count; ++j) {
+        const double v = table[ids[j]];
+        sum += v;
+        if (v < mn) mn = v;
+        if (v > mx) mx = v;
+      }
+      st.sum = sum;
+      st.min = mn;
+      st.max = mx;
+      st.count += block.count;
+    }
+  });
+}
+
+// --- Packed group-by -------------------------------------------------------
+
+// 64-bit finalizer (splitmix64) for the open-addressing packed-key table.
+inline uint64_t MixHash64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+constexpr uint32_t kNoGroup = 0xffffffff;
+
+// Packed keys apply when every group column is single-value and the summed
+// dict-id bit widths fit in one uint64 (missing and cardinality-1 columns
+// contribute zero bits).
+bool PackedGroupByEligible(const std::vector<GroupByColumn>& group_columns,
+                           int* total_bits) {
+  int bits = 0;
+  for (const auto& gb : group_columns) {
+    if (!gb.single_value) return false;
+    if (gb.column == nullptr) continue;
+    const int card = gb.column->dictionary().size();
+    bits += FixedBitVector::BitsFor(
+        card > 0 ? static_cast<uint32_t>(card - 1) : 0);
+  }
+  if (bits > 64) return false;
+  *total_bits = bits;
+  return true;
+}
+
+void ExecutePackedGroupBy(const std::vector<BoundAggregation>& bound,
+                          const std::vector<GroupByColumn>& group_columns,
+                          const ScanOptions& options, const DocIdSet& docs,
+                          uint64_t* scanned, PartialResult* out) {
+  BlockDecoder decoder;
+  ValueTableCache tables;
+  const size_t num_aggs = bound.size();
+  const std::vector<AggKernel> kernels = BindAggKernels(bound, &decoder, &tables);
+
+  // Key layout: concatenated dict-id bit fields, one per group column.
+  struct PackedCol {
+    int slot = -1;  // -1: constant contribution (missing or cardinality 1).
+    int shift = 0;
+    uint64_t mask = 0;
+  };
+  std::vector<PackedCol> packed(group_columns.size());
+  int shift = 0;
+  for (size_t i = 0; i < group_columns.size(); ++i) {
+    const GroupByColumn& gb = group_columns[i];
+    if (gb.column == nullptr) continue;
+    const int card = gb.column->dictionary().size();
+    const int bits = FixedBitVector::BitsFor(
+        card > 0 ? static_cast<uint32_t>(card - 1) : 0);
+    if (bits == 0) continue;
+    packed[i].slot = decoder.AddColumn(gb.column);
+    packed[i].shift = shift;
+    packed[i].mask = ~uint64_t{0} >> (64 - bits);
+    shift += bits;
+  }
+  const int total_bits = shift;
+
+  // Groups are appended on first touch; states live in one flat array of
+  // num_aggs entries per group.
+  std::vector<uint64_t> group_keys;
+  std::vector<AggState> group_states;
+  auto add_group = [&](uint64_t key) -> uint32_t {
+    const uint32_t g = static_cast<uint32_t>(group_keys.size());
+    group_keys.push_back(key);
+    group_states.resize(group_states.size() + num_aggs);
+    return g;
+  };
+
+  // Dense direct-indexed table when the key space is small; flat linear-
+  // probing table (no per-key allocation, power-of-two capacity) otherwise.
+  const bool dense =
+      total_bits < 64 &&
+      (uint64_t{1} << total_bits) <= options.dense_groupby_max_slots;
+  std::vector<uint32_t> dense_table;
+  size_t capacity = 0;
+  std::vector<uint64_t> oa_keys;
+  std::vector<uint32_t> oa_groups;
+  if (dense) {
+    dense_table.assign(size_t{1} << total_bits, kNoGroup);
+  } else {
+    capacity = 1024;
+    oa_keys.assign(capacity, 0);
+    oa_groups.assign(capacity, kNoGroup);
+  }
+  auto grow_table = [&] {
+    const size_t new_capacity = capacity * 2;
+    std::vector<uint64_t> new_keys(new_capacity, 0);
+    std::vector<uint32_t> new_groups(new_capacity, kNoGroup);
+    for (size_t s = 0; s < capacity; ++s) {
+      if (oa_groups[s] == kNoGroup) continue;
+      size_t pos = MixHash64(oa_keys[s]) & (new_capacity - 1);
+      while (new_groups[pos] != kNoGroup) pos = (pos + 1) & (new_capacity - 1);
+      new_keys[pos] = oa_keys[s];
+      new_groups[pos] = oa_groups[s];
+    }
+    oa_keys = std::move(new_keys);
+    oa_groups = std::move(new_groups);
+    capacity = new_capacity;
+  };
+  auto find_or_add = [&](uint64_t key) -> uint32_t {
+    if (dense) {
+      uint32_t& slot = dense_table[key];
+      if (slot == kNoGroup) slot = add_group(key);
+      return slot;
+    }
+    size_t pos = MixHash64(key) & (capacity - 1);
+    while (true) {
+      if (oa_groups[pos] == kNoGroup) {
+        const uint32_t g = add_group(key);
+        oa_keys[pos] = key;
+        oa_groups[pos] = g;
+        // Keep load factor under 0.7.
+        if (group_keys.size() * 10 >= capacity * 7) grow_table();
+        return g;
+      }
+      if (oa_keys[pos] == key) return oa_groups[pos];
+      pos = (pos + 1) & (capacity - 1);
+    }
+  };
+
+  std::vector<uint64_t> key_buf(kDocIdBlockSize);
+  docs.ForEachBlock([&](const DocIdBlock& block) {
+    *scanned += block.count;
+    decoder.Decode(block);
+    std::fill_n(key_buf.begin(), block.count, uint64_t{0});
+    for (const auto& pc : packed) {
+      if (pc.slot < 0) continue;
+      const uint32_t* ids = decoder.ids(pc.slot);
+      for (uint32_t j = 0; j < block.count; ++j) {
+        key_buf[j] |= static_cast<uint64_t>(ids[j]) << pc.shift;
+      }
+    }
+    for (uint32_t j = 0; j < block.count; ++j) {
+      const uint32_t g = find_or_add(key_buf[j]);
+      AggState* states = &group_states[static_cast<size_t>(g) * num_aggs];
+      for (size_t i = 0; i < num_aggs; ++i) {
+        if (bound[i].type == AggregationType::kCount) {
+          ++states[i].count;
+        } else {
+          states[i].AddDouble(kernels[i].table != nullptr
+                                  ? kernels[i].table[decoder.ids(
+                                        kernels[i].slot)[j]]
+                                  : bound[i].default_double);
+        }
+      }
+    }
+  });
+
+  // Flush: unpack each key back into per-column dict ids -> values and
+  // merge into the value-keyed per-segment output.
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    const uint64_t key = group_keys[g];
+    std::vector<Value> values;
+    values.reserve(group_columns.size());
+    for (size_t i = 0; i < group_columns.size(); ++i) {
+      const GroupByColumn& gb = group_columns[i];
+      if (gb.column == nullptr) {
+        values.push_back(gb.default_value);
+        continue;
+      }
+      const uint32_t id =
+          packed[i].slot >= 0
+              ? static_cast<uint32_t>((key >> packed[i].shift) & packed[i].mask)
+              : 0;
+      values.push_back(gb.column->dictionary().ValueAt(static_cast<int>(id)));
+    }
+    std::vector<AggState> states;
+    states.reserve(num_aggs);
+    for (size_t i = 0; i < num_aggs; ++i) {
+      states.push_back(std::move(group_states[g * num_aggs + i]));
+    }
+    MergeGroupInto(std::move(values), std::move(states), out);
   }
 }
 
@@ -574,6 +896,12 @@ bool CanUseStarTree(const SegmentInterface& segment, const Query& query) {
 
 Status ExecuteQueryOnSegment(const SegmentInterface& segment,
                              const Query& query, PartialResult* out) {
+  return ExecuteQueryOnSegment(segment, query, ScanOptions{}, out);
+}
+
+Status ExecuteQueryOnSegment(const SegmentInterface& segment,
+                             const Query& query, const ScanOptions& options,
+                             PartialResult* out) {
   out->total_docs += segment.num_docs();
   out->stats.segments_queried += 1;
 
@@ -619,6 +947,10 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
     if (count_only) {
       const int64_t matched = static_cast<int64_t>(docs.Cardinality());
       for (auto& state : states) state.count = matched;
+    } else if (options.batched_decode && AggsBatchable(bound)) {
+      uint64_t scanned = 0;
+      ExecuteAggBatched(bound, docs, &states, &scanned);
+      out->stats.docs_scanned += scanned;
     } else {
       std::vector<uint32_t> scratch;
       uint64_t scanned = 0;
@@ -657,6 +989,22 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
       gb.default_value = schema.EffectiveDefault(field_index);
     }
     group_columns.push_back(std::move(gb));
+  }
+
+  // Packed-key fast path: single-value group columns whose dict-id bit
+  // widths sum to <= 64 bits skip string keys and the node-based hash map
+  // entirely. Falls back to the string-key path for multi-value columns,
+  // oversized key spaces, and DISTINCTCOUNT.
+  {
+    int total_bits = 0;
+    if (options.batched_decode && options.packed_groupby &&
+        AggsBatchable(bound) &&
+        PackedGroupByEligible(group_columns, &total_bits)) {
+      uint64_t scanned = 0;
+      ExecutePackedGroupBy(bound, group_columns, options, docs, &scanned, out);
+      out->stats.docs_scanned += scanned;
+      return Status::OK();
+    }
   }
 
   LocalGroups local;

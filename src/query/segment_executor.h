@@ -8,6 +8,22 @@
 
 namespace pinot {
 
+/// Tuning knobs for the raw scan path. Defaults enable the batched block
+/// engine; tests and benches disable pieces to compare against the
+/// per-document reference path (the two must produce identical results).
+struct ScanOptions {
+  /// Block-at-a-time decode + aggregation kernels (vs per-doc dictionary
+  /// dispatch).
+  bool batched_decode = true;
+  /// Pack single-value group-by dict ids into a uint64 key with a flat
+  /// open-addressing table when the summed bit widths fit in 64 bits
+  /// (falls back to string keys otherwise).
+  bool packed_groupby = true;
+  /// Use a dense direct-indexed group table when the product of group
+  /// column dictionary sizes is at most this many slots.
+  uint32_t dense_groupby_max_slots = 1u << 20;
+};
+
 /// Executes `query` against one segment and merges the outcome into `out`.
 ///
 /// Per-segment physical planning (paper section 3.3.4): the executor picks,
@@ -21,6 +37,12 @@ namespace pinot {
 ///      selection over the matching documents.
 Status ExecuteQueryOnSegment(const SegmentInterface& segment,
                              const Query& query, PartialResult* out);
+
+/// As above with explicit scan options (the two-argument overload uses the
+/// defaults).
+Status ExecuteQueryOnSegment(const SegmentInterface& segment,
+                             const Query& query, const ScanOptions& options,
+                             PartialResult* out);
 
 /// True when the segment's star-tree can answer the query (exposed for
 /// tests and the Figure 13 bench).

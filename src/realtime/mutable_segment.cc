@@ -23,6 +23,14 @@ class MutableSegment::MutableColumn : public ColumnReader {
   void GetDictIds(uint32_t doc, std::vector<uint32_t>* out) const override {
     *out = mv_ids_[doc];
   }
+  void GetDictIdRange(uint32_t begin, uint32_t count,
+                      uint32_t* out) const override {
+    std::copy_n(sv_ids_.data() + begin, count, out);
+  }
+  void GetDictIdBatch(const uint32_t* docs, uint32_t count,
+                      uint32_t* out) const override {
+    for (uint32_t i = 0; i < count; ++i) out[i] = sv_ids_[docs[i]];
+  }
 
   const InvertedIndex* inverted_index() const override { return nullptr; }
   const SortedIndex* sorted_index() const override { return nullptr; }

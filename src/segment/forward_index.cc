@@ -1,8 +1,52 @@
 #include "segment/forward_index.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace pinot {
+
+namespace {
+
+// Word-at-a-time unpacking for widths that divide 64: values never straddle
+// a word boundary, so each 64-bit word yields exactly 64/kBits values with
+// an unrolled inner loop. `words` must have one pad word past the last
+// value (the FixedBitVector buffer guarantees this).
+template <int kBits>
+void UnpackAligned(const uint64_t* words, uint32_t start, uint32_t count,
+                   uint32_t* out) {
+  constexpr int kPerWord = 64 / kBits;
+  constexpr uint64_t kMask = (uint64_t{1} << kBits) - 1;
+  const uint64_t bit_pos = static_cast<uint64_t>(start) * kBits;
+  uint64_t w = bit_pos >> 6;
+  uint32_t i = 0;
+  const int offset = static_cast<int>(bit_pos & 63);
+  if (offset != 0) {
+    // Leading partial word.
+    uint64_t word = words[w] >> offset;
+    const uint32_t take = std::min<uint32_t>((64 - offset) / kBits, count);
+    for (uint32_t k = 0; k < take; ++k) {
+      out[i++] = static_cast<uint32_t>(word & kMask);
+      word >>= kBits;
+    }
+    ++w;
+  }
+  for (; count - i >= static_cast<uint32_t>(kPerWord); ++w, i += kPerWord) {
+    const uint64_t word = words[w];
+    for (int k = 0; k < kPerWord; ++k) {
+      out[i + k] = static_cast<uint32_t>((word >> (k * kBits)) & kMask);
+    }
+  }
+  if (i < count) {
+    // Trailing partial word.
+    uint64_t word = words[w];
+    for (; i < count; ++i) {
+      out[i] = static_cast<uint32_t>(word & kMask);
+      word >>= kBits;
+    }
+  }
+}
+
+}  // namespace
 
 int FixedBitVector::BitsFor(uint32_t max_value) {
   int bits = 0;
@@ -34,6 +78,52 @@ FixedBitVector::FixedBitVector(const std::vector<uint32_t>& values,
   }
 }
 
+void FixedBitVector::GetBatch(uint32_t start, uint32_t count,
+                              uint32_t* out) const {
+  assert(static_cast<uint64_t>(start) + count <= size_);
+  if (count == 0) return;
+  if (bits_ == 0) {
+    std::fill_n(out, count, 0u);
+    return;
+  }
+  const uint64_t* words = words_.data();
+  switch (bits_) {
+    case 1:
+      UnpackAligned<1>(words, start, count, out);
+      return;
+    case 2:
+      UnpackAligned<2>(words, start, count, out);
+      return;
+    case 4:
+      UnpackAligned<4>(words, start, count, out);
+      return;
+    case 8:
+      UnpackAligned<8>(words, start, count, out);
+      return;
+    case 16:
+      UnpackAligned<16>(words, start, count, out);
+      return;
+    case 32:
+      UnpackAligned<32>(words, start, count, out);
+      return;
+    default:
+      break;
+  }
+  // Generic path: advance the bit cursor instead of recomputing the
+  // position multiply per value; the buffer's pad word makes the
+  // straddling words[w + 1] read safe for the last value.
+  uint64_t bit_pos = static_cast<uint64_t>(start) * bits_;
+  for (uint32_t i = 0; i < count; ++i, bit_pos += bits_) {
+    const uint64_t w = bit_pos >> 6;
+    const int offset = static_cast<int>(bit_pos & 63);
+    uint64_t value = words[w] >> offset;
+    if (offset + bits_ > 64) {
+      value |= words[w + 1] << (64 - offset);
+    }
+    out[i] = static_cast<uint32_t>(value & mask_);
+  }
+}
+
 void FixedBitVector::Serialize(ByteWriter* writer) const {
   writer->WriteU32(size_);
   writer->WriteU32(static_cast<uint32_t>(bits_));
@@ -49,6 +139,16 @@ Result<FixedBitVector> FixedBitVector::Deserialize(ByteReader* reader) {
   v.bits_ = static_cast<int>(bits);
   v.mask_ = v.bits_ == 0 ? 0 : (~uint64_t{0} >> (64 - v.bits_));
   PINOT_ASSIGN_OR_RETURN(uint64_t num_words, reader->ReadU64());
+  // The word count is fully determined by (size, bits): the packing
+  // constructor allocates (size * bits + 63) / 64 words plus one pad word
+  // (none at width 0). Validating it before the resize bounds the
+  // allocation against corrupt or hostile input.
+  const uint64_t total_bits = static_cast<uint64_t>(v.size_) * v.bits_;
+  const uint64_t expected_words =
+      v.bits_ == 0 ? 0 : (total_bits + 63) / 64 + 1;
+  if (num_words != expected_words) {
+    return Status::Corruption("bit vector word count inconsistent with size");
+  }
   v.words_.resize(num_words);
   PINOT_RETURN_NOT_OK(
       reader->ReadRaw(v.words_.data(), num_words * sizeof(uint64_t)));
@@ -107,9 +207,20 @@ Result<ForwardIndex> ForwardIndex::Deserialize(ByteReader* reader) {
   index.single_value_ = sv != 0;
   PINOT_ASSIGN_OR_RETURN(index.num_docs_, reader->ReadU32());
   PINOT_ASSIGN_OR_RETURN(index.values_, FixedBitVector::Deserialize(reader));
-  if (!index.single_value_) {
+  if (index.single_value_) {
+    if (index.values_.size() != index.num_docs_) {
+      return Status::Corruption("forward index value count != num docs");
+    }
+  } else {
     PINOT_ASSIGN_OR_RETURN(index.offsets_,
                            FixedBitVector::Deserialize(reader));
+    if (index.offsets_.size() !=
+        static_cast<uint64_t>(index.num_docs_) + 1) {
+      return Status::Corruption("forward index offset count != num docs + 1");
+    }
+    if (index.offsets_.Get(index.num_docs_) != index.values_.size()) {
+      return Status::Corruption("forward index offsets exceed value count");
+    }
   }
   return index;
 }

@@ -31,6 +31,13 @@ class FixedBitVector {
     return static_cast<uint32_t>(value & mask_);
   }
 
+  /// Bulk decode of `count` consecutive values starting at `start` into
+  /// `out`. Equivalent to calling Get for each index but unpacks a word at
+  /// a time: widths that divide 64 (1/2/4/8/16/32) never straddle a word
+  /// boundary and take an unrolled fast path; other widths take a generic
+  /// shift path that still avoids the per-call position multiply.
+  void GetBatch(uint32_t start, uint32_t count, uint32_t* out) const;
+
   uint32_t size() const { return size_; }
   int bits() const { return bits_; }
   uint64_t SizeInBytes() const { return words_.size() * sizeof(uint64_t); }
@@ -65,6 +72,11 @@ class ForwardIndex {
 
   /// Single-value: dictionary id of `doc`.
   uint32_t Get(uint32_t doc) const { return values_.Get(doc); }
+
+  /// Single-value: bulk decode of docs [start, start + count) into `out`.
+  void GetRangeSingle(uint32_t start, uint32_t count, uint32_t* out) const {
+    values_.GetBatch(start, count, out);
+  }
 
   /// Multi-value: appends the ids of `doc` to `out` (clears it first).
   void GetMulti(uint32_t doc, std::vector<uint32_t>* out) const;

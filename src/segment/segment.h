@@ -45,6 +45,21 @@ class ColumnReader {
   /// Multi-value columns: dictionary ids of `doc` (clears `out`).
   virtual void GetDictIds(uint32_t doc, std::vector<uint32_t>* out) const = 0;
 
+  /// Single-value columns: bulk decode of docs [begin, begin + count) into
+  /// `out`. The default loops over GetDictId; immutable columns override
+  /// with word-at-a-time bit unpacking.
+  virtual void GetDictIdRange(uint32_t begin, uint32_t count,
+                              uint32_t* out) const {
+    for (uint32_t i = 0; i < count; ++i) out[i] = GetDictId(begin + i);
+  }
+
+  /// Single-value columns: gather decode of an explicit doc id list. One
+  /// virtual call per block instead of one per doc.
+  virtual void GetDictIdBatch(const uint32_t* docs, uint32_t count,
+                              uint32_t* out) const {
+    for (uint32_t i = 0; i < count; ++i) out[i] = GetDictId(docs[i]);
+  }
+
   /// Indexes; null when not present on this column.
   virtual const InvertedIndex* inverted_index() const = 0;
   virtual const SortedIndex* sorted_index() const = 0;
@@ -118,6 +133,14 @@ class ImmutableSegment : public SegmentInterface {
     }
     void GetDictIds(uint32_t doc, std::vector<uint32_t>* out) const override {
       forward_.GetMulti(doc, out);
+    }
+    void GetDictIdRange(uint32_t begin, uint32_t count,
+                        uint32_t* out) const override {
+      forward_.GetRangeSingle(begin, count, out);
+    }
+    void GetDictIdBatch(const uint32_t* docs, uint32_t count,
+                        uint32_t* out) const override {
+      for (uint32_t i = 0; i < count; ++i) out[i] = forward_.Get(docs[i]);
     }
 
     const InvertedIndex* inverted_index() const override {

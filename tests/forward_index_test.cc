@@ -1,5 +1,7 @@
 #include "segment/forward_index.h"
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
@@ -61,6 +63,104 @@ TEST(FixedBitVectorTest, SerializeRoundTrip) {
   for (size_t i = 0; i < values.size(); ++i) {
     EXPECT_EQ(restored->Get(static_cast<uint32_t>(i)), values[i]);
   }
+}
+
+TEST(FixedBitVectorTest, GetBatchMatchesGetAcrossWidths) {
+  for (int bits = 0; bits <= 32; ++bits) {
+    const uint32_t max_value =
+        bits == 0 ? 0
+                  : (bits == 32 ? 0xffffffffu : (1u << bits) - 1);
+    Random rng(100 + bits);
+    // Odd element count so batches straddle word boundaries for every
+    // width.
+    const uint32_t n = 777 + static_cast<uint32_t>(bits);
+    std::vector<uint32_t> values;
+    values.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      values.push_back(static_cast<uint32_t>(
+          rng.NextUint64(static_cast<uint64_t>(max_value) + 1)));
+    }
+    FixedBitVector v(values, max_value);
+    std::vector<uint32_t> out(n, 0xdeadbeef);
+
+    // Full decode.
+    v.GetBatch(0, n, out.data());
+    for (uint32_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], values[i]) << "bits=" << bits << " i=" << i;
+    }
+
+    // Random (start, count) windows, including odd offsets and zero-length
+    // batches.
+    for (int t = 0; t < 64; ++t) {
+      const uint32_t start = static_cast<uint32_t>(rng.NextUint64(n + 1));
+      const uint32_t count =
+          static_cast<uint32_t>(rng.NextUint64(n - start + 1));
+      std::fill(out.begin(), out.end(), 0xdeadbeef);
+      v.GetBatch(start, count, out.data());
+      for (uint32_t i = 0; i < count; ++i) {
+        ASSERT_EQ(out[i], v.Get(start + i))
+            << "bits=" << bits << " start=" << start << " count=" << count
+            << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(FixedBitVectorTest, DeserializeRejectsWordCountMismatch) {
+  FixedBitVector v({1, 2, 3, 4, 5}, 5);
+  ByteWriter writer;
+  v.Serialize(&writer);
+  // Layout: u32 size, u32 bits, u64 num_words, raw words. Inflate the word
+  // count field.
+  std::string corrupt = writer.buffer();
+  uint64_t bogus_words = 12345;
+  std::memcpy(corrupt.data() + 8, &bogus_words, sizeof(bogus_words));
+  ByteReader reader(corrupt);
+  auto restored = FixedBitVector::Deserialize(&reader);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FixedBitVectorTest, DeserializeRejectsHugeWordCountWithoutAllocating) {
+  // A hand-built header claiming 2^60 words must be rejected up front
+  // (validation happens before the resize).
+  ByteWriter writer;
+  writer.WriteU32(4);                    // size
+  writer.WriteU32(8);                    // bits
+  writer.WriteU64(uint64_t{1} << 60);    // num_words
+  ByteReader reader(writer.buffer());
+  auto restored = FixedBitVector::Deserialize(&reader);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ForwardIndexTest, GetRangeSingleMatchesGet) {
+  Random rng(7);
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(static_cast<uint32_t>(rng.NextUint64(300)));
+  }
+  ForwardIndex index = ForwardIndex::BuildSingle(ids, 300);
+  std::vector<uint32_t> out(1000);
+  index.GetRangeSingle(123, 500, out.data());
+  for (uint32_t i = 0; i < 500; ++i) {
+    ASSERT_EQ(out[i], index.Get(123 + i));
+  }
+}
+
+TEST(ForwardIndexTest, DeserializeRejectsDocCountMismatch) {
+  ForwardIndex index = ForwardIndex::BuildSingle({2, 0, 1, 2}, 3);
+  ByteWriter writer;
+  index.Serialize(&writer);
+  // Layout: u8 single_value, u32 num_docs, values. Claim more docs than
+  // the packed vector holds.
+  std::string corrupt = writer.buffer();
+  uint32_t bogus_docs = 400;
+  std::memcpy(corrupt.data() + 1, &bogus_docs, sizeof(bogus_docs));
+  ByteReader reader(corrupt);
+  auto restored = ForwardIndex::Deserialize(&reader);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
 }
 
 TEST(ForwardIndexTest, SingleValue) {

@@ -1,5 +1,8 @@
+#include <map>
+
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "query/segment_executor.h"
 #include "tests/test_util.h"
 
@@ -305,6 +308,127 @@ TEST_P(IndexEquivalenceTest, AllIndexConfigurationsAgree) {
 
 INSTANTIATE_TEST_SUITE_P(IndexConfigs, IndexEquivalenceTest,
                          ::testing::Values(0, 1, 2, 3));
+
+// --- Batched scan path equivalence -----------------------------------------
+//
+// The block-decode aggregation kernels and packed group-by keys must be
+// indistinguishable from the per-document reference path.
+
+QueryResult RunWithOptions(const std::shared_ptr<SegmentInterface>& segment,
+                           const std::string& pql,
+                           const ScanOptions& options) {
+  auto query = ParsePql(pql);
+  EXPECT_TRUE(query.ok()) << pql << ": " << query.status().ToString();
+  PartialResult partial;
+  Status st = ExecuteQueryOnSegment(*segment, *query, options, &partial);
+  EXPECT_TRUE(st.ok()) << pql << ": " << st.ToString();
+  return ReduceToFinalResult(*query, std::move(partial));
+}
+
+// Canonical group-key -> finalized-values map, so comparisons are
+// insensitive to tie-breaking in the TOP sort.
+std::map<std::string, std::string> GroupRowsByKey(const QueryResult& r) {
+  std::map<std::string, std::string> out;
+  for (const auto& row : r.group_rows) {
+    std::string key;
+    for (const auto& k : row.keys) key += ValueToString(k) + "|";
+    std::string vals;
+    for (const auto& v : row.values) vals += ValueToString(v) + "|";
+    out[key] = vals;
+  }
+  return out;
+}
+
+void ExpectSameResults(const QueryResult& a, const QueryResult& b,
+                       const std::string& pql, const char* variant) {
+  ASSERT_EQ(a.aggregates.size(), b.aggregates.size()) << pql;
+  for (size_t i = 0; i < a.aggregates.size(); ++i) {
+    EXPECT_EQ(ValueToString(a.aggregates[i]), ValueToString(b.aggregates[i]))
+        << pql << " [" << variant << "]";
+  }
+  EXPECT_EQ(GroupRowsByKey(a), GroupRowsByKey(b))
+      << pql << " [" << variant << "]";
+  EXPECT_EQ(a.stats.docs_scanned, b.stats.docs_scanned)
+      << pql << " [" << variant << "]";
+}
+
+std::shared_ptr<ImmutableSegment> BuildLargeRandomSegment() {
+  const std::vector<std::string> countries = {"us", "ca", "de", "fr", "jp",
+                                              "br", "in", "uk"};
+  const std::vector<std::string> browsers = {"firefox", "chrome", "safari",
+                                             "edge"};
+  const std::vector<std::string> tag_pool = {"a", "b", "c", "d", "e"};
+  Random rng(20260805);
+  std::vector<test::AnalyticsRow> rows;
+  for (int i = 0; i < 3000; ++i) {
+    test::AnalyticsRow r;
+    r.country = countries[rng.NextUint64(countries.size())];
+    r.browser = browsers[rng.NextUint64(browsers.size())];
+    r.member_id = static_cast<int64_t>(rng.NextUint64(500));
+    const uint64_t num_tags = rng.NextUint64(4);
+    for (uint64_t t = 0; t < num_tags; ++t) {
+      r.tags.push_back(tag_pool[rng.NextUint64(tag_pool.size())]);
+    }
+    r.impressions = static_cast<int64_t>(rng.NextUint64(10000));
+    r.clicks = static_cast<int64_t>(rng.NextUint64(100));
+    r.day = 100 + static_cast<int64_t>(rng.NextUint64(30));
+    rows.push_back(std::move(r));
+  }
+  return BuildAnalyticsSegment({}, std::move(rows));
+}
+
+TEST(BatchedScanEquivalenceTest, BatchedPathsMatchPerDocReference) {
+  const std::vector<std::shared_ptr<SegmentInterface>> segments = {
+      BuildAnalyticsSegment(), BuildLargeRandomSegment()};
+  const std::vector<std::string> queries = {
+      // Range-like doc sets (no filter / sorted-range).
+      "SELECT sum(impressions), min(impressions), max(impressions), "
+      "avg(clicks) FROM t",
+      "SELECT sum(impressions) FROM t WHERE day BETWEEN 101 AND 110",
+      // Bitmap doc sets.
+      "SELECT sum(impressions), avg(impressions) FROM t WHERE browser = "
+      "'firefox' OR browser = 'safari'",
+      "SELECT min(clicks), max(clicks) FROM t WHERE country IN ('us', 'de') "
+      "AND day >= 101",
+      // Group-bys: single column, multi column, high-cardinality column,
+      // and filtered variants.
+      "SELECT sum(impressions) FROM t GROUP BY country TOP 1000",
+      "SELECT count(*), sum(impressions), min(impressions), "
+      "max(impressions), avg(clicks) FROM t GROUP BY country, browser TOP "
+      "1000",
+      "SELECT sum(impressions) FROM t WHERE browser = 'firefox' GROUP BY "
+      "country, day TOP 1000",
+      "SELECT count(*) FROM t GROUP BY memberId, country TOP 10000",
+      // Multi-value group column: must fall back to string keys and still
+      // agree (exploded combinations).
+      "SELECT count(*), sum(impressions) FROM t GROUP BY tags TOP 1000",
+      "SELECT count(*) FROM t GROUP BY country, tags TOP 1000",
+      // DISTINCTCOUNT stays on the reference path in every configuration.
+      "SELECT distinctcount(browser) FROM t WHERE country = 'us' GROUP BY "
+      "country TOP 1000",
+  };
+
+  ScanOptions reference;
+  reference.batched_decode = false;
+  reference.packed_groupby = false;
+  ScanOptions batched_dense;  // Defaults: packed keys, dense table allowed.
+  ScanOptions batched_open;
+  batched_open.dense_groupby_max_slots = 0;  // Force open addressing.
+  ScanOptions batched_string_keys;
+  batched_string_keys.packed_groupby = false;
+
+  for (const auto& segment : segments) {
+    for (const auto& pql : queries) {
+      const QueryResult expected = RunWithOptions(segment, pql, reference);
+      ExpectSameResults(RunWithOptions(segment, pql, batched_dense), expected,
+                        pql, "dense packed keys");
+      ExpectSameResults(RunWithOptions(segment, pql, batched_open), expected,
+                        pql, "open-addressing packed keys");
+      ExpectSameResults(RunWithOptions(segment, pql, batched_string_keys),
+                        expected, pql, "batched decode, string keys");
+    }
+  }
+}
 
 }  // namespace
 }  // namespace pinot
