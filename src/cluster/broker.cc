@@ -1,6 +1,11 @@
 #include "cluster/broker.h"
 
+#include <cctype>
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
+#include <optional>
+#include <set>
 
 #include "cluster/property_store.h"
 #include "common/hash.h"
@@ -171,8 +176,29 @@ RoutingTable Broker::BuildPartitionAwareTable(const TableRouting& routing,
   return table;
 }
 
+namespace {
+
+// Whole-call failures worth retrying on another replica: the server was
+// unreachable, died mid-request, or ran out of time. Anything else (e.g. a
+// routing race reported as NotFound) carries data plus a per-segment
+// status and is merged as-is.
+bool IsRetryableScatterFailure(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout;
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+             .count() /
+         1000.0;
+}
+
+}  // namespace
+
 void Broker::QueryPhysicalTable(const std::string& physical_table,
-                                const Query& query, PartialResult* merged) {
+                                const Query& query,
+                                std::chrono::steady_clock::time_point deadline,
+                                PartialResult* merged, QueryTrace* trace) {
   std::shared_ptr<TableRouting> routing = GetRouting(physical_table);
   if (routing->segment_servers.empty()) {
     return;  // Table has no queryable segments (not an error).
@@ -192,49 +218,154 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
         routing->routing_tables.size())];
   }
 
-  // Scatter (step 3).
   struct ScatterCall {
     std::string server;
+    std::vector<std::string> segments;
     PartialResult result;
     std::future<void> done;
+    std::chrono::steady_clock::time_point started;
   };
-  std::vector<std::shared_ptr<ScatterCall>> calls;
-  for (auto& [server, segments] : table.server_segments) {
-    QueryServerApi* endpoint = ctx_.server_endpoint
-                                   ? ctx_.server_endpoint(server)
-                                   : nullptr;
-    if (endpoint == nullptr || !ctx_.cluster->IsInstanceAlive(server)) {
-      merged->status = Status::Unavailable("server unreachable: " + server);
-      continue;
+
+  // Scatter/gather with bounded replica failover: each wave scatters the
+  // still-unanswered segments, waits for its slice of the remaining
+  // deadline budget, and re-routes the segments of failed calls to a
+  // replica that has not failed them yet. Segments whose call answered are
+  // merged exactly once — a retried call's original result is discarded
+  // wholesale, never merged alongside its replacement.
+  std::map<std::string, std::vector<std::string>> assignment =
+      std::move(table.server_segments);
+  std::map<std::string, std::set<std::string>> tried_servers;
+  std::vector<std::string> dead_segments;  // Replicas/retries exhausted.
+  const int max_attempts = std::max(1, options_.max_scatter_retries + 1);
+
+  for (int attempt = 0; attempt < max_attempts && !assignment.empty();
+       ++attempt) {
+    std::vector<std::string> failed_segments;
+    auto record_failure = [&](const std::string& server,
+                              const std::vector<std::string>& segments,
+                              double latency_millis, std::string outcome) {
+      ScatterTraceEvent event;
+      event.physical_table = physical_table;
+      event.server = server;
+      event.segments = segments;
+      event.attempt = attempt;
+      event.latency_millis = latency_millis;
+      event.outcome = std::move(outcome);
+      trace->events.push_back(std::move(event));
+      for (const auto& segment : segments) {
+        tried_servers[segment].insert(server);
+        failed_segments.push_back(segment);
+      }
+    };
+
+    // Scatter (step 3). Dead or unknown servers fail immediately and their
+    // segments join this wave's retry set.
+    std::vector<std::shared_ptr<ScatterCall>> calls;
+    const int64_t remaining_millis = std::max<int64_t>(
+        1, std::chrono::duration_cast<std::chrono::milliseconds>(
+               deadline - std::chrono::steady_clock::now())
+               .count());
+    for (auto& [server, segments] : assignment) {
+      QueryServerApi* endpoint = ctx_.server_endpoint
+                                     ? ctx_.server_endpoint(server)
+                                     : nullptr;
+      if (endpoint == nullptr || !ctx_.cluster->IsInstanceReachable(server)) {
+        record_failure(server, segments, 0, "unreachable");
+        continue;
+      }
+      auto call = std::make_shared<ScatterCall>();
+      call->server = server;
+      call->segments = segments;
+      ServerQueryRequest request;
+      request.physical_table = physical_table;
+      request.query = query;
+      request.segments = segments;
+      request.tenant = routing->config_loaded
+                           ? routing->config.server_tenant
+                           : std::string();
+      request.timeout_millis = remaining_millis;
+      call->started = std::chrono::steady_clock::now();
+      call->done = pool_.Submit([call, endpoint, request = std::move(request)] {
+        call->result = endpoint->ExecuteServerQuery(request);
+      });
+      calls.push_back(std::move(call));
     }
-    auto call = std::make_shared<ScatterCall>();
-    call->server = server;
-    ServerQueryRequest request;
-    request.physical_table = physical_table;
-    request.query = query;
-    request.segments = segments;
-    request.tenant = routing->config_loaded
-                         ? routing->config.server_tenant
-                         : std::string();
-    request.timeout_millis = options_.default_timeout_millis;
-    call->done = pool_.Submit([call, endpoint, request = std::move(request)] {
-      call->result = endpoint->ExecuteServerQuery(request);
-    });
-    calls.push_back(std::move(call));
+
+    // Gather (steps 6-7). Every wave but the last waits only for its share
+    // of the remaining budget so failed segments still have time to retry;
+    // the last wave runs to the query deadline. Timed-out calls are
+    // abandoned (the worker lambda keeps the call alive via shared
+    // ownership) and never merged, even if they complete later.
+    auto attempt_deadline = deadline;
+    const auto now = std::chrono::steady_clock::now();
+    if (attempt + 1 < max_attempts && deadline > now) {
+      attempt_deadline = now + (deadline - now) / (max_attempts - attempt);
+    }
+    for (auto& call : calls) {
+      if (call->done.wait_until(attempt_deadline) ==
+          std::future_status::ready) {
+        const double latency = MillisSince(call->started);
+        const Status& st = call->result.status;
+        if (st.ok() || !IsRetryableScatterFailure(st.code())) {
+          ScatterTraceEvent event;
+          event.physical_table = physical_table;
+          event.server = call->server;
+          event.segments = std::move(call->segments);
+          event.attempt = attempt;
+          event.latency_millis = latency;
+          event.outcome = st.ok() ? "ok" : "error: " + st.ToString();
+          trace->events.push_back(std::move(event));
+          merged->Merge(std::move(call->result));
+        } else {
+          record_failure(call->server, call->segments, latency,
+                         "failed: " + st.ToString());
+        }
+      } else {
+        ++trace->timeouts;
+        record_failure(call->server, call->segments,
+                       MillisSince(call->started), "timeout");
+      }
+    }
+
+    // Re-route failed segments to untried live replicas (next wave).
+    assignment.clear();
+    if (failed_segments.empty()) break;
+    if (attempt + 1 >= max_attempts) {
+      dead_segments.insert(dead_segments.end(), failed_segments.begin(),
+                           failed_segments.end());
+      break;
+    }
+    for (const auto& segment : failed_segments) {
+      auto servers_it = routing->segment_servers.find(segment);
+      std::string replica;
+      if (servers_it != routing->segment_servers.end()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        replica = PickReplica(
+            servers_it->second, tried_servers[segment],
+            [this](const std::string& s) {
+              return ctx_.cluster->IsInstanceReachable(s);
+            },
+            &rng_);
+      }
+      if (replica.empty()) {
+        dead_segments.push_back(segment);
+      } else {
+        ++trace->retries;
+        assignment[replica].push_back(segment);
+      }
+    }
   }
 
-  // Gather (steps 6-7) with a deadline; timeouts flag the result partial.
-  // Timed-out calls are abandoned (the worker lambda keeps the call alive
-  // via shared ownership).
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(
-                            options_.default_timeout_millis);
-  for (auto& call : calls) {
-    if (call->done.wait_until(deadline) == std::future_status::ready) {
-      merged->Merge(std::move(call->result));
-    } else {
-      merged->status =
-          Status::Timeout("server timed out: " + call->server);
+  if (!dead_segments.empty()) {
+    std::sort(dead_segments.begin(), dead_segments.end());
+    dead_segments.erase(
+        std::unique(dead_segments.begin(), dead_segments.end()),
+        dead_segments.end());
+    std::string message = "no live replica answered segments:";
+    for (const auto& segment : dead_segments) message += " " + segment;
+    message += " (table " + physical_table + ")";
+    if (merged->status.ok()) {
+      merged->status = Status::Unavailable(std::move(message));
     }
   }
 }
@@ -250,9 +381,34 @@ QueryResult Broker::Execute(const std::string& pql) {
   return ExecuteQuery(*query);
 }
 
+namespace {
+
+// Defensive parse of the time-boundary property. A corrupt value (empty,
+// non-numeric, trailing garbage, out of range) must not take the broker
+// down — this path used to throw out of std::stoll on garbage znodes.
+std::optional<int64_t> ParseTimeBoundary(const std::string& raw) {
+  if (raw.empty()) return std::nullopt;
+  // strtoll silently skips leading whitespace; treat it as corruption.
+  if (std::isspace(static_cast<unsigned char>(raw.front()))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw.c_str(), &end, 10);
+  if (errno == ERANGE || end != raw.c_str() + raw.size()) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+}  // namespace
+
 QueryResult Broker::ExecuteQuery(const Query& query) {
   const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::milliseconds(options_.default_timeout_millis);
   PartialResult merged;
+  QueryTrace trace;
 
   // Resolve the logical table into physical tables. A name that is already
   // physical is used as-is.
@@ -284,18 +440,26 @@ QueryResult Broker::ExecuteQuery(const Query& query) {
         auto config = TableConfig::Deserialize(&reader);
         if (config.ok()) time_column = config->schema.time_column();
       }
-      if (boundary_str.ok() && !time_column.empty()) {
-        const int64_t boundary = std::stoll(*boundary_str);
+      std::optional<int64_t> boundary;
+      if (boundary_str.ok()) {
+        boundary = ParseTimeBoundary(*boundary_str);
+        if (!boundary.has_value()) {
+          PINOT_LOG_WARN << id_ << ": corrupt time boundary for "
+                         << query.table << " (\"" << *boundary_str
+                         << "\"); falling back to unfiltered hybrid plan";
+        }
+      }
+      if (boundary.has_value() && !time_column.empty()) {
         auto with_time_filter = [&](const Query& base, bool offline_side) {
           Query q = base;
           Predicate pred;
           pred.column = time_column;
           pred.op = PredicateOp::kRange;
           if (offline_side) {
-            pred.upper = boundary - 1;
+            pred.upper = *boundary - 1;
             pred.upper_inclusive = true;
           } else {
-            pred.lower = boundary;
+            pred.lower = *boundary;
             pred.lower_inclusive = true;
           }
           FilterNode leaf = FilterNode::Leaf(std::move(pred));
@@ -325,10 +489,11 @@ QueryResult Broker::ExecuteQuery(const Query& query) {
   }
 
   for (const auto& [physical, subquery] : plans) {
-    QueryPhysicalTable(physical, subquery, &merged);
+    QueryPhysicalTable(physical, subquery, deadline, &merged, &trace);
   }
 
   QueryResult result = ReduceToFinalResult(query, std::move(merged));
+  result.trace = std::move(trace);
   result.latency_millis =
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)

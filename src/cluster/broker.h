@@ -1,6 +1,7 @@
 #ifndef PINOT_CLUSTER_BROKER_H_
 #define PINOT_CLUSTER_BROKER_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -21,8 +22,11 @@ namespace pinot {
 /// A Pinot broker (paper sections 3.2-3.3): parses queries, rewrites
 /// hybrid-table queries around the time boundary (Figure 6), picks a
 /// routing table at random, scatters sub-queries to servers, gathers and
-/// merges partial results, and flags the response partial on errors or
-/// timeouts. Routing tables are rebuilt whenever the external view changes
+/// merges partial results. Calls that fail or time out are retried on
+/// other live replicas of the affected segments within the query's
+/// deadline budget; only when no replica answers is the response flagged
+/// partial, with an execution trace saying which servers and segments
+/// failed. Routing tables are rebuilt whenever the external view changes
 /// (section 3.3.2).
 class Broker {
  public:
@@ -33,6 +37,10 @@ class Broker {
     // Number of precomputed tables for the balanced strategy (queries pick
     // one at random).
     int balanced_tables = 3;
+    // Maximum replica-retry waves after the initial scatter. Each wave
+    // re-routes the segments of failed/timed-out calls to untried live
+    // replicas; all waves share the query's deadline budget.
+    int max_scatter_retries = 2;
   };
 
   Broker(std::string id, ClusterContext ctx, Options options);
@@ -65,8 +73,12 @@ class Broker {
   };
 
   /// Runs one physical table's scatter/gather and merges into `merged`.
+  /// Failed or timed-out calls are retried on other live replicas within
+  /// `deadline`; every call is recorded in `trace`.
   void QueryPhysicalTable(const std::string& physical_table,
-                          const Query& query, PartialResult* merged);
+                          const Query& query,
+                          std::chrono::steady_clock::time_point deadline,
+                          PartialResult* merged, QueryTrace* trace);
 
   /// Builds the per-query routing for a partition-aware table.
   RoutingTable BuildPartitionAwareTable(const TableRouting& routing,

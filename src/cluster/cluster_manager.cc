@@ -28,6 +28,20 @@ void ClusterManager::RegisterInstance(const std::string& instance,
   info.tags = tags;
   info.handler = handler;
   info.alive = true;
+  info.reachable = true;
+}
+
+void ClusterManager::SetInstanceReachable(const std::string& instance,
+                                          bool reachable) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = instances_.find(instance);
+  if (it != instances_.end()) it->second.reachable = reachable;
+}
+
+bool ClusterManager::IsInstanceReachable(const std::string& instance) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = instances_.find(instance);
+  return it != instances_.end() && it->second.alive && it->second.reachable;
 }
 
 bool ClusterManager::IsInstanceAlive(const std::string& instance) const {

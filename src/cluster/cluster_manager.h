@@ -68,6 +68,15 @@ class ClusterManager {
   void SetInstanceAlive(const std::string& instance, bool alive);
   bool IsInstanceAlive(const std::string& instance) const;
 
+  /// Simulates a network partition: the instance stays registered and its
+  /// segments remain in every external view (no watcher fires, so brokers
+  /// keep routing to it), but calls to it fail. Unlike SetInstanceAlive
+  /// this exercises the *in-flight* failure path rather than the
+  /// routing-rebuild path.
+  void SetInstanceReachable(const std::string& instance, bool reachable);
+  /// Alive and not partitioned: safe to send a query to.
+  bool IsInstanceReachable(const std::string& instance) const;
+
   std::vector<std::string> GetInstancesWithTag(const std::string& tag) const;
   std::vector<std::string> GetAliveInstancesWithTag(
       const std::string& tag) const;
@@ -116,6 +125,7 @@ class ClusterManager {
     std::vector<std::string> tags;
     StateTransitionHandler* handler = nullptr;
     bool alive = true;
+    bool reachable = true;  // False simulates a network partition.
   };
   struct Controller {
     std::string id;

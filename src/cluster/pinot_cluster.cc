@@ -88,6 +88,14 @@ void PinotCluster::ReviveServer(int i) {
   cluster_.SetInstanceAlive(servers_[i]->id(), true);
 }
 
+void PinotCluster::PartitionServer(int i) {
+  cluster_.SetInstanceReachable(servers_[i]->id(), false);
+}
+
+void PinotCluster::HealServer(int i) {
+  cluster_.SetInstanceReachable(servers_[i]->id(), true);
+}
+
 void PinotCluster::KillController(int i) {
   cluster_.SetInstanceAlive(controllers_[i]->id(), false);
 }

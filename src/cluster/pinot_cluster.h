@@ -85,6 +85,13 @@ class PinotCluster {
   void KillController(int i);
   void ReviveController(int i);
 
+  /// Network-partitions a server: it stays in every external view (brokers
+  /// keep routing to it) but scatter calls to it fail, forcing the broker's
+  /// in-flight replica failover. Per-request fail/delay/drop injection
+  /// lives on Server itself (`server(i)->InjectQueryFailures(...)` etc).
+  void PartitionServer(int i);
+  void HealServer(int i);
+
  private:
   ClusterManager cluster_;
   PropertyStore property_store_;

@@ -36,9 +36,61 @@ Result<TableConfig> Server::LoadTableConfig(
   return TableConfig::Deserialize(&reader);
 }
 
+void Server::InjectQueryFailures(int n) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  fault_fail_requests_ = n;
+}
+
+void Server::InjectQueryDelay(int n, int64_t millis) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  fault_delay_requests_ = n;
+  fault_delay_millis_ = millis;
+}
+
+void Server::SetQueryDropFraction(double fraction) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  fault_drop_fraction_ = fraction;
+}
+
 PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
   PartialResult result;
   const auto start = std::chrono::steady_clock::now();
+
+  // Injected faults are consumed before any real work so the broker's
+  // failover path can be driven deterministically.
+  {
+    bool fail = false;
+    bool drop = false;
+    int64_t delay_millis = 0;
+    {
+      std::lock_guard<std::mutex> lock(fault_mutex_);
+      if (fault_fail_requests_ > 0) {
+        --fault_fail_requests_;
+        fail = true;
+      } else if (fault_delay_requests_ > 0) {
+        --fault_delay_requests_;
+        delay_millis = fault_delay_millis_;
+      } else if (fault_drop_fraction_ > 0 &&
+                 fault_rng_.NextDouble() < fault_drop_fraction_) {
+        drop = true;
+      }
+    }
+    if (fail) {
+      result.status = Status::Unavailable("injected failure on " + id_);
+      return result;
+    }
+    if (drop) {
+      // A dropped response only manifests at the caller as a deadline
+      // expiry; sleep past the request deadline before answering.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(request.timeout_millis + 50));
+      result.status = Status::Timeout("injected drop on " + id_);
+      return result;
+    }
+    if (delay_millis > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_millis));
+    }
+  }
 
   // Tenant admission (paper section 4.5): queries for an exhausted tenant
   // queue until tokens accrue or the request deadline passes.

@@ -10,6 +10,7 @@
 #include "cluster/cluster_context.h"
 #include "cluster/cluster_manager.h"
 #include "cluster/table_config.h"
+#include "common/random.h"
 #include "common/thread_pool.h"
 #include "realtime/mutable_segment.h"
 #include "segment/segment.h"
@@ -74,6 +75,19 @@ class Server : public StateTransitionHandler, public QueryServerApi {
     options_.artificial_latency_micros = micros;
   }
 
+  // --- Fault injection --------------------------------------------------------
+  // Deterministic failure knobs for resilience tests: faults are consumed
+  // in order (fail, then delay, then drop) before any real query work.
+
+  /// Fails the next `n` scatter requests with Unavailable, as a server
+  /// crashing mid-request looks to the broker.
+  void InjectQueryFailures(int n);
+  /// Delays the next `n` scatter requests by `millis` before executing.
+  void InjectQueryDelay(int n, int64_t millis);
+  /// Drops `fraction` [0,1] of scatter requests: the response is withheld
+  /// past the request deadline, so the broker observes a timeout.
+  void SetQueryDropFraction(double fraction);
+
  private:
   // One replica of a consuming segment (paper section 3.3.6).
   struct ConsumingState {
@@ -105,6 +119,15 @@ class Server : public StateTransitionHandler, public QueryServerApi {
   Options options_;
   ThreadPool pool_;
   TenantQuotaManager quota_;
+
+  // Fault-injection state; separate lock so faults never interact with the
+  // segment/ingestion mutex.
+  mutable std::mutex fault_mutex_;
+  int fault_fail_requests_ = 0;
+  int fault_delay_requests_ = 0;
+  int64_t fault_delay_millis_ = 0;
+  double fault_drop_fraction_ = 0;
+  Random fault_rng_{0x5eed};
 
   mutable std::mutex mutex_;
   // table -> segment -> queryable view.

@@ -1,6 +1,7 @@
 #include "query/result.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 namespace pinot {
@@ -8,8 +9,12 @@ namespace pinot {
 std::string EncodeGroupKey(const std::vector<Value>& keys) {
   std::string out;
   for (const auto& key : keys) {
-    out += ValueToString(key);
-    out += '\x1f';  // Unit separator; cannot appear in rendered numbers.
+    const std::string rendered = ValueToString(key);
+    const uint32_t size = static_cast<uint32_t>(rendered.size());
+    char prefix[sizeof(size)];
+    std::memcpy(prefix, &size, sizeof(size));
+    out.append(prefix, sizeof(size));
+    out += rendered;
   }
   return out;
 }
@@ -22,8 +27,20 @@ void PartialResult::Merge(PartialResult&& other) {
   if (aggregates.empty()) {
     aggregates = std::move(other.aggregates);
   } else if (!other.aggregates.empty()) {
-    for (size_t i = 0; i < aggregates.size(); ++i) {
-      aggregates[i].Merge(std::move(other.aggregates[i]));
+    if (aggregates.size() != other.aggregates.size()) {
+      // A peer running an older table config can disagree on the aggregate
+      // count; merging would index past the end. Keep our side and flag
+      // the result partial.
+      if (status.ok()) {
+        status = Status::FailedPrecondition(
+            "aggregate count mismatch across partial results (" +
+            std::to_string(aggregates.size()) + " vs " +
+            std::to_string(other.aggregates.size()) + ")");
+      }
+    } else {
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        aggregates[i].Merge(std::move(other.aggregates[i]));
+      }
     }
   }
 
@@ -31,6 +48,13 @@ void PartialResult::Merge(PartialResult&& other) {
     auto it = groups.find(key);
     if (it == groups.end()) {
       groups.emplace(key, std::move(entry));
+    } else if (it->second.states.size() != entry.states.size()) {
+      if (status.ok()) {
+        status = Status::FailedPrecondition(
+            "group state count mismatch across partial results (" +
+            std::to_string(it->second.states.size()) + " vs " +
+            std::to_string(entry.states.size()) + ")");
+      }
     } else {
       for (size_t i = 0; i < it->second.states.size(); ++i) {
         it->second.states[i].Merge(std::move(entry.states[i]));
@@ -86,6 +110,13 @@ QueryResult ReduceToFinalResult(const Query& query, PartialResult&& partial) {
     }
     if (!query.HasGroupBy()) {
       if (partial.aggregates.empty()) {
+        // No data (e.g. an empty table): render zero-valued aggregates.
+        partial.aggregates.resize(query.aggregations.size());
+      } else if (partial.aggregates.size() != query.aggregations.size()) {
+        if (!result.partial) {
+          result.partial = true;
+          result.error_message = "aggregate count mismatch in merged result";
+        }
         partial.aggregates.resize(query.aggregations.size());
       }
       for (size_t i = 0; i < query.aggregations.size(); ++i) {
@@ -95,9 +126,21 @@ QueryResult ReduceToFinalResult(const Query& query, PartialResult&& partial) {
     } else {
       result.group_by_columns = query.group_by;
       // Order groups descending by the first aggregation and keep TOP n.
+      // Entries whose state count disagrees with the query (mismatched
+      // peers) cannot be finalized; skip them rather than index past the
+      // end.
       std::vector<PartialResult::GroupEntry*> entries;
       entries.reserve(partial.groups.size());
-      for (auto& [key, entry] : partial.groups) entries.push_back(&entry);
+      for (auto& [key, entry] : partial.groups) {
+        if (entry.states.size() != query.aggregations.size()) {
+          if (!result.partial) {
+            result.partial = true;
+            result.error_message = "group state count mismatch in merged result";
+          }
+          continue;
+        }
+        entries.push_back(&entry);
+      }
       const AggregationType first_type = query.aggregations[0].type;
       std::sort(entries.begin(), entries.end(),
                 [first_type](const PartialResult::GroupEntry* a,
@@ -122,22 +165,31 @@ QueryResult ReduceToFinalResult(const Query& query, PartialResult&& partial) {
     result.selection_columns = query.selection_columns;
     auto& rows = partial.selection_rows;
     if (!query.order_by.empty()) {
-      // Map order-by columns to selection indexes.
+      // Map order-by columns to selection indexes. An unresolvable column
+      // is a query error: trimming unsorted rows to `limit` would silently
+      // return arbitrary rows as if they were the top-k.
       std::vector<std::pair<int, bool>> order;
       for (const auto& [column, desc] : query.order_by) {
+        int index = -1;
         for (size_t i = 0; i < query.selection_columns.size(); ++i) {
           if (query.selection_columns[i] == column) {
-            order.emplace_back(static_cast<int>(i), desc);
+            index = static_cast<int>(i);
             break;
           }
         }
+        if (index < 0) {
+          result.partial = true;
+          if (!result.error_message.empty()) result.error_message += "; ";
+          result.error_message +=
+              "ORDER BY column not in selection list: " + column;
+          return result;
+        }
+        order.emplace_back(index, desc);
       }
-      if (!order.empty()) {
-        RowComparator cmp{&order};
-        const size_t keep = std::min<size_t>(
-            rows.size(), static_cast<size_t>(query.limit));
-        std::partial_sort(rows.begin(), rows.begin() + keep, rows.end(), cmp);
-      }
+      RowComparator cmp{&order};
+      const size_t keep =
+          std::min<size_t>(rows.size(), static_cast<size_t>(query.limit));
+      std::partial_sort(rows.begin(), rows.begin() + keep, rows.end(), cmp);
     }
     if (rows.size() > static_cast<size_t>(query.limit)) {
       rows.resize(query.limit);
@@ -145,6 +197,19 @@ QueryResult ReduceToFinalResult(const Query& query, PartialResult&& partial) {
     result.selection_rows = std::move(rows);
   }
   return result;
+}
+
+std::string QueryTrace::ToString() const {
+  std::ostringstream os;
+  os << "trace: " << events.size() << " scatter calls, " << retries
+     << " retries, " << timeouts << " timeouts\n";
+  for (const auto& event : events) {
+    os << "  [" << event.attempt << "] " << event.physical_table << " -> "
+       << event.server << " (" << event.segments.size() << " segments:";
+    for (const auto& segment : event.segments) os << " " << segment;
+    os << ") " << event.outcome << " " << event.latency_millis << "ms\n";
+  }
+  return os.str();
 }
 
 std::string QueryResult::ToString() const {

@@ -64,8 +64,35 @@ struct PartialResult {
 };
 
 /// Encodes group-key values into a hashable string key (values from
-/// different segments hash identically, unlike dictionary ids).
+/// different segments hash identically, unlike dictionary ids). Each value
+/// is length-prefixed: string values can contain any byte, so a separator
+/// scheme cannot distinguish ("a\x1f", "b") from ("a", "\x1fb").
 std::string EncodeGroupKey(const std::vector<Value>& keys);
+
+/// One scatter call from the broker to one server, as observed by the
+/// broker: which segments it covered, which retry wave it belonged to, how
+/// long it took, and how it ended. Partial results carry these so clients
+/// can see *why* data is missing (paper section 3.3.3 step 7).
+struct ScatterTraceEvent {
+  std::string physical_table;
+  std::string server;
+  std::vector<std::string> segments;
+  int attempt = 0;            // 0 = first scatter wave, >0 = retry waves.
+  double latency_millis = 0;  // Submit-to-gather time (0 if never sent).
+  // "ok", "unreachable", "timeout", "failed: <status>", "error: <status>".
+  std::string outcome;
+};
+
+/// Per-query execution trace accumulated broker-side across all physical
+/// tables and scatter attempts.
+struct QueryTrace {
+  std::vector<ScatterTraceEvent> events;
+  int retries = 0;   // Segments re-scattered to another replica.
+  int timeouts = 0;  // Calls abandoned at an attempt deadline.
+
+  /// Human-readable rendering, one line per scatter event.
+  std::string ToString() const;
+};
 
 /// Final client-facing query response (paper section 3.3.3 step 8; errors
 /// or timeouts mark the result as partial instead of failing it).
@@ -90,6 +117,7 @@ struct QueryResult {
   std::vector<std::vector<Value>> selection_rows;
 
   ExecutionStats stats;
+  QueryTrace trace;
   int64_t total_docs = 0;
   double latency_millis = 0;
 

@@ -25,6 +25,20 @@ std::map<std::string, std::vector<std::string>> QueryableReplicas(
   return out;
 }
 
+std::string PickReplica(const std::vector<std::string>& servers,
+                        const std::set<std::string>& exclude,
+                        const std::function<bool(const std::string&)>& usable,
+                        Random* rng) {
+  std::vector<const std::string*> candidates;
+  for (const auto& server : servers) {
+    if (exclude.count(server) > 0) continue;
+    if (usable && !usable(server)) continue;
+    candidates.push_back(&server);
+  }
+  if (candidates.empty()) return std::string();
+  return *candidates[rng->NextUint64(candidates.size())];
+}
+
 RoutingTable BuildBalancedRoutingTable(
     const std::map<std::string, std::vector<std::string>>& segment_servers,
     Random* rng) {

@@ -1,7 +1,9 @@
 #ifndef PINOT_ROUTING_ROUTING_H_
 #define PINOT_ROUTING_ROUTING_H_
 
+#include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,15 @@ struct RoutingTable {
 /// servers) map: replicas in ONLINE or CONSUMING state.
 std::map<std::string, std::vector<std::string>> QueryableReplicas(
     const TableView& external_view);
+
+/// Picks one replica uniformly at random among `servers`, skipping entries
+/// in `exclude` and entries rejected by `usable` (when set). Returns the
+/// empty string when no replica qualifies. Brokers use this to fail a
+/// segment over to a replica that has not already failed the query.
+std::string PickReplica(const std::vector<std::string>& servers,
+                        const std::set<std::string>& exclude,
+                        const std::function<bool(const std::string&)>& usable,
+                        Random* rng);
 
 /// Default *balanced* strategy: every server hosting any segment is used,
 /// and each segment is assigned to one of its replicas such that load is

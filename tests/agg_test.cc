@@ -128,5 +128,62 @@ TEST(EncodeGroupKeyTest, DistinguishesValues) {
             EncodeGroupKey({Value{int64_t{1}}}));
 }
 
+TEST(EncodeGroupKeyTest, SeparatorBytesInStringsDoNotCollide) {
+  // The old separator-based encoding mapped all of these tuples to the
+  // same key; the length-prefixed encoding must keep them distinct.
+  EXPECT_NE(EncodeGroupKey(
+                {Value{std::string("a\x1f")}, Value{std::string("b")}}),
+            EncodeGroupKey(
+                {Value{std::string("a")}, Value{std::string("\x1f"
+                                                            "b")}}));
+  EXPECT_NE(EncodeGroupKey({Value{std::string("a")}, Value{std::string("b")}}),
+            EncodeGroupKey({Value{std::string("a\x1f"
+                                              "b")}}));
+  // Same tuple still encodes identically.
+  EXPECT_EQ(EncodeGroupKey(
+                {Value{std::string("a\x1f")}, Value{std::string("b")}}),
+            EncodeGroupKey(
+                {Value{std::string("a\x1f")}, Value{std::string("b")}}));
+}
+
+TEST(PartialResultTest, AggregateCountMismatchIsErrorNotUB) {
+  PartialResult a, b;
+  a.aggregates.resize(2);
+  a.aggregates[0].AddDouble(1);
+  a.aggregates[1].AddDouble(2);
+  b.aggregates.resize(1);
+  b.aggregates[0].AddDouble(5);
+  a.Merge(std::move(b));
+  EXPECT_FALSE(a.status.ok());
+  EXPECT_NE(a.status.ToString().find("aggregate count mismatch"),
+            std::string::npos);
+  // Our side is preserved untouched.
+  ASSERT_EQ(a.aggregates.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.aggregates[0].sum, 1);
+}
+
+TEST(PartialResultTest, GroupStateCountMismatchIsErrorNotUB) {
+  PartialResult a, b;
+  {
+    PartialResult::GroupEntry entry;
+    entry.keys = {Value{std::string("us")}};
+    entry.states.resize(2);
+    a.groups.emplace(EncodeGroupKey(entry.keys), std::move(entry));
+  }
+  {
+    PartialResult::GroupEntry entry;
+    entry.keys = {Value{std::string("us")}};
+    entry.states.resize(1);  // Peer on an older table config.
+    entry.states[0].AddDouble(5);
+    b.groups.emplace(EncodeGroupKey(entry.keys), std::move(entry));
+  }
+  a.Merge(std::move(b));
+  EXPECT_FALSE(a.status.ok());
+  EXPECT_NE(a.status.ToString().find("state count mismatch"),
+            std::string::npos);
+  ASSERT_EQ(a.groups.size(), 1u);
+  EXPECT_EQ(a.groups.begin()->second.states.size(), 2u);
+}
+
 }  // namespace
 }  // namespace pinot

@@ -1,0 +1,291 @@
+// Fault-injection tests for the broker's resilient scatter-gather: replica
+// failover on injected failures, partitions, delays and drops; partial
+// results with an execution trace when no replica is left; and the
+// corrupt-time-boundary fallback.
+#include <gtest/gtest.h>
+
+#include "cluster/pinot_cluster.h"
+#include "tests/test_util.h"
+
+namespace pinot {
+namespace {
+
+using test::AnalyticsSchema;
+using test::BuildAnalyticsSegment;
+using test::ToRow;
+
+Schema KeyedSchema() {
+  return *Schema::Make({
+      FieldSpec::Dimension("memberId", DataType::kLong),
+      FieldSpec::Metric("hits", DataType::kLong),
+      FieldSpec::Time("day", DataType::kLong),
+  });
+}
+
+// An offline table with `num_segments` x `rows_each` rows, replicated
+// `replicas` times, behind a broker with a short deadline so timeout tests
+// run fast.
+void SetUpKeyedTable(PinotCluster& cluster, int replicas, int num_segments,
+                     int rows_each) {
+  Controller* leader = cluster.leader_controller();
+  TableConfig config;
+  config.name = "keyed";
+  config.type = TableType::kOffline;
+  config.schema = KeyedSchema();
+  config.num_replicas = replicas;
+  ASSERT_TRUE(leader->AddTable(config).ok());
+  for (int s = 0; s < num_segments; ++s) {
+    SegmentBuildConfig build;
+    build.table_name = "keyed_OFFLINE";
+    build.segment_name = "seg_" + std::to_string(s);
+    SegmentBuilder builder(KeyedSchema(), build);
+    for (int i = 0; i < rows_each; ++i) {
+      Row row;
+      row.SetLong("memberId", s * rows_each + i)
+          .SetLong("hits", 1)
+          .SetLong("day", 1);
+      ASSERT_TRUE(builder.AddRow(row).ok());
+    }
+    auto segment = builder.Build();
+    ASSERT_TRUE(segment.ok());
+    ASSERT_TRUE(
+        leader->UploadSegment("keyed_OFFLINE", (*segment)->SerializeToBlob())
+            .ok());
+  }
+}
+
+PinotClusterOptions FastBrokerOptions(int servers,
+                                      int64_t timeout_millis = 1500) {
+  PinotClusterOptions options;
+  options.num_servers = servers;
+  options.broker_options.default_timeout_millis = timeout_millis;
+  return options;
+}
+
+int64_t Count(const QueryResult& result) {
+  return std::get<int64_t>(result.aggregates[0]);
+}
+
+// Acceptance scenario: one replica of *every* queried segment dies
+// mid-query (each server fails its first request), and the broker still
+// returns a complete result by retrying on the surviving replicas.
+TEST(BrokerResilienceTest, RetriesInjectedFailureOnAnotherReplica) {
+  PinotCluster cluster(FastBrokerOptions(3));
+  SetUpKeyedTable(cluster, /*replicas=*/3, /*num_segments=*/6,
+                  /*rows_each=*/5);
+  for (int i = 0; i < cluster.num_servers(); ++i) {
+    cluster.server(i)->InjectQueryFailures(1);
+  }
+
+  auto result = cluster.Execute("SELECT count(*) FROM keyed");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(Count(result), 30);
+  // The first wave failed somewhere; retries made the result whole.
+  EXPECT_GT(result.trace.retries, 0);
+  bool saw_failure = false;
+  for (const auto& event : result.trace.events) {
+    if (event.outcome.rfind("failed:", 0) == 0) saw_failure = true;
+  }
+  EXPECT_TRUE(saw_failure) << result.trace.ToString();
+
+  // Faults consumed: the next query is clean.
+  result = cluster.Execute("SELECT count(*) FROM keyed");
+  ASSERT_FALSE(result.partial);
+  EXPECT_EQ(Count(result), 30);
+  EXPECT_EQ(result.trace.retries, 0);
+}
+
+// A partitioned server stays in the external view (routing is NOT
+// rebuilt), so the broker must detect unreachability at scatter time and
+// fail over in-flight.
+TEST(BrokerResilienceTest, FailsOverFromPartitionedServerMidQuery) {
+  PinotCluster cluster(FastBrokerOptions(3));
+  SetUpKeyedTable(cluster, /*replicas=*/3, /*num_segments=*/6,
+                  /*rows_each=*/5);
+  ASSERT_EQ(Count(cluster.Execute("SELECT count(*) FROM keyed")), 30);
+
+  cluster.PartitionServer(1);
+  for (int i = 0; i < 5; ++i) {
+    auto result = cluster.Execute("SELECT count(*) FROM keyed");
+    ASSERT_FALSE(result.partial) << result.error_message;
+    EXPECT_EQ(Count(result), 30);
+  }
+  cluster.HealServer(1);
+  auto result = cluster.Execute("SELECT count(*) FROM keyed");
+  ASSERT_FALSE(result.partial);
+  EXPECT_EQ(Count(result), 30);
+}
+
+// A server that answers too slowly is abandoned at its attempt deadline
+// and its segments are re-scattered to a faster replica, all within the
+// original query deadline.
+TEST(BrokerResilienceTest, TimedOutSegmentsRetryOnFastReplica) {
+  PinotCluster cluster(FastBrokerOptions(3, /*timeout_millis=*/900));
+  SetUpKeyedTable(cluster, /*replicas=*/3, /*num_segments=*/6,
+                  /*rows_each=*/5);
+  // Longer than the whole query deadline: without failover this query can
+  // only be partial.
+  cluster.server(0)->InjectQueryDelay(1, 1200);
+
+  auto result = cluster.Execute("SELECT count(*) FROM keyed");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(Count(result), 30);
+  EXPECT_GE(result.trace.timeouts, 1) << result.trace.ToString();
+  EXPECT_LT(result.latency_millis, 900);
+}
+
+// Dropped calls (response withheld past the deadline) look identical to
+// timeouts and take the same failover path.
+TEST(BrokerResilienceTest, DroppedCallsFailOver) {
+  PinotCluster cluster(FastBrokerOptions(3, /*timeout_millis=*/900));
+  SetUpKeyedTable(cluster, /*replicas=*/3, /*num_segments=*/6,
+                  /*rows_each=*/5);
+  cluster.server(2)->SetQueryDropFraction(1.0);
+
+  auto result = cluster.Execute("SELECT count(*) FROM keyed");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(Count(result), 30);
+  EXPECT_GE(result.trace.timeouts, 1) << result.trace.ToString();
+
+  cluster.server(2)->SetQueryDropFraction(0);
+}
+
+// When every replica of a segment is gone the result is partial, and the
+// trace names the failed servers and the segments each covered.
+TEST(BrokerResilienceTest, NoLiveReplicaYieldsPartialWithTrace) {
+  PinotCluster cluster(FastBrokerOptions(2));
+  SetUpKeyedTable(cluster, /*replicas=*/2, /*num_segments=*/3,
+                  /*rows_each=*/5);
+  ASSERT_EQ(Count(cluster.Execute("SELECT count(*) FROM keyed")), 15);
+
+  cluster.PartitionServer(0);
+  cluster.PartitionServer(1);
+  auto result = cluster.Execute("SELECT count(*) FROM keyed");
+  EXPECT_TRUE(result.partial);
+  EXPECT_NE(result.error_message.find("no live replica"), std::string::npos)
+      << result.error_message;
+
+  // Every failed scatter call is in the trace with its server and the
+  // segments it covered.
+  bool named_server = false;
+  for (const auto& event : result.trace.events) {
+    if (event.outcome == "unreachable" && !event.segments.empty() &&
+        (event.server == "server-0" || event.server == "server-1")) {
+      named_server = true;
+    }
+  }
+  EXPECT_TRUE(named_server) << result.trace.ToString();
+
+  cluster.HealServer(0);
+  cluster.HealServer(1);
+  result = cluster.Execute("SELECT count(*) FROM keyed");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(Count(result), 15);
+}
+
+// Exhausted retries (every wave fails) also end partial instead of
+// spinning past the deadline.
+TEST(BrokerResilienceTest, ExhaustedRetriesReportPartial) {
+  PinotCluster cluster(FastBrokerOptions(2));
+  SetUpKeyedTable(cluster, /*replicas=*/2, /*num_segments=*/3,
+                  /*rows_each=*/5);
+  // More injected failures than retry waves on both replicas.
+  cluster.server(0)->InjectQueryFailures(10);
+  cluster.server(1)->InjectQueryFailures(10);
+
+  auto result = cluster.Execute("SELECT count(*) FROM keyed");
+  EXPECT_TRUE(result.partial);
+  EXPECT_FALSE(result.trace.events.empty());
+}
+
+// Satellite regression: a corrupt time-boundary property used to escape as
+// an uncaught std::stoll exception and crash the broker. It must fall back
+// to the unfiltered hybrid plan (both physical tables, no time filter).
+TEST(BrokerResilienceTest, CorruptTimeBoundaryFallsBackToUnfilteredPlan) {
+  PinotCluster cluster(FastBrokerOptions(3));
+  Controller* leader = cluster.leader_controller();
+  StreamTopic* topic =
+      cluster.streams()->GetOrCreateTopic("analytics-events", 1);
+
+  TableConfig offline;
+  offline.name = "analytics";
+  offline.type = TableType::kOffline;
+  offline.schema = AnalyticsSchema();
+  offline.num_replicas = 1;
+  ASSERT_TRUE(leader->AddTable(offline).ok());
+  {
+    SegmentBuildConfig build;
+    build.table_name = "analytics_OFFLINE";
+    build.segment_name = "offline0";
+    auto segment = BuildAnalyticsSegment(build);  // Days 100..103, 12 rows.
+    ASSERT_TRUE(
+        leader->UploadSegment("analytics_OFFLINE", segment->SerializeToBlob())
+            .ok());
+  }
+
+  TableConfig realtime;
+  realtime.name = "analytics";
+  realtime.type = TableType::kRealtime;
+  realtime.schema = AnalyticsSchema();
+  realtime.num_replicas = 1;
+  realtime.realtime.topic = "analytics-events";
+  realtime.realtime.num_partitions = 1;
+  realtime.realtime.flush_threshold_rows = 1000;
+  ASSERT_TRUE(leader->AddTable(realtime).ok());
+  // Realtime rows strictly after the boundary, so the unfiltered fallback
+  // plan cannot double count any row.
+  for (int64_t day : {104, 105}) {
+    test::AnalyticsRow row{"us", "chrome", 9, {}, 1000, 7, day};
+    topic->Produce("9", ToRow(row));
+  }
+  cluster.ProcessRealtimeTicks(2);
+
+  // Healthy boundary (103, the max offline day): the hybrid rewrite asks
+  // offline for day <= 102 and realtime for day >= 103, so the 3 offline
+  // day-103 rows fall outside both sides: 9 offline + 2 realtime.
+  auto result = cluster.Execute("SELECT count(*) FROM analytics");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(Count(result), 11);
+
+  // Every corrupt value falls back to the unfiltered plan: all 12 offline
+  // rows plus both realtime rows, with no crash and no partial flag.
+  const std::string boundary_path = "/TIMEBOUNDARY/analytics";
+  for (const std::string corrupt :
+       {"garbage", "", "123abc", "99999999999999999999999", "  42"}) {
+    cluster.property_store()->Set(boundary_path, corrupt);
+    result = cluster.Execute("SELECT count(*) FROM analytics");
+    ASSERT_FALSE(result.partial)
+        << "boundary \"" << corrupt << "\": " << result.error_message;
+    EXPECT_EQ(Count(result), 14) << "boundary \"" << corrupt << "\"";
+  }
+
+  // Restoring a sane boundary restores the filtered plan.
+  cluster.property_store()->Set(boundary_path, "103");
+  result = cluster.Execute(
+      "SELECT count(*) FROM analytics WHERE day <= 102");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(Count(result), 9);
+}
+
+// The trace on a healthy query records per-server calls with latency and
+// the segments queried.
+TEST(BrokerResilienceTest, HealthyQueryCarriesTrace) {
+  PinotCluster cluster(FastBrokerOptions(3));
+  SetUpKeyedTable(cluster, /*replicas=*/2, /*num_segments=*/6,
+                  /*rows_each=*/5);
+  auto result = cluster.Execute("SELECT count(*) FROM keyed");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  ASSERT_FALSE(result.trace.events.empty());
+  size_t segments_covered = 0;
+  for (const auto& event : result.trace.events) {
+    EXPECT_EQ(event.outcome, "ok");
+    EXPECT_EQ(event.attempt, 0);
+    segments_covered += event.segments.size();
+  }
+  EXPECT_EQ(segments_covered, 6u);
+  EXPECT_EQ(result.trace.retries, 0);
+  EXPECT_EQ(result.trace.timeouts, 0);
+}
+
+}  // namespace
+}  // namespace pinot

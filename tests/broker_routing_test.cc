@@ -169,6 +169,12 @@ TEST(BrokerRoutingTest, RoutingAdaptsToServerFailure) {
     auto result = cluster.Execute("SELECT count(*) FROM keyed");
     ASSERT_FALSE(result.partial) << result.error_message;
     ASSERT_EQ(std::get<int64_t>(result.aggregates[0]), 3);
+    // The external-view watch already removed the dead server, so the
+    // queries route cleanly without needing the in-flight failover path.
+    EXPECT_EQ(result.trace.retries, 0) << result.trace.ToString();
+    for (const auto& event : result.trace.events) {
+      EXPECT_NE(event.server, "server-1");
+    }
   }
 }
 

@@ -145,6 +145,26 @@ TEST(QueryExecutionTest, GroupByMultipleColumns) {
   EXPECT_EQ(total, 12);
 }
 
+TEST(QueryExecutionTest, GroupByStringsWithSeparatorBytesStayDistinct) {
+  // ("a\x1f", "b") and ("a", "\x1fb") collided into one group under the
+  // old '\x1f'-separated key encoding.
+  std::vector<test::AnalyticsRow> rows = {
+      {"a\x1f", "b", 1, {}, 10, 1, 100},
+      {"a", "\x1f"
+            "b",
+       2, {}, 20, 2, 100},
+  };
+  auto segment = BuildAnalyticsSegment({}, rows);
+  auto result = RunPql(segment,
+                       "SELECT count(*) FROM analytics GROUP BY country, "
+                       "browser TOP 10");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  ASSERT_EQ(result.group_rows.size(), 2u);
+  for (const auto& row : result.group_rows) {
+    EXPECT_EQ(std::get<int64_t>(row.values[0]), 1);
+  }
+}
+
 TEST(QueryExecutionTest, GroupByMultiValueColumnExplodes) {
   auto segment = BuildAnalyticsSegment();
   auto result = RunPql(

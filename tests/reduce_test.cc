@@ -59,6 +59,20 @@ TEST(ReduceTest, SelectionOrderByMultipleColumns) {
   EXPECT_EQ(std::get<std::string>(result.selection_rows[3][0]), "de");
 }
 
+TEST(ReduceTest, OrderByColumnNotInSelectionIsAnError) {
+  // The sort can't run; silently trimming unsorted rows to LIMIT used to
+  // return arbitrary rows as if they were the top-k.
+  auto segment = BuildAnalyticsSegment();
+  auto result = RunPql(
+      segment,
+      "SELECT country FROM analytics ORDER BY impressions DESC LIMIT 3");
+  EXPECT_TRUE(result.partial);
+  EXPECT_NE(result.error_message.find("ORDER BY column not in selection"),
+            std::string::npos)
+      << result.error_message;
+  EXPECT_TRUE(result.selection_rows.empty());
+}
+
 TEST(ReduceTest, PartialFlagPropagates) {
   Query query = *ParsePql("SELECT count(*) FROM t");
   PartialResult partial;
