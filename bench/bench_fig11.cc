@@ -6,8 +6,11 @@
 // indexes roughly double Pinot's scalability, and the star-tree gives the
 // largest gain.
 
+#include <chrono>
+
 #include "baseline/druid_like.h"
 #include "bench/bench_util.h"
+#include "metrics/metrics.h"
 #include "query/result.h"
 
 namespace pinot {
@@ -58,15 +61,24 @@ int Main(int argc, char** argv) {
   PrintQpsHeader("Figure 11",
                  "indexing techniques on the anomaly detection dataset");
 
+  MetricsRegistry metrics;
   for (const auto& engine : engines) {
+    Histogram* latency = metrics.GetHistogram("bench_query_latency_ms",
+                                              {{"engine", engine.name}});
     for (double qps : options.qps_sweep) {
       QpsPoint point = RunQpsPoint(
           [&](int i) {
+            const auto start = std::chrono::steady_clock::now();
             PartialResult partial =
                 ExecuteQueryOnSegments(engine.segments, queries[i]);
             QueryResult result =
                 ReduceToFinalResult(queries[i], std::move(partial));
             (void)result;
+            latency->Observe(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count() /
+                1000.0);
           },
           static_cast<int>(queries.size()), qps, options.client_threads,
           options.duration_ms);
@@ -76,6 +88,7 @@ int Main(int argc, char** argv) {
       if (point.avg_ms > 250) break;
     }
   }
+  std::printf("\n# --- metrics dump ---\n%s", metrics.Dump().c_str());
   return 0;
 }
 

@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "metrics/metrics.h"
 #include "query/result.h"
 #include "query/segment_executor.h"
 
@@ -77,15 +78,22 @@ struct RunStats {
 };
 
 RunStats RunQuery(const SegmentInterface& segment, const Query& query,
-                  const ScanOptions& options, int iters) {
+                  const ScanOptions& options, int iters,
+                  Histogram* latency = nullptr) {
   RunStats stats;
   const auto start = std::chrono::steady_clock::now();
   for (int it = 0; it < iters; ++it) {
+    const auto iter_start = std::chrono::steady_clock::now();
     PartialResult partial;
     Status st = ExecuteQueryOnSegment(segment, query, options, &partial);
     if (!st.ok()) {
       std::fprintf(stderr, "execute: %s\n", st.ToString().c_str());
       std::abort();
+    }
+    if (latency != nullptr) {
+      latency->Observe(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - iter_start)
+                           .count());
     }
     stats.docs_scanned += partial.stats.docs_scanned;
     for (const auto& agg : partial.aggregates) stats.checksum += agg.sum;
@@ -138,6 +146,7 @@ int Main(int argc, char** argv) {
   reference.packed_groupby = false;
   ScanOptions batched;  // Defaults.
 
+  MetricsRegistry metrics;
   std::printf("%-32s %16s %16s %9s\n", "query", "per-doc rows/s",
               "batched rows/s", "speedup");
   for (const auto& c : cases) {
@@ -147,8 +156,14 @@ int Main(int argc, char** argv) {
                    query.status().ToString().c_str());
       std::abort();
     }
-    const RunStats ref = RunQuery(*segment, *query, reference, iters);
-    const RunStats fast = RunQuery(*segment, *query, batched, iters);
+    const RunStats ref = RunQuery(
+        *segment, *query, reference, iters,
+        metrics.GetHistogram("bench_scan_latency_ms",
+                             {{"case", c.name}, {"mode", "per-doc"}}));
+    const RunStats fast = RunQuery(
+        *segment, *query, batched, iters,
+        metrics.GetHistogram("bench_scan_latency_ms",
+                             {{"case", c.name}, {"mode", "batched"}}));
     if (ref.checksum != fast.checksum) {
       std::fprintf(stderr, "MISMATCH on %s: %f vs %f\n", c.name, ref.checksum,
                    fast.checksum);
@@ -160,6 +175,7 @@ int Main(int argc, char** argv) {
                                      : 0);
     std::fflush(stdout);
   }
+  std::printf("\n# --- metrics dump ---\n%s", metrics.Dump().c_str());
   return 0;
 }
 

@@ -21,4 +21,14 @@ cmake --build build-asan -j "${JOBS}"
   ctest --output-on-failure -j "${JOBS}")
 
 echo
+echo "== sanitizers: concurrency regression loop (ingest-while-query," \
+     "quota reconfigure-during-admit, concurrent metrics) =="
+# Repeat the tests with real thread interleavings a few times under the
+# sanitizer build so rare schedules still get a chance to corrupt memory
+# loudly (MutableSegment reader/writer race, TenantQuotaManager UAF).
+(cd build-asan && ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --output-on-failure -R 'mutable_segment_test|token_bucket_test|metrics_test' \
+  --repeat until-fail:3)
+
+echo
 echo "All checks passed in ${ROOT}."

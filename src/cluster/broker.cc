@@ -18,6 +18,8 @@ Broker::Broker(std::string id, ClusterContext ctx, Options options)
     : id_(std::move(id)),
       ctx_(std::move(ctx)),
       options_(options),
+      metrics_(ctx_.metrics != nullptr ? ctx_.metrics
+                                       : MetricsRegistry::Default()),
       pool_(options.scatter_threads),
       rng_(options.seed) {}
 
@@ -492,13 +494,35 @@ QueryResult Broker::ExecuteQuery(const Query& query) {
     QueryPhysicalTable(physical, subquery, deadline, &merged, &trace);
   }
 
+  const auto reduce_start = std::chrono::steady_clock::now();
   QueryResult result = ReduceToFinalResult(query, std::move(merged));
-  result.trace = std::move(trace);
+  const auto end = std::chrono::steady_clock::now();
   result.latency_millis =
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start)
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
           .count() /
       1000.0;
+
+  const MetricLabels table_labels = {{"table", query.table}};
+  metrics_->GetCounter("broker_queries_total")->Increment();
+  if (result.partial) {
+    metrics_->GetCounter("broker_partial_results_total")->Increment();
+  }
+  if (trace.retries > 0) {
+    metrics_->GetCounter("broker_scatter_retries_total")
+        ->Increment(trace.retries);
+  }
+  if (trace.timeouts > 0) {
+    metrics_->GetCounter("broker_scatter_timeouts_total")
+        ->Increment(trace.timeouts);
+  }
+  metrics_->GetHistogram("broker_query_latency_ms", table_labels)
+      ->Observe(result.latency_millis);
+  metrics_->GetHistogram("broker_reduce_time_ms")
+      ->Observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                    end - reduce_start)
+                    .count() /
+                1000.0);
+  result.trace = std::move(trace);
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "cluster/table_config.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "metrics/metrics.h"
 #include "query/query.h"
 #include "query/result.h"
 #include "routing/routing.h"
@@ -89,6 +90,7 @@ class Broker {
   const std::string id_;
   ClusterContext ctx_;
   Options options_;
+  MetricsRegistry* metrics_;
   ThreadPool pool_;
   int view_watch_handle_ = -1;
 

@@ -16,6 +16,7 @@ class ClusterManager;
 class PropertyStore;
 class ObjectStore;
 class StreamRegistry;
+class MetricsRegistry;
 
 /// A query as shipped from a broker to one server: the parsed query plus
 /// the subset of segments this server must process (paper section 3.3.3
@@ -61,6 +62,9 @@ struct ClusterContext {
   PropertyStore* property_store = nullptr;
   ObjectStore* object_store = nullptr;
   StreamRegistry* streams = nullptr;
+  /// Cluster-wide metrics sink. Components fall back to
+  /// MetricsRegistry::Default() when null (standalone construction).
+  MetricsRegistry* metrics = nullptr;
 
   /// Resolves the current leader controller endpoint (null when no leader).
   std::function<ControllerApi*()> leader_controller;

@@ -11,7 +11,11 @@
 namespace pinot {
 
 Controller::Controller(std::string id, ClusterContext ctx, Options options)
-    : id_(std::move(id)), ctx_(std::move(ctx)), options_(options) {}
+    : id_(std::move(id)),
+      ctx_(std::move(ctx)),
+      options_(options),
+      metrics_(ctx_.metrics != nullptr ? ctx_.metrics
+                                       : MetricsRegistry::Default()) {}
 
 Controller::Controller(std::string id, ClusterContext ctx)
     : Controller(std::move(id), std::move(ctx), Options()) {}
@@ -348,10 +352,21 @@ CompletionResponse Controller::SegmentConsumedUntil(
   if (!IsLeader()) return {CompletionInstruction::kNotLeader, -1};
   auto config = GetTableConfig(physical_table);
   const int num_replicas = config.ok() ? config->num_replicas : 1;
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (completion_ == nullptr) return {CompletionInstruction::kNotLeader, -1};
-  return completion_->OnSegmentConsumed(segment, server, offset,
-                                        num_replicas);
+  CompletionResponse response;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (completion_ == nullptr) return {CompletionInstruction::kNotLeader, -1};
+    response = completion_->OnSegmentConsumed(segment, server, offset,
+                                              num_replicas);
+  }
+  // One series per instruction: the FSM's transition mix (how often
+  // replicas are held, caught up, or discarded) is an operability signal.
+  metrics_
+      ->GetCounter("completion_instructions_total",
+                   {{"instruction",
+                     CompletionInstructionToString(response.instruction)}})
+      ->Increment();
+  return response;
 }
 
 Status Controller::CommitSegment(const std::string& physical_table,
@@ -398,6 +413,9 @@ Status Controller::CommitSegment(const std::string& physical_table,
   ctx_.property_store->Set(
       zkpaths::SegmentMetadataPath(physical_table, segment), meta->Encode());
   completion->OnCommitSuccess(segment, offset);
+  metrics_
+      ->GetCounter("completion_commits_total", {{"table", physical_table}})
+      ->Increment();
 
   // Flip the committed segment's replicas to ONLINE...
   TableView ideal = ctx_.cluster->GetIdealState(physical_table);

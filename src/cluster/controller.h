@@ -14,6 +14,7 @@
 #include "cluster/object_store.h"
 #include "cluster/property_store.h"
 #include "cluster/table_config.h"
+#include "metrics/metrics.h"
 #include "realtime/completion.h"
 
 namespace pinot {
@@ -118,6 +119,7 @@ class Controller : public ControllerApi {
   const std::string id_;
   ClusterContext ctx_;
   const Options options_;
+  MetricsRegistry* metrics_;
   std::atomic<bool> leader_{false};
 
   mutable std::mutex mutex_;

@@ -11,6 +11,7 @@ PinotCluster::PinotCluster(PinotClusterOptions options)
   ctx_.property_store = &property_store_;
   ctx_.object_store = &object_store_;
   ctx_.streams = &streams_;
+  ctx_.metrics = &metrics_;
   ctx_.leader_controller = [this]() -> ControllerApi* {
     return leader_controller();
   };

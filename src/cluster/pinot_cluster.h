@@ -14,6 +14,7 @@
 #include "cluster/property_store.h"
 #include "cluster/server.h"
 #include "common/clock.h"
+#include "metrics/metrics.h"
 #include "stream/stream.h"
 
 namespace pinot {
@@ -53,6 +54,7 @@ class PinotCluster {
   ObjectStore* object_store() { return &object_store_; }
   StreamRegistry* streams() { return &streams_; }
   Clock* clock() { return ctx_.clock; }
+  MetricsRegistry* metrics() { return &metrics_; }
 
   int num_controllers() const { return static_cast<int>(controllers_.size()); }
   int num_servers() const { return static_cast<int>(servers_.size()); }
@@ -69,6 +71,10 @@ class PinotCluster {
 
   /// Runs a PQL query through broker 0.
   QueryResult Execute(const std::string& pql);
+
+  /// Prometheus-style snapshot of every metric the cluster's components
+  /// (brokers, servers, controllers, tenants, realtime consumers) recorded.
+  std::string MetricsDump() const { return metrics_.Dump(); }
 
   /// Ticks realtime consumption on every server `rounds` times; returns
   /// total rows indexed.
@@ -97,6 +103,7 @@ class PinotCluster {
   PropertyStore property_store_;
   ObjectStore object_store_;
   StreamRegistry streams_;
+  MetricsRegistry metrics_;
   ClusterContext ctx_;
   std::vector<std::unique_ptr<Controller>> controllers_;
   std::vector<std::unique_ptr<Server>> servers_;

@@ -1,5 +1,6 @@
 #include "cluster/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -15,8 +16,10 @@ Server::Server(std::string id, ClusterContext ctx, Options options)
     : id_(std::move(id)),
       ctx_(std::move(ctx)),
       options_(options),
+      metrics_(ctx_.metrics != nullptr ? ctx_.metrics
+                                       : MetricsRegistry::Default()),
       pool_(options.num_query_threads),
-      quota_(ctx_.clock) {}
+      quota_(ctx_.clock, metrics_) {}
 
 Server::Server(std::string id, ClusterContext ctx)
     : Server(std::move(id), std::move(ctx), Options()) {}
@@ -76,18 +79,27 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
       }
     }
     if (fail) {
+      metrics_->GetCounter("server_injected_faults_total",
+                           {{"instance", id_}, {"kind", "fail"}})
+          ->Increment();
       result.status = Status::Unavailable("injected failure on " + id_);
       return result;
     }
     if (drop) {
       // A dropped response only manifests at the caller as a deadline
       // expiry; sleep past the request deadline before answering.
+      metrics_->GetCounter("server_injected_faults_total",
+                           {{"instance", id_}, {"kind", "drop"}})
+          ->Increment();
       std::this_thread::sleep_for(
           std::chrono::milliseconds(request.timeout_millis + 50));
       result.status = Status::Timeout("injected drop on " + id_);
       return result;
     }
     if (delay_millis > 0) {
+      metrics_->GetCounter("server_injected_faults_total",
+                           {{"instance", id_}, {"kind", "delay"}})
+          ->Increment();
       std::this_thread::sleep_for(std::chrono::milliseconds(delay_millis));
     }
   }
@@ -106,7 +118,6 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
   }
 
   std::vector<std::shared_ptr<SegmentInterface>> to_query;
-  bool touches_consuming = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto table_it = segments_.find(request.physical_table);
@@ -124,23 +135,35 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
         continue;
       }
       to_query.push_back(it->second);
-      auto consuming_table = consuming_.find(request.physical_table);
-      if (consuming_table != consuming_.end() &&
-          consuming_table->second.count(segment) > 0) {
-        touches_consuming = true;
-      }
     }
   }
 
-  // Consuming segments are mutated by the ingestion tick; serialize query
-  // execution with ingestion for them.
-  std::unique_lock<std::mutex> consuming_lock(mutex_, std::defer_lock);
-  if (touches_consuming) consuming_lock.lock();
+  // Consuming segments are mutated by the ingestion tick; take their reader
+  // locks for the whole execution so the single writer is excluded while
+  // concurrent queries proceed. Locks are acquired in a global (address)
+  // order: multi-lock acquirers can then never deadlock against each other
+  // or the single-lock writer.
+  std::vector<MutableSegment*> mutable_segments;
+  for (const auto& segment : to_query) {
+    if (auto* mutable_segment = dynamic_cast<MutableSegment*>(segment.get())) {
+      mutable_segments.push_back(mutable_segment);
+    }
+  }
+  std::sort(mutable_segments.begin(), mutable_segments.end());
+  mutable_segments.erase(
+      std::unique(mutable_segments.begin(), mutable_segments.end()),
+      mutable_segments.end());
+  std::vector<std::shared_lock<std::shared_mutex>> read_locks;
+  read_locks.reserve(mutable_segments.size());
+  for (MutableSegment* mutable_segment : mutable_segments) {
+    read_locks.push_back(mutable_segment->AcquireReadLock());
+  }
 
   PartialResult executed =
       ExecuteQueryOnSegments(to_query, request.query, &pool_);
   executed.status = result.status.ok() ? executed.status : result.status;
   result = std::move(executed);
+  read_locks.clear();
 
   const double execution_millis =
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -149,6 +172,15 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
       1000.0;
   // Charge execution time to the tenant's bucket (section 4.5).
   quota_.RecordExecution(request.tenant, execution_millis);
+
+  const MetricLabels instance_labels = {{"instance", id_}};
+  metrics_->GetCounter("server_queries_total", instance_labels)->Increment();
+  metrics_->GetCounter("server_segments_queried_total", instance_labels)
+      ->Increment(result.stats.segments_queried);
+  metrics_->GetCounter("server_docs_scanned_total", instance_labels)
+      ->Increment(result.stats.docs_scanned);
+  metrics_->GetHistogram("server_query_execution_ms", instance_labels)
+      ->Observe(execution_millis);
   return result;
 }
 
@@ -159,6 +191,10 @@ Status Server::LoadOnlineSegment(const std::string& table,
       ctx_.object_store->Get(zkpaths::SegmentBlobKey(table, segment)));
   PINOT_ASSIGN_OR_RETURN(std::shared_ptr<ImmutableSegment> loaded,
                          ImmutableSegment::DeserializeFromBlob(blob));
+  const MetricLabels labels = {{"instance", id_}};
+  metrics_->GetCounter("server_segments_loaded_total", labels)->Increment();
+  metrics_->GetCounter("server_segment_bytes_loaded_total", labels)
+      ->Increment(blob.size());
   std::lock_guard<std::mutex> lock(mutex_);
   segments_[table][segment] = std::move(loaded);
   return Status::OK();
@@ -353,6 +389,36 @@ int Server::TickConsuming(const std::string& table,
     }
   }
 
+  const MetricLabels table_labels = {{"table", table}};
+  if (indexed > 0) {
+    metrics_->GetCounter("realtime_rows_indexed_total", table_labels)
+        ->Increment(indexed);
+  }
+  // Consumption lag vs the stream head, per partition so the series
+  // survives segment rollover.
+  metrics_
+      ->GetGauge("realtime_consumption_lag",
+                 {{"table", table},
+                  {"partition", std::to_string(state->partition)}})
+      ->Set(static_cast<double>(std::max<int64_t>(
+          0, state->topic->LatestOffset(state->partition) - state->offset)));
+
+  // Seal ("flush") with count + duration accounting, shared by the KEEP
+  // and COMMIT paths.
+  auto timed_seal = [&]() {
+    const auto seal_start = std::chrono::steady_clock::now();
+    auto sealed = state->segment->Seal(state->seal_config);
+    const double seal_millis =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - seal_start)
+            .count() /
+        1000.0;
+    metrics_->GetCounter("realtime_flush_total", table_labels)->Increment();
+    metrics_->GetHistogram("realtime_flush_duration_ms", table_labels)
+        ->Observe(seal_millis);
+    return sealed;
+  };
+
   if (!reached_end()) return indexed;
 
   // End criteria reached: run the completion protocol against the leader.
@@ -369,7 +435,7 @@ int Server::TickConsuming(const std::string& table,
       state->catchup_target = response.target_offset;
       break;
     case CompletionInstruction::kKeep: {
-      auto sealed = state->segment->Seal(state->seal_config);
+      auto sealed = timed_seal();
       if (sealed.ok()) state->sealed = *sealed;
       break;
     }
@@ -377,7 +443,7 @@ int Server::TickConsuming(const std::string& table,
       state->sealed = nullptr;  // Promotion will download the winner.
       break;
     case CompletionInstruction::kCommit: {
-      auto sealed = state->segment->Seal(state->seal_config);
+      auto sealed = timed_seal();
       if (!sealed.ok()) {
         PINOT_LOG_ERROR << id_ << " seal failed: "
                         << sealed.status().ToString();

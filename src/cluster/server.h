@@ -12,6 +12,7 @@
 #include "cluster/table_config.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "metrics/metrics.h"
 #include "realtime/mutable_segment.h"
 #include "segment/segment.h"
 #include "stream/stream.h"
@@ -117,6 +118,7 @@ class Server : public StateTransitionHandler, public QueryServerApi {
   const std::string id_;
   ClusterContext ctx_;
   Options options_;
+  MetricsRegistry* metrics_;
   ThreadPool pool_;
   TenantQuotaManager quota_;
 

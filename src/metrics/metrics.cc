@@ -1,0 +1,183 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pinot {
+
+void Histogram::Observe(double value) {
+  int bucket = 0;
+  if (value > kFirstBound) {
+    bucket = static_cast<int>(std::ceil(std::log2(value / kFirstBound)));
+    // Guard against floating-point edge cases at bucket boundaries.
+    while (bucket > 0 && value <= BucketUpperBound(bucket - 1)) --bucket;
+    while (bucket < kNumBuckets - 1 && value > BucketUpperBound(bucket)) {
+      ++bucket;
+    }
+    bucket = std::clamp(bucket, 0, kNumBuckets - 1);
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::BucketUpperBound(int i) {
+  return std::ldexp(kFirstBound, i);
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = std::max(1.0, clamped / 100.0 * total);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      const double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+      const double upper = BucketUpperBound(i);
+      const double fraction = (rank - cumulative) / in_bucket;
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+std::string MetricsRegistry::SeriesKey(const std::string& name,
+                                       const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name + "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ",";
+    key += sorted[i].first + "=\"" + sorted[i].second + "\"";
+  }
+  key += "}";
+  return key;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[key];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[key];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const MetricLabels& labels) {
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name,
+                                       const MetricLabels& labels) const {
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name,
+                                   const MetricLabels& labels) const {
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(key);
+  return it == gauges_.end() ? 0 : it->second->Value();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name, const MetricLabels& labels) const {
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(key);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Splits "name{labels}" so derived series (_count, quantile=) can be
+// synthesized with the labels preserved.
+void SplitSeriesKey(const std::string& key, std::string* name,
+                    std::string* labels) {
+  const size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    *name = key;
+    labels->clear();
+  } else {
+    *name = key.substr(0, brace);
+    // Inner label list without the braces.
+    *labels = key.substr(brace + 1, key.size() - brace - 2);
+  }
+}
+
+std::string WithExtraLabel(const std::string& labels,
+                           const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return "{" + labels + "," + extra + "}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [key, counter] : counters_) {
+    out += key + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    out += key + " " + FormatDouble(gauge->Value()) + "\n";
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    std::string name, labels;
+    SplitSeriesKey(key, &name, &labels);
+    const std::string suffix = labels.empty() ? "" : "{" + labels + "}";
+    out += name + "_count" + suffix + " " +
+           std::to_string(histogram->Count()) + "\n";
+    out += name + "_sum" + suffix + " " + FormatDouble(histogram->Sum()) +
+           "\n";
+    for (const auto& [quantile, p] :
+         {std::pair<const char*, double>{"0.5", 50},
+          {"0.95", 95},
+          {"0.99", 99}}) {
+      out += name +
+             WithExtraLabel(labels,
+                            std::string("quantile=\"") + quantile + "\"") +
+             " " + FormatDouble(histogram->Percentile(p)) + "\n";
+    }
+  }
+  return out;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace pinot

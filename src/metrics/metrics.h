@@ -1,0 +1,127 @@
+#ifndef PINOT_METRICS_METRICS_H_
+#define PINOT_METRICS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pinot {
+
+/// Cluster-wide observability primitives ("Enhancing OLAP Resilience at
+/// LinkedIn": operating Pinot hinges on continuous latency and ingestion
+/// metrics; paper section 6 runs the system against site-facing SLAs).
+///
+/// Design: registration (name + label lookup) takes a registry mutex once,
+/// after which callers hold a stable pointer and every update is a relaxed
+/// atomic — cheap enough for per-document and per-query hot paths. Metrics
+/// are never removed, so cached pointers stay valid for the registry's
+/// lifetime.
+
+/// Monotonic event count. Relaxed atomics: increments are never used for
+/// synchronization, only for observation.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (e.g. consumption lag in offsets).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed log-bucketed histogram: bucket i spans
+/// (kFirstBound * 2^(i-1), kFirstBound * 2^i], so percentile estimates
+/// carry at most one octave of relative error, refined by linear
+/// interpolation inside the bucket. Covers sub-microsecond through years
+/// when fed milliseconds.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static constexpr double kFirstBound = 0.001;
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimated value at percentile `p` in [0, 100]. 0 when empty. The
+  /// snapshot is not atomic across buckets; concurrent observations make
+  /// the estimate approximate, never unsafe.
+  double Percentile(double p) const;
+
+  /// Inclusive upper bound of bucket `i`: kFirstBound * 2^i.
+  static double BucketUpperBound(int i);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Sorted (key, value) label pairs identifying one series of a family,
+/// e.g. query_latency_ms{table="analytics"}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Registry of labeled metric families. Get* returns the existing series
+/// or creates it; returned pointers are stable until the registry dies.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name,
+                      const MetricLabels& labels = {});
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels = {});
+  Histogram* GetHistogram(const std::string& name,
+                          const MetricLabels& labels = {});
+
+  /// Test/inspection helpers: current value, or 0 / null-like defaults when
+  /// the series was never created (creation is NOT triggered).
+  uint64_t CounterValue(const std::string& name,
+                        const MetricLabels& labels = {}) const;
+  double GaugeValue(const std::string& name,
+                    const MetricLabels& labels = {}) const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 const MetricLabels& labels = {}) const;
+
+  /// Prometheus-style text exposition. Counters and gauges render one line
+  /// per series; histograms render <name>_count, <name>_sum, and
+  /// quantile="0.5|0.95|0.99" series. Output is sorted for determinism.
+  std::string Dump() const;
+
+  /// Process-wide fallback registry for components constructed without one
+  /// (standalone tools, the on-disk segment store's free functions).
+  static MetricsRegistry* Default();
+
+ private:
+  static std::string SeriesKey(const std::string& name,
+                               const MetricLabels& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_METRICS_METRICS_H_

@@ -48,6 +48,12 @@ CompletionResponse SegmentCompletionManager::OnSegmentConsumed(
     if (offset < fsm.target_offset) {
       return {CompletionInstruction::kCatchup, fsm.target_offset};
     }
+    if (offset > fsm.target_offset) {
+      // The replica overshot the chosen commit point. It can never catch
+      // *down*, so holding it would park it forever; discard its local data
+      // and let it rebuild from the committed segment.
+      return {CompletionInstruction::kDiscard, fsm.target_offset};
+    }
     if (server == fsm.committer && offset == fsm.target_offset &&
         fsm.state == FsmState::kCommitterDecided) {
       return {CompletionInstruction::kCommit, fsm.target_offset};

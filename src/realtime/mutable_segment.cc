@@ -1,6 +1,7 @@
 #include "realtime/mutable_segment.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace pinot {
 
@@ -95,32 +96,53 @@ MutableSegment::MutableSegment(Schema schema, std::string table_name,
 
 MutableSegment::~MutableSegment() = default;
 
+namespace {
+
+// Exact numeric view of a time value: int64 epoch values pass through
+// untouched (ValueToDouble would lose precision beyond 2^53).
+int64_t TimeValueToInt64(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return *i;
+  return static_cast<int64_t>(ValueToDouble(v));
+}
+
+}  // namespace
+
 Status MutableSegment::Index(const Row& row) {
+  // Validate every field before appending to any column: a failure after
+  // the first append would leave a torn row with mismatched column
+  // lengths, permanently corrupting the segment.
   for (int i = 0; i < schema_.num_fields(); ++i) {
     const FieldSpec& field = schema_.field(i);
     const Value& value = row.Get(field.name);
-    if (!IsNull(value)) {
-      if (field.single_value && IsMultiValue(value)) {
-        return Status::InvalidArgument(
-            "multi-value supplied for single-value column " + field.name);
-      }
-      if (!field.single_value && !IsMultiValue(value)) {
-        return Status::InvalidArgument(
-            "single value supplied for multi-value column " + field.name);
-      }
+    if (IsNull(value)) continue;
+    if (field.single_value && IsMultiValue(value)) {
+      return Status::InvalidArgument(
+          "multi-value supplied for single-value column " + field.name);
     }
+    if (!field.single_value && !IsMultiValue(value)) {
+      return Status::InvalidArgument(
+          "single value supplied for multi-value column " + field.name);
+    }
+  }
+
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    const FieldSpec& field = schema_.field(i);
+    const Value& value = row.Get(field.name);
     columns_[i]->Append(value, schema_, i);
     if (field.role == FieldRole::kTime) {
       const Value& effective =
           IsNull(value) ? schema_.EffectiveDefault(i) : value;
-      const int64_t t = ValueToDouble(effective);
+      const int64_t t = TimeValueToInt64(effective);
       metadata_.min_time = std::min(metadata_.min_time, t);
       metadata_.max_time = std::max(metadata_.max_time, t);
     }
   }
   rows_.push_back(row);
-  ++num_docs_;
-  metadata_.num_docs = num_docs_;
+  metadata_.num_docs = metadata_.num_docs + 1;
+  // Publish the new row count last so lock-free num_docs() readers never
+  // see a count covering unwritten data.
+  num_docs_.store(metadata_.num_docs, std::memory_order_release);
   return Status::OK();
 }
 
@@ -131,6 +153,7 @@ const ColumnReader* MutableSegment::GetColumn(const std::string& name) const {
 
 Result<std::shared_ptr<ImmutableSegment>> MutableSegment::Seal(
     const SegmentBuildConfig& config) const {
+  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
   SegmentBuildConfig effective = config;
   if (effective.table_name.empty()) {
     effective.table_name = metadata_.table_name;

@@ -1,7 +1,9 @@
 #ifndef PINOT_REALTIME_MUTABLE_SEGMENT_H_
 #define PINOT_REALTIME_MUTABLE_SEGMENT_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -21,21 +23,34 @@ namespace pinot {
 /// into an ImmutableSegment with sorted dictionaries, bit packing, and the
 /// table's configured indexes.
 ///
-/// Thread safety: one writer (the stream consumer); concurrent readers must
-/// be externally synchronized with the writer (the owning server serializes
-/// index/query access to consuming segments).
+/// Thread safety: single writer (the stream consumer), multiple concurrent
+/// readers. `Index` takes the segment's writer lock; queries must hold a
+/// reader lock from `AcquireReadLock` for the whole execution over this
+/// segment (the owning server does this), which excludes the writer while
+/// letting readers run concurrently with each other. `num_docs()` alone is
+/// additionally safe without the lock (release/acquire publication).
 class MutableSegment : public SegmentInterface {
  public:
   MutableSegment(Schema schema, std::string table_name,
                  std::string segment_name, Clock* clock);
   ~MutableSegment() override;
 
-  /// Appends one event. Missing fields take schema defaults.
+  /// Appends one event. Missing fields take schema defaults. The row is
+  /// validated in full before any column is touched, so a mid-row type
+  /// error cannot leave a torn row with mismatched column lengths.
   Status Index(const Row& row);
+
+  /// Shared lock readers must hold while accessing columns, metadata, or
+  /// rows of a segment that may be concurrently indexed into.
+  std::shared_lock<std::shared_mutex> AcquireReadLock() const {
+    return std::shared_lock<std::shared_mutex>(rw_mutex_);
+  }
 
   // SegmentInterface:
   const Schema& schema() const override { return schema_; }
-  uint32_t num_docs() const override { return num_docs_; }
+  uint32_t num_docs() const override {
+    return num_docs_.load(std::memory_order_acquire);
+  }
   const SegmentMetadata& metadata() const override { return metadata_; }
   const ColumnReader* GetColumn(const std::string& name) const override;
 
@@ -51,9 +66,10 @@ class MutableSegment : public SegmentInterface {
   Schema schema_;
   SegmentMetadata metadata_;
   Clock* clock_;
+  mutable std::shared_mutex rw_mutex_;  // Writer: Index. Readers: queries/Seal.
   std::vector<std::unique_ptr<MutableColumn>> columns_;
   std::vector<Row> rows_;  // Retained for sealing.
-  uint32_t num_docs_ = 0;
+  std::atomic<uint32_t> num_docs_{0};
 };
 
 }  // namespace pinot

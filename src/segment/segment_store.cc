@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/hash.h"
+#include "metrics/metrics.h"
 #include "startree/star_tree.h"
 
 namespace pinot {
@@ -264,7 +265,15 @@ Status SaveSegmentToDirectory(const ImmutableSegment& segment,
 
   PINOT_RETURN_NOT_OK(WriteFile(IndexPath(dir), index_contents,
                                 /*atomic=*/false));
-  return WriteFile(MetadataPath(dir), EncodeMetadata(meta), /*atomic=*/true);
+  PINOT_RETURN_NOT_OK(
+      WriteFile(MetadataPath(dir), EncodeMetadata(meta), /*atomic=*/true));
+  // Free functions have no cluster wiring; account against the process-wide
+  // registry.
+  MetricsRegistry* metrics = MetricsRegistry::Default();
+  metrics->GetCounter("segment_store_segments_saved_total")->Increment();
+  metrics->GetCounter("segment_store_bytes_written_total")
+      ->Increment(index_contents.size());
+  return Status::OK();
 }
 
 Result<std::shared_ptr<ImmutableSegment>> LoadSegmentFromDirectory(
@@ -336,6 +345,10 @@ Result<std::shared_ptr<ImmutableSegment>> LoadSegmentFromDirectory(
     PINOT_ASSIGN_OR_RETURN(StarTree tree, StarTree::Deserialize(&reader));
     segment->SetStarTree(std::make_unique<StarTree>(std::move(tree)));
   }
+  MetricsRegistry* metrics = MetricsRegistry::Default();
+  metrics->GetCounter("segment_store_segments_loaded_total")->Increment();
+  metrics->GetCounter("segment_store_bytes_read_total")
+      ->Increment(metadata_contents.size() + index_contents.size());
   return segment;
 }
 

@@ -50,15 +50,18 @@ int64_t TokenBucket::MillisUntilAvailable() {
 
 void TenantQuotaManager::ConfigureTenant(const std::string& tenant,
                                          TenantLimits limits) {
+  // The old bucket (if any) is only unreferenced here; admitting threads
+  // holding a shared_ptr to it keep it alive until they re-resolve.
   std::lock_guard<std::mutex> lock(mutex_);
-  buckets_[tenant] = std::make_unique<TokenBucket>(
+  buckets_[tenant] = std::make_shared<TokenBucket>(
       limits.burst_tokens, limits.refill_per_second, clock_);
 }
 
-TokenBucket* TenantQuotaManager::GetBucket(const std::string& tenant) const {
+std::shared_ptr<TokenBucket> TenantQuotaManager::GetBucket(
+    const std::string& tenant) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = buckets_.find(tenant);
-  return it == buckets_.end() ? nullptr : it->second.get();
+  return it == buckets_.end() ? nullptr : it->second;
 }
 
 bool TenantQuotaManager::HasTenant(const std::string& tenant) const {
@@ -67,13 +70,23 @@ bool TenantQuotaManager::HasTenant(const std::string& tenant) const {
 
 Status TenantQuotaManager::AdmitQuery(const std::string& tenant,
                                       int64_t timeout_millis) {
-  TokenBucket* bucket = GetBucket(tenant);
+  std::shared_ptr<TokenBucket> bucket = GetBucket(tenant);
   if (bucket == nullptr) return Status::OK();
+  const MetricLabels labels = {{"tenant", tenant}};
   const int64_t deadline = clock_->NowMillis() + timeout_millis;
+  bool throttled = false;
   while (true) {
-    if (bucket->HasTokens()) return Status::OK();
+    if (bucket->HasTokens()) {
+      metrics_->GetCounter("tenant_admitted_total", labels)->Increment();
+      if (throttled) {
+        metrics_->GetCounter("tenant_throttled_total", labels)->Increment();
+      }
+      return Status::OK();
+    }
+    throttled = true;
     const int64_t now = clock_->NowMillis();
     if (now >= deadline) {
+      metrics_->GetCounter("tenant_timed_out_total", labels)->Increment();
       return Status::Timeout("tenant quota exhausted: " + tenant);
     }
     const int64_t wait =
@@ -82,12 +95,16 @@ Status TenantQuotaManager::AdmitQuery(const std::string& tenant,
     // time; yield briefly to avoid a hot spin.
     std::this_thread::sleep_for(std::chrono::milliseconds(
         std::max<int64_t>(1, std::min<int64_t>(wait, 5))));
+    // Re-resolve so a concurrent ConfigureTenant (new limits, or tenant
+    // removal) takes effect mid-wait.
+    bucket = GetBucket(tenant);
+    if (bucket == nullptr) return Status::OK();
   }
 }
 
 void TenantQuotaManager::RecordExecution(const std::string& tenant,
                                          double execution_millis) {
-  TokenBucket* bucket = GetBucket(tenant);
+  std::shared_ptr<TokenBucket> bucket = GetBucket(tenant);
   if (bucket != nullptr) bucket->Deduct(execution_millis);
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "metrics/metrics.h"
 
 namespace pinot {
 
@@ -55,6 +56,12 @@ class TokenBucket {
 
 /// Per-tenant admission control for a server's query scheduler. Queries for
 /// a tenant whose bucket is exhausted wait (bounded) until tokens accrue.
+///
+/// Buckets are held by shared_ptr: AdmitQuery may block for seconds on an
+/// exhausted bucket, and ConfigureTenant can replace that bucket
+/// concurrently — the admitting thread keeps its own reference alive
+/// (instead of spinning on a raw pointer freed under it) and re-resolves
+/// the tenant each round so a live reconfigure takes effect.
 class TenantQuotaManager {
  public:
   struct TenantLimits {
@@ -62,7 +69,10 @@ class TenantQuotaManager {
     double refill_per_second = 100;   // ~10% of one core steady-state.
   };
 
-  explicit TenantQuotaManager(Clock* clock) : clock_(clock) {}
+  explicit TenantQuotaManager(Clock* clock,
+                              MetricsRegistry* metrics = nullptr)
+      : clock_(clock),
+        metrics_(metrics != nullptr ? metrics : MetricsRegistry::Default()) {}
 
   /// Registers (or reconfigures) a tenant.
   void ConfigureTenant(const std::string& tenant, TenantLimits limits);
@@ -78,11 +88,12 @@ class TenantQuotaManager {
   bool HasTenant(const std::string& tenant) const;
 
  private:
-  TokenBucket* GetBucket(const std::string& tenant) const;
+  std::shared_ptr<TokenBucket> GetBucket(const std::string& tenant) const;
 
   Clock* const clock_;
+  MetricsRegistry* const metrics_;
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::unique_ptr<TokenBucket>> buckets_;
+  std::unordered_map<std::string, std::shared_ptr<TokenBucket>> buckets_;
 };
 
 }  // namespace pinot

@@ -287,5 +287,68 @@ TEST(BrokerResilienceTest, HealthyQueryCarriesTrace) {
   EXPECT_EQ(result.trace.timeouts, 0);
 }
 
+// The cluster-wide metrics dump reflects activity on every layer: broker
+// query accounting, server execution counters, and the injected faults
+// that drive scatter retries.
+TEST(BrokerResilienceTest, MetricsDumpReflectsQueryAndFaultActivity) {
+  PinotCluster cluster(FastBrokerOptions(3));
+  SetUpKeyedTable(cluster, /*replicas=*/3, /*num_segments=*/6,
+                  /*rows_each=*/5);
+  MetricsRegistry* metrics = cluster.metrics();
+
+  // Three clean queries; sum(hits) forces a real scan of every row.
+  for (int i = 0; i < 3; ++i) {
+    auto result = cluster.Execute("SELECT sum(hits) FROM keyed");
+    ASSERT_FALSE(result.partial) << result.error_message;
+  }
+  EXPECT_EQ(metrics->CounterValue("broker_queries_total"), 3u);
+  EXPECT_EQ(metrics->CounterValue("broker_scatter_retries_total"), 0u);
+  EXPECT_EQ(metrics->CounterValue("broker_partial_results_total"), 0u);
+  const Histogram* latency =
+      metrics->FindHistogram("broker_query_latency_ms", {{"table", "keyed"}});
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->Count(), 3u);
+
+  // Server-side: across all instances, each of the 3 queries covered all 6
+  // segments exactly once and scanned all 30 rows.
+  uint64_t server_queries = 0, segments_queried = 0, docs_scanned = 0;
+  for (int i = 0; i < cluster.num_servers(); ++i) {
+    const MetricLabels labels = {{"instance", cluster.server(i)->id()}};
+    server_queries += metrics->CounterValue("server_queries_total", labels);
+    segments_queried +=
+        metrics->CounterValue("server_segments_queried_total", labels);
+    docs_scanned +=
+        metrics->CounterValue("server_docs_scanned_total", labels);
+  }
+  EXPECT_GE(server_queries, 3u);
+  EXPECT_EQ(segments_queried, 3u * 6);
+  EXPECT_EQ(docs_scanned, 3u * 30);
+
+  // Inject one failure per server: the broker retries on other replicas
+  // and both sides of that story land in the registry.
+  for (int i = 0; i < cluster.num_servers(); ++i) {
+    cluster.server(i)->InjectQueryFailures(1);
+  }
+  auto result = cluster.Execute("SELECT sum(hits) FROM keyed");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  ASSERT_GT(result.trace.retries, 0);
+  EXPECT_EQ(metrics->CounterValue("broker_scatter_retries_total"),
+            static_cast<uint64_t>(result.trace.retries));
+  uint64_t injected = 0;
+  for (int i = 0; i < cluster.num_servers(); ++i) {
+    injected += metrics->CounterValue(
+        "server_injected_faults_total",
+        {{"instance", cluster.server(i)->id()}, {"kind", "fail"}});
+  }
+  EXPECT_GT(injected, 0u);
+
+  const std::string dump = cluster.MetricsDump();
+  EXPECT_NE(dump.find("broker_queries_total 4"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("broker_query_latency_ms_count{table=\"keyed\"} 4"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("server_injected_faults_total"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pinot

@@ -95,6 +95,42 @@ TEST(CompletionTest, CommitStartValidatesCommitterAndOffset) {
   EXPECT_TRUE(manager.OnCommitStart("seg", "s1", 50).ok());
 }
 
+TEST(CompletionTest, OvershootingReplicaDiscardsInsteadOfHoldingForever) {
+  // Regression: once a commit target was decided, a replica polling PAST
+  // the target (stream batches can overshoot the chosen offset) fell
+  // through to kHold — and since it can never catch *down*, it was parked
+  // forever. It must be told to discard and rebuild from the commit.
+  SimulatedClock clock;
+  SegmentCompletionManager manager(&clock, 10000);
+  EXPECT_EQ(manager.OnSegmentConsumed("seg", "s1", 10, 2).instruction,
+            CompletionInstruction::kHold);
+  // Quorum complete; s2 holds the max offset and becomes the committer.
+  auto r2 = manager.OnSegmentConsumed("seg", "s2", 15, 2);
+  ASSERT_EQ(r2.instruction, CompletionInstruction::kCommit);
+  ASSERT_EQ(r2.target_offset, 15);
+
+  // s1 tried to catch up to 15 but its next stream batch landed at 20.
+  auto r1 = manager.OnSegmentConsumed("seg", "s1", 20, 2);
+  EXPECT_EQ(r1.instruction, CompletionInstruction::kDiscard);
+  EXPECT_EQ(r1.target_offset, 15);
+
+  // Same while the commit is actually in flight (kCommitting).
+  ASSERT_TRUE(manager.OnCommitStart("seg", "s2", 15).ok());
+  auto r1b = manager.OnSegmentConsumed("seg", "s1", 20, 2);
+  EXPECT_EQ(r1b.instruction, CompletionInstruction::kDiscard);
+
+  // A replica exactly at the target still just waits for the outcome.
+  EXPECT_EQ(manager.OnSegmentConsumed("seg", "s3", 15, 2).instruction,
+            CompletionInstruction::kHold);
+
+  // After the commit lands, the usual committed-state rules apply.
+  manager.OnCommitSuccess("seg", 15);
+  EXPECT_EQ(manager.OnSegmentConsumed("seg", "s1", 20, 2).instruction,
+            CompletionInstruction::kDiscard);
+  EXPECT_EQ(manager.OnSegmentConsumed("seg", "s3", 15, 2).instruction,
+            CompletionInstruction::kKeep);
+}
+
 TEST(CompletionTest, ControllerFailoverRestartsBlankFsm) {
   SimulatedClock clock;
   SegmentCompletionManager old_leader(&clock, 10000);

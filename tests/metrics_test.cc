@@ -1,0 +1,193 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace pinot {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 10.5);
+  g.Add(-3.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 7.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsAreLossless) {
+  Gauge g;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.Value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, CountAndSum) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  h.Observe(1.0);
+  h.Observe(2.0);
+  h.Observe(4.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 7.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundsDouble) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(0), 0.001);
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(i),
+                     2.0 * Histogram::BucketUpperBound(i - 1));
+  }
+}
+
+TEST(HistogramTest, PercentileWithinOneOctave) {
+  // 100 observations at exactly 10.0: every percentile estimate must land
+  // inside the bucket containing 10.0 — (8.192, 16.384] — i.e. within one
+  // octave of the true value.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Observe(10.0);
+  for (double p : {1.0, 50.0, 95.0, 99.0}) {
+    const double est = h.Percentile(p);
+    EXPECT_GT(est, 10.0 / 2) << "p" << p;
+    EXPECT_LE(est, 10.0 * 2) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, PercentileOrderingOnSpreadData) {
+  // Observations spread over three decades: percentiles must be monotone
+  // and straddle the right magnitudes.
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Observe(1.0);    // p <= 90 region.
+  for (int i = 0; i < 9; ++i) h.Observe(100.0);   // p in (90, 99].
+  h.Observe(10000.0);                             // The p100 tail.
+  const double p50 = h.Percentile(50);
+  const double p95 = h.Percentile(95);
+  const double p99 = h.Percentile(99);
+  EXPECT_LT(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GT(p50, 0.5);
+  EXPECT_LT(p50, 2.1);
+  EXPECT_GT(p95, 50);
+  EXPECT_LT(p95, 210);
+}
+
+TEST(HistogramTest, TinyAndHugeValuesClampToEdgeBuckets) {
+  Histogram h;
+  h.Observe(0.0);     // Below the first bound.
+  h.Observe(-1.0);    // Negative: clamped, never UB.
+  h.Observe(1e30);    // Beyond the last bucket.
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_LE(h.Percentile(1), Histogram::BucketUpperBound(0));
+  EXPECT_GT(h.Percentile(99), 1e9);
+}
+
+TEST(MetricsRegistryTest, SameSeriesReturnsSamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("queries", {{"table", "t"}});
+  Counter* b = registry.GetCounter("queries", {{"table", "t"}});
+  EXPECT_EQ(a, b);
+  // Label order must not matter: labels are canonicalized by sorting.
+  Counter* c = registry.GetCounter("x", {{"a", "1"}, {"b", "2"}});
+  Counter* d = registry.GetCounter("x", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(c, d);
+}
+
+TEST(MetricsRegistryTest, DistinctLabelsAreDistinctSeries) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("queries", {{"table", "a"}});
+  Counter* b = registry.GetCounter("queries", {{"table", "b"}});
+  EXPECT_NE(a, b);
+  a->Increment(3);
+  b->Increment(5);
+  EXPECT_EQ(registry.CounterValue("queries", {{"table", "a"}}), 3u);
+  EXPECT_EQ(registry.CounterValue("queries", {{"table", "b"}}), 5u);
+}
+
+TEST(MetricsRegistryTest, InspectionHelpersDoNotCreate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.CounterValue("never_created"), 0u);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("never_created"), 0.0);
+  EXPECT_EQ(registry.FindHistogram("never_created"), nullptr);
+  EXPECT_EQ(registry.Dump().find("never_created"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DumpRendersAllKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("events_total", {{"table", "t"}})->Increment(7);
+  registry.GetGauge("lag")->Set(12.0);
+  Histogram* h = registry.GetHistogram("latency_ms");
+  h->Observe(1.0);
+  h->Observe(3.0);
+  const std::string dump = registry.Dump();
+  EXPECT_NE(dump.find("events_total{table=\"t\"} 7"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("lag 12"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("latency_ms_count 2"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("latency_ms_sum 4"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("quantile=\"0.5\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("quantile=\"0.99\""), std::string::npos) << dump;
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetAndIncrement) {
+  // Registration under contention: all threads resolve the same series and
+  // no increment is lost.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.GetCounter("contended", {{"k", "v"}})->Increment();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.CounterValue("contended", {{"k", "v"}}),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, DefaultRegistryIsSingleton) {
+  EXPECT_EQ(MetricsRegistry::Default(), MetricsRegistry::Default());
+  EXPECT_NE(MetricsRegistry::Default(), nullptr);
+}
+
+}  // namespace
+}  // namespace pinot

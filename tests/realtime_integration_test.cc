@@ -258,6 +258,44 @@ TEST_F(RealtimeIntegrationTest, ConsumerSurvivesLeaderFailover) {
       "segments/analytics_REALTIME/analytics_REALTIME__0__0"));
 }
 
+TEST_F(RealtimeIntegrationTest, IngestionMetricsConvergeAfterDrain) {
+  StreamTopic* topic = CreateTopic(1);
+  ASSERT_TRUE(cluster_->leader_controller()
+                  ->AddTable(RealtimeConfig(1, 1, /*flush_rows=*/12))
+                  .ok());
+  ProduceFixture(topic, /*copies=*/2);  // 24 rows -> two committed segments.
+  cluster_->DrainRealtime();
+
+  MetricsRegistry* metrics = cluster_->metrics();
+  const MetricLabels table = {{"table", "analytics_REALTIME"}};
+  // Every produced row was indexed exactly once (single replica).
+  EXPECT_EQ(metrics->CounterValue("realtime_rows_indexed_total", table), 24u);
+  // After the drain the consumer caught up with the stream head.
+  EXPECT_DOUBLE_EQ(
+      metrics->GaugeValue("realtime_consumption_lag",
+                          {{"table", "analytics_REALTIME"},
+                           {"partition", "0"}}),
+      0.0);
+  // Two segments sealed, each with a recorded duration, and two commits
+  // accepted by the controller.
+  EXPECT_EQ(metrics->CounterValue("realtime_flush_total", table), 2u);
+  const Histogram* flush =
+      metrics->FindHistogram("realtime_flush_duration_ms", table);
+  ASSERT_NE(flush, nullptr);
+  EXPECT_EQ(flush->Count(), 2u);
+  EXPECT_EQ(metrics->CounterValue("completion_commits_total", table), 2u);
+  EXPECT_GE(metrics->CounterValue("completion_instructions_total",
+                                  {{"instruction", "COMMIT"}}),
+            2u);
+
+  // The text dump carries the zeroed lag series (labels are sorted).
+  const std::string dump = cluster_->MetricsDump();
+  EXPECT_NE(dump.find("realtime_consumption_lag{partition=\"0\","
+                      "table=\"analytics_REALTIME\"} 0"),
+            std::string::npos)
+      << dump;
+}
+
 TEST_F(RealtimeIntegrationTest, SealedSegmentMatchesRawData) {
   // Property: query results before and after the consuming->committed
   // transition are identical.
