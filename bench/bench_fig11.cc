@@ -12,6 +12,8 @@
 #include "bench/bench_util.h"
 #include "metrics/metrics.h"
 #include "query/result.h"
+#include "trace/slow_query_log.h"
+#include "trace/trace.h"
 
 namespace pinot {
 namespace bench {
@@ -62,6 +64,10 @@ int Main(int argc, char** argv) {
                  "indexing techniques on the anomaly detection dataset");
 
   MetricsRegistry metrics;
+  // Worst-3 traces across all engines and sweep points, printed at exit so
+  // a saturating configuration can be attributed to a phase/segment.
+  SlowQueryLog slow_log(SlowQueryLog::Options{/*threshold_millis=*/0.0,
+                                              /*capacity=*/3});
   for (const auto& engine : engines) {
     Histogram* latency = metrics.GetHistogram("bench_query_latency_ms",
                                               {{"engine", engine.name}});
@@ -69,16 +75,22 @@ int Main(int argc, char** argv) {
       QpsPoint point = RunQpsPoint(
           [&](int i) {
             const auto start = std::chrono::steady_clock::now();
+            TraceSpan root = TraceSpan::Open("bench:" + engine.name);
             PartialResult partial =
-                ExecuteQueryOnSegments(engine.segments, queries[i]);
+                ExecuteQueryOnSegments(engine.segments, queries[i],
+                                       /*pool=*/nullptr, &root);
             QueryResult result =
                 ReduceToFinalResult(queries[i], std::move(partial));
             (void)result;
-            latency->Observe(
+            root.Close();
+            const double millis =
                 std::chrono::duration_cast<std::chrono::microseconds>(
                     std::chrono::steady_clock::now() - start)
                     .count() /
-                1000.0);
+                1000.0;
+            latency->Observe(millis);
+            slow_log.Record(millis, engine.name + ": " + queries[i].ToString(),
+                            root);
           },
           static_cast<int>(queries.size()), qps, options.client_threads,
           options.duration_ms);
@@ -88,6 +100,8 @@ int Main(int argc, char** argv) {
       if (point.avg_ms > 250) break;
     }
   }
+  std::printf("\n# --- slow query log (top 3) ---\n%s",
+              slow_log.Dump(3).c_str());
   std::printf("\n# --- metrics dump ---\n%s", metrics.Dump().c_str());
   return 0;
 }

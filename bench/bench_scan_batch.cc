@@ -18,6 +18,8 @@
 #include "metrics/metrics.h"
 #include "query/result.h"
 #include "query/segment_executor.h"
+#include "trace/slow_query_log.h"
+#include "trace/trace.h"
 
 namespace pinot {
 namespace bench {
@@ -147,6 +149,11 @@ int Main(int argc, char** argv) {
   ScanOptions batched;  // Defaults.
 
   MetricsRegistry metrics;
+  // Worst-3 traces of the batched path, collected from one traced run per
+  // case *after* its timed cells so the measured loop stays on the
+  // disabled (null-span) path.
+  SlowQueryLog slow_log(SlowQueryLog::Options{/*threshold_millis=*/0.0,
+                                              /*capacity=*/3});
   std::printf("%-32s %16s %16s %9s\n", "query", "per-doc rows/s",
               "batched rows/s", "speedup");
   for (const auto& c : cases) {
@@ -174,7 +181,27 @@ int Main(int argc, char** argv) {
                 ref.rows_per_sec > 0 ? fast.rows_per_sec / ref.rows_per_sec
                                      : 0);
     std::fflush(stdout);
+
+    // One traced execution per case for the exit-time slow-query log.
+    const auto traced_start = std::chrono::steady_clock::now();
+    TraceSpan root = TraceSpan::Open("segment:scan_0");
+    PartialResult partial;
+    Status st = ExecuteQueryOnSegment(*segment, *query, batched, &root,
+                                      &partial);
+    if (!st.ok()) {
+      std::fprintf(stderr, "traced execute: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    root.Annotate("docs_scanned",
+                  static_cast<int64_t>(partial.stats.docs_scanned));
+    root.Close();
+    slow_log.Record(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - traced_start)
+                        .count(),
+                    c.pql, root);
   }
+  std::printf("\n# --- slow query log (top 3) ---\n%s",
+              slow_log.Dump(3).c_str());
   std::printf("\n# --- metrics dump ---\n%s", metrics.Dump().c_str());
   return 0;
 }

@@ -1,0 +1,96 @@
+// Trace smoke driver for scripts/check_dumps.sh: stands up a hybrid table,
+// runs TRACE / EXPLAIN queries plus one slow (delay-injected) query, and
+// prints the rendered trace, the metrics dump, and the slow-query log
+// between well-known markers so the script can validate each grammar.
+
+#include <cstdio>
+
+#include "cluster/pinot_cluster.h"
+#include "segment/segment_builder.h"
+
+using namespace pinot;
+
+namespace {
+
+Schema MetricsSchema() {
+  auto schema = Schema::Make({
+      FieldSpec::Dimension("page", DataType::kString),
+      FieldSpec::Metric("views", DataType::kLong),
+      FieldSpec::Time("day", DataType::kLong),
+  });
+  return *schema;
+}
+
+Row MakeRow(const char* page, int64_t views, int64_t day) {
+  Row row;
+  row.SetString("page", page).SetLong("views", views).SetLong("day", day);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  PinotClusterOptions options;
+  options.num_servers = 1;  // So the injected delay hits the queried server.
+  options.broker_options.slow_query_threshold_millis = 10.0;
+  PinotCluster cluster(options);
+  Controller* leader = cluster.leader_controller();
+  StreamTopic* topic = cluster.streams()->GetOrCreateTopic("metrics", 1);
+
+  TableConfig offline;
+  offline.name = "metrics";
+  offline.type = TableType::kOffline;
+  offline.schema = MetricsSchema();
+  if (!leader->AddTable(offline).ok()) return 1;
+
+  SegmentBuildConfig config;
+  config.table_name = "metrics_OFFLINE";
+  config.segment_name = "daily";
+  SegmentBuilder builder(MetricsSchema(), config);
+  for (int day = 1; day <= 4; ++day) {
+    if (!builder.AddRow(MakeRow("home", 100 + day, day)).ok()) return 1;
+    if (!builder.AddRow(MakeRow("jobs", 40 + day, day)).ok()) return 1;
+  }
+  auto segment = builder.Build();
+  if (!leader->UploadSegment("metrics_OFFLINE", (*segment)->SerializeToBlob())
+           .ok()) {
+    return 1;
+  }
+
+  TableConfig realtime;
+  realtime.name = "metrics";
+  realtime.type = TableType::kRealtime;
+  realtime.schema = MetricsSchema();
+  realtime.realtime.topic = "metrics";
+  realtime.realtime.flush_threshold_rows = 100000;
+  if (!leader->AddTable(realtime).ok()) return 1;
+  topic->Produce("k", MakeRow("home", 150, 5));
+  topic->Produce("k", MakeRow("jobs", 80, 5));
+  cluster.ProcessRealtimeTicks(2);
+
+  auto traced = cluster.Execute(
+      "TRACE SELECT sum(views) FROM metrics WHERE page = 'home'");
+  if (!traced.span.has_value()) {
+    std::fprintf(stderr, "TRACE query returned no span\n");
+    return 1;
+  }
+  std::printf("# --- trace dump ---\n%s", traced.span->ToString().c_str());
+
+  auto explained = cluster.Execute("EXPLAIN SELECT count(*) FROM metrics");
+  if (!explained.span.has_value() || !explained.explain_only) {
+    std::fprintf(stderr, "EXPLAIN query returned no plan\n");
+    return 1;
+  }
+  std::printf("# --- explain dump ---\n%s",
+              explained.span->ToString().c_str());
+
+  // Push one query over the slow threshold so the log has an entry.
+  cluster.server(0)->InjectQueryDelay(1, 20);
+  cluster.Execute("SELECT count(*) FROM metrics WHERE day >= 2");
+
+  std::printf("# --- slow query log ---\n%s",
+              cluster.SlowQueryLogDump().c_str());
+  std::printf("# --- metrics dump ---\n%s", cluster.MetricsDump().c_str());
+  std::printf("# --- end ---\n");
+  return 0;
+}

@@ -14,6 +14,10 @@ cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
 echo
+echo "== dumps: trace / explain / slow-query-log / metrics grammars =="
+scripts/check_dumps.sh build
+
+echo
 echo "== sanitizers: ASan+UBSan configure + build + ctest (build-asan/) =="
 cmake -B build-asan -S . -DPINOT_SANITIZE=ON
 cmake --build build-asan -j "${JOBS}"

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Validates the machine-readable dump grammars against a live cluster:
+#   - trace / explain renderings: one span per line,
+#       <2*depth spaces><name> <millis>.<micros 3 digits>ms [{k=v, ...}]
+#     with indentation stepping by exactly 2 spaces at a time;
+#   - MetricsDump(): Prometheus-style `name{labels} value` lines;
+#   - the slow-query log: `# slow query <rank>: <millis>ms  <pql>` headers
+#     followed by an indented span tree.
+# Runs the trace_smoke example from an existing build directory (default:
+# build/). Usage: scripts/check_dumps.sh [build_dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SMOKE="${BUILD_DIR}/examples/trace_smoke"
+
+if [[ ! -x "${SMOKE}" ]]; then
+  echo "check_dumps: ${SMOKE} not built (run cmake --build ${BUILD_DIR})" >&2
+  exit 1
+fi
+
+OUT="$(mktemp)"
+trap 'rm -f "${OUT}"' EXIT
+"${SMOKE}" > "${OUT}"
+
+section() {  # section <start marker> <end marker>: prints the lines between.
+  awk -v start="$1" -v end="$2" \
+      '$0 == end { found = 0 } found { print } $0 == start { found = 1 }' \
+      "${OUT}"
+}
+
+fail() { echo "check_dumps: $*" >&2; echo "--- output ---" >&2; cat "${OUT}" >&2; exit 1; }
+
+# Every marker must be present, in order.
+for marker in "# --- trace dump ---" "# --- explain dump ---" \
+              "# --- slow query log ---" "# --- metrics dump ---" \
+              "# --- end ---"; do
+  grep -qxF "${marker}" "${OUT}" || fail "missing marker '${marker}'"
+done
+
+SPAN_RE='^( *)[^ {][^ ]* -?[0-9]+\.[0-9]{3}ms( \{[^{}]*\})?$'
+
+check_span_tree() {  # check_span_tree <text> <what>
+  local text="$1" what="$2"
+  [[ -n "${text}" ]] || fail "${what}: empty"
+  local prev_indent=0 first=1
+  while IFS= read -r line; do
+    if ! grep -qE "${SPAN_RE}" <<< "${line}"; then
+      fail "${what}: bad span line '${line}'"
+    fi
+    local stripped="${line#"${line%%[![:space:]]*}"}"
+    local indent=$(( ${#line} - ${#stripped} ))
+    if (( indent % 2 != 0 )); then
+      fail "${what}: odd indent on '${line}'"
+    fi
+    if (( first )); then
+      if (( indent != 0 )); then fail "${what}: root '${line}' is indented"; fi
+      first=0
+    elif (( indent > prev_indent + 2 )); then
+      fail "${what}: indent jumps by more than one level at '${line}'"
+    fi
+    prev_indent="${indent}"
+  done <<< "${text}"
+}
+
+check_span_tree "$(section '# --- trace dump ---' '# --- explain dump ---')" \
+                "trace dump"
+EXPLAIN="$(section '# --- explain dump ---' '# --- slow query log ---')"
+check_span_tree "${EXPLAIN}" "explain dump"
+grep -q 'plan=' <<< "${EXPLAIN}" || fail "explain dump carries no plan label"
+
+# Slow-query log: headers, then span trees (validated leniently: every
+# non-header line must be a span line).
+SLOW="$(section '# --- slow query log ---' '# --- metrics dump ---')"
+grep -qE '^# slow query 1: [0-9]+\.[0-9]{3}ms  ' <<< "${SLOW}" \
+  || fail "slow-query log has no '# slow query 1:' header"
+while IFS= read -r line; do
+  [[ -z "${line}" || "${line}" == "#"* ]] && continue
+  grep -qE "${SPAN_RE}" <<< "${line}" \
+    || fail "slow-query log: bad span line '${line}'"
+done <<< "${SLOW}"
+
+# Metrics: every line is `name{labels} value` (labels optional), no
+# duplicate series, and the new phase histograms are present.
+METRICS="$(section '# --- metrics dump ---' '# --- end ---')"
+METRIC_RE='^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9.eE+-]+(\.[0-9]+)?$'
+while IFS= read -r line; do
+  [[ -z "${line}" ]] && continue
+  grep -qE "${METRIC_RE}" <<< "${line}" \
+    || fail "metrics dump: bad line '${line}'"
+done <<< "${METRICS}"
+DUPES="$(awk '{print $1}' <<< "${METRICS}" | sort | uniq -d)"
+[[ -z "${DUPES}" ]] || fail "metrics dump: duplicate series: ${DUPES}"
+for series in broker_route_time_ms broker_scatter_time_ms \
+              broker_reduce_time_ms server_query_queue_ms; do
+  grep -q "^${series}" <<< "${METRICS}" \
+    || fail "metrics dump: missing phase histogram ${series}"
+done
+
+echo "check_dumps: trace, explain, slow-query log and metrics grammars OK"

@@ -21,6 +21,9 @@ Broker::Broker(std::string id, ClusterContext ctx, Options options)
       metrics_(ctx_.metrics != nullptr ? ctx_.metrics
                                        : MetricsRegistry::Default()),
       pool_(options.scatter_threads),
+      slow_query_log_(SlowQueryLog::Options{
+          options.slow_query_threshold_millis,
+          options.slow_query_log_capacity}),
       rng_(options.seed) {}
 
 Broker::Broker(std::string id, ClusterContext ctx)
@@ -195,12 +198,19 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
          1000.0;
 }
 
+int64_t SteadyMicros(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 void Broker::QueryPhysicalTable(const std::string& physical_table,
                                 const Query& query,
                                 std::chrono::steady_clock::time_point deadline,
-                                PartialResult* merged, QueryTrace* trace) {
+                                PartialResult* merged, QueryTrace* trace,
+                                TraceSpan* scatter_span) {
   std::shared_ptr<TableRouting> routing = GetRouting(physical_table);
   if (routing->segment_servers.empty()) {
     return;  // Table has no queryable segments (not an error).
@@ -219,6 +229,20 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
     table = routing->routing_tables[rng_.NextUint64(
         routing->routing_tables.size())];
   }
+
+  // Why each segment is (currently) assigned to its server. Wave 0 comes
+  // straight from the routing table; retry waves record the prior outcome
+  // and how many untried live replicas the picker chose among, so a
+  // failover run is explainable from the trace alone.
+  const char* initial_reason = strategy == RoutingStrategy::kPartitionAware
+                                   ? "partition-aware"
+                                   : "routing-table";
+  std::map<std::string, std::string> pick_reason;
+  for (const auto& [server, segments] : table.server_segments) {
+    for (const auto& segment : segments) pick_reason[segment] = initial_reason;
+  }
+  // Last failure outcome per segment, feeding the next wave's pick reason.
+  std::map<std::string, std::string> last_outcome;
 
   struct ScatterCall {
     std::string server;
@@ -243,21 +267,70 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
   for (int attempt = 0; attempt < max_attempts && !assignment.empty();
        ++attempt) {
     std::vector<std::string> failed_segments;
+
+    // Fills the pick-reason list parallel to `segments` from the current
+    // assignment reasons.
+    auto reasons_for = [&](const std::vector<std::string>& segments) {
+      std::vector<std::string> reasons;
+      reasons.reserve(segments.size());
+      for (const auto& segment : segments) {
+        auto it = pick_reason.find(segment);
+        reasons.push_back(it != pick_reason.end() ? it->second
+                                                  : initial_reason);
+      }
+      return reasons;
+    };
+
+    // One `call:<server>` child span per scatter call, opened at submit
+    // time and closed at gather: wave + outcome, and the per-segment pick
+    // reason on retry waves (wave 0 gets a single whole-call pick label).
+    auto add_call_span = [&](const std::string& server,
+                             const std::vector<std::string>& segments,
+                             const std::vector<std::string>& reasons,
+                             int64_t start_micros, double latency_millis,
+                             const std::string& outcome,
+                             std::vector<TraceSpan>* children) {
+      if (scatter_span == nullptr) return;
+      TraceSpan call_span = TraceSpan::OpenAt("call:" + server, start_micros);
+      call_span.duration_micros =
+          static_cast<int64_t>(latency_millis * 1000.0);
+      call_span.Label("outcome", outcome);
+      if (attempt == 0) {
+        call_span.Label("pick", initial_reason);
+      } else {
+        for (size_t i = 0; i < segments.size(); ++i) {
+          call_span.Label("pick:" + segments[i], reasons[i]);
+        }
+      }
+      call_span.Annotate("wave", attempt);
+      call_span.Annotate("segments", static_cast<int64_t>(segments.size()));
+      if (children != nullptr) {
+        for (auto& child : *children) call_span.AddChild(std::move(child));
+        children->clear();
+      }
+      scatter_span->AddChild(std::move(call_span));
+    };
+
     auto record_failure = [&](const std::string& server,
                               const std::vector<std::string>& segments,
-                              double latency_millis, std::string outcome) {
+                              int64_t start_micros, double latency_millis,
+                              std::string outcome) {
+      add_call_span(server, segments, reasons_for(segments), start_micros,
+                    latency_millis, outcome, nullptr);
       ScatterTraceEvent event;
       event.physical_table = physical_table;
       event.server = server;
       event.segments = segments;
+      event.pick_reasons = reasons_for(segments);
       event.attempt = attempt;
       event.latency_millis = latency_millis;
       event.outcome = std::move(outcome);
-      trace->events.push_back(std::move(event));
       for (const auto& segment : segments) {
         tried_servers[segment].insert(server);
         failed_segments.push_back(segment);
+        last_outcome[segment] = event.outcome;
       }
+      trace->events.push_back(std::move(event));
     };
 
     // Scatter (step 3). Dead or unknown servers fail immediately and their
@@ -272,7 +345,8 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
                                      ? ctx_.server_endpoint(server)
                                      : nullptr;
       if (endpoint == nullptr || !ctx_.cluster->IsInstanceReachable(server)) {
-        record_failure(server, segments, 0, "unreachable");
+        record_failure(server, segments, TraceSpan::NowMicros(), 0,
+                       "unreachable");
         continue;
       }
       auto call = std::make_shared<ScatterCall>();
@@ -313,19 +387,29 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
           event.physical_table = physical_table;
           event.server = call->server;
           event.segments = std::move(call->segments);
+          event.pick_reasons = reasons_for(event.segments);
           event.attempt = attempt;
           event.latency_millis = latency;
           event.outcome = st.ok() ? "ok" : "error: " + st.ToString();
+          // Server-side spans (TRACE/EXPLAIN) nest under this call's span
+          // instead of riding the merged partial.
+          add_call_span(call->server, event.segments, event.pick_reasons,
+                        SteadyMicros(call->started), latency, event.outcome,
+                        &call->result.spans);
           trace->events.push_back(std::move(event));
           merged->Merge(std::move(call->result));
         } else {
-          record_failure(call->server, call->segments, latency,
+          record_failure(call->server, call->segments,
+                         SteadyMicros(call->started), latency,
                          "failed: " + st.ToString());
         }
       } else {
+        // The worker still owns the abandoned call and may write its
+        // result concurrently; only submit-time data is read here.
         ++trace->timeouts;
         record_failure(call->server, call->segments,
-                       MillisSince(call->started), "timeout");
+                       SteadyMicros(call->started), MillisSince(call->started),
+                       "timeout");
       }
     }
 
@@ -340,7 +424,15 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
     for (const auto& segment : failed_segments) {
       auto servers_it = routing->segment_servers.find(segment);
       std::string replica;
+      size_t candidates = 0;
       if (servers_it != routing->segment_servers.end()) {
+        const std::set<std::string>& tried = tried_servers[segment];
+        for (const auto& server : servers_it->second) {
+          if (tried.count(server) == 0 &&
+              ctx_.cluster->IsInstanceReachable(server)) {
+            ++candidates;
+          }
+        }
         std::lock_guard<std::mutex> lock(mutex_);
         replica = PickReplica(
             servers_it->second, tried_servers[segment],
@@ -353,6 +445,9 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
         dead_segments.push_back(segment);
       } else {
         ++trace->retries;
+        pick_reason[segment] = "failover(" + last_outcome[segment] +
+                               ", candidates=" +
+                               std::to_string(candidates) + ")";
         assignment[replica].push_back(segment);
       }
     }
@@ -411,6 +506,12 @@ QueryResult Broker::ExecuteQuery(const Query& query) {
       start + std::chrono::milliseconds(options_.default_timeout_millis);
   PartialResult merged;
   QueryTrace trace;
+
+  // Broker-level spans are built for every query, traced or not: route /
+  // scatter / reduce are a handful of spans per request, and the slow-query
+  // log needs them for queries that did not ask for TRACE.
+  TraceSpan root = TraceSpan::Open("broker:" + id_);
+  TraceSpan route_span = TraceSpan::Open("route");
 
   // Resolve the logical table into physical tables. A name that is already
   // physical is used as-is.
@@ -490,19 +591,51 @@ QueryResult Broker::ExecuteQuery(const Query& query) {
     }
   }
 
-  for (const auto& [physical, subquery] : plans) {
-    QueryPhysicalTable(physical, subquery, deadline, &merged, &trace);
-  }
+  route_span.Close();
+  metrics_->GetHistogram("broker_route_time_ms")
+      ->Observe(route_span.duration_millis());
+  root.AddChild(std::move(route_span));
 
-  const auto reduce_start = std::chrono::steady_clock::now();
-  QueryResult result = ReduceToFinalResult(query, std::move(merged));
+  const MetricLabels table_labels = {{"table", query.table}};
+  for (const auto& [physical, subquery] : plans) {
+    TraceSpan scatter_span = TraceSpan::Open("scatter:" + physical);
+    QueryPhysicalTable(physical, subquery, deadline, &merged, &trace,
+                       &scatter_span);
+    scatter_span.Close();
+    metrics_->GetHistogram("broker_scatter_time_ms", table_labels)
+        ->Observe(scatter_span.duration_millis());
+    root.AddChild(std::move(scatter_span));
+  }
+  // Server spans were re-parented under their call spans before merging;
+  // anything left (defensive) would dangle, so drop it.
+  merged.spans.clear();
+
+  QueryResult result;
+  if (query.explain) {
+    // EXPLAIN: planning already ran per segment inside the scatter; report
+    // stats and the span tree without reducing (there are no rows).
+    result.explain_only = true;
+    result.stats = merged.stats;
+    result.total_docs = merged.total_docs;
+    if (!merged.status.ok()) {
+      result.partial = true;
+      result.error_message = merged.status.ToString();
+    }
+  } else {
+    TraceSpan reduce_span = TraceSpan::Open("reduce");
+    result = ReduceToFinalResult(query, std::move(merged));
+    reduce_span.Close();
+    metrics_->GetHistogram("broker_reduce_time_ms")
+        ->Observe(reduce_span.duration_millis());
+    root.AddChild(std::move(reduce_span));
+  }
   const auto end = std::chrono::steady_clock::now();
   result.latency_millis =
       std::chrono::duration_cast<std::chrono::microseconds>(end - start)
           .count() /
       1000.0;
+  root.Close();
 
-  const MetricLabels table_labels = {{"table", query.table}};
   metrics_->GetCounter("broker_queries_total")->Increment();
   if (result.partial) {
     metrics_->GetCounter("broker_partial_results_total")->Increment();
@@ -517,11 +650,11 @@ QueryResult Broker::ExecuteQuery(const Query& query) {
   }
   metrics_->GetHistogram("broker_query_latency_ms", table_labels)
       ->Observe(result.latency_millis);
-  metrics_->GetHistogram("broker_reduce_time_ms")
-      ->Observe(std::chrono::duration_cast<std::chrono::microseconds>(
-                    end - reduce_start)
-                    .count() /
-                1000.0);
+
+  if (!query.explain) {
+    slow_query_log_.Record(result.latency_millis, query.ToString(), root);
+  }
+  if (query.trace || query.explain) result.span = std::move(root);
   result.trace = std::move(trace);
   return result;
 }

@@ -17,6 +17,8 @@
 #include "query/query.h"
 #include "query/result.h"
 #include "routing/routing.h"
+#include "trace/slow_query_log.h"
+#include "trace/trace.h"
 
 namespace pinot {
 
@@ -42,6 +44,10 @@ class Broker {
     // re-routes the segments of failed/timed-out calls to untried live
     // replicas; all waves share the query's deadline budget.
     int max_scatter_retries = 2;
+    // Slow-query log: queries at or over the threshold retain their
+    // rendered span tree in a worst-N ring (SlowQueryLogDump()).
+    double slow_query_threshold_millis = 100.0;
+    size_t slow_query_log_capacity = 8;
   };
 
   Broker(std::string id, ClusterContext ctx, Options options);
@@ -61,6 +67,15 @@ class Broker {
   /// by the external-view watch).
   void RebuildRouting(const std::string& physical_table);
 
+  /// Rendered worst-first slow-query traces, dumpable next to
+  /// MetricsDump(). Broker-level spans are built for every query (cheap: a
+  /// handful per request), so the log captures slow queries even when the
+  /// client did not ask for TRACE.
+  std::string SlowQueryLogDump(size_t top_n = 0) const {
+    return slow_query_log_.Dump(top_n);
+  }
+  SlowQueryLog* slow_query_log() { return &slow_query_log_; }
+
  private:
   struct TableRouting {
     TableConfig config;
@@ -75,11 +90,14 @@ class Broker {
 
   /// Runs one physical table's scatter/gather and merges into `merged`.
   /// Failed or timed-out calls are retried on other live replicas within
-  /// `deadline`; every call is recorded in `trace`.
+  /// `deadline`; every call is recorded in `trace` and as a `call:<server>`
+  /// child of `scatter_span` (wave number, outcome, per-segment replica-
+  /// pick reason; server-side spans nest under their call).
   void QueryPhysicalTable(const std::string& physical_table,
                           const Query& query,
                           std::chrono::steady_clock::time_point deadline,
-                          PartialResult* merged, QueryTrace* trace);
+                          PartialResult* merged, QueryTrace* trace,
+                          TraceSpan* scatter_span);
 
   /// Builds the per-query routing for a partition-aware table.
   RoutingTable BuildPartitionAwareTable(const TableRouting& routing,
@@ -93,6 +111,8 @@ class Broker {
   MetricsRegistry* metrics_;
   ThreadPool pool_;
   int view_watch_handle_ = -1;
+
+  SlowQueryLog slow_query_log_;
 
   mutable std::mutex mutex_;
   Random rng_;

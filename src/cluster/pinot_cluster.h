@@ -76,6 +76,16 @@ class PinotCluster {
   /// (brokers, servers, controllers, tenants, realtime consumers) recorded.
   std::string MetricsDump() const { return metrics_.Dump(); }
 
+  /// Rendered worst-first slow-query traces across every broker, dumpable
+  /// next to MetricsDump().
+  std::string SlowQueryLogDump(size_t top_n = 0) const {
+    std::string out;
+    for (const auto& broker : brokers_) {
+      out += broker->SlowQueryLogDump(top_n);
+    }
+    return out;
+  }
+
   /// Ticks realtime consumption on every server `rounds` times; returns
   /// total rows indexed.
   int ProcessRealtimeTicks(int rounds = 1);

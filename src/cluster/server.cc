@@ -58,6 +58,12 @@ void Server::SetQueryDropFraction(double fraction) {
 PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
   PartialResult result;
   const auto start = std::chrono::steady_clock::now();
+  // Per-request span (TRACE/EXPLAIN only): covers injected delay, tenant
+  // admission (queue time), and execution; rides back to the broker on
+  // result.spans. Untraced queries never touch the span.
+  const bool tracing = request.query.trace || request.query.explain;
+  TraceSpan server_span;
+  if (tracing) server_span = TraceSpan::Open("server:" + id_);
 
   // Injected faults are consumed before any real work so the broker's
   // failover path can be driven deterministically.
@@ -105,8 +111,16 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
   }
 
   // Tenant admission (paper section 4.5): queries for an exhausted tenant
-  // queue until tokens accrue or the request deadline passes.
+  // queue until tokens accrue or the request deadline passes. The wait is
+  // the request's queue time.
+  const auto admit_start = std::chrono::steady_clock::now();
   Status admitted = quota_.AdmitQuery(request.tenant, request.timeout_millis);
+  const int64_t queue_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - admit_start)
+          .count();
+  metrics_->GetHistogram("server_query_queue_ms", {{"instance", id_}})
+      ->Observe(queue_micros / 1000.0);
   if (!admitted.ok()) {
     result.status = admitted;
     return result;
@@ -159,8 +173,9 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
     read_locks.push_back(mutable_segment->AcquireReadLock());
   }
 
-  PartialResult executed =
-      ExecuteQueryOnSegments(to_query, request.query, &pool_);
+  const auto exec_start = std::chrono::steady_clock::now();
+  PartialResult executed = ExecuteQueryOnSegments(
+      to_query, request.query, &pool_, tracing ? &server_span : nullptr);
   executed.status = result.status.ok() ? executed.status : result.status;
   result = std::move(executed);
   read_locks.clear();
@@ -172,6 +187,17 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
       1000.0;
   // Charge execution time to the tenant's bucket (section 4.5).
   quota_.RecordExecution(request.tenant, execution_millis);
+
+  if (tracing) {
+    server_span.Annotate("queue_micros", queue_micros);
+    server_span.Annotate(
+        "exec_micros",
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - exec_start)
+            .count());
+    server_span.Close();
+    result.spans.push_back(std::move(server_span));
+  }
 
   const MetricLabels instance_labels = {{"instance", id_}};
   metrics_->GetCounter("server_queries_total", instance_labels)->Increment();

@@ -279,8 +279,26 @@ Result<DocIdSet> FilterEvaluator::EvalOr(
   return result;
 }
 
+const char* LeafStrategyToString(FilterEvaluator::LeafStrategy strategy) {
+  switch (strategy) {
+    case FilterEvaluator::LeafStrategy::kConstant:
+      return "constant";
+    case FilterEvaluator::LeafStrategy::kSortedRange:
+      return "sorted-range";
+    case FilterEvaluator::LeafStrategy::kInverted:
+      return "inverted";
+    case FilterEvaluator::LeafStrategy::kScan:
+      return "scan";
+  }
+  return "unknown";
+}
+
 Result<DocIdSet> FilterEvaluator::EvalLeaf(const Predicate& pred,
                                            const DocIdSet* domain) {
+  if (trace_span_ != nullptr) {
+    trace_span_->Label("op:" + pred.column,
+                       LeafStrategyToString(ClassifyLeaf(pred)));
+  }
   const uint32_t num_docs = segment_.num_docs();
   auto bounded = [&](DocIdSet set) {
     return domain != nullptr ? set.Intersect(*domain) : set;

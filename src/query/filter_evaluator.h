@@ -9,6 +9,7 @@
 #include "query/query.h"
 #include "query/result.h"
 #include "segment/segment.h"
+#include "trace/trace.h"
 
 namespace pinot {
 
@@ -66,6 +67,11 @@ class FilterEvaluator {
   /// query order). Used by the predicate-order ablation bench.
   void set_reorder_predicates(bool reorder) { reorder_predicates_ = reorder; }
 
+  /// When set, each evaluated leaf labels the span with the chosen operator
+  /// as `op:<column>` = constant|sorted-range|inverted|scan. Null (the
+  /// default) keeps the hot path free of trace work.
+  void set_trace_span(TraceSpan* span) { trace_span_ = span; }
+
  private:
   Result<DocIdSet> EvalNode(const FilterNode& node, const DocIdSet* domain);
   Result<DocIdSet> EvalAnd(const std::vector<FilterNode>& children,
@@ -82,7 +88,11 @@ class FilterEvaluator {
   const SegmentInterface& segment_;
   ExecutionStats* stats_;
   bool reorder_predicates_ = true;
+  TraceSpan* trace_span_ = nullptr;
 };
+
+/// "constant" / "sorted-range" / "inverted" / "scan".
+const char* LeafStrategyToString(FilterEvaluator::LeafStrategy strategy);
 
 }  // namespace pinot
 

@@ -167,6 +167,20 @@ class Parser {
 
   Result<Query> Parse() {
     Query query;
+    // Observability prefixes: EXPLAIN and TRACE may each appear once, in
+    // either order, before SELECT. EXPLAIN plans without executing; TRACE
+    // executes and attaches the span tree to the result.
+    for (;;) {
+      if (!query.explain && AcceptKeyword("EXPLAIN")) {
+        query.explain = true;
+        continue;
+      }
+      if (!query.trace && AcceptKeyword("TRACE")) {
+        query.trace = true;
+        continue;
+      }
+      break;
+    }
     PINOT_RETURN_NOT_OK(ExpectKeyword("SELECT"));
     PINOT_RETURN_NOT_OK(ParseSelectList(&query));
     PINOT_RETURN_NOT_OK(ExpectKeyword("FROM"));

@@ -95,6 +95,8 @@ std::string FilterNode::ToString() const {
 
 std::string Query::ToString() const {
   std::ostringstream os;
+  if (explain) os << "EXPLAIN ";
+  if (trace) os << "TRACE ";
   os << "SELECT ";
   if (IsAggregation()) {
     for (size_t i = 0; i < aggregations.size(); ++i) {

@@ -104,6 +104,14 @@ struct Query {
   // Selection ordering: (column, descending).
   std::vector<std::pair<std::string, bool>> order_by;
 
+  // Observability prefixes. `TRACE SELECT ...` executes normally and
+  // attaches the rendered span tree to the result; `EXPLAIN SELECT ...`
+  // runs per-segment planning only and reports the would-be plan without
+  // executing. These ride inside ServerQueryRequest (the query is passed
+  // by value in-process), so servers see them without protocol changes.
+  bool trace = false;
+  bool explain = false;
+
   bool IsAggregation() const { return !aggregations.empty(); }
   bool HasGroupBy() const { return !group_by.empty(); }
 

@@ -65,6 +65,10 @@ void PartialResult::Merge(PartialResult&& other) {
   for (auto& row : other.selection_rows) {
     selection_rows.push_back(std::move(row));
   }
+
+  for (auto& span : other.spans) {
+    spans.push_back(std::move(span));
+  }
 }
 
 namespace {
@@ -206,7 +210,13 @@ std::string QueryTrace::ToString() const {
   for (const auto& event : events) {
     os << "  [" << event.attempt << "] " << event.physical_table << " -> "
        << event.server << " (" << event.segments.size() << " segments:";
-    for (const auto& segment : event.segments) os << " " << segment;
+    for (size_t i = 0; i < event.segments.size(); ++i) {
+      os << " " << event.segments[i];
+      if (i < event.pick_reasons.size() &&
+          event.pick_reasons[i] != "routing-table") {
+        os << "<" << event.pick_reasons[i] << ">";
+      }
+    }
     os << ") " << event.outcome << " " << event.latency_millis << "ms\n";
   }
   return os.str();
@@ -241,11 +251,17 @@ std::string QueryResult::ToString() const {
   }
   os << "(docs scanned: " << stats.docs_scanned
      << ", matched: " << stats.docs_matched
-     << ", total: " << total_docs;
+     << ", total: " << total_docs
+     << ", segments queried: " << stats.segments_queried
+     << ", pruned: " << stats.segments_pruned;
   if (stats.used_star_tree) {
     os << ", star-tree records: " << stats.star_tree_records_scanned;
   }
   os << ")";
+  if (span.has_value()) {
+    os << "\n--- " << (explain_only ? "plan" : "trace") << " ---\n"
+       << span->ToString();
+  }
   return os.str();
 }
 

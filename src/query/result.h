@@ -2,6 +2,7 @@
 #define PINOT_QUERY_RESULT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "data/value.h"
 #include "query/agg.h"
 #include "query/query.h"
+#include "trace/trace.h"
 
 namespace pinot {
 
@@ -60,6 +62,12 @@ struct PartialResult {
   // Execution errors; a non-OK status marks the merged result partial.
   Status status;
 
+  // Trace spans produced while computing this partial (per-request server
+  // spans with per-segment children). Only populated when the query carries
+  // trace/explain; Merge concatenates so spans survive the server-side
+  // combine and ride back to the broker.
+  std::vector<TraceSpan> spans;
+
   void Merge(PartialResult&& other);
 };
 
@@ -81,6 +89,11 @@ struct ScatterTraceEvent {
   double latency_millis = 0;  // Submit-to-gather time (0 if never sent).
   // "ok", "unreachable", "timeout", "failed: <status>", "error: <status>".
   std::string outcome;
+  // Why each segment landed on this server, parallel to `segments`:
+  // "routing-table" on the first wave; on retry waves,
+  // "failover(<prior outcome>, candidates=<n>)" where n counts the live
+  // untried replicas the picker chose among.
+  std::vector<std::string> pick_reasons;
 };
 
 /// Per-query execution trace accumulated broker-side across all physical
@@ -118,6 +131,11 @@ struct QueryResult {
 
   ExecutionStats stats;
   QueryTrace trace;
+  // Full hierarchical execution trace (root = broker span). Populated for
+  // TRACE/EXPLAIN queries; ToString() renders it after the result rows.
+  std::optional<TraceSpan> span;
+  // True for EXPLAIN results: planning ran but no data was read.
+  bool explain_only = false;
   int64_t total_docs = 0;
   double latency_millis = 0;
 

@@ -437,7 +437,8 @@ bool PackedGroupByEligible(const std::vector<GroupByColumn>& group_columns,
 void ExecutePackedGroupBy(const std::vector<BoundAggregation>& bound,
                           const std::vector<GroupByColumn>& group_columns,
                           const ScanOptions& options, const DocIdSet& docs,
-                          uint64_t* scanned, PartialResult* out) {
+                          TraceSpan* span, uint64_t* scanned,
+                          PartialResult* out) {
   BlockDecoder decoder;
   ValueTableCache tables;
   const size_t num_aggs = bound.size();
@@ -481,6 +482,9 @@ void ExecutePackedGroupBy(const std::vector<BoundAggregation>& bound,
   const bool dense =
       total_bits < 64 &&
       (uint64_t{1} << total_bits) <= options.dense_groupby_max_slots;
+  if (span != nullptr) {
+    span->Label("group_table", dense ? "dense" : "open-addressing");
+  }
   std::vector<uint32_t> dense_table;
   size_t capacity = 0;
   std::vector<uint64_t> oa_keys;
@@ -789,19 +793,16 @@ Status ExecuteWithStarTree(const SegmentInterface& segment,
 
 // --- Metadata-only path ----------------------------------------------------
 
-bool TryMetadataOnlyPlan(const SegmentInterface& segment, const Query& query,
-                         PartialResult* out) {
+// Pure eligibility check (shared by execution and EXPLAIN planning):
+// unfiltered, ungrouped COUNT(*)/MIN/MAX answerable from segment metadata.
+bool MetadataOnlyEligible(const SegmentInterface& segment,
+                          const Query& query) {
   if (!query.IsAggregation() || query.HasGroupBy() ||
       query.filter.has_value()) {
     return false;
   }
-  std::vector<AggState> states(query.aggregations.size());
-  for (size_t i = 0; i < query.aggregations.size(); ++i) {
-    const auto& spec = query.aggregations[i];
-    if (spec.type == AggregationType::kCount && spec.column.empty()) {
-      states[i].count = segment.num_docs();
-      continue;
-    }
+  for (const auto& spec : query.aggregations) {
+    if (spec.type == AggregationType::kCount && spec.column.empty()) continue;
     if (spec.type == AggregationType::kMin ||
         spec.type == AggregationType::kMax) {
       const ColumnReader* column = segment.GetColumn(spec.column);
@@ -810,14 +811,29 @@ bool TryMetadataOnlyPlan(const SegmentInterface& segment, const Query& query,
           segment.num_docs() == 0) {
         return false;
       }
-      const ColumnStats& stats = column->stats();
-      states[i].AddPreaggregated(0, ValueToDouble(stats.min_value),
-                                 ValueToDouble(stats.max_value),
-                                 segment.num_docs());
-      states[i].sum = 0;
       continue;
     }
     return false;
+  }
+  return true;
+}
+
+// Executes the metadata-only plan; caller checked MetadataOnlyEligible.
+void ExecuteMetadataOnlyPlan(const SegmentInterface& segment,
+                             const Query& query, PartialResult* out) {
+  std::vector<AggState> states(query.aggregations.size());
+  for (size_t i = 0; i < query.aggregations.size(); ++i) {
+    const auto& spec = query.aggregations[i];
+    if (spec.type == AggregationType::kCount && spec.column.empty()) {
+      states[i].count = segment.num_docs();
+      continue;
+    }
+    const ColumnReader* column = segment.GetColumn(spec.column);
+    const ColumnStats& stats = column->stats();
+    states[i].AddPreaggregated(0, ValueToDouble(stats.min_value),
+                               ValueToDouble(stats.max_value),
+                               segment.num_docs());
+    states[i].sum = 0;
   }
   if (out->aggregates.empty()) {
     out->aggregates = std::move(states);
@@ -828,6 +844,24 @@ bool TryMetadataOnlyPlan(const SegmentInterface& segment, const Query& query,
   }
   out->stats.answered_from_metadata = true;
   out->stats.docs_matched += segment.num_docs();
+}
+
+// Mirrors ExecuteWithStarTree's ResourceExhausted guard without touching
+// record data, so EXPLAIN reports the raw fallback the execution would
+// actually take on oversized range expansions.
+bool StarTreeExpansionFits(const SegmentInterface& segment,
+                           const std::vector<const Predicate*>& predicates) {
+  for (const Predicate* pred : predicates) {
+    const ColumnReader* column = segment.GetColumn(pred->column);
+    if (column == nullptr) return true;  // Execution errors out instead.
+    const DictIdMatch match = MatchDictIds(column->dictionary(), *pred);
+    if (match.match_none || match.match_all) continue;
+    if (match.contiguous &&
+        static_cast<size_t>(match.hi - match.lo + 1) >
+            kMaxStarTreeIdExpansion) {
+      return false;
+    }
+  }
   return true;
 }
 
@@ -894,6 +928,49 @@ bool CanUseStarTree(const SegmentInterface& segment, const Query& query) {
   return StarTreeEligible(segment, query, &predicates);
 }
 
+const char* SegmentPlanKindToString(SegmentPlanKind kind) {
+  switch (kind) {
+    case SegmentPlanKind::kMetadataOnly:
+      return "metadata";
+    case SegmentPlanKind::kStarTree:
+      return "star-tree";
+    case SegmentPlanKind::kRaw:
+      return "raw";
+  }
+  return "unknown";
+}
+
+SegmentPlanKind PlanQueryOnSegment(const SegmentInterface& segment,
+                                   const Query& query, TraceSpan* span) {
+  if (MetadataOnlyEligible(segment, query)) {
+    return SegmentPlanKind::kMetadataOnly;
+  }
+  {
+    std::vector<const Predicate*> predicates;
+    if (StarTreeEligible(segment, query, &predicates) &&
+        StarTreeExpansionFits(segment, predicates)) {
+      return SegmentPlanKind::kStarTree;
+    }
+  }
+  if (span != nullptr && query.filter.has_value()) {
+    // Report the per-column operator the raw plan would use.
+    FilterEvaluator evaluator(segment, nullptr);
+    std::vector<const FilterNode*> stack = {&*query.filter};
+    while (!stack.empty()) {
+      const FilterNode* node = stack.back();
+      stack.pop_back();
+      if (node->kind == FilterNode::Kind::kLeaf) {
+        span->Label(
+            "op:" + node->predicate.column,
+            LeafStrategyToString(evaluator.ClassifyLeaf(node->predicate)));
+      } else {
+        for (const auto& child : node->children) stack.push_back(&child);
+      }
+    }
+  }
+  return SegmentPlanKind::kRaw;
+}
+
 Status ExecuteQueryOnSegment(const SegmentInterface& segment,
                              const Query& query, PartialResult* out) {
   return ExecuteQueryOnSegment(segment, query, ScanOptions{}, out);
@@ -902,39 +979,81 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
 Status ExecuteQueryOnSegment(const SegmentInterface& segment,
                              const Query& query, const ScanOptions& options,
                              PartialResult* out) {
+  return ExecuteQueryOnSegment(segment, query, options, nullptr, out);
+}
+
+Status ExecuteQueryOnSegment(const SegmentInterface& segment,
+                             const Query& query, const ScanOptions& options,
+                             TraceSpan* span, PartialResult* out) {
   out->total_docs += segment.num_docs();
   out->stats.segments_queried += 1;
 
   // 1. Metadata-only plan.
-  if (TryMetadataOnlyPlan(segment, query, out)) return Status::OK();
+  if (MetadataOnlyEligible(segment, query)) {
+    if (span != nullptr) span->Label("plan", "metadata");
+    ExecuteMetadataOnlyPlan(segment, query, out);
+    return Status::OK();
+  }
 
   // 2. Star-tree plan.
   {
     std::vector<const Predicate*> predicates;
     if (StarTreeEligible(segment, query, &predicates)) {
+      TraceSpan star_span;
+      if (span != nullptr) star_span = TraceSpan::Open("star-tree");
+      const uint64_t records_before = out->stats.star_tree_records_scanned;
       Status st = ExecuteWithStarTree(segment, query, predicates, out);
       // ResourceExhausted -> predicate expansion too large; fall through to
       // the raw plan.
       if (!st.IsQuotaExceeded() &&
           st.code() != StatusCode::kResourceExhausted) {
+        if (span != nullptr) {
+          span->Label("plan", "star-tree");
+          star_span.Annotate(
+              "records_scanned",
+              static_cast<int64_t>(out->stats.star_tree_records_scanned -
+                                   records_before));
+          star_span.Close();
+          span->AddChild(std::move(star_span));
+        }
         return st;
       }
+      if (span != nullptr) span->Label("star_tree_fallback", "id-expansion");
     }
   }
 
   // 3. Raw plan.
+  if (span != nullptr) span->Label("plan", "raw");
+  TraceSpan filter_span;
+  if (span != nullptr) filter_span = TraceSpan::Open("filter");
   FilterEvaluator evaluator(segment, &out->stats);
+  if (span != nullptr) evaluator.set_trace_span(&filter_span);
   PINOT_ASSIGN_OR_RETURN(DocIdSet docs, evaluator.Evaluate(query.filter));
   out->stats.docs_matched += docs.Cardinality();
+  if (span != nullptr) {
+    filter_span.Annotate("docs_matched",
+                         static_cast<int64_t>(docs.Cardinality()));
+    filter_span.Close();
+    span->AddChild(std::move(filter_span));
+  }
 
   if (!query.IsAggregation()) {
-    return ExecuteSelection(segment, query, docs, out);
+    TraceSpan select_span;
+    if (span != nullptr) select_span = TraceSpan::Open("selection");
+    Status st = ExecuteSelection(segment, query, docs, out);
+    if (span != nullptr) {
+      select_span.Close();
+      span->AddChild(std::move(select_span));
+    }
+    return st;
   }
 
   std::vector<BoundAggregation> bound;
   PINOT_RETURN_NOT_OK(BindAggregations(segment, query, &bound));
 
   if (!query.HasGroupBy()) {
+    TraceSpan agg_span;
+    if (span != nullptr) agg_span = TraceSpan::Open("aggregate");
     std::vector<AggState> states(bound.size());
     // COUNT-only queries need no per-document work.
     bool count_only = true;
@@ -945,13 +1064,16 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
       }
     }
     if (count_only) {
+      if (span != nullptr) agg_span.Label("kernel", "count-only");
       const int64_t matched = static_cast<int64_t>(docs.Cardinality());
       for (auto& state : states) state.count = matched;
     } else if (options.batched_decode && AggsBatchable(bound)) {
+      if (span != nullptr) agg_span.Label("kernel", "batched");
       uint64_t scanned = 0;
       ExecuteAggBatched(bound, docs, &states, &scanned);
       out->stats.docs_scanned += scanned;
     } else {
+      if (span != nullptr) agg_span.Label("kernel", "per-doc");
       std::vector<uint32_t> scratch;
       uint64_t scanned = 0;
       docs.ForEachRange([&](uint32_t begin, uint32_t end) {
@@ -970,6 +1092,10 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
       for (size_t i = 0; i < states.size(); ++i) {
         out->aggregates[i].Merge(std::move(states[i]));
       }
+    }
+    if (span != nullptr) {
+      agg_span.Close();
+      span->AddChild(std::move(agg_span));
     }
     return Status::OK();
   }
@@ -991,44 +1117,57 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
     group_columns.push_back(std::move(gb));
   }
 
+  TraceSpan groupby_span;
+  if (span != nullptr) groupby_span = TraceSpan::Open("group-by");
+
   // Packed-key fast path: single-value group columns whose dict-id bit
   // widths sum to <= 64 bits skip string keys and the node-based hash map
   // entirely. Falls back to the string-key path for multi-value columns,
   // oversized key spaces, and DISTINCTCOUNT.
+  bool grouped = false;
   {
     int total_bits = 0;
     if (options.batched_decode && options.packed_groupby &&
         AggsBatchable(bound) &&
         PackedGroupByEligible(group_columns, &total_bits)) {
       uint64_t scanned = 0;
-      ExecutePackedGroupBy(bound, group_columns, options, docs, &scanned, out);
+      ExecutePackedGroupBy(bound, group_columns, options, docs,
+                           span != nullptr ? &groupby_span : nullptr, &scanned,
+                           out);
       out->stats.docs_scanned += scanned;
-      return Status::OK();
+      grouped = true;
     }
   }
 
-  LocalGroups local;
-  std::string key;
-  std::vector<std::vector<uint32_t>> mv_scratch(group_columns.size());
-  std::vector<uint32_t> scratch;
-  const size_t num_aggs = bound.size();
-  uint64_t scanned = 0;
-  docs.ForEachRange([&](uint32_t begin, uint32_t end) {
-    scanned += end - begin;
-    for (uint32_t doc = begin; doc < end; ++doc) {
-      key.clear();
-      ForEachGroupKey(group_columns, doc, 0, &key, &mv_scratch,
-                      [&](const std::string& group_key) {
-                        auto [it, inserted] = local.try_emplace(group_key);
-                        if (inserted) it->second.resize(num_aggs);
-                        for (size_t i = 0; i < num_aggs; ++i) {
-                          bound[i].Accumulate(doc, &it->second[i], &scratch);
-                        }
-                      });
-    }
-  });
-  out->stats.docs_scanned += scanned;
-  FlushLocalGroups(group_columns, std::move(local), out);
+  if (!grouped) {
+    if (span != nullptr) groupby_span.Label("group_table", "string");
+    LocalGroups local;
+    std::string key;
+    std::vector<std::vector<uint32_t>> mv_scratch(group_columns.size());
+    std::vector<uint32_t> scratch;
+    const size_t num_aggs = bound.size();
+    uint64_t scanned = 0;
+    docs.ForEachRange([&](uint32_t begin, uint32_t end) {
+      scanned += end - begin;
+      for (uint32_t doc = begin; doc < end; ++doc) {
+        key.clear();
+        ForEachGroupKey(group_columns, doc, 0, &key, &mv_scratch,
+                        [&](const std::string& group_key) {
+                          auto [it, inserted] = local.try_emplace(group_key);
+                          if (inserted) it->second.resize(num_aggs);
+                          for (size_t i = 0; i < num_aggs; ++i) {
+                            bound[i].Accumulate(doc, &it->second[i], &scratch);
+                          }
+                        });
+      }
+    });
+    out->stats.docs_scanned += scanned;
+    FlushLocalGroups(group_columns, std::move(local), out);
+  }
+  if (span != nullptr) {
+    groupby_span.Close();
+    span->AddChild(std::move(groupby_span));
+  }
   return Status::OK();
 }
 

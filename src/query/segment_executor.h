@@ -5,6 +5,7 @@
 #include "query/query.h"
 #include "query/result.h"
 #include "segment/segment.h"
+#include "trace/trace.h"
 
 namespace pinot {
 
@@ -43,6 +44,32 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
 Status ExecuteQueryOnSegment(const SegmentInterface& segment,
                              const Query& query, const ScanOptions& options,
                              PartialResult* out);
+
+/// Traced variant: when `span` is non-null, execution appends phase child
+/// spans (plan / filter / aggregate | group-by | selection) and labels the
+/// span with the chosen plan (`plan` = metadata | star-tree | raw), the
+/// per-column filter operator (`op:<col>`), and the group-table kind
+/// (`group_table` = dense | open-addressing | string). A null span runs the
+/// untraced path with zero overhead.
+Status ExecuteQueryOnSegment(const SegmentInterface& segment,
+                             const Query& query, const ScanOptions& options,
+                             TraceSpan* span, PartialResult* out);
+
+/// The physical plan classes of paper section 3.3.4, in preference order.
+enum class SegmentPlanKind { kMetadataOnly, kStarTree, kRaw };
+
+/// "metadata" / "star-tree" / "raw".
+const char* SegmentPlanKindToString(SegmentPlanKind kind);
+
+/// Planning only (EXPLAIN): decides which physical plan
+/// ExecuteQueryOnSegment would pick for this query on this segment without
+/// reading any row data — including the star-tree id-expansion limit, so a
+/// would-be runtime fallback to raw is reported as raw. When `span` is
+/// non-null and the raw plan is chosen, each filter column is labelled with
+/// its operator (`op:<col>` = constant | sorted-range | inverted | scan).
+SegmentPlanKind PlanQueryOnSegment(const SegmentInterface& segment,
+                                   const Query& query,
+                                   TraceSpan* span = nullptr);
 
 /// True when the segment's star-tree can answer the query (exposed for
 /// tests and the Figure 13 bench).

@@ -86,9 +86,23 @@ bool CanPruneSegment(const SegmentInterface& segment, const Query& query) {
   return FilterDisjointFromSegment(segment, *query.filter);
 }
 
+namespace {
+
+// Annotates a finished per-segment span with that segment's own stats.
+void AnnotateSegmentSpan(const ExecutionStats& stats, TraceSpan* span) {
+  span->Annotate("docs_scanned", static_cast<int64_t>(stats.docs_scanned));
+  span->Annotate("docs_matched", static_cast<int64_t>(stats.docs_matched));
+  if (stats.used_star_tree) {
+    span->Annotate("star_tree_records",
+                   static_cast<int64_t>(stats.star_tree_records_scanned));
+  }
+}
+
+}  // namespace
+
 PartialResult ExecuteQueryOnSegments(
     const std::vector<std::shared_ptr<SegmentInterface>>& segments,
-    const Query& query, ThreadPool* pool) {
+    const Query& query, ThreadPool* pool, TraceSpan* parent) {
   PartialResult merged;
 
   std::vector<std::shared_ptr<SegmentInterface>> to_run;
@@ -96,27 +110,77 @@ PartialResult ExecuteQueryOnSegments(
     if (CanPruneSegment(*segment, query)) {
       merged.stats.segments_pruned += 1;
       merged.total_docs += segment->num_docs();
+      if (parent != nullptr) {
+        TraceSpan span =
+            TraceSpan::Open("segment:" + segment->metadata().segment_name);
+        span.Label("plan", "pruned");
+        span.Close();
+        parent->AddChild(std::move(span));
+      }
     } else {
       to_run.push_back(segment);
     }
   }
 
+  if (query.explain) {
+    // EXPLAIN: report the would-be plan per segment; read no row data.
+    for (const auto& segment : to_run) {
+      merged.stats.segments_queried += 1;
+      merged.total_docs += segment->num_docs();
+      if (parent != nullptr) {
+        TraceSpan span =
+            TraceSpan::Open("segment:" + segment->metadata().segment_name);
+        const SegmentPlanKind kind = PlanQueryOnSegment(*segment, query, &span);
+        span.Label("plan", SegmentPlanKindToString(kind));
+        span.Close();
+        parent->AddChild(std::move(span));
+      }
+    }
+    return merged;
+  }
+
   if (pool == nullptr || to_run.size() <= 1) {
     for (const auto& segment : to_run) {
       PartialResult partial;
-      partial.status = ExecuteQueryOnSegment(*segment, query, &partial);
+      TraceSpan span;
+      TraceSpan* span_ptr = nullptr;
+      if (parent != nullptr) {
+        span = TraceSpan::Open("segment:" + segment->metadata().segment_name);
+        span_ptr = &span;
+      }
+      partial.status =
+          ExecuteQueryOnSegment(*segment, query, ScanOptions{}, span_ptr,
+                                &partial);
+      if (parent != nullptr) {
+        AnnotateSegmentSpan(partial.stats, &span);
+        span.Close();
+        parent->AddChild(std::move(span));
+      }
       merged.Merge(std::move(partial));
     }
     return merged;
   }
 
   std::vector<PartialResult> partials(to_run.size());
+  std::vector<TraceSpan> spans(parent != nullptr ? to_run.size() : 0);
   pool->ParallelFor(static_cast<int>(to_run.size()), [&](int i) {
-    partials[i].status =
-        ExecuteQueryOnSegment(*to_run[i], query, &partials[i]);
+    TraceSpan* span_ptr = nullptr;
+    if (parent != nullptr) {
+      spans[i] =
+          TraceSpan::Open("segment:" + to_run[i]->metadata().segment_name);
+      span_ptr = &spans[i];
+    }
+    partials[i].status = ExecuteQueryOnSegment(*to_run[i], query,
+                                               ScanOptions{}, span_ptr,
+                                               &partials[i]);
+    if (span_ptr != nullptr) {
+      AnnotateSegmentSpan(partials[i].stats, span_ptr);
+      span_ptr->Close();
+    }
   });
-  for (auto& partial : partials) {
-    merged.Merge(std::move(partial));
+  for (size_t i = 0; i < partials.size(); ++i) {
+    if (parent != nullptr) parent->AddChild(std::move(spans[i]));
+    merged.Merge(std::move(partials[i]));
   }
   return merged;
 }

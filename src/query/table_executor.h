@@ -8,6 +8,7 @@
 #include "query/query.h"
 #include "query/result.h"
 #include "segment/segment.h"
+#include "trace/trace.h"
 
 namespace pinot {
 
@@ -19,9 +20,18 @@ namespace pinot {
 /// value ranges disjoint from the column's min/max) are pruned without
 /// execution; per-segment errors mark the merged result's status, which the
 /// broker surfaces as a partial result rather than a failure.
+///
+/// When `parent` is non-null, one `segment:<name>` child span is attached
+/// per segment, labelled with the chosen plan (metadata / star-tree / raw /
+/// pruned) and annotated with docs scanned/matched; in the parallel path
+/// each task builds its span locally and the single-threaded merge step
+/// attaches them, so no locking is needed. A query with `explain` set runs
+/// per-segment planning only — plan spans are produced but no data is read
+/// and no rows are returned.
 PartialResult ExecuteQueryOnSegments(
     const std::vector<std::shared_ptr<SegmentInterface>>& segments,
-    const Query& query, ThreadPool* pool = nullptr);
+    const Query& query, ThreadPool* pool = nullptr,
+    TraceSpan* parent = nullptr);
 
 /// True when segment metadata alone proves the filter matches nothing in
 /// this segment (exposed for tests).

@@ -1,0 +1,66 @@
+#include "trace/slow_query_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pinot {
+
+void SlowQueryLog::Record(double latency_millis,
+                          const std::string& description,
+                          const TraceSpan& root) {
+  if (options_.capacity == 0) return;
+  if (latency_millis < options_.threshold_millis) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= options_.capacity &&
+      latency_millis <= entries_.back().latency_millis) {
+    return;
+  }
+  Entry entry;
+  entry.latency_millis = latency_millis;
+  entry.description = description;
+  entry.rendered_trace = root.ToString();
+  auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const Entry& a, const Entry& b) {
+        return a.latency_millis > b.latency_millis;
+      });
+  entries_.insert(pos, std::move(entry));
+  if (entries_.size() > options_.capacity) entries_.pop_back();
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Worst(size_t top_n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (top_n == 0 || top_n >= entries_.size()) return entries_;
+  return std::vector<Entry>(entries_.begin(),
+                            entries_.begin() + static_cast<long>(top_n));
+}
+
+std::string SlowQueryLog::Dump(size_t top_n) const {
+  const std::vector<Entry> worst = Worst(top_n);
+  std::string out;
+  if (worst.empty()) {
+    out = "# slow query log: empty\n";
+    return out;
+  }
+  char buf[128];
+  size_t rank = 1;
+  for (const auto& entry : worst) {
+    std::snprintf(buf, sizeof(buf), "# slow query %zu: %.3fms  %s\n", rank++,
+                  entry.latency_millis, entry.description.c_str());
+    out.append(buf);
+    out.append(entry.rendered_trace);
+  }
+  return out;
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace pinot

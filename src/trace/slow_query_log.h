@@ -1,0 +1,59 @@
+#ifndef PINOT_TRACE_SLOW_QUERY_LOG_H_
+#define PINOT_TRACE_SLOW_QUERY_LOG_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace pinot {
+
+/// Keeps the N worst (highest-latency) query traces whose latency crossed a
+/// configurable threshold, for post-hoc attribution of tail latency: the
+/// aggregate histograms say p99 moved, the slow-query log says which query,
+/// which segment, and which phase. Thread-safe; traces are rendered to text
+/// at record time so retained entries cost no live references.
+class SlowQueryLog {
+ public:
+  struct Options {
+    // Queries at least this slow are candidates for retention. 0 retains
+    // every query (useful in benches that want the worst traces regardless).
+    double threshold_millis = 100.0;
+    // How many worst entries to keep.
+    size_t capacity = 8;
+  };
+
+  struct Entry {
+    double latency_millis = 0;
+    std::string description;  // Typically the PQL text.
+    std::string rendered_trace;
+  };
+
+  SlowQueryLog() : SlowQueryLog(Options{}) {}
+  explicit SlowQueryLog(Options options) : options_(options) {}
+
+  /// Considers one finished query. Renders and retains the span tree if the
+  /// latency is over the threshold and among the worst `capacity` seen.
+  void Record(double latency_millis, const std::string& description,
+              const TraceSpan& root);
+
+  /// Worst-first entries, at most `top_n` (0 = all retained).
+  std::vector<Entry> Worst(size_t top_n = 0) const;
+
+  /// Human-readable dump of the worst `top_n` entries, one block per query.
+  std::string Dump(size_t top_n = 0) const;
+
+  size_t size() const;
+  void Clear();
+
+ private:
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;  // Sorted worst-first, size <= capacity.
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_TRACE_SLOW_QUERY_LOG_H_

@@ -1,0 +1,117 @@
+#include "trace/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace pinot {
+namespace {
+
+void Render(const TraceSpan& span, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(span.name);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %" PRId64 ".%03" PRId64 "ms",
+                span.duration_micros / 1000,
+                span.duration_micros >= 0 ? span.duration_micros % 1000
+                                          : -(span.duration_micros % 1000));
+  out->append(buf);
+  if (!span.annotations.empty() || !span.labels.empty()) {
+    out->append(" {");
+    bool first = true;
+    for (const auto& [key, value] : span.labels) {
+      if (!first) out->append(", ");
+      first = false;
+      out->append(key);
+      out->append("=");
+      out->append(value);
+    }
+    for (const auto& [key, value] : span.annotations) {
+      if (!first) out->append(", ");
+      first = false;
+      out->append(key);
+      out->append("=");
+      std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+      out->append(buf);
+    }
+    out->append("}");
+  }
+  out->append("\n");
+  for (const auto& child : span.children) Render(child, depth + 1, out);
+}
+
+}  // namespace
+
+int64_t TraceSpan::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TraceSpan TraceSpan::Open(std::string name) {
+  TraceSpan span;
+  span.name = std::move(name);
+  span.start_micros = NowMicros();
+  return span;
+}
+
+TraceSpan TraceSpan::OpenAt(std::string name, int64_t start_micros) {
+  TraceSpan span;
+  span.name = std::move(name);
+  span.start_micros = start_micros;
+  return span;
+}
+
+const TraceSpan* TraceSpan::Find(const std::string& span_name) const {
+  if (name == span_name) return this;
+  for (const auto& child : children) {
+    if (const TraceSpan* found = child.Find(span_name)) return found;
+  }
+  return nullptr;
+}
+
+int64_t TraceSpan::Annotation(const std::string& key, int64_t fallback) const {
+  for (const auto& [k, v] : annotations) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::string TraceSpan::LabelValue(const std::string& key) const {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+bool TraceSpan::WellFormed(std::string* why, int64_t slack_micros) const {
+  if (duration_micros < 0) {
+    if (why != nullptr) *why = "span '" + name + "' has negative duration";
+    return false;
+  }
+  const int64_t end = start_micros + duration_micros;
+  for (const auto& child : children) {
+    if (child.start_micros + slack_micros < start_micros) {
+      if (why != nullptr) {
+        *why = "child '" + child.name + "' starts before parent '" + name + "'";
+      }
+      return false;
+    }
+    if (child.start_micros + child.duration_micros > end + slack_micros) {
+      if (why != nullptr) {
+        *why = "child '" + child.name + "' ends after parent '" + name + "'";
+      }
+      return false;
+    }
+    if (!child.WellFormed(why, slack_micros)) return false;
+  }
+  return true;
+}
+
+std::string TraceSpan::ToString() const {
+  std::string out;
+  Render(*this, 0, &out);
+  return out;
+}
+
+}  // namespace pinot

@@ -1,0 +1,88 @@
+#ifndef PINOT_TRACE_TRACE_H_
+#define PINOT_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pinot {
+
+/// Hierarchical per-query execution trace (request tracing in real Pinot;
+/// Dremel/Druid-style per-operator profiles): a tree of named spans, each
+/// with a steady-clock start and duration, integer annotations (docs
+/// scanned, wave numbers) and string labels (plan chosen, filter operator
+/// per column, outcome).
+///
+/// Zero-overhead disabled path: every traced API takes a `TraceSpan*` that
+/// is null when tracing is off, and hot loops only pay a pointer test at
+/// phase boundaries. Spans are plain values — built locally, then moved
+/// into the parent's `children` — so parallel per-segment execution needs
+/// no locking; the single-threaded combine step attaches them.
+///
+/// All components of the in-process cluster share one steady clock, so
+/// spans produced on a server nest consistently under the broker's scatter
+/// spans: a child's [start, start+duration] interval always lies inside
+/// its parent's.
+struct TraceSpan {
+  std::string name;
+  int64_t start_micros = 0;     // steady_clock time at Open().
+  int64_t duration_micros = 0;  // Set by Close() (or explicitly).
+  std::vector<std::pair<std::string, int64_t>> annotations;
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<TraceSpan> children;
+
+  /// Current steady-clock time in microseconds.
+  static int64_t NowMicros();
+
+  /// Opens a span starting now.
+  static TraceSpan Open(std::string name);
+  /// Opens a span with an explicit start (e.g. a scatter call's submit
+  /// time captured before the worker ran).
+  static TraceSpan OpenAt(std::string name, int64_t start_micros);
+
+  /// Stamps the duration as now - start. Idempotent enough for our use:
+  /// call exactly once, after all children are closed.
+  void Close() { duration_micros = NowMicros() - start_micros; }
+
+  void Annotate(std::string key, int64_t value) {
+    annotations.emplace_back(std::move(key), value);
+  }
+  void Label(std::string key, std::string value) {
+    labels.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Moves `child` into this span and returns a reference to the stored
+  /// copy. The reference is invalidated by the next AddChild — callers
+  /// build children fully before attaching them.
+  TraceSpan& AddChild(TraceSpan child) {
+    children.push_back(std::move(child));
+    return children.back();
+  }
+
+  double duration_millis() const { return duration_micros / 1000.0; }
+
+  /// First child (depth-first) whose name matches exactly; null if absent.
+  const TraceSpan* Find(const std::string& span_name) const;
+  /// Value of an annotation on this span; `fallback` when absent.
+  int64_t Annotation(const std::string& key, int64_t fallback = 0) const;
+  /// Value of a label on this span; empty when absent.
+  std::string LabelValue(const std::string& key) const;
+
+  /// Structural validity: non-negative durations and every child interval
+  /// contained in its parent's (with `slack_micros` tolerance for clock
+  /// granularity). On failure, fills `why` (when non-null) with the first
+  /// violated invariant.
+  bool WellFormed(std::string* why = nullptr,
+                  int64_t slack_micros = 0) const;
+
+  /// Indented rendering, one span per line:
+  ///   <2*depth spaces><name> <millis>ms [{k=v, ...}]
+  /// Annotations and labels share the brace list. The grammar is enforced
+  /// by scripts/check_dumps.sh; keep them in sync.
+  std::string ToString() const;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_TRACE_TRACE_H_

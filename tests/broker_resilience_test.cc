@@ -95,6 +95,63 @@ TEST(BrokerResilienceTest, RetriesInjectedFailureOnAnotherReplica) {
   EXPECT_EQ(result.trace.retries, 0);
 }
 
+// Every scatter event reports why each of its segments landed on that
+// server: "routing-table" on the first wave, "failover(<prior outcome>,
+// candidates=<n>)" on retry waves.
+TEST(BrokerResilienceTest, ScatterEventsCarryReplicaPickReasons) {
+  PinotCluster cluster(FastBrokerOptions(3));
+  SetUpKeyedTable(cluster, /*replicas=*/3, /*num_segments=*/6,
+                  /*rows_each=*/5);
+  for (int i = 0; i < cluster.num_servers(); ++i) {
+    cluster.server(i)->InjectQueryFailures(1);
+  }
+
+  auto result = cluster.Execute("TRACE SELECT count(*) FROM keyed");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  ASSERT_GT(result.trace.retries, 0);
+
+  bool saw_failover_reason = false;
+  for (const auto& event : result.trace.events) {
+    ASSERT_EQ(event.pick_reasons.size(), event.segments.size())
+        << result.trace.ToString();
+    for (const auto& reason : event.pick_reasons) {
+      if (event.attempt == 0) {
+        EXPECT_EQ(reason, "routing-table") << result.trace.ToString();
+      } else {
+        EXPECT_EQ(reason.rfind("failover(", 0), 0u) << reason;
+        EXPECT_NE(reason.find("candidates="), std::string::npos) << reason;
+        saw_failover_reason = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_failover_reason) << result.trace.ToString();
+  // The failover reason names the prior outcome that triggered it.
+  const std::string rendered = result.trace.ToString();
+  EXPECT_NE(rendered.find("failover(failed:"), std::string::npos) << rendered;
+
+  // The span tree mirrors the events: retry-wave call spans carry the wave
+  // number and a per-segment pick label.
+  ASSERT_TRUE(result.span.has_value());
+  bool saw_retry_span = false;
+  const TraceSpan* scatter = result.span->Find("scatter:keyed_OFFLINE");
+  ASSERT_NE(scatter, nullptr) << result.span->ToString();
+  for (const TraceSpan& call : scatter->children) {
+    if (call.Annotation("wave", -1) > 0 &&
+        call.LabelValue("outcome") == "ok") {
+      saw_retry_span = true;
+      bool has_pick_label = false;
+      for (const auto& [key, value] : call.labels) {
+        if (key.rfind("pick:", 0) == 0) {
+          EXPECT_EQ(value.rfind("failover(", 0), 0u) << value;
+          has_pick_label = true;
+        }
+      }
+      EXPECT_TRUE(has_pick_label) << result.span->ToString();
+    }
+  }
+  EXPECT_TRUE(saw_retry_span) << result.span->ToString();
+}
+
 // A partitioned server stays in the external view (routing is NOT
 // rebuilt), so the broker must detect unreachability at scatter time and
 // fail over in-flight.

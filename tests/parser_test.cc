@@ -196,6 +196,48 @@ TEST(ParserTest, CaseInsensitiveKeywords) {
   EXPECT_EQ(q->top_n, 3);
 }
 
+TEST(ParserTest, TraceAndExplainPrefixes) {
+  auto q = ParsePql("TRACE SELECT count(*) FROM t");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->trace);
+  EXPECT_FALSE(q->explain);
+
+  q = ParsePql("explain select count(*) from t");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->explain);
+  EXPECT_FALSE(q->trace);
+
+  // Both prefixes compose, in either order.
+  for (const char* pql : {"EXPLAIN TRACE SELECT count(*) FROM t",
+                          "TRACE EXPLAIN SELECT count(*) FROM t"}) {
+    q = ParsePql(pql);
+    ASSERT_TRUE(q.ok()) << pql << ": " << q.status().ToString();
+    EXPECT_TRUE(q->trace) << pql;
+    EXPECT_TRUE(q->explain) << pql;
+  }
+
+  // Each prefix is accepted at most once, and SELECT must still follow.
+  EXPECT_FALSE(ParsePql("TRACE TRACE SELECT count(*) FROM t").ok());
+  EXPECT_FALSE(ParsePql("EXPLAIN EXPLAIN SELECT count(*) FROM t").ok());
+  EXPECT_FALSE(ParsePql("TRACE").ok());
+  EXPECT_FALSE(ParsePql("EXPLAIN WHERE a = 1").ok());
+}
+
+TEST(ParserTest, TraceAndExplainRoundTrip) {
+  for (const char* pql :
+       {"TRACE SELECT count(*) FROM t",
+        "EXPLAIN SELECT sum(a) FROM t WHERE b = 1",
+        "EXPLAIN TRACE SELECT count(*) FROM t GROUP BY c TOP 5"}) {
+    auto q = ParsePql(pql);
+    ASSERT_TRUE(q.ok()) << pql;
+    auto q2 = ParsePql(q->ToString());
+    ASSERT_TRUE(q2.ok()) << q->ToString() << " -> " << q2.status().ToString();
+    EXPECT_EQ(q2->trace, q->trace) << pql;
+    EXPECT_EQ(q2->explain, q->explain) << pql;
+    EXPECT_EQ(q2->ToString(), q->ToString()) << pql;
+  }
+}
+
 TEST(ParserTest, RoundTripToString) {
   auto q = ParsePql(
       "SELECT sum(Impressions) FROM T WHERE Browser IN ('firefox', 'safari') "

@@ -231,6 +231,105 @@ TEST_P(QueryFuzzTest, LayoutsAndSplitsAgree) {
   }
 }
 
+// Tracing must be a pure observer: executing with a span attached returns
+// bit-identical results, and the produced span tree is structurally valid
+// (every child interval inside its parent, one leaf per segment, a plan
+// label on each).
+TEST_P(QueryFuzzTest, TracedExecutionIsEquivalentAndWellFormed) {
+  const uint64_t seed = GetParam();
+  Random rng(seed + 1000);  // Distinct stream from LayoutsAndSplitsAgree.
+  const Schema schema = FuzzSchema();
+  const std::vector<Row> rows = MakeRows(rng, 800);
+
+  SegmentBuildConfig star;
+  star.sort_columns = {"d_str"};
+  star.star_tree.dimensions = {"d_str", "d_small", "d_int", "t"};
+  star.star_tree.metrics = {"m_long", "m_double"};
+  star.star_tree.max_leaf_records = 32;
+  const Segments plain = BuildSplit(schema, rows, 4, SegmentBuildConfig{});
+  const Segments startree = BuildSplit(schema, rows, 3, star);
+
+  for (int q = 0; q < 60; ++q) {
+    const std::string pql = RandomQuery(rng);
+    auto query = ParsePql(pql);
+    ASSERT_TRUE(query.ok()) << pql;
+
+    for (const Segments* segments : {&plain, &startree}) {
+      PartialResult untraced = ExecuteQueryOnSegments(*segments, *query);
+      const std::string reference =
+          Canonical(ReduceToFinalResult(*query, std::move(untraced)));
+
+      Query traced_query = *query;
+      traced_query.trace = true;
+      TraceSpan parent = TraceSpan::Open("combine");
+      PartialResult traced =
+          ExecuteQueryOnSegments(*segments, traced_query, nullptr, &parent);
+      parent.Close();
+
+      ASSERT_EQ(parent.children.size(), segments->size())
+          << "seed=" << seed << " " << pql;
+      std::string why;
+      ASSERT_TRUE(parent.WellFormed(&why, /*slack_micros=*/2000))
+          << "seed=" << seed << " " << pql << ": " << why << "\n"
+          << parent.ToString();
+      for (const TraceSpan& leaf : parent.children) {
+        EXPECT_EQ(leaf.name.rfind("segment:", 0), 0u) << leaf.name;
+        EXPECT_FALSE(leaf.LabelValue("plan").empty())
+            << pql << "\n" << parent.ToString();
+      }
+      EXPECT_EQ(Canonical(ReduceToFinalResult(*query, std::move(traced))),
+                reference)
+          << "seed=" << seed << " " << pql;
+    }
+  }
+}
+
+// EXPLAIN over fuzzed queries: planning never reads data and agrees with
+// what a traced execution actually chose per segment.
+TEST_P(QueryFuzzTest, ExplainAgreesWithExecutedPlan) {
+  const uint64_t seed = GetParam();
+  Random rng(seed + 2000);
+  const Schema schema = FuzzSchema();
+  const std::vector<Row> rows = MakeRows(rng, 600);
+
+  SegmentBuildConfig star;
+  star.sort_columns = {"d_str"};
+  star.star_tree.dimensions = {"d_str", "d_small", "d_int", "t"};
+  star.star_tree.metrics = {"m_long", "m_double"};
+  star.star_tree.max_leaf_records = 32;
+  const Segments segments = BuildSplit(schema, rows, 3, star);
+
+  for (int q = 0; q < 40; ++q) {
+    const std::string pql = RandomQuery(rng);
+    auto parsed = ParsePql(pql);
+    ASSERT_TRUE(parsed.ok()) << pql;
+
+    Query explain_query = *parsed;
+    explain_query.explain = true;
+    TraceSpan explain_parent = TraceSpan::Open("combine");
+    PartialResult planned =
+        ExecuteQueryOnSegments(segments, explain_query, nullptr,
+                               &explain_parent);
+    EXPECT_EQ(planned.stats.docs_scanned, 0u) << pql;
+    EXPECT_TRUE(planned.groups.empty()) << pql;
+    EXPECT_TRUE(planned.selection_rows.empty()) << pql;
+
+    Query traced_query = *parsed;
+    traced_query.trace = true;
+    TraceSpan traced_parent = TraceSpan::Open("combine");
+    ExecuteQueryOnSegments(segments, traced_query, nullptr, &traced_parent);
+
+    ASSERT_EQ(explain_parent.children.size(), traced_parent.children.size())
+        << pql;
+    for (size_t i = 0; i < explain_parent.children.size(); ++i) {
+      EXPECT_EQ(explain_parent.children[i].LabelValue("plan"),
+                traced_parent.children[i].LabelValue("plan"))
+          << "seed=" << seed << " segment "
+          << explain_parent.children[i].name << "\n  " << pql;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
 
