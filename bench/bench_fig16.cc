@@ -7,15 +7,26 @@
 //                         query)
 //   pinot-partitioned   — partition-aware routing (only servers holding
 //                         the member's partition are contacted)
+//   pinot-balanced+tail — balanced routing plus the tail-tolerance stack
+//                         (adaptive replica selection + hedged requests)
+//   pinot-generated+tail— generated routing tables plus tail tolerance
+//
+// The +tail configurations measure the tentpole of the tail-tolerant
+// scatter-gather work: with the same straggler in place, adaptive replica
+// selection steers per-segment picks to the faster replica and hedged
+// requests cover the residual slow calls, so the p99 curve should sit far
+// below the matching baseline configuration.
 //
 // Every server charges a fixed artificial per-request latency modeling the
 // real network + scheduling cost of contacting a host, and one server is a
-// straggler (10x slower responses), reproducing the phenomenon the paper
-// cites for large clusters ("the more likely it is that a single host in
-// the cluster will be unavailable or have issues that slow down query
-// processing", referencing Dremel's straggler measurements). Routing
-// strategies that contact fewer hosts per query dodge the straggler on
-// most queries, which is where the flatter latency curves come from.
+// straggler (40x slower responses — think a hot-spotted or GC-pausing
+// host), reproducing the phenomenon the paper cites for large clusters
+// ("the more likely it is that a single host in the cluster will be
+// unavailable or have issues that slow down query processing", referencing
+// Dremel's straggler measurements). Routing strategies that contact fewer
+// hosts per query dodge the straggler on most queries, which is where the
+// flatter latency curves come from; the tail-tolerance stack dodges it on
+// nearly all of them.
 
 #include "baseline/druid_like.h"
 #include "bench/bench_util.h"
@@ -29,20 +40,39 @@ namespace {
 constexpr int kServers = 6;
 constexpr int kPartitions = 6;
 constexpr int kSegmentsUnpartitioned = 12;
+// The straggler's per-request latency (vs 250us on healthy servers). Large
+// enough to dominate single-machine scheduler noise, and to make the
+// straggler the capacity bottleneck for strategies that contact it on
+// every query (2 query threads / 10ms = ~200 requests/s).
+constexpr int kStragglerLatencyMicros = 10000;
 
 std::unique_ptr<PinotCluster> MakeCluster(const Workload& workload,
                                           RoutingStrategy strategy,
                                           bool druid_indexes,
-                                          bool partitioned) {
+                                          bool partitioned,
+                                          bool tail_tolerant) {
   PinotClusterOptions options;
   options.num_servers = kServers;
   options.num_brokers = 1;
   options.broker_options.scatter_threads = 16;
+  // Baseline configurations run with the tail-tolerance stack off so the
+  // figure isolates the routing-strategy effect the paper plots; the +tail
+  // configurations enable adaptive replica selection and hedging.
+  options.broker_options.adaptive_routing = tail_tolerant;
+  options.broker_options.hedging_enabled = tail_tolerant;
+  if (tail_tolerant) {
+    // Floor the hedge budget above healthy call latencies (sub-ms) but
+    // below the straggler's 10ms service time, so hedges race straggler
+    // probes and genuine queue buildup instead of storming on noise.
+    options.broker_options.hedge_floor_millis = 4.0;
+    options.broker_options.hedge_min_samples = 24;
+  }
   options.server_options.num_query_threads = 2;
   options.server_options.artificial_latency_micros = 250;
   auto cluster = std::make_unique<PinotCluster>(options);
   // One misbehaving host (see header comment).
-  cluster->server(kServers - 1)->set_artificial_latency_micros(2500);
+  cluster->server(kServers - 1)->set_artificial_latency_micros(
+      kStragglerLatencyMicros);
 
   TableConfig config;
   config.name = workload.name;
@@ -128,12 +158,17 @@ int Main(int argc, char** argv) {
     RoutingStrategy strategy;
     bool druid;
     bool partitioned;
+    bool tail_tolerant;
   };
   const std::vector<Setup> setups = {
-      {"druid-like", RoutingStrategy::kBalanced, true, false},
-      {"pinot-balanced", RoutingStrategy::kBalanced, false, false},
-      {"pinot-generated", RoutingStrategy::kGenerated, false, false},
-      {"pinot-partitioned", RoutingStrategy::kPartitionAware, false, true},
+      {"druid-like", RoutingStrategy::kBalanced, true, false, false},
+      {"pinot-balanced", RoutingStrategy::kBalanced, false, false, false},
+      {"pinot-generated", RoutingStrategy::kGenerated, false, false, false},
+      {"pinot-partitioned", RoutingStrategy::kPartitionAware, false, true,
+       false},
+      {"pinot-balanced+tail", RoutingStrategy::kBalanced, false, false, true},
+      {"pinot-generated+tail", RoutingStrategy::kGenerated, false, false,
+       true},
   };
 
   std::printf(
@@ -143,9 +178,10 @@ int Main(int argc, char** argv) {
   PrintQpsHeader("Figure 16",
                  "routing optimizations on the impression-discounting dataset");
 
+  BenchJsonWriter json("fig16", options.json_path);
   for (const auto& setup : setups) {
-    auto cluster =
-        MakeCluster(workload, setup.strategy, setup.druid, setup.partitioned);
+    auto cluster = MakeCluster(workload, setup.strategy, setup.druid,
+                               setup.partitioned, setup.tail_tolerant);
     Broker* broker = cluster->broker(0);
     for (double qps : options.qps_sweep) {
       QpsPoint point = RunQpsPoint(
@@ -156,9 +192,22 @@ int Main(int argc, char** argv) {
           static_cast<int>(workload.queries.size()), qps,
           options.client_threads, options.duration_ms);
       PrintQpsPoint(setup.name, point);
+      json.Add(setup.name, point);
       if (point.avg_ms > 250) break;
     }
+    if (setup.tail_tolerant) {
+      const auto& dump = cluster->MetricsDump();
+      for (const char* series :
+           {"broker_hedged_calls_total", "broker_hedge_wins_total"}) {
+        const size_t at = dump.find(series);
+        if (at != std::string::npos) {
+          std::printf("# %s: %s\n", setup.name.c_str(),
+                      dump.substr(at, dump.find('\n', at) - at).c_str());
+        }
+      }
+    }
   }
+  if (!json.Write()) return 1;
   return 0;
 }
 

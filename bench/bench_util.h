@@ -32,6 +32,7 @@ struct BenchOptions {
   int64_t duration_ms = 800;
   std::vector<double> qps_sweep = {100, 400, 1600, 6400, 12800, 25600};
   uint64_t seed = 42;
+  std::string json_path;  // --json=FILE: machine-readable curve dump.
 
   static BenchOptions Parse(int argc, char** argv) {
     BenchOptions options;
@@ -51,6 +52,8 @@ struct BenchOptions {
         options.client_threads = std::atoi(v);
       } else if (const char* v = value_of("--duration-ms=")) {
         options.duration_ms = std::atoll(v);
+      } else if (const char* v = value_of("--json=")) {
+        options.json_path = v;
       } else if (const char* v = value_of("--qps=")) {
         options.qps_sweep.clear();
         std::string list = v;
@@ -199,6 +202,59 @@ inline QpsPoint RunQpsPoint(const std::function<void(int)>& issue_query,
   point.p99_ms = Percentile(all, 0.99);
   return point;
 }
+
+/// Accumulates (config, QpsPoint) rows and dumps them as JSON for
+/// scripts/check_perf.sh. The format is deliberately line-oriented — one
+/// point object per line inside the "points" array — so shell tooling can
+/// extract fields with grep/awk without a JSON library.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  void Add(const std::string& config, const QpsPoint& point) {
+    if (path_.empty()) return;
+    rows_.push_back(Row{config, point});
+  }
+
+  /// Writes the collected rows; a no-op when --json was not given.
+  bool Write() const {
+    if (path_.empty()) return true;
+    std::FILE* file = std::fopen(path_.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n",
+                   path_.c_str());
+      return false;
+    }
+    std::fprintf(file, "{\"bench\":\"%s\",\"points\":[\n", bench_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(
+          file,
+          "{\"config\":\"%s\",\"offered_qps\":%.0f,\"achieved_qps\":%.0f,"
+          "\"avg_ms\":%.3f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,"
+          "\"queries\":%llu}%s\n",
+          row.config.c_str(), row.point.offered_qps, row.point.achieved_qps,
+          row.point.avg_ms, row.point.p50_ms, row.point.p95_ms,
+          row.point.p99_ms, static_cast<unsigned long long>(row.point.queries),
+          i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(file, "]}\n");
+    std::fclose(file);
+    std::printf("# wrote %zu bench points to %s\n", rows_.size(),
+                path_.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string config;
+    QpsPoint point;
+  };
+  std::string bench_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 inline void PrintQpsHeader(const char* figure, const char* description) {
   std::printf("# %s — %s\n", figure, description);

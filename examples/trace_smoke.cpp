@@ -1,9 +1,12 @@
-// Trace smoke driver for scripts/check_dumps.sh: stands up a hybrid table,
-// runs TRACE / EXPLAIN queries plus one slow (delay-injected) query, and
-// prints the rendered trace, the metrics dump, and the slow-query log
+// Trace smoke driver for scripts/check_dumps.sh: stands up a hybrid table
+// on a two-server cluster, runs TRACE / EXPLAIN queries, forces a hedged
+// scatter call and a load-shed query, plus one slow (delay-injected) query,
+// and prints the rendered trace, the metrics dump, and the slow-query log
 // between well-known markers so the script can validate each grammar.
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "cluster/pinot_cluster.h"
 #include "segment/segment_builder.h"
@@ -31,8 +34,11 @@ Row MakeRow(const char* page, int64_t views, int64_t day) {
 
 int main() {
   PinotClusterOptions options;
-  options.num_servers = 1;  // So the injected delay hits the queried server.
+  options.num_servers = 2;  // Two replicas so hedges have somewhere to go.
   options.broker_options.slow_query_threshold_millis = 10.0;
+  options.broker_options.hedge_min_samples = 8;
+  options.broker_options.hedge_floor_millis = 2.0;
+  options.broker_options.max_inflight_queries = 1;  // Shed past 1 in flight.
   PinotCluster cluster(options);
   Controller* leader = cluster.leader_controller();
   StreamTopic* topic = cluster.streams()->GetOrCreateTopic("metrics", 1);
@@ -41,20 +47,26 @@ int main() {
   offline.name = "metrics";
   offline.type = TableType::kOffline;
   offline.schema = MetricsSchema();
+  offline.num_replicas = 2;
   if (!leader->AddTable(offline).ok()) return 1;
 
-  SegmentBuildConfig config;
-  config.table_name = "metrics_OFFLINE";
-  config.segment_name = "daily";
-  SegmentBuilder builder(MetricsSchema(), config);
-  for (int day = 1; day <= 4; ++day) {
-    if (!builder.AddRow(MakeRow("home", 100 + day, day)).ok()) return 1;
-    if (!builder.AddRow(MakeRow("jobs", 40 + day, day)).ok()) return 1;
-  }
-  auto segment = builder.Build();
-  if (!leader->UploadSegment("metrics_OFFLINE", (*segment)->SerializeToBlob())
-           .ok()) {
-    return 1;
+  // Two offline segments so balanced routing spreads the scatter across
+  // both servers.
+  for (int half = 0; half < 2; ++half) {
+    SegmentBuildConfig config;
+    config.table_name = "metrics_OFFLINE";
+    config.segment_name = half == 0 ? "daily_a" : "daily_b";
+    SegmentBuilder builder(MetricsSchema(), config);
+    for (int day = 1 + 2 * half; day <= 2 + 2 * half; ++day) {
+      if (!builder.AddRow(MakeRow("home", 100 + day, day)).ok()) return 1;
+      if (!builder.AddRow(MakeRow("jobs", 40 + day, day)).ok()) return 1;
+    }
+    auto segment = builder.Build();
+    if (!leader
+             ->UploadSegment("metrics_OFFLINE", (*segment)->SerializeToBlob())
+             .ok()) {
+      return 1;
+    }
   }
 
   TableConfig realtime;
@@ -68,11 +80,26 @@ int main() {
   topic->Produce("k", MakeRow("jobs", 80, 5));
   cluster.ProcessRealtimeTicks(2);
 
-  auto traced = cluster.Execute(
-      "TRACE SELECT sum(views) FROM metrics WHERE page = 'home'");
-  if (!traced.span.has_value()) {
-    std::fprintf(stderr, "TRACE query returned no span\n");
-    return 1;
+  // Warm the per-server latency stats past hedge_min_samples so the hedge
+  // budget reflects observed (sub-millisecond) call latencies.
+  for (int i = 0; i < 12; ++i) {
+    cluster.Execute("SELECT count(*) FROM metrics");
+  }
+
+  // Force a hedged scatter: delay one server's next response far past the
+  // hedge budget; the broker fires a hedge to the other replica. Routing
+  // may concentrate a query on either server, so alternate the injected
+  // server until the trace carries a hedge span.
+  QueryResult traced;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    cluster.server(attempt % 2)->InjectQueryDelay(1, 60);
+    traced = cluster.Execute(
+        "TRACE SELECT sum(views) FROM metrics WHERE page = 'home'");
+    if (!traced.span.has_value()) {
+      std::fprintf(stderr, "TRACE query returned no span\n");
+      return 1;
+    }
+    if (traced.span->ToString().find("hedge:") != std::string::npos) break;
   }
   std::printf("# --- trace dump ---\n%s", traced.span->ToString().c_str());
 
@@ -84,9 +111,27 @@ int main() {
   std::printf("# --- explain dump ---\n%s",
               explained.span->ToString().c_str());
 
-  // Push one query over the slow threshold so the log has an entry.
-  cluster.server(0)->InjectQueryDelay(1, 20);
+  // Push one query over the slow threshold so the log has an entry. Both
+  // servers are delayed twice over (primary + hedge call) so a hedge
+  // cannot rescue the query below the threshold.
+  cluster.server(0)->InjectQueryDelay(2, 20);
+  cluster.server(1)->InjectQueryDelay(2, 20);
   cluster.Execute("SELECT count(*) FROM metrics WHERE day >= 2");
+
+  // Shed exercise: occupy the broker's single in-flight slot with a slow
+  // query (delays again cover primaries and hedges), then issue a second
+  // query that must be turned away throttled.
+  cluster.server(0)->InjectQueryDelay(2, 300);
+  cluster.server(1)->InjectQueryDelay(2, 300);
+  std::thread occupant(
+      [&] { cluster.Execute("SELECT count(*) FROM metrics"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  QueryResult shed = cluster.Execute("SELECT count(*) FROM metrics");
+  occupant.join();
+  if (!shed.throttled) {
+    std::fprintf(stderr, "expected the second in-flight query to be shed\n");
+    return 1;
+  }
 
   std::printf("# --- slow query log ---\n%s",
               cluster.SlowQueryLogDump().c_str());

@@ -18,6 +18,17 @@ echo "== dumps: trace / explain / slow-query-log / metrics grammars =="
 scripts/check_dumps.sh build
 
 echo
+echo "== perf smoke: bench --json emission + check_perf schema/comparator =="
+# A deliberately tiny fig16 run: enough to exercise the JSON dump and the
+# comparator plumbing without turning the gate into a perf benchmark. Pass
+# a previously saved dump as a baseline via CHECK_PERF_BASELINE to also
+# compare p99 curves (see scripts/check_perf.sh).
+build/bench/bench_fig16 --rows=20000 --duration-ms=120 --qps=100 \
+  --json=build/BENCH_fig16_smoke.json > /dev/null
+scripts/check_perf.sh ${CHECK_PERF_BASELINE:+"${CHECK_PERF_BASELINE}"} \
+  build/BENCH_fig16_smoke.json
+
+echo
 echo "== sanitizers: ASan+UBSan configure + build + ctest (build-asan/) =="
 cmake -B build-asan -S . -DPINOT_SANITIZE=ON
 cmake --build build-asan -j "${JOBS}"

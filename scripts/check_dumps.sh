@@ -63,8 +63,12 @@ check_span_tree() {  # check_span_tree <text> <what>
   done <<< "${text}"
 }
 
-check_span_tree "$(section '# --- trace dump ---' '# --- explain dump ---')" \
-                "trace dump"
+TRACE="$(section '# --- trace dump ---' '# --- explain dump ---')"
+check_span_tree "${TRACE}" "trace dump"
+# The smoke driver forces a hedged scatter call; its span must follow the
+# `hedge:<server> ... {..., hedge=won|lost, ...}` grammar.
+grep -qE '^ *hedge:[^ ]+ -?[0-9]+\.[0-9]{3}ms \{[^{}]*hedge=(won|lost)[^{}]*\}$' \
+  <<< "${TRACE}" || fail "trace dump carries no hedge:<server> span"
 EXPLAIN="$(section '# --- explain dump ---' '# --- slow query log ---')"
 check_span_tree "${EXPLAIN}" "explain dump"
 grep -q 'plan=' <<< "${EXPLAIN}" || fail "explain dump carries no plan label"
@@ -95,6 +99,20 @@ for series in broker_route_time_ms broker_scatter_time_ms \
               broker_reduce_time_ms server_query_queue_ms; do
   grep -q "^${series}" <<< "${METRICS}" \
     || fail "metrics dump: missing phase histogram ${series}"
+done
+
+# Tail-tolerance counters: always present (pre-registered by the broker),
+# and the smoke driver deterministically exercises a hedge and a shed, so
+# those two must be nonzero.
+for series in broker_hedged_calls_total broker_hedge_wins_total \
+              broker_shed_queries_total; do
+  grep -q "^${series}" <<< "${METRICS}" \
+    || fail "metrics dump: missing tail-tolerance counter ${series}"
+done
+for series in broker_hedged_calls_total broker_shed_queries_total; do
+  VALUE="$(grep "^${series}" <<< "${METRICS}" | head -n 1 | awk '{print $NF}')"
+  awk -v v="${VALUE}" 'BEGIN { exit (v > 0) ? 0 : 1 }' \
+    || fail "metrics dump: ${series} is ${VALUE}, expected > 0"
 done
 
 echo "check_dumps: trace, explain, slow-query log and metrics grammars OK"

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Perf comparator over the --json=BENCH_<name>.json dumps the figure
+# benches emit (one point object per line inside the "points" array).
+#
+# Usage:
+#   scripts/check_perf.sh CURRENT.json
+#     Schema-check the dump and print a config/qps/p99 table. Used as the
+#     perf-smoke stage of scripts/check.sh (no baseline committed yet).
+#   scripts/check_perf.sh BASELINE.json CURRENT.json
+#     Additionally compare p99 per (config, offered_qps) pair present in
+#     both files; fail when CURRENT p99 exceeds
+#     max(BASELINE p99 * CHECK_PERF_RATIO, BASELINE p99 + CHECK_PERF_SLACK_MS).
+#
+# Thresholds are deliberately loose (2x / +5ms by default) — this is a
+# guard against order-of-magnitude regressions, not a microbenchmark gate.
+set -euo pipefail
+
+RATIO="${CHECK_PERF_RATIO:-2.0}"
+SLACK_MS="${CHECK_PERF_SLACK_MS:-5.0}"
+
+usage() { echo "usage: $0 [BASELINE.json] CURRENT.json" >&2; exit 2; }
+case $# in
+  1) BASELINE=""; CURRENT="$1" ;;
+  2) BASELINE="$1"; CURRENT="$2" ;;
+  *) usage ;;
+esac
+
+fail() { echo "check_perf: $*" >&2; exit 1; }
+
+[[ -r "${CURRENT}" ]] || fail "cannot read ${CURRENT}"
+[[ -z "${BASELINE}" || -r "${BASELINE}" ]] || fail "cannot read ${BASELINE}"
+
+# Emits `config offered_qps p99_ms` rows from a bench JSON dump, failing
+# loudly when the file does not match the expected line-oriented grammar.
+extract() {  # extract <file>
+  local file="$1"
+  head -n 1 "${file}" | grep -qE '^\{"bench":"[a-zA-Z0-9_-]+","points":\[$' \
+    || fail "${file}: bad header line (expected {\"bench\":...,\"points\":[)"
+  grep -qxF ']}' "${file}" || fail "${file}: missing closing ]}"
+  awk -v file="${file}" '
+    /^\{"config":/ {
+      if (match($0, /"config":"[^"]*"/) == 0) {
+        printf "check_perf: %s: point without config: %s\n", file, $0 > "/dev/stderr"
+        exit 1
+      }
+      config = substr($0, RSTART + 10, RLENGTH - 11)
+      if (match($0, /"offered_qps":[0-9.]+/) == 0 ||
+          !split(substr($0, RSTART, RLENGTH), o, ":")) {
+        printf "check_perf: %s: point without offered_qps: %s\n", file, $0 > "/dev/stderr"
+        exit 1
+      }
+      qps = o[2]
+      if (match($0, /"p99_ms":[0-9.]+/) == 0 ||
+          !split(substr($0, RSTART, RLENGTH), p, ":")) {
+        printf "check_perf: %s: point without p99_ms: %s\n", file, $0 > "/dev/stderr"
+        exit 1
+      }
+      printf "%s %s %s\n", config, qps, p[2]
+    }' "${file}"
+}
+
+CURRENT_ROWS="$(extract "${CURRENT}")"
+[[ -n "${CURRENT_ROWS}" ]] || fail "${CURRENT}: no bench points found"
+
+printf 'check_perf: %s\n' "${CURRENT}"
+printf '  %-28s %12s %10s\n' config offered_qps p99_ms
+while read -r config qps p99; do
+  printf '  %-28s %12s %10s\n' "${config}" "${qps}" "${p99}"
+done <<< "${CURRENT_ROWS}"
+
+if [[ -z "${BASELINE}" ]]; then
+  echo "check_perf: schema OK (no baseline given, comparison skipped)"
+  exit 0
+fi
+
+BASELINE_ROWS="$(extract "${BASELINE}")"
+REGRESSIONS="$(
+  awk -v ratio="${RATIO}" -v slack="${SLACK_MS}" '
+    NR == FNR { base[$1 " " $2] = $3; next }
+    ($1 " " $2) in base {
+      allowed = base[$1 " " $2] * ratio
+      if (base[$1 " " $2] + slack > allowed) allowed = base[$1 " " $2] + slack
+      compared++
+      if ($3 > allowed) {
+        printf "  %s @ %s qps: p99 %.3fms > allowed %.3fms (baseline %.3fms)\n",
+               $1, $2, $3, allowed, base[$1 " " $2]
+      }
+    }
+    END { if (compared == 0) print "  (no overlapping points)" }
+  ' <(echo "${BASELINE_ROWS}") <(echo "${CURRENT_ROWS}")
+)"
+
+if [[ -n "${REGRESSIONS}" ]]; then
+  if [[ "${REGRESSIONS}" == "  (no overlapping points)" ]]; then
+    fail "baseline and current share no (config, qps) points"
+  fi
+  echo "check_perf: p99 regressions against ${BASELINE}:" >&2
+  echo "${REGRESSIONS}" >&2
+  exit 1
+fi
+echo "check_perf: no p99 regressions against ${BASELINE}" \
+     "(ratio ${RATIO}, slack ${SLACK_MS}ms)"

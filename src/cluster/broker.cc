@@ -1,11 +1,13 @@
 #include "cluster/broker.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <optional>
 #include <set>
+#include <thread>
 
 #include "cluster/property_store.h"
 #include "common/hash.h"
@@ -24,7 +26,13 @@ Broker::Broker(std::string id, ClusterContext ctx, Options options)
       slow_query_log_(SlowQueryLog::Options{
           options.slow_query_threshold_millis,
           options.slow_query_log_capacity}),
-      rng_(options.seed) {}
+      rng_(options.seed) {
+  // Pre-register the tail-tolerance series so dumps (and their grammar
+  // checks) always show them, even before the first hedge or shed.
+  metrics_->GetCounter("broker_hedged_calls_total");
+  metrics_->GetCounter("broker_hedge_wins_total");
+  metrics_->GetCounter("broker_shed_queries_total");
+}
 
 Broker::Broker(std::string id, ClusterContext ctx)
     : Broker(std::move(id), std::move(ctx), Options()) {}
@@ -174,8 +182,15 @@ RoutingTable Broker::BuildPartitionAwareTable(const TableRouting& routing,
         !wanted[partition]) {
       continue;
     }
-    const std::string& server =
-        servers[rng_.NextUint64(servers.size())];
+    // Per-query replica pick: adaptive (score-based) when enabled, else
+    // uniform random as in the paper.
+    const std::string server =
+        options_.adaptive_routing
+            ? PickReplicaAdaptive(servers, std::set<std::string>(), nullptr,
+                                  &server_stats_,
+                                  options_.explore_probability, &rng_)
+            : servers[rng_.NextUint64(servers.size())];
+    if (server.empty()) continue;
     table.server_segments[server].push_back(segment);
   }
   return table;
@@ -230,10 +245,15 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
         routing->routing_tables.size())];
   }
 
+  auto reachable = [this](const std::string& s) {
+    return ctx_.cluster->IsInstanceReachable(s);
+  };
+
   // Why each segment is (currently) assigned to its server. Wave 0 comes
-  // straight from the routing table; retry waves record the prior outcome
-  // and how many untried live replicas the picker chose among, so a
-  // failover run is explainable from the trace alone.
+  // from the routing table, possibly overridden by adaptive selection;
+  // retry waves record the prior outcome and how many untried live replicas
+  // the picker chose among, so a failover run is explainable from the trace
+  // alone.
   const char* initial_reason = strategy == RoutingStrategy::kPartitionAware
                                    ? "partition-aware"
                                    : "routing-table";
@@ -244,29 +264,129 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
   // Last failure outcome per segment, feeding the next wave's pick reason.
   std::map<std::string, std::string> last_outcome;
 
+  std::map<std::string, std::vector<std::string>> assignment =
+      std::move(table.server_segments);
+
+  // Adaptive replica selection (wave 0): power of two choices. Each segment
+  // races its routing-table assignee against one sampled alternative
+  // replica; the segment moves only when the alternative's EWMA×in-flight
+  // score beats the assignee's by the hysteresis margin, or the assignee is
+  // unreachable. With probability `explore_probability` the score check is
+  // skipped and the assignment stays put, so a slow-marked server keeps
+  // receiving occasional probe traffic that refreshes its EWMA downward
+  // once it recovers.
+  if (options_.adaptive_routing &&
+      strategy != RoutingStrategy::kPartitionAware) {
+    std::map<std::string, std::vector<std::string>> adapted;
+    for (const auto& [server, segments] : assignment) {
+      for (const auto& segment : segments) {
+        std::string chosen = server;
+        auto replicas_it = routing->segment_servers.find(segment);
+        if (replicas_it != routing->segment_servers.end() &&
+            replicas_it->second.size() > 1) {
+          bool probe = false;
+          std::string alternative;
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            probe = rng_.NextBool(options_.explore_probability);
+            alternative =
+                PickReplica(replicas_it->second, {server}, reachable, &rng_);
+          }
+          if (!alternative.empty()) {
+            if (!reachable(server)) {
+              chosen = alternative;
+              pick_reason[segment] = "adaptive(unreachable)";
+            } else if (!probe &&
+                       server_stats_.ScoreOf(alternative) <
+                           server_stats_.ScoreOf(server) *
+                               options_.adaptive_hysteresis) {
+              chosen = alternative;
+              pick_reason[segment] = "adaptive(p2c)";
+            }
+          }
+        }
+        adapted[chosen].push_back(segment);
+      }
+    }
+    assignment = std::move(adapted);
+  }
+
+  // Scatter/gather with bounded replica failover: each wave scatters the
+  // still-unanswered segments, races the calls (hedging slow ones onto
+  // other replicas), and re-routes the segments of failed calls to a
+  // replica that has not failed them yet. Segments whose call answered are
+  // merged exactly once — of a hedge race, only one side is ever merged,
+  // and a retried call's original result is discarded wholesale, never
+  // merged alongside its replacement.
+  std::map<std::string, std::set<std::string>> tried_servers;
+  std::vector<std::string> dead_segments;  // Replicas/retries exhausted.
+  const int max_attempts = std::max(1, options_.max_scatter_retries + 1);
+  int hedges_fired = 0;
+  bool deadline_exhausted = false;
+
   struct ScatterCall {
     std::string server;
     std::vector<std::string> segments;
     PartialResult result;
     std::future<void> done;
     std::chrono::steady_clock::time_point started;
+    bool hedge = false;
+    std::string hedge_of;   // Primary server this call hedges, if any.
+    bool finished = false;  // Future observed ready by the gather loop.
+    bool failed = false;    // Finished with a retryable failure.
   };
 
-  // Scatter/gather with bounded replica failover: each wave scatters the
-  // still-unanswered segments, waits for its slice of the remaining
-  // deadline budget, and re-routes the segments of failed calls to a
-  // replica that has not failed them yet. Segments whose call answered are
-  // merged exactly once — a retried call's original result is discarded
-  // wholesale, never merged alongside its replacement.
-  std::map<std::string, std::vector<std::string>> assignment =
-      std::move(table.server_segments);
-  std::map<std::string, std::set<std::string>> tried_servers;
-  std::vector<std::string> dead_segments;  // Replicas/retries exhausted.
-  const int max_attempts = std::max(1, options_.max_scatter_retries + 1);
+  // A primary scatter call plus any speculative hedges covering the same
+  // segments. Exactly one side of the race is merged per segment.
+  struct CallGroup {
+    std::shared_ptr<ScatterCall> primary;
+    std::vector<std::shared_ptr<ScatterCall>> hedges;
+    bool hedges_cover_all = false;  // Hedges jointly cover every segment.
+    bool hedge_attempted = false;
+    bool resolved = false;
+  };
+
+  auto submit_call = [&](const std::string& server,
+                         std::vector<std::string> segments,
+                         bool hedge) -> std::shared_ptr<ScatterCall> {
+    QueryServerApi* endpoint =
+        ctx_.server_endpoint ? ctx_.server_endpoint(server) : nullptr;
+    if (endpoint == nullptr || !ctx_.cluster->IsInstanceReachable(server)) {
+      return nullptr;
+    }
+    auto call = std::make_shared<ScatterCall>();
+    call->server = server;
+    call->segments = std::move(segments);
+    call->hedge = hedge;
+    ServerQueryRequest request;
+    request.physical_table = physical_table;
+    request.query = query;
+    request.segments = call->segments;
+    request.tenant =
+        routing->config_loaded ? routing->config.server_tenant : std::string();
+    request.timeout_millis = std::max<int64_t>(
+        1, std::chrono::duration_cast<std::chrono::milliseconds>(
+               deadline - std::chrono::steady_clock::now())
+               .count());
+    call->started = std::chrono::steady_clock::now();
+    // The worker reports the true service time into the stats registry even
+    // when the broker abandons the call first — exactly the signal adaptive
+    // selection needs to steer traffic away from the slow server.
+    ServerStatsRegistry* stats = &server_stats_;
+    stats->OnCallStart(call->server);
+    call->done =
+        pool_.Submit([call, endpoint, stats, request = std::move(request)] {
+          const auto run_start = std::chrono::steady_clock::now();
+          call->result = endpoint->ExecuteServerQuery(request);
+          stats->OnCallFinish(call->server, MillisSince(run_start),
+                              call->result.status.ok());
+        });
+    return call;
+  };
 
   for (int attempt = 0; attempt < max_attempts && !assignment.empty();
        ++attempt) {
-    std::vector<std::string> failed_segments;
+    std::set<std::string> failed_segments;
 
     // Fills the pick-reason list parallel to `segments` from the current
     // assignment reasons.
@@ -280,137 +400,329 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
       }
       return reasons;
     };
-
-    // One `call:<server>` child span per scatter call, opened at submit
-    // time and closed at gather: wave + outcome, and the per-segment pick
-    // reason on retry waves (wave 0 gets a single whole-call pick label).
-    auto add_call_span = [&](const std::string& server,
-                             const std::vector<std::string>& segments,
-                             const std::vector<std::string>& reasons,
-                             int64_t start_micros, double latency_millis,
-                             const std::string& outcome,
-                             std::vector<TraceSpan>* children) {
-      if (scatter_span == nullptr) return;
-      TraceSpan call_span = TraceSpan::OpenAt("call:" + server, start_micros);
-      call_span.duration_micros =
-          static_cast<int64_t>(latency_millis * 1000.0);
-      call_span.Label("outcome", outcome);
-      if (attempt == 0) {
-        call_span.Label("pick", initial_reason);
-      } else {
-        for (size_t i = 0; i < segments.size(); ++i) {
-          call_span.Label("pick:" + segments[i], reasons[i]);
-        }
+    auto reasons_of = [&](const ScatterCall& call) {
+      if (call.hedge) {
+        return std::vector<std::string>(call.segments.size(),
+                                        "hedge(of " + call.hedge_of + ")");
       }
-      call_span.Annotate("wave", attempt);
-      call_span.Annotate("segments", static_cast<int64_t>(segments.size()));
-      if (children != nullptr) {
-        for (auto& child : *children) call_span.AddChild(std::move(child));
-        children->clear();
-      }
-      scatter_span->AddChild(std::move(call_span));
+      return reasons_for(call.segments);
     };
 
-    auto record_failure = [&](const std::string& server,
-                              const std::vector<std::string>& segments,
-                              int64_t start_micros, double latency_millis,
-                              std::string outcome) {
-      add_call_span(server, segments, reasons_for(segments), start_micros,
-                    latency_millis, outcome, nullptr);
+    // One child span + trace event per scatter call ("call:<server>" for
+    // primaries, "hedge:<server>" for hedges), opened at submit time and
+    // closed at resolution: wave + outcome, the per-segment replica-pick
+    // reason (collapsed to one whole-call label when uniform), and
+    // server-side spans (TRACE/EXPLAIN) nested under it.
+    auto emit = [&](const std::string& server,
+                    const std::vector<std::string>& segments,
+                    const std::vector<std::string>& reasons,
+                    int64_t start_micros, double latency_millis,
+                    std::string outcome, bool hedge, bool hedge_won,
+                    std::vector<TraceSpan>* children) {
+      if (scatter_span != nullptr) {
+        TraceSpan call_span = TraceSpan::OpenAt(
+            (hedge ? "hedge:" : "call:") + server, start_micros);
+        call_span.duration_micros =
+            static_cast<int64_t>(latency_millis * 1000.0);
+        call_span.Label("outcome", outcome);
+        bool uniform = true;
+        for (const auto& reason : reasons) {
+          if (reason != reasons.front()) {
+            uniform = false;
+            break;
+          }
+        }
+        if (uniform && !reasons.empty()) {
+          call_span.Label("pick", reasons.front());
+        } else {
+          for (size_t i = 0; i < segments.size(); ++i) {
+            call_span.Label("pick:" + segments[i], reasons[i]);
+          }
+        }
+        if (hedge) call_span.Label("hedge", hedge_won ? "won" : "lost");
+        call_span.Annotate("wave", attempt);
+        call_span.Annotate("segments", static_cast<int64_t>(segments.size()));
+        if (children != nullptr) {
+          for (auto& child : *children) call_span.AddChild(std::move(child));
+          children->clear();
+        }
+        scatter_span->AddChild(std::move(call_span));
+      }
       ScatterTraceEvent event;
       event.physical_table = physical_table;
       event.server = server;
       event.segments = segments;
-      event.pick_reasons = reasons_for(segments);
+      event.pick_reasons = reasons;
       event.attempt = attempt;
       event.latency_millis = latency_millis;
       event.outcome = std::move(outcome);
-      for (const auto& segment : segments) {
-        tried_servers[segment].insert(server);
-        failed_segments.push_back(segment);
-        last_outcome[segment] = event.outcome;
-      }
+      event.hedge = hedge;
+      event.hedge_won = hedge_won;
       trace->events.push_back(std::move(event));
     };
 
-    // Scatter (step 3). Dead or unknown servers fail immediately and their
-    // segments join this wave's retry set.
-    std::vector<std::shared_ptr<ScatterCall>> calls;
-    const int64_t remaining_millis = std::max<int64_t>(
-        1, std::chrono::duration_cast<std::chrono::milliseconds>(
-               deadline - std::chrono::steady_clock::now())
-               .count());
-    for (auto& [server, segments] : assignment) {
-      QueryServerApi* endpoint = ctx_.server_endpoint
-                                     ? ctx_.server_endpoint(server)
-                                     : nullptr;
-      if (endpoint == nullptr || !ctx_.cluster->IsInstanceReachable(server)) {
-        record_failure(server, segments, TraceSpan::NowMicros(), 0,
-                       "unreachable");
-        continue;
+    // Marks a call's unanswered segments for failover in the next wave.
+    auto fail_segments = [&](const ScatterCall& call,
+                             const std::string& outcome,
+                             const std::set<std::string>* answered) {
+      for (const auto& segment : call.segments) {
+        if (answered != nullptr && answered->count(segment) > 0) continue;
+        tried_servers[segment].insert(call.server);
+        failed_segments.insert(segment);
+        last_outcome[segment] = outcome;
       }
-      auto call = std::make_shared<ScatterCall>();
-      call->server = server;
-      call->segments = segments;
-      ServerQueryRequest request;
-      request.physical_table = physical_table;
-      request.query = query;
-      request.segments = segments;
-      request.tenant = routing->config_loaded
-                           ? routing->config.server_tenant
-                           : std::string();
-      request.timeout_millis = remaining_millis;
-      call->started = std::chrono::steady_clock::now();
-      call->done = pool_.Submit([call, endpoint, request = std::move(request)] {
-        call->result = endpoint->ExecuteServerQuery(request);
-      });
-      calls.push_back(std::move(call));
+    };
+
+    // Resolves a race: merges exactly one side, emits a trace event per
+    // call, and routes unanswered segments into the failover set.
+    auto resolve_group = [&](CallGroup& group) {
+      group.resolved = true;
+      ScatterCall& primary = *group.primary;
+      // Primary finished first with data (ok, or a non-retryable error that
+      // still carries per-segment results): merge it, the hedges lose.
+      if (primary.finished && !primary.failed) {
+        const double latency = MillisSince(primary.started);
+        const Status& st = primary.result.status;
+        emit(primary.server, primary.segments, reasons_of(primary),
+             SteadyMicros(primary.started), latency,
+             st.ok() ? "ok" : "error: " + st.ToString(), false, false,
+             &primary.result.spans);
+        merged->Merge(std::move(primary.result));
+        for (auto& hedge : group.hedges) {
+          emit(hedge->server, hedge->segments, reasons_of(*hedge),
+               SteadyMicros(hedge->started), MillisSince(hedge->started),
+               hedge->finished ? "discarded (hedge lost)"
+                               : "abandoned (hedge lost)",
+               true, false, nullptr);
+        }
+        return;
+      }
+
+      // Hedge side: merge every hedge that finished with data. Those
+      // segments are answered exactly once — the primary's copy of them is
+      // never merged past this point.
+      std::set<std::string> answered;
+      for (auto& hedge : group.hedges) {
+        if (!hedge->finished || hedge->failed) continue;
+        ++trace->hedge_wins;
+        const double latency = MillisSince(hedge->started);
+        const Status& st = hedge->result.status;
+        emit(hedge->server, hedge->segments, reasons_of(*hedge),
+             SteadyMicros(hedge->started), latency,
+             st.ok() ? "ok" : "error: " + st.ToString(), true, true,
+             &hedge->result.spans);
+        for (const auto& segment : hedge->segments) answered.insert(segment);
+        merged->Merge(std::move(hedge->result));
+      }
+
+      // Primary loses: still running (abandoned; the worker lambda keeps
+      // the call alive via shared ownership and its late result is never
+      // merged) or finished with a retryable failure.
+      if (!primary.finished) {
+        if (answered.empty()) {
+          ++trace->timeouts;
+          server_stats_.PenalizeFailure(primary.server);
+          emit(primary.server, primary.segments, reasons_of(primary),
+               SteadyMicros(primary.started), MillisSince(primary.started),
+               "timeout", false, false, nullptr);
+        } else {
+          emit(primary.server, primary.segments, reasons_of(primary),
+               SteadyMicros(primary.started), MillisSince(primary.started),
+               "abandoned (hedge won)", false, false, nullptr);
+        }
+        fail_segments(primary, "timeout", &answered);
+      } else {
+        const std::string outcome =
+            "failed: " + primary.result.status.ToString();
+        emit(primary.server, primary.segments, reasons_of(primary),
+             SteadyMicros(primary.started), MillisSince(primary.started),
+             outcome, false, false, nullptr);
+        fail_segments(primary, outcome, &answered);
+      }
+
+      // Losing hedges (failed, or still running at the wave deadline).
+      for (auto& hedge : group.hedges) {
+        if (hedge->finished && !hedge->failed) continue;  // Merged above.
+        if (!hedge->finished) {
+          ++trace->timeouts;
+          server_stats_.PenalizeFailure(hedge->server);
+          emit(hedge->server, hedge->segments, reasons_of(*hedge),
+               SteadyMicros(hedge->started), MillisSince(hedge->started),
+               "timeout", true, false, nullptr);
+          fail_segments(*hedge, "timeout", &answered);
+        } else {
+          const std::string outcome =
+              "failed: " + hedge->result.status.ToString();
+          emit(hedge->server, hedge->segments, reasons_of(*hedge),
+               SteadyMicros(hedge->started), MillisSince(hedge->started),
+               outcome, true, false, nullptr);
+          fail_segments(*hedge, outcome, &answered);
+        }
+      }
+    };
+
+    // Never scatter a wave whose deadline budget is already exhausted: its
+    // calls could not finish in time and would only add load to a cluster
+    // that is presumably struggling. Surface the segments as timeouts.
+    if (std::chrono::steady_clock::now() >= deadline) {
+      for (const auto& [server, segments] : assignment) {
+        ++trace->timeouts;
+        emit(server, segments, reasons_for(segments), TraceSpan::NowMicros(),
+             0, "timeout (deadline exhausted)", false, false, nullptr);
+        dead_segments.insert(dead_segments.end(), segments.begin(),
+                             segments.end());
+      }
+      assignment.clear();
+      deadline_exhausted = true;
+      break;
     }
 
-    // Gather (steps 6-7). Every wave but the last waits only for its share
-    // of the remaining budget so failed segments still have time to retry;
-    // the last wave runs to the query deadline. Timed-out calls are
-    // abandoned (the worker lambda keeps the call alive via shared
-    // ownership) and never merged, even if they complete later.
+    // Scatter (step 3). Dead or unknown servers fail immediately and their
+    // segments join this wave's retry set.
+    std::vector<CallGroup> groups;
+    for (auto& [server, segments] : assignment) {
+      auto call = submit_call(server, segments, /*hedge=*/false);
+      if (call == nullptr) {
+        server_stats_.PenalizeFailure(server);
+        emit(server, segments, reasons_for(segments), TraceSpan::NowMicros(),
+             0, "unreachable", false, false, nullptr);
+        for (const auto& segment : segments) {
+          tried_servers[segment].insert(server);
+          failed_segments.insert(segment);
+          last_outcome[segment] = "unreachable";
+        }
+        continue;
+      }
+      CallGroup group;
+      group.primary = std::move(call);
+      groups.push_back(std::move(group));
+    }
+
+    // Gather (steps 6-7): poll the race. Every wave but the last waits only
+    // for its share of the remaining budget so failed segments still have
+    // time to retry; the last wave runs to the query deadline.
     auto attempt_deadline = deadline;
     const auto now = std::chrono::steady_clock::now();
     if (attempt + 1 < max_attempts && deadline > now) {
       attempt_deadline = now + (deadline - now) / (max_attempts - attempt);
     }
-    for (auto& call : calls) {
-      if (call->done.wait_until(attempt_deadline) ==
-          std::future_status::ready) {
-        const double latency = MillisSince(call->started);
-        const Status& st = call->result.status;
-        if (st.ok() || !IsRetryableScatterFailure(st.code())) {
-          ScatterTraceEvent event;
-          event.physical_table = physical_table;
-          event.server = call->server;
-          event.segments = std::move(call->segments);
-          event.pick_reasons = reasons_for(event.segments);
-          event.attempt = attempt;
-          event.latency_millis = latency;
-          event.outcome = st.ok() ? "ok" : "error: " + st.ToString();
-          // Server-side spans (TRACE/EXPLAIN) nest under this call's span
-          // instead of riding the merged partial.
-          add_call_span(call->server, event.segments, event.pick_reasons,
-                        SteadyMicros(call->started), latency, event.outcome,
-                        &call->result.spans);
-          trace->events.push_back(std::move(event));
-          merged->Merge(std::move(call->result));
-        } else {
-          record_failure(call->server, call->segments,
-                         SteadyMicros(call->started), latency,
-                         "failed: " + st.ToString());
+    const double hedge_budget_millis = server_stats_.HedgeBudgetMillis(
+        options_.hedge_percentile, options_.hedge_floor_millis,
+        options_.hedge_cap_millis, options_.hedge_min_samples);
+
+    size_t unresolved = groups.size();
+    while (unresolved > 0 &&
+           std::chrono::steady_clock::now() < attempt_deadline) {
+      bool progressed = false;
+      for (auto& group : groups) {
+        if (group.resolved) continue;
+        auto observe = [&](ScatterCall& call) {
+          if (call.finished) return;
+          if (call.done.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
+            return;
+          }
+          call.finished = true;
+          call.failed = !call.result.status.ok() &&
+                        IsRetryableScatterFailure(call.result.status.code());
+          progressed = true;
+        };
+        observe(*group.primary);
+        for (auto& hedge : group.hedges) observe(*hedge);
+
+        const ScatterCall& primary = *group.primary;
+        bool all_hedges_done = true;
+        bool any_hedge_failed = false;
+        for (const auto& hedge : group.hedges) {
+          if (!hedge->finished) {
+            all_hedges_done = false;
+          } else if (hedge->failed) {
+            any_hedge_failed = true;
+          }
         }
-      } else {
-        // The worker still owns the abandoned call and may write its
-        // result concurrently; only submit-time data is read here.
-        ++trace->timeouts;
-        record_failure(call->server, call->segments,
-                       SteadyMicros(call->started), MillisSince(call->started),
-                       "timeout");
+
+        if (primary.finished && !primary.failed) {
+          resolve_group(group);
+          --unresolved;
+          continue;
+        }
+        if (primary.finished && primary.failed &&
+            (group.hedges.empty() || all_hedges_done)) {
+          // The whole race is decided; fail over without waiting out the
+          // wave deadline.
+          resolve_group(group);
+          --unresolved;
+          continue;
+        }
+        if (!primary.finished && group.hedges_cover_all && all_hedges_done &&
+            !any_hedge_failed) {
+          // Every hedge answered: the primary lost the race.
+          resolve_group(group);
+          --unresolved;
+          continue;
+        }
+
+        // Hedge trigger: the primary has been outstanding past the latency
+        // budget and the per-query speculative-call allowance is not spent.
+        if (options_.hedging_enabled && !group.hedge_attempted &&
+            !primary.finished && hedges_fired < options_.max_hedged_calls &&
+            MillisSince(primary.started) > hedge_budget_millis) {
+          group.hedge_attempted = true;
+          // Route every segment of the slow call to a different live
+          // replica; hedge only on full coverage, so a winning hedge side
+          // fully replaces the primary.
+          std::map<std::string, std::vector<std::string>> hedge_assignment;
+          bool full_cover = true;
+          for (const auto& segment : primary.segments) {
+            auto replicas_it = routing->segment_servers.find(segment);
+            std::string replica;
+            if (replicas_it != routing->segment_servers.end()) {
+              std::set<std::string> exclude = tried_servers[segment];
+              exclude.insert(primary.server);
+              std::lock_guard<std::mutex> lock(mutex_);
+              replica = PickReplicaAdaptive(
+                  replicas_it->second, exclude, reachable,
+                  options_.adaptive_routing ? &server_stats_ : nullptr,
+                  /*explore_probability=*/0, &rng_);
+            }
+            if (replica.empty()) {
+              full_cover = false;
+              break;
+            }
+            hedge_assignment[replica].push_back(segment);
+          }
+          if (full_cover && !hedge_assignment.empty() &&
+              hedges_fired + static_cast<int>(hedge_assignment.size()) <=
+                  options_.max_hedged_calls) {
+            bool all_submitted = true;
+            for (auto& [server, segments] : hedge_assignment) {
+              auto hedge = submit_call(server, std::move(segments),
+                                       /*hedge=*/true);
+              if (hedge == nullptr) {
+                // Raced an instance death; the primary still covers the
+                // segments, so just skip this speculative call.
+                all_submitted = false;
+                continue;
+              }
+              hedge->hedge_of = primary.server;
+              ++hedges_fired;
+              ++trace->hedges;
+              group.hedges.push_back(std::move(hedge));
+              progressed = true;
+            }
+            group.hedges_cover_all = all_submitted && !group.hedges.empty();
+          }
+        }
       }
+      if (unresolved > 0 && !progressed) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    // Wave deadline: resolve whatever is still racing (unfinished calls
+    // are abandoned and, when nothing answered their segments, counted as
+    // timeouts).
+    for (auto& group : groups) {
+      if (!group.resolved) resolve_group(group);
     }
 
     // Re-route failed segments to untried live replicas (next wave).
@@ -428,18 +740,16 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
       if (servers_it != routing->segment_servers.end()) {
         const std::set<std::string>& tried = tried_servers[segment];
         for (const auto& server : servers_it->second) {
-          if (tried.count(server) == 0 &&
-              ctx_.cluster->IsInstanceReachable(server)) {
-            ++candidates;
-          }
+          if (tried.count(server) == 0 && reachable(server)) ++candidates;
         }
         std::lock_guard<std::mutex> lock(mutex_);
-        replica = PickReplica(
-            servers_it->second, tried_servers[segment],
-            [this](const std::string& s) {
-              return ctx_.cluster->IsInstanceReachable(s);
-            },
-            &rng_);
+        replica = options_.adaptive_routing
+                      ? PickReplicaAdaptive(servers_it->second, tried,
+                                            reachable, &server_stats_,
+                                            options_.explore_probability,
+                                            &rng_)
+                      : PickReplica(servers_it->second, tried, reachable,
+                                    &rng_);
       }
       if (replica.empty()) {
         dead_segments.push_back(segment);
@@ -458,11 +768,16 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
     dead_segments.erase(
         std::unique(dead_segments.begin(), dead_segments.end()),
         dead_segments.end());
-    std::string message = "no live replica answered segments:";
+    std::string message =
+        deadline_exhausted
+            ? "query deadline exhausted before segments could be scattered:"
+            : "no live replica answered segments:";
     for (const auto& segment : dead_segments) message += " " + segment;
     message += " (table " + physical_table + ")";
     if (merged->status.ok()) {
-      merged->status = Status::Unavailable(std::move(message));
+      merged->status = deadline_exhausted
+                           ? Status::Timeout(std::move(message))
+                           : Status::Unavailable(std::move(message));
     }
   }
 }
@@ -502,6 +817,37 @@ std::optional<int64_t> ParseTimeBoundary(const std::string& raw) {
 
 QueryResult Broker::ExecuteQuery(const Query& query) {
   const auto start = std::chrono::steady_clock::now();
+
+  // Load shedding (watermark admission): past the in-flight watermark the
+  // broker rejects immediately with an explicit throttled result instead of
+  // queueing work it cannot finish in time, so overload degrades into fast
+  // retryable rejections rather than a cluster-wide latency collapse.
+  struct InFlightGuard {
+    std::atomic<int>* counter;
+    ~InFlightGuard() { counter->fetch_sub(1, std::memory_order_relaxed); }
+  };
+  const int inflight =
+      inflight_queries_.fetch_add(1, std::memory_order_relaxed) + 1;
+  InFlightGuard inflight_guard{&inflight_queries_};
+  if (options_.max_inflight_queries > 0 &&
+      inflight > options_.max_inflight_queries) {
+    metrics_->GetCounter("broker_shed_queries_total")->Increment();
+    QueryResult result;
+    result.partial = true;
+    result.throttled = true;
+    // Retry-after estimate: the typical scatter-call latency is roughly how
+    // long until in-flight slots free up (floored so clients always back
+    // off a little).
+    result.retry_after_millis =
+        std::max(1.0, server_stats_.latency_histogram()->Percentile(50.0));
+    result.error_message =
+        "broker " + id_ + " overloaded: " + std::to_string(inflight - 1) +
+        " queries in flight (watermark " +
+        std::to_string(options_.max_inflight_queries) + ")";
+    result.latency_millis = MillisSince(start);
+    return result;
+  }
+
   const auto deadline =
       start + std::chrono::milliseconds(options_.default_timeout_millis);
   PartialResult merged;
@@ -647,6 +993,14 @@ QueryResult Broker::ExecuteQuery(const Query& query) {
   if (trace.timeouts > 0) {
     metrics_->GetCounter("broker_scatter_timeouts_total")
         ->Increment(trace.timeouts);
+  }
+  if (trace.hedges > 0) {
+    metrics_->GetCounter("broker_hedged_calls_total")
+        ->Increment(trace.hedges);
+  }
+  if (trace.hedge_wins > 0) {
+    metrics_->GetCounter("broker_hedge_wins_total")
+        ->Increment(trace.hedge_wins);
   }
   metrics_->GetHistogram("broker_query_latency_ms", table_labels)
       ->Observe(result.latency_millis);

@@ -1,6 +1,7 @@
 #ifndef PINOT_CLUSTER_BROKER_H_
 #define PINOT_CLUSTER_BROKER_H_
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
@@ -48,6 +49,42 @@ class Broker {
     // rendered span tree in a worst-N ring (SlowQueryLogDump()).
     double slow_query_threshold_millis = 100.0;
     size_t slow_query_log_capacity = 8;
+
+    // --- Tail tolerance (adaptive routing / hedging / shedding) ----------
+
+    // Adaptive replica selection: per-segment power-of-two-choices override
+    // of the routing-table replica pick, scored by latency EWMA ×
+    // in-flight. Also used for failover and hedge replica picks.
+    bool adaptive_routing = true;
+    // Probability that a pick ignores the score and probes a uniformly
+    // random replica, so cold/recovered servers get re-measured.
+    double explore_probability = 0.05;
+    // A replica steals a segment from its routing-table assignee only when
+    // its score is below assignee_score × this factor (hysteresis: equal
+    // servers keep the precomputed balanced assignment).
+    double adaptive_hysteresis = 0.9;
+
+    // Hedged requests: when an outstanding scatter call exceeds the
+    // latency budget — the `hedge_percentile` of observed call latencies,
+    // clamped to [hedge_floor_millis, hedge_cap_millis] — fire one
+    // speculative call for the same segments to different live replicas
+    // and merge whichever side answers first. Until `hedge_min_samples`
+    // calls have been observed the budget is the cap (no hedging during
+    // warmup, when the percentile estimate is noise).
+    bool hedging_enabled = true;
+    double hedge_percentile = 95.0;
+    double hedge_floor_millis = 5.0;
+    double hedge_cap_millis = 2000.0;
+    uint64_t hedge_min_samples = 50;
+    // Bound on speculative calls per query, so hedges cannot amplify an
+    // overloaded cluster's load unboundedly.
+    int max_hedged_calls = 4;
+
+    // Broker load shedding: with this many queries already in flight, new
+    // queries are rejected immediately with a throttled QueryResult (and a
+    // retry-after estimate) instead of queueing until everything
+    // saturates. <= 0 disables shedding.
+    int max_inflight_queries = 1024;
   };
 
   Broker(std::string id, ClusterContext ctx, Options options);
@@ -75,6 +112,15 @@ class Broker {
     return slow_query_log_.Dump(top_n);
   }
   SlowQueryLog* slow_query_log() { return &slow_query_log_; }
+
+  /// Per-server latency/load estimates feeding adaptive replica selection
+  /// and the hedge budget (exposed for tests and introspection).
+  ServerStatsRegistry* server_stats() { return &server_stats_; }
+
+  /// Queries currently inside ExecuteQuery (the shed watermark input).
+  int InFlightQueries() const {
+    return inflight_queries_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct TableRouting {
@@ -109,6 +155,10 @@ class Broker {
   ClusterContext ctx_;
   Options options_;
   MetricsRegistry* metrics_;
+  // Declared before pool_ so scatter workers (which report call outcomes
+  // into the registry) are joined before the registry is destroyed.
+  ServerStatsRegistry server_stats_;
+  std::atomic<int> inflight_queries_{0};
   ThreadPool pool_;
   int view_watch_handle_ = -1;
 

@@ -110,6 +110,23 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
     }
   }
 
+  // A request whose deadline already passed (e.g. it sat behind an injected
+  // delay, or the broker's budget was nearly gone at submit) must not
+  // execute: the broker has abandoned it, so any work done now is wasted
+  // cycles taken from queries that can still answer in time.
+  const auto request_deadline =
+      start + std::chrono::milliseconds(request.timeout_millis);
+  auto deadline_expired = [&](const char* where) {
+    if (std::chrono::steady_clock::now() < request_deadline) return false;
+    metrics_->GetCounter("server_deadline_exceeded_total",
+                         {{"instance", id_}})
+        ->Increment();
+    result.status = Status::Timeout("request deadline expired " + std::string(where) +
+                                    " on " + id_);
+    return true;
+  };
+  if (deadline_expired("before admission")) return result;
+
   // Tenant admission (paper section 4.5): queries for an exhausted tenant
   // queue until tokens accrue or the request deadline passes. The wait is
   // the request's queue time.
@@ -125,6 +142,9 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
     result.status = admitted;
     return result;
   }
+  // The quota queue bounds its own wait by the request timeout, but that
+  // budget does not account for time already spent before admission.
+  if (deadline_expired("in admission queue")) return result;
 
   if (options_.artificial_latency_micros > 0) {
     std::this_thread::sleep_for(

@@ -206,10 +206,13 @@ QueryResult ReduceToFinalResult(const Query& query, PartialResult&& partial) {
 std::string QueryTrace::ToString() const {
   std::ostringstream os;
   os << "trace: " << events.size() << " scatter calls, " << retries
-     << " retries, " << timeouts << " timeouts\n";
+     << " retries, " << timeouts << " timeouts, " << hedges << " hedges ("
+     << hedge_wins << " won)\n";
   for (const auto& event : events) {
     os << "  [" << event.attempt << "] " << event.physical_table << " -> "
-       << event.server << " (" << event.segments.size() << " segments:";
+       << event.server;
+    if (event.hedge) os << (event.hedge_won ? " [hedge, won]" : " [hedge]");
+    os << " (" << event.segments.size() << " segments:";
     for (size_t i = 0; i < event.segments.size(); ++i) {
       os << " " << event.segments[i];
       if (i < event.pick_reasons.size() &&
@@ -224,7 +227,12 @@ std::string QueryTrace::ToString() const {
 
 std::string QueryResult::ToString() const {
   std::ostringstream os;
-  if (partial) os << "[PARTIAL: " << error_message << "]\n";
+  if (throttled) {
+    os << "[THROTTLED: " << error_message << " (retry after "
+       << retry_after_millis << "ms)]\n";
+  } else if (partial) {
+    os << "[PARTIAL: " << error_message << "]\n";
+  }
   if (!aggregates.empty()) {
     for (size_t i = 0; i < aggregates.size(); ++i) {
       os << aggregation_names[i] << " = " << ValueToString(aggregates[i])

@@ -87,8 +87,15 @@ struct ScatterTraceEvent {
   std::vector<std::string> segments;
   int attempt = 0;            // 0 = first scatter wave, >0 = retry waves.
   double latency_millis = 0;  // Submit-to-gather time (0 if never sent).
-  // "ok", "unreachable", "timeout", "failed: <status>", "error: <status>".
+  // "ok", "unreachable", "timeout", "failed: <status>", "error: <status>",
+  // "discarded (hedge lost)", "abandoned (hedge won)".
   std::string outcome;
+  // True for speculative hedge calls fired while the primary call was still
+  // outstanding past the latency budget.
+  bool hedge = false;
+  // True on the call whose response was merged when it beat the other side
+  // of a hedge race (set on the hedge when it wins, never on primaries).
+  bool hedge_won = false;
   // Why each segment landed on this server, parallel to `segments`:
   // "routing-table" on the first wave; on retry waves,
   // "failover(<prior outcome>, candidates=<n>)" where n counts the live
@@ -100,8 +107,10 @@ struct ScatterTraceEvent {
 /// tables and scatter attempts.
 struct QueryTrace {
   std::vector<ScatterTraceEvent> events;
-  int retries = 0;   // Segments re-scattered to another replica.
-  int timeouts = 0;  // Calls abandoned at an attempt deadline.
+  int retries = 0;    // Segments re-scattered to another replica.
+  int timeouts = 0;   // Calls abandoned at an attempt deadline.
+  int hedges = 0;     // Speculative hedge calls fired.
+  int hedge_wins = 0; // Hedge calls whose response was the one merged.
 
   /// Human-readable rendering, one line per scatter event.
   std::string ToString() const;
@@ -112,6 +121,13 @@ struct QueryTrace {
 struct QueryResult {
   bool partial = false;
   std::string error_message;
+
+  // Broker load shedding: the query was rejected at admission because the
+  // broker was past its in-flight watermark. No server did any work; the
+  // client should back off ~retry_after_millis before resubmitting
+  // (a Retry-After header in a real HTTP broker).
+  bool throttled = false;
+  double retry_after_millis = 0;
 
   // Aggregation mode.
   std::vector<std::string> aggregation_names;

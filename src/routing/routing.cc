@@ -39,6 +39,32 @@ std::string PickReplica(const std::vector<std::string>& servers,
   return *candidates[rng->NextUint64(candidates.size())];
 }
 
+std::string PickReplicaAdaptive(
+    const std::vector<std::string>& servers,
+    const std::set<std::string>& exclude,
+    const std::function<bool(const std::string&)>& usable,
+    const ServerStatsRegistry* stats, double explore_probability,
+    Random* rng) {
+  std::vector<const std::string*> candidates;
+  for (const auto& server : servers) {
+    if (exclude.count(server) > 0) continue;
+    if (usable && !usable(server)) continue;
+    candidates.push_back(&server);
+  }
+  if (candidates.empty()) return std::string();
+  if (candidates.size() == 1) return *candidates.front();
+  if (stats == nullptr || rng->NextBool(explore_probability)) {
+    return *candidates[rng->NextUint64(candidates.size())];
+  }
+  const size_t first = rng->NextUint64(candidates.size());
+  size_t second = rng->NextUint64(candidates.size() - 1);
+  if (second >= first) ++second;
+  const double first_score = stats->ScoreOf(*candidates[first]);
+  const double second_score = stats->ScoreOf(*candidates[second]);
+  return first_score <= second_score ? *candidates[first]
+                                     : *candidates[second];
+}
+
 RoutingTable BuildBalancedRoutingTable(
     const std::map<std::string, std::vector<std::string>>& segment_servers,
     Random* rng) {

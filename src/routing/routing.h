@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "cluster/cluster_manager.h"
+#include "routing/server_stats.h"
 
 namespace pinot {
 
@@ -41,6 +42,19 @@ std::string PickReplica(const std::vector<std::string>& servers,
                         const std::set<std::string>& exclude,
                         const std::function<bool(const std::string&)>& usable,
                         Random* rng);
+
+/// Adaptive replica pick ("power of two choices"): among the qualifying
+/// replicas, samples two distinct candidates and returns the one with the
+/// lower ServerStats score (latency EWMA × in-flight pressure). With
+/// probability `explore_probability` the pick is uniform random instead, so
+/// cold or recovered servers keep receiving probe traffic and their EWMA can
+/// converge back down. Falls back to uniform random when `stats` is null.
+/// Returns the empty string when no replica qualifies.
+std::string PickReplicaAdaptive(
+    const std::vector<std::string>& servers,
+    const std::set<std::string>& exclude,
+    const std::function<bool(const std::string&)>& usable,
+    const ServerStatsRegistry* stats, double explore_probability, Random* rng);
 
 /// Default *balanced* strategy: every server hosting any segment is used,
 /// and each segment is assigned to one of its replicas such that load is

@@ -1,0 +1,85 @@
+#include "routing/server_stats.h"
+
+#include <algorithm>
+
+namespace pinot {
+
+ServerStats* ServerStatsRegistry::Get(const std::string& server) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = stats_.try_emplace(server);
+  if (inserted) {
+    it->second = std::make_unique<ServerStats>();
+    it->second->ewma_millis_.store(options_.cold_latency_millis,
+                                   std::memory_order_relaxed);
+  }
+  return it->second.get();
+}
+
+const ServerStats* ServerStatsRegistry::Find(const std::string& server) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = stats_.find(server);
+  return it == stats_.end() ? nullptr : it->second.get();
+}
+
+void ServerStatsRegistry::OnCallStart(const std::string& server) {
+  Get(server)->in_flight_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerStatsRegistry::OnCallFinish(const std::string& server,
+                                       double latency_millis, bool success) {
+  ServerStats* stats = Get(server);
+  stats->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  if (success) {
+    ObserveLatency(stats, latency_millis);
+  } else {
+    Penalize(stats);
+  }
+}
+
+void ServerStatsRegistry::PenalizeFailure(const std::string& server) {
+  Penalize(Get(server));
+}
+
+double ServerStatsRegistry::ScoreOf(const std::string& server) const {
+  const ServerStats* stats = Find(server);
+  if (stats == nullptr) return options_.cold_latency_millis;
+  return stats->Score();
+}
+
+double ServerStatsRegistry::HedgeBudgetMillis(double percentile,
+                                              double floor_millis,
+                                              double cap_millis,
+                                              uint64_t min_samples) const {
+  if (latency_histogram_.Count() < min_samples) return cap_millis;
+  const double estimate = latency_histogram_.Percentile(percentile);
+  return std::clamp(estimate, floor_millis, cap_millis);
+}
+
+void ServerStatsRegistry::ObserveLatency(ServerStats* stats,
+                                         double latency_millis) {
+  latency_millis = std::max(0.0, latency_millis);
+  latency_histogram_.Observe(latency_millis);
+  stats->samples_.fetch_add(1, std::memory_order_relaxed);
+  double current = stats->ewma_millis_.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = std::min((1.0 - options_.ewma_alpha) * current +
+                        options_.ewma_alpha * latency_millis,
+                    options_.max_ewma_millis);
+  } while (!stats->ewma_millis_.compare_exchange_weak(
+      current, next, std::memory_order_relaxed));
+}
+
+void ServerStatsRegistry::Penalize(ServerStats* stats) {
+  double current = stats->ewma_millis_.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = std::min(
+        std::max(current, options_.cold_latency_millis) *
+            options_.failure_penalty_factor,
+        options_.max_ewma_millis);
+  } while (!stats->ewma_millis_.compare_exchange_weak(
+      current, next, std::memory_order_relaxed));
+}
+
+}  // namespace pinot

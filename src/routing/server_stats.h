@@ -1,0 +1,130 @@
+#ifndef PINOT_ROUTING_SERVER_STATS_H_
+#define PINOT_ROUTING_SERVER_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace pinot {
+
+/// Live per-server load/latency estimate maintained by a broker ("Enhancing
+/// OLAP Resilience at LinkedIn": steer scatter traffic away from slow hosts
+/// *before* they fail, instead of retrying after a timeout).
+///
+/// One instance exists per (broker, server) pair; updates come from the
+/// broker's own scatter-call observations, so each broker converges on its
+/// own view of the cluster. All fields are relaxed atomics: readers (replica
+/// picks) race writers (call completions) harmlessly — a slightly stale
+/// score only costs pick quality, never safety.
+class ServerStats {
+ public:
+  /// Exponentially-weighted moving average of observed call latency, in
+  /// milliseconds. Returns `cold_latency_millis` until the first sample.
+  double LatencyEwmaMillis() const {
+    return ewma_millis_.load(std::memory_order_relaxed);
+  }
+
+  /// Calls currently outstanding against this server from this broker
+  /// (including abandoned calls whose worker has not returned yet).
+  int InFlight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+  /// Completed-call samples folded into the EWMA so far.
+  uint64_t Samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  /// Replica-selection score: expected latency scaled by queueing pressure,
+  /// EWMA × (1 + in-flight). Lower is better ("power of two choices" picks
+  /// the lower-scored of two sampled replicas).
+  double Score() const {
+    return LatencyEwmaMillis() * (1.0 + static_cast<double>(InFlight()));
+  }
+
+ private:
+  friend class ServerStatsRegistry;
+
+  std::atomic<double> ewma_millis_{0};
+  std::atomic<int> in_flight_{0};
+  std::atomic<uint64_t> samples_{0};
+};
+
+/// Registry of per-server stats plus an aggregate latency histogram, owned
+/// by each broker and fed from its scatter-call timings. Stable pointers,
+/// same contract as MetricsRegistry: entries are never removed.
+class ServerStatsRegistry {
+ public:
+  struct Options {
+    // Weight of each new sample in the EWMA. 0.3 adapts within ~7 samples
+    // while still smoothing per-call noise.
+    double ewma_alpha = 0.3;
+    // Latency assumed for a server with no samples yet. Slightly optimistic
+    // so cold (new or recovered) servers attract their first probes.
+    double cold_latency_millis = 0.5;
+    // A failed call (unreachable / injected failure / broker-side abandon)
+    // multiplies the EWMA instead of contributing a sample: the broker has
+    // no latency number, only evidence that the server is misbehaving.
+    double failure_penalty_factor = 2.0;
+    // EWMA ceiling so a long outage doesn't need minutes of probes to
+    // forgive (also bounds the failure-penalty geometric growth).
+    double max_ewma_millis = 60000.0;
+  };
+
+  ServerStatsRegistry() : ServerStatsRegistry(Options()) {}
+  explicit ServerStatsRegistry(Options options) : options_(options) {}
+
+  /// Returns the stats entry for `server`, creating it cold on first use.
+  ServerStats* Get(const std::string& server);
+  /// Lookup without creation; null when the server was never observed.
+  const ServerStats* Find(const std::string& server) const;
+
+  /// Call lifecycle, invoked by the broker around each scatter call. Start
+  /// increments in-flight; exactly one Finish per Start decrements it and
+  /// folds the outcome in (a latency sample on success, a penalty on
+  /// failure).
+  void OnCallStart(const std::string& server);
+  void OnCallFinish(const std::string& server, double latency_millis,
+                    bool success);
+
+  /// Broker-side failure evidence without a completed call: the server was
+  /// unreachable at submit time, or the call was abandoned at a deadline
+  /// while its worker is still running (the worker's own OnCallFinish will
+  /// follow later with the true service time). Applies the failure penalty
+  /// only — in-flight is untouched.
+  void PenalizeFailure(const std::string& server);
+
+  /// Selection score for `server`; the cold-server score when unknown.
+  double ScoreOf(const std::string& server) const;
+
+  /// Latency budget after which an outstanding call is worth hedging: the
+  /// `percentile` of all observed call latencies, clamped to
+  /// [floor_millis, cap_millis]. Until `min_samples` calls have completed
+  /// the estimate is noise, so the cap is returned (hedging effectively
+  /// off during warmup).
+  double HedgeBudgetMillis(double percentile, double floor_millis,
+                           double cap_millis, uint64_t min_samples) const;
+
+  /// Aggregate latency distribution across all servers (feeds the hedge
+  /// budget and the shed retry-after estimate).
+  const Histogram* latency_histogram() const { return &latency_histogram_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  void ObserveLatency(ServerStats* stats, double latency_millis);
+  void Penalize(ServerStats* stats);
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<ServerStats>> stats_;
+  Histogram latency_histogram_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_ROUTING_SERVER_STATS_H_

@@ -1,8 +1,12 @@
 // Fault-injection tests for the broker's resilient scatter-gather: replica
 // failover on injected failures, partitions, delays and drops; partial
-// results with an execution trace when no replica is left; and the
-// corrupt-time-boundary fallback.
+// results with an execution trace when no replica is left; the
+// corrupt-time-boundary fallback; and the tail-tolerance machinery
+// (adaptive replica selection, hedged requests, load shedding).
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
 
 #include "cluster/pinot_cluster.h"
 #include "tests/test_util.h"
@@ -116,7 +120,11 @@ TEST(BrokerResilienceTest, ScatterEventsCarryReplicaPickReasons) {
         << result.trace.ToString();
     for (const auto& reason : event.pick_reasons) {
       if (event.attempt == 0) {
-        EXPECT_EQ(reason, "routing-table") << result.trace.ToString();
+        // The routing-table assignment, possibly overridden by adaptive
+        // replica selection (scores can diverge once stats accumulate).
+        EXPECT_TRUE(reason == "routing-table" ||
+                    reason.rfind("adaptive(", 0) == 0)
+            << reason << "\n" << result.trace.ToString();
       } else {
         EXPECT_EQ(reason.rfind("failover(", 0), 0u) << reason;
         EXPECT_NE(reason.find("candidates="), std::string::npos) << reason;
@@ -139,9 +147,11 @@ TEST(BrokerResilienceTest, ScatterEventsCarryReplicaPickReasons) {
     if (call.Annotation("wave", -1) > 0 &&
         call.LabelValue("outcome") == "ok") {
       saw_retry_span = true;
+      // Per-segment pick labels, or one whole-call label when every
+      // segment shares the same reason.
       bool has_pick_label = false;
       for (const auto& [key, value] : call.labels) {
-        if (key.rfind("pick:", 0) == 0) {
+        if (key == "pick" || key.rfind("pick:", 0) == 0) {
           EXPECT_EQ(value.rfind("failover(", 0), 0u) << value;
           has_pick_label = true;
         }
@@ -405,6 +415,258 @@ TEST(BrokerResilienceTest, MetricsDumpReflectsQueryAndFaultActivity) {
             std::string::npos)
       << dump;
   EXPECT_NE(dump.find("server_injected_faults_total"), std::string::npos);
+}
+
+// --- Tail tolerance: hedged requests -----------------------------------------
+
+// Broker options with hedging warmed up quickly: after `hedge_min_samples`
+// observed calls the budget becomes max(p95, floor).
+PinotClusterOptions HedgingOptions(int servers, double floor_millis = 5.0,
+                                   int64_t timeout_millis = 2000) {
+  PinotClusterOptions options;
+  options.num_servers = servers;
+  options.broker_options.default_timeout_millis = timeout_millis;
+  options.broker_options.hedge_min_samples = 8;
+  options.broker_options.hedge_floor_millis = floor_millis;
+  // Keep wave-0 picks on the routing table: under load, warmup timing noise
+  // can otherwise steer every segment off the delayed server before the
+  // injected delay is consumed, and no hedge ever fires.
+  options.broker_options.adaptive_routing = false;
+  return options;
+}
+
+// A call outstanding past the latency budget gets hedged onto another
+// replica; the hedge's response is merged, the abandoned primary's never is.
+TEST(BrokerHedgingTest, HedgeFiresPastBudgetAndWinnerMergesOnce) {
+  PinotCluster cluster(HedgingOptions(2));
+  SetUpKeyedTable(cluster, /*replicas=*/2, /*num_segments=*/6,
+                  /*rows_each=*/5);
+  // Warm the latency stats well past hedge_min_samples.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(Count(cluster.Execute("SELECT count(*) FROM keyed")), 30);
+  }
+
+  // One slow request: far beyond the ~5ms budget, far under the deadline.
+  cluster.server(0)->InjectQueryDelay(1, 400);
+  const auto start = std::chrono::steady_clock::now();
+  auto result = cluster.Execute("SELECT count(*) FROM keyed");
+  const double elapsed_millis =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      1000.0;
+
+  ASSERT_FALSE(result.partial) << result.error_message;
+  // Merged exactly once: a double-merged hedge race would double the count.
+  EXPECT_EQ(Count(result), 30);
+  EXPECT_GE(result.trace.hedges, 1) << result.trace.ToString();
+  EXPECT_GE(result.trace.hedge_wins, 1) << result.trace.ToString();
+  // The hedge raced the 400ms straggler and won near the budget.
+  EXPECT_LT(elapsed_millis, 300) << result.trace.ToString();
+
+  bool saw_winning_hedge = false;
+  bool saw_abandoned_primary = false;
+  for (const auto& event : result.trace.events) {
+    if (event.hedge && event.hedge_won && event.outcome == "ok") {
+      saw_winning_hedge = true;
+    }
+    if (!event.hedge && event.outcome == "abandoned (hedge won)") {
+      saw_abandoned_primary = true;
+    }
+  }
+  EXPECT_TRUE(saw_winning_hedge) << result.trace.ToString();
+  EXPECT_TRUE(saw_abandoned_primary) << result.trace.ToString();
+  EXPECT_GE(cluster.metrics()->CounterValue("broker_hedged_calls_total"), 1u);
+  EXPECT_GE(cluster.metrics()->CounterValue("broker_hedge_wins_total"), 1u);
+}
+
+// Until enough samples accumulate the budget is the cap, so cold clusters
+// never hedge — a slow-but-within-deadline call just gets waited on.
+TEST(BrokerHedgingTest, NoHedgeDuringWarmup) {
+  PinotCluster cluster(FastBrokerOptions(3));
+  SetUpKeyedTable(cluster, /*replicas=*/2, /*num_segments=*/6,
+                  /*rows_each=*/5);
+  cluster.server(0)->InjectQueryDelay(1, 300);
+
+  auto result = cluster.Execute("SELECT count(*) FROM keyed");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(Count(result), 30);
+  EXPECT_EQ(result.trace.hedges, 0) << result.trace.ToString();
+  EXPECT_EQ(result.trace.timeouts, 0) << result.trace.ToString();
+}
+
+// Fuzz the hedge race: across many delay placements, a query under hedging
+// renders bit-identically to the clean baseline (same rows, same aggregate
+// values, same scan statistics) — the losing side of a race never leaks
+// into the merged result.
+TEST(BrokerHedgingTest, HedgedResultsMatchBaselineUnderFuzz) {
+  PinotCluster cluster(HedgingOptions(3, /*floor_millis=*/2.0));
+  SetUpKeyedTable(cluster, /*replicas=*/2, /*num_segments=*/6,
+                  /*rows_each=*/5);
+  const std::string pql =
+      "SELECT count(*), sum(hits) FROM keyed WHERE memberId >= 3";
+  for (int i = 0; i < 10; ++i) {  // Warm past hedge_min_samples.
+    ASSERT_FALSE(cluster.Execute(pql).partial);
+  }
+  const std::string baseline = cluster.Execute(pql).ToString();
+
+  int total_hedges = 0;
+  for (int i = 0; i < 12; ++i) {
+    cluster.server(i % 3)->InjectQueryDelay(1, 20 + 15 * (i % 4));
+    auto result = cluster.Execute(pql);
+    ASSERT_FALSE(result.partial)
+        << result.error_message << "\n" << result.trace.ToString();
+    EXPECT_EQ(result.ToString(), baseline)
+        << "iteration " << i << "\n" << result.trace.ToString();
+    total_hedges += result.trace.hedges;
+  }
+  // Sanity: the fuzz actually exercised the hedge path.
+  EXPECT_GT(total_hedges, 0);
+}
+
+// --- Tail tolerance: adaptive replica selection ------------------------------
+
+// The EWMA steers wave-0 traffic away from a consistently slow server, and
+// exploration probes pull the estimate back down once it recovers.
+TEST(BrokerAdaptiveRoutingTest, SteersAwayFromSlowServerThenRecovers) {
+  PinotClusterOptions options;
+  options.num_servers = 2;
+  options.broker_options.default_timeout_millis = 2000;
+  options.broker_options.explore_probability = 0.2;
+  options.broker_options.hedging_enabled = false;  // Isolate the steering.
+  PinotCluster cluster(options);
+  SetUpKeyedTable(cluster, /*replicas=*/2, /*num_segments=*/6,
+                  /*rows_each=*/5);
+  ServerStatsRegistry* stats = cluster.broker(0)->server_stats();
+
+  // Phase 1: server-0 answers every request 30ms slow. The broker's view of
+  // it degrades and p2c moves its segments to server-1.
+  cluster.server(0)->InjectQueryDelay(1000, 30);
+  bool saw_p2c_move = false;
+  for (int i = 0; i < 25; ++i) {
+    auto result = cluster.Execute("SELECT count(*) FROM keyed");
+    ASSERT_FALSE(result.partial) << result.error_message;
+    ASSERT_EQ(Count(result), 30);
+    for (const auto& event : result.trace.events) {
+      for (const auto& reason : event.pick_reasons) {
+        if (reason == "adaptive(p2c)" && event.server == "server-1") {
+          saw_p2c_move = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_p2c_move);
+  EXPECT_GT(stats->ScoreOf("server-0"), stats->ScoreOf("server-1") * 3)
+      << "server-0=" << stats->ScoreOf("server-0")
+      << " server-1=" << stats->ScoreOf("server-1");
+
+  // Phase 2: server-0 recovers. Exploration keeps routing occasional probe
+  // segments to it, and the fast samples forgive the EWMA geometrically.
+  cluster.server(0)->InjectQueryDelay(0, 0);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_FALSE(cluster.Execute("SELECT count(*) FROM keyed").partial);
+  }
+  const ServerStats* recovered = stats->Find("server-0");
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_LT(recovered->LatencyEwmaMillis(), 10.0);
+}
+
+// --- Tail tolerance: broker load shedding ------------------------------------
+
+// Past the in-flight watermark the broker rejects immediately with an
+// explicit throttled result carrying a retry-after estimate, and recovers
+// as soon as capacity frees up.
+TEST(BrokerLoadSheddingTest, OverloadedBrokerShedsWithRetryAfter) {
+  PinotClusterOptions options;
+  options.num_servers = 3;
+  options.broker_options.default_timeout_millis = 2000;
+  options.broker_options.max_inflight_queries = 1;
+  PinotCluster cluster(options);
+  SetUpKeyedTable(cluster, /*replicas=*/2, /*num_segments=*/6,
+                  /*rows_each=*/5);
+  ASSERT_EQ(Count(cluster.Execute("SELECT count(*) FROM keyed")), 30);
+
+  // Occupy the single in-flight slot with a deliberately slow query.
+  cluster.server(0)->InjectQueryDelay(1, 400);
+  std::thread occupant([&] {
+    auto result = cluster.Execute("SELECT count(*) FROM keyed");
+    EXPECT_FALSE(result.partial) << result.error_message;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  auto shed = cluster.Execute("SELECT count(*) FROM keyed");
+  occupant.join();
+
+  EXPECT_TRUE(shed.throttled);
+  EXPECT_TRUE(shed.partial);
+  EXPECT_GE(shed.retry_after_millis, 1.0);
+  EXPECT_NE(shed.error_message.find("overloaded"), std::string::npos)
+      << shed.error_message;
+  // Shed before any scatter: no server work, no trace events.
+  EXPECT_TRUE(shed.trace.events.empty());
+  EXPECT_GE(cluster.metrics()->CounterValue("broker_shed_queries_total"), 1u);
+
+  // Capacity is back: the next query is served normally.
+  auto after = cluster.Execute("SELECT count(*) FROM keyed");
+  EXPECT_FALSE(after.throttled);
+  ASSERT_FALSE(after.partial) << after.error_message;
+  EXPECT_EQ(Count(after), 30);
+}
+
+// --- Satellite: server-side admission deadline -------------------------------
+
+// A request whose deadline expired while it waited (here: behind an
+// injected delay) is answered with a timeout instead of executing — the
+// broker abandoned it long ago, so executing would be pure waste.
+TEST(BrokerResilienceTest, ExpiredDeadlineSkipsServerExecution) {
+  PinotCluster cluster(FastBrokerOptions(1, /*timeout_millis=*/300));
+  SetUpKeyedTable(cluster, /*replicas=*/1, /*num_segments=*/3,
+                  /*rows_each=*/5);
+  ASSERT_EQ(Count(cluster.Execute("SELECT count(*) FROM keyed")), 15);
+  MetricsRegistry* metrics = cluster.metrics();
+  const MetricLabels labels = {{"instance", "server-0"}};
+  const uint64_t executed_before =
+      metrics->CounterValue("server_queries_total", labels);
+
+  // The only replica sleeps past the whole query deadline.
+  cluster.server(0)->InjectQueryDelay(1, 500);
+  auto result = cluster.Execute("SELECT count(*) FROM keyed");
+  EXPECT_TRUE(result.partial);
+
+  // Let the abandoned worker finish its sleep and hit the deadline check.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_GE(metrics->CounterValue("server_deadline_exceeded_total", labels),
+            1u);
+  EXPECT_EQ(metrics->CounterValue("server_queries_total", labels),
+            executed_before)
+      << "expired request must not execute";
+}
+
+// --- Satellite: zero-budget waves never scatter ------------------------------
+
+// With no deadline budget at all, the broker reports the segments as timed
+// out instead of scattering calls that cannot possibly answer in time.
+TEST(BrokerResilienceTest, ZeroBudgetWaveNeverScatters) {
+  PinotCluster cluster(FastBrokerOptions(2, /*timeout_millis=*/0));
+  SetUpKeyedTable(cluster, /*replicas=*/2, /*num_segments=*/3,
+                  /*rows_each=*/5);
+  MetricsRegistry* metrics = cluster.metrics();
+
+  auto result = cluster.Execute("SELECT count(*) FROM keyed");
+  EXPECT_TRUE(result.partial);
+  EXPECT_NE(result.error_message.find("deadline exhausted"),
+            std::string::npos)
+      << result.error_message;
+  ASSERT_FALSE(result.trace.events.empty());
+  for (const auto& event : result.trace.events) {
+    EXPECT_EQ(event.outcome, "timeout (deadline exhausted)");
+  }
+  // No server ever saw the query.
+  for (int i = 0; i < cluster.num_servers(); ++i) {
+    EXPECT_EQ(metrics->CounterValue("server_queries_total",
+                                    {{"instance", cluster.server(i)->id()}}),
+              0u);
+  }
 }
 
 }  // namespace

@@ -151,5 +151,138 @@ TEST(RoutingTest, EmptyInput) {
   EXPECT_TRUE(tables.empty());
 }
 
+TEST(ServerStatsTest, ColdServerUsesOptimisticDefaults) {
+  ServerStatsRegistry registry;
+  EXPECT_DOUBLE_EQ(registry.ScoreOf("never-seen"),
+                   registry.options().cold_latency_millis);
+  ServerStats* stats = registry.Get("a");
+  EXPECT_DOUBLE_EQ(stats->LatencyEwmaMillis(),
+                   registry.options().cold_latency_millis);
+  EXPECT_EQ(stats->InFlight(), 0);
+  EXPECT_EQ(stats->Samples(), 0u);
+}
+
+TEST(ServerStatsTest, EwmaConvergesOnObservedLatency) {
+  ServerStatsRegistry registry;
+  for (int i = 0; i < 50; ++i) {
+    registry.OnCallStart("a");
+    registry.OnCallFinish("a", 40.0, /*success=*/true);
+  }
+  const ServerStats* stats = registry.Find("a");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_NEAR(stats->LatencyEwmaMillis(), 40.0, 1.0);
+  EXPECT_EQ(stats->InFlight(), 0);
+  EXPECT_EQ(stats->Samples(), 50u);
+}
+
+TEST(ServerStatsTest, InFlightScalesTheScore) {
+  ServerStatsRegistry registry;
+  registry.OnCallStart("a");
+  registry.OnCallFinish("a", 10.0, true);
+  const double idle_score = registry.ScoreOf("a");
+  registry.OnCallStart("a");
+  registry.OnCallStart("a");
+  EXPECT_NEAR(registry.ScoreOf("a"), idle_score * 3.0, 1e-9);
+  registry.OnCallFinish("a", 10.0, true);
+  registry.OnCallFinish("a", 10.0, true);
+}
+
+TEST(ServerStatsTest, FailuresPenalizeAndSuccessesForgive) {
+  ServerStatsRegistry registry;
+  registry.OnCallStart("a");
+  registry.OnCallFinish("a", 2.0, true);
+  const double before = registry.ScoreOf("a");
+  registry.PenalizeFailure("a");
+  registry.PenalizeFailure("a");
+  EXPECT_GT(registry.ScoreOf("a"), before * 2.0);
+  // Penalty growth is capped, so recovery doesn't take forever.
+  for (int i = 0; i < 1000; ++i) registry.PenalizeFailure("a");
+  EXPECT_LE(registry.Find("a")->LatencyEwmaMillis(),
+            registry.options().max_ewma_millis);
+  // Fresh fast samples pull the EWMA back down geometrically.
+  for (int i = 0; i < 60; ++i) {
+    registry.OnCallStart("a");
+    registry.OnCallFinish("a", 2.0, true);
+  }
+  EXPECT_NEAR(registry.Find("a")->LatencyEwmaMillis(), 2.0, 1.0);
+}
+
+TEST(ServerStatsTest, HedgeBudgetWarmupAndClamping) {
+  ServerStatsRegistry registry;
+  // No samples yet: budget is the cap (hedging effectively disabled).
+  EXPECT_DOUBLE_EQ(registry.HedgeBudgetMillis(95.0, 5.0, 2000.0, 10), 2000.0);
+  for (int i = 0; i < 100; ++i) {
+    registry.OnCallStart("a");
+    registry.OnCallFinish("a", 20.0, true);
+  }
+  // Warm: the p95 of a constant distribution is ~20ms, inside the clamp.
+  const double budget = registry.HedgeBudgetMillis(95.0, 5.0, 2000.0, 10);
+  EXPECT_GE(budget, 5.0);
+  EXPECT_LE(budget, 50.0);
+  // Floor and cap clamp pathological percentile estimates.
+  EXPECT_DOUBLE_EQ(registry.HedgeBudgetMillis(95.0, 100.0, 2000.0, 10),
+                   100.0);
+  EXPECT_DOUBLE_EQ(registry.HedgeBudgetMillis(95.0, 1.0, 10.0, 10), 10.0);
+}
+
+TEST(RoutingTest, AdaptivePickPrefersLowerScoredReplica) {
+  ServerStatsRegistry registry;
+  for (int i = 0; i < 30; ++i) {
+    registry.OnCallStart("fast");
+    registry.OnCallFinish("fast", 1.0, true);
+    registry.OnCallStart("slow");
+    registry.OnCallFinish("slow", 200.0, true);
+  }
+  Random rng(11);
+  const std::vector<std::string> servers = {"fast", "slow"};
+  int fast_picks = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string pick = PickReplicaAdaptive(
+        servers, {}, nullptr, &registry, /*explore_probability=*/0, &rng);
+    if (pick == "fast") ++fast_picks;
+  }
+  // Power-of-two-choices with two candidates and explore off always
+  // compares both and must always choose the fast one.
+  EXPECT_EQ(fast_picks, 200);
+}
+
+TEST(RoutingTest, AdaptivePickExploresUniformly) {
+  ServerStatsRegistry registry;
+  registry.OnCallStart("fast");
+  registry.OnCallFinish("fast", 1.0, true);
+  registry.OnCallStart("slow");
+  registry.OnCallFinish("slow", 200.0, true);
+  Random rng(13);
+  const std::vector<std::string> servers = {"fast", "slow"};
+  int slow_picks = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (PickReplicaAdaptive(servers, {}, nullptr, &registry,
+                            /*explore_probability=*/1.0, &rng) == "slow") {
+      ++slow_picks;
+    }
+  }
+  // Always exploring = uniform random: the slow server still gets probed
+  // about half the time.
+  EXPECT_GT(slow_picks, 800);
+  EXPECT_LT(slow_picks, 1200);
+}
+
+TEST(RoutingTest, AdaptivePickHonorsExcludeAndUsable) {
+  ServerStatsRegistry registry;
+  Random rng(17);
+  const std::vector<std::string> servers = {"a", "b", "c"};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(PickReplicaAdaptive(
+                  servers, {"a"},
+                  [](const std::string& s) { return s != "c"; }, &registry,
+                  0.05, &rng),
+              "b");
+  }
+  EXPECT_EQ(PickReplicaAdaptive(servers, {"a", "b"},
+                                [](const std::string& s) { return s != "c"; },
+                                &registry, 0.05, &rng),
+            "");
+}
+
 }  // namespace
 }  // namespace pinot
