@@ -77,6 +77,7 @@ struct RunStats {
   double rows_per_sec = 0;
   uint64_t docs_scanned = 0;
   double checksum = 0;  // Keeps the work observable.
+  std::vector<double> latencies_ms;  // One entry per iteration, sorted.
 };
 
 RunStats RunQuery(const SegmentInterface& segment, const Query& query,
@@ -92,17 +93,22 @@ RunStats RunQuery(const SegmentInterface& segment, const Query& query,
       std::fprintf(stderr, "execute: %s\n", st.ToString().c_str());
       std::abort();
     }
-    if (latency != nullptr) {
-      latency->Observe(std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - iter_start)
-                           .count());
-    }
+    const double millis = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - iter_start)
+                              .count();
+    stats.latencies_ms.push_back(millis);
+    if (latency != nullptr) latency->Observe(millis);
     stats.docs_scanned += partial.stats.docs_scanned;
     for (const auto& agg : partial.aggregates) stats.checksum += agg.sum;
-    for (const auto& [key, entry] : partial.groups) {
-      for (const auto& state : entry.states) stats.checksum += state.sum;
+    const GroupTable& groups = partial.groups;
+    for (uint32_t g = 0; g < groups.size(); ++g) {
+      const AggState* states = groups.StatesAt(g);
+      for (size_t i = 0; i < groups.num_aggs(); ++i) {
+        stats.checksum += states[i].sum;
+      }
     }
   }
+  std::sort(stats.latencies_ms.begin(), stats.latencies_ms.end());
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -125,21 +131,22 @@ int Main(int argc, char** argv) {
 
   struct Case {
     const char* name;
+    const char* slug;  // Space-free JSON config key (check_perf.sh awk).
     const char* pql;
   };
   const std::vector<Case> cases = {
-      {"full-scan sum", "SELECT sum(impressions) FROM scan"},
-      {"filtered sum",
+      {"full-scan sum", "full-scan-sum", "SELECT sum(impressions) FROM scan"},
+      {"filtered sum", "filtered-sum",
        "SELECT sum(impressions) FROM scan WHERE browser = 'firefox'"},
-      {"filtered sum+min+max",
+      {"filtered sum+min+max", "filtered-sum-min-max",
        "SELECT sum(impressions), min(impressions), max(impressions) FROM "
        "scan WHERE country IN ('us', 'de', 'fr')"},
-      {"group-by country (8 groups)",
+      {"group-by country (8 groups)", "groupby-country",
        "SELECT sum(impressions) FROM scan GROUP BY country TOP 1000"},
-      {"group-by country,browser,day",
+      {"group-by country,browser,day", "groupby-country-browser-day",
        "SELECT count(*), sum(impressions) FROM scan GROUP BY country, "
        "browser, day TOP 10000"},
-      {"group-by memberId (50k groups)",
+      {"group-by memberId (50k groups)", "groupby-memberId-50k",
        "SELECT sum(impressions) FROM scan GROUP BY memberId TOP 100000"},
   };
 
@@ -154,6 +161,24 @@ int Main(int argc, char** argv) {
   // disabled (null-span) path.
   SlowQueryLog slow_log(SlowQueryLog::Options{/*threshold_millis=*/0.0,
                                               /*capacity=*/3});
+  // Machine-readable dump gated by scripts/check_perf.sh: one point per
+  // (case, mode) keyed by the segment row count so runs at the same --rows
+  // compare against each other; achieved_qps carries the scan throughput.
+  BenchJsonWriter json("scan_batch", options.json_path);
+  auto to_point = [rows](RunStats& stats) {
+    QpsPoint point;
+    point.offered_qps = rows;
+    point.achieved_qps = stats.rows_per_sec;
+    point.queries = stats.latencies_ms.size();
+    double sum = 0;
+    for (double v : stats.latencies_ms) sum += v;
+    point.avg_ms =
+        stats.latencies_ms.empty() ? 0 : sum / stats.latencies_ms.size();
+    point.p50_ms = Percentile(stats.latencies_ms, 0.50);
+    point.p95_ms = Percentile(stats.latencies_ms, 0.95);
+    point.p99_ms = Percentile(stats.latencies_ms, 0.99);
+    return point;
+  };
   std::printf("%-32s %16s %16s %9s\n", "query", "per-doc rows/s",
               "batched rows/s", "speedup");
   for (const auto& c : cases) {
@@ -163,14 +188,16 @@ int Main(int argc, char** argv) {
                    query.status().ToString().c_str());
       std::abort();
     }
-    const RunStats ref = RunQuery(
+    RunStats ref = RunQuery(
         *segment, *query, reference, iters,
         metrics.GetHistogram("bench_scan_latency_ms",
                              {{"case", c.name}, {"mode", "per-doc"}}));
-    const RunStats fast = RunQuery(
+    RunStats fast = RunQuery(
         *segment, *query, batched, iters,
         metrics.GetHistogram("bench_scan_latency_ms",
                              {{"case", c.name}, {"mode", "batched"}}));
+    json.Add(std::string(c.slug) + "/per-doc", to_point(ref));
+    json.Add(std::string(c.slug) + "/batched", to_point(fast));
     if (ref.checksum != fast.checksum) {
       std::fprintf(stderr, "MISMATCH on %s: %f vs %f\n", c.name, ref.checksum,
                    fast.checksum);
@@ -203,7 +230,7 @@ int Main(int argc, char** argv) {
   std::printf("\n# --- slow query log (top 3) ---\n%s",
               slow_log.Dump(3).c_str());
   std::printf("\n# --- metrics dump ---\n%s", metrics.Dump().c_str());
-  return 0;
+  return json.Write() ? 0 : 1;
 }
 
 }  // namespace

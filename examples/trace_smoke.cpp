@@ -39,6 +39,13 @@ int main() {
   options.broker_options.hedge_min_samples = 8;
   options.broker_options.hedge_floor_millis = 2.0;
   options.broker_options.max_inflight_queries = 1;  // Shed past 1 in flight.
+  // Force the radix group table (the page dictionary is tiny, so the dense
+  // direct-indexed table would otherwise win) and aggressive server-side
+  // trimming, so the group-by trace below carries the
+  // group_table=radix(<shards>) and trimmed=<n> labels check_dumps pins.
+  options.server_options.scan_options.dense_groupby_max_slots = 0;
+  options.server_options.groupby_trim_factor = 1;
+  options.server_options.groupby_trim_min = 1;
   PinotCluster cluster(options);
   Controller* leader = cluster.leader_controller();
   StreamTopic* topic = cluster.streams()->GetOrCreateTopic("metrics", 1);
@@ -101,7 +108,25 @@ int main() {
     }
     if (traced.span->ToString().find("hedge:") != std::string::npos) break;
   }
-  std::printf("# --- trace dump ---\n%s", traced.span->ToString().c_str());
+  // A traced group-by: its server spans carry groupby_groups/trimmed
+  // labels (TOP 1 with a keep of 1 trims one of the two pages per server)
+  // and the per-segment group-by phase is labelled with the radix table.
+  QueryResult grouped = cluster.Execute(
+      "TRACE SELECT sum(views) FROM metrics GROUP BY page TOP 1");
+  if (!grouped.span.has_value()) {
+    std::fprintf(stderr, "TRACE group-by returned no span\n");
+    return 1;
+  }
+  const std::string grouped_trace = grouped.span->ToString();
+  if (grouped_trace.find("group_table=radix(") == std::string::npos ||
+      grouped_trace.find("trimmed=") == std::string::npos) {
+    std::fprintf(stderr, "group-by trace misses radix/trim labels:\n%s",
+                 grouped_trace.c_str());
+    return 1;
+  }
+
+  std::printf("# --- trace dump ---\n%s%s", traced.span->ToString().c_str(),
+              grouped_trace.c_str());
 
   auto explained = cluster.Execute("EXPLAIN SELECT count(*) FROM metrics");
   if (!explained.span.has_value() || !explained.explain_only) {

@@ -27,6 +27,17 @@ build/bench/bench_fig16 --rows=20000 --duration-ms=120 --qps=100 \
   --json=build/BENCH_fig16_smoke.json > /dev/null
 scripts/check_perf.sh ${CHECK_PERF_BASELINE:+"${CHECK_PERF_BASELINE}"} \
   build/BENCH_fig16_smoke.json
+# Scan-kernel and group-by-sweep curves at reduced size: gates the JSON
+# grammar per PR (full-size runs populate EXPERIMENTS.md). The sweep's
+# built-in checksum abort also re-proves radix == legacy here.
+build/bench/bench_scan_batch --rows=50000 \
+  --json=build/BENCH_scan_batch_smoke.json > /dev/null
+scripts/check_perf.sh ${CHECK_PERF_SCAN_BASELINE:+"${CHECK_PERF_SCAN_BASELINE}"} \
+  build/BENCH_scan_batch_smoke.json
+build/bench/bench_groupby_sweep --rows=100000 \
+  --json=build/BENCH_groupby_smoke.json > /dev/null
+scripts/check_perf.sh ${CHECK_PERF_GROUPBY_BASELINE:+"${CHECK_PERF_GROUPBY_BASELINE}"} \
+  build/BENCH_groupby_smoke.json
 
 echo
 echo "== sanitizers: ASan+UBSan configure + build + ctest (build-asan/) =="
@@ -37,12 +48,14 @@ cmake --build build-asan -j "${JOBS}"
 
 echo
 echo "== sanitizers: concurrency regression loop (ingest-while-query," \
-     "quota reconfigure-during-admit, concurrent metrics) =="
+     "quota reconfigure-during-admit, concurrent metrics, radix group-by) =="
 # Repeat the tests with real thread interleavings a few times under the
 # sanitizer build so rare schedules still get a chance to corrupt memory
-# loudly (MutableSegment reader/writer race, TenantQuotaManager UAF).
+# loudly (MutableSegment reader/writer race, TenantQuotaManager UAF, the
+# ~64k-group radix-vs-legacy equivalence sweep with tree-wise merges).
 (cd build-asan && ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
-  ctest --output-on-failure -R 'mutable_segment_test|token_bucket_test|metrics_test' \
+  ctest --output-on-failure \
+  -R 'mutable_segment_test|token_bucket_test|metrics_test|groupby_radix_test' \
   --repeat until-fail:3)
 
 echo

@@ -69,6 +69,14 @@ check_span_tree "${TRACE}" "trace dump"
 # `hedge:<server> ... {..., hedge=won|lost, ...}` grammar.
 grep -qE '^ *hedge:[^ ]+ -?[0-9]+\.[0-9]{3}ms \{[^{}]*hedge=(won|lost)[^{}]*\}$' \
   <<< "${TRACE}" || fail "trace dump carries no hedge:<server> span"
+# The forced group-by runs on the radix-partitioned table and is trimmed
+# server-side; both must be visible in the trace labels.
+grep -qE '\{[^{}]*group_table=radix\([0-9]+\)[^{}]*\}' <<< "${TRACE}" \
+  || fail "trace dump carries no group_table=radix(<shards>) label"
+grep -qE '^ *server:[^ ]+ -?[0-9]+\.[0-9]{3}ms \{[^{}]*trimmed=[0-9]+[^{}]*\}$' \
+  <<< "${TRACE}" || fail "trace dump carries no trimmed=<n> server label"
+grep -qE '\{[^{}]*groupby_groups=[0-9]+[^{}]*\}' <<< "${TRACE}" \
+  || fail "trace dump carries no groupby_groups=<n> server label"
 EXPLAIN="$(section '# --- explain dump ---' '# --- slow query log ---')"
 check_span_tree "${EXPLAIN}" "explain dump"
 grep -q 'plan=' <<< "${EXPLAIN}" || fail "explain dump carries no plan label"
@@ -109,6 +117,17 @@ for series in broker_hedged_calls_total broker_hedge_wins_total \
   grep -q "^${series}" <<< "${METRICS}" \
     || fail "metrics dump: missing tail-tolerance counter ${series}"
 done
+
+# Group-by observability: the forced TOP-1 group-by must have recorded a
+# pre-trim group count and a nonzero number of trimmed groups.
+for series in server_groupby_groups server_trimmed_rows_total; do
+  grep -q "^${series}" <<< "${METRICS}" \
+    || fail "metrics dump: missing group-by series ${series}"
+done
+TRIM_TOTAL="$(grep '^server_trimmed_rows_total' <<< "${METRICS}" \
+  | awk '{ sum += $NF } END { print sum + 0 }')"
+awk -v v="${TRIM_TOTAL}" 'BEGIN { exit (v > 0) ? 0 : 1 }' \
+  || fail "metrics dump: server_trimmed_rows_total is ${TRIM_TOTAL}, expected > 0"
 for series in broker_hedged_calls_total broker_shed_queries_total; do
   VALUE="$(grep "^${series}" <<< "${METRICS}" | head -n 1 | awk '{print $NF}')"
   awk -v v="${VALUE}" 'BEGIN { exit (v > 0) ? 0 : 1 }' \

@@ -195,10 +195,24 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
 
   const auto exec_start = std::chrono::steady_clock::now();
   PartialResult executed = ExecuteQueryOnSegments(
-      to_query, request.query, &pool_, tracing ? &server_span : nullptr);
+      to_query, request.query, options_.scan_options, &pool_,
+      tracing ? &server_span : nullptr);
   executed.status = result.status.ok() ? executed.status : result.status;
   result = std::move(executed);
   read_locks.clear();
+
+  // Server-side ORDER-BY/LIMIT trim: ship the over-fetched top-N instead
+  // of the full group table (paper section 4: scatter payloads stay
+  // bounded at million-group cardinalities).
+  const size_t groups_before_trim = result.groups.size();
+  size_t trimmed_groups = 0;
+  if (!request.query.group_by.empty() && request.query.top_n > 0) {
+    const size_t keep =
+        std::max(static_cast<size_t>(request.query.top_n) *
+                     options_.groupby_trim_factor,
+                 options_.groupby_trim_min);
+    trimmed_groups = TrimGroupPartial(request.query, keep, &result);
+  }
 
   const double execution_millis =
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -215,6 +229,10 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - exec_start)
             .count());
+    if (groups_before_trim > 0) {
+      server_span.Label("groupby_groups", std::to_string(groups_before_trim));
+      server_span.Label("trimmed", std::to_string(trimmed_groups));
+    }
     server_span.Close();
     result.spans.push_back(std::move(server_span));
   }
@@ -227,6 +245,12 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
       ->Increment(result.stats.docs_scanned);
   metrics_->GetHistogram("server_query_execution_ms", instance_labels)
       ->Observe(execution_millis);
+  if (groups_before_trim > 0) {
+    metrics_->GetHistogram("server_groupby_groups", instance_labels)
+        ->Observe(static_cast<double>(groups_before_trim));
+  }
+  metrics_->GetCounter("server_trimmed_rows_total", instance_labels)
+      ->Increment(trimmed_groups);
   return result;
 }
 

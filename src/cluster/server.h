@@ -13,6 +13,7 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "metrics/metrics.h"
+#include "query/segment_executor.h"
 #include "realtime/mutable_segment.h"
 #include "segment/segment.h"
 #include "stream/stream.h"
@@ -35,6 +36,17 @@ class Server : public StateTransitionHandler, public QueryServerApi {
     int64_t artificial_latency_micros = 0;
     // Messages fetched from the stream per consuming segment per tick.
     int max_fetch_batch = 1000;
+    // Server-side group-by trimming (production Pinot's scatter-payload
+    // bound): before a group-by result ships to the broker it is trimmed
+    // to max(top_n * groupby_trim_factor, groupby_trim_min) groups in the
+    // broker's final order. The over-fetch keeps per-server local ranks
+    // covering the global top-N under skewed data; set factor/min high (or
+    // min to SIZE_MAX) to effectively disable trimming.
+    size_t groupby_trim_factor = 5;
+    size_t groupby_trim_min = 5000;
+    // Per-segment scan knobs (radix group-by, batched decode); tests and
+    // the trace smoke override to force specific paths.
+    ScanOptions scan_options;
   };
 
   Server(std::string id, ClusterContext ctx, Options options);

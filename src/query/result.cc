@@ -6,17 +6,168 @@
 
 namespace pinot {
 
+void AppendRenderedGroupKeyValue(std::string_view rendered, std::string* out) {
+  const uint32_t size = static_cast<uint32_t>(rendered.size());
+  char prefix[sizeof(size)];
+  std::memcpy(prefix, &size, sizeof(size));
+  out->append(prefix, sizeof(size));
+  out->append(rendered.data(), rendered.size());
+}
+
+void AppendGroupKeyValue(const Value& v, std::string* out) {
+  AppendRenderedGroupKeyValue(ValueToString(v), out);
+}
+
 std::string EncodeGroupKey(const std::vector<Value>& keys) {
   std::string out;
-  for (const auto& key : keys) {
-    const std::string rendered = ValueToString(key);
-    const uint32_t size = static_cast<uint32_t>(rendered.size());
-    char prefix[sizeof(size)];
-    std::memcpy(prefix, &size, sizeof(size));
-    out.append(prefix, sizeof(size));
-    out += rendered;
-  }
+  for (const auto& key : keys) AppendGroupKeyValue(key, &out);
   return out;
+}
+
+// --- GroupTable ------------------------------------------------------------
+
+bool GroupTable::EnsureArity(size_t num_keys, size_t num_aggs) {
+  if (!arity_set_) {
+    num_keys_ = num_keys;
+    num_aggs_ = num_aggs;
+    arity_set_ = true;
+    return true;
+  }
+  return num_keys_ == num_keys && num_aggs_ == num_aggs;
+}
+
+uint32_t GroupTable::FindWithHash(std::string_view key, size_t hash) const {
+  if (slots_.empty()) return kInvalidGroup;
+  const size_t mask = slots_.size() - 1;
+  size_t pos = hash & mask;
+  while (true) {
+    const uint32_t g = slots_[pos];
+    if (g == kInvalidGroup) return kInvalidGroup;
+    if (EncodedKeyAt(g) == key) return g;
+    pos = (pos + 1) & mask;
+  }
+}
+
+uint32_t GroupTable::Find(std::string_view encoded_key) const {
+  return FindWithHash(encoded_key, HashKey(encoded_key));
+}
+
+void GroupTable::GrowIndex() {
+  const size_t new_capacity = slots_.empty() ? 1024 : slots_.size() * 2;
+  slots_.assign(new_capacity, kInvalidGroup);
+  const size_t mask = new_capacity - 1;
+  for (uint32_t g = 0; g < group_count_; ++g) {
+    size_t pos = HashKey(EncodedKeyAt(g)) & mask;
+    while (slots_[pos] != kInvalidGroup) pos = (pos + 1) & mask;
+    slots_[pos] = g;
+  }
+}
+
+uint32_t GroupTable::AppendGroup(std::string_view key, size_t hash) {
+  // Keep the index load factor under 0.7 (growing rehashes ordinal ints
+  // only; keys stay put in the arena).
+  if (slots_.empty() || (group_count_ + 1) * 10 >= slots_.size() * 7) {
+    GrowIndex();
+  }
+  const uint32_t g = static_cast<uint32_t>(group_count_++);
+  arena_.append(key.data(), key.size());
+  key_offsets_.push_back(static_cast<uint32_t>(arena_.size()));
+  states_.resize(states_.size() + num_aggs_);
+  const size_t mask = slots_.size() - 1;
+  size_t pos = hash & mask;
+  while (slots_[pos] != kInvalidGroup) pos = (pos + 1) & mask;
+  slots_[pos] = g;
+  return g;
+}
+
+void GroupTable::AddGroup(std::vector<Value> keys,
+                          std::vector<AggState>&& states) {
+  const std::string encoded = EncodeGroupKey(keys);
+  const uint32_t g = FindOrAdd(encoded, [&](std::vector<Value>* out) {
+    for (auto& key : keys) out->push_back(std::move(key));
+  });
+  AggState* dst = StatesAt(g);
+  for (size_t i = 0; i < num_aggs_; ++i) dst[i].Merge(std::move(states[i]));
+}
+
+void GroupTable::MergeFrom(GroupTable&& other, Status* status) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = std::move(other);
+    return;
+  }
+  if (num_keys_ != other.num_keys_ || num_aggs_ != other.num_aggs_) {
+    // A peer running an older table config can disagree on the group or
+    // aggregate arity; merging would index past the end. Keep our side and
+    // flag the result partial.
+    if (status->ok()) {
+      *status = Status::FailedPrecondition(
+          "group arity mismatch across partial results (" +
+          std::to_string(num_keys_) + "x" + std::to_string(num_aggs_) +
+          " vs " + std::to_string(other.num_keys_) + "x" +
+          std::to_string(other.num_aggs_) + ")");
+    }
+    return;
+  }
+  for (uint32_t og = 0; og < other.size(); ++og) {
+    const uint32_t g =
+        FindOrAdd(other.EncodedKeyAt(og), [&](std::vector<Value>* out) {
+          Value* keys = other.MutableKeysAt(og);
+          for (size_t i = 0; i < num_keys_; ++i) {
+            out->push_back(std::move(keys[i]));
+          }
+        });
+    AggState* dst = StatesAt(g);
+    AggState* src = other.StatesAt(og);
+    for (size_t i = 0; i < num_aggs_; ++i) dst[i].Merge(std::move(src[i]));
+  }
+}
+
+std::vector<uint32_t> GroupTable::RankedByFirstAgg(
+    AggregationType first_type) const {
+  std::vector<uint32_t> order(group_count_);
+  for (uint32_t g = 0; g < group_count_; ++g) order[g] = g;
+  if (num_aggs_ == 0) return order;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const double va = AggSortValue(first_type, *StatesAt(a));
+    const double vb = AggSortValue(first_type, *StatesAt(b));
+    if (va != vb) return va > vb;
+    return EncodedKeyAt(a) < EncodedKeyAt(b);
+  });
+  return order;
+}
+
+size_t GroupTable::TrimToTopN(AggregationType first_type, size_t keep) {
+  if (group_count_ <= keep) return 0;
+  std::vector<uint32_t> order = RankedByFirstAgg(first_type);
+  order.resize(keep);
+  GroupTable trimmed;
+  trimmed.EnsureArity(num_keys_, num_aggs_);
+  for (uint32_t g : order) {
+    const uint32_t ng =
+        trimmed.FindOrAdd(EncodedKeyAt(g), [&](std::vector<Value>* out) {
+          Value* keys = MutableKeysAt(g);
+          for (size_t i = 0; i < num_keys_; ++i) {
+            out->push_back(std::move(keys[i]));
+          }
+        });
+    AggState* dst = trimmed.StatesAt(ng);
+    AggState* src = StatesAt(g);
+    for (size_t i = 0; i < num_aggs_; ++i) dst[i] = std::move(src[i]);
+  }
+  const size_t dropped = group_count_ - trimmed.size();
+  *this = std::move(trimmed);
+  return dropped;
+}
+
+size_t GroupTable::ApproxPayloadBytes() const {
+  size_t bytes = arena_.size() + key_offsets_.size() * sizeof(uint32_t) +
+                 states_.size() * sizeof(AggState) +
+                 key_values_.size() * sizeof(Value);
+  for (const auto& v : key_values_) {
+    if (const auto* s = std::get_if<std::string>(&v)) bytes += s->size();
+  }
+  return bytes;
 }
 
 void PartialResult::Merge(PartialResult&& other) {
@@ -44,23 +195,7 @@ void PartialResult::Merge(PartialResult&& other) {
     }
   }
 
-  for (auto& [key, entry] : other.groups) {
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      groups.emplace(key, std::move(entry));
-    } else if (it->second.states.size() != entry.states.size()) {
-      if (status.ok()) {
-        status = Status::FailedPrecondition(
-            "group state count mismatch across partial results (" +
-            std::to_string(it->second.states.size()) + " vs " +
-            std::to_string(entry.states.size()) + ")");
-      }
-    } else {
-      for (size_t i = 0; i < it->second.states.size(); ++i) {
-        it->second.states[i].Merge(std::move(entry.states[i]));
-      }
-    }
-  }
+  groups.MergeFrom(std::move(other.groups), &status);
 
   for (auto& row : other.selection_rows) {
     selection_rows.push_back(std::move(row));
@@ -129,40 +264,40 @@ QueryResult ReduceToFinalResult(const Query& query, PartialResult&& partial) {
       }
     } else {
       result.group_by_columns = query.group_by;
-      // Order groups descending by the first aggregation and keep TOP n.
-      // Entries whose state count disagrees with the query (mismatched
-      // peers) cannot be finalized; skip them rather than index past the
-      // end.
-      std::vector<PartialResult::GroupEntry*> entries;
-      entries.reserve(partial.groups.size());
-      for (auto& [key, entry] : partial.groups) {
-        if (entry.states.size() != query.aggregations.size()) {
-          if (!result.partial) {
-            result.partial = true;
-            result.error_message = "group state count mismatch in merged result";
+      // Order groups by (first aggregation descending, encoded key
+      // ascending) and keep TOP n. The key tie-break matches the
+      // server-side trim order, so trimming cannot reshuffle equal-valued
+      // groups across the cut. A table whose arity disagrees with the
+      // query (mismatched peers) cannot be finalized; report partial with
+      // no rows rather than index past the end.
+      GroupTable& table = partial.groups;
+      if (!table.empty() &&
+          (table.num_aggs() != query.aggregations.size() ||
+           table.num_keys() != query.group_by.size())) {
+        if (!result.partial) {
+          result.partial = true;
+          result.error_message = "group arity mismatch in merged result";
+        }
+      } else if (!table.empty()) {
+        const AggregationType first_type = query.aggregations[0].type;
+        std::vector<uint32_t> order = table.RankedByFirstAgg(first_type);
+        const size_t n =
+            std::min<size_t>(order.size(), static_cast<size_t>(query.top_n));
+        result.group_rows.reserve(n);
+        for (size_t r = 0; r < n; ++r) {
+          const uint32_t g = order[r];
+          QueryResult::GroupRow row;
+          Value* keys = table.MutableKeysAt(g);
+          row.keys.reserve(query.group_by.size());
+          for (size_t i = 0; i < query.group_by.size(); ++i) {
+            row.keys.push_back(std::move(keys[i]));
           }
-          continue;
+          for (size_t i = 0; i < query.aggregations.size(); ++i) {
+            row.values.push_back(FinalizeAgg(query.aggregations[i].type,
+                                             table.StatesAt(g)[i]));
+          }
+          result.group_rows.push_back(std::move(row));
         }
-        entries.push_back(&entry);
-      }
-      const AggregationType first_type = query.aggregations[0].type;
-      std::sort(entries.begin(), entries.end(),
-                [first_type](const PartialResult::GroupEntry* a,
-                             const PartialResult::GroupEntry* b) {
-                  return AggSortValue(first_type, a->states[0]) >
-                         AggSortValue(first_type, b->states[0]);
-                });
-      const size_t n = std::min<size_t>(entries.size(),
-                                        static_cast<size_t>(query.top_n));
-      result.group_rows.reserve(n);
-      for (size_t g = 0; g < n; ++g) {
-        QueryResult::GroupRow row;
-        row.keys = std::move(entries[g]->keys);
-        for (size_t i = 0; i < query.aggregations.size(); ++i) {
-          row.values.push_back(FinalizeAgg(query.aggregations[i].type,
-                                           entries[g]->states[i]));
-        }
-        result.group_rows.push_back(std::move(row));
       }
     }
   } else {

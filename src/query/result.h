@@ -2,9 +2,10 @@
 #define PINOT_QUERY_RESULT_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -39,6 +40,116 @@ struct ExecutionStats {
   }
 };
 
+/// Flat group-by accumulation table, the mergeable group-by payload of a
+/// PartialResult. Replaces the old `unordered_map<string, GroupEntry>`:
+/// encoded keys live in one byte arena, key values and aggregation states
+/// in flat arrays (`num_keys` / `num_aggs` entries per group), and lookup
+/// goes through a linear-probing index of group ordinals. At million-group
+/// cardinalities this avoids the three-allocations-per-group cost of the
+/// node-based map (key string, GroupEntry node, per-group key vector) that
+/// used to dominate the per-segment flush.
+///
+/// Every group holds exactly `num_keys()` key values and `num_aggs()`
+/// states; a table whose arity disagrees with a merge peer (older table
+/// config) is rejected wholesale instead of per-entry.
+class GroupTable {
+ public:
+  static constexpr uint32_t kInvalidGroup = 0xffffffffu;
+
+  bool empty() const { return group_count_ == 0; }
+  size_t size() const { return group_count_; }
+  size_t num_keys() const { return num_keys_; }
+  size_t num_aggs() const { return num_aggs_; }
+
+  /// Sets the per-group arity on first use; returns false when the table
+  /// already holds groups of a different arity.
+  bool EnsureArity(size_t num_keys, size_t num_aggs);
+
+  /// Ordinal of the group with this encoded key, or kInvalidGroup.
+  uint32_t Find(std::string_view encoded_key) const;
+
+  /// Find-or-insert: returns the ordinal for `encoded_key`, inserting a new
+  /// group with default (zero) states when absent. On insert, `fill_keys`
+  /// must append exactly num_keys() values to the passed vector; it is not
+  /// invoked on hits, so callers can defer value decoding to first touch.
+  template <typename FillKeys>
+  uint32_t FindOrAdd(std::string_view encoded_key, FillKeys&& fill_keys) {
+    const size_t hash = HashKey(encoded_key);
+    uint32_t g = FindWithHash(encoded_key, hash);
+    if (g != kInvalidGroup) return g;
+    g = AppendGroup(encoded_key, hash);
+    fill_keys(&key_values_);
+    return g;
+  }
+
+  /// Inserts one externally built group (or merges states into an existing
+  /// one). EnsureArity must have been called.
+  void AddGroup(std::vector<Value> keys, std::vector<AggState>&& states);
+
+  AggState* StatesAt(uint32_t g) { return &states_[size_t{g} * num_aggs_]; }
+  const AggState* StatesAt(uint32_t g) const {
+    return &states_[size_t{g} * num_aggs_];
+  }
+  const Value* KeysAt(uint32_t g) const {
+    return &key_values_[size_t{g} * num_keys_];
+  }
+  Value* MutableKeysAt(uint32_t g) {
+    return &key_values_[size_t{g} * num_keys_];
+  }
+  std::string_view EncodedKeyAt(uint32_t g) const {
+    return std::string_view(arena_).substr(key_offsets_[g],
+                                           key_offsets_[g + 1] -
+                                               key_offsets_[g]);
+  }
+
+  /// Merges `other` in (groups matched by encoded key). On arity mismatch
+  /// the table is left untouched and `*status` is set (first error wins).
+  void MergeFrom(GroupTable&& other, Status* status);
+
+  /// Group ordinals ranked by (AggSortValue of the first state descending,
+  /// encoded key ascending) — the deterministic broker TOP-n order. The
+  /// key tie-break makes server-side trimming and the broker reduce agree
+  /// on equal sort values.
+  std::vector<uint32_t> RankedByFirstAgg(AggregationType first_type) const;
+
+  /// Keeps the `keep` highest-ranked groups (see RankedByFirstAgg) and
+  /// drops the rest; returns the number of groups dropped. This is the
+  /// server-side ORDER-BY/LIMIT trim: with broker-side over-fetch the
+  /// scatter payload becomes O(keep) instead of O(groups).
+  size_t TrimToTopN(AggregationType first_type, size_t keep);
+
+  /// Rough wire size of the table (arena + key values + states), used by
+  /// benches to report payload bytes shipped per server with/without
+  /// trimming. String key values are counted at their heap size.
+  size_t ApproxPayloadBytes() const;
+
+ private:
+  size_t HashKey(std::string_view key) const {
+    return std::hash<std::string_view>{}(key);
+  }
+  uint32_t FindWithHash(std::string_view key, size_t hash) const;
+  uint32_t AppendGroup(std::string_view key, size_t hash);
+  void GrowIndex();
+
+  size_t num_keys_ = 0;
+  size_t num_aggs_ = 0;
+  size_t group_count_ = 0;
+  bool arity_set_ = false;
+
+  // Encoded keys, concatenated; group g spans
+  // [key_offsets_[g], key_offsets_[g+1]) of arena_.
+  std::string arena_;
+  std::vector<uint32_t> key_offsets_ = {0};
+
+  // Flat per-group payloads: num_keys_ values / num_aggs_ states per group.
+  std::vector<Value> key_values_;
+  std::vector<AggState> states_;
+
+  // Linear-probing index: slot -> group ordinal (kInvalidGroup = empty).
+  // Rebuilt from the arena on growth; power-of-two capacity.
+  std::vector<uint32_t> slots_;
+};
+
 /// Unfinalized result of executing a query over one or more segments.
 /// Mergeable across segments (server-side combine, paper section 3.3.3 step
 /// 6) and across servers (broker-side merge, step 7).
@@ -46,12 +157,9 @@ struct PartialResult {
   // Aggregation without group-by: one state per aggregation spec.
   std::vector<AggState> aggregates;
 
-  // Group-by: encoded group key -> (key values, one state per spec).
-  struct GroupEntry {
-    std::vector<Value> keys;
-    std::vector<AggState> states;
-  };
-  std::unordered_map<std::string, GroupEntry> groups;
+  // Group-by accumulation (see GroupTable). Servers may trim this to the
+  // query's over-fetched top-N before it ships to the broker.
+  GroupTable groups;
 
   // Selection rows (unfinalized; trimmed to limit during reduce).
   std::vector<std::vector<Value>> selection_rows;
@@ -76,6 +184,17 @@ struct PartialResult {
 /// is length-prefixed: string values can contain any byte, so a separator
 /// scheme cannot distinguish ("a\x1f", "b") from ("a", "\x1fb").
 std::string EncodeGroupKey(const std::vector<Value>& keys);
+
+/// Appends the length-prefixed encoding of one key value to `out` —
+/// EncodeGroupKey is the fold of this over all key values. Exposed so the
+/// packed group-by flush can build encoded keys incrementally in a reused
+/// buffer without materializing a std::vector<Value> per group.
+void AppendGroupKeyValue(const Value& v, std::string* out);
+
+/// Appends the length-prefixed encoding of an already rendered value
+/// (exactly what AppendGroupKeyValue would produce for a value whose
+/// ValueToString equals `rendered`).
+void AppendRenderedGroupKeyValue(std::string_view rendered, std::string* out);
 
 /// One scatter call from the broker to one server, as observed by the
 /// broker: which segments it covered, which retry wave it belonged to, how

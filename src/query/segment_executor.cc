@@ -1,7 +1,9 @@
 #include "query/segment_executor.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <charconv>
 #include <cstring>
 #include <unordered_map>
 
@@ -246,18 +248,8 @@ void ForEachGroupKey(const std::vector<GroupByColumn>& columns, uint32_t doc,
 // value-keyed per-segment output, merging states when the group exists.
 void MergeGroupInto(std::vector<Value> values, std::vector<AggState>&& states,
                     PartialResult* out) {
-  std::string value_key = EncodeGroupKey(values);
-  auto it = out->groups.find(value_key);
-  if (it == out->groups.end()) {
-    PartialResult::GroupEntry entry;
-    entry.keys = std::move(values);
-    entry.states = std::move(states);
-    out->groups.emplace(std::move(value_key), std::move(entry));
-  } else {
-    for (size_t i = 0; i < states.size(); ++i) {
-      it->second.states[i].Merge(std::move(states[i]));
-    }
-  }
+  out->groups.EnsureArity(values.size(), states.size());
+  out->groups.AddGroup(std::move(values), std::move(states));
 }
 
 void FlushLocalGroups(const std::vector<GroupByColumn>& columns,
@@ -434,6 +426,43 @@ bool PackedGroupByEligible(const std::vector<GroupByColumn>& group_columns,
   return true;
 }
 
+// Number of radix partitions for the sharded packed-key path. Keys are
+// partitioned by their low kRadixShardBits bits (dict ids are dense, so low
+// bits spread groups evenly); each shard owns a private linear-probing
+// table roughly 1/64th the total cardinality, so probes stay cache-resident
+// and growth rehashes one small shard at a time instead of stalling the
+// whole scan behind a full-table rehash.
+constexpr int kRadixShardBits = 6;
+constexpr size_t kRadixShards = size_t{1} << kRadixShardBits;
+// Below this many groups the shard tables are cache-resident and the
+// counting-sort probe ordering is pure overhead; probe in doc order.
+constexpr size_t kRadixSortThreshold = 16384;
+
+// Appends the length-prefixed key fragment AppendGroupKeyValue would
+// produce for dictionary entry `id`, without materializing a Value. Int64
+// dictionaries (the high-cardinality case) render via to_chars on the
+// stack; doubles must match ValueToString's ostream rendering exactly, so
+// they take the Value detour.
+void AppendDictIdKeyFragment(const Dictionary& dict, uint32_t id,
+                             std::string* key) {
+  switch (dict.storage()) {
+    case Dictionary::Storage::kInt64: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof(buf),
+                                     dict.Int64At(static_cast<int>(id)));
+      AppendRenderedGroupKeyValue(
+          std::string_view(buf, static_cast<size_t>(res.ptr - buf)), key);
+      return;
+    }
+    case Dictionary::Storage::kDouble:
+      AppendGroupKeyValue(Value{dict.DoubleAt(static_cast<int>(id))}, key);
+      return;
+    case Dictionary::Storage::kString:
+      AppendRenderedGroupKeyValue(dict.StringAt(static_cast<int>(id)), key);
+      return;
+  }
+}
+
 void ExecutePackedGroupBy(const std::vector<BoundAggregation>& bound,
                           const std::vector<GroupByColumn>& group_columns,
                           const ScanOptions& options, const DocIdSet& docs,
@@ -477,30 +506,81 @@ void ExecutePackedGroupBy(const std::vector<BoundAggregation>& bound,
     return g;
   };
 
-  // Dense direct-indexed table when the key space is small; flat linear-
-  // probing table (no per-key allocation, power-of-two capacity) otherwise.
+  // Table choice: dense direct-indexed table when the key space is small;
+  // radix-partitioned per-shard probing tables otherwise (the default); a
+  // single flat linear-probing table when radix is disabled (kept as the
+  // equivalence reference for the fuzz tests).
   const bool dense =
       total_bits < 64 &&
       (uint64_t{1} << total_bits) <= options.dense_groupby_max_slots;
+  const bool radix = !dense && options.radix_groupby;
   if (span != nullptr) {
-    span->Label("group_table", dense ? "dense" : "open-addressing");
+    span->Label("group_table",
+                dense ? "dense"
+                      : (radix ? "radix(" + std::to_string(kRadixShards) + ")"
+                               : "open-addressing"));
   }
   std::vector<uint32_t> dense_table;
-  size_t capacity = 0;
+  if (dense) dense_table.assign(size_t{1} << total_bits, kNoGroup);
+
+  // Radix shards: each owns a private key/ordinal probing table.
+  struct RadixShard {
+    std::vector<uint64_t> keys;
+    std::vector<uint32_t> groups;
+    size_t capacity = 0;
+    size_t used = 0;
+  };
+  std::vector<RadixShard> shards(radix ? kRadixShards : 0);
+  auto shard_find_or_add = [&](RadixShard& shard, uint64_t key) -> uint32_t {
+    if (shard.capacity == 0) {
+      shard.capacity = 64;
+      shard.keys.assign(shard.capacity, 0);
+      shard.groups.assign(shard.capacity, kNoGroup);
+    }
+    size_t pos = MixHash64(key) & (shard.capacity - 1);
+    while (true) {
+      if (shard.groups[pos] == kNoGroup) {
+        const uint32_t g = add_group(key);
+        shard.keys[pos] = key;
+        shard.groups[pos] = g;
+        // Keep each shard's load factor under 0.7; growing rehashes only
+        // this shard's slice of the key space.
+        if (++shard.used * 10 >= shard.capacity * 7) {
+          const size_t new_capacity = shard.capacity * 2;
+          std::vector<uint64_t> new_keys(new_capacity, 0);
+          std::vector<uint32_t> new_groups(new_capacity, kNoGroup);
+          for (size_t s = 0; s < shard.capacity; ++s) {
+            if (shard.groups[s] == kNoGroup) continue;
+            size_t p = MixHash64(shard.keys[s]) & (new_capacity - 1);
+            while (new_groups[p] != kNoGroup) p = (p + 1) & (new_capacity - 1);
+            new_keys[p] = shard.keys[s];
+            new_groups[p] = shard.groups[s];
+          }
+          shard.keys = std::move(new_keys);
+          shard.groups = std::move(new_groups);
+          shard.capacity = new_capacity;
+        }
+        return g;
+      }
+      if (shard.keys[pos] == key) return shard.groups[pos];
+      pos = (pos + 1) & (shard.capacity - 1);
+    }
+  };
+
+  // Legacy single-table path (radix disabled).
+  size_t oa_capacity = 0;
   std::vector<uint64_t> oa_keys;
   std::vector<uint32_t> oa_groups;
-  if (dense) {
-    dense_table.assign(size_t{1} << total_bits, kNoGroup);
-  } else {
-    capacity = 1024;
-    oa_keys.assign(capacity, 0);
-    oa_groups.assign(capacity, kNoGroup);
+  if (!dense && !radix) {
+    oa_capacity = 1024;
+    oa_keys.assign(oa_capacity, 0);
+    oa_groups.assign(oa_capacity, kNoGroup);
   }
   auto grow_table = [&] {
-    const size_t new_capacity = capacity * 2;
+    const size_t new_capacity = oa_capacity * 2;
     std::vector<uint64_t> new_keys(new_capacity, 0);
     std::vector<uint32_t> new_groups(new_capacity, kNoGroup);
-    for (size_t s = 0; s < capacity; ++s) {
+    for (size_t s = 0; s < oa_capacity; ++s) {
       if (oa_groups[s] == kNoGroup) continue;
       size_t pos = MixHash64(oa_keys[s]) & (new_capacity - 1);
       while (new_groups[pos] != kNoGroup) pos = (pos + 1) & (new_capacity - 1);
@@ -509,30 +589,27 @@ void ExecutePackedGroupBy(const std::vector<BoundAggregation>& bound,
     }
     oa_keys = std::move(new_keys);
     oa_groups = std::move(new_groups);
-    capacity = new_capacity;
+    oa_capacity = new_capacity;
   };
-  auto find_or_add = [&](uint64_t key) -> uint32_t {
-    if (dense) {
-      uint32_t& slot = dense_table[key];
-      if (slot == kNoGroup) slot = add_group(key);
-      return slot;
-    }
-    size_t pos = MixHash64(key) & (capacity - 1);
+  auto oa_find_or_add = [&](uint64_t key) -> uint32_t {
+    size_t pos = MixHash64(key) & (oa_capacity - 1);
     while (true) {
       if (oa_groups[pos] == kNoGroup) {
         const uint32_t g = add_group(key);
         oa_keys[pos] = key;
         oa_groups[pos] = g;
         // Keep load factor under 0.7.
-        if (group_keys.size() * 10 >= capacity * 7) grow_table();
+        if (group_keys.size() * 10 >= oa_capacity * 7) grow_table();
         return g;
       }
       if (oa_keys[pos] == key) return oa_groups[pos];
-      pos = (pos + 1) & (capacity - 1);
+      pos = (pos + 1) & (oa_capacity - 1);
     }
   };
 
   std::vector<uint64_t> key_buf(kDocIdBlockSize);
+  std::vector<uint32_t> group_idx(kDocIdBlockSize);
+  std::vector<uint16_t> shard_order(kDocIdBlockSize);
   docs.ForEachBlock([&](const DocIdBlock& block) {
     *scanned += block.count;
     decoder.Decode(block);
@@ -544,9 +621,55 @@ void ExecutePackedGroupBy(const std::vector<BoundAggregation>& bound,
         key_buf[j] |= static_cast<uint64_t>(ids[j]) << pc.shift;
       }
     }
+
+    // Key -> group ordinal. The radix path visits docs shard-by-shard
+    // (counting sort on the low key bits) so consecutive probes share one
+    // cache-resident shard table; group_idx is written per doc so the
+    // accumulation below runs in doc order on every path (bit-identical
+    // float results across dense / radix / legacy).
+    if (dense) {
+      for (uint32_t j = 0; j < block.count; ++j) {
+        uint32_t& slot = dense_table[key_buf[j]];
+        if (slot == kNoGroup) slot = add_group(key_buf[j]);
+        group_idx[j] = slot;
+      }
+    } else if (radix) {
+      // Shard-ordered probing only pays once the combined tables outgrow
+      // cache; while the table is small, probe in doc order and skip the
+      // counting-sort passes. Either way group_idx is per doc, so the
+      // accumulation below is doc-ordered and results stay bit-identical.
+      if (group_keys.size() >= kRadixSortThreshold) {
+        std::array<uint32_t, kRadixShards + 1> offsets{};
+        for (uint32_t j = 0; j < block.count; ++j) {
+          ++offsets[(key_buf[j] & (kRadixShards - 1)) + 1];
+        }
+        for (size_t s = 0; s < kRadixShards; ++s) offsets[s + 1] += offsets[s];
+        for (uint32_t j = 0; j < block.count; ++j) {
+          shard_order[offsets[key_buf[j] & (kRadixShards - 1)]++] =
+              static_cast<uint16_t>(j);
+        }
+        for (uint32_t t = 0; t < block.count; ++t) {
+          const uint32_t j = shard_order[t];
+          const uint64_t key = key_buf[j];
+          group_idx[j] =
+              shard_find_or_add(shards[key & (kRadixShards - 1)], key);
+        }
+      } else {
+        for (uint32_t j = 0; j < block.count; ++j) {
+          const uint64_t key = key_buf[j];
+          group_idx[j] =
+              shard_find_or_add(shards[key & (kRadixShards - 1)], key);
+        }
+      }
+    } else {
+      for (uint32_t j = 0; j < block.count; ++j) {
+        group_idx[j] = oa_find_or_add(key_buf[j]);
+      }
+    }
+
     for (uint32_t j = 0; j < block.count; ++j) {
-      const uint32_t g = find_or_add(key_buf[j]);
-      AggState* states = &group_states[static_cast<size_t>(g) * num_aggs];
+      AggState* states =
+          &group_states[static_cast<size_t>(group_idx[j]) * num_aggs];
       for (size_t i = 0; i < num_aggs; ++i) {
         if (bound[i].type == AggregationType::kCount) {
           ++states[i].count;
@@ -560,30 +683,46 @@ void ExecutePackedGroupBy(const std::vector<BoundAggregation>& bound,
     }
   });
 
-  // Flush: unpack each key back into per-column dict ids -> values and
-  // merge into the value-keyed per-segment output.
+  // Flush: keys stay packed — each group's value key is encoded straight
+  // from the dictionaries into a reused buffer and states move into the
+  // flat GroupTable, so the flush performs no per-group allocations (the
+  // old path built a std::vector<Value> + map node + key string per group,
+  // which dominated million-group queries).
+  GroupTable& table = out->groups;
+  table.EnsureArity(group_columns.size(), num_aggs);
+  std::string key_scratch;
   for (size_t g = 0; g < group_keys.size(); ++g) {
     const uint64_t key = group_keys[g];
-    std::vector<Value> values;
-    values.reserve(group_columns.size());
+    auto id_of = [&](size_t i) {
+      return packed[i].slot >= 0
+                 ? static_cast<uint32_t>((key >> packed[i].shift) &
+                                         packed[i].mask)
+                 : 0;
+    };
+    key_scratch.clear();
     for (size_t i = 0; i < group_columns.size(); ++i) {
       const GroupByColumn& gb = group_columns[i];
       if (gb.column == nullptr) {
-        values.push_back(gb.default_value);
-        continue;
+        AppendGroupKeyValue(gb.default_value, &key_scratch);
+      } else {
+        AppendDictIdKeyFragment(gb.column->dictionary(), id_of(i),
+                                &key_scratch);
       }
-      const uint32_t id =
-          packed[i].slot >= 0
-              ? static_cast<uint32_t>((key >> packed[i].shift) & packed[i].mask)
-              : 0;
-      values.push_back(gb.column->dictionary().ValueAt(static_cast<int>(id)));
     }
-    std::vector<AggState> states;
-    states.reserve(num_aggs);
+    const uint32_t slot =
+        table.FindOrAdd(key_scratch, [&](std::vector<Value>* values) {
+          for (size_t i = 0; i < group_columns.size(); ++i) {
+            const GroupByColumn& gb = group_columns[i];
+            values->push_back(gb.column == nullptr
+                                  ? gb.default_value
+                                  : gb.column->dictionary().ValueAt(
+                                        static_cast<int>(id_of(i))));
+          }
+        });
+    AggState* dst = table.StatesAt(slot);
     for (size_t i = 0; i < num_aggs; ++i) {
-      states.push_back(std::move(group_states[g * num_aggs + i]));
+      dst[i].Merge(std::move(group_states[g * num_aggs + i]));
     }
-    MergeGroupInto(std::move(values), std::move(states), out);
   }
 }
 

@@ -23,6 +23,11 @@ struct ScanOptions {
   /// Use a dense direct-indexed group table when the product of group
   /// column dictionary sizes is at most this many slots.
   uint32_t dense_groupby_max_slots = 1u << 20;
+  /// Radix-partition packed keys by their low bits into per-shard probing
+  /// tables (cache-resident, shard-local growth) when the dense table does
+  /// not apply. Disabled, the packed path falls back to the legacy single
+  /// open-addressing table — kept as the equivalence reference for tests.
+  bool radix_groupby = true;
 };
 
 /// Executes `query` against one segment and merges the outcome into `out`.
@@ -49,8 +54,8 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
 /// spans (plan / filter / aggregate | group-by | selection) and labels the
 /// span with the chosen plan (`plan` = metadata | star-tree | raw), the
 /// per-column filter operator (`op:<col>`), and the group-table kind
-/// (`group_table` = dense | open-addressing | string). A null span runs the
-/// untraced path with zero overhead.
+/// (`group_table` = dense | radix(<shards>) | open-addressing | string). A
+/// null span runs the untraced path with zero overhead.
 Status ExecuteQueryOnSegment(const SegmentInterface& segment,
                              const Query& query, const ScanOptions& options,
                              TraceSpan* span, PartialResult* out);

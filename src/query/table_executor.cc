@@ -100,9 +100,23 @@ void AnnotateSegmentSpan(const ExecutionStats& stats, TraceSpan* span) {
 
 }  // namespace
 
+size_t TrimGroupPartial(const Query& query, size_t keep,
+                        PartialResult* partial) {
+  if (query.group_by.empty() || query.aggregations.empty()) return 0;
+  if (partial->groups.size() <= keep) return 0;
+  return partial->groups.TrimToTopN(query.aggregations[0].type, keep);
+}
+
 PartialResult ExecuteQueryOnSegments(
     const std::vector<std::shared_ptr<SegmentInterface>>& segments,
     const Query& query, ThreadPool* pool, TraceSpan* parent) {
+  return ExecuteQueryOnSegments(segments, query, ScanOptions{}, pool, parent);
+}
+
+PartialResult ExecuteQueryOnSegments(
+    const std::vector<std::shared_ptr<SegmentInterface>>& segments,
+    const Query& query, const ScanOptions& options, ThreadPool* pool,
+    TraceSpan* parent) {
   PartialResult merged;
 
   std::vector<std::shared_ptr<SegmentInterface>> to_run;
@@ -149,8 +163,7 @@ PartialResult ExecuteQueryOnSegments(
         span_ptr = &span;
       }
       partial.status =
-          ExecuteQueryOnSegment(*segment, query, ScanOptions{}, span_ptr,
-                                &partial);
+          ExecuteQueryOnSegment(*segment, query, options, span_ptr, &partial);
       if (parent != nullptr) {
         AnnotateSegmentSpan(partial.stats, &span);
         span.Close();
@@ -170,9 +183,8 @@ PartialResult ExecuteQueryOnSegments(
           TraceSpan::Open("segment:" + to_run[i]->metadata().segment_name);
       span_ptr = &spans[i];
     }
-    partials[i].status = ExecuteQueryOnSegment(*to_run[i], query,
-                                               ScanOptions{}, span_ptr,
-                                               &partials[i]);
+    partials[i].status = ExecuteQueryOnSegment(*to_run[i], query, options,
+                                               span_ptr, &partials[i]);
     if (span_ptr != nullptr) {
       AnnotateSegmentSpan(partials[i].stats, span_ptr);
       span_ptr->Close();
@@ -180,8 +192,27 @@ PartialResult ExecuteQueryOnSegments(
   });
   for (size_t i = 0; i < partials.size(); ++i) {
     if (parent != nullptr) parent->AddChild(std::move(spans[i]));
-    merged.Merge(std::move(partials[i]));
   }
+
+  // Tree-wise combine: pairwise rounds across the pool, partials[2k] <-
+  // partials[2k+1], compacting survivors in order. Merging in index order
+  // at every round keeps error precedence (lowest segment's error wins) and
+  // span concatenation order identical to the old sequential fold, and the
+  // fixed pairing topology keeps float accumulation deterministic run to
+  // run.
+  size_t live = partials.size();
+  while (live > 1) {
+    const int pairs = static_cast<int>(live / 2);
+    pool->ParallelFor(pairs, [&](int k) {
+      partials[2 * k].Merge(std::move(partials[2 * k + 1]));
+    });
+    size_t write = 0;
+    for (size_t read = 0; read < live; read += 2, ++write) {
+      if (write != read) partials[write] = std::move(partials[read]);
+    }
+    live = write;
+  }
+  if (live == 1) merged.Merge(std::move(partials[0]));
   return merged;
 }
 

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "query/query.h"
 #include "query/result.h"
+#include "query/segment_executor.h"
 #include "segment/segment.h"
 #include "trace/trace.h"
 
@@ -28,10 +29,31 @@ namespace pinot {
 /// attaches them, so no locking is needed. A query with `explain` set runs
 /// per-segment planning only — plan spans are produced but no data is read
 /// and no rows are returned.
+/// When `pool` is non-null the per-segment partials are also *merged*
+/// tree-wise across the pool (pairwise rounds, log2(segments) deep) instead
+/// of one sequential fold — at million-group cardinalities the combine is
+/// as expensive as the scans, and the pairwise topology is deterministic so
+/// results are reproducible run to run.
 PartialResult ExecuteQueryOnSegments(
     const std::vector<std::shared_ptr<SegmentInterface>>& segments,
     const Query& query, ThreadPool* pool = nullptr,
     TraceSpan* parent = nullptr);
+
+/// As above with explicit per-segment scan options (the default overload
+/// uses ScanOptions{}).
+PartialResult ExecuteQueryOnSegments(
+    const std::vector<std::shared_ptr<SegmentInterface>>& segments,
+    const Query& query, const ScanOptions& options, ThreadPool* pool = nullptr,
+    TraceSpan* parent = nullptr);
+
+/// Server-side ORDER-BY/LIMIT trim (production Pinot's scatter-payload
+/// bound): keeps the `keep` groups that rank highest in the broker's final
+/// order (first aggregation descending, encoded key as tie-break) and drops
+/// the rest. Returns the number of groups dropped. `keep` should over-fetch
+/// the query's TOP n (e.g. max(top_n * 5, 5000)) so per-server local ranks
+/// almost surely cover the global top-N; no-op for non-group-by queries.
+size_t TrimGroupPartial(const Query& query, size_t keep,
+                        PartialResult* partial);
 
 /// True when segment metadata alone proves the filter matches nothing in
 /// this segment (exposed for tests).

@@ -88,28 +88,29 @@ TEST(DistinctSetTest, TypeSeparationAndMerge) {
 TEST(PartialResultTest, MergeGroupsByValueKey) {
   PartialResult a, b;
   {
-    PartialResult::GroupEntry entry;
-    entry.keys = {Value{std::string("us")}};
-    entry.states.resize(1);
-    entry.states[0].AddDouble(10);
-    a.groups.emplace(EncodeGroupKey(entry.keys), std::move(entry));
+    std::vector<Value> keys = {Value{std::string("us")}};
+    std::vector<AggState> states(1);
+    states[0].AddDouble(10);
+    a.groups.EnsureArity(1, 1);
+    a.groups.AddGroup(std::move(keys), std::move(states));
   }
   {
-    PartialResult::GroupEntry entry;
-    entry.keys = {Value{std::string("us")}};
-    entry.states.resize(1);
-    entry.states[0].AddDouble(5);
-    b.groups.emplace(EncodeGroupKey(entry.keys), std::move(entry));
-    PartialResult::GroupEntry other;
-    other.keys = {Value{std::string("ca")}};
-    other.states.resize(1);
-    other.states[0].AddDouble(7);
-    b.groups.emplace(EncodeGroupKey(other.keys), std::move(other));
+    b.groups.EnsureArity(1, 1);
+    std::vector<Value> keys = {Value{std::string("us")}};
+    std::vector<AggState> states(1);
+    states[0].AddDouble(5);
+    b.groups.AddGroup(std::move(keys), std::move(states));
+    std::vector<Value> other_keys = {Value{std::string("ca")}};
+    std::vector<AggState> other_states(1);
+    other_states[0].AddDouble(7);
+    b.groups.AddGroup(std::move(other_keys), std::move(other_states));
   }
   a.Merge(std::move(b));
   ASSERT_EQ(a.groups.size(), 2u);
-  EXPECT_DOUBLE_EQ(
-      a.groups[EncodeGroupKey({Value{std::string("us")}})].states[0].sum, 15);
+  const uint32_t us =
+      a.groups.Find(EncodeGroupKey({Value{std::string("us")}}));
+  ASSERT_NE(us, GroupTable::kInvalidGroup);
+  EXPECT_DOUBLE_EQ(a.groups.StatesAt(us)[0].sum, 15);
 }
 
 TEST(PartialResultTest, MergeKeepsFirstError) {
@@ -165,24 +166,23 @@ TEST(PartialResultTest, AggregateCountMismatchIsErrorNotUB) {
 TEST(PartialResultTest, GroupStateCountMismatchIsErrorNotUB) {
   PartialResult a, b;
   {
-    PartialResult::GroupEntry entry;
-    entry.keys = {Value{std::string("us")}};
-    entry.states.resize(2);
-    a.groups.emplace(EncodeGroupKey(entry.keys), std::move(entry));
+    a.groups.EnsureArity(1, 2);
+    std::vector<Value> keys = {Value{std::string("us")}};
+    a.groups.AddGroup(std::move(keys), std::vector<AggState>(2));
   }
   {
-    PartialResult::GroupEntry entry;
-    entry.keys = {Value{std::string("us")}};
-    entry.states.resize(1);  // Peer on an older table config.
-    entry.states[0].AddDouble(5);
-    b.groups.emplace(EncodeGroupKey(entry.keys), std::move(entry));
+    b.groups.EnsureArity(1, 1);  // Peer on an older table config.
+    std::vector<Value> keys = {Value{std::string("us")}};
+    std::vector<AggState> states(1);
+    states[0].AddDouble(5);
+    b.groups.AddGroup(std::move(keys), std::move(states));
   }
   a.Merge(std::move(b));
   EXPECT_FALSE(a.status.ok());
-  EXPECT_NE(a.status.ToString().find("state count mismatch"),
+  EXPECT_NE(a.status.ToString().find("group arity mismatch"),
             std::string::npos);
   ASSERT_EQ(a.groups.size(), 1u);
-  EXPECT_EQ(a.groups.begin()->second.states.size(), 2u);
+  EXPECT_EQ(a.groups.num_aggs(), 2u);
 }
 
 }  // namespace

@@ -586,8 +586,10 @@ TEST(BrokerLoadSheddingTest, OverloadedBrokerShedsWithRetryAfter) {
                   /*rows_each=*/5);
   ASSERT_EQ(Count(cluster.Execute("SELECT count(*) FROM keyed")), 30);
 
-  // Occupy the single in-flight slot with a deliberately slow query.
-  cluster.server(0)->InjectQueryDelay(1, 400);
+  // Occupy the single in-flight slot with a deliberately slow query. Every
+  // server is delayed (twice over, covering hedge calls) so the query is
+  // slow regardless of where adaptive routing lands it.
+  for (int s = 0; s < 3; ++s) cluster.server(s)->InjectQueryDelay(2, 400);
   std::thread occupant([&] {
     auto result = cluster.Execute("SELECT count(*) FROM keyed");
     EXPECT_FALSE(result.partial) << result.error_message;
