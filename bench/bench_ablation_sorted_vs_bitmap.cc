@@ -1,26 +1,32 @@
 // Ablation (section 4.2): filter evaluation cost of the three physical
 // filter operators — sorted-range, inverted bitmap, and scan — on the same
-// column at varying selectivity. Backs the paper's claims that (a) the
-// sorted range beats bitmap operations, and (b) for range predicates,
-// iterator-style scans can beat "bitmap operations on large bitmap
-// indexes". Uses google-benchmark.
+// column at varying range-predicate width, plus the cost-based planner's
+// pick. Backs the paper's claims that (a) the sorted range beats bitmap
+// operations, and (b) for range predicates, iterator-style scans can beat
+// "bitmap operations on large bitmap indexes"; the cost-based row shows the
+// planner staying near the best operator across the sweep.
+//
+// Emits a scripts/check_perf.sh dump via --json=FILE: config is the
+// operator path, offered_qps carries the predicate width, and the latency
+// percentiles come from repeated single-threaded evaluations.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "query/filter_evaluator.h"
+#include "trace/trace.h"
 
 namespace pinot {
+namespace bench {
 namespace {
 
-constexpr uint32_t kRows = 500000;
-
-std::shared_ptr<ImmutableSegment> BuildKeyedSegment(bool sorted,
+std::shared_ptr<ImmutableSegment> BuildKeyedSegment(const Workload& workload,
+                                                    bool sorted,
                                                     bool inverted) {
-  WorkloadOptions wo;
-  wo.num_rows = kRows;
-  wo.num_queries = 1;
-  Workload workload = MakeWvmpWorkload(wo);
   SegmentBuildConfig config;
   config.table_name = "wvmp";
   config.segment_name = "abl";
@@ -35,49 +41,148 @@ std::shared_ptr<ImmutableSegment> BuildKeyedSegment(bool sorted,
   return *segment;
 }
 
-// `state.range(0)`: width of the key range predicate (1 = point lookup).
-void RunFilter(benchmark::State& state,
-               const std::shared_ptr<ImmutableSegment>& segment) {
-  const int width = static_cast<int>(state.range(0));
+std::optional<FilterNode> WidthFilter(int width) {
   Predicate pred;
   pred.column = "vieweeId";
   pred.op = PredicateOp::kRange;
   pred.lower = int64_t{10};
   pred.upper = int64_t{10 + width - 1};
-  std::optional<FilterNode> filter;
-  filter.emplace(FilterNode::Leaf(pred));
+  return FilterNode::Leaf(pred);
+}
+
+struct PathResult {
   uint64_t matched = 0;
-  for (auto _ : state) {
-    FilterEvaluator evaluator(*segment, nullptr);
+  std::string plan;  // Operator the evaluator actually chose.
+  QpsPoint point;
+};
+
+PathResult RunPath(const SegmentInterface& segment,
+                   FilterEvaluator::PlannerMode mode, int width, int iters) {
+  const std::optional<FilterNode> filter = WidthFilter(width);
+  PathResult result;
+  std::vector<double> latencies;
+  latencies.reserve(iters);
+  for (int it = 0; it < iters; ++it) {
+    const auto start = std::chrono::steady_clock::now();
+    FilterEvaluator evaluator(segment, nullptr);
+    evaluator.set_planner_mode(mode);
     auto docs = evaluator.Evaluate(filter);
     if (!docs.ok()) std::abort();
-    matched = docs->Cardinality();
-    benchmark::DoNotOptimize(matched);
+    result.matched = docs->Cardinality();
+    latencies.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
   }
-  state.counters["matched_docs"] = static_cast<double>(matched);
+  // One traced evaluation (outside the timed loop) to record the operator
+  // the planner picked.
+  TraceSpan span = TraceSpan::Open("filter");
+  FilterEvaluator traced(segment, nullptr);
+  traced.set_planner_mode(mode);
+  traced.set_trace_span(&span);
+  if (!traced.Evaluate(filter).ok()) std::abort();
+  result.plan = span.LabelValue("op:vieweeId");
+  span.Close();
+
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0;
+  for (double v : latencies) sum += v;
+  result.point.offered_qps = width;
+  result.point.queries = latencies.size();
+  result.point.avg_ms = latencies.empty() ? 0 : sum / latencies.size();
+  result.point.p50_ms = Percentile(latencies, 0.50);
+  result.point.p95_ms = Percentile(latencies, 0.95);
+  result.point.p99_ms = Percentile(latencies, 0.99);
+  result.point.achieved_qps =
+      result.point.avg_ms > 0 ? 1000.0 / result.point.avg_ms : 0;
+  return result;
 }
 
-void BM_SortedRange(benchmark::State& state) {
-  static auto segment = BuildKeyedSegment(/*sorted=*/true, /*inverted=*/false);
-  RunFilter(state, segment);
-}
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  // Default to the 500k-doc acceptance configuration; --rows overrides.
+  const uint32_t rows = options.rows == 150000 ? 500000 : options.rows;
+  const int iters = 30;
 
-void BM_InvertedBitmap(benchmark::State& state) {
-  static auto segment = BuildKeyedSegment(/*sorted=*/false, /*inverted=*/true);
-  RunFilter(state, segment);
-}
+  WorkloadOptions wo;
+  wo.num_rows = rows;
+  wo.num_queries = 1;
+  wo.seed = options.seed;
+  Workload workload = MakeWvmpWorkload(wo);
+  auto sorted = BuildKeyedSegment(workload, /*sorted=*/true,
+                                  /*inverted=*/false);
+  auto inverted = BuildKeyedSegment(workload, /*sorted=*/false,
+                                    /*inverted=*/true);
+  auto plain = BuildKeyedSegment(workload, /*sorted=*/false,
+                                 /*inverted=*/false);
 
-void BM_Scan(benchmark::State& state) {
-  static auto segment =
-      BuildKeyedSegment(/*sorted=*/false, /*inverted=*/false);
-  RunFilter(state, segment);
-}
+  struct Path {
+    const char* name;  // Space-free JSON config key (check_perf.sh awk).
+    const SegmentInterface* segment;
+    FilterEvaluator::PlannerMode mode;
+  };
+  const std::vector<Path> paths = {
+      {"sorted-range", sorted.get(), FilterEvaluator::PlannerMode::kCostBased},
+      {"inverted-bitmap", inverted.get(),
+       FilterEvaluator::PlannerMode::kPreferIndex},
+      {"scan", plain.get(), FilterEvaluator::PlannerMode::kForceScan},
+      {"cost-based", inverted.get(),
+       FilterEvaluator::PlannerMode::kCostBased},
+  };
 
-BENCHMARK(BM_SortedRange)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
-BENCHMARK(BM_InvertedBitmap)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
-BENCHMARK(BM_Scan)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+  std::printf("# bench_ablation_sorted_vs_bitmap — vieweeId range filter on "
+              "a %u-doc segment (%d evals per cell)\n",
+              rows, iters);
+  std::printf("%-8s %-18s %12s %12s %10s %-14s\n", "width", "path", "avg_ms",
+              "p99_ms", "matched", "plan");
+
+  BenchJsonWriter json("filter_ablation", options.json_path);
+  bool planner_within_2x = true;
+  for (int width : {1, 16, 256, 4096}) {
+    uint64_t matched = 0;
+    bool first = true;
+    double best_avg = 0, cost_based_avg = 0;
+    for (const auto& path : paths) {
+      PathResult r = RunPath(*path.segment, path.mode, width, iters);
+      // All operator paths must agree on the result.
+      if (first) {
+        matched = r.matched;
+        first = false;
+      } else if (r.matched != matched) {
+        std::fprintf(stderr,
+                     "MISMATCH width %d path %s: %llu docs, expected %llu\n",
+                     width, path.name,
+                     static_cast<unsigned long long>(r.matched),
+                     static_cast<unsigned long long>(matched));
+        std::abort();
+      }
+      if (std::string(path.name) == "cost-based") {
+        cost_based_avg = r.point.avg_ms;
+      } else if (path.segment != sorted.get() &&
+                 (best_avg == 0 || r.point.avg_ms < best_avg)) {
+        // "Best" spans the operators the planner can actually choose on
+        // its segment (bitmap, scan); sorted-range lives on a different
+        // physical layout.
+        best_avg = r.point.avg_ms;
+      }
+      std::printf("%-8d %-18s %12.4f %12.4f %10llu %-14s\n", width, path.name,
+                  r.point.avg_ms, r.point.p99_ms,
+                  static_cast<unsigned long long>(r.matched), r.plan.c_str());
+      std::fflush(stdout);
+      json.Add(path.name, r.point);
+    }
+    if (cost_based_avg > 2.0 * best_avg) {
+      planner_within_2x = false;
+      std::printf("# width %d: cost-based %.4fms > 2x best %.4fms\n", width,
+                  cost_based_avg, best_avg);
+    }
+  }
+  std::printf("# cost-based within 2x of best operator at every width: %s\n",
+              planner_within_2x ? "yes" : "no");
+  return json.Write() ? 0 : 1;
+}
 
 }  // namespace
+}  // namespace bench
 }  // namespace pinot
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return pinot::bench::Main(argc, argv); }

@@ -63,6 +63,9 @@ int main() {
     SegmentBuildConfig config;
     config.table_name = "metrics_OFFLINE";
     config.segment_name = half == 0 ? "daily_a" : "daily_b";
+    // Give the page filter below both physical options so its trace spans
+    // carry the planner's cost comparison (cost:page=bitmap=...,scan=...).
+    config.inverted_index_columns = {"page"};
     SegmentBuilder builder(MetricsSchema(), config);
     for (int day = 1 + 2 * half; day <= 2 + 2 * half; ++day) {
       if (!builder.AddRow(MakeRow("home", 100 + day, day)).ok()) return 1;

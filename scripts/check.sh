@@ -38,6 +38,13 @@ build/bench/bench_groupby_sweep --rows=100000 \
   --json=build/BENCH_groupby_smoke.json > /dev/null
 scripts/check_perf.sh ${CHECK_PERF_GROUPBY_BASELINE:+"${CHECK_PERF_GROUPBY_BASELINE}"} \
   build/BENCH_groupby_smoke.json
+# Filter-operator ablation at reduced size: exercises the container-pair
+# bitmap kernels and the cost-based planner on all four paths; its built-in
+# cardinality abort re-proves sorted == bitmap == scan == cost-based here.
+build/bench/bench_ablation_sorted_vs_bitmap --rows=30000 \
+  --json=build/BENCH_filter_smoke.json > /dev/null
+scripts/check_perf.sh ${CHECK_PERF_FILTER_BASELINE:+"${CHECK_PERF_FILTER_BASELINE}"} \
+  build/BENCH_filter_smoke.json
 
 echo
 echo "== sanitizers: ASan+UBSan configure + build + ctest (build-asan/) =="
@@ -55,7 +62,7 @@ echo "== sanitizers: concurrency regression loop (ingest-while-query," \
 # ~64k-group radix-vs-legacy equivalence sweep with tree-wise merges).
 (cd build-asan && ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --output-on-failure \
-  -R 'mutable_segment_test|token_bucket_test|metrics_test|groupby_radix_test' \
+  -R 'mutable_segment_test|token_bucket_test|metrics_test|groupby_radix_test|filter_fuzz_test' \
   --repeat until-fail:3)
 
 echo

@@ -77,6 +77,17 @@ grep -qE '^ *server:[^ ]+ -?[0-9]+\.[0-9]{3}ms \{[^{}]*trimmed=[0-9]+[^{}]*\}$' 
   <<< "${TRACE}" || fail "trace dump carries no trimmed=<n> server label"
 grep -qE '\{[^{}]*groupby_groups=[0-9]+[^{}]*\}' <<< "${TRACE}" \
   || fail "trace dump carries no groupby_groups=<n> server label"
+# Filter-planner observability: the page predicate's spans must carry the
+# chosen operator, the bitmap-vs-scan cost comparison, and the predicted
+# and actual result cardinalities.
+grep -qE '\{[^{}]*op:page=(constant|sorted-range|inverted|scan)[^{}]*\}' \
+  <<< "${TRACE}" || fail "trace dump carries no op:page=<operator> label"
+grep -qE '\{[^{}]*cost:page=bitmap=[0-9]+,scan=[0-9]+[^{}]*\}' \
+  <<< "${TRACE}" || fail "trace dump carries no cost:page=bitmap=,scan= label"
+grep -qE '(\{|, )est_rows:page=[0-9]+' <<< "${TRACE}" \
+  || fail "trace dump carries no est_rows:page=<n> annotation"
+grep -qE '(\{|, )rows:page=[0-9]+' <<< "${TRACE}" \
+  || fail "trace dump carries no rows:page=<n> annotation"
 EXPLAIN="$(section '# --- explain dump ---' '# --- slow query log ---')"
 check_span_tree "${EXPLAIN}" "explain dump"
 grep -q 'plan=' <<< "${EXPLAIN}" || fail "explain dump carries no plan label"

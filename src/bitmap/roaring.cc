@@ -25,20 +25,55 @@ inline void BitsetSet(BitsetContainer* b, uint16_t low) {
   }
 }
 
+inline void BitsetClear(BitsetContainer* b, uint16_t low) {
+  uint64_t& word = b->words[low >> 6];
+  const uint64_t mask = uint64_t{1} << (low & 63);
+  if ((word & mask) != 0) {
+    word &= ~mask;
+    --b->cardinality;
+  }
+}
+
 inline bool BitsetTest(const BitsetContainer& b, uint16_t low) {
   return (b.words[low >> 6] >> (low & 63)) & 1;
+}
+
+// Bit mask covering bits [lo, hi] inclusive within the word span [lo>>6,
+// hi>>6] for word index `w`.
+inline uint64_t RangeWordMask(uint32_t w, uint32_t lo, uint32_t hi) {
+  uint64_t mask = ~uint64_t{0};
+  if (w == (lo >> 6)) mask &= ~uint64_t{0} << (lo & 63);
+  if (w == (hi >> 6)) mask &= ~uint64_t{0} >> (63 - (hi & 63));
+  return mask;
 }
 
 // Sets bits [lo, hi] inclusive within the bitset.
 void BitsetSetRange(BitsetContainer* b, uint32_t lo, uint32_t hi) {
   for (uint32_t w = lo >> 6; w <= (hi >> 6); ++w) {
-    uint64_t mask = ~uint64_t{0};
-    if (w == (lo >> 6)) mask &= ~uint64_t{0} << (lo & 63);
-    if (w == (hi >> 6)) mask &= ~uint64_t{0} >> (63 - (hi & 63));
+    const uint64_t mask = RangeWordMask(w, lo, hi);
     b->cardinality += static_cast<uint32_t>(
         std::popcount(mask & ~b->words[w]));
     b->words[w] |= mask;
   }
+}
+
+// Clears bits [lo, hi] inclusive within the bitset.
+void BitsetClearRange(BitsetContainer* b, uint32_t lo, uint32_t hi) {
+  for (uint32_t w = lo >> 6; w <= (hi >> 6); ++w) {
+    const uint64_t mask = RangeWordMask(w, lo, hi);
+    b->cardinality -= static_cast<uint32_t>(
+        std::popcount(mask & b->words[w]));
+    b->words[w] &= ~mask;
+  }
+}
+
+uint32_t BitsetRecount(BitsetContainer* b) {
+  uint32_t total = 0;
+  for (uint64_t word : b->words) {
+    total += static_cast<uint32_t>(std::popcount(word));
+  }
+  b->cardinality = total;
+  return total;
 }
 
 uint32_t RunContainerCardinality(const RunContainer& rc) {
@@ -64,6 +99,196 @@ bool RunContainerContains(const RunContainer& rc, uint16_t low) {
   return false;
 }
 
+// --- Array kernels -------------------------------------------------------
+
+/// Size skew at which the intersection gallops through the larger array
+/// (binary probes from a moving frontier) instead of stepping linearly.
+/// CRoaring uses the same order of magnitude for its "skewed" kernels.
+constexpr size_t kGallopSkew = 32;
+
+// Intersects `small` into `large` by galloping: for each value of the
+// smaller array, exponentially grow a probe window from the last match
+// position, then binary-search inside it. O(|small| * log(skew)).
+void GallopingIntersect(const std::vector<uint16_t>& small,
+                        const std::vector<uint16_t>& large,
+                        std::vector<uint16_t>* out) {
+  size_t pos = 0;
+  for (uint16_t v : small) {
+    size_t step = 1;
+    size_t lo = pos;
+    while (lo + step < large.size() && large[lo + step] < v) {
+      lo += step;
+      step <<= 1;
+    }
+    const size_t hi = std::min(lo + step + 1, large.size());
+    const auto it =
+        std::lower_bound(large.begin() + lo, large.begin() + hi, v);
+    pos = static_cast<size_t>(it - large.begin());
+    if (pos < large.size() && large[pos] == v) {
+      out->push_back(v);
+      ++pos;
+    }
+    if (pos >= large.size()) break;
+  }
+}
+
+void ArrayArrayAnd(const ArrayContainer& a, const ArrayContainer& b,
+                   std::vector<uint16_t>* out) {
+  const auto& small = a.values.size() <= b.values.size() ? a.values : b.values;
+  const auto& large = a.values.size() <= b.values.size() ? b.values : a.values;
+  if (small.empty()) return;
+  out->reserve(small.size());
+  if (large.size() / small.size() >= kGallopSkew) {
+    GallopingIntersect(small, large, out);
+  } else {
+    std::set_intersection(small.begin(), small.end(), large.begin(),
+                          large.end(), std::back_inserter(*out));
+  }
+}
+
+// --- Run kernels ---------------------------------------------------------
+
+// Two-pointer intersection of sorted run lists.
+RunContainer RunRunAnd(const RunContainer& a, const RunContainer& b) {
+  RunContainer out;
+  size_t i = 0, j = 0;
+  while (i < a.runs.size() && j < b.runs.size()) {
+    const uint32_t as = a.runs[i].start;
+    const uint32_t ae = as + a.runs[i].length;
+    const uint32_t bs = b.runs[j].start;
+    const uint32_t be = bs + b.runs[j].length;
+    const uint32_t lo = std::max(as, bs);
+    const uint32_t hi = std::min(ae, be);
+    if (lo <= hi) {
+      out.runs.push_back({static_cast<uint16_t>(lo),
+                          static_cast<uint16_t>(hi - lo)});
+    }
+    if (ae < be) {
+      ++i;
+    } else if (be < ae) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+// Merge-union of sorted run lists, coalescing touching runs.
+RunContainer RunRunOr(const RunContainer& a, const RunContainer& b) {
+  RunContainer out;
+  size_t i = 0, j = 0;
+  bool have = false;
+  uint32_t cur_start = 0, cur_end = 0;
+  auto feed = [&](uint32_t s, uint32_t e) {
+    if (have && s <= cur_end + 1) {
+      cur_end = std::max(cur_end, e);
+      return;
+    }
+    if (have) {
+      out.runs.push_back({static_cast<uint16_t>(cur_start),
+                          static_cast<uint16_t>(cur_end - cur_start)});
+    }
+    cur_start = s;
+    cur_end = e;
+    have = true;
+  };
+  while (i < a.runs.size() || j < b.runs.size()) {
+    const bool take_a =
+        j >= b.runs.size() ||
+        (i < a.runs.size() && a.runs[i].start <= b.runs[j].start);
+    const auto& run = take_a ? a.runs[i++] : b.runs[j++];
+    feed(run.start, static_cast<uint32_t>(run.start) + run.length);
+  }
+  if (have) {
+    out.runs.push_back({static_cast<uint16_t>(cur_start),
+                        static_cast<uint16_t>(cur_end - cur_start)});
+  }
+  return out;
+}
+
+// Union of a run list with sorted points, coalescing as it merges.
+RunContainer RunPointsOr(const RunContainer& a,
+                         const std::vector<uint16_t>& points) {
+  RunContainer b;
+  b.runs.reserve(points.size());
+  for (uint16_t v : points) b.runs.push_back({v, 0});
+  return RunRunOr(a, b);
+}
+
+// Two-pointer subtraction a \ b over sorted run lists.
+RunContainer RunRunAndNot(const RunContainer& a, const RunContainer& b) {
+  RunContainer out;
+  size_t j = 0;
+  for (const auto& arun : a.runs) {
+    uint32_t cur = arun.start;
+    const uint32_t end = static_cast<uint32_t>(arun.start) + arun.length;
+    // Skip subtrahend runs entirely before this run; they cannot affect
+    // later runs either since both lists are ascending.
+    while (j < b.runs.size() &&
+           static_cast<uint32_t>(b.runs[j].start) + b.runs[j].length < cur) {
+      ++j;
+    }
+    size_t k = j;
+    while (cur <= end && k < b.runs.size() && b.runs[k].start <= end) {
+      const uint32_t bs = b.runs[k].start;
+      const uint32_t be = bs + b.runs[k].length;
+      if (bs > cur) {
+        out.runs.push_back({static_cast<uint16_t>(cur),
+                            static_cast<uint16_t>(bs - 1 - cur)});
+      }
+      if (be >= end) {
+        cur = end + 1;
+        break;
+      }
+      cur = std::max(cur, be + 1);
+      ++k;
+    }
+    if (cur <= end) {
+      out.runs.push_back({static_cast<uint16_t>(cur),
+                          static_cast<uint16_t>(end - cur)});
+    }
+  }
+  return out;
+}
+
+// Subtracts sorted points from a run list (splitting runs at each point).
+RunContainer RunMinusPoints(const RunContainer& a,
+                            const std::vector<uint16_t>& points) {
+  RunContainer b;
+  b.runs.reserve(points.size());
+  for (uint16_t v : points) b.runs.push_back({v, 0});
+  return RunRunAndNot(a, b);
+}
+
+// Values of the sorted array that fall inside any run (two-pointer).
+void ArrayRunAnd(const std::vector<uint16_t>& values, const RunContainer& rc,
+                 std::vector<uint16_t>* out) {
+  size_t j = 0;
+  for (uint16_t v : values) {
+    while (j < rc.runs.size() &&
+           static_cast<uint32_t>(rc.runs[j].start) + rc.runs[j].length < v) {
+      ++j;
+    }
+    if (j == rc.runs.size()) break;
+    if (rc.runs[j].start <= v) out->push_back(v);
+  }
+}
+
+// Values of the sorted array outside every run (two-pointer).
+void ArrayMinusRuns(const std::vector<uint16_t>& values, const RunContainer& rc,
+                    std::vector<uint16_t>* out) {
+  size_t j = 0;
+  for (uint16_t v : values) {
+    while (j < rc.runs.size() &&
+           static_cast<uint32_t>(rc.runs[j].start) + rc.runs[j].length < v) {
+      ++j;
+    }
+    if (j == rc.runs.size() || rc.runs[j].start > v) out->push_back(v);
+  }
+}
+
 }  // namespace
 
 RoaringBitmap::RoaringBitmap(const RoaringBitmap& other) {
@@ -77,16 +302,21 @@ RoaringBitmap& RoaringBitmap::operator=(const RoaringBitmap& other) {
   for (const auto& src : other.containers_) {
     Entry entry;
     entry.key = src.key;
-    entry.container.kind = src.container.kind;
-    entry.container.array = src.container.array;
-    entry.container.run = src.container.run;
-    if (src.container.bitset != nullptr) {
-      entry.container.bitset = std::make_unique<BitsetContainer>(
-          *src.container.bitset);
-    }
+    entry.container = CloneContainer(src.container);
     containers_.push_back(std::move(entry));
   }
   return *this;
+}
+
+RoaringBitmap::Container RoaringBitmap::CloneContainer(const Container& src) {
+  Container c;
+  c.kind = src.kind;
+  c.array = src.array;
+  c.run = src.run;
+  if (src.bitset != nullptr) {
+    c.bitset = std::make_unique<BitsetContainer>(*src.bitset);
+  }
+  return c;
 }
 
 uint32_t RoaringBitmap::Container::Cardinality() const {
@@ -326,42 +556,95 @@ RoaringBitmap::Container RoaringBitmap::FromBitset(BitsetContainer bitset) {
   return c;
 }
 
-RoaringBitmap::Container RoaringBitmap::AndContainers(const Container& a,
-                                                      const Container& b) {
-  // Array vs array: linear merge intersection.
-  if (a.kind == Kind::kArray && b.kind == Kind::kArray) {
-    Container c;
+RoaringBitmap::Container RoaringBitmap::NormalizedFromRuns(RunContainer rc) {
+  const uint32_t cardinality = RunContainerCardinality(rc);
+  const uint32_t num_runs = static_cast<uint32_t>(rc.runs.size());
+  Container c;
+  if (cardinality == 0) return c;
+  if (cardinality <= kArrayContainerMax) {
+    // Array costs 2 bytes/value, runs 4 bytes/run.
+    if (num_runs * 2 < cardinality) {
+      c.kind = Kind::kRun;
+      c.run = std::move(rc);
+      return c;
+    }
     c.kind = Kind::kArray;
-    std::set_intersection(a.array.values.begin(), a.array.values.end(),
-                          b.array.values.begin(), b.array.values.end(),
-                          std::back_inserter(c.array.values));
-    return c;
-  }
-  // Array vs anything: probe the other container.
-  const Container* arr = nullptr;
-  const Container* other = nullptr;
-  if (a.kind == Kind::kArray) {
-    arr = &a;
-    other = &b;
-  } else if (b.kind == Kind::kArray) {
-    arr = &b;
-    other = &a;
-  }
-  if (arr != nullptr) {
-    Container c;
-    c.kind = Kind::kArray;
-    for (uint16_t v : arr->array.values) {
-      if (other->Contains(v)) c.array.values.push_back(v);
+    c.array.values.reserve(cardinality);
+    for (const auto& run : rc.runs) {
+      const uint32_t end = static_cast<uint32_t>(run.start) + run.length;
+      for (uint32_t v = run.start; v <= end; ++v) {
+        c.array.values.push_back(static_cast<uint16_t>(v));
+      }
     }
     return c;
   }
-  // Dense vs dense: word-wise AND through bitsets.
-  BitsetContainer ba, bb;
-  ToBitset(a, &ba);
-  ToBitset(b, &bb);
+  // Dense: runs win over the fixed 8192-byte bitset when 4*runs < 8192.
+  if (num_runs * 4 < 8192) {
+    c.kind = Kind::kRun;
+    c.run = std::move(rc);
+    return c;
+  }
+  auto bitset = std::make_unique<BitsetContainer>();
+  for (const auto& run : rc.runs) {
+    BitsetSetRange(bitset.get(), run.start,
+                   static_cast<uint32_t>(run.start) + run.length);
+  }
+  c.kind = Kind::kBitset;
+  c.bitset = std::move(bitset);
+  return c;
+}
+
+RoaringBitmap::Container RoaringBitmap::AndContainers(const Container& a,
+                                                      const Container& b) {
+  // Run-aware pairings first: operate on the runs directly instead of
+  // materializing a 65Ki bitset for the run side.
+  if (a.kind == Kind::kRun && b.kind == Kind::kRun) {
+    return NormalizedFromRuns(RunRunAnd(a.run, b.run));
+  }
+  if (a.kind == Kind::kRun || b.kind == Kind::kRun) {
+    const Container& rc = a.kind == Kind::kRun ? a : b;
+    const Container& other = a.kind == Kind::kRun ? b : a;
+    if (other.kind == Kind::kArray) {
+      Container c;
+      c.kind = Kind::kArray;
+      ArrayRunAnd(other.array.values, rc.run, &c.array.values);
+      return c;
+    }
+    // run ∧ bitset: copy only the words each run overlaps.
+    BitsetContainer out;
+    for (const auto& run : rc.run.runs) {
+      const uint32_t lo = run.start;
+      const uint32_t hi = static_cast<uint32_t>(run.start) + run.length;
+      for (uint32_t w = lo >> 6; w <= (hi >> 6); ++w) {
+        out.words[w] |= other.bitset->words[w] & RangeWordMask(w, lo, hi);
+      }
+    }
+    BitsetRecount(&out);
+    return FromBitset(std::move(out));
+  }
+  // Array ∧ array: galloping when skewed, linear merge otherwise.
+  if (a.kind == Kind::kArray && b.kind == Kind::kArray) {
+    Container c;
+    c.kind = Kind::kArray;
+    ArrayArrayAnd(a.array, b.array, &c.array.values);
+    return c;
+  }
+  // Array ∧ bitset: probe one bit per array value.
+  if (a.kind == Kind::kArray || b.kind == Kind::kArray) {
+    const Container& arr = a.kind == Kind::kArray ? a : b;
+    const Container& bits = a.kind == Kind::kArray ? b : a;
+    Container c;
+    c.kind = Kind::kArray;
+    c.array.values.reserve(arr.array.values.size());
+    for (uint16_t v : arr.array.values) {
+      if (BitsetTest(*bits.bitset, v)) c.array.values.push_back(v);
+    }
+    return c;
+  }
+  // Bitset ∧ bitset: word-at-a-time.
   BitsetContainer out;
   for (size_t w = 0; w < out.words.size(); ++w) {
-    out.words[w] = ba.words[w] & bb.words[w];
+    out.words[w] = a.bitset->words[w] & b.bitset->words[w];
     out.cardinality += static_cast<uint32_t>(std::popcount(out.words[w]));
   }
   return FromBitset(std::move(out));
@@ -369,21 +652,47 @@ RoaringBitmap::Container RoaringBitmap::AndContainers(const Container& a,
 
 RoaringBitmap::Container RoaringBitmap::OrContainers(const Container& a,
                                                      const Container& b) {
-  if (a.kind == Kind::kArray && b.kind == Kind::kArray &&
-      a.array.values.size() + b.array.values.size() <= kArrayContainerMax) {
-    Container c;
-    c.kind = Kind::kArray;
-    std::set_union(a.array.values.begin(), a.array.values.end(),
-                   b.array.values.begin(), b.array.values.end(),
-                   std::back_inserter(c.array.values));
-    return c;
+  if (a.kind == Kind::kRun && b.kind == Kind::kRun) {
+    return NormalizedFromRuns(RunRunOr(a.run, b.run));
   }
-  BitsetContainer ba, bb;
-  ToBitset(a, &ba);
-  ToBitset(b, &bb);
+  if (a.kind == Kind::kRun || b.kind == Kind::kRun) {
+    const Container& rc = a.kind == Kind::kRun ? a : b;
+    const Container& other = a.kind == Kind::kRun ? b : a;
+    if (other.kind == Kind::kArray) {
+      return NormalizedFromRuns(RunPointsOr(rc.run, other.array.values));
+    }
+    // run ∨ bitset: copy the bitset once, then set the runs into it.
+    BitsetContainer out = *other.bitset;
+    for (const auto& run : rc.run.runs) {
+      BitsetSetRange(&out, run.start,
+                     static_cast<uint32_t>(run.start) + run.length);
+    }
+    return FromBitset(std::move(out));
+  }
+  if (a.kind == Kind::kArray && b.kind == Kind::kArray) {
+    if (a.array.values.size() + b.array.values.size() <= kArrayContainerMax) {
+      Container c;
+      c.kind = Kind::kArray;
+      std::set_union(a.array.values.begin(), a.array.values.end(),
+                     b.array.values.begin(), b.array.values.end(),
+                     std::back_inserter(c.array.values));
+      return c;
+    }
+    BitsetContainer out;
+    for (uint16_t v : a.array.values) BitsetSet(&out, v);
+    for (uint16_t v : b.array.values) BitsetSet(&out, v);
+    return FromBitset(std::move(out));
+  }
+  if (a.kind == Kind::kArray || b.kind == Kind::kArray) {
+    const Container& arr = a.kind == Kind::kArray ? a : b;
+    const Container& bits = a.kind == Kind::kArray ? b : a;
+    BitsetContainer out = *bits.bitset;
+    for (uint16_t v : arr.array.values) BitsetSet(&out, v);
+    return FromBitset(std::move(out));
+  }
   BitsetContainer out;
   for (size_t w = 0; w < out.words.size(); ++w) {
-    out.words[w] = ba.words[w] | bb.words[w];
+    out.words[w] = a.bitset->words[w] | b.bitset->words[w];
     out.cardinality += static_cast<uint32_t>(std::popcount(out.words[w]));
   }
   return FromBitset(std::move(out));
@@ -394,20 +703,63 @@ RoaringBitmap::Container RoaringBitmap::AndNotContainers(const Container& a,
   if (a.kind == Kind::kArray) {
     Container c;
     c.kind = Kind::kArray;
+    if (b.kind == Kind::kRun) {
+      ArrayMinusRuns(a.array.values, b.run, &c.array.values);
+      return c;
+    }
+    c.array.values.reserve(a.array.values.size());
     for (uint16_t v : a.array.values) {
       if (!b.Contains(v)) c.array.values.push_back(v);
     }
     return c;
   }
-  BitsetContainer ba, bb;
-  ToBitset(a, &ba);
-  ToBitset(b, &bb);
-  BitsetContainer out;
-  for (size_t w = 0; w < out.words.size(); ++w) {
-    out.words[w] = ba.words[w] & ~bb.words[w];
-    out.cardinality += static_cast<uint32_t>(std::popcount(out.words[w]));
+  if (a.kind == Kind::kRun) {
+    switch (b.kind) {
+      case Kind::kRun:
+        return NormalizedFromRuns(RunRunAndNot(a.run, b.run));
+      case Kind::kArray:
+        return NormalizedFromRuns(RunMinusPoints(a.run, b.array.values));
+      case Kind::kBitset: {
+        // run \ bitset: only the words each run overlaps are touched.
+        BitsetContainer out;
+        for (const auto& run : a.run.runs) {
+          const uint32_t lo = run.start;
+          const uint32_t hi = static_cast<uint32_t>(run.start) + run.length;
+          for (uint32_t w = lo >> 6; w <= (hi >> 6); ++w) {
+            out.words[w] |=
+                RangeWordMask(w, lo, hi) & ~b.bitset->words[w];
+          }
+        }
+        BitsetRecount(&out);
+        return FromBitset(std::move(out));
+      }
+    }
   }
-  return FromBitset(std::move(out));
+  // a is a bitset.
+  switch (b.kind) {
+    case Kind::kArray: {
+      BitsetContainer out = *a.bitset;
+      for (uint16_t v : b.array.values) BitsetClear(&out, v);
+      return FromBitset(std::move(out));
+    }
+    case Kind::kRun: {
+      BitsetContainer out = *a.bitset;
+      for (const auto& run : b.run.runs) {
+        BitsetClearRange(&out, run.start,
+                         static_cast<uint32_t>(run.start) + run.length);
+      }
+      return FromBitset(std::move(out));
+    }
+    case Kind::kBitset: {
+      BitsetContainer out;
+      for (size_t w = 0; w < out.words.size(); ++w) {
+        out.words[w] = a.bitset->words[w] & ~b.bitset->words[w];
+        out.cardinality += static_cast<uint32_t>(std::popcount(out.words[w]));
+      }
+      return FromBitset(std::move(out));
+    }
+  }
+  return Container{};
 }
 
 RoaringBitmap RoaringBitmap::And(const RoaringBitmap& other) const {
@@ -436,30 +788,57 @@ RoaringBitmap RoaringBitmap::And(const RoaringBitmap& other) const {
   return result;
 }
 
+void RoaringBitmap::AndWith(const RoaringBitmap& other) {
+  if (this == &other) return;
+  size_t write = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < containers_.size(); ++i) {
+    Entry& entry = containers_[i];
+    while (j < other.containers_.size() &&
+           other.containers_[j].key < entry.key) {
+      ++j;
+    }
+    if (j >= other.containers_.size() ||
+        other.containers_[j].key != entry.key) {
+      continue;  // Key absent from `other`: container drops out.
+    }
+    const Container& oc = other.containers_[j].container;
+    if (entry.container.kind == Kind::kBitset && oc.kind == Kind::kBitset) {
+      // Word-at-a-time into our own words; no allocation.
+      BitsetContainer* bits = entry.container.bitset.get();
+      uint32_t cardinality = 0;
+      for (size_t w = 0; w < bits->words.size(); ++w) {
+        bits->words[w] &= oc.bitset->words[w];
+        cardinality += static_cast<uint32_t>(std::popcount(bits->words[w]));
+      }
+      bits->cardinality = cardinality;
+      if (cardinality <= kArrayContainerMax) {
+        entry.container = FromBitset(std::move(*bits));
+      }
+    } else {
+      entry.container = AndContainers(entry.container, oc);
+    }
+    if (entry.container.Cardinality() == 0) continue;
+    if (write != i) containers_[write] = std::move(containers_[i]);
+    ++write;
+  }
+  containers_.resize(write);
+}
+
 RoaringBitmap RoaringBitmap::Or(const RoaringBitmap& other) const {
   RoaringBitmap result;
   size_t i = 0, j = 0;
-  auto copy_container = [](const Container& src) {
-    Container c;
-    c.kind = src.kind;
-    c.array = src.array;
-    c.run = src.run;
-    if (src.bitset != nullptr) {
-      c.bitset = std::make_unique<BitsetContainer>(*src.bitset);
-    }
-    return c;
-  };
   while (i < containers_.size() || j < other.containers_.size()) {
     Entry entry;
     if (j >= other.containers_.size() ||
         (i < containers_.size() && containers_[i].key < other.containers_[j].key)) {
       entry.key = containers_[i].key;
-      entry.container = copy_container(containers_[i].container);
+      entry.container = CloneContainer(containers_[i].container);
       ++i;
     } else if (i >= containers_.size() ||
                other.containers_[j].key < containers_[i].key) {
       entry.key = other.containers_[j].key;
-      entry.container = copy_container(other.containers_[j].container);
+      entry.container = CloneContainer(other.containers_[j].container);
       ++j;
     } else {
       entry.key = containers_[i].key;
@@ -475,22 +854,12 @@ RoaringBitmap RoaringBitmap::Or(const RoaringBitmap& other) const {
 
 RoaringBitmap RoaringBitmap::AndNot(const RoaringBitmap& other) const {
   RoaringBitmap result;
-  auto copy_container = [](const Container& src) {
-    Container c;
-    c.kind = src.kind;
-    c.array = src.array;
-    c.run = src.run;
-    if (src.bitset != nullptr) {
-      c.bitset = std::make_unique<BitsetContainer>(*src.bitset);
-    }
-    return c;
-  };
   for (const auto& entry : containers_) {
     const int idx = other.FindEntry(entry.key);
     Entry out;
     out.key = entry.key;
     if (idx < 0) {
-      out.container = copy_container(entry.container);
+      out.container = CloneContainer(entry.container);
     } else {
       out.container =
           AndNotContainers(entry.container, other.containers_[idx].container);
@@ -506,8 +875,170 @@ RoaringBitmap RoaringBitmap::Not(uint32_t universe_size) const {
   return FromRange(0, universe_size).AndNot(*this);
 }
 
+void RoaringBitmap::OrContainerInPlace(Container* dst, const Container& src) {
+  if (dst->kind == Kind::kBitset) {
+    BitsetContainer* bits = dst->bitset.get();
+    switch (src.kind) {
+      case Kind::kArray:
+        for (uint16_t v : src.array.values) BitsetSet(bits, v);
+        return;
+      case Kind::kRun:
+        for (const auto& run : src.run.runs) {
+          BitsetSetRange(bits, run.start,
+                         static_cast<uint32_t>(run.start) + run.length);
+        }
+        return;
+      case Kind::kBitset:
+        for (size_t w = 0; w < bits->words.size(); ++w) {
+          bits->cardinality += static_cast<uint32_t>(
+              std::popcount(src.bitset->words[w] & ~bits->words[w]));
+          bits->words[w] |= src.bitset->words[w];
+        }
+        return;
+    }
+    return;
+  }
+  if (dst->kind == Kind::kArray && src.kind == Kind::kArray &&
+      dst->array.values.size() + src.array.values.size() <=
+          kArrayContainerMax) {
+    std::vector<uint16_t> merged;
+    merged.reserve(dst->array.values.size() + src.array.values.size());
+    std::set_union(dst->array.values.begin(), dst->array.values.end(),
+                   src.array.values.begin(), src.array.values.end(),
+                   std::back_inserter(merged));
+    dst->array.values = std::move(merged);
+    return;
+  }
+  // Everything else (dense unions, run destinations) grows into a bitset
+  // accumulator so follow-up ORs into the same container are in-place.
+  if (dst->kind != Kind::kBitset) {
+    auto bitset = std::make_unique<BitsetContainer>();
+    ToBitset(*dst, bitset.get());
+    dst->kind = Kind::kBitset;
+    dst->bitset = std::move(bitset);
+    dst->array.values.clear();
+    dst->array.values.shrink_to_fit();
+    dst->run.runs.clear();
+  }
+  OrContainerInPlace(dst, src);
+}
+
 void RoaringBitmap::OrWith(const RoaringBitmap& other) {
-  *this = Or(other);
+  if (this == &other) return;
+  // Merge the sorted container lists; only shared keys do real work.
+  std::vector<Entry> merged;
+  merged.reserve(containers_.size() + other.containers_.size());
+  size_t i = 0, j = 0;
+  while (i < containers_.size() || j < other.containers_.size()) {
+    if (j >= other.containers_.size() ||
+        (i < containers_.size() &&
+         containers_[i].key < other.containers_[j].key)) {
+      merged.push_back(std::move(containers_[i]));
+      ++i;
+    } else if (i >= containers_.size() ||
+               other.containers_[j].key < containers_[i].key) {
+      Entry entry;
+      entry.key = other.containers_[j].key;
+      entry.container = CloneContainer(other.containers_[j].container);
+      merged.push_back(std::move(entry));
+      ++j;
+    } else {
+      OrContainerInPlace(&containers_[i].container,
+                         other.containers_[j].container);
+      merged.push_back(std::move(containers_[i]));
+      ++i;
+      ++j;
+    }
+  }
+  containers_ = std::move(merged);
+}
+
+RoaringBitmap RoaringBitmap::OrMany(
+    const std::vector<const RoaringBitmap*>& inputs) {
+  if (inputs.empty()) return RoaringBitmap();
+  if (inputs.size() == 1) return *inputs[0];
+  // Gather every (key, container) across inputs and group by key, so each
+  // chunk is unioned exactly once into one accumulator instead of flowing
+  // through N-1 intermediate bitmaps.
+  std::vector<std::pair<uint16_t, const Container*>> items;
+  size_t total = 0;
+  for (const RoaringBitmap* bm : inputs) total += bm->containers_.size();
+  items.reserve(total);
+  for (const RoaringBitmap* bm : inputs) {
+    for (const auto& entry : bm->containers_) {
+      items.emplace_back(entry.key, &entry.container);
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  RoaringBitmap result;
+  size_t i = 0;
+  while (i < items.size()) {
+    const uint16_t key = items[i].first;
+    size_t j = i;
+    uint64_t group_cardinality = 0;
+    while (j < items.size() && items[j].first == key) {
+      group_cardinality += items[j].second->Cardinality();
+      ++j;
+    }
+    Entry entry;
+    entry.key = key;
+    if (j - i == 1) {
+      entry.container = CloneContainer(*items[i].second);
+    } else if (group_cardinality <= kArrayContainerMax &&
+               std::all_of(items.begin() + i, items.begin() + j,
+                           [](const auto& item) {
+                             return item.second->kind == Kind::kArray;
+                           })) {
+      // Sparse group of arrays: k-way merge via sort (values fit well
+      // within one array container even before dedup).
+      std::vector<uint16_t> values;
+      values.reserve(group_cardinality);
+      for (size_t k = i; k < j; ++k) {
+        const auto& src = items[k].second->array.values;
+        values.insert(values.end(), src.begin(), src.end());
+      }
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      entry.container.kind = Kind::kArray;
+      entry.container.array.values = std::move(values);
+    } else {
+      // Dense group: one shared bitset accumulator, then compact once.
+      BitsetContainer acc;
+      for (size_t k = i; k < j; ++k) {
+        const Container& c = *items[k].second;
+        switch (c.kind) {
+          case Kind::kArray:
+            for (uint16_t v : c.array.values) {
+              acc.words[v >> 6] |= uint64_t{1} << (v & 63);
+            }
+            break;
+          case Kind::kRun:
+            for (const auto& run : c.run.runs) {
+              const uint32_t lo = run.start;
+              const uint32_t hi = static_cast<uint32_t>(run.start) + run.length;
+              for (uint32_t w = lo >> 6; w <= (hi >> 6); ++w) {
+                acc.words[w] |= RangeWordMask(w, lo, hi);
+              }
+            }
+            break;
+          case Kind::kBitset:
+            for (size_t w = 0; w < acc.words.size(); ++w) {
+              acc.words[w] |= c.bitset->words[w];
+            }
+            break;
+        }
+      }
+      BitsetRecount(&acc);
+      entry.container = FromBitset(std::move(acc));
+    }
+    if (entry.container.Cardinality() > 0) {
+      result.containers_.push_back(std::move(entry));
+    }
+    i = j;
+  }
+  return result;
 }
 
 void RoaringBitmap::RunOptimize() {

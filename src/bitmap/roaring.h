@@ -86,9 +86,22 @@ class RoaringBitmap {
   /// Complement within the universe [0, universe_size).
   RoaringBitmap Not(uint32_t universe_size) const;
 
-  /// In-place union (used when OR-ing many per-value bitmaps for IN
-  /// predicates).
+  /// In-place union: containers of `other` are merged into this bitmap
+  /// without rebuilding the untouched ones. Bitset destinations absorb
+  /// array/run/bitset sources word-at-a-time with no allocation.
   void OrWith(const RoaringBitmap& other);
+
+  /// In-place intersection: containers missing from `other` are dropped,
+  /// bitset∧bitset pairs are AND-ed word-at-a-time into this bitmap's own
+  /// words, and everything else goes through the pairwise kernels.
+  void AndWith(const RoaringBitmap& other);
+
+  /// Bulk union of many bitmaps (the wide-range inverted-index path).
+  /// Groups all containers sharing a 16-bit chunk key and ORs each group
+  /// once — into a shared bitset accumulator when the group is dense —
+  /// instead of materializing N-1 intermediate bitmaps. Null entries are
+  /// not allowed; an empty input list yields an empty bitmap.
+  static RoaringBitmap OrMany(const std::vector<const RoaringBitmap*>& inputs);
 
   /// Converts containers to run containers where that is smaller. Matches
   /// roaring's runOptimize(); called after inverted index construction.
@@ -163,9 +176,19 @@ class RoaringBitmap {
                        bitmap_internal::BitsetContainer* out);
   // Converts a bitset into the most compact of array/bitset by cardinality.
   static Container FromBitset(bitmap_internal::BitsetContainer bitset);
+  // Picks run vs array vs bitset for a set expressed as sorted, coalesced
+  // runs, using the RunOptimize() size heuristics, so kernel outputs stay
+  // as compact as freshly optimized containers.
+  static Container NormalizedFromRuns(bitmap_internal::RunContainer rc);
+  static Container CloneContainer(const Container& src);
+  // Container-pair-specialized binary kernels (one case per
+  // array/bitset/run pairing; see the .cc).
   static Container AndContainers(const Container& a, const Container& b);
   static Container OrContainers(const Container& a, const Container& b);
   static Container AndNotContainers(const Container& a, const Container& b);
+  // In-place union of `src` into `dst`; bitset destinations are updated
+  // without allocation.
+  static void OrContainerInPlace(Container* dst, const Container& src);
   static void ForEachInContainer(const Container& c, uint32_t base,
                                  const std::function<void(uint32_t)>& fn);
 

@@ -25,15 +25,25 @@ InvertedIndex InvertedIndex::BuildFromForwardIndex(const ForwardIndex& forward,
     bm.RunOptimize();
     index.bitmaps_.push_back(std::move(bm));
   }
+  index.RebuildCardinalityPrefix();
   return index;
 }
 
-RoaringBitmap InvertedIndex::GetBitmapForRange(int lo, int hi) const {
-  RoaringBitmap result;
-  for (int id = lo; id <= hi; ++id) {
-    result.OrWith(bitmaps_[id]);
+void InvertedIndex::RebuildCardinalityPrefix() {
+  cardinality_prefix_.assign(bitmaps_.size() + 1, 0);
+  for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    cardinality_prefix_[i + 1] =
+        cardinality_prefix_[i] + bitmaps_[i].Cardinality();
   }
-  return result;
+}
+
+RoaringBitmap InvertedIndex::GetBitmapForRange(int lo, int hi) const {
+  std::vector<const RoaringBitmap*> inputs;
+  inputs.reserve(hi - lo + 1);
+  for (int id = lo; id <= hi; ++id) {
+    if (!bitmaps_[id].Empty()) inputs.push_back(&bitmaps_[id]);
+  }
+  return RoaringBitmap::OrMany(inputs);
 }
 
 uint64_t InvertedIndex::SizeInBytes() const {
@@ -55,6 +65,7 @@ Result<InvertedIndex> InvertedIndex::Deserialize(ByteReader* reader) {
     PINOT_ASSIGN_OR_RETURN(RoaringBitmap bm, RoaringBitmap::Deserialize(reader));
     index.bitmaps_.push_back(std::move(bm));
   }
+  index.RebuildCardinalityPrefix();
   return index;
 }
 

@@ -29,8 +29,20 @@ class InvertedIndex {
     return bitmaps_[dict_id];
   }
 
-  /// Union of bitmaps for an inclusive dict-id range [lo, hi].
+  /// Union of bitmaps for an inclusive dict-id range [lo, hi]. Uses the
+  /// bulk RoaringBitmap::OrMany path: each 16-bit chunk is unioned once
+  /// across all posting lists instead of flowing through hi-lo
+  /// intermediate bitmaps.
   RoaringBitmap GetBitmapForRange(int lo, int hi) const;
+
+  /// Sum of posting-list cardinalities over the inclusive dict-id range
+  /// [lo, hi], from precomputed prefix sums (O(1)). Exact union size for
+  /// single-value columns; an upper bound for multi-value ones. Feeds the
+  /// filter planner's selectivity estimate.
+  uint64_t RangeCardinality(int lo, int hi) const {
+    if (lo > hi) return 0;
+    return cardinality_prefix_[hi + 1] - cardinality_prefix_[lo];
+  }
 
   uint64_t SizeInBytes() const;
 
@@ -38,7 +50,11 @@ class InvertedIndex {
   static Result<InvertedIndex> Deserialize(ByteReader* reader);
 
  private:
+  void RebuildCardinalityPrefix();
+
   std::vector<RoaringBitmap> bitmaps_;
+  // cardinality_prefix_[i] = sum of bitmaps_[0..i) cardinalities.
+  std::vector<uint64_t> cardinality_prefix_;
 };
 
 /// Index over a physically sorted column: because documents are ordered by

@@ -121,6 +121,52 @@ DocIdSet DocIdSet::Union(const DocIdSet& other) const {
   return FromBitmap(ToBitmap().Or(other.ToBitmap()), num_docs_);
 }
 
+void DocIdSet::IntersectWith(const DocIdSet& other) {
+  if (IsEmpty() || other.IsAll()) return;
+  if (other.IsEmpty()) {
+    *this = None(num_docs_);
+    return;
+  }
+  if (IsAll()) {
+    *this = other;
+    return;
+  }
+  if (kind_ == Kind::kBitmap && other.kind_ == Kind::kBitmap) {
+    bitmap_.AndWith(other.bitmap_);
+    if (bitmap_.Empty()) *this = None(num_docs_);
+    return;
+  }
+  *this = Intersect(other);
+}
+
+void DocIdSet::UnionWith(const DocIdSet& other) {
+  if (IsAll() || other.IsEmpty()) return;
+  if (other.IsAll()) {
+    *this = All(num_docs_);
+    return;
+  }
+  if (IsEmpty()) {
+    *this = other;
+    return;
+  }
+  if (IsRangeLike() && other.IsRangeLike() &&
+      range_begin() <= other.range_end() &&
+      other.range_begin() <= range_end()) {
+    *this = FromRange(std::min(range_begin(), other.range_begin()),
+                      std::max(range_end(), other.range_end()), num_docs_);
+    return;
+  }
+  if (kind_ != Kind::kBitmap) {
+    bitmap_ = ToBitmap();
+    kind_ = Kind::kBitmap;
+  }
+  if (other.kind_ == Kind::kBitmap) {
+    bitmap_.OrWith(other.bitmap_);
+  } else {
+    bitmap_.AddRange(other.range_begin(), other.range_end());
+  }
+}
+
 RoaringBitmap DocIdSet::ToBitmap() const {
   switch (kind_) {
     case Kind::kAll:

@@ -99,6 +99,15 @@ class DocIdSet {
   DocIdSet Intersect(const DocIdSet& other) const;
   DocIdSet Union(const DocIdSet& other) const;
 
+  /// In-place intersection; bitmap∧bitmap runs word-at-a-time into this
+  /// set's own containers (RoaringBitmap::AndWith) with no copy.
+  void IntersectWith(const DocIdSet& other);
+
+  /// In-place union; bitmap∪bitmap merges containers into this set
+  /// (RoaringBitmap::OrWith), and range-like operands are added as runs
+  /// without materializing an intermediate bitmap.
+  void UnionWith(const DocIdSet& other);
+
   /// Materializes the set as a bitmap (copies for kBitmap).
   RoaringBitmap ToBitmap() const;
 

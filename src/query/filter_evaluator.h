@@ -42,11 +42,13 @@ bool PredicateMatchesValue(const Predicate& pred, const Value& value);
 
 /// Evaluates a filter tree against one segment, producing the matching doc
 /// ids. Implements the paper's physical-operator selection and ordering
-/// (sections 3.3.4 and 4.2): per-leaf, the evaluator picks sorted-range,
-/// inverted-bitmap, or scan execution based on the column's available
-/// indexes; AND nodes evaluate children in ascending estimated cost and
-/// pass the accumulated doc-id set to subsequent scan operators so they
-/// only evaluate part of the column.
+/// (sections 3.3.4 and 4.2): per-leaf, the evaluator estimates result
+/// cardinality from column statistics (dictionary cardinality, per-value
+/// posting-list cardinalities, segment doc count) and picks the cheaper of
+/// sorted-range, inverted-bitmap, or domain-restricted scan execution; AND
+/// nodes evaluate children in ascending estimated cost and pass the
+/// accumulated doc-id set to subsequent scan operators so they only
+/// evaluate part of the column.
 class FilterEvaluator {
  public:
   /// `stats` may be null. The evaluator borrows `segment`.
@@ -55,22 +57,59 @@ class FilterEvaluator {
 
   Result<DocIdSet> Evaluate(const std::optional<FilterNode>& filter);
 
-  /// Cost classes used to order AND children (ablation: predicate
-  /// reordering).
+  /// Physical operator classes for one predicate leaf.
   enum class LeafStrategy { kConstant, kSortedRange, kInverted, kScan };
 
-  /// Picks the execution strategy for a predicate on `column` (public for
-  /// tests and the planner ablation bench).
-  LeafStrategy ClassifyLeaf(const Predicate& pred) const;
+  /// How leaves choose between index and scan execution.
+  ///  - kCostBased (default): pick the cheaper of bitmap-intersect and
+  ///    domain-restricted scan from estimated cardinalities.
+  ///  - kPreferIndex: legacy behavior — use an index whenever one exists.
+  ///  - kForceScan: always scan (except constant leaves). Used by the
+  ///    equivalence fuzz test and the ablation bench.
+  enum class PlannerMode { kCostBased, kPreferIndex, kForceScan };
+
+  /// One leaf's plan: the chosen operator plus the estimates that drove
+  /// the choice (public for tests and the planner ablation bench).
+  struct LeafPlan {
+    LeafStrategy strategy = LeafStrategy::kConstant;
+    // Predicted result cardinality within the domain.
+    uint64_t est_rows = 0;
+    // Estimated cost of the inverted-bitmap path; 0 when unavailable.
+    uint64_t bitmap_cost = 0;
+    // Estimated cost of the domain-restricted scan path.
+    uint64_t scan_cost = 0;
+  };
+
+  /// Plans a predicate leaf against a domain of `domain_docs` candidate
+  /// documents (pass segment_.num_docs() when unrestricted).
+  LeafPlan PlanLeaf(const Predicate& pred, uint64_t domain_docs) const;
+
+  /// Strategy a leaf would use when evaluated over the whole segment.
+  LeafStrategy ClassifyLeaf(const Predicate& pred) const {
+    return PlanLeaf(pred, segment_.num_docs()).strategy;
+  }
+
+  void set_planner_mode(PlannerMode mode) { planner_mode_ = mode; }
 
   /// Disables cost-based reordering of AND children (children evaluate in
   /// query order). Used by the predicate-order ablation bench.
   void set_reorder_predicates(bool reorder) { reorder_predicates_ = reorder; }
 
-  /// When set, each evaluated leaf labels the span with the chosen operator
-  /// as `op:<column>` = constant|sorted-range|inverted|scan. Null (the
-  /// default) keeps the hot path free of trace work.
+  /// When set, each evaluated leaf records on the span: the chosen operator
+  /// as label `op:<column>` = constant|sorted-range|inverted|scan, the cost
+  /// comparison as label `cost:<column>` = `bitmap=<B>,scan=<S>` (when both
+  /// paths were costed), and annotations `est_rows:<column>` (predicted)
+  /// and `rows:<column>` (actual result cardinality). Null (the default)
+  /// keeps the hot path free of trace work.
   void set_trace_span(TraceSpan* span) { trace_span_ = span; }
+
+  /// Estimated cost of evaluating `node` over an unrestricted domain:
+  /// leaves cost their chosen physical operator; OR nodes take the
+  /// minimum over children (a cheap child can short-circuit an
+  /// all-matching union); AND nodes sum children, capped at the
+  /// full-scan cost (the accumulated domain bounds later children).
+  /// Public for the evaluation-order regression tests.
+  int64_t EstimateCost(const FilterNode& node) const;
 
  private:
   Result<DocIdSet> EvalNode(const FilterNode& node, const DocIdSet* domain);
@@ -80,13 +119,17 @@ class FilterEvaluator {
                           const DocIdSet* domain);
   Result<DocIdSet> EvalLeaf(const Predicate& pred, const DocIdSet* domain);
 
+  // Plans a leaf whose column and dict-id translation are already known.
+  LeafPlan PlanMatchedLeaf(const ColumnReader& column,
+                           const DictIdMatch& match,
+                           uint64_t domain_docs) const;
+
   DocIdSet ScanColumn(const ColumnReader& column, const DictIdMatch& match,
                       const DocIdSet& domain);
 
-  int EstimateCost(const FilterNode& node) const;
-
   const SegmentInterface& segment_;
   ExecutionStats* stats_;
+  PlannerMode planner_mode_ = PlannerMode::kCostBased;
   bool reorder_predicates_ = true;
   TraceSpan* trace_span_ = nullptr;
 };

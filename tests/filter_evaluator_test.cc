@@ -184,6 +184,185 @@ TEST(FilterEvaluatorTest, EmptyAndShortCircuits) {
   EXPECT_EQ(stats.docs_scanned, 0u);
 }
 
+TEST(FilterEvaluatorTest, CompositeCostRecursesForOrdering) {
+  SegmentBuildConfig config;
+  config.sort_columns = {"memberId"};
+  config.inverted_index_columns = {"browser"};
+  auto segment = BuildAnalyticsSegment(config);
+  auto query = ParsePql(
+      "SELECT count(*) FROM t WHERE browser = 'firefox' AND (memberId <= 2 "
+      "OR memberId = 5)");
+  ASSERT_TRUE(query.ok());
+  FilterEvaluator evaluator(*segment, nullptr);
+
+  // An OR of two sorted ranges must cost less than the inverted-bitmap
+  // leaf. Regression: composites used to get a flat constant that ranked
+  // them *after* index leaves regardless of their children.
+  const FilterNode& root = *query->filter;
+  ASSERT_EQ(root.children.size(), 2u);
+  ASSERT_EQ(root.children[0].kind, FilterNode::Kind::kLeaf);  // browser.
+  ASSERT_EQ(root.children[1].kind, FilterNode::Kind::kOr);
+  EXPECT_LT(evaluator.EstimateCost(root.children[1]),
+            evaluator.EstimateCost(root.children[0]));
+
+  // Evaluation order, observed through the per-leaf op labels: both
+  // sorted-range OR leaves evaluate before the browser leaf.
+  TraceSpan span = TraceSpan::Open("filter");
+  evaluator.set_trace_span(&span);
+  auto docs = evaluator.Evaluate(query->filter);
+  ASSERT_TRUE(docs.ok());
+  std::vector<std::string> op_keys;
+  for (const auto& [key, value] : span.labels) {
+    if (key.rfind("op:", 0) == 0) op_keys.push_back(key);
+  }
+  ASSERT_EQ(op_keys.size(), 3u);
+  EXPECT_EQ(op_keys[0], "op:memberId");
+  EXPECT_EQ(op_keys[1], "op:memberId");
+  EXPECT_EQ(op_keys[2], "op:browser");
+  // firefox rows with memberId <= 2 or memberId = 5.
+  EXPECT_EQ(docs->Cardinality(), 3u);
+}
+
+TEST(FilterEvaluatorTest, CostBasedPrefersScanUnderNarrowDomain) {
+  SegmentBuildConfig config;
+  config.sort_columns = {"memberId"};
+  config.inverted_index_columns = {"browser"};
+  auto segment = BuildAnalyticsSegment(config);
+  // memberId = 1 narrows the domain to 4 docs; scanning those beats
+  // unioning two posting lists (9 docs + per-list overhead).
+  auto query = ParsePql(
+      "SELECT count(*) FROM t WHERE browser IN ('chrome', 'firefox') AND "
+      "memberId = 1");
+  ASSERT_TRUE(query.ok());
+
+  ExecutionStats stats;
+  FilterEvaluator evaluator(*segment, &stats);
+  TraceSpan span = TraceSpan::Open("filter");
+  evaluator.set_trace_span(&span);
+  auto docs = evaluator.Evaluate(query->filter);
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(span.LabelValue("op:browser"), "scan");
+  EXPECT_EQ(stats.docs_scanned, 4u);
+
+  // Legacy mode takes the index unconditionally; results are identical.
+  FilterEvaluator legacy(*segment, nullptr);
+  legacy.set_planner_mode(FilterEvaluator::PlannerMode::kPreferIndex);
+  TraceSpan legacy_span = TraceSpan::Open("filter");
+  legacy.set_trace_span(&legacy_span);
+  auto legacy_docs = legacy.Evaluate(query->filter);
+  ASSERT_TRUE(legacy_docs.ok());
+  EXPECT_EQ(legacy_span.LabelValue("op:browser"), "inverted");
+  EXPECT_EQ(legacy_docs->ToBitmap().ToVector(), docs->ToBitmap().ToVector());
+}
+
+// A column whose forward index hands out a dict id past the dictionary's
+// cardinality snapshot (corrupt index, or a dictionary that grew after the
+// mask was sized).
+class OversizedIdColumn : public ColumnReader {
+ public:
+  explicit OversizedIdColumn(bool single_value)
+      : spec_(FieldSpec::Dimension("c", DataType::kString, single_value)),
+        dict_(Dictionary::CreateMutable(DataType::kString)) {
+    dict_.GetOrAdd(Value{std::string("a")});  // id 0
+    dict_.GetOrAdd(Value{std::string("b")});  // id 1
+    stats_.cardinality = 2;
+    stats_.total_entries = 4;
+  }
+
+  const FieldSpec& spec() const override { return spec_; }
+  const Dictionary& dictionary() const override { return dict_; }
+  const ColumnStats& stats() const override { return stats_; }
+  uint32_t GetDictId(uint32_t doc) const override { return kIds[doc]; }
+  void GetDictIds(uint32_t doc, std::vector<uint32_t>* out) const override {
+    out->clear();
+    out->push_back(kIds[doc]);
+  }
+  const InvertedIndex* inverted_index() const override { return nullptr; }
+  const SortedIndex* sorted_index() const override { return nullptr; }
+
+ private:
+  // Doc 2 carries id 7, far past the 2-entry dictionary.
+  static constexpr uint32_t kIds[4] = {0, 1, 7, 0};
+  FieldSpec spec_;
+  Dictionary dict_;
+  ColumnStats stats_;
+};
+
+class OversizedIdSegment : public SegmentInterface {
+ public:
+  explicit OversizedIdSegment(bool single_value) : column_(single_value) {
+    auto schema = Schema::Make(
+        {FieldSpec::Dimension("c", DataType::kString, single_value)});
+    EXPECT_TRUE(schema.ok());
+    schema_ = std::make_unique<Schema>(*schema);
+  }
+  const Schema& schema() const override { return *schema_; }
+  uint32_t num_docs() const override { return 4; }
+  const SegmentMetadata& metadata() const override { return metadata_; }
+  const ColumnReader* GetColumn(const std::string& name) const override {
+    return name == "c" ? &column_ : nullptr;
+  }
+
+ private:
+  std::unique_ptr<Schema> schema_;
+  SegmentMetadata metadata_;
+  OversizedIdColumn column_;
+};
+
+TEST(FilterEvaluatorTest, ScanBoundsChecksOversizedDictIds) {
+  for (const bool single_value : {true, false}) {
+    SCOPED_TRACE(single_value ? "single-value" : "multi-value");
+    OversizedIdSegment segment(single_value);
+    FilterEvaluator evaluator(segment, nullptr);
+
+    // Positive predicate: the out-of-range id matches nothing.
+    auto eq = evaluator.Evaluate(FilterNode::Leaf(Eq("c", std::string("a"))));
+    ASSERT_TRUE(eq.ok());
+    EXPECT_EQ(eq->ToBitmap().ToVector(), (std::vector<uint32_t>{0, 3}));
+
+    // Negated predicate: a value the dictionary never saw cannot be the
+    // excluded one, so the doc matches.
+    Predicate neq = Eq("c", std::string("a"));
+    neq.op = PredicateOp::kNotEq;
+    auto ne = evaluator.Evaluate(FilterNode::Leaf(neq));
+    ASSERT_TRUE(ne.ok());
+    EXPECT_EQ(ne->ToBitmap().ToVector(), (std::vector<uint32_t>{1, 2}));
+  }
+}
+
+TEST(FilterEvaluatorTest, MultiValueEmptyRowsNotConstantFolded) {
+  // Docs 2 and 7 of the analytics fixture have an empty `tags` array. A
+  // positive predicate that matches every dictionary id must still skip
+  // them, and a negated predicate that excludes every id must still accept
+  // them. Regression: both cases used to constant-fold at the dictionary
+  // level (match_all / match_none) and get the empty rows wrong.
+  auto segment = BuildAnalyticsSegment();
+  FilterEvaluator evaluator(*segment, nullptr);
+
+  Predicate all_tags;
+  all_tags.column = "tags";
+  all_tags.op = PredicateOp::kIn;
+  all_tags.values = {Value{std::string("a")}, Value{std::string("b")},
+                     Value{std::string("c")}, Value{std::string("d")}};
+  auto in_docs = evaluator.Evaluate(FilterNode::Leaf(all_tags));
+  ASSERT_TRUE(in_docs.ok());
+  EXPECT_EQ(in_docs->ToBitmap().ToVector(),
+            (std::vector<uint32_t>{0, 1, 3, 4, 5, 6, 8, 9, 10, 11}));
+
+  all_tags.op = PredicateOp::kNotIn;
+  auto not_in_docs = evaluator.Evaluate(FilterNode::Leaf(all_tags));
+  ASSERT_TRUE(not_in_docs.ok());
+  EXPECT_EQ(not_in_docs->ToBitmap().ToVector(),
+            (std::vector<uint32_t>{2, 7}));
+
+  // NotEq of an absent value is a correct match-all even for empty rows.
+  Predicate neq_absent = Eq("tags", std::string("zz"));
+  neq_absent.op = PredicateOp::kNotEq;
+  auto all_docs = evaluator.Evaluate(FilterNode::Leaf(neq_absent));
+  ASSERT_TRUE(all_docs.ok());
+  EXPECT_EQ(all_docs->Cardinality(), 12u);
+}
+
 TEST(FilterEvaluatorTest, NestedOrInsideAnd) {
   auto segment = BuildAnalyticsSegment();
   auto query = ParsePql(

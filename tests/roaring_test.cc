@@ -178,6 +178,163 @@ TEST(RoaringBitmapTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(restored.ok());
 }
 
+TEST(RoaringBitmapTest, OrWithMatchesOr) {
+  Random rng(99);
+  RoaringBitmap acc;
+  std::set<uint32_t> ref;
+  // Mix sparse arrays, dense bitsets, and runs into one accumulator.
+  for (int round = 0; round < 20; ++round) {
+    RoaringBitmap next;
+    if (round % 3 == 0) {
+      const uint32_t begin = static_cast<uint32_t>(rng.NextUint64(150000));
+      const uint32_t len = static_cast<uint32_t>(rng.NextUint64(20000)) + 1;
+      next.AddRange(begin, begin + len);
+      for (uint32_t v = begin; v < begin + len; ++v) ref.insert(v);
+    } else {
+      const int n = round % 3 == 1 ? 50 : 8000;
+      for (int i = 0; i < n; ++i) {
+        const uint32_t v = static_cast<uint32_t>(rng.NextUint64(200000));
+        next.Add(v);
+        ref.insert(v);
+      }
+    }
+    if (round % 4 == 0) next.RunOptimize();
+    acc.OrWith(next);
+    ASSERT_EQ(acc.Cardinality(), ref.size()) << "round " << round;
+  }
+  EXPECT_EQ(acc.ToVector(),
+            std::vector<uint32_t>(ref.begin(), ref.end()));
+  // Self-union is a no-op.
+  const uint64_t before = acc.Cardinality();
+  acc.OrWith(acc);
+  EXPECT_EQ(acc.Cardinality(), before);
+}
+
+TEST(RoaringBitmapTest, AndWithMatchesAnd) {
+  Random rng(77);
+  for (int round = 0; round < 8; ++round) {
+    RoaringBitmap a, b;
+    std::set<uint32_t> ref_a, ref_b;
+    const int na = 1 << (2 * round % 14);
+    for (int i = 0; i < na; ++i) {
+      const uint32_t v = static_cast<uint32_t>(rng.NextUint64(100000));
+      a.Add(v);
+      ref_a.insert(v);
+    }
+    b.AddRange(1000, 60000);
+    for (uint32_t v = 1000; v < 60000; ++v) ref_b.insert(v);
+    if (round % 2 == 0) b.RunOptimize();
+    std::vector<uint32_t> expected;
+    std::set_intersection(ref_a.begin(), ref_a.end(), ref_b.begin(),
+                          ref_b.end(), std::back_inserter(expected));
+    RoaringBitmap in_place = a;
+    in_place.AndWith(b);
+    EXPECT_EQ(in_place.ToVector(), expected) << "round " << round;
+    EXPECT_EQ(in_place.ToVector(), a.And(b).ToVector());
+  }
+  // Intersecting with an empty bitmap empties every container.
+  RoaringBitmap a = RoaringBitmap::FromRange(0, 100000);
+  a.AndWith(RoaringBitmap());
+  EXPECT_TRUE(a.Empty());
+}
+
+TEST(RoaringBitmapTest, OrManyMatchesSequentialOr) {
+  Random rng(55);
+  std::vector<RoaringBitmap> inputs;
+  std::set<uint32_t> ref;
+  RoaringBitmap sequential;
+  for (int i = 0; i < 40; ++i) {
+    RoaringBitmap bm;
+    if (i % 5 == 0) {
+      const uint32_t begin = static_cast<uint32_t>(rng.NextUint64(300000));
+      bm.AddRange(begin, begin + 5000);
+      for (uint32_t v = begin; v < begin + 5000; ++v) ref.insert(v);
+      bm.RunOptimize();
+    } else {
+      const int n = i % 5 == 1 ? 9000 : 30;
+      for (int k = 0; k < n; ++k) {
+        const uint32_t v = static_cast<uint32_t>(rng.NextUint64(400000));
+        bm.Add(v);
+        ref.insert(v);
+      }
+    }
+    sequential.OrWith(bm);
+    inputs.push_back(std::move(bm));
+  }
+  std::vector<const RoaringBitmap*> ptrs;
+  for (const auto& bm : inputs) ptrs.push_back(&bm);
+  const RoaringBitmap bulk = RoaringBitmap::OrMany(ptrs);
+  EXPECT_EQ(bulk.Cardinality(), ref.size());
+  EXPECT_EQ(bulk.ToVector(), sequential.ToVector());
+
+  EXPECT_TRUE(RoaringBitmap::OrMany({}).Empty());
+  const RoaringBitmap single = RoaringBitmap::OrMany({&inputs[0]});
+  EXPECT_TRUE(single == inputs[0]);
+}
+
+TEST(RoaringBitmapTest, RunAwareKernelsOperateOnRuns) {
+  // Two run-heavy bitmaps: And/Or/AndNot must both be correct and keep
+  // run-friendly shapes run-encoded instead of materializing bitsets.
+  RoaringBitmap a, b;
+  a.AddRange(100, 30000);
+  a.AddRange(40000, 41000);
+  b.AddRange(20000, 45000);
+  a.RunOptimize();
+  b.RunOptimize();
+  ASSERT_GT(a.GetContainerStats().run_containers, 0);
+  ASSERT_GT(b.GetContainerStats().run_containers, 0);
+
+  const RoaringBitmap intersection = a.And(b);
+  EXPECT_EQ(intersection.Cardinality(), (30000u - 20000u) + 1000u);
+  EXPECT_TRUE(intersection.Contains(20000));
+  EXPECT_TRUE(intersection.Contains(29999));
+  EXPECT_FALSE(intersection.Contains(30000));
+  EXPECT_TRUE(intersection.Contains(40500));
+  // Two contiguous stretches stay run containers, not bitsets.
+  EXPECT_EQ(intersection.GetContainerStats().bitset_containers, 0);
+
+  // a ∪ b covers [100, 45000) with no gaps: b bridges a's hole.
+  const RoaringBitmap uni = a.Or(b);
+  EXPECT_EQ(uni.Cardinality(), 45000u - 100u);
+  EXPECT_EQ(uni.Minimum(), 100u);
+  EXPECT_EQ(uni.Maximum(), 44999u);
+  EXPECT_EQ(uni.GetContainerStats().bitset_containers, 0);
+
+  const RoaringBitmap diff = a.AndNot(b);
+  EXPECT_EQ(diff.Cardinality(), 20000u - 100u);
+  EXPECT_TRUE(diff.Contains(100));
+  EXPECT_TRUE(diff.Contains(19999));
+  EXPECT_FALSE(diff.Contains(20000));
+  EXPECT_FALSE(diff.Contains(40500));
+}
+
+TEST(RoaringBitmapTest, SkewedArrayIntersection) {
+  // Exercises the galloping array∧array path: |large| / |small| far above
+  // the skew threshold.
+  Random rng(31);
+  std::set<uint32_t> ref_small, ref_large;
+  RoaringBitmap small, large;
+  for (int i = 0; i < 8; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.NextUint64(60000));
+    small.Add(v);
+    ref_small.insert(v);
+  }
+  for (int i = 0; i < 4000; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.NextUint64(60000));
+    large.Add(v);
+    ref_large.insert(v);
+  }
+  // Make sure at least one value overlaps.
+  small.Add(*ref_large.begin());
+  ref_small.insert(*ref_large.begin());
+  std::vector<uint32_t> expected;
+  std::set_intersection(ref_small.begin(), ref_small.end(),
+                        ref_large.begin(), ref_large.end(),
+                        std::back_inserter(expected));
+  EXPECT_EQ(small.And(large).ToVector(), expected);
+  EXPECT_EQ(large.And(small).ToVector(), expected);
+}
+
 // Property-style randomized comparison against std::set across densities.
 class RoaringPropertyTest : public ::testing::TestWithParam<double> {};
 
@@ -199,20 +356,46 @@ TEST_P(RoaringPropertyTest, MatchesReferenceSetOperations) {
   ASSERT_EQ(a.Cardinality(), ref_a.size());
   ASSERT_EQ(b.Cardinality(), ref_b.size());
 
+  // Run-optimized twins exercise the run-aware kernel pairings; the
+  // results must be identical to the array/bitset paths.
+  RoaringBitmap b_runs = b;
+  b_runs.RunOptimize();
+
   std::vector<uint32_t> expected;
   std::set_intersection(ref_a.begin(), ref_a.end(), ref_b.begin(),
                         ref_b.end(), std::back_inserter(expected));
   EXPECT_EQ(a.And(b).ToVector(), expected);
+  EXPECT_EQ(a.And(b_runs).ToVector(), expected);
+  {
+    RoaringBitmap in_place = a;
+    in_place.AndWith(b);
+    EXPECT_EQ(in_place.ToVector(), expected);
+  }
 
   expected.clear();
   std::set_union(ref_a.begin(), ref_a.end(), ref_b.begin(), ref_b.end(),
                  std::back_inserter(expected));
   EXPECT_EQ(a.Or(b).ToVector(), expected);
+  EXPECT_EQ(a.Or(b_runs).ToVector(), expected);
+  {
+    RoaringBitmap in_place = a;
+    in_place.OrWith(b);
+    EXPECT_EQ(in_place.ToVector(), expected);
+    const RoaringBitmap bulk = RoaringBitmap::OrMany({&a, &b_runs});
+    EXPECT_EQ(bulk.ToVector(), expected);
+  }
 
   expected.clear();
   std::set_difference(ref_a.begin(), ref_a.end(), ref_b.begin(), ref_b.end(),
                       std::back_inserter(expected));
   EXPECT_EQ(a.AndNot(b).ToVector(), expected);
+  EXPECT_EQ(a.AndNot(b_runs).ToVector(), expected);
+  {
+    RoaringBitmap a_runs = a;
+    a_runs.RunOptimize();
+    EXPECT_EQ(a_runs.AndNot(b).ToVector(), expected);
+    EXPECT_EQ(a_runs.AndNot(b_runs).ToVector(), expected);
+  }
 
   // Round-trip through RunOptimize + serialization preserves equality.
   RoaringBitmap optimized = a;
