@@ -90,6 +90,36 @@ int main() {
   topic->Produce("k", MakeRow("jobs", 80, 5));
   cluster.ProcessRealtimeTicks(2);
 
+  // An upsert table: two rows for one key, so the traced query below
+  // carries the upsert=on / valid_docs=<n> labels and the server's
+  // dead-rows counter is nonzero in the metrics dump.
+  TableConfig upsert;
+  upsert.name = "events";
+  upsert.type = TableType::kRealtime;
+  upsert.schema = MetricsSchema();
+  upsert.realtime.topic = "events";
+  upsert.realtime.flush_threshold_rows = 100000;
+  upsert.upsert_enabled = true;
+  upsert.upsert_key_columns = {"page"};
+  StreamTopic* events = cluster.streams()->GetOrCreateTopic("events", 1);
+  if (!leader->AddTable(upsert).ok()) return 1;
+  events->Produce("home", MakeRow("home", 1, 5));
+  events->Produce("home", MakeRow("home", 2, 5));
+  cluster.ProcessRealtimeTicks(2);
+  QueryResult upserted =
+      cluster.Execute("TRACE SELECT count(*) FROM events");
+  if (!upserted.span.has_value()) {
+    std::fprintf(stderr, "TRACE upsert query returned no span\n");
+    return 1;
+  }
+  const std::string upsert_trace = upserted.span->ToString();
+  if (upsert_trace.find("upsert=on") == std::string::npos ||
+      upsert_trace.find("valid_docs=") == std::string::npos) {
+    std::fprintf(stderr, "upsert trace misses validity labels:\n%s",
+                 upsert_trace.c_str());
+    return 1;
+  }
+
   // Warm the per-server latency stats past hedge_min_samples so the hedge
   // budget reflects observed (sub-millisecond) call latencies.
   for (int i = 0; i < 12; ++i) {
@@ -128,8 +158,9 @@ int main() {
     return 1;
   }
 
-  std::printf("# --- trace dump ---\n%s%s", traced.span->ToString().c_str(),
-              grouped_trace.c_str());
+  std::printf("# --- trace dump ---\n%s%s%s",
+              traced.span->ToString().c_str(), grouped_trace.c_str(),
+              upsert_trace.c_str());
 
   auto explained = cluster.Execute("EXPLAIN SELECT count(*) FROM metrics");
   if (!explained.span.has_value() || !explained.explain_only) {

@@ -62,7 +62,7 @@ echo "== sanitizers: concurrency regression loop (ingest-while-query," \
 # ~64k-group radix-vs-legacy equivalence sweep with tree-wise merges).
 (cd build-asan && ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --output-on-failure \
-  -R 'mutable_segment_test|token_bucket_test|metrics_test|groupby_radix_test|filter_fuzz_test' \
+  -R 'mutable_segment_test|token_bucket_test|metrics_test|groupby_radix_test|filter_fuzz_test|upsert_fuzz_test' \
   --repeat until-fail:3)
 
 echo

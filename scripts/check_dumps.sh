@@ -88,6 +88,13 @@ grep -qE '(\{|, )est_rows:page=[0-9]+' <<< "${TRACE}" \
   || fail "trace dump carries no est_rows:page=<n> annotation"
 grep -qE '(\{|, )rows:page=[0-9]+' <<< "${TRACE}" \
   || fail "trace dump carries no rows:page=<n> annotation"
+# Upsert observability: the smoke driver upserts one key twice, so the
+# traced query's segment span must carry the upsert marker and the live-doc
+# count after validity intersection.
+grep -qE '\{[^{}]*upsert=on[^{}]*\}' <<< "${TRACE}" \
+  || fail "trace dump carries no upsert=on label"
+grep -qE '(\{|, )valid_docs=[0-9]+' <<< "${TRACE}" \
+  || fail "trace dump carries no valid_docs=<n> annotation"
 EXPLAIN="$(section '# --- explain dump ---' '# --- slow query log ---')"
 check_span_tree "${EXPLAIN}" "explain dump"
 grep -q 'plan=' <<< "${EXPLAIN}" || fail "explain dump carries no plan label"
@@ -144,5 +151,11 @@ for series in broker_hedged_calls_total broker_shed_queries_total; do
   awk -v v="${VALUE}" 'BEGIN { exit (v > 0) ? 0 : 1 }' \
     || fail "metrics dump: ${series} is ${VALUE}, expected > 0"
 done
+
+# Upsert: the double-write of one key must have invalidated a row.
+DEAD_TOTAL="$(grep '^server_upsert_dead_rows_total' <<< "${METRICS}" \
+  | awk '{ sum += $NF } END { print sum + 0 }')"
+awk -v v="${DEAD_TOTAL}" 'BEGIN { exit (v > 0) ? 0 : 1 }' \
+  || fail "metrics dump: server_upsert_dead_rows_total is ${DEAD_TOTAL}, expected > 0"
 
 echo "check_dumps: trace, explain, slow-query log and metrics grammars OK"

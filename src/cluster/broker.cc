@@ -68,9 +68,12 @@ void Broker::RebuildRouting(const std::string& physical_table) {
   const TableView view = ctx_.cluster->GetExternalView(physical_table);
   routing->segment_servers = QueryableReplicas(view);
 
-  // Partition metadata for partition-aware pruning.
+  // Partition metadata for partition-aware pruning and for upsert
+  // replica-group routing (all segments of one partition must be served by
+  // the same instance's key map).
   if (routing->config_loaded &&
-      routing->config.routing == RoutingStrategy::kPartitionAware) {
+      (routing->config.routing == RoutingStrategy::kPartitionAware ||
+       routing->config.upsert_enabled)) {
     for (const auto& [segment, servers] : routing->segment_servers) {
       auto meta_encoded = ctx_.property_store->Get(
           zkpaths::SegmentMetadataPath(physical_table, segment));
@@ -236,7 +239,17 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
   const RoutingStrategy strategy = routing->config_loaded
                                        ? routing->config.routing
                                        : RoutingStrategy::kBalanced;
-  if (strategy == RoutingStrategy::kPartitionAware) {
+  // Upsert tables require strict replica groups: a query must read all of
+  // a partition's segments from ONE server, whose key map then guarantees
+  // at most one live row per key. Per-segment replica overrides (adaptive
+  // selection, hedging) are disabled for them below.
+  const bool upsert =
+      routing->config_loaded && routing->config.upsert_enabled;
+  if (upsert) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    table = BuildUpsertRoutingTable(routing->segment_servers,
+                                    routing->segment_partitions, &rng_);
+  } else if (strategy == RoutingStrategy::kPartitionAware) {
     table = BuildPartitionAwareTable(*routing, query);
   } else {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -254,9 +267,11 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
   // retry waves record the prior outcome and how many untried live replicas
   // the picker chose among, so a failover run is explainable from the trace
   // alone.
-  const char* initial_reason = strategy == RoutingStrategy::kPartitionAware
-                                   ? "partition-aware"
-                                   : "routing-table";
+  const char* initial_reason =
+      upsert ? "upsert-replica-group"
+             : strategy == RoutingStrategy::kPartitionAware
+                   ? "partition-aware"
+                   : "routing-table";
   std::map<std::string, std::string> pick_reason;
   for (const auto& [server, segments] : table.server_segments) {
     for (const auto& segment : segments) pick_reason[segment] = initial_reason;
@@ -276,7 +291,7 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
   // receiving occasional probe traffic that refreshes its EWMA downward
   // once it recovers.
   if (options_.adaptive_routing &&
-      strategy != RoutingStrategy::kPartitionAware) {
+      strategy != RoutingStrategy::kPartitionAware && !upsert) {
     std::map<std::string, std::vector<std::string>> adapted;
     for (const auto& [server, segments] : assignment) {
       for (const auto& segment : segments) {
@@ -664,7 +679,7 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
 
         // Hedge trigger: the primary has been outstanding past the latency
         // budget and the per-query speculative-call allowance is not spent.
-        if (options_.hedging_enabled && !group.hedge_attempted &&
+        if (options_.hedging_enabled && !upsert && !group.hedge_attempted &&
             !primary.finished && hedges_fired < options_.max_hedged_calls &&
             MillisSince(primary.started) > hedge_budget_millis) {
           group.hedge_attempted = true;
@@ -733,6 +748,11 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
                            failed_segments.end());
       break;
     }
+    // For upsert tables, failed segments of the same partition should land
+    // on the SAME replacement replica so its key map still covers the whole
+    // partition lineage; memoize the first pick per partition and reuse it
+    // when the later segments' replica sets allow.
+    std::map<int32_t, std::string> partition_failover_pick;
     for (const auto& segment : failed_segments) {
       auto servers_it = routing->segment_servers.find(segment);
       std::string replica;
@@ -742,14 +762,34 @@ void Broker::QueryPhysicalTable(const std::string& physical_table,
         for (const auto& server : servers_it->second) {
           if (tried.count(server) == 0 && reachable(server)) ++candidates;
         }
-        std::lock_guard<std::mutex> lock(mutex_);
-        replica = options_.adaptive_routing
-                      ? PickReplicaAdaptive(servers_it->second, tried,
-                                            reachable, &server_stats_,
-                                            options_.explore_probability,
-                                            &rng_)
-                      : PickReplica(servers_it->second, tried, reachable,
-                                    &rng_);
+        int32_t partition = -1;
+        if (upsert) {
+          auto part_it = routing->segment_partitions.find(segment);
+          if (part_it != routing->segment_partitions.end()) {
+            partition = part_it->second;
+          }
+          auto pick_it = partition_failover_pick.find(partition);
+          if (partition >= 0 && pick_it != partition_failover_pick.end() &&
+              tried.count(pick_it->second) == 0 &&
+              reachable(pick_it->second) &&
+              std::find(servers_it->second.begin(), servers_it->second.end(),
+                        pick_it->second) != servers_it->second.end()) {
+            replica = pick_it->second;
+          }
+        }
+        if (replica.empty()) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          replica = options_.adaptive_routing && !upsert
+                        ? PickReplicaAdaptive(servers_it->second, tried,
+                                              reachable, &server_stats_,
+                                              options_.explore_probability,
+                                              &rng_)
+                        : PickReplica(servers_it->second, tried, reachable,
+                                      &rng_);
+          if (upsert && partition >= 0 && !replica.empty()) {
+            partition_failover_pick[partition] = replica;
+          }
+        }
       }
       if (replica.empty()) {
         dead_segments.push_back(segment);

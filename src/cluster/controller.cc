@@ -101,6 +101,33 @@ Status Controller::AddTable(const TableConfig& config) {
                               config.realtime.topic);
     }
   }
+  if (config.upsert_enabled) {
+    if (config.type != TableType::kRealtime) {
+      return Status::InvalidArgument(
+          "upsert requires a realtime table: " + physical);
+    }
+    if (config.upsert_key_columns.empty()) {
+      return Status::InvalidArgument(
+          "upsert table requires at least one key column: " + physical);
+    }
+    for (const auto& column : config.upsert_key_columns) {
+      const FieldSpec* field = config.schema.GetField(column);
+      if (field == nullptr) {
+        return Status::InvalidArgument("upsert key column not in schema: " +
+                                       column);
+      }
+      if (!field->single_value) {
+        return Status::InvalidArgument("upsert key column is multi-value: " +
+                                       column);
+      }
+    }
+    if (!config.star_tree.dimensions.empty()) {
+      return Status::InvalidArgument(
+          "star-tree cannot apply per-doc validity; not allowed on upsert "
+          "table " +
+          physical);
+    }
+  }
   PINOT_RETURN_NOT_OK(StoreTableConfig(config));
 
   if (config.type == TableType::kRealtime) {
@@ -331,6 +358,17 @@ int Controller::RunRetentionManager() {
 void Controller::ScheduleTask(Task task) {
   std::lock_guard<std::mutex> lock(mutex_);
   tasks_.push_back(std::move(task));
+}
+
+void Controller::ScheduleUpsertCompaction(const std::string& physical_table,
+                                          const std::string& segment,
+                                          std::string payload) {
+  Task task;
+  task.type = "upsert_compact";
+  task.physical_table = physical_table;
+  task.segment = segment;
+  task.payload = std::move(payload);
+  ScheduleTask(std::move(task));
 }
 
 std::optional<Controller::Task> Controller::FetchTask() {

@@ -94,6 +94,13 @@ class Controller : public ControllerApi {
   std::optional<Task> FetchTask();
   size_t PendingTaskCount() const;
 
+  /// Enqueues an "upsert_compact" minion task rewriting `segment` without
+  /// its dead rows. `payload` carries the serialized invalid-docs bitmap
+  /// (see EncodeUpsertCompactionPayload in minion.h).
+  void ScheduleUpsertCompaction(const std::string& physical_table,
+                                const std::string& segment,
+                                std::string payload);
+
   // --- ControllerApi (realtime completion protocol) -------------------------
 
   CompletionResponse SegmentConsumedUntil(const std::string& physical_table,

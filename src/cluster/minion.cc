@@ -2,6 +2,7 @@
 
 #include "cluster/cluster_manager.h"
 #include "cluster/object_store.h"
+#include "common/bytes.h"
 #include "common/logging.h"
 #include "query/filter_evaluator.h"
 #include "segment/row_extract.h"
@@ -9,12 +10,72 @@
 
 namespace pinot {
 
+namespace {
+
+// Reconstructs the original build configuration from a downloaded segment
+// so a rewrite keeps its sort order, indexes, and partition metadata.
+SegmentBuildConfig RebuildConfigFor(const ImmutableSegment& segment) {
+  SegmentBuildConfig config;
+  config.table_name = segment.metadata().table_name;
+  config.segment_name = segment.metadata().segment_name;
+  if (!segment.metadata().sorted_column.empty()) {
+    config.sort_columns = {segment.metadata().sorted_column};
+  }
+  for (const auto& field : segment.schema().fields()) {
+    const ColumnReader* reader = segment.GetColumn(field.name);
+    if (reader != nullptr && reader->inverted_index() != nullptr) {
+      config.inverted_index_columns.push_back(field.name);
+    }
+  }
+  if (segment.star_tree() != nullptr) {
+    config.star_tree = segment.star_tree()->config();
+  }
+  config.partition_id = segment.metadata().partition_id;
+  config.partition_column = segment.metadata().partition_column;
+  config.num_partitions = segment.metadata().num_partitions;
+  return config;
+}
+
+}  // namespace
+
+std::string EncodePurgePayload(const std::string& column,
+                               const std::string& value) {
+  ByteWriter writer;
+  writer.WriteString(column);
+  writer.WriteString(value);
+  return std::string(writer.TakeBuffer());
+}
+
+Status DecodePurgePayload(const std::string& payload, std::string* column,
+                          std::string* value) {
+  ByteReader reader(payload);
+  PINOT_ASSIGN_OR_RETURN(*column, reader.ReadString());
+  PINOT_ASSIGN_OR_RETURN(*value, reader.ReadString());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in purge payload");
+  }
+  return Status::OK();
+}
+
+std::string EncodeUpsertCompactionPayload(const RoaringBitmap& invalid) {
+  ByteWriter writer;
+  invalid.Serialize(&writer);
+  return std::string(writer.TakeBuffer());
+}
+
+Result<RoaringBitmap> DecodeUpsertCompactionPayload(
+    const std::string& payload) {
+  ByteReader reader(payload);
+  return RoaringBitmap::Deserialize(&reader);
+}
+
 Minion::Minion(std::string id, ClusterContext ctx, Controller* controller)
     : id_(std::move(id)), ctx_(std::move(ctx)), controller_(controller) {}
 
 void Minion::Start() {
   ctx_.cluster->RegisterInstance(id_, {"minion"}, nullptr);
   RegisterExecutor("purge", RunPurgeTask);
+  RegisterExecutor("upsert_compact", RunUpsertCompactionTask);
 }
 
 void Minion::RegisterExecutor(const std::string& type,
@@ -45,12 +106,9 @@ int Minion::ProcessTasks(int max_tasks) {
 }
 
 Status RunPurgeTask(const Controller::Task& task, Minion& minion) {
-  const size_t newline = task.payload.find('\n');
-  if (newline == std::string::npos) {
-    return Status::InvalidArgument("bad purge payload");
-  }
-  const std::string column = task.payload.substr(0, newline);
-  const std::string value_text = task.payload.substr(newline + 1);
+  std::string column;
+  std::string value_text;
+  PINOT_RETURN_NOT_OK(DecodePurgePayload(task.payload, &column, &value_text));
 
   // Download.
   PINOT_ASSIGN_OR_RETURN(
@@ -65,26 +123,7 @@ Status RunPurgeTask(const Controller::Task& task, Minion& minion) {
     return Status::NotFound("purge column not in segment: " + column);
   }
 
-  // Rebuild the original build configuration from the segment itself so
-  // the rewritten segment keeps its indexes.
-  SegmentBuildConfig config;
-  config.table_name = segment->metadata().table_name;
-  config.segment_name = segment->metadata().segment_name;
-  if (!segment->metadata().sorted_column.empty()) {
-    config.sort_columns = {segment->metadata().sorted_column};
-  }
-  for (const auto& field : segment->schema().fields()) {
-    const ColumnReader* reader = segment->GetColumn(field.name);
-    if (reader != nullptr && reader->inverted_index() != nullptr) {
-      config.inverted_index_columns.push_back(field.name);
-    }
-  }
-  if (segment->star_tree() != nullptr) {
-    config.star_tree = segment->star_tree()->config();
-  }
-  config.partition_id = segment->metadata().partition_id;
-  config.partition_column = segment->metadata().partition_column;
-  config.num_partitions = segment->metadata().num_partitions;
+  SegmentBuildConfig config = RebuildConfigFor(*segment);
 
   // Expunge: match the rendered value against the column's value domain.
   Predicate pred;
@@ -117,6 +156,45 @@ Status RunPurgeTask(const Controller::Task& task, Minion& minion) {
                          builder.Build());
 
   // Re-upload under the same name (atomic replace through the controller).
+  return minion.controller()->UploadSegment(task.physical_table,
+                                            rebuilt->SerializeToBlob());
+}
+
+Status RunUpsertCompactionTask(const Controller::Task& task, Minion& minion) {
+  PINOT_ASSIGN_OR_RETURN(RoaringBitmap invalid,
+                         DecodeUpsertCompactionPayload(task.payload));
+  if (invalid.Empty()) return Status::OK();  // Nothing to drop.
+
+  PINOT_ASSIGN_OR_RETURN(
+      std::string blob,
+      minion.ctx().object_store->Get(
+          zkpaths::SegmentBlobKey(task.physical_table, task.segment)));
+  PINOT_ASSIGN_OR_RETURN(std::shared_ptr<ImmutableSegment> segment,
+                         ImmutableSegment::DeserializeFromBlob(blob));
+
+  SegmentBuildConfig config = RebuildConfigFor(*segment);
+
+  // The bitmap was captured against this segment name at schedule time;
+  // docids past num_docs would mean the blob was replaced since, in which
+  // case the stale task must not drop arbitrary rows.
+  SegmentBuilder builder(segment->schema(), config, minion.ctx().clock);
+  uint32_t dropped = 0;
+  for (uint32_t doc = 0; doc < segment->num_docs(); ++doc) {
+    if (invalid.Contains(doc)) {
+      ++dropped;
+      continue;
+    }
+    PINOT_RETURN_NOT_OK(builder.AddRow(ExtractRow(*segment, doc)));
+  }
+  if (dropped != invalid.Cardinality()) {
+    return Status::FailedPrecondition(
+        "upsert compaction bitmap does not match segment " + task.segment);
+  }
+  PINOT_ASSIGN_OR_RETURN(std::shared_ptr<ImmutableSegment> rebuilt,
+                         builder.Build());
+
+  // Atomic replace: servers bounce the segment OFFLINE->ONLINE, reload the
+  // new blob, and rebind the surviving rows into the upsert key map.
   return minion.controller()->UploadSegment(task.physical_table,
                                             rebuilt->SerializeToBlob());
 }

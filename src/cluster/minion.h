@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "bitmap/roaring.h"
 #include "cluster/cluster_context.h"
 #include "cluster/controller.h"
 
@@ -45,11 +46,31 @@ class Minion {
   std::map<std::string, TaskExecutor> executors_;
 };
 
-/// Built-in purge executor. Task payload: "<column>\n<rendered value>".
+/// Task payload codecs. Payloads are length-prefixed binary, never a
+/// separator-joined rendering: the old "<column>\n<rendered value>" purge
+/// format corrupted on values containing '\n'.
+std::string EncodePurgePayload(const std::string& column,
+                               const std::string& value);
+Status DecodePurgePayload(const std::string& payload, std::string* column,
+                          std::string* value);
+/// The upsert-compaction payload is the invalid-docs bitmap captured from
+/// the serving server when the task was scheduled.
+std::string EncodeUpsertCompactionPayload(const RoaringBitmap& invalid);
+Result<RoaringBitmap> DecodeUpsertCompactionPayload(
+    const std::string& payload);
+
+/// Built-in purge executor. Task payload: EncodePurgePayload(column, value).
 /// Downloads the segment, drops every record whose `column` equals the
 /// value, rebuilds the segment with its original indexes, and re-uploads
 /// it under the same name (atomic replace).
 Status RunPurgeTask(const Controller::Task& task, Minion& minion);
+
+/// Built-in upsert-compaction executor. Task payload:
+/// EncodeUpsertCompactionPayload(invalid docs). Downloads the segment,
+/// drops the superseded rows, rebuilds with the original indexes, and
+/// re-uploads under the same name; the serving server reloads the new blob
+/// and rebinds it into the table's upsert key map.
+Status RunUpsertCompactionTask(const Controller::Task& task, Minion& minion);
 
 }  // namespace pinot
 

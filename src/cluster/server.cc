@@ -254,6 +254,17 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
   return result;
 }
 
+std::shared_ptr<UpsertTableState> Server::GetOrCreateUpsertState(
+    const std::string& table, const TableConfig& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& state = upsert_[table];
+  if (state == nullptr) {
+    state = std::make_shared<UpsertTableState>(
+        table, config.upsert_key_columns, metrics_);
+  }
+  return state;
+}
+
 Status Server::LoadOnlineSegment(const std::string& table,
                                  const std::string& segment) {
   PINOT_ASSIGN_OR_RETURN(
@@ -265,6 +276,23 @@ Status Server::LoadOnlineSegment(const std::string& table,
   metrics_->GetCounter("server_segments_loaded_total", labels)->Increment();
   metrics_->GetCounter("server_segment_bytes_loaded_total", labels)
       ->Increment(blob.size());
+  auto config = LoadTableConfig(table);
+  if (config.ok() && config->upsert_enabled) {
+    // Upsert reload (compaction swap / replica download): docids may be
+    // renumbered, so rebuild validity from key ownership. The tracker
+    // registry swap and the serving-map publish happen inside one
+    // UpsertTableState critical section, so ingest can never invalidate
+    // into the new tracker while a query still pairs the old instance
+    // with it (see BindLoadedSegment).
+    std::shared_ptr<UpsertTableState> ups =
+        GetOrCreateUpsertState(table, *config);
+    auto tracker = std::make_shared<ValidDocsTracker>();
+    loaded->SetValidDocs(tracker);
+    return ups->BindLoadedSegment(*loaded, std::move(tracker), [&] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      segments_[table][segment] = loaded;
+    });
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   segments_[table][segment] = std::move(loaded);
   return Status::OK();
@@ -301,6 +329,15 @@ Status Server::StartConsuming(const std::string& table,
     state.seal_config.partition_id = meta.partition;
     state.seal_config.partition_column = config.partition_column;
     state.seal_config.num_partitions = config.num_partitions;
+  }
+  if (config.upsert_enabled) {
+    state.upsert = GetOrCreateUpsertState(table, config);
+    // The consuming segment and its sealed promotion share one validity
+    // tracker, which requires sealing to preserve docids: no sort re-order
+    // and no star-tree (star-tree plans are refused on upsert anyway).
+    state.segment->SetValidDocs(state.upsert->TrackerFor(segment));
+    state.seal_config.sort_columns.clear();
+    state.seal_config.star_tree = {};
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -449,7 +486,10 @@ int Server::TickConsuming(const std::string& table,
     }
     if (batch->empty()) break;  // Caught up with the stream.
     for (const auto& message : *batch) {
-      Status st = state->segment->Index(message.row);
+      Status st = state->upsert != nullptr
+                      ? state->segment->IndexUpsert(message.row,
+                                                    state->upsert.get())
+                      : state->segment->Index(message.row);
       if (!st.ok()) {
         PINOT_LOG_WARN << id_ << " failed to index event: " << st.ToString();
       }
@@ -478,6 +518,12 @@ int Server::TickConsuming(const std::string& table,
   auto timed_seal = [&]() {
     const auto seal_start = std::chrono::steady_clock::now();
     auto sealed = state->segment->Seal(state->seal_config);
+    if (sealed.ok() && state->upsert != nullptr) {
+      // Sealing replays rows in doc order (sorting disabled for upsert),
+      // so the consuming segment's tracker stays valid for the sealed copy
+      // and the key map keeps pointing at the same (segment, doc) pairs.
+      (*sealed)->SetValidDocs(state->segment->valid_docs_ptr());
+    }
     const double seal_millis =
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - seal_start)
@@ -574,6 +620,34 @@ std::vector<std::string> Server::HostedSegments(
   if (it == segments_.end()) return out;
   for (const auto& [segment, view] : it->second) out.push_back(segment);
   return out;
+}
+
+std::shared_ptr<const RoaringBitmap> Server::UpsertInvalidDocs(
+    const std::string& table, const std::string& segment) const {
+  std::shared_ptr<SegmentInterface> view;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto table_it = segments_.find(table);
+    if (table_it == segments_.end()) return nullptr;
+    auto it = table_it->second.find(segment);
+    if (it == table_it->second.end()) return nullptr;
+    view = it->second;
+  }
+  const ValidDocsTracker* tracker = view->valid_docs();
+  return tracker == nullptr ? nullptr : tracker->InvalidSnapshot();
+}
+
+uint64_t Server::UpsertDeadRows(const std::string& table,
+                                const std::string& segment) const {
+  auto invalid = UpsertInvalidDocs(table, segment);
+  return invalid == nullptr ? 0 : invalid->Cardinality();
+}
+
+std::shared_ptr<UpsertTableState> Server::upsert_state(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = upsert_.find(table);
+  return it == upsert_.end() ? nullptr : it->second;
 }
 
 uint64_t Server::HostedDataBytes() const {

@@ -15,6 +15,7 @@
 #include "metrics/metrics.h"
 #include "query/segment_executor.h"
 #include "realtime/mutable_segment.h"
+#include "realtime/upsert_meta.h"
 #include "segment/segment.h"
 #include "stream/stream.h"
 #include "tenant/token_bucket.h"
@@ -84,6 +85,18 @@ class Server : public StateTransitionHandler, public QueryServerApi {
 
   std::vector<std::string> HostedSegments(const std::string& table) const;
   uint64_t HostedDataBytes() const;
+
+  /// Upsert introspection: the current invalid-docs snapshot of a hosted
+  /// segment (null when the segment is absent, not upsert, or all-valid),
+  /// and the number of dead rows it holds. The compaction scheduler and
+  /// tests read these.
+  std::shared_ptr<const RoaringBitmap> UpsertInvalidDocs(
+      const std::string& table, const std::string& segment) const;
+  uint64_t UpsertDeadRows(const std::string& table,
+                          const std::string& segment) const;
+  /// The table's upsert state (null for non-upsert tables); test-only.
+  std::shared_ptr<UpsertTableState> upsert_state(
+      const std::string& table) const;
   void set_artificial_latency_micros(int64_t micros) {
     options_.artificial_latency_micros = micros;
   }
@@ -115,9 +128,13 @@ class Server : public StateTransitionHandler, public QueryServerApi {
     bool awaiting_completion = false;  // End criteria reached.
     std::shared_ptr<ImmutableSegment> sealed;  // Local commit candidate.
     SegmentBuildConfig seal_config;
+    // Non-null for upsert tables: the key map this segment commits into.
+    std::shared_ptr<UpsertTableState> upsert;
   };
 
   Result<TableConfig> LoadTableConfig(const std::string& physical_table) const;
+  std::shared_ptr<UpsertTableState> GetOrCreateUpsertState(
+      const std::string& table, const TableConfig& config);
   Status LoadOnlineSegment(const std::string& table,
                            const std::string& segment);
   Status StartConsuming(const std::string& table, const std::string& segment);
@@ -149,6 +166,12 @@ class Server : public StateTransitionHandler, public QueryServerApi {
       segments_;
   // table -> segment -> consuming replica state.
   std::map<std::string, std::map<std::string, ConsumingState>> consuming_;
+  // table -> upsert key map + validity registry. Entries are created when
+  // the first consuming/online segment of an upsert table arrives and live
+  // for the server's lifetime. Lock order: UpsertTableState's internal
+  // mutex may be held while taking mutex_ (BindLoadedSegment's publish
+  // closure), never the reverse.
+  std::map<std::string, std::shared_ptr<UpsertTableState>> upsert_;
 };
 
 }  // namespace pinot

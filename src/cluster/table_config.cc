@@ -63,6 +63,8 @@ void TableConfig::Serialize(ByteWriter* writer) const {
   writer->WriteI32(realtime.num_partitions);
   writer->WriteI64(realtime.flush_threshold_rows);
   writer->WriteI64(realtime.flush_threshold_millis);
+  writer->WriteU8(upsert_enabled ? 1 : 0);
+  WriteStringList(upsert_key_columns, writer);
 }
 
 Result<TableConfig> TableConfig::Deserialize(ByteReader* reader) {
@@ -98,6 +100,9 @@ Result<TableConfig> TableConfig::Deserialize(ByteReader* reader) {
                          reader->ReadI64());
   PINOT_ASSIGN_OR_RETURN(config.realtime.flush_threshold_millis,
                          reader->ReadI64());
+  PINOT_ASSIGN_OR_RETURN(uint8_t upsert_byte, reader->ReadU8());
+  config.upsert_enabled = upsert_byte != 0;
+  PINOT_ASSIGN_OR_RETURN(config.upsert_key_columns, ReadStringList(reader));
   return config;
 }
 

@@ -76,6 +76,12 @@ struct TableConfig {
 
   RealtimeIngestionConfig realtime;
 
+  // Upsert (realtime only): the latest row per primary key wins; superseded
+  // rows are invalidated at ingest and dropped by the Minion compaction
+  // task. Key columns must be single-value and present in the schema.
+  bool upsert_enabled = false;
+  std::vector<std::string> upsert_key_columns;
+
   /// The physical table name, e.g. "impressions_OFFLINE".
   std::string PhysicalName() const;
 

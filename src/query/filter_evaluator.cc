@@ -223,8 +223,16 @@ bool PredicateMatchesValue(const Predicate& pred, const Value& value) {
 
 Result<DocIdSet> FilterEvaluator::Evaluate(
     const std::optional<FilterNode>& filter) {
-  if (!filter.has_value()) return DocIdSet::All(segment_.num_docs());
-  return EvalNode(*filter, nullptr);
+  return Evaluate(filter, nullptr);
+}
+
+Result<DocIdSet> FilterEvaluator::Evaluate(
+    const std::optional<FilterNode>& filter, const DocIdSet* base_domain) {
+  if (!filter.has_value()) {
+    return base_domain != nullptr ? *base_domain
+                                  : DocIdSet::All(segment_.num_docs());
+  }
+  return EvalNode(*filter, base_domain);
 }
 
 namespace {

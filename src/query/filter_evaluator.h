@@ -57,6 +57,14 @@ class FilterEvaluator {
 
   Result<DocIdSet> Evaluate(const std::optional<FilterNode>& filter);
 
+  /// Evaluates `filter` restricted to `base_domain` (null = unrestricted).
+  /// Every eval path returns a subset of the domain it was handed, so the
+  /// result never includes a doc outside `base_domain` — upsert execution
+  /// passes the segment's valid-docs snapshot here and superseded rows can
+  /// never surface, whatever physical operators the planner picks.
+  Result<DocIdSet> Evaluate(const std::optional<FilterNode>& filter,
+                            const DocIdSet* base_domain);
+
   /// Physical operator classes for one predicate leaf.
   enum class LeafStrategy { kConstant, kSortedRange, kInverted, kScan };
 

@@ -5,9 +5,11 @@
 #include <cassert>
 #include <charconv>
 #include <cstring>
+#include <optional>
 #include <unordered_map>
 
 #include "query/filter_evaluator.h"
+#include "realtime/upsert_meta.h"
 #include "startree/star_tree.h"
 
 namespace pinot {
@@ -752,6 +754,10 @@ bool StarTreeEligible(const SegmentInterface& segment, const Query& query,
                       std::vector<const Predicate*>* predicates) {
   const StarTree* tree = segment.star_tree();
   if (tree == nullptr) return false;
+  // Star-tree records pre-aggregate at build time; there is no way to
+  // subtract a superseded document from a pre-aggregated cell, so upsert
+  // segments always fall back to the raw plan.
+  if (segment.valid_docs() != nullptr) return false;
   if (!query.IsAggregation()) return false;
   for (const auto& spec : query.aggregations) {
     switch (spec.type) {
@@ -936,6 +942,10 @@ Status ExecuteWithStarTree(const SegmentInterface& segment,
 // unfiltered, ungrouped COUNT(*)/MIN/MAX answerable from segment metadata.
 bool MetadataOnlyEligible(const SegmentInterface& segment,
                           const Query& query) {
+  // Segment metadata counts every stored row, dead or alive; an upsert
+  // segment must consult its validity bitmap, so COUNT(*)/MIN/MAX go
+  // through the raw plan (which intersects with the valid-docs snapshot).
+  if (segment.valid_docs() != nullptr) return false;
   if (!query.IsAggregation() || query.HasGroupBy() ||
       query.filter.has_value()) {
     return false;
@@ -1124,7 +1134,21 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
 Status ExecuteQueryOnSegment(const SegmentInterface& segment,
                              const Query& query, const ScanOptions& options,
                              TraceSpan* span, PartialResult* out) {
-  out->total_docs += segment.num_docs();
+  // Upsert segments: snapshot the invalid-docs set once, up front. The
+  // whole execution then sees one consistent validity view regardless of
+  // concurrent invalidations on sealed segments.
+  const ValidDocsTracker* tracker = segment.valid_docs();
+  std::shared_ptr<const RoaringBitmap> invalid;
+  uint64_t live_docs = segment.num_docs();
+  if (tracker != nullptr) {
+    invalid = tracker->InvalidSnapshot();
+    if (invalid != nullptr) live_docs -= invalid->Cardinality();
+    if (span != nullptr) {
+      span->Label("upsert", "on");
+      span->Annotate("valid_docs", static_cast<int64_t>(live_docs));
+    }
+  }
+  out->total_docs += live_docs;
   out->stats.segments_queried += 1;
 
   // 1. Metadata-only plan.
@@ -1167,7 +1191,18 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
   if (span != nullptr) filter_span = TraceSpan::Open("filter");
   FilterEvaluator evaluator(segment, &out->stats);
   if (span != nullptr) evaluator.set_trace_span(&filter_span);
-  PINOT_ASSIGN_OR_RETURN(DocIdSet docs, evaluator.Evaluate(query.filter));
+  // Upsert: bound the filter domain by the validity snapshot, so whatever
+  // physical operators run, no superseded row can reach aggregation or
+  // selection.
+  std::optional<DocIdSet> valid_domain;
+  if (tracker != nullptr && invalid != nullptr && !invalid->Empty()) {
+    valid_domain = DocIdSet::FromBitmap(invalid->Not(segment.num_docs()),
+                                        segment.num_docs());
+  }
+  PINOT_ASSIGN_OR_RETURN(
+      DocIdSet docs,
+      evaluator.Evaluate(query.filter,
+                         valid_domain ? &*valid_domain : nullptr));
   out->stats.docs_matched += docs.Cardinality();
   if (span != nullptr) {
     filter_span.Annotate("docs_matched",

@@ -108,6 +108,19 @@ int64_t TimeValueToInt64(const Value& v) {
 }  // namespace
 
 Status MutableSegment::Index(const Row& row) {
+  return IndexInternal(row, nullptr, std::string());
+}
+
+Status MutableSegment::IndexUpsert(const Row& row, UpsertTableState* upsert) {
+  // Render (and thereby validate) the primary key before taking the writer
+  // lock: a bad key must not leave a torn row or a keyless append.
+  PINOT_ASSIGN_OR_RETURN(std::string key,
+                         upsert->RenderKeyFromRow(schema_, row));
+  return IndexInternal(row, upsert, key);
+}
+
+Status MutableSegment::IndexInternal(const Row& row, UpsertTableState* upsert,
+                                     const std::string& key) {
   // Validate every field before appending to any column: a failure after
   // the first append would leave a torn row with mismatched column
   // lengths, permanently corrupting the segment.
@@ -139,10 +152,17 @@ Status MutableSegment::Index(const Row& row) {
     }
   }
   rows_.push_back(row);
+  const uint32_t doc = metadata_.num_docs;
   metadata_.num_docs = metadata_.num_docs + 1;
   // Publish the new row count last so lock-free num_docs() readers never
   // see a count covering unwritten data.
   num_docs_.store(metadata_.num_docs, std::memory_order_release);
+  if (upsert != nullptr) {
+    // Still under the writer lock: the key map flips to the new row and the
+    // old row's validity bit drops atomically w.r.t. queries, which hold
+    // reader locks on every consuming segment they touch.
+    upsert->CommitUpsert(key, metadata_.segment_name, doc);
+  }
   return Status::OK();
 }
 

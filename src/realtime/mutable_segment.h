@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "data/row.h"
 #include "data/schema.h"
+#include "realtime/upsert_meta.h"
 #include "segment/segment.h"
 #include "segment/segment_builder.h"
 
@@ -40,6 +41,13 @@ class MutableSegment : public SegmentInterface {
   /// error cannot leave a torn row with mismatched column lengths.
   Status Index(const Row& row);
 
+  /// Appends one event to an upsert table: renders the row's primary key
+  /// and commits key -> (this segment, new doc) into `upsert`, invalidating
+  /// the key's previous row — all inside this segment's writer lock, so a
+  /// query (which holds reader locks on every consuming segment) can never
+  /// observe the new row live alongside the superseded one.
+  Status IndexUpsert(const Row& row, UpsertTableState* upsert);
+
   /// Shared lock readers must hold while accessing columns, metadata, or
   /// rows of a segment that may be concurrently indexed into.
   std::shared_lock<std::shared_mutex> AcquireReadLock() const {
@@ -53,6 +61,18 @@ class MutableSegment : public SegmentInterface {
   }
   const SegmentMetadata& metadata() const override { return metadata_; }
   const ColumnReader* GetColumn(const std::string& name) const override;
+  const ValidDocsTracker* valid_docs() const override {
+    return valid_docs_.get();
+  }
+
+  /// Attaches the upsert validity tracker (shared with the sealed
+  /// promotion, which preserves docids for upsert tables).
+  void SetValidDocs(std::shared_ptr<ValidDocsTracker> tracker) {
+    valid_docs_ = std::move(tracker);
+  }
+  const std::shared_ptr<ValidDocsTracker>& valid_docs_ptr() const {
+    return valid_docs_;
+  }
 
   /// Builds the immutable replacement for this segment using the table's
   /// segment-generation options (sort columns, inverted indexes,
@@ -63,6 +83,11 @@ class MutableSegment : public SegmentInterface {
  private:
   class MutableColumn;
 
+  /// Shared append body; caller supplies the pre-rendered upsert key (empty
+  /// `upsert` for append-only tables).
+  Status IndexInternal(const Row& row, UpsertTableState* upsert,
+                       const std::string& key);
+
   Schema schema_;
   SegmentMetadata metadata_;
   Clock* clock_;
@@ -70,6 +95,7 @@ class MutableSegment : public SegmentInterface {
   std::vector<std::unique_ptr<MutableColumn>> columns_;
   std::vector<Row> rows_;  // Retained for sealing.
   std::atomic<uint32_t> num_docs_{0};
+  std::shared_ptr<ValidDocsTracker> valid_docs_;
 };
 
 }  // namespace pinot

@@ -1,0 +1,194 @@
+#include "realtime/upsert_meta.h"
+
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "segment/dictionary.h"
+
+namespace pinot {
+
+void ValidDocsTracker::Invalidate(uint32_t doc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (invalid_.Contains(doc)) return;
+  invalid_.Add(doc);
+  snapshot_ = std::make_shared<const RoaringBitmap>(invalid_);
+  dead_.store(invalid_.Cardinality(), std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+namespace {
+
+// Mirrors the mutable dictionary's value coercion (dictionary.cc AsInt64 /
+// AsDouble / AsString): a key rendered from the incoming row must equal the
+// key rendered back from the stored dictionary value.
+int64_t KeyAsInt64(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return *i;
+  if (const auto* d = std::get_if<double>(&v)) return static_cast<int64_t>(*d);
+  return 0;
+}
+
+double KeyAsDouble(const Value& v) {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<int64_t>(&v)) return static_cast<double>(*i);
+  return 0.0;
+}
+
+std::string KeyAsString(const Value& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  return ValueToString(v);
+}
+
+// Appends one storage-typed key fragment. Fixed-width scalars and
+// length-prefixed strings keep the concatenation injective regardless of
+// the values' content (embedded '\n', '\0', anything).
+void AppendKeyFragment(Dictionary::Storage storage, const Value& value,
+                       ByteWriter* writer) {
+  switch (storage) {
+    case Dictionary::Storage::kInt64:
+      writer->WriteI64(KeyAsInt64(value));
+      return;
+    case Dictionary::Storage::kDouble:
+      writer->WriteF64(KeyAsDouble(value));
+      return;
+    case Dictionary::Storage::kString:
+      writer->WriteString(KeyAsString(value));
+      return;
+  }
+}
+
+}  // namespace
+
+UpsertTableState::UpsertTableState(std::string physical_table,
+                                   std::vector<std::string> key_columns,
+                                   MetricsRegistry* metrics)
+    : physical_table_(std::move(physical_table)),
+      key_columns_(std::move(key_columns)),
+      metrics_(metrics != nullptr ? metrics : MetricsRegistry::Default()) {}
+
+Result<std::string> UpsertTableState::RenderKeyFromRow(const Schema& schema,
+                                                       const Row& row) const {
+  ByteWriter writer;
+  for (const auto& name : key_columns_) {
+    const int index = schema.IndexOf(name);
+    if (index < 0) {
+      return Status::InvalidArgument("upsert key column not in schema: " +
+                                     name);
+    }
+    const FieldSpec& field = schema.field(index);
+    if (!field.single_value) {
+      return Status::InvalidArgument("upsert key column is multi-value: " +
+                                     name);
+    }
+    const Value& value = row.Get(name);
+    const Value& effective =
+        IsNull(value) ? schema.EffectiveDefault(index) : value;
+    if (IsMultiValue(effective)) {
+      return Status::InvalidArgument(
+          "multi-value supplied for upsert key column " + name);
+    }
+    AppendKeyFragment(Dictionary::StorageFor(field.type), effective, &writer);
+  }
+  return std::string(writer.TakeBuffer());
+}
+
+Result<std::string> UpsertTableState::RenderKeyFromDoc(
+    const SegmentInterface& segment, uint32_t doc) const {
+  ByteWriter writer;
+  for (const auto& name : key_columns_) {
+    const ColumnReader* column = segment.GetColumn(name);
+    if (column == nullptr) {
+      return Status::NotFound("upsert key column not in segment: " + name);
+    }
+    const Dictionary& dict = column->dictionary();
+    const uint32_t dict_id = column->GetDictId(doc);
+    AppendKeyFragment(dict.storage(),
+                      dict.ValueAt(static_cast<int>(dict_id)), &writer);
+  }
+  return std::string(writer.TakeBuffer());
+}
+
+std::shared_ptr<ValidDocsTracker> UpsertTableState::TrackerFor(
+    const std::string& segment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& tracker = trackers_[segment];
+  if (tracker == nullptr) tracker = std::make_shared<ValidDocsTracker>();
+  return tracker;
+}
+
+void UpsertTableState::InvalidateLocked(const UpsertLocation& loc) {
+  auto& tracker = trackers_[loc.segment];
+  if (tracker == nullptr) tracker = std::make_shared<ValidDocsTracker>();
+  tracker->Invalidate(loc.doc);
+  metrics_
+      ->GetCounter("server_upsert_dead_rows_total",
+                   {{"table", physical_table_}})
+      ->Increment();
+}
+
+void UpsertTableState::CommitUpsert(const std::string& key,
+                                    const std::string& segment,
+                                    uint32_t doc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = keys_.try_emplace(key, UpsertLocation{segment, doc});
+  if (inserted) return;
+  // Arrival order is the comparison: the new row always wins. Guard the
+  // degenerate self-commit (same location) so it does not kill its own row.
+  if (it->second.segment == segment && it->second.doc == doc) return;
+  InvalidateLocked(it->second);
+  it->second.segment = segment;
+  it->second.doc = doc;
+}
+
+Status UpsertTableState::BindLoadedSegment(
+    const ImmutableSegment& segment,
+    std::shared_ptr<ValidDocsTracker> tracker,
+    const std::function<void()>& publish) {
+  const std::string& name = segment.metadata().segment_name;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Keys already bound to a doc of THIS instance during this pass. Needed
+  // to tell "stale pointer from the previous instance" (re-point, no kill)
+  // from "a second surviving row of the key in this very blob" (the earlier
+  // doc must die — e.g. an uncompacted original reloaded on a blank server,
+  // where ingest-time invalidations exist in no tracker yet).
+  std::unordered_set<std::string> bound;
+  for (uint32_t doc = 0; doc < segment.num_docs(); ++doc) {
+    Result<std::string> key = RenderKeyFromDoc(segment, doc);
+    if (!key.ok()) return key.status();
+    auto [it, inserted] =
+        keys_.try_emplace(*key, UpsertLocation{name, doc});
+    if (inserted) {  // Bootstrap claim of an unseen key.
+      bound.insert(std::move(*key));
+      continue;
+    }
+    if (it->second.segment == name) {
+      // Reload / compaction swap of this very segment: re-point the key to
+      // its (possibly renumbered) docid. The old instance keeps its old
+      // tracker, already consistent for in-flight queries. Row order is
+      // arrival order, so on a duplicate the later doc wins.
+      if (bound.count(*key) > 0) tracker->Invalidate(it->second.doc);
+      it->second.doc = doc;
+      bound.insert(std::move(*key));
+    } else {
+      // Key owned by a newer row elsewhere: this doc is dead on arrival.
+      tracker->Invalidate(doc);
+    }
+  }
+  trackers_[name] = std::move(tracker);
+  if (publish) publish();
+  return Status::OK();
+}
+
+uint64_t UpsertTableState::key_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return keys_.size();
+}
+
+std::optional<UpsertLocation> UpsertTableState::Lookup(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace pinot

@@ -1,0 +1,142 @@
+#ifndef PINOT_REALTIME_UPSERT_META_H_
+#define PINOT_REALTIME_UPSERT_META_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bitmap/roaring.h"
+#include "common/result.h"
+#include "data/row.h"
+#include "data/schema.h"
+#include "metrics/metrics.h"
+#include "segment/segment.h"
+
+namespace pinot {
+
+/// Per-segment validity bitmap for upsert tables (production Pinot's
+/// validDocIds; CUBIT in PAPERS.md grounds the concurrency model). The
+/// ingest thread invalidates superseded documents while queries read; each
+/// invalidation publishes a fresh immutable snapshot of the *invalid* set,
+/// so a query materializes one consistent validity view per segment with a
+/// single shared_ptr load and is never affected by later flips.
+///
+/// Thread safety: any thread may call Invalidate (the upsert state mutex
+/// serializes writers); InvalidSnapshot / epoch / dead_rows are wait-free
+/// for readers.
+class ValidDocsTracker {
+ public:
+  /// The current invalid-docs set; null until the first invalidation
+  /// (the common all-valid case costs one null check).
+  std::shared_ptr<const RoaringBitmap> InvalidSnapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return snapshot_;
+  }
+
+  /// Bumped once per invalidation; lets tests assert snapshot versioning.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  uint64_t dead_rows() const { return dead_.load(std::memory_order_acquire); }
+
+  bool IsValid(uint32_t doc) const {
+    auto snapshot = InvalidSnapshot();
+    return snapshot == nullptr || !snapshot->Contains(doc);
+  }
+
+  /// Marks `doc` dead and publishes a new snapshot. Idempotent.
+  void Invalidate(uint32_t doc);
+
+ private:
+  mutable std::mutex mutex_;
+  RoaringBitmap invalid_;  // Writer's working copy.
+  std::shared_ptr<const RoaringBitmap> snapshot_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> dead_{0};
+};
+
+/// Where a primary key's latest (live) row resides.
+struct UpsertLocation {
+  std::string segment;
+  uint32_t doc = 0;
+};
+
+/// Per-table upsert metadata on one server: the primary-key -> location map
+/// plus the validity-tracker registry, one tracker per segment name.
+/// Latest-row-wins is arrival order: every CommitUpsert supersedes the
+/// key's previous location.
+///
+/// Consistency model (see DESIGN.md §13): ingest mutates the map and flips
+/// validity bits inside the consuming segment's writer lock, and queries
+/// hold every consuming segment's reader lock for their whole execution, so
+/// a query's per-segment validity snapshots always form one coherent view —
+/// it can never observe both the superseded and the superseding row of a
+/// key. Segment reloads (compaction swaps) renumber docids, so
+/// BindLoadedSegment rebuilds validity from key ownership and publishes the
+/// new instance atomically with the re-pointed map.
+class UpsertTableState {
+ public:
+  UpsertTableState(std::string physical_table,
+                   std::vector<std::string> key_columns,
+                   MetricsRegistry* metrics);
+
+  const std::vector<std::string>& key_columns() const { return key_columns_; }
+
+  /// Renders the row's primary key: length-prefixed storage-typed fragments
+  /// (injective; newline-safe), using the same value coercion the mutable
+  /// dictionary applies, so a key rendered at ingest equals the key
+  /// rendered back from the sealed segment's dictionaries.
+  Result<std::string> RenderKeyFromRow(const Schema& schema,
+                                       const Row& row) const;
+
+  /// Renders the key of `doc` from the segment's key-column dictionaries.
+  Result<std::string> RenderKeyFromDoc(const SegmentInterface& segment,
+                                       uint32_t doc) const;
+
+  /// Tracker for a segment name, created on first use. Consuming segments
+  /// and their sealed promotions share one tracker (sealing preserves
+  /// docids for upsert tables).
+  std::shared_ptr<ValidDocsTracker> TrackerFor(const std::string& segment);
+
+  /// Records key -> (segment, doc) and invalidates the key's previous
+  /// location. Call with the appending consuming segment's writer lock
+  /// held, after the row is visible at `doc`.
+  void CommitUpsert(const std::string& key, const std::string& segment,
+                    uint32_t doc);
+
+  /// Binds a freshly loaded immutable segment under `tracker`: keys already
+  /// owned by this segment name are re-pointed to their new docids
+  /// (compaction renumbers), unclaimed keys are claimed, and docs whose key
+  /// is owned by another segment are invalidated. `tracker` replaces the
+  /// registry entry for the name, then `publish` runs under the state lock
+  /// — the caller swaps the segment into its serving map there, so no query
+  /// can pair the new instance with the old map or the old instance with
+  /// the new one while ingest proceeds.
+  Status BindLoadedSegment(const ImmutableSegment& segment,
+                           std::shared_ptr<ValidDocsTracker> tracker,
+                           const std::function<void()>& publish);
+
+  uint64_t key_count() const;
+  std::optional<UpsertLocation> Lookup(const std::string& key) const;
+
+ private:
+  // Invalidates `loc` in its tracker and bumps the dead-row metric.
+  // Requires mutex_ held.
+  void InvalidateLocked(const UpsertLocation& loc);
+
+  const std::string physical_table_;
+  const std::vector<std::string> key_columns_;
+  MetricsRegistry* const metrics_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, UpsertLocation> keys_;
+  std::unordered_map<std::string, std::shared_ptr<ValidDocsTracker>>
+      trackers_;
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_REALTIME_UPSERT_META_H_

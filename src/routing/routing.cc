@@ -97,6 +97,67 @@ RoutingTable BuildBalancedRoutingTable(
   return table;
 }
 
+RoutingTable BuildUpsertRoutingTable(
+    const std::map<std::string, std::vector<std::string>>& segment_servers,
+    const std::map<std::string, int32_t>& segment_partitions, Random* rng) {
+  // Group segments by stream partition. Partition -1 (metadata missing,
+  // e.g. mid-transition) degrades to one group per segment — still correct
+  // per segment, just without the cross-segment consistency guarantee that
+  // proper partition metadata provides.
+  std::map<int64_t, std::vector<const std::string*>> groups;
+  int64_t solo = -1;
+  for (const auto& [segment, servers] : segment_servers) {
+    auto it = segment_partitions.find(segment);
+    const int32_t partition = it == segment_partitions.end() ? -1 : it->second;
+    if (partition >= 0) {
+      groups[partition].push_back(&segment);
+    } else {
+      // Distinct negative keys below -1 keep solo segments apart.
+      groups[solo--].push_back(&segment);
+    }
+  }
+
+  RoutingTable table;
+  for (auto& [partition, segments] : groups) {
+    // One server from the intersection of the group's replica sets. The
+    // controller keeps a partition's lineage on one instance set, so the
+    // intersection is normally every replica of the group.
+    std::set<std::string> common(segment_servers.at(*segments.front()).begin(),
+                                 segment_servers.at(*segments.front()).end());
+    for (size_t i = 1; i < segments.size() && !common.empty(); ++i) {
+      const auto& servers = segment_servers.at(*segments[i]);
+      std::set<std::string> next;
+      for (const auto& server : servers) {
+        if (common.count(server) > 0) next.insert(server);
+      }
+      common = std::move(next);
+    }
+    if (!common.empty()) {
+      std::vector<std::string> candidates(common.begin(), common.end());
+      const std::string& picked =
+          candidates[rng->NextUint64(candidates.size())];
+      auto& assigned = table.server_segments[picked];
+      for (const std::string* segment : segments) {
+        assigned.push_back(*segment);
+      }
+    } else {
+      // Mid-rebalance: no single server covers the whole group. Fall back
+      // to per-segment picks; partial-partition consistency is lost until
+      // the external view converges, matching production Pinot's behavior
+      // when strictReplicaGroup routing cannot be honored.
+      for (const std::string* segment : segments) {
+        const auto& servers = segment_servers.at(*segment);
+        table.server_segments[servers[rng->NextUint64(servers.size())]]
+            .push_back(*segment);
+      }
+    }
+  }
+  for (auto& [server, segments] : table.server_segments) {
+    std::sort(segments.begin(), segments.end());
+  }
+  return table;
+}
+
 namespace {
 
 // PickWeightedRandomReplica (Algorithm 1): chooses among the candidate

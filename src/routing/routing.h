@@ -64,6 +64,18 @@ RoutingTable BuildBalancedRoutingTable(
     const std::map<std::string, std::vector<std::string>>& segment_servers,
     Random* rng);
 
+/// Strict replica-group strategy for upsert tables: every segment of one
+/// stream partition must be answered by the SAME server instance, because
+/// only a server's own upsert key map guarantees exactly one live row per
+/// key across that partition's segment lineage. Segments are grouped by
+/// `segment_partitions` (partition -1 forms its own per-segment group) and
+/// each group is routed to one server drawn from the intersection of the
+/// group's replica sets (falling back to per-segment picks when the
+/// intersection is empty, e.g. mid-rebalance).
+RoutingTable BuildUpsertRoutingTable(
+    const std::map<std::string, std::vector<std::string>>& segment_servers,
+    const std::map<std::string, int32_t>& segment_partitions, Random* rng);
+
 /// Options for the large-cluster random-greedy strategy (Algorithms 1-2).
 struct GeneratedRoutingOptions {
   int target_server_count = 4;     // T in Algorithm 1.

@@ -16,6 +16,7 @@
 namespace pinot {
 
 class StarTree;
+class ValidDocsTracker;
 
 /// Per-column statistics recorded in segment metadata and used for
 /// cost-based physical operator ordering (paper section 3.3.4: "operators
@@ -107,6 +108,12 @@ class SegmentInterface {
 
   /// Star-tree index, or nullptr when the segment has none.
   virtual const StarTree* star_tree() const { return nullptr; }
+
+  /// Upsert validity tracker, or nullptr for append-only segments. Non-null
+  /// means some documents may be superseded: every plan that answers from
+  /// this segment must intersect with the tracker's validity snapshot (or
+  /// refuse, like star-tree / metadata-only plans do).
+  virtual const ValidDocsTracker* valid_docs() const { return nullptr; }
 };
 
 /// A fully-built immutable segment (paper section 3.1: "Data in segments is
@@ -177,6 +184,17 @@ class ImmutableSegment : public SegmentInterface {
   const SegmentMetadata& metadata() const override { return metadata_; }
   const ColumnReader* GetColumn(const std::string& name) const override;
   const StarTree* star_tree() const override;
+  const ValidDocsTracker* valid_docs() const override {
+    return valid_docs_.get();
+  }
+
+  /// Attaches the upsert validity tracker (server-side, for upsert tables).
+  void SetValidDocs(std::shared_ptr<ValidDocsTracker> tracker) {
+    valid_docs_ = std::move(tracker);
+  }
+  const std::shared_ptr<ValidDocsTracker>& valid_docs_ptr() const {
+    return valid_docs_;
+  }
 
   Column* GetMutableColumn(const std::string& name);
 
@@ -209,6 +227,7 @@ class ImmutableSegment : public SegmentInterface {
   std::vector<std::unique_ptr<Column>> columns_;
   std::unordered_map<std::string, int> column_index_;
   std::unique_ptr<StarTree> star_tree_;
+  std::shared_ptr<ValidDocsTracker> valid_docs_;
 };
 
 }  // namespace pinot

@@ -270,7 +270,7 @@ TEST(ClusterIntegrationTest, MinionPurgeTask) {
   leader->ScheduleTask({.type = "purge",
                         .physical_table = "analytics_OFFLINE",
                         .segment = "seg0",
-                        .payload = "memberId\n1"});
+                        .payload = EncodePurgePayload("memberId", "1")});
   EXPECT_EQ(cluster.minion(0)->ProcessTasks(), 1);
 
   auto result = cluster.Execute("SELECT count(*) FROM analytics");

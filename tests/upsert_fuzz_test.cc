@@ -1,0 +1,217 @@
+// Upsert latest-row-wins oracle fuzz: random interleavings of ingest,
+// sealing, querying, and compaction against a brute-force oracle that keeps
+// only the latest row per primary key. Registered in the ASan/UBSan repeat
+// stage of scripts/check.sh. Invariants:
+//   - after a drain, every aggregate equals the oracle's
+//   - no query (including mid-ingest, from a second thread) ever observes
+//     two live rows for one primary key
+//   - compaction changes no query result
+#include <atomic>
+#include <map>
+#include <random>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "cluster/pinot_cluster.h"
+#include "tests/test_util.h"
+
+namespace pinot {
+namespace {
+
+using test::AnalyticsRow;
+using test::AnalyticsSchema;
+using test::ToRow;
+
+constexpr const char* kTable = "analytics_REALTIME";
+
+class UpsertFuzzTest : public ::testing::Test {
+ protected:
+  UpsertFuzzTest() : clock_(1000) {
+    PinotClusterOptions options;
+    options.clock = &clock_;
+    options.num_servers = 1;
+    options.num_minions = 1;
+    options.controller_options.completion_max_wait_millis = 0;
+    cluster_ = std::make_unique<PinotCluster>(options);
+    topic_ = cluster_->streams()->GetOrCreateTopic("analytics-events", 1);
+
+    TableConfig config;
+    config.name = "analytics";
+    config.type = TableType::kRealtime;
+    config.schema = AnalyticsSchema();
+    config.num_replicas = 1;
+    config.realtime.topic = "analytics-events";
+    config.realtime.num_partitions = 1;
+    config.realtime.flush_threshold_rows = 7;  // Seal often.
+    config.realtime.flush_threshold_millis = 1LL << 40;
+    config.upsert_enabled = true;
+    config.upsert_key_columns = {"memberId"};
+    EXPECT_TRUE(cluster_->leader_controller()->AddTable(config).ok());
+  }
+
+  void ProduceRandom(std::mt19937* rng) {
+    const int64_t member = (*rng)() % 8;  // Small key pool: many collisions.
+    const int64_t impressions = 1 + static_cast<int64_t>((*rng)() % 1000);
+    const char* countries[] = {"us", "ca", "de"};
+    AnalyticsRow row{countries[(*rng)() % 3],          "chrome", member, {},
+                     impressions, static_cast<int64_t>((*rng)() % 10), 100};
+    topic_->Produce(std::to_string(member), ToRow(row));
+    oracle_[member] = row;  // Arrival order IS latest-row-wins order.
+  }
+
+  // Sealed segments only: the consuming segment is hosted too but has no
+  // blob to rewrite yet.
+  std::vector<std::string> CompactableSegments() {
+    std::vector<std::string> sealed;
+    for (const auto& segment : cluster_->server(0)->HostedSegments(kTable)) {
+      if (cluster_->object_store()->Exists(std::string("segments/") + kTable +
+                                           "/" + segment)) {
+        sealed.push_back(segment);
+      }
+    }
+    return sealed;
+  }
+
+  void CompactRandomSegment(std::mt19937* rng) {
+    const auto sealed = CompactableSegments();
+    if (sealed.empty()) return;
+    const std::string& segment = sealed[(*rng)() % sealed.size()];
+    auto invalid = cluster_->server(0)->UpsertInvalidDocs(kTable, segment);
+    if (invalid == nullptr || invalid->Empty()) return;
+    cluster_->leader_controller()->ScheduleUpsertCompaction(
+        kTable, segment, EncodeUpsertCompactionPayload(*invalid));
+    cluster_->minion(0)->ProcessTasks();
+  }
+
+  // Quiesced equality: drain ingest, then compare every aggregate shape
+  // against the oracle.
+  void CheckAgainstOracle() {
+    cluster_->DrainRealtime();
+    int64_t count = 0;
+    double sum = 0;
+    int64_t min_impressions = INT64_MAX, max_impressions = INT64_MIN;
+    int64_t us_count = 0;
+    for (const auto& [member, row] : oracle_) {
+      ++count;
+      sum += static_cast<double>(row.impressions);
+      min_impressions = std::min(min_impressions, row.impressions);
+      max_impressions = std::max(max_impressions, row.impressions);
+      if (row.country == "us") ++us_count;
+    }
+
+    auto result = cluster_->Execute(
+        "SELECT count(*), sum(impressions), min(impressions), "
+        "max(impressions) FROM analytics");
+    ASSERT_FALSE(result.partial) << result.error_message;
+    EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), count);
+    EXPECT_DOUBLE_EQ(std::get<double>(result.aggregates[1]), sum);
+    if (count > 0) {
+      EXPECT_DOUBLE_EQ(std::get<double>(result.aggregates[2]),
+                       static_cast<double>(min_impressions));
+      EXPECT_DOUBLE_EQ(std::get<double>(result.aggregates[3]),
+                       static_cast<double>(max_impressions));
+    }
+
+    result = cluster_->Execute(
+        "SELECT count(*) FROM analytics WHERE country = 'us'");
+    ASSERT_FALSE(result.partial) << result.error_message;
+    EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), us_count);
+
+    // Per-key: exactly one live row carrying the latest impressions value.
+    result = cluster_->Execute(
+        "SELECT count(*), sum(impressions) FROM analytics GROUP BY memberId "
+        "TOP 100");
+    ASSERT_FALSE(result.partial) << result.error_message;
+    ASSERT_EQ(result.group_rows.size(), oracle_.size());
+    for (const auto& group : result.group_rows) {
+      const int64_t member = std::get<int64_t>(group.keys[0]);
+      ASSERT_EQ(oracle_.count(member), 1u);
+      EXPECT_EQ(std::get<int64_t>(group.values[0]), 1) << "member " << member;
+      EXPECT_DOUBLE_EQ(std::get<double>(group.values[1]),
+                       static_cast<double>(oracle_.at(member).impressions));
+    }
+  }
+
+  SimulatedClock clock_;
+  std::unique_ptr<PinotCluster> cluster_;
+  StreamTopic* topic_ = nullptr;
+  std::map<int64_t, AnalyticsRow> oracle_;
+};
+
+TEST_F(UpsertFuzzTest, RandomInterleavingsMatchOracle) {
+  std::mt19937 rng(20260809);
+  for (int op = 0; op < 400; ++op) {
+    const uint32_t dice = rng() % 100;
+    if (dice < 55) {
+      ProduceRandom(&rng);
+    } else if (dice < 75) {
+      cluster_->ProcessRealtimeTicks(1);
+    } else if (dice < 85) {
+      cluster_->DrainRealtime();  // Forces seals when thresholds are due.
+    } else if (dice < 92) {
+      CompactRandomSegment(&rng);
+    } else {
+      CheckAgainstOracle();
+      if (HasFatalFailure()) return;
+    }
+  }
+  CheckAgainstOracle();
+}
+
+TEST_F(UpsertFuzzTest, CompactionNeverChangesResults) {
+  std::mt19937 rng(4242);
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 25; ++i) ProduceRandom(&rng);
+    cluster_->DrainRealtime();
+    CheckAgainstOracle();
+    if (HasFatalFailure()) return;
+    // Compact every sealed segment with dead rows, one by one; the oracle
+    // does not move, so neither may any query result.
+    for (const auto& segment : CompactableSegments()) {
+      auto invalid = cluster_->server(0)->UpsertInvalidDocs(kTable, segment);
+      if (invalid == nullptr || invalid->Empty()) continue;
+      cluster_->leader_controller()->ScheduleUpsertCompaction(
+          kTable, segment, EncodeUpsertCompactionPayload(*invalid));
+      ASSERT_EQ(cluster_->minion(0)->ProcessTasks(), 1);
+      CheckAgainstOracle();
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// Concurrent ingest + query: a reader thread hammers the per-key group
+// count while the main thread produces and ticks. No snapshot a query
+// takes may ever pair a superseded row with its successor.
+TEST_F(UpsertFuzzTest, ConcurrentQueriesNeverSeeTwoLiveRowsPerKey) {
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto result = cluster_->Execute(
+          "SELECT count(*) FROM analytics GROUP BY memberId TOP 100");
+      if (result.partial) continue;
+      for (const auto& group : result.group_rows) {
+        if (std::get<int64_t>(group.values[0]) > 1) {
+          violations.fetch_add(1);
+        }
+      }
+    }
+  });
+
+  std::mt19937 rng(777);
+  for (int op = 0; op < 300; ++op) {
+    ProduceRandom(&rng);
+    if (op % 3 == 0) cluster_->ProcessRealtimeTicks(1);
+    if (op % 50 == 49) CompactRandomSegment(&rng);
+  }
+  cluster_->DrainRealtime();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  CheckAgainstOracle();
+}
+
+}  // namespace
+}  // namespace pinot

@@ -1,0 +1,219 @@
+// Unit tests for the upsert subsystem: validity-tracker snapshot semantics,
+// primary-key rendering, the key -> location map, segment rebinding, and the
+// plan-path guards that keep stale rows out of every answer.
+#include "realtime/upsert_meta.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/segment_executor.h"
+#include "segment/segment_builder.h"
+#include "tests/test_util.h"
+
+namespace pinot {
+namespace {
+
+using test::AnalyticsRow;
+using test::AnalyticsRows;
+using test::AnalyticsSchema;
+using test::BuildAnalyticsSegment;
+using test::ToRow;
+
+TEST(ValidDocsTrackerTest, SnapshotsAreImmutableVersions) {
+  ValidDocsTracker tracker;
+  EXPECT_EQ(tracker.InvalidSnapshot(), nullptr);  // All-valid: no snapshot.
+  EXPECT_EQ(tracker.epoch(), 0u);
+  EXPECT_TRUE(tracker.IsValid(7));
+
+  tracker.Invalidate(7);
+  auto first = tracker.InvalidSnapshot();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(tracker.epoch(), 1u);
+  EXPECT_EQ(tracker.dead_rows(), 1u);
+  EXPECT_FALSE(tracker.IsValid(7));
+  EXPECT_TRUE(tracker.IsValid(8));
+
+  // A later invalidation publishes a NEW snapshot; the one a concurrent
+  // query grabbed is never mutated underneath it.
+  tracker.Invalidate(8);
+  EXPECT_EQ(first->Cardinality(), 1u);
+  EXPECT_FALSE(first->Contains(8));
+  auto second = tracker.InvalidSnapshot();
+  EXPECT_EQ(second->Cardinality(), 2u);
+  EXPECT_EQ(tracker.epoch(), 2u);
+
+  // Idempotent: re-invalidating flips nothing and publishes nothing.
+  tracker.Invalidate(8);
+  EXPECT_EQ(tracker.epoch(), 2u);
+  EXPECT_EQ(tracker.dead_rows(), 2u);
+}
+
+TEST(UpsertKeyTest, RenderingIsInjectiveAcrossFragments) {
+  // Two string key columns whose concatenation would collide under any
+  // separator-based rendering ("a\nb"+"c" vs "a"+"\nb c" etc.). The
+  // length-prefixed fragments must keep them distinct.
+  UpsertTableState state("t_REALTIME", {"country", "browser"}, nullptr);
+  const Schema schema = AnalyticsSchema();
+  auto render = [&](const std::string& country, const std::string& browser) {
+    AnalyticsRow r{country, browser, 1, {}, 0, 0, 100};
+    auto key = state.RenderKeyFromRow(schema, ToRow(r));
+    EXPECT_TRUE(key.ok()) << key.status().ToString();
+    return *key;
+  };
+  EXPECT_NE(render("a\nb", "c"), render("a", "b\nc"));
+  EXPECT_NE(render("ab", "c"), render("a", "bc"));
+  EXPECT_NE(render("", "abc"), render("abc", ""));
+  EXPECT_EQ(render("a\nb", "c"), render("a\nb", "c"));
+}
+
+TEST(UpsertKeyTest, RowAndDocRenderingsAgree) {
+  // A key rendered at ingest time must equal the key rendered back from the
+  // sealed segment's dictionaries, or rebinding after a reload would orphan
+  // every row.
+  UpsertTableState state("t_REALTIME", {"memberId", "country"}, nullptr);
+  const Schema schema = AnalyticsSchema();
+  auto segment = BuildAnalyticsSegment();  // Unsorted: docids = row order.
+  const auto rows = AnalyticsRows();
+  for (uint32_t doc = 0; doc < rows.size(); ++doc) {
+    auto from_row = state.RenderKeyFromRow(schema, ToRow(rows[doc]));
+    auto from_doc = state.RenderKeyFromDoc(*segment, doc);
+    ASSERT_TRUE(from_row.ok()) << from_row.status().ToString();
+    ASSERT_TRUE(from_doc.ok()) << from_doc.status().ToString();
+    EXPECT_EQ(*from_row, *from_doc) << "doc " << doc;
+  }
+}
+
+TEST(UpsertKeyTest, RejectsMultiValueKeyColumn) {
+  UpsertTableState state("t_REALTIME", {"tags"}, nullptr);
+  auto key = state.RenderKeyFromRow(AnalyticsSchema(),
+                                    ToRow(AnalyticsRows().front()));
+  EXPECT_FALSE(key.ok());
+}
+
+TEST(UpsertTableStateTest, CommitLatestRowWins) {
+  UpsertTableState state("t_REALTIME", {"memberId"}, nullptr);
+  auto tracker = state.TrackerFor("seg0");
+
+  state.CommitUpsert("k1", "seg0", 0);
+  state.CommitUpsert("k2", "seg0", 1);
+  EXPECT_EQ(state.key_count(), 2u);
+  EXPECT_TRUE(tracker->IsValid(0));
+
+  // Same key again: the previous location dies, the map re-points.
+  state.CommitUpsert("k1", "seg0", 2);
+  EXPECT_FALSE(tracker->IsValid(0));
+  EXPECT_TRUE(tracker->IsValid(2));
+  auto loc = state.Lookup("k1");
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->segment, "seg0");
+  EXPECT_EQ(loc->doc, 2u);
+
+  // Across segments: the old segment's doc dies, not the new one's.
+  state.CommitUpsert("k1", "seg1", 0);
+  EXPECT_FALSE(tracker->IsValid(2));
+  EXPECT_TRUE(state.TrackerFor("seg1")->IsValid(0));
+
+  // Degenerate self-commit must not kill its own row.
+  state.CommitUpsert("k1", "seg1", 0);
+  EXPECT_TRUE(state.TrackerFor("seg1")->IsValid(0));
+}
+
+TEST(UpsertTableStateTest, BindClaimsRepointsAndInvalidates) {
+  // The fixture has duplicate memberIds (1,2,3,1,2,3,4,4,5,5,1,1): binding
+  // it into an empty state must leave exactly one live doc per key — the
+  // LAST occurrence, because row order is arrival order.
+  UpsertTableState state("t_REALTIME", {"memberId"}, nullptr);
+  auto segment = BuildAnalyticsSegment();
+  auto tracker = std::make_shared<ValidDocsTracker>();
+  bool published = false;
+  ASSERT_TRUE(state
+                  .BindLoadedSegment(*segment, tracker,
+                                     [&] { published = true; })
+                  .ok());
+  EXPECT_TRUE(published);
+  EXPECT_EQ(state.key_count(), 5u);  // Members 1..5.
+  EXPECT_EQ(tracker->dead_rows(), segment->num_docs() - 5);
+  // Member 1 appears at docs 0, 3, 10, 11 -> only 11 lives.
+  EXPECT_FALSE(tracker->IsValid(0));
+  EXPECT_FALSE(tracker->IsValid(3));
+  EXPECT_FALSE(tracker->IsValid(10));
+  EXPECT_TRUE(tracker->IsValid(11));
+
+  // A newer row for member 1 lives in the consuming segment: rebinding the
+  // same blob (e.g. a replica bounce) must leave every member-1 doc dead
+  // and ownership untouched.
+  state.CommitUpsert(*state.RenderKeyFromDoc(*segment, 11), "consuming", 4);
+  auto rebound = std::make_shared<ValidDocsTracker>();
+  ASSERT_TRUE(state.BindLoadedSegment(*segment, rebound, nullptr).ok());
+  EXPECT_FALSE(rebound->IsValid(11));
+  auto loc = state.Lookup(*state.RenderKeyFromDoc(*segment, 11));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->segment, "consuming");
+
+  // Keys still owned by this segment were re-pointed, not killed: member 2
+  // (docs 1, 4) keeps exactly doc 4 live in the new tracker.
+  EXPECT_FALSE(rebound->IsValid(1));
+  EXPECT_TRUE(rebound->IsValid(4));
+}
+
+TEST(UpsertPlanGuardTest, StarTreeAndMetadataPlansRefuseUpsertSegments) {
+  SegmentBuildConfig config;
+  config.sort_columns = {"country"};
+  config.star_tree.dimensions = {"country", "browser", "day"};
+  config.star_tree.metrics = {"impressions", "clicks"};
+  auto segment = BuildAnalyticsSegment(config);
+
+  auto star_query = ParsePql(
+      "SELECT sum(impressions) FROM analytics GROUP BY country TOP 10");
+  auto count_query = ParsePql("SELECT count(*) FROM analytics");
+  ASSERT_TRUE(star_query.ok() && count_query.ok());
+
+  // Without validity: the usual fast plans apply.
+  EXPECT_EQ(PlanQueryOnSegment(*segment, *star_query),
+            SegmentPlanKind::kStarTree);
+  EXPECT_EQ(PlanQueryOnSegment(*segment, *count_query),
+            SegmentPlanKind::kMetadataOnly);
+
+  // With a validity tracker attached both must fall back to raw: star-tree
+  // cells pre-aggregate superseded rows and segment metadata counts them.
+  segment->SetValidDocs(std::make_shared<ValidDocsTracker>());
+  EXPECT_EQ(PlanQueryOnSegment(*segment, *star_query), SegmentPlanKind::kRaw);
+  EXPECT_EQ(PlanQueryOnSegment(*segment, *count_query), SegmentPlanKind::kRaw);
+}
+
+TEST(UpsertExecutionTest, RawPathIntersectsValiditySnapshot) {
+  auto segment = BuildAnalyticsSegment();
+  auto tracker = std::make_shared<ValidDocsTracker>();
+  segment->SetValidDocs(tracker);
+  // Kill the first three member-1 rows (docs 0, 3, 10), as upsert ingest
+  // would have.
+  tracker->Invalidate(0);
+  tracker->Invalidate(3);
+  tracker->Invalidate(10);
+
+  auto result = test::RunPql(segment, "SELECT count(*) FROM analytics");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 9);
+  EXPECT_EQ(result.total_docs, 9u);
+
+  // Filtered query: the filter domain is intersected with validity, so a
+  // predicate matching a dead row returns only the live ones.
+  result = test::RunPql(
+      segment, "SELECT count(*), sum(impressions) FROM analytics WHERE "
+               "memberId = 1");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 1);
+  // Only doc 11 (impressions=120) is live for member 1.
+  EXPECT_DOUBLE_EQ(std::get<double>(result.aggregates[1]), 120);
+
+  // Group-by sees one row per live doc.
+  result = test::RunPql(
+      segment,
+      "SELECT count(*) FROM analytics GROUP BY memberId TOP 10");
+  for (const auto& group : result.group_rows) {
+    if (std::get<int64_t>(group.keys[0]) == 1) {
+      EXPECT_EQ(std::get<int64_t>(group.values[0]), 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pinot

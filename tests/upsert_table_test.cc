@@ -1,0 +1,277 @@
+// Cluster-level upsert tests: latest-row-wins queries across consuming and
+// sealed segments, the plan-path regression pins (metadata-only and
+// star-tree must not serve dead rows), minion compaction, and the purge
+// payload fix for newline-bearing values.
+#include <gtest/gtest.h>
+
+#include "cluster/pinot_cluster.h"
+#include "tests/test_util.h"
+
+namespace pinot {
+namespace {
+
+using test::AnalyticsRow;
+using test::AnalyticsSchema;
+using test::ToRow;
+
+class UpsertTableTest : public ::testing::Test {
+ protected:
+  UpsertTableTest() : clock_(1000) {
+    PinotClusterOptions options;
+    options.clock = &clock_;
+    options.num_servers = 1;
+    options.num_minions = 1;
+    options.controller_options.completion_max_wait_millis = 0;
+    cluster_ = std::make_unique<PinotCluster>(options);
+  }
+
+  TableConfig UpsertConfig(int64_t flush_rows = 1000) {
+    TableConfig config;
+    config.name = "analytics";
+    config.type = TableType::kRealtime;
+    config.schema = AnalyticsSchema();
+    config.num_replicas = 1;
+    config.realtime.topic = "analytics-events";
+    config.realtime.num_partitions = 1;
+    config.realtime.flush_threshold_rows = flush_rows;
+    config.realtime.flush_threshold_millis = 1LL << 40;
+    config.upsert_enabled = true;
+    config.upsert_key_columns = {"memberId"};
+    return config;
+  }
+
+  StreamTopic* CreateTopic() {
+    return cluster_->streams()->GetOrCreateTopic("analytics-events", 1);
+  }
+
+  void Produce(StreamTopic* topic, int64_t member, int64_t impressions,
+               const std::string& country = "us") {
+    AnalyticsRow row{country, "chrome", member, {}, impressions, 1, 100};
+    topic->Produce(std::to_string(member), ToRow(row));
+  }
+
+  int64_t Count(const std::string& pql) {
+    auto result = cluster_->Execute(pql);
+    EXPECT_FALSE(result.partial) << result.error_message;
+    return std::get<int64_t>(result.aggregates[0]);
+  }
+
+  SimulatedClock clock_;
+  std::unique_ptr<PinotCluster> cluster_;
+};
+
+TEST_F(UpsertTableTest, ConfigValidation) {
+  CreateTopic();
+  Controller* leader = cluster_->leader_controller();
+
+  TableConfig offline = UpsertConfig();
+  offline.type = TableType::kOffline;
+  offline.realtime = {};
+  EXPECT_FALSE(leader->AddTable(offline).ok());
+
+  TableConfig no_keys = UpsertConfig();
+  no_keys.upsert_key_columns.clear();
+  EXPECT_FALSE(leader->AddTable(no_keys).ok());
+
+  TableConfig bad_column = UpsertConfig();
+  bad_column.upsert_key_columns = {"nope"};
+  EXPECT_FALSE(leader->AddTable(bad_column).ok());
+
+  TableConfig multi_value = UpsertConfig();
+  multi_value.upsert_key_columns = {"tags"};
+  EXPECT_FALSE(leader->AddTable(multi_value).ok());
+
+  TableConfig star = UpsertConfig();
+  star.star_tree.dimensions = {"country"};
+  star.star_tree.metrics = {"impressions"};
+  EXPECT_FALSE(leader->AddTable(star).ok());
+
+  EXPECT_TRUE(leader->AddTable(UpsertConfig()).ok());
+  // Round-trip through the property store keeps the upsert fields.
+  auto loaded = leader->GetTableConfig("analytics_REALTIME");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->upsert_enabled);
+  EXPECT_EQ(loaded->upsert_key_columns,
+            std::vector<std::string>{"memberId"});
+}
+
+// Satellite regression: the metadata-only plan (unfiltered count/min/max
+// straight from segment metadata) must not over-count dead rows. Upsert the
+// same key twice and the count is 1, not 2.
+TEST_F(UpsertTableTest, UnfilteredCountSeesOneRowPerKey) {
+  StreamTopic* topic = CreateTopic();
+  ASSERT_TRUE(cluster_->leader_controller()->AddTable(UpsertConfig()).ok());
+  Produce(topic, 1, 10);
+  Produce(topic, 1, 20);
+  cluster_->ProcessRealtimeTicks(2);
+
+  EXPECT_EQ(Count("SELECT count(*) FROM analytics"), 1);
+  // The live row is the LATEST one.
+  auto result = cluster_->Execute("SELECT sum(impressions) FROM analytics");
+  EXPECT_DOUBLE_EQ(std::get<double>(result.aggregates[0]), 20);
+
+  // total_docs (the metadata-derived denominator) also reports live rows.
+  EXPECT_EQ(result.total_docs, 1u);
+
+  // The dead-row metric moved.
+  EXPECT_GE(cluster_->metrics()->CounterValue(
+                "server_upsert_dead_rows_total",
+                {{"table", "analytics_REALTIME"}}),
+            1u);
+}
+
+// Satellite regression: EXPLAIN pins the plan fallback — an upsert segment
+// can never answer from metadata or a star-tree.
+TEST_F(UpsertTableTest, ExplainShowsRawPlanOnUpsertSegments) {
+  StreamTopic* topic = CreateTopic();
+  ASSERT_TRUE(cluster_->leader_controller()->AddTable(UpsertConfig()).ok());
+  Produce(topic, 1, 10);
+  Produce(topic, 1, 20);
+  cluster_->ProcessRealtimeTicks(2);
+
+  auto result = cluster_->Execute("EXPLAIN SELECT count(*) FROM analytics");
+  ASSERT_TRUE(result.span.has_value());
+  const TraceSpan* segment =
+      result.span->Find("segment:analytics_REALTIME__0__0");
+  ASSERT_NE(segment, nullptr) << result.span->ToString();
+  EXPECT_EQ(segment->LabelValue("plan"), "raw");
+
+  // TRACE labels the upsert path and the live-doc count.
+  result = cluster_->Execute("TRACE SELECT count(*) FROM analytics");
+  ASSERT_TRUE(result.span.has_value());
+  segment = result.span->Find("segment:analytics_REALTIME__0__0");
+  ASSERT_NE(segment, nullptr) << result.span->ToString();
+  EXPECT_EQ(segment->LabelValue("upsert"), "on");
+  EXPECT_NE(segment->ToString().find("valid_docs=1"), std::string::npos)
+      << segment->ToString();
+}
+
+TEST_F(UpsertTableTest, LatestRowWinsAcrossSealedSegments) {
+  StreamTopic* topic = CreateTopic();
+  // Flush every 4 rows so upserts cross segment boundaries.
+  ASSERT_TRUE(
+      cluster_->leader_controller()->AddTable(UpsertConfig(4)).ok());
+  for (int64_t i = 0; i < 8; ++i) {
+    Produce(topic, i % 3, 100 + i);  // Keys 0,1,2 written repeatedly.
+  }
+  cluster_->DrainRealtime();
+  // Rows 5,6,7 carry the latest value per key: member 2 -> 105,
+  // member 0 -> 106, member 1 -> 107.
+  EXPECT_EQ(Count("SELECT count(*) FROM analytics"), 3);
+  auto result = cluster_->Execute("SELECT sum(impressions) FROM analytics");
+  EXPECT_DOUBLE_EQ(std::get<double>(result.aggregates[0]), 105 + 106 + 107);
+
+  // Per-key group counts never exceed 1.
+  result = cluster_->Execute(
+      "SELECT count(*) FROM analytics GROUP BY memberId TOP 10");
+  ASSERT_EQ(result.group_rows.size(), 3u);
+  for (const auto& group : result.group_rows) {
+    EXPECT_EQ(std::get<int64_t>(group.values[0]), 1);
+  }
+
+  // New upserts after sealing kill rows in the sealed segments.
+  Produce(topic, 0, 1000);
+  cluster_->ProcessRealtimeTicks(2);
+  EXPECT_EQ(Count("SELECT count(*) FROM analytics"), 3);
+  result = cluster_->Execute("SELECT sum(impressions) FROM analytics");
+  EXPECT_DOUBLE_EQ(std::get<double>(result.aggregates[0]), 1000 + 105 + 107);
+}
+
+TEST_F(UpsertTableTest, CompactionDropsDeadRowsAndPreservesResults) {
+  StreamTopic* topic = CreateTopic();
+  ASSERT_TRUE(
+      cluster_->leader_controller()->AddTable(UpsertConfig(6)).ok());
+  for (int64_t i = 0; i < 6; ++i) {
+    Produce(topic, i % 2, 10 * (i + 1));  // Keys 0 and 1, thrice each.
+  }
+  cluster_->DrainRealtime();
+  const std::string table = "analytics_REALTIME";
+  const std::string segment = "analytics_REALTIME__0__0";
+
+  // The sealed segment holds 6 rows, 4 of them dead.
+  EXPECT_EQ(cluster_->server(0)->UpsertDeadRows(table, segment), 4u);
+  auto before_count = Count("SELECT count(*) FROM analytics");
+  auto before_sum = cluster_->Execute("SELECT sum(impressions) FROM analytics");
+
+  // Schedule + run the compaction, then let the bounce reload the segment.
+  auto invalid = cluster_->server(0)->UpsertInvalidDocs(table, segment);
+  ASSERT_NE(invalid, nullptr);
+  cluster_->leader_controller()->ScheduleUpsertCompaction(
+      table, segment, EncodeUpsertCompactionPayload(*invalid));
+  ASSERT_EQ(cluster_->minion(0)->ProcessTasks(), 1);
+
+  // The rewritten blob kept only the live rows.
+  auto blob = cluster_->object_store()->Get("segments/" + table + "/" +
+                                            segment);
+  ASSERT_TRUE(blob.ok());
+  auto rebuilt = ImmutableSegment::DeserializeFromBlob(*blob);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ((*rebuilt)->num_docs(), 2u);
+
+  // Compaction changes no query result.
+  EXPECT_EQ(Count("SELECT count(*) FROM analytics"), before_count);
+  auto after_sum = cluster_->Execute("SELECT sum(impressions) FROM analytics");
+  EXPECT_DOUBLE_EQ(std::get<double>(after_sum.aggregates[0]),
+                   std::get<double>(before_sum.aggregates[0]));
+  EXPECT_EQ(cluster_->server(0)->UpsertDeadRows(table, segment), 0u);
+
+  // Upserts keep working against the compacted (rebound) segment.
+  Produce(topic, 0, 5000);
+  cluster_->ProcessRealtimeTicks(2);
+  EXPECT_EQ(Count("SELECT count(*) FROM analytics"), 2);
+  auto final_sum = cluster_->Execute("SELECT sum(impressions) FROM analytics");
+  EXPECT_DOUBLE_EQ(std::get<double>(final_sum.aggregates[0]), 5000 + 60);
+}
+
+// Satellite regression: the purge payload must survive values containing
+// '\n' (the old "<column>\n<value>" rendering split at the first newline).
+TEST(PurgePayloadTest, NewlineBearingValuesPurgeCleanly) {
+  PinotClusterOptions options;
+  options.num_minions = 1;
+  PinotCluster cluster(options);
+  Controller* leader = cluster.leader_controller();
+
+  TableConfig config;
+  config.name = "analytics";
+  config.type = TableType::kOffline;
+  config.schema = AnalyticsSchema();
+  config.num_replicas = 1;
+  ASSERT_TRUE(leader->AddTable(config).ok());
+
+  const std::string weird = "line1\nline2";
+  std::vector<AnalyticsRow> rows = {
+      {weird, "chrome", 1, {}, 10, 1, 100},
+      {weird, "firefox", 2, {}, 20, 2, 100},
+      {"us", "chrome", 3, {}, 30, 3, 100},
+  };
+  SegmentBuildConfig build;
+  build.table_name = "analytics_OFFLINE";
+  build.segment_name = "seg0";
+  auto segment = test::BuildAnalyticsSegment(build, rows);
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", segment->SerializeToBlob())
+          .ok());
+
+  // Round-trip sanity.
+  std::string column, value;
+  ASSERT_TRUE(DecodePurgePayload(EncodePurgePayload("country", weird),
+                                 &column, &value)
+                  .ok());
+  EXPECT_EQ(column, "country");
+  EXPECT_EQ(value, weird);
+
+  leader->ScheduleTask({.type = "purge",
+                        .physical_table = "analytics_OFFLINE",
+                        .segment = "seg0",
+                        .payload = EncodePurgePayload("country", weird)});
+  EXPECT_EQ(cluster.minion(0)->ProcessTasks(), 1);
+
+  auto result = cluster.Execute("SELECT count(*) FROM analytics");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 1);
+  result = cluster.Execute(
+      "SELECT count(*) FROM analytics WHERE country = 'us'");
+  EXPECT_EQ(std::get<int64_t>(result.aggregates[0]), 1);
+}
+
+}  // namespace
+}  // namespace pinot
