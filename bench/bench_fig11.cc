@@ -140,8 +140,9 @@ int Main(int argc, char** argv) {
                     .count() /
                 1000.0;
             latency->Observe(millis);
-            slow_log.Record(millis, engine.name + ": " + queries[i].ToString(),
-                            root);
+            slow_log.Record(millis, "anomaly",
+                            engine.name + ": " + queries[i].ToString(), root,
+                            result.receipt.ToString());
           },
           static_cast<int>(queries.size()), qps, options.client_threads,
           options.duration_ms);
@@ -174,6 +175,9 @@ int Main(int argc, char** argv) {
     auto cluster = MakeBrokerCluster(workload, setup.max_inflight);
     Broker* broker = cluster->broker(0);
     std::atomic<uint64_t> shed{0};
+    // Bracket the sweep with snapshots so the exit health report carries
+    // windowed rates (qps, shed rate) over the whole saturation run.
+    cluster->TakeMetricsSnapshot();
     for (double qps : shed_sweep) {
       QpsPoint point = RunQpsPoint(
           [&](int i) {
@@ -188,6 +192,9 @@ int Main(int argc, char** argv) {
     }
     std::printf("# %-18s throttled queries: %lu\n", setup.name.c_str(),
                 static_cast<unsigned long>(shed.load()));
+    cluster->TakeMetricsSnapshot();
+    std::printf("# --- health dump (%s) ---\n%s", setup.name.c_str(),
+                cluster->HealthDump().c_str());
   }
 
   std::printf("\n# --- slow query log (top 3) ---\n%s",

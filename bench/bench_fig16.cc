@@ -183,6 +183,7 @@ int Main(int argc, char** argv) {
     auto cluster = MakeCluster(workload, setup.strategy, setup.druid,
                                setup.partitioned, setup.tail_tolerant);
     Broker* broker = cluster->broker(0);
+    cluster->TakeMetricsSnapshot();
     for (double qps : options.qps_sweep) {
       QpsPoint point = RunQpsPoint(
           [&](int i) {
@@ -206,6 +207,12 @@ int Main(int argc, char** argv) {
         }
       }
     }
+    // Exit health report per setup: under saturation the p99 rule goes
+    // YELLOW/RED with the windowed qps as evidence, which is exactly the
+    // operator view of "this configuration is past its knee".
+    cluster->TakeMetricsSnapshot();
+    std::printf("# --- health dump (%s) ---\n%s", setup.name.c_str(),
+                cluster->HealthDump().c_str());
   }
   if (!json.Write()) return 1;
   return 0;

@@ -1,8 +1,11 @@
 // Trace smoke driver for scripts/check_dumps.sh: stands up a hybrid table
 // on a two-server cluster, runs TRACE / EXPLAIN queries, forces a hedged
 // scatter call and a load-shed query, plus one slow (delay-injected) query,
-// and prints the rendered trace, the metrics dump, and the slow-query log
-// between well-known markers so the script can validate each grammar.
+// and prints the rendered trace, the query receipt, the metrics dump, the
+// slow-query log, and the SLO health report between well-known markers so
+// the script can validate each grammar. The health phase injects faults
+// against the "events" table only (a lagging partition plus failing
+// servers), so the report must grade events RED and metrics GREEN.
 
 #include <chrono>
 #include <cstdio>
@@ -46,6 +49,13 @@ int main() {
   options.server_options.scan_options.dense_groupby_max_slots = 0;
   options.server_options.groupby_trim_factor = 1;
   options.server_options.groupby_trim_min = 1;
+  // A small per-tick fetch budget so the health phase below can leave the
+  // events partition genuinely lagging (producer ahead of consumption).
+  options.server_options.max_fetch_batch = 4;
+  options.slo.max_freshness_lag_rows = 10;
+  // The shed/delay exercises push broker latency to hundreds of ms by
+  // design; keep the latency rule out of the verdict.
+  options.slo.p99_latency_budget_ms = 5000.0;
   PinotCluster cluster(options);
   Controller* leader = cluster.leader_controller();
   StreamTopic* topic = cluster.streams()->GetOrCreateTopic("metrics", 1);
@@ -162,6 +172,16 @@ int main() {
               traced.span->ToString().c_str(), grouped_trace.c_str(),
               upsert_trace.c_str());
 
+  // The resource receipt of the traced query: the same three lines the
+  // client sees after the trace tree in result.ToString().
+  if (traced.receipt.docs_scanned == 0 || traced.receipt.calls == 0) {
+    std::fprintf(stderr, "traced query carries an empty receipt:\n%s",
+                 traced.receipt.ToString().c_str());
+    return 1;
+  }
+  std::printf("# --- receipt dump ---\n%s",
+              traced.receipt.ToString().c_str());
+
   auto explained = cluster.Execute("EXPLAIN SELECT count(*) FROM metrics");
   if (!explained.span.has_value() || !explained.explain_only) {
     std::fprintf(stderr, "EXPLAIN query returned no plan\n");
@@ -194,7 +214,40 @@ int main() {
 
   std::printf("# --- slow query log ---\n%s",
               cluster.SlowQueryLogDump().c_str());
+
+  // --- SLO health phase -----------------------------------------------------
+  // Open a rate window, then hurt only the events table: produce far past
+  // the per-tick fetch budget (one tick consumes 4 rows, leaving the
+  // partition lagging well over the 10-row SLO) and fail every scatter call
+  // of a burst of events queries (single-replica table: no failover, so
+  // each query returns partial).
+  cluster.TakeMetricsSnapshot();
+  for (int i = 0; i < 24; ++i) {
+    events->Produce("home", MakeRow("home", 3 + i, 6));
+  }
+  cluster.ProcessRealtimeTicks(1);
+  for (int i = 0; i < 8; ++i) {
+    cluster.server(0)->InjectQueryFailures(1);
+    cluster.server(1)->InjectQueryFailures(1);
+    QueryResult failed = cluster.Execute("SELECT count(*) FROM events");
+    if (!failed.partial) {
+      std::fprintf(stderr, "injected failure did not surface as partial\n");
+      return 1;
+    }
+  }
+  cluster.TakeMetricsSnapshot();
+
+  const std::string health = cluster.HealthDump();
+  if (health.find("table=events status=RED") == std::string::npos ||
+      health.find("table=metrics status=GREEN") == std::string::npos) {
+    std::fprintf(stderr,
+                 "health report misgrades the injected faults:\n%s",
+                 health.c_str());
+    return 1;
+  }
+
   std::printf("# --- metrics dump ---\n%s", cluster.MetricsDump().c_str());
+  std::printf("# --- health dump ---\n%s", health.c_str());
   std::printf("# --- end ---\n");
   return 0;
 }

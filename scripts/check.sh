@@ -20,13 +20,27 @@ scripts/check_dumps.sh build
 echo
 echo "== perf smoke: bench --json emission + check_perf schema/comparator =="
 # A deliberately tiny fig16 run: enough to exercise the JSON dump and the
-# comparator plumbing without turning the gate into a perf benchmark. Pass
-# a previously saved dump as a baseline via CHECK_PERF_BASELINE to also
-# compare p99 curves (see scripts/check_perf.sh).
+# comparator plumbing without turning the gate into a perf benchmark. The
+# committed BENCH_fig16.json (generated at exactly these smoke sizes) is
+# the default baseline so every PR compares p99 against a real trajectory;
+# override with CHECK_PERF_BASELINE= (empty skips the comparison).
 build/bench/bench_fig16 --rows=20000 --duration-ms=120 --qps=100 \
   --json=build/BENCH_fig16_smoke.json > /dev/null
+CHECK_PERF_BASELINE="${CHECK_PERF_BASELINE-BENCH_fig16.json}"
 scripts/check_perf.sh ${CHECK_PERF_BASELINE:+"${CHECK_PERF_BASELINE}"} \
   build/BENCH_fig16_smoke.json
+# fig11 smoke: the indexing-technique engines at one qps point plus the
+# broker saturation phase (which also prints the exit health reports).
+# The broker phase deliberately sweeps past the knee, so its saturated
+# points are noisy — compare with looser thresholds than the default
+# 2x/5ms so the gate only trips on order-of-magnitude collapses.
+build/bench/bench_fig11 --rows=20000 --duration-ms=120 --qps=100 \
+  --json=build/BENCH_fig11_smoke.json > /dev/null
+CHECK_PERF_FIG11_BASELINE="${CHECK_PERF_FIG11_BASELINE-BENCH_fig11.json}"
+CHECK_PERF_RATIO="${CHECK_PERF_FIG11_RATIO:-4.0}" \
+CHECK_PERF_SLACK_MS="${CHECK_PERF_FIG11_SLACK_MS:-50.0}" \
+scripts/check_perf.sh ${CHECK_PERF_FIG11_BASELINE:+"${CHECK_PERF_FIG11_BASELINE}"} \
+  build/BENCH_fig11_smoke.json
 # Scan-kernel and group-by-sweep curves at reduced size: gates the JSON
 # grammar per PR (full-size runs populate EXPERIMENTS.md). The sweep's
 # built-in checksum abort also re-proves radix == legacy here.
@@ -59,10 +73,11 @@ echo "== sanitizers: concurrency regression loop (ingest-while-query," \
 # Repeat the tests with real thread interleavings a few times under the
 # sanitizer build so rare schedules still get a chance to corrupt memory
 # loudly (MutableSegment reader/writer race, TenantQuotaManager UAF, the
-# ~64k-group radix-vs-legacy equivalence sweep with tree-wise merges).
+# ~64k-group radix-vs-legacy equivalence sweep with tree-wise merges, and
+# Dump()/snapshot-taking racing registration + observation churn).
 (cd build-asan && ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --output-on-failure \
-  -R 'mutable_segment_test|token_bucket_test|metrics_test|groupby_radix_test|filter_fuzz_test|upsert_fuzz_test' \
+  -R 'mutable_segment_test|token_bucket_test|metrics_test|snapshot_test|health_test|groupby_radix_test|filter_fuzz_test|upsert_fuzz_test' \
   --repeat until-fail:3)
 
 echo

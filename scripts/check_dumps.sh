@@ -5,7 +5,11 @@
 #     with indentation stepping by exactly 2 spaces at a time;
 #   - MetricsDump(): Prometheus-style `name{labels} value` lines;
 #   - the slow-query log: `# slow query <rank>: <millis>ms  <pql>` headers
-#     followed by an indented span tree.
+#     followed by `# table=`/`# receipt:` context lines and an indented
+#     span tree;
+#   - query receipts: three `receipt: phases|work|scatter ...` lines;
+#   - HealthDump(): `overall`/`window`/`table=`/`rule=` report lines, with
+#     the smoke driver's injected faults grading events RED, metrics GREEN.
 # Runs the trace_smoke example from an existing build directory (default:
 # build/). Usage: scripts/check_dumps.sh [build_dir]
 set -euo pipefail
@@ -32,8 +36,9 @@ section() {  # section <start marker> <end marker>: prints the lines between.
 fail() { echo "check_dumps: $*" >&2; echo "--- output ---" >&2; cat "${OUT}" >&2; exit 1; }
 
 # Every marker must be present, in order.
-for marker in "# --- trace dump ---" "# --- explain dump ---" \
-              "# --- slow query log ---" "# --- metrics dump ---" \
+for marker in "# --- trace dump ---" "# --- receipt dump ---" \
+              "# --- explain dump ---" "# --- slow query log ---" \
+              "# --- metrics dump ---" "# --- health dump ---" \
               "# --- end ---"; do
   grep -qxF "${marker}" "${OUT}" || fail "missing marker '${marker}'"
 done
@@ -63,7 +68,7 @@ check_span_tree() {  # check_span_tree <text> <what>
   done <<< "${text}"
 }
 
-TRACE="$(section '# --- trace dump ---' '# --- explain dump ---')"
+TRACE="$(section '# --- trace dump ---' '# --- receipt dump ---')"
 check_span_tree "${TRACE}" "trace dump"
 # The smoke driver forces a hedged scatter call; its span must follow the
 # `hedge:<server> ... {..., hedge=won|lost, ...}` grammar.
@@ -95,6 +100,24 @@ grep -qE '\{[^{}]*upsert=on[^{}]*\}' <<< "${TRACE}" \
   || fail "trace dump carries no upsert=on label"
 grep -qE '(\{|, )valid_docs=[0-9]+' <<< "${TRACE}" \
   || fail "trace dump carries no valid_docs=<n> annotation"
+# Receipt: exactly three lines, one per group (phases / work / scatter),
+# with every field present and in the pinned order.
+RECEIPT="$(section '# --- receipt dump ---' '# --- explain dump ---')"
+[[ "$(grep -c . <<< "${RECEIPT}")" -eq 3 ]] \
+  || fail "receipt dump is not exactly three lines"
+MS='[0-9]+\.[0-9]{3}ms'
+grep -qE "^receipt: phases queue=${MS} plan=${MS} filter=${MS} scan=${MS} agg=${MS} route=${MS} scatter=${MS} reduce=${MS}$" \
+  <<< "${RECEIPT}" || fail "receipt dump: bad phases line"
+grep -qE '^receipt: work docs_scanned=[0-9]+ docs_pruned=[0-9]+ segments_queried=[0-9]+ segments_pruned=[0-9]+ scan_bytes=[0-9]+ payload_bytes=[0-9]+ groups=[0-9]+ trimmed=[0-9]+$' \
+  <<< "${RECEIPT}" || fail "receipt dump: bad work line"
+grep -qE '^receipt: scatter calls=[0-9]+ retries=[0-9]+ timeouts=[0-9]+ hedges=[0-9]+ hedge_wins=[0-9]+$' \
+  <<< "${RECEIPT}" || fail "receipt dump: bad scatter line"
+# The traced query really scanned docs over real scatter calls.
+grep -qE '^receipt: work docs_scanned=[1-9]' <<< "${RECEIPT}" \
+  || fail "receipt dump: docs_scanned is zero"
+grep -qE '^receipt: scatter calls=[1-9]' <<< "${RECEIPT}" \
+  || fail "receipt dump: calls is zero"
+
 EXPLAIN="$(section '# --- explain dump ---' '# --- slow query log ---')"
 check_span_tree "${EXPLAIN}" "explain dump"
 grep -q 'plan=' <<< "${EXPLAIN}" || fail "explain dump carries no plan label"
@@ -104,6 +127,14 @@ grep -q 'plan=' <<< "${EXPLAIN}" || fail "explain dump carries no plan label"
 SLOW="$(section '# --- slow query log ---' '# --- metrics dump ---')"
 grep -qE '^# slow query 1: [0-9]+\.[0-9]{3}ms  ' <<< "${SLOW}" \
   || fail "slow-query log has no '# slow query 1:' header"
+# Every retained entry carries its table and rendered receipt as comment
+# lines between the header and the span tree.
+grep -qE '^# table=[^ ]+$' <<< "${SLOW}" \
+  || fail "slow-query log carries no '# table=' line"
+grep -qE '^# receipt: phases ' <<< "${SLOW}" \
+  || fail "slow-query log carries no '# receipt: phases' line"
+grep -qE '^# receipt: work ' <<< "${SLOW}" \
+  || fail "slow-query log carries no '# receipt: work' line"
 while IFS= read -r line; do
   [[ -z "${line}" || "${line}" == "#"* ]] && continue
   grep -qE "${SPAN_RE}" <<< "${line}" \
@@ -112,7 +143,7 @@ done <<< "${SLOW}"
 
 # Metrics: every line is `name{labels} value` (labels optional), no
 # duplicate series, and the new phase histograms are present.
-METRICS="$(section '# --- metrics dump ---' '# --- end ---')"
+METRICS="$(section '# --- metrics dump ---' '# --- health dump ---')"
 METRIC_RE='^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9.eE+-]+(\.[0-9]+)?$'
 while IFS= read -r line; do
   [[ -z "${line}" ]] && continue
@@ -158,4 +189,57 @@ DEAD_TOTAL="$(grep '^server_upsert_dead_rows_total' <<< "${METRICS}" \
 awk -v v="${DEAD_TOTAL}" 'BEGIN { exit (v > 0) ? 0 : 1 }' \
   || fail "metrics dump: server_upsert_dead_rows_total is ${DEAD_TOTAL}, expected > 0"
 
-echo "check_dumps: trace, explain, slow-query log and metrics grammars OK"
+# Per-table rollups: broker and server query families carry {table="..."}
+# series alongside the unlabeled broker-wide ones, and the slow query was
+# attributed to its table.
+nonzero_series() {  # nonzero_series <exact series prefix incl. labels>
+  local value
+  value="$(grep -F "$1 " <<< "${METRICS}" | head -n 1 | awk '{print $NF}')"
+  awk -v v="${value:-0}" 'BEGIN { exit (v > 0) ? 0 : 1 }'
+}
+nonzero_series 'broker_queries_total{table="metrics"}' \
+  || fail "metrics dump: broker_queries_total{table=\"metrics\"} missing or zero"
+nonzero_series 'broker_docs_scanned_total{table="metrics"}' \
+  || fail "metrics dump: broker_docs_scanned_total{table=\"metrics\"} missing or zero"
+nonzero_series 'broker_partial_results_total{table="events"}' \
+  || fail "metrics dump: broker_partial_results_total{table=\"events\"} missing or zero"
+nonzero_series 'broker_slow_queries_total{table="metrics"}' \
+  || fail "metrics dump: broker_slow_queries_total{table=\"metrics\"} missing or zero"
+grep -qE '^server_docs_scanned_total\{table="metrics"\} [1-9]' <<< "${METRICS}" \
+  || fail "metrics dump: server_docs_scanned_total{table=\"metrics\"} missing or zero"
+grep -qE '^broker_query_latency_ms_count\{table="metrics"\} [1-9]' <<< "${METRICS}" \
+  || fail "metrics dump: broker_query_latency_ms_count{table=\"metrics\"} missing or zero"
+# Histogram min/max satellites render for every histogram family.
+grep -qE '^broker_query_latency_ms_min\{table="metrics"\} ' <<< "${METRICS}" \
+  || fail "metrics dump: broker_query_latency_ms_min{table=\"metrics\"} missing"
+grep -qE '^broker_query_latency_ms_max\{table="metrics"\} ' <<< "${METRICS}" \
+  || fail "metrics dump: broker_query_latency_ms_max{table=\"metrics\"} missing"
+grep -qE '^broker_route_time_ms_min ' <<< "${METRICS}" \
+  || fail "metrics dump: broker_route_time_ms_min missing"
+
+# Health report: line grammar plus the fault-injection verdict. The smoke
+# driver lags the events partition past the freshness SLO and fails every
+# events scatter call, so events must be RED (with at least one RED rule
+# carrying evidence) while the untouched metrics table stays GREEN.
+HEALTH="$(section '# --- health dump ---' '# --- end ---')"
+[[ -n "${HEALTH}" ]] || fail "health dump: empty"
+HEALTH_LINE_RE='^(overall status=(GREEN|YELLOW|RED) tables=[0-9]+|window seconds=[0-9.]+ .*|table=[^ ]+ status=(GREEN|YELLOW|RED)|  rule=[a-z0-9_]+ status=(GREEN|YELLOW|RED) [a-z0-9_]+=.+)$'
+while IFS= read -r line; do
+  [[ -z "${line}" ]] && continue
+  grep -qE "${HEALTH_LINE_RE}" <<< "${line}" \
+    || fail "health dump: bad line '${line}'"
+done <<< "${HEALTH}"
+grep -qE '^overall status=RED tables=[0-9]+$' <<< "${HEALTH}" \
+  || fail "health dump: overall line missing or not RED"
+grep -qE '^window seconds=[0-9.]+ qps=' <<< "${HEALTH}" \
+  || fail "health dump: no window line (snapshot ring not wired)"
+grep -qxF 'table=events status=RED' <<< "${HEALTH}" \
+  || fail "health dump: events not RED under injected faults"
+grep -qxF 'table=metrics status=GREEN' <<< "${HEALTH}" \
+  || fail "health dump: metrics not GREEN (fault blast radius leaked)"
+grep -qE '^  rule=freshness status=RED lag_rows=[0-9]+' <<< "${HEALTH}" \
+  || fail "health dump: freshness rule did not trip on the lagging partition"
+grep -qE '^  rule=error_rate status=RED errors=[1-9]' <<< "${HEALTH}" \
+  || fail "health dump: error_rate rule did not trip on injected failures"
+
+echo "check_dumps: trace, explain, receipt, slow-query log, metrics and health grammars OK"

@@ -872,6 +872,9 @@ QueryResult Broker::ExecuteQuery(const Query& query) {
   if (options_.max_inflight_queries > 0 &&
       inflight > options_.max_inflight_queries) {
     metrics_->GetCounter("broker_shed_queries_total")->Increment();
+    metrics_->GetCounter("broker_shed_queries_total",
+                         {{"table", query.table}})
+        ->Increment();
     QueryResult result;
     result.partial = true;
     result.throttled = true;
@@ -980,6 +983,8 @@ QueryResult Broker::ExecuteQuery(const Query& query) {
   route_span.Close();
   metrics_->GetHistogram("broker_route_time_ms")
       ->Observe(route_span.duration_millis());
+  merged.receipt.route_micros +=
+      static_cast<int64_t>(route_span.duration_millis() * 1000.0);
   root.AddChild(std::move(route_span));
 
   const MetricLabels table_labels = {{"table", query.table}};
@@ -990,6 +995,8 @@ QueryResult Broker::ExecuteQuery(const Query& query) {
     scatter_span.Close();
     metrics_->GetHistogram("broker_scatter_time_ms", table_labels)
         ->Observe(scatter_span.duration_millis());
+    merged.receipt.scatter_micros +=
+        static_cast<int64_t>(scatter_span.duration_millis() * 1000.0);
     root.AddChild(std::move(scatter_span));
   }
   // Server spans were re-parented under their call spans before merging;
@@ -1013,8 +1020,15 @@ QueryResult Broker::ExecuteQuery(const Query& query) {
     reduce_span.Close();
     metrics_->GetHistogram("broker_reduce_time_ms")
         ->Observe(reduce_span.duration_millis());
+    result.receipt.reduce_micros +=
+        static_cast<int64_t>(reduce_span.duration_millis() * 1000.0);
     root.AddChild(std::move(reduce_span));
   }
+  result.receipt.calls = static_cast<uint32_t>(trace.events.size());
+  result.receipt.retries = trace.retries;
+  result.receipt.timeouts = trace.timeouts;
+  result.receipt.hedges = trace.hedges;
+  result.receipt.hedge_wins = trace.hedge_wins;
   const auto end = std::chrono::steady_clock::now();
   result.latency_millis =
       std::chrono::duration_cast<std::chrono::microseconds>(end - start)
@@ -1022,31 +1036,59 @@ QueryResult Broker::ExecuteQuery(const Query& query) {
       1000.0;
   root.Close();
 
+  // Unlabeled counters keep their broker-wide meaning; the {table=...}
+  // series roll the same families up per logical table for dashboards and
+  // the SLO health rules.
   metrics_->GetCounter("broker_queries_total")->Increment();
+  metrics_->GetCounter("broker_queries_total", table_labels)->Increment();
   if (result.partial) {
     metrics_->GetCounter("broker_partial_results_total")->Increment();
+    metrics_->GetCounter("broker_partial_results_total", table_labels)
+        ->Increment();
   }
   if (trace.retries > 0) {
     metrics_->GetCounter("broker_scatter_retries_total")
+        ->Increment(trace.retries);
+    metrics_->GetCounter("broker_scatter_retries_total", table_labels)
         ->Increment(trace.retries);
   }
   if (trace.timeouts > 0) {
     metrics_->GetCounter("broker_scatter_timeouts_total")
         ->Increment(trace.timeouts);
+    metrics_->GetCounter("broker_scatter_timeouts_total", table_labels)
+        ->Increment(trace.timeouts);
   }
   if (trace.hedges > 0) {
     metrics_->GetCounter("broker_hedged_calls_total")
+        ->Increment(trace.hedges);
+    metrics_->GetCounter("broker_hedged_calls_total", table_labels)
         ->Increment(trace.hedges);
   }
   if (trace.hedge_wins > 0) {
     metrics_->GetCounter("broker_hedge_wins_total")
         ->Increment(trace.hedge_wins);
+    metrics_->GetCounter("broker_hedge_wins_total", table_labels)
+        ->Increment(trace.hedge_wins);
+  }
+  if (result.receipt.docs_scanned > 0) {
+    metrics_->GetCounter("broker_docs_scanned_total", table_labels)
+        ->Increment(static_cast<int64_t>(result.receipt.docs_scanned));
+  }
+  if (result.receipt.payload_bytes > 0) {
+    metrics_->GetCounter("broker_scatter_payload_bytes_total", table_labels)
+        ->Increment(static_cast<int64_t>(result.receipt.payload_bytes));
   }
   metrics_->GetHistogram("broker_query_latency_ms", table_labels)
       ->Observe(result.latency_millis);
 
   if (!query.explain) {
-    slow_query_log_.Record(result.latency_millis, query.ToString(), root);
+    const bool slow = slow_query_log_.Record(result.latency_millis,
+                                             query.table, query.ToString(),
+                                             root, result.receipt.ToString());
+    if (slow) {
+      metrics_->GetCounter("broker_slow_queries_total", table_labels)
+          ->Increment();
+    }
   }
   if (query.trace || query.explain) result.span = std::move(root);
   result.trace = std::move(trace);

@@ -1,0 +1,300 @@
+#include "cluster/health.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+
+#include "cluster/table_config.h"
+
+namespace pinot {
+
+const char* HealthStatusToString(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kGreen:
+      return "GREEN";
+    case HealthStatus::kYellow:
+      return "YELLOW";
+    case HealthStatus::kRed:
+      return "RED";
+  }
+  return "?";
+}
+
+namespace {
+
+HealthStatus Worse(HealthStatus a, HealthStatus b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+// Budget grading shared by every scalar rule. A non-positive budget
+// disables the rule (always GREEN).
+HealthStatus Grade(double value, double budget, double yellow_fraction) {
+  if (budget <= 0) return HealthStatus::kGreen;
+  if (value > budget) return HealthStatus::kRed;
+  if (value > budget * yellow_fraction) return HealthStatus::kYellow;
+  return HealthStatus::kGreen;
+}
+
+std::string Fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+// True when `series_key` belongs to family `family` and its table label
+// rolls up to logical table `table`.
+bool SeriesMatchesTable(const std::string& series_key,
+                        const std::string& family,
+                        const std::string& table) {
+  if (MetricFamilyName(series_key) != family) return false;
+  return LogicalTableName(MetricLabelValue(series_key, "table")) == table;
+}
+
+// Windowed count when a delta is available, lifetime count otherwise; the
+// rules prefer "this window" so a long-recovered table stops paging.
+uint64_t WindowedCounter(const HealthInputs& in, const std::string& name,
+                         const std::string& table) {
+  const std::string key =
+      MetricsRegistry::SeriesKey(name, {{"table", table}});
+  if (in.window != nullptr) return in.window->CounterDelta(key);
+  return in.registry->CounterValue(name, {{"table", table}});
+}
+
+HealthRuleResult FreshnessRule(const HealthInputs& in,
+                               const std::string& table,
+                               const SloThresholds& slo) {
+  HealthRuleResult r;
+  r.rule = "freshness";
+  double worst_lag = 0;
+  bool has_series = false;
+  for (const auto& [key, gauge] : in.registry->GaugeSeries()) {
+    if (!SeriesMatchesTable(key, "realtime_consumption_lag", table)) continue;
+    has_series = true;
+    worst_lag = std::max(worst_lag, gauge->Value());
+  }
+  if (!has_series) {
+    r.evidence = "lag_rows=0 partitions=none";
+    return r;  // No realtime consumption: nothing to be stale.
+  }
+  r.status = Grade(worst_lag, slo.max_freshness_lag_rows, slo.yellow_fraction);
+  r.evidence = Fmt("lag_rows=%.0f max=%.0f", worst_lag,
+                   slo.max_freshness_lag_rows);
+  return r;
+}
+
+HealthRuleResult ErrorRateRule(const HealthInputs& in,
+                               const std::string& table,
+                               const SloThresholds& slo) {
+  HealthRuleResult r;
+  r.rule = "error_rate";
+  const uint64_t queries =
+      WindowedCounter(in, "broker_queries_total", table);
+  const uint64_t errors =
+      WindowedCounter(in, "broker_partial_results_total", table);
+  const double rate =
+      queries > 0 ? static_cast<double>(errors) / queries : 0.0;
+  if (queries > 0) {
+    r.status = Grade(rate, slo.max_error_rate, slo.yellow_fraction);
+  }
+  r.evidence = Fmt("errors=%llu queries=%llu rate=%.3f max=%.3f",
+                   static_cast<unsigned long long>(errors),
+                   static_cast<unsigned long long>(queries), rate,
+                   slo.max_error_rate);
+  return r;
+}
+
+HealthRuleResult ShedRateRule(const HealthInputs& in,
+                              const std::string& table,
+                              const SloThresholds& slo) {
+  HealthRuleResult r;
+  r.rule = "shed_rate";
+  const uint64_t queries =
+      WindowedCounter(in, "broker_queries_total", table);
+  const uint64_t sheds =
+      WindowedCounter(in, "broker_shed_queries_total", table);
+  const uint64_t offered = queries + sheds;
+  const double rate =
+      offered > 0 ? static_cast<double>(sheds) / offered : 0.0;
+  if (offered > 0) {
+    r.status = Grade(rate, slo.max_shed_rate, slo.yellow_fraction);
+  }
+  r.evidence = Fmt("sheds=%llu offered=%llu rate=%.3f max=%.3f",
+                   static_cast<unsigned long long>(sheds),
+                   static_cast<unsigned long long>(offered), rate,
+                   slo.max_shed_rate);
+  return r;
+}
+
+HealthRuleResult LatencyRule(const HealthInputs& in, const std::string& table,
+                             const SloThresholds& slo) {
+  HealthRuleResult r;
+  r.rule = "p99_latency";
+  const Histogram* latency =
+      in.registry->FindHistogram("broker_query_latency_ms",
+                                 {{"table", table}});
+  if (latency == nullptr || latency->Count() == 0) {
+    r.evidence = Fmt("p99_ms=0.000 budget_ms=%.1f queries=0",
+                     slo.p99_latency_budget_ms);
+    return r;
+  }
+  const double p99 = latency->Percentile(99.0);
+  r.status = Grade(p99, slo.p99_latency_budget_ms, slo.yellow_fraction);
+  r.evidence = Fmt("p99_ms=%.3f budget_ms=%.1f queries=%llu", p99,
+                   slo.p99_latency_budget_ms,
+                   static_cast<unsigned long long>(latency->Count()));
+  return r;
+}
+
+HealthRuleResult ReplicaRule(const HealthInputs& in,
+                             const std::string& table) {
+  HealthRuleResult r;
+  r.rule = "replicas";
+  if (in.cluster == nullptr) {
+    r.evidence = "segments=0 degraded=0 unavailable=0";
+    return r;
+  }
+  size_t segments = 0;
+  size_t degraded = 0;     // Some replica lost, but still answerable.
+  size_t unavailable = 0;  // No reachable serving replica at all.
+  for (const auto& physical : in.cluster->GetTables()) {
+    if (LogicalTableName(physical) != table) continue;
+    const TableView ideal = in.cluster->GetIdealState(physical);
+    const TableView external = in.cluster->GetExternalView(physical);
+    for (const auto& [segment, ideal_instances] : ideal) {
+      // Count replicas the ideal state wants serving.
+      size_t assigned = 0;
+      for (const auto& [instance, state] : ideal_instances) {
+        if (state == SegmentState::kOnline ||
+            state == SegmentState::kConsuming) {
+          ++assigned;
+        }
+      }
+      if (assigned == 0) continue;  // Dropped / transitioning out.
+      ++segments;
+      size_t reachable = 0;
+      auto it = external.find(segment);
+      if (it != external.end()) {
+        for (const auto& [instance, state] : it->second) {
+          if ((state == SegmentState::kOnline ||
+               state == SegmentState::kConsuming) &&
+              in.cluster->IsInstanceReachable(instance)) {
+            ++reachable;
+          }
+        }
+      }
+      if (reachable == 0) {
+        ++unavailable;
+      } else if (reachable < assigned) {
+        ++degraded;
+      }
+    }
+  }
+  if (unavailable > 0) {
+    r.status = HealthStatus::kRed;
+  } else if (degraded > 0) {
+    r.status = HealthStatus::kYellow;
+  }
+  r.evidence = Fmt("segments=%zu degraded=%zu unavailable=%zu", segments,
+                   degraded, unavailable);
+  return r;
+}
+
+HealthRuleResult UpsertDeadRowsRule(const HealthInputs& in,
+                                    const std::string& table,
+                                    const SloThresholds& slo) {
+  HealthRuleResult r;
+  r.rule = "upsert_dead_rows";
+  uint64_t dead = 0;
+  uint64_t indexed = 0;
+  for (const auto& [key, counter] : in.registry->CounterSeries()) {
+    if (SeriesMatchesTable(key, "server_upsert_dead_rows_total", table)) {
+      dead += counter->Value();
+    } else if (SeriesMatchesTable(key, "realtime_rows_indexed_total",
+                                  table)) {
+      indexed += counter->Value();
+    }
+  }
+  const double fraction =
+      indexed > 0 ? static_cast<double>(dead) / indexed : 0.0;
+  if (indexed > 0) {
+    r.status =
+        Grade(fraction, slo.max_upsert_dead_fraction, slo.yellow_fraction);
+  }
+  r.evidence = Fmt("dead_rows=%llu indexed_rows=%llu fraction=%.3f max=%.3f",
+                   static_cast<unsigned long long>(dead),
+                   static_cast<unsigned long long>(indexed), fraction,
+                   slo.max_upsert_dead_fraction);
+  return r;
+}
+
+}  // namespace
+
+HealthReport EvaluateHealth(const HealthInputs& inputs,
+                            const SloThresholds& slo) {
+  HealthReport report;
+  if (inputs.registry == nullptr) return report;
+  if (inputs.window != nullptr) {
+    report.has_window = true;
+    report.window = WindowedRates::From(*inputs.window);
+  }
+
+  // Table universe: everything the cluster manager knows plus every table
+  // that left a per-table metric series behind.
+  std::set<std::string> tables;
+  if (inputs.cluster != nullptr) {
+    for (const auto& physical : inputs.cluster->GetTables()) {
+      tables.insert(LogicalTableName(physical));
+    }
+  }
+  for (const auto& [key, counter] : inputs.registry->CounterSeries()) {
+    (void)counter;
+    const std::string value = MetricLabelValue(key, "table");
+    if (!value.empty()) tables.insert(LogicalTableName(value));
+  }
+  for (const auto& [key, gauge] : inputs.registry->GaugeSeries()) {
+    (void)gauge;
+    const std::string value = MetricLabelValue(key, "table");
+    if (!value.empty()) tables.insert(LogicalTableName(value));
+  }
+
+  for (const auto& table : tables) {
+    TableHealth health;
+    health.table = table;
+    health.rules.push_back(FreshnessRule(inputs, table, slo));
+    health.rules.push_back(ErrorRateRule(inputs, table, slo));
+    health.rules.push_back(ShedRateRule(inputs, table, slo));
+    health.rules.push_back(LatencyRule(inputs, table, slo));
+    health.rules.push_back(ReplicaRule(inputs, table));
+    health.rules.push_back(UpsertDeadRowsRule(inputs, table, slo));
+    for (const auto& rule : health.rules) {
+      health.status = Worse(health.status, rule.status);
+    }
+    report.overall = Worse(report.overall, health.status);
+    report.tables.push_back(std::move(health));
+  }
+  return report;
+}
+
+std::string HealthReport::ToString() const {
+  std::string out = Fmt("overall status=%s tables=%zu\n",
+                        HealthStatusToString(overall), tables.size());
+  if (has_window) {
+    out += window.ToString();
+    out += "\n";
+  }
+  for (const auto& table : tables) {
+    out += Fmt("table=%s status=%s\n", table.table.c_str(),
+               HealthStatusToString(table.status));
+    for (const auto& rule : table.rules) {
+      out += Fmt("  rule=%s status=%s %s\n", rule.rule.c_str(),
+                 HealthStatusToString(rule.status), rule.evidence.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace pinot

@@ -1,0 +1,91 @@
+#ifndef PINOT_CLUSTER_HEALTH_H_
+#define PINOT_CLUSTER_HEALTH_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_manager.h"
+#include "metrics/metrics.h"
+#include "metrics/snapshot.h"
+
+namespace pinot {
+
+/// Declarative SLO health evaluation ("Enhancing OLAP Resilience at
+/// LinkedIn": site-facing tables are operated against explicit freshness,
+/// availability and latency SLAs, and an operator's first question is
+/// "which table is out of budget, and why"). Each rule reads the metrics
+/// registry, an optional windowed snapshot delta, and the cluster state,
+/// and grades every logical table GREEN / YELLOW / RED with an evidence
+/// line that names the numbers behind the verdict.
+
+enum class HealthStatus { kGreen, kYellow, kRed };
+
+const char* HealthStatusToString(HealthStatus status);
+
+/// Per-table SLO budgets. A measured value over the budget grades RED; over
+/// `yellow_fraction` of the budget grades YELLOW; otherwise GREEN.
+struct SloThresholds {
+  // Freshness: worst realtime_consumption_lag (rows behind the stream head)
+  // across the table's partitions.
+  double max_freshness_lag_rows = 100000;
+  // Error budget: partial results / queries (windowed when a delta is
+  // provided, lifetime otherwise).
+  double max_error_rate = 0.05;
+  // Shed budget: sheds / (queries + sheds).
+  double max_shed_rate = 0.10;
+  // Latency budget: broker_query_latency_ms{table=...} p99.
+  double p99_latency_budget_ms = 1000.0;
+  // Upsert hygiene: invalidated (dead) rows / rows indexed. Dead rows cost
+  // scan work until compaction reclaims them.
+  double max_upsert_dead_fraction = 0.5;
+  // Fraction of a budget at which a rule turns YELLOW.
+  double yellow_fraction = 0.5;
+};
+
+/// One rule's verdict for one table.
+struct HealthRuleResult {
+  std::string rule;      // e.g. "freshness", "error_rate".
+  HealthStatus status = HealthStatus::kGreen;
+  std::string evidence;  // `k=v` pairs backing the verdict.
+};
+
+/// All rule verdicts for one logical table; `status` is the worst of them.
+struct TableHealth {
+  std::string table;
+  HealthStatus status = HealthStatus::kGreen;
+  std::vector<HealthRuleResult> rules;
+};
+
+/// Cluster verdict: worst table status wins.
+struct HealthReport {
+  HealthStatus overall = HealthStatus::kGreen;
+  std::vector<TableHealth> tables;  // Sorted by table name.
+  // Windowed rates backing the report (zeroed when no delta was provided).
+  bool has_window = false;
+  WindowedRates window;
+
+  /// Grammar (one line each):
+  ///   overall status=GREEN tables=2
+  ///   window seconds=... qps=... (only with has_window)
+  ///   table=events status=RED
+  ///     rule=error_rate status=RED errors=12 queries=40 rate=0.300 max=0.050
+  std::string ToString() const;
+};
+
+/// Everything the rules read. `registry` is required; `window` and
+/// `cluster` are optional — rules that need an absent input grade GREEN
+/// (no evidence of a violation is not a violation).
+struct HealthInputs {
+  const MetricsRegistry* registry = nullptr;
+  const SnapshotDelta* window = nullptr;
+  const ClusterManager* cluster = nullptr;
+};
+
+/// Evaluates every rule for every logical table found in the cluster state
+/// and the per-table metric series.
+HealthReport EvaluateHealth(const HealthInputs& inputs,
+                            const SloThresholds& slo);
+
+}  // namespace pinot
+
+#endif  // PINOT_CLUSTER_HEALTH_H_

@@ -4,7 +4,8 @@ namespace pinot {
 
 PinotCluster::PinotCluster(PinotClusterOptions options)
     : streams_(options.clock != nullptr ? options.clock
-                                        : RealClock::Instance()) {
+                                        : RealClock::Instance()),
+      slo_(options.slo) {
   ctx_.clock =
       options.clock != nullptr ? options.clock : RealClock::Instance();
   ctx_.cluster = &cluster_;
@@ -47,6 +48,15 @@ PinotCluster::PinotCluster(PinotClusterOptions options)
 }
 
 PinotCluster::~PinotCluster() = default;
+
+HealthReport PinotCluster::EvaluateHealth() const {
+  HealthInputs inputs;
+  inputs.registry = &metrics_;
+  inputs.cluster = &cluster_;
+  const std::optional<SnapshotDelta> window = snapshots_.LatestDelta();
+  if (window.has_value()) inputs.window = &*window;
+  return pinot::EvaluateHealth(inputs, slo_);
+}
 
 Controller* PinotCluster::leader_controller() {
   const std::string leader = cluster_.leader();

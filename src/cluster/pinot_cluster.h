@@ -9,12 +9,14 @@
 #include "cluster/cluster_context.h"
 #include "cluster/cluster_manager.h"
 #include "cluster/controller.h"
+#include "cluster/health.h"
 #include "cluster/minion.h"
 #include "cluster/object_store.h"
 #include "cluster/property_store.h"
 #include "cluster/server.h"
 #include "common/clock.h"
 #include "metrics/metrics.h"
+#include "metrics/snapshot.h"
 #include "stream/stream.h"
 
 namespace pinot {
@@ -28,6 +30,8 @@ struct PinotClusterOptions {
   Controller::Options controller_options;
   Server::Options server_options;
   Broker::Options broker_options;
+  /// SLO budgets the health evaluator grades every table against.
+  SloThresholds slo;
   /// Time source; null uses the process-wide real clock. Tests inject a
   /// SimulatedClock to drive retention, flush thresholds and the
   /// completion-protocol timeouts deterministically.
@@ -86,6 +90,22 @@ class PinotCluster {
     return out;
   }
 
+  /// Appends a point-in-time snapshot of every metric series to the
+  /// cluster's snapshot ring and returns it. Call periodically (benches do
+  /// it per sweep point) so EvaluateHealth() grades windowed rates instead
+  /// of lifetime totals.
+  MetricsSnapshot TakeMetricsSnapshot() { return snapshots_.Take(metrics_); }
+
+  /// The snapshot history backing windowed rates.
+  SnapshotRing* snapshots() { return &snapshots_; }
+
+  /// Grades every table against the configured SLO budgets, using the
+  /// latest snapshot window when at least two snapshots were taken.
+  HealthReport EvaluateHealth() const;
+
+  /// EvaluateHealth() rendered for dumps and bench exits.
+  std::string HealthDump() const { return EvaluateHealth().ToString(); }
+
   /// Ticks realtime consumption on every server `rounds` times; returns
   /// total rows indexed.
   int ProcessRealtimeTicks(int rounds = 1);
@@ -114,6 +134,8 @@ class PinotCluster {
   ObjectStore object_store_;
   StreamRegistry streams_;
   MetricsRegistry metrics_;
+  SnapshotRing snapshots_;
+  SloThresholds slo_;
   ClusterContext ctx_;
   std::vector<std::unique_ptr<Controller>> controllers_;
   std::vector<std::unique_ptr<Server>> servers_;

@@ -222,6 +222,36 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
   // Charge execution time to the tenant's bucket (section 4.5).
   quota_.RecordExecution(request.tenant, execution_millis);
 
+  // Receipt: queue wait, group counts, shipped payload, and an estimate of
+  // the column bytes decoded (4-byte dict ids per referenced column).
+  result.receipt.queue_micros += queue_micros;
+  result.receipt.groups += groups_before_trim;
+  result.receipt.trimmed += trimmed_groups;
+  size_t referenced_columns = request.query.group_by.size();
+  for (const auto& spec : request.query.aggregations) {
+    if (!spec.column.empty()) ++referenced_columns;
+  }
+  if (!request.query.IsAggregation()) {
+    referenced_columns += std::max<size_t>(
+        1, request.query.selection_columns.size());
+  }
+  const uint64_t scan_bytes =
+      result.stats.docs_scanned * 4 *
+      std::max<size_t>(1, referenced_columns);
+  result.receipt.scan_bytes += scan_bytes;
+  uint64_t payload_bytes =
+      result.groups.ApproxPayloadBytes() +
+      result.aggregates.size() * sizeof(AggState);
+  for (const auto& row : result.selection_rows) {
+    payload_bytes += row.size() * sizeof(Value);
+    for (const auto& v : row) {
+      if (const auto* s = std::get_if<std::string>(&v)) {
+        payload_bytes += s->size();
+      }
+    }
+  }
+  result.receipt.payload_bytes += payload_bytes;
+
   if (tracing) {
     server_span.Annotate("queue_micros", queue_micros);
     server_span.Annotate(
@@ -238,12 +268,28 @@ PartialResult Server::ExecuteServerQuery(const ServerQueryRequest& request) {
   }
 
   const MetricLabels instance_labels = {{"instance", id_}};
+  // Per-table rollups alongside the per-instance series, so cost is
+  // attributable to tables as well as machines (labels use the logical
+  // table: OFFLINE + REALTIME halves of a hybrid table roll up together).
+  const MetricLabels table_labels = {
+      {"table", LogicalTableName(request.physical_table)}};
   metrics_->GetCounter("server_queries_total", instance_labels)->Increment();
+  metrics_->GetCounter("server_queries_total", table_labels)->Increment();
   metrics_->GetCounter("server_segments_queried_total", instance_labels)
+      ->Increment(result.stats.segments_queried);
+  metrics_->GetCounter("server_segments_queried_total", table_labels)
       ->Increment(result.stats.segments_queried);
   metrics_->GetCounter("server_docs_scanned_total", instance_labels)
       ->Increment(result.stats.docs_scanned);
+  metrics_->GetCounter("server_docs_scanned_total", table_labels)
+      ->Increment(result.stats.docs_scanned);
+  metrics_->GetCounter("server_scan_bytes_total", instance_labels)
+      ->Increment(scan_bytes);
+  metrics_->GetCounter("server_scan_bytes_total", table_labels)
+      ->Increment(scan_bytes);
   metrics_->GetHistogram("server_query_execution_ms", instance_labels)
+      ->Observe(execution_millis);
+  metrics_->GetHistogram("server_query_execution_ms", table_labels)
       ->Observe(execution_millis);
   if (groups_before_trim > 0) {
     metrics_->GetHistogram("server_groupby_groups", instance_labels)

@@ -22,6 +22,18 @@ std::string TableConfig::PhysicalName() const {
   return name + "_" + TableTypeToString(type);
 }
 
+std::string LogicalTableName(const std::string& physical_table) {
+  for (const char* suffix : {"_OFFLINE", "_REALTIME"}) {
+    const size_t len = std::char_traits<char>::length(suffix);
+    if (physical_table.size() > len &&
+        physical_table.compare(physical_table.size() - len, len, suffix) ==
+            0) {
+      return physical_table.substr(0, physical_table.size() - len);
+    }
+  }
+  return physical_table;
+}
+
 namespace {
 void WriteStringList(const std::vector<std::string>& list,
                      ByteWriter* writer) {

@@ -89,6 +89,11 @@ struct TableConfig {
   static Result<TableConfig> Deserialize(ByteReader* reader);
 };
 
+/// Inverse of TableConfig::PhysicalName(): strips a trailing "_OFFLINE" /
+/// "_REALTIME" type suffix; names without one pass through unchanged. Used
+/// to aggregate per-physical-table metrics up to the logical table.
+std::string LogicalTableName(const std::string& physical_table);
+
 }  // namespace pinot
 
 #endif  // PINOT_CLUSTER_TABLE_CONFIG_H_

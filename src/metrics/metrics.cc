@@ -23,6 +23,24 @@ void Histogram::Observe(double value) {
   while (!sum_.compare_exchange_weak(current, current + value,
                                      std::memory_order_relaxed)) {
   }
+  double lo = min_.load(std::memory_order_relaxed);
+  while (value < lo &&
+         !min_.compare_exchange_weak(lo, value, std::memory_order_relaxed)) {
+  }
+  double hi = max_.load(std::memory_order_relaxed);
+  while (value > hi &&
+         !max_.compare_exchange_weak(hi, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0;
+}
+
+double Histogram::Max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0;
 }
 
 double Histogram::BucketUpperBound(int i) {
@@ -35,6 +53,7 @@ double Histogram::Percentile(double p) const {
   const double clamped = std::clamp(p, 0.0, 100.0);
   const double rank = std::max(1.0, clamped / 100.0 * total);
   uint64_t cumulative = 0;
+  double estimate = BucketUpperBound(kNumBuckets - 1);
   for (int i = 0; i < kNumBuckets; ++i) {
     const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
     if (in_bucket == 0) continue;
@@ -42,11 +61,38 @@ double Histogram::Percentile(double p) const {
       const double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
       const double upper = BucketUpperBound(i);
       const double fraction = (rank - cumulative) / in_bucket;
-      return lower + fraction * (upper - lower);
+      estimate = lower + fraction * (upper - lower);
+      break;
     }
     cumulative += in_bucket;
   }
-  return BucketUpperBound(kNumBuckets - 1);
+  // Buckets are log-spaced, so interpolation can overshoot the true range
+  // (bucket 0 interpolates down from lower = 0.0 even when every observed
+  // value is larger). The tracked extremes bound the answer exactly.
+  const double lo = min_.load(std::memory_order_relaxed);
+  const double hi = max_.load(std::memory_order_relaxed);
+  if (std::isfinite(lo) && estimate < lo) estimate = lo;
+  if (std::isfinite(hi) && estimate > hi) estimate = hi;
+  return estimate;
+}
+
+std::string MetricsRegistry::SanitizeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+      case '\\':
+      case '\n':
+      case '\r':
+      case '\t':
+        out += '_';
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
 }
 
 std::string MetricsRegistry::SeriesKey(const std::string& name,
@@ -57,7 +103,8 @@ std::string MetricsRegistry::SeriesKey(const std::string& name,
   std::string key = name + "{";
   for (size_t i = 0; i < sorted.size(); ++i) {
     if (i > 0) key += ",";
-    key += sorted[i].first + "=\"" + sorted[i].second + "\"";
+    key += sorted[i].first + "=\"" + SanitizeLabelValue(sorted[i].second) +
+           "\"";
   }
   key += "}";
   return key;
@@ -145,22 +192,60 @@ std::string WithExtraLabel(const std::string& labels,
 
 }  // namespace
 
-std::string MetricsRegistry::Dump() const {
+std::vector<std::pair<std::string, const Counter*>>
+MetricsRegistry::CounterSeries() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) out.emplace_back(key, counter.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>>
+MetricsRegistry::GaugeSeries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [key, gauge] : gauges_) out.emplace_back(key, gauge.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::HistogramSeries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [key, histogram] : histograms_) {
+    out.emplace_back(key, histogram.get());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Dump() const {
+  // Snapshot the (stable) series pointers under the lock; percentile math
+  // and string building run unlocked so Get* registration is never stuck
+  // behind a dump.
+  const auto counters = CounterSeries();
+  const auto gauges = GaugeSeries();
+  const auto histograms = HistogramSeries();
   std::string out;
-  for (const auto& [key, counter] : counters_) {
+  for (const auto& [key, counter] : counters) {
     out += key + " " + std::to_string(counter->Value()) + "\n";
   }
-  for (const auto& [key, gauge] : gauges_) {
+  for (const auto& [key, gauge] : gauges) {
     out += key + " " + FormatDouble(gauge->Value()) + "\n";
   }
-  for (const auto& [key, histogram] : histograms_) {
+  for (const auto& [key, histogram] : histograms) {
     std::string name, labels;
     SplitSeriesKey(key, &name, &labels);
     const std::string suffix = labels.empty() ? "" : "{" + labels + "}";
     out += name + "_count" + suffix + " " +
            std::to_string(histogram->Count()) + "\n";
     out += name + "_sum" + suffix + " " + FormatDouble(histogram->Sum()) +
+           "\n";
+    out += name + "_min" + suffix + " " + FormatDouble(histogram->Min()) +
+           "\n";
+    out += name + "_max" + suffix + " " + FormatDouble(histogram->Max()) +
            "\n";
     for (const auto& [quantile, p] :
          {std::pair<const char*, double>{"0.5", 50},
@@ -173,6 +258,31 @@ std::string MetricsRegistry::Dump() const {
     }
   }
   return out;
+}
+
+std::string MetricFamilyName(const std::string& series_key) {
+  const size_t brace = series_key.find('{');
+  return brace == std::string::npos ? series_key : series_key.substr(0, brace);
+}
+
+std::string MetricLabelValue(const std::string& series_key,
+                             const std::string& label) {
+  const size_t brace = series_key.find('{');
+  if (brace == std::string::npos) return "";
+  const std::string needle = label + "=\"";
+  size_t pos = series_key.find(needle, brace);
+  while (pos != std::string::npos) {
+    // Must start a label: right after '{' or a ','.
+    const char before = series_key[pos - 1];
+    if (before == '{' || before == ',') {
+      const size_t start = pos + needle.size();
+      const size_t end = series_key.find('"', start);
+      if (end == std::string::npos) return "";
+      return series_key.substr(start, end - start);
+    }
+    pos = series_key.find(needle, pos + 1);
+  }
+  return "";
 }
 
 MetricsRegistry* MetricsRegistry::Default() {

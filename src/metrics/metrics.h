@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -66,9 +67,15 @@ class Histogram {
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  /// Smallest / largest observed value; 0 when empty. Log buckets alone
+  /// carry an octave of error, so the true extremes are tracked exactly
+  /// and percentile interpolation is clamped to them.
+  double Min() const;
+  double Max() const;
+
   /// Estimated value at percentile `p` in [0, 100]. 0 when empty. The
   /// snapshot is not atomic across buckets; concurrent observations make
-  /// the estimate approximate, never unsafe.
+  /// the estimate approximate, never unsafe. Clamped to [Min(), Max()].
   double Percentile(double p) const;
 
   /// Inclusive upper bound of bucket `i`: kFirstBound * 2^i.
@@ -78,6 +85,10 @@ class Histogram {
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0};
+  // Raw extremes; ±infinity until the first observation (Min()/Max() hide
+  // that behind a count check).
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Sorted (key, value) label pairs identifying one series of a family,
@@ -104,23 +115,51 @@ class MetricsRegistry {
                                  const MetricLabels& labels = {}) const;
 
   /// Prometheus-style text exposition. Counters and gauges render one line
-  /// per series; histograms render <name>_count, <name>_sum, and
-  /// quantile="0.5|0.95|0.99" series. Output is sorted for determinism.
+  /// per series; histograms render <name>_count, <name>_sum, <name>_min,
+  /// <name>_max, and quantile="0.5|0.95|0.99" series. Output is sorted for
+  /// determinism. The registry mutex is held only to snapshot the series
+  /// pointers — percentile math and rendering run unlocked, so hot-path
+  /// Get* registration never blocks behind a dump.
   std::string Dump() const;
+
+  /// Stable (key, series) pointers for every live series, captured under
+  /// the registry mutex. Series are never removed, so the pointers stay
+  /// valid for the registry's lifetime; values are read via relaxed
+  /// atomics by the caller. This is the snapshot layer's iteration API.
+  std::vector<std::pair<std::string, const Counter*>> CounterSeries() const;
+  std::vector<std::pair<std::string, const Gauge*>> GaugeSeries() const;
+  std::vector<std::pair<std::string, const Histogram*>> HistogramSeries()
+      const;
+
+  /// Canonical series key: `name` alone, or name{k="v",...} with labels
+  /// sorted by key and values sanitized (see SanitizeLabelValue).
+  static std::string SeriesKey(const std::string& name,
+                               const MetricLabels& labels);
+
+  /// Replaces characters that would corrupt the exposition format or the
+  /// series-key grammar (`"`, `\`, newline, carriage return, tab) with
+  /// '_'. Applied to every label value by SeriesKey.
+  static std::string SanitizeLabelValue(const std::string& value);
 
   /// Process-wide fallback registry for components constructed without one
   /// (standalone tools, the on-disk segment store's free functions).
   static MetricsRegistry* Default();
 
  private:
-  static std::string SeriesKey(const std::string& name,
-                               const MetricLabels& labels);
-
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// "name{a=\"b\"}" -> "name"; unlabeled keys pass through unchanged.
+std::string MetricFamilyName(const std::string& series_key);
+
+/// Value of `label` in a series key, or "" when absent. Label values are
+/// sanitized at registration (no embedded quotes), so a simple scan to the
+/// closing quote is exact.
+std::string MetricLabelValue(const std::string& series_key,
+                             const std::string& label);
 
 }  // namespace pinot
 

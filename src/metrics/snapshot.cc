@@ -1,0 +1,204 @@
+#include "metrics/snapshot.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace pinot {
+
+namespace {
+
+// True when `key` belongs to the metric family `name` (exact name, any
+// labels).
+bool InFamily(const std::string& key, const std::string& name) {
+  if (key.size() < name.size() || key.compare(0, name.size(), name) != 0) {
+    return false;
+  }
+  return key.size() == name.size() || key[name.size()] == '{';
+}
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& key) const {
+  auto it = counters.find(key);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::GaugeValue(const std::string& key) const {
+  auto it = gauges.find(key);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+uint64_t MetricsSnapshot::CounterFamilyTotal(const std::string& name) const {
+  uint64_t total = 0;
+  for (const auto& [key, value] : counters) {
+    if (InFamily(key, name)) total += value;
+  }
+  return total;
+}
+
+double MetricsSnapshot::GaugeFamilyMax(const std::string& name) const {
+  double best = 0;
+  for (const auto& [key, value] : gauges) {
+    if (InFamily(key, name)) best = std::max(best, value);
+  }
+  return best;
+}
+
+MetricsSnapshot TakeSnapshot(const MetricsRegistry& registry,
+                             int64_t now_micros) {
+  MetricsSnapshot snap;
+  snap.steady_micros = now_micros;
+  for (const auto& [key, counter] : registry.CounterSeries()) {
+    snap.counters[key] = counter->Value();
+  }
+  for (const auto& [key, gauge] : registry.GaugeSeries()) {
+    snap.gauges[key] = gauge->Value();
+  }
+  for (const auto& [key, histogram] : registry.HistogramSeries()) {
+    snap.histograms[key] = {histogram->Count(), histogram->Sum()};
+  }
+  return snap;
+}
+
+MetricsSnapshot TakeSnapshot(const MetricsRegistry& registry) {
+  return TakeSnapshot(registry, SteadyNowMicros());
+}
+
+uint64_t SnapshotDelta::CounterDelta(const std::string& key) const {
+  auto it = counter_deltas.find(key);
+  return it == counter_deltas.end() ? 0 : it->second;
+}
+
+uint64_t SnapshotDelta::CounterFamilyDelta(const std::string& name) const {
+  uint64_t total = 0;
+  for (const auto& [key, value] : counter_deltas) {
+    if (InFamily(key, name)) total += value;
+  }
+  return total;
+}
+
+double SnapshotDelta::Rate(const std::string& key) const {
+  return seconds > 0 ? CounterDelta(key) / seconds : 0;
+}
+
+double SnapshotDelta::FamilyRate(const std::string& name) const {
+  return seconds > 0 ? CounterFamilyDelta(name) / seconds : 0;
+}
+
+double SnapshotDelta::GaugeDelta(const std::string& key) const {
+  auto it = gauge_deltas.find(key);
+  return it == gauge_deltas.end() ? 0 : it->second;
+}
+
+double SnapshotDelta::GaugeFamilyDelta(const std::string& name) const {
+  double total = 0;
+  for (const auto& [key, value] : gauge_deltas) {
+    if (InFamily(key, name)) total += value;
+  }
+  return total;
+}
+
+SnapshotDelta DeltaBetween(const MetricsSnapshot& older,
+                           const MetricsSnapshot& newer) {
+  SnapshotDelta delta;
+  delta.seconds =
+      std::max<int64_t>(0, newer.steady_micros - older.steady_micros) / 1e6;
+  for (const auto& [key, value] : newer.counters) {
+    const uint64_t before = older.CounterValue(key);
+    delta.counter_deltas[key] = value >= before ? value - before : 0;
+  }
+  for (const auto& [key, value] : newer.gauges) {
+    delta.gauge_deltas[key] = value - older.GaugeValue(key);
+  }
+  for (const auto& [key, point] : newer.histograms) {
+    MetricsSnapshot::HistogramPoint before;
+    auto it = older.histograms.find(key);
+    if (it != older.histograms.end()) before = it->second;
+    MetricsSnapshot::HistogramPoint d;
+    d.count = point.count >= before.count ? point.count - before.count : 0;
+    d.sum = point.sum - before.sum;
+    delta.histogram_deltas[key] = d;
+  }
+  return delta;
+}
+
+WindowedRates WindowedRates::From(const SnapshotDelta& delta) {
+  WindowedRates rates;
+  rates.seconds = delta.seconds;
+  const uint64_t queries = delta.CounterFamilyDelta("broker_queries_total");
+  const uint64_t partials =
+      delta.CounterFamilyDelta("broker_partial_results_total");
+  const uint64_t sheds = delta.CounterFamilyDelta("broker_shed_queries_total");
+  const uint64_t hedges = delta.CounterFamilyDelta("broker_hedged_calls_total");
+  rates.qps = delta.FamilyRate("broker_queries_total");
+  rates.docs_per_sec = delta.FamilyRate("server_docs_scanned_total");
+  rates.scan_gb_per_sec =
+      delta.FamilyRate("server_scan_bytes_total") / (1024.0 * 1024.0 * 1024.0);
+  rates.error_rate =
+      queries > 0 ? static_cast<double>(partials) / queries : 0;
+  rates.shed_rate = queries + sheds > 0
+                        ? static_cast<double>(sheds) / (queries + sheds)
+                        : 0;
+  rates.hedge_rate = queries > 0 ? static_cast<double>(hedges) / queries : 0;
+  rates.lag_delta = delta.GaugeFamilyDelta("realtime_consumption_lag");
+  return rates;
+}
+
+std::string WindowedRates::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "window seconds=%.3f qps=%.1f docs_per_sec=%.0f "
+                "scan_gb_per_sec=%.3f error_rate=%.3f shed_rate=%.3f "
+                "hedge_rate=%.3f lag_delta=%.0f",
+                seconds, qps, docs_per_sec, scan_gb_per_sec, error_rate,
+                shed_rate, hedge_rate, lag_delta);
+  return buf;
+}
+
+SnapshotRing::SnapshotRing(size_t capacity)
+    : capacity_(std::max<size_t>(2, capacity)) {}
+
+MetricsSnapshot SnapshotRing::Take(const MetricsRegistry& registry,
+                                   int64_t now_micros) {
+  MetricsSnapshot snap = TakeSnapshot(registry, now_micros);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(snap);
+  if (ring_.size() > capacity_) ring_.erase(ring_.begin());
+  return snap;
+}
+
+MetricsSnapshot SnapshotRing::Take(const MetricsRegistry& registry) {
+  return Take(registry, SteadyNowMicros());
+}
+
+size_t SnapshotRing::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+MetricsSnapshot SnapshotRing::Nth(size_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (i >= ring_.size()) return {};
+  return ring_[ring_.size() - 1 - i];
+}
+
+std::optional<SnapshotDelta> SnapshotRing::LatestDelta() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < 2) return std::nullopt;
+  return DeltaBetween(ring_[ring_.size() - 2], ring_.back());
+}
+
+std::optional<SnapshotDelta> SnapshotRing::FullDelta() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < 2) return std::nullopt;
+  return DeltaBetween(ring_.front(), ring_.back());
+}
+
+}  // namespace pinot

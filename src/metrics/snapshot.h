@@ -1,0 +1,125 @@
+#ifndef PINOT_METRICS_SNAPSHOT_H_
+#define PINOT_METRICS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace pinot {
+
+/// Windowed-rate layer over the MetricsRegistry ("Enhancing OLAP Resilience
+/// at LinkedIn": operations reason about rates over the last window, not
+/// lifetime totals). A MetricsSnapshot captures every series at one point in
+/// time; DeltaBetween two snapshots yields per-series deltas and rates; a
+/// SnapshotRing keeps a bounded history so benches, tests, and the health
+/// evaluator get rates without any external scraper.
+
+/// Point-in-time sample of every live series in a registry. Values are read
+/// via relaxed atomics, so a snapshot taken during a storm of observations
+/// is approximate per series but never torn within one value.
+struct MetricsSnapshot {
+  struct HistogramPoint {
+    uint64_t count = 0;
+    double sum = 0;
+  };
+
+  /// Monotonic capture time, microseconds. Drives rate denominators.
+  int64_t steady_micros = 0;
+
+  std::map<std::string, uint64_t> counters;        // series key -> value
+  std::map<std::string, double> gauges;            // series key -> value
+  std::map<std::string, HistogramPoint> histograms;  // key -> (count, sum)
+
+  /// Value of one counter series (exact key), 0 when absent.
+  uint64_t CounterValue(const std::string& key) const;
+  /// Value of one gauge series (exact key), 0 when absent.
+  double GaugeValue(const std::string& key) const;
+  /// Sum across every series of the family `name`, any labels.
+  uint64_t CounterFamilyTotal(const std::string& name) const;
+  /// Max across every series of the gauge family `name`, 0 when absent.
+  double GaugeFamilyMax(const std::string& name) const;
+};
+
+/// Captures every series of `registry` now (or at an explicit monotonic
+/// time, for deterministic tests).
+MetricsSnapshot TakeSnapshot(const MetricsRegistry& registry);
+MetricsSnapshot TakeSnapshot(const MetricsRegistry& registry,
+                             int64_t now_micros);
+
+/// Per-series differences between two snapshots of the same registry.
+/// Counter deltas saturate at 0 (a counter can only appear to go backwards
+/// when the snapshots come from different registries); gauge deltas are
+/// signed, so a falling consumption lag shows as negative trend.
+struct SnapshotDelta {
+  double seconds = 0;
+  std::map<std::string, uint64_t> counter_deltas;
+  std::map<std::string, double> gauge_deltas;
+  std::map<std::string, MetricsSnapshot::HistogramPoint> histogram_deltas;
+
+  uint64_t CounterDelta(const std::string& key) const;
+  /// Sum of deltas across every series of the family `name`.
+  uint64_t CounterFamilyDelta(const std::string& name) const;
+  /// CounterDelta / seconds (0 when the window is empty).
+  double Rate(const std::string& key) const;
+  double FamilyRate(const std::string& name) const;
+  double GaugeDelta(const std::string& key) const;
+  /// Sum of signed gauge deltas across the family — e.g. the consumption
+  /// lag trend across all partitions.
+  double GaugeFamilyDelta(const std::string& name) const;
+};
+
+SnapshotDelta DeltaBetween(const MetricsSnapshot& older,
+                           const MetricsSnapshot& newer);
+
+/// Cluster-level rates derived from one delta window, over the metric
+/// families the broker/server/realtime layers maintain.
+struct WindowedRates {
+  double seconds = 0;
+  double qps = 0;              // broker_queries_total
+  double docs_per_sec = 0;     // server_docs_scanned_total
+  double scan_gb_per_sec = 0;  // server_scan_bytes_total (decode estimate)
+  double error_rate = 0;       // partial results / queries, this window
+  double shed_rate = 0;        // sheds / (queries + sheds), this window
+  double hedge_rate = 0;       // hedged calls / queries, this window
+  double lag_delta = 0;        // realtime_consumption_lag trend (sum, rows)
+
+  static WindowedRates From(const SnapshotDelta& delta);
+
+  /// One line: `window seconds=... qps=... ... lag_delta=...`.
+  std::string ToString() const;
+};
+
+/// Fixed-capacity chronological ring of snapshots. Take() appends (evicting
+/// the oldest past capacity) and returns the new snapshot. Thread-safe.
+class SnapshotRing {
+ public:
+  explicit SnapshotRing(size_t capacity = 16);
+
+  MetricsSnapshot Take(const MetricsRegistry& registry);
+  MetricsSnapshot Take(const MetricsRegistry& registry, int64_t now_micros);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// i = 0 is the newest snapshot, size() - 1 the oldest.
+  MetricsSnapshot Nth(size_t i) const;
+
+  /// Delta between the two newest snapshots; nullopt with fewer than two.
+  std::optional<SnapshotDelta> LatestDelta() const;
+  /// Delta spanning the whole ring (oldest -> newest).
+  std::optional<SnapshotDelta> FullDelta() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<MetricsSnapshot> ring_;  // chronological, oldest first
+};
+
+}  // namespace pinot
+
+#endif  // PINOT_METRICS_SNAPSHOT_H_

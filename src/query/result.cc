@@ -1,6 +1,7 @@
 #include "query/result.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 
@@ -170,9 +171,60 @@ size_t GroupTable::ApproxPayloadBytes() const {
   return bytes;
 }
 
+void QueryReceipt::Merge(const QueryReceipt& other) {
+  queue_micros += other.queue_micros;
+  plan_micros += other.plan_micros;
+  filter_micros += other.filter_micros;
+  scan_micros += other.scan_micros;
+  agg_micros += other.agg_micros;
+  route_micros += other.route_micros;
+  scatter_micros += other.scatter_micros;
+  reduce_micros += other.reduce_micros;
+  docs_scanned += other.docs_scanned;
+  docs_pruned += other.docs_pruned;
+  segments_queried += other.segments_queried;
+  segments_pruned += other.segments_pruned;
+  scan_bytes += other.scan_bytes;
+  payload_bytes += other.payload_bytes;
+  groups += other.groups;
+  trimmed += other.trimmed;
+  calls += other.calls;
+  retries += other.retries;
+  timeouts += other.timeouts;
+  hedges += other.hedges;
+  hedge_wins += other.hedge_wins;
+}
+
+std::string QueryReceipt::ToString() const {
+  auto ms = [](int64_t micros) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", micros / 1000.0);
+    return std::string(buf);
+  };
+  std::string out;
+  out += "receipt: phases queue=" + ms(queue_micros) + "ms plan=" +
+         ms(plan_micros) + "ms filter=" + ms(filter_micros) + "ms scan=" +
+         ms(scan_micros) + "ms agg=" + ms(agg_micros) + "ms route=" +
+         ms(route_micros) + "ms scatter=" + ms(scatter_micros) +
+         "ms reduce=" + ms(reduce_micros) + "ms\n";
+  out += "receipt: work docs_scanned=" + std::to_string(docs_scanned) +
+         " docs_pruned=" + std::to_string(docs_pruned) +
+         " segments_queried=" + std::to_string(segments_queried) +
+         " segments_pruned=" + std::to_string(segments_pruned) +
+         " scan_bytes=" + std::to_string(scan_bytes) + " payload_bytes=" +
+         std::to_string(payload_bytes) + " groups=" + std::to_string(groups) +
+         " trimmed=" + std::to_string(trimmed) + "\n";
+  out += "receipt: scatter calls=" + std::to_string(calls) + " retries=" +
+         std::to_string(retries) + " timeouts=" + std::to_string(timeouts) +
+         " hedges=" + std::to_string(hedges) + " hedge_wins=" +
+         std::to_string(hedge_wins) + "\n";
+  return out;
+}
+
 void PartialResult::Merge(PartialResult&& other) {
   if (!other.status.ok() && status.ok()) status = other.status;
   stats.Merge(other.stats);
+  receipt.Merge(other.receipt);
   total_docs += other.total_docs;
 
   if (aggregates.empty()) {
@@ -237,6 +289,12 @@ struct RowComparator {
 QueryResult ReduceToFinalResult(const Query& query, PartialResult&& partial) {
   QueryResult result;
   result.stats = partial.stats;
+  result.receipt = partial.receipt;
+  // The doc/segment tallies live canonically in stats; mirror them into the
+  // receipt here so one struct carries the whole account.
+  result.receipt.docs_scanned = partial.stats.docs_scanned;
+  result.receipt.segments_queried = partial.stats.segments_queried;
+  result.receipt.segments_pruned = partial.stats.segments_pruned;
   result.total_docs = partial.total_docs;
   if (!partial.status.ok()) {
     result.partial = true;
@@ -404,6 +462,9 @@ std::string QueryResult::ToString() const {
   if (span.has_value()) {
     os << "\n--- " << (explain_only ? "plan" : "trace") << " ---\n"
        << span->ToString();
+    if (!explain_only) {
+      os << "--- receipt ---\n" << receipt.ToString();
+    }
   }
   return os.str();
 }

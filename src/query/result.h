@@ -150,6 +150,51 @@ class GroupTable {
   std::vector<uint32_t> slots_;
 };
 
+/// Per-query resource receipt: where the time went and how much work was
+/// done, accounted unconditionally (TRACE or not) so cost is attributable
+/// to tables and tenants ("Enhancing OLAP Resilience at LinkedIn" operates
+/// Pinot by attributing latency and capacity to specific queries).
+///
+/// Time fields are microseconds. Segment-phase times (plan/filter/scan/agg)
+/// are summed across parallel workers and scatter calls, so they are CPU
+/// time and can exceed the query's wall latency; queue_micros sums tenant
+/// admission waits across servers; route/scatter/reduce are broker wall
+/// phases.
+struct QueryReceipt {
+  // Phase times (micros).
+  int64_t queue_micros = 0;    // Tenant-admission queue wait, all servers.
+  int64_t plan_micros = 0;     // Segment plan selection (incl. pruning).
+  int64_t filter_micros = 0;   // Filter evaluation.
+  int64_t scan_micros = 0;     // Selection row materialization.
+  int64_t agg_micros = 0;      // Aggregation + group-by accumulation.
+  int64_t route_micros = 0;    // Broker routing-table lookup.
+  int64_t scatter_micros = 0;  // Broker scatter wall time, all tables.
+  int64_t reduce_micros = 0;   // Broker merge/finalize.
+
+  // Work done.
+  uint64_t docs_scanned = 0;
+  uint64_t docs_pruned = 0;    // Docs inside segments skipped by pruning.
+  uint64_t segments_queried = 0;
+  uint64_t segments_pruned = 0;
+  uint64_t scan_bytes = 0;     // Estimated column bytes decoded.
+  uint64_t payload_bytes = 0;  // Partial-result bytes shipped to the broker.
+  uint64_t groups = 0;         // Pre-trim group count, summed over servers.
+  uint64_t trimmed = 0;        // Groups dropped by server-side trimming.
+
+  // Scatter behaviour (broker-side).
+  uint32_t calls = 0;          // Scatter calls issued (incl. retries/hedges).
+  uint32_t retries = 0;
+  uint32_t timeouts = 0;
+  uint32_t hedges = 0;
+  uint32_t hedge_wins = 0;
+
+  void Merge(const QueryReceipt& other);
+
+  /// Three `receipt: <section> k=v ...` lines (phases / work / scatter);
+  /// grammar-checked by scripts/check_dumps.sh.
+  std::string ToString() const;
+};
+
 /// Unfinalized result of executing a query over one or more segments.
 /// Mergeable across segments (server-side combine, paper section 3.3.3 step
 /// 6) and across servers (broker-side merge, step 7).
@@ -166,6 +211,12 @@ struct PartialResult {
 
   ExecutionStats stats;
   int64_t total_docs = 0;  // Total documents in the queried segments.
+
+  // Resource accounting for this partial; merged alongside stats. The
+  // doc/segment tallies duplicated in `stats` are filled in from it by the
+  // broker at finalize time — executors only maintain the receipt-specific
+  // fields (phase times, docs_pruned, bytes, group counts).
+  QueryReceipt receipt;
 
   // Execution errors; a non-OK status marks the merged result partial.
   Status status;
@@ -265,6 +316,10 @@ struct QueryResult {
   std::vector<std::vector<Value>> selection_rows;
 
   ExecutionStats stats;
+  // Resource receipt for the whole query (server phases merged across the
+  // scatter + broker phases). Rendered after the trace for TRACE queries
+  // and attached to slow-query-log entries.
+  QueryReceipt receipt;
   QueryTrace trace;
   // Full hierarchical execution trace (root = broker span). Populated for
   // TRACE/EXPLAIN queries; ToString() renders it after the result rows.

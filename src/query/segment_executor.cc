@@ -1134,6 +1134,10 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
 Status ExecuteQueryOnSegment(const SegmentInterface& segment,
                              const Query& query, const ScanOptions& options,
                              TraceSpan* span, PartialResult* out) {
+  // Receipt phase clock: advanced at each phase boundary so plan / filter /
+  // scan / agg time is accounted unconditionally (a handful of steady-clock
+  // reads per segment, TRACE or not).
+  int64_t phase_mark = TraceSpan::NowMicros();
   // Upsert segments: snapshot the invalid-docs set once, up front. The
   // whole execution then sees one consistent validity view regardless of
   // concurrent invalidations on sealed segments.
@@ -1154,7 +1158,10 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
   // 1. Metadata-only plan.
   if (MetadataOnlyEligible(segment, query)) {
     if (span != nullptr) span->Label("plan", "metadata");
+    const int64_t exec_mark = TraceSpan::NowMicros();
+    out->receipt.plan_micros += exec_mark - phase_mark;
     ExecuteMetadataOnlyPlan(segment, query, out);
+    out->receipt.agg_micros += TraceSpan::NowMicros() - exec_mark;
     return Status::OK();
   }
 
@@ -1164,8 +1171,12 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
     if (StarTreeEligible(segment, query, &predicates)) {
       TraceSpan star_span;
       if (span != nullptr) star_span = TraceSpan::Open("star-tree");
+      const int64_t exec_mark = TraceSpan::NowMicros();
+      out->receipt.plan_micros += exec_mark - phase_mark;
       const uint64_t records_before = out->stats.star_tree_records_scanned;
       Status st = ExecuteWithStarTree(segment, query, predicates, out);
+      phase_mark = TraceSpan::NowMicros();
+      out->receipt.agg_micros += phase_mark - exec_mark;
       // ResourceExhausted -> predicate expansion too large; fall through to
       // the raw plan.
       if (!st.IsQuotaExceeded() &&
@@ -1199,10 +1210,13 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
     valid_domain = DocIdSet::FromBitmap(invalid->Not(segment.num_docs()),
                                         segment.num_docs());
   }
+  const int64_t filter_mark = TraceSpan::NowMicros();
+  out->receipt.plan_micros += filter_mark - phase_mark;
   PINOT_ASSIGN_OR_RETURN(
       DocIdSet docs,
       evaluator.Evaluate(query.filter,
                          valid_domain ? &*valid_domain : nullptr));
+  out->receipt.filter_micros += TraceSpan::NowMicros() - filter_mark;
   out->stats.docs_matched += docs.Cardinality();
   if (span != nullptr) {
     filter_span.Annotate("docs_matched",
@@ -1214,7 +1228,9 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
   if (!query.IsAggregation()) {
     TraceSpan select_span;
     if (span != nullptr) select_span = TraceSpan::Open("selection");
+    const int64_t scan_mark = TraceSpan::NowMicros();
     Status st = ExecuteSelection(segment, query, docs, out);
+    out->receipt.scan_micros += TraceSpan::NowMicros() - scan_mark;
     if (span != nullptr) {
       select_span.Close();
       span->AddChild(std::move(select_span));
@@ -1228,6 +1244,7 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
   if (!query.HasGroupBy()) {
     TraceSpan agg_span;
     if (span != nullptr) agg_span = TraceSpan::Open("aggregate");
+    const int64_t agg_mark = TraceSpan::NowMicros();
     std::vector<AggState> states(bound.size());
     // COUNT-only queries need no per-document work.
     bool count_only = true;
@@ -1267,6 +1284,7 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
         out->aggregates[i].Merge(std::move(states[i]));
       }
     }
+    out->receipt.agg_micros += TraceSpan::NowMicros() - agg_mark;
     if (span != nullptr) {
       agg_span.Close();
       span->AddChild(std::move(agg_span));
@@ -1293,6 +1311,7 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
 
   TraceSpan groupby_span;
   if (span != nullptr) groupby_span = TraceSpan::Open("group-by");
+  const int64_t groupby_mark = TraceSpan::NowMicros();
 
   // Packed-key fast path: single-value group columns whose dict-id bit
   // widths sum to <= 64 bits skip string keys and the node-based hash map
@@ -1338,6 +1357,7 @@ Status ExecuteQueryOnSegment(const SegmentInterface& segment,
     out->stats.docs_scanned += scanned;
     FlushLocalGroups(group_columns, std::move(local), out);
   }
+  out->receipt.agg_micros += TraceSpan::NowMicros() - groupby_mark;
   if (span != nullptr) {
     groupby_span.Close();
     span->AddChild(std::move(groupby_span));

@@ -119,10 +119,12 @@ PartialResult ExecuteQueryOnSegments(
     TraceSpan* parent) {
   PartialResult merged;
 
+  const int64_t prune_mark = TraceSpan::NowMicros();
   std::vector<std::shared_ptr<SegmentInterface>> to_run;
   for (const auto& segment : segments) {
     if (CanPruneSegment(*segment, query)) {
       merged.stats.segments_pruned += 1;
+      merged.receipt.docs_pruned += segment->num_docs();
       merged.total_docs += segment->num_docs();
       if (parent != nullptr) {
         TraceSpan span =
@@ -135,6 +137,8 @@ PartialResult ExecuteQueryOnSegments(
       to_run.push_back(segment);
     }
   }
+  // Pruning decisions are part of planning.
+  merged.receipt.plan_micros += TraceSpan::NowMicros() - prune_mark;
 
   if (query.explain) {
     // EXPLAIN: report the would-be plan per segment; read no row data.

@@ -5,20 +5,23 @@
 
 namespace pinot {
 
-void SlowQueryLog::Record(double latency_millis,
+bool SlowQueryLog::Record(double latency_millis, const std::string& table,
                           const std::string& description,
-                          const TraceSpan& root) {
-  if (options_.capacity == 0) return;
-  if (latency_millis < options_.threshold_millis) return;
+                          const TraceSpan& root,
+                          const std::string& rendered_receipt) {
+  const bool slow = latency_millis >= options_.threshold_millis;
+  if (!slow || options_.capacity == 0) return slow;
   std::lock_guard<std::mutex> lock(mutex_);
   if (entries_.size() >= options_.capacity &&
       latency_millis <= entries_.back().latency_millis) {
-    return;
+    return slow;
   }
   Entry entry;
   entry.latency_millis = latency_millis;
+  entry.table = table;
   entry.description = description;
   entry.rendered_trace = root.ToString();
+  entry.rendered_receipt = rendered_receipt;
   auto pos = std::upper_bound(
       entries_.begin(), entries_.end(), entry,
       [](const Entry& a, const Entry& b) {
@@ -26,6 +29,7 @@ void SlowQueryLog::Record(double latency_millis,
       });
   entries_.insert(pos, std::move(entry));
   if (entries_.size() > options_.capacity) entries_.pop_back();
+  return slow;
 }
 
 std::vector<SlowQueryLog::Entry> SlowQueryLog::Worst(size_t top_n) const {
@@ -45,9 +49,32 @@ std::string SlowQueryLog::Dump(size_t top_n) const {
   char buf[128];
   size_t rank = 1;
   for (const auto& entry : worst) {
-    std::snprintf(buf, sizeof(buf), "# slow query %zu: %.3fms  %s\n", rank++,
-                  entry.latency_millis, entry.description.c_str());
+    // The description is unbounded (full rendered query): format only the
+    // fixed-size prefix through the stack buffer so a long query cannot
+    // truncate away the newline and corrupt the line-oriented grammar.
+    std::snprintf(buf, sizeof(buf), "# slow query %zu: %.3fms  ", rank++,
+                  entry.latency_millis);
     out.append(buf);
+    out.append(entry.description);
+    out.append("\n");
+    if (!entry.table.empty()) {
+      out.append("# table=");
+      out.append(entry.table);
+      out.append("\n");
+    }
+    // Receipt lines ride along comment-prefixed so dump consumers that parse
+    // span lines skip them like any other annotation.
+    if (!entry.rendered_receipt.empty()) {
+      size_t start = 0;
+      while (start < entry.rendered_receipt.size()) {
+        size_t nl = entry.rendered_receipt.find('\n', start);
+        if (nl == std::string::npos) nl = entry.rendered_receipt.size();
+        out.append("# ");
+        out.append(entry.rendered_receipt, start, nl - start);
+        out.append("\n");
+        start = nl + 1;
+      }
+    }
     out.append(entry.rendered_trace);
   }
   return out;

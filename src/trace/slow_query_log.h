@@ -27,8 +27,10 @@ class SlowQueryLog {
 
   struct Entry {
     double latency_millis = 0;
+    std::string table;        // Logical table the query hit (may be empty).
     std::string description;  // Typically the PQL text.
     std::string rendered_trace;
+    std::string rendered_receipt;  // QueryReceipt::ToString(), if provided.
   };
 
   SlowQueryLog() : SlowQueryLog(Options{}) {}
@@ -36,8 +38,18 @@ class SlowQueryLog {
 
   /// Considers one finished query. Renders and retains the span tree if the
   /// latency is over the threshold and among the worst `capacity` seen.
-  void Record(double latency_millis, const std::string& description,
-              const TraceSpan& root);
+  /// `rendered_receipt` is the query's resource receipt, pre-rendered so this
+  /// layer stays independent of the query result types. Returns true when
+  /// the query crossed the slow threshold (whether or not it was retained).
+  bool Record(double latency_millis, const std::string& table,
+              const std::string& description, const TraceSpan& root,
+              const std::string& rendered_receipt = "");
+
+  /// Back-compat shim for callers that have no table or receipt context.
+  bool Record(double latency_millis, const std::string& description,
+              const TraceSpan& root) {
+    return Record(latency_millis, "", description, root, "");
+  }
 
   /// Worst-first entries, at most `top_n` (0 = all retained).
   std::vector<Entry> Worst(size_t top_n = 0) const;

@@ -1,0 +1,316 @@
+#include "cluster/health.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/table_config.h"
+
+namespace pinot {
+namespace {
+
+MetricLabels Table(const std::string& t) { return {{"table", t}}; }
+
+const HealthRuleResult& Rule(const TableHealth& table,
+                             const std::string& name) {
+  for (const auto& rule : table.rules) {
+    if (rule.rule == name) return rule;
+  }
+  static const HealthRuleResult missing{"<missing>", HealthStatus::kRed, ""};
+  ADD_FAILURE() << "rule not found: " << name;
+  return missing;
+}
+
+const TableHealth& TableNamed(const HealthReport& report,
+                              const std::string& name) {
+  for (const auto& table : report.tables) {
+    if (table.table == name) return table;
+  }
+  static const TableHealth missing;
+  ADD_FAILURE() << "table not found: " << name;
+  return missing;
+}
+
+TEST(LogicalTableNameTest, StripsTypeSuffixOnly) {
+  EXPECT_EQ(LogicalTableName("events_REALTIME"), "events");
+  EXPECT_EQ(LogicalTableName("events_OFFLINE"), "events");
+  EXPECT_EQ(LogicalTableName("events"), "events");
+  EXPECT_EQ(LogicalTableName("_REALTIME"), "_REALTIME");  // No empty names.
+  EXPECT_EQ(LogicalTableName(""), "");
+}
+
+TEST(HealthTest, EmptyInputsAreGreen) {
+  MetricsRegistry registry;
+  HealthInputs inputs;
+  inputs.registry = &registry;
+  const HealthReport report = EvaluateHealth(inputs, SloThresholds{});
+  EXPECT_EQ(report.overall, HealthStatus::kGreen);
+  EXPECT_TRUE(report.tables.empty());
+  EXPECT_NE(report.ToString().find("overall status=GREEN tables=0"),
+            std::string::npos);
+}
+
+TEST(HealthTest, FreshnessRuleTripsAndRecovers) {
+  MetricsRegistry registry;
+  Gauge* lag = registry.GetGauge(
+      "realtime_consumption_lag",
+      {{"partition", "0"}, {"table", "events_REALTIME"}});
+  HealthInputs inputs;
+  inputs.registry = &registry;
+  SloThresholds slo;
+  slo.max_freshness_lag_rows = 1000;
+
+  lag->Set(5000);  // 5x over budget.
+  HealthReport report = EvaluateHealth(inputs, slo);
+  EXPECT_EQ(Rule(TableNamed(report, "events"), "freshness").status,
+            HealthStatus::kRed);
+  EXPECT_EQ(report.overall, HealthStatus::kRed);
+
+  lag->Set(600);  // Over yellow_fraction (0.5) of budget, under budget.
+  report = EvaluateHealth(inputs, slo);
+  EXPECT_EQ(Rule(TableNamed(report, "events"), "freshness").status,
+            HealthStatus::kYellow);
+
+  lag->Set(10);  // Caught up.
+  report = EvaluateHealth(inputs, slo);
+  EXPECT_EQ(Rule(TableNamed(report, "events"), "freshness").status,
+            HealthStatus::kGreen);
+  EXPECT_EQ(report.overall, HealthStatus::kGreen);
+}
+
+TEST(HealthTest, FreshnessUsesWorstPartition) {
+  MetricsRegistry registry;
+  registry
+      .GetGauge("realtime_consumption_lag",
+                {{"partition", "0"}, {"table", "events_REALTIME"}})
+      ->Set(10);
+  registry
+      .GetGauge("realtime_consumption_lag",
+                {{"partition", "1"}, {"table", "events_REALTIME"}})
+      ->Set(9000);
+  HealthInputs inputs;
+  inputs.registry = &registry;
+  SloThresholds slo;
+  slo.max_freshness_lag_rows = 1000;
+  const HealthReport report = EvaluateHealth(inputs, slo);
+  const HealthRuleResult& rule =
+      Rule(TableNamed(report, "events"), "freshness");
+  EXPECT_EQ(rule.status, HealthStatus::kRed);
+  EXPECT_NE(rule.evidence.find("lag_rows=9000"), std::string::npos)
+      << rule.evidence;
+}
+
+TEST(HealthTest, ErrorRateRuleTripsAndRecovers) {
+  MetricsRegistry registry;
+  Counter* queries = registry.GetCounter("broker_queries_total",
+                                         Table("events"));
+  Counter* errors = registry.GetCounter("broker_partial_results_total",
+                                        Table("events"));
+  HealthInputs inputs;
+  inputs.registry = &registry;
+  SloThresholds slo;
+  slo.max_error_rate = 0.05;
+
+  queries->Increment(100);
+  errors->Increment(30);  // 30% partials.
+  HealthReport report = EvaluateHealth(inputs, slo);
+  EXPECT_EQ(Rule(TableNamed(report, "events"), "error_rate").status,
+            HealthStatus::kRed);
+
+  // Recover via the *window*: lifetime totals still look terrible, but the
+  // last window is clean, so the table stops paging.
+  const MetricsSnapshot before = TakeSnapshot(registry, 0);
+  queries->Increment(1000);
+  const MetricsSnapshot after = TakeSnapshot(registry, 10'000'000);
+  const SnapshotDelta window = DeltaBetween(before, after);
+  inputs.window = &window;
+  report = EvaluateHealth(inputs, slo);
+  EXPECT_EQ(Rule(TableNamed(report, "events"), "error_rate").status,
+            HealthStatus::kGreen);
+}
+
+TEST(HealthTest, ShedRateRuleTripsAndRecovers) {
+  MetricsRegistry registry;
+  registry.GetCounter("broker_queries_total", Table("events"))
+      ->Increment(50);
+  Counter* sheds =
+      registry.GetCounter("broker_shed_queries_total", Table("events"));
+  sheds->Increment(50);  // Half of offered load turned away.
+  HealthInputs inputs;
+  inputs.registry = &registry;
+  SloThresholds slo;
+  slo.max_shed_rate = 0.10;
+  HealthReport report = EvaluateHealth(inputs, slo);
+  const HealthRuleResult& tripped =
+      Rule(TableNamed(report, "events"), "shed_rate");
+  EXPECT_EQ(tripped.status, HealthStatus::kRed);
+  EXPECT_NE(tripped.evidence.find("sheds=50 offered=100"),
+            std::string::npos)
+      << tripped.evidence;
+
+  // Clean window → recovered.
+  const MetricsSnapshot before = TakeSnapshot(registry, 0);
+  registry.GetCounter("broker_queries_total", Table("events"))
+      ->Increment(200);
+  const MetricsSnapshot after = TakeSnapshot(registry, 5'000'000);
+  const SnapshotDelta window = DeltaBetween(before, after);
+  inputs.window = &window;
+  report = EvaluateHealth(inputs, slo);
+  EXPECT_EQ(Rule(TableNamed(report, "events"), "shed_rate").status,
+            HealthStatus::kGreen);
+}
+
+TEST(HealthTest, LatencyRuleTripsAndRecovers) {
+  MetricsRegistry registry;
+  registry.GetCounter("broker_queries_total", Table("events"))->Increment();
+  Histogram* latency =
+      registry.GetHistogram("broker_query_latency_ms", Table("events"));
+  HealthInputs inputs;
+  inputs.registry = &registry;
+  SloThresholds slo;
+  slo.p99_latency_budget_ms = 100.0;
+
+  for (int i = 0; i < 100; ++i) latency->Observe(900.0);
+  HealthReport report = EvaluateHealth(inputs, slo);
+  EXPECT_EQ(Rule(TableNamed(report, "events"), "p99_latency").status,
+            HealthStatus::kRed);
+
+  // Histograms are cumulative, so recovery here means a fresh registry
+  // whose p99 sits inside the budget (operationally: the next deploy /
+  // process restart, or a windowed histogram in a follow-up).
+  MetricsRegistry recovered;
+  recovered.GetCounter("broker_queries_total", Table("events"))
+      ->Increment();
+  Histogram* fast =
+      recovered.GetHistogram("broker_query_latency_ms", Table("events"));
+  for (int i = 0; i < 100; ++i) fast->Observe(5.0);
+  inputs.registry = &recovered;
+  report = EvaluateHealth(inputs, slo);
+  EXPECT_EQ(Rule(TableNamed(report, "events"), "p99_latency").status,
+            HealthStatus::kGreen);
+}
+
+TEST(HealthTest, ReplicaRuleGradesPartitionsAndDeaths) {
+  ClusterManager cluster;
+  cluster.RegisterInstance("server-0", {"DefaultTenant"}, nullptr);
+  cluster.RegisterInstance("server-1", {"DefaultTenant"}, nullptr);
+  cluster.SetSegmentIdealState(
+      "events_OFFLINE", "seg-0",
+      {{"server-0", SegmentState::kOnline},
+       {"server-1", SegmentState::kOnline}});
+  MetricsRegistry registry;
+  HealthInputs inputs;
+  inputs.registry = &registry;
+  inputs.cluster = &cluster;
+  const SloThresholds slo;
+
+  HealthReport report = EvaluateHealth(inputs, slo);
+  EXPECT_EQ(Rule(TableNamed(report, "events"), "replicas").status,
+            HealthStatus::kGreen);
+
+  // One replica partitioned: still answerable, graded YELLOW.
+  cluster.SetInstanceReachable("server-0", false);
+  report = EvaluateHealth(inputs, slo);
+  const HealthRuleResult& degraded =
+      Rule(TableNamed(report, "events"), "replicas");
+  EXPECT_EQ(degraded.status, HealthStatus::kYellow);
+  EXPECT_NE(degraded.evidence.find("degraded=1"), std::string::npos)
+      << degraded.evidence;
+
+  // Both replicas gone (one partitioned, one dead): RED.
+  cluster.SetInstanceAlive("server-1", false);
+  report = EvaluateHealth(inputs, slo);
+  const HealthRuleResult& down =
+      Rule(TableNamed(report, "events"), "replicas");
+  EXPECT_EQ(down.status, HealthStatus::kRed);
+  EXPECT_NE(down.evidence.find("unavailable=1"), std::string::npos)
+      << down.evidence;
+
+  // Heal + revive: back to GREEN.
+  cluster.SetInstanceReachable("server-0", true);
+  cluster.SetInstanceAlive("server-1", true);
+  report = EvaluateHealth(inputs, slo);
+  EXPECT_EQ(Rule(TableNamed(report, "events"), "replicas").status,
+            HealthStatus::kGreen);
+}
+
+TEST(HealthTest, UpsertDeadRowsRuleTripsAndRecovers) {
+  MetricsRegistry registry;
+  Counter* indexed = registry.GetCounter("realtime_rows_indexed_total",
+                                         Table("profile_REALTIME"));
+  Counter* dead = registry.GetCounter("server_upsert_dead_rows_total",
+                                      Table("profile_REALTIME"));
+  HealthInputs inputs;
+  inputs.registry = &registry;
+  SloThresholds slo;
+  slo.max_upsert_dead_fraction = 0.5;
+
+  indexed->Increment(100);
+  dead->Increment(80);  // 80% of rows superseded and never compacted.
+  HealthReport report = EvaluateHealth(inputs, slo);
+  const HealthRuleResult& tripped =
+      Rule(TableNamed(report, "profile"), "upsert_dead_rows");
+  EXPECT_EQ(tripped.status, HealthStatus::kRed);
+  EXPECT_NE(tripped.evidence.find("dead_rows=80"), std::string::npos)
+      << tripped.evidence;
+
+  // Compaction-equivalent recovery: lots of fresh live rows dilute the
+  // dead fraction back under budget.
+  indexed->Increment(900);
+  report = EvaluateHealth(inputs, slo);
+  EXPECT_EQ(Rule(TableNamed(report, "profile"), "upsert_dead_rows").status,
+            HealthStatus::kGreen);
+}
+
+TEST(HealthTest, RedIsScopedToTheAffectedTable) {
+  // Two tables; only "events" is in trouble. The report must grade events
+  // RED and metrics GREEN — a health page that pages for every table at
+  // once attributes nothing.
+  MetricsRegistry registry;
+  for (const char* table : {"events", "metrics"}) {
+    registry.GetCounter("broker_queries_total", Table(table))
+        ->Increment(100);
+  }
+  registry.GetCounter("broker_partial_results_total", Table("events"))
+      ->Increment(60);
+  HealthInputs inputs;
+  inputs.registry = &registry;
+  SloThresholds slo;
+  slo.max_error_rate = 0.05;
+  const HealthReport report = EvaluateHealth(inputs, slo);
+  ASSERT_EQ(report.tables.size(), 2u);
+  EXPECT_EQ(report.overall, HealthStatus::kRed);
+  EXPECT_EQ(TableNamed(report, "events").status, HealthStatus::kRed);
+  EXPECT_EQ(TableNamed(report, "metrics").status, HealthStatus::kGreen);
+
+  const std::string rendered = report.ToString();
+  EXPECT_NE(rendered.find("overall status=RED tables=2"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("table=events status=RED"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("table=metrics status=GREEN"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("rule=error_rate status=RED"), std::string::npos)
+      << rendered;
+}
+
+TEST(HealthTest, ReportRendersWindowLine) {
+  MetricsRegistry registry;
+  registry.GetCounter("broker_queries_total", Table("t"))->Increment(10);
+  const MetricsSnapshot before = TakeSnapshot(registry, 0);
+  registry.GetCounter("broker_queries_total", Table("t"))->Increment(20);
+  const MetricsSnapshot after = TakeSnapshot(registry, 2'000'000);
+  const SnapshotDelta window = DeltaBetween(before, after);
+  HealthInputs inputs;
+  inputs.registry = &registry;
+  inputs.window = &window;
+  const HealthReport report = EvaluateHealth(inputs, SloThresholds{});
+  EXPECT_TRUE(report.has_window);
+  const std::string rendered = report.ToString();
+  EXPECT_NE(rendered.find("window seconds=2.000 qps=10.0"),
+            std::string::npos)
+      << rendered;
+}
+
+}  // namespace
+}  // namespace pinot

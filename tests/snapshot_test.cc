@@ -1,0 +1,200 @@
+#include "metrics/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pinot {
+namespace {
+
+MetricLabels Table(const std::string& t) { return {{"table", t}}; }
+
+TEST(SnapshotTest, CapturesEverySeriesKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", Table("a"))->Increment(5);
+  registry.GetGauge("g")->Set(3.5);
+  registry.GetHistogram("h_ms")->Observe(2.0);
+  registry.GetHistogram("h_ms")->Observe(4.0);
+
+  const MetricsSnapshot snap = TakeSnapshot(registry, /*now_micros=*/1000);
+  EXPECT_EQ(snap.steady_micros, 1000);
+  EXPECT_EQ(snap.CounterValue(MetricsRegistry::SeriesKey("c_total",
+                                                         Table("a"))),
+            5u);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("g"), 3.5);
+  ASSERT_EQ(snap.histograms.count("h_ms"), 1u);
+  EXPECT_EQ(snap.histograms.at("h_ms").count, 2u);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("h_ms").sum, 6.0);
+  // Absent keys read as zero, never throw.
+  EXPECT_EQ(snap.CounterValue("missing"), 0u);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("missing"), 0.0);
+}
+
+TEST(SnapshotTest, FamilyHelpersSpanLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("q_total", Table("a"))->Increment(3);
+  registry.GetCounter("q_total", Table("b"))->Increment(4);
+  registry.GetCounter("q_total")->Increment(10);  // Unlabeled series.
+  registry.GetCounter("q_totally_different")->Increment(100);
+  registry.GetGauge("lag", Table("a"))->Set(7);
+  registry.GetGauge("lag", Table("b"))->Set(9);
+
+  const MetricsSnapshot snap = TakeSnapshot(registry, 0);
+  // Family total = unlabeled + every labeled series; prefix-similar family
+  // names must not leak in.
+  EXPECT_EQ(snap.CounterFamilyTotal("q_total"), 17u);
+  EXPECT_DOUBLE_EQ(snap.GaugeFamilyMax("lag"), 9.0);
+}
+
+TEST(SnapshotDeltaTest, DeltaAndRateMath) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("q_total", Table("a"));
+  Gauge* lag = registry.GetGauge("lag", Table("a"));
+  c->Increment(10);
+  lag->Set(100);
+  const MetricsSnapshot older = TakeSnapshot(registry, 0);
+  c->Increment(30);
+  lag->Set(40);  // Lag fell: the delta must be signed.
+  const MetricsSnapshot newer = TakeSnapshot(registry, 2'000'000);
+
+  const SnapshotDelta delta = DeltaBetween(older, newer);
+  EXPECT_DOUBLE_EQ(delta.seconds, 2.0);
+  const std::string key = MetricsRegistry::SeriesKey("q_total", Table("a"));
+  EXPECT_EQ(delta.CounterDelta(key), 30u);
+  EXPECT_DOUBLE_EQ(delta.Rate(key), 15.0);
+  EXPECT_EQ(delta.CounterFamilyDelta("q_total"), 30u);
+  EXPECT_DOUBLE_EQ(delta.FamilyRate("q_total"), 15.0);
+  EXPECT_DOUBLE_EQ(
+      delta.GaugeDelta(MetricsRegistry::SeriesKey("lag", Table("a"))), -60.0);
+  EXPECT_DOUBLE_EQ(delta.GaugeFamilyDelta("lag"), -60.0);
+}
+
+TEST(SnapshotDeltaTest, SeriesBornInsideTheWindowCountFromZero) {
+  MetricsRegistry registry;
+  const MetricsSnapshot older = TakeSnapshot(registry, 0);
+  registry.GetCounter("q_total", Table("new"))->Increment(7);
+  const MetricsSnapshot newer = TakeSnapshot(registry, 1'000'000);
+  const SnapshotDelta delta = DeltaBetween(older, newer);
+  EXPECT_EQ(delta.CounterFamilyDelta("q_total"), 7u);
+}
+
+TEST(SnapshotDeltaTest, CounterRegressionSaturatesAtZero) {
+  // Two snapshots from *different* registries can make a counter appear to
+  // run backwards; the delta saturates instead of underflowing to 2^64-ish.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("q_total")->Increment(100);
+  b.GetCounter("q_total")->Increment(1);
+  const SnapshotDelta delta =
+      DeltaBetween(TakeSnapshot(a, 0), TakeSnapshot(b, 1'000'000));
+  EXPECT_EQ(delta.CounterDelta("q_total"), 0u);
+}
+
+TEST(WindowedRatesTest, DerivedFromBrokerAndServerFamilies) {
+  MetricsRegistry registry;
+  const MetricsSnapshot older = TakeSnapshot(registry, 0);
+  registry.GetCounter("broker_queries_total")->Increment(90);
+  registry.GetCounter("broker_queries_total", Table("a"))->Increment(90);
+  registry.GetCounter("broker_partial_results_total")->Increment(9);
+  registry.GetCounter("broker_shed_queries_total")->Increment(10);
+  registry.GetCounter("server_docs_scanned_total")->Increment(1'000'000);
+  registry.GetCounter("server_scan_bytes_total")
+      ->Increment(2ull * 1024 * 1024 * 1024);
+  registry.GetCounter("broker_hedged_calls_total")->Increment(18);
+  registry.GetGauge("realtime_consumption_lag",
+                    {{"partition", "0"}, {"table", "a_REALTIME"}})
+      ->Set(500);
+  const MetricsSnapshot newer = TakeSnapshot(registry, 10'000'000);
+
+  const WindowedRates rates =
+      WindowedRates::From(DeltaBetween(older, newer));
+  EXPECT_DOUBLE_EQ(rates.seconds, 10.0);
+  // qps counts the unlabeled + per-table series once each: the family sum
+  // is 180 over 10s.
+  EXPECT_DOUBLE_EQ(rates.qps, 18.0);
+  EXPECT_DOUBLE_EQ(rates.docs_per_sec, 100'000.0);
+  EXPECT_DOUBLE_EQ(rates.scan_gb_per_sec, 0.2);
+  EXPECT_NEAR(rates.error_rate, 9.0 / 180.0, 1e-9);
+  EXPECT_NEAR(rates.shed_rate, 10.0 / 190.0, 1e-9);
+  EXPECT_NEAR(rates.hedge_rate, 18.0 / 180.0, 1e-9);
+  EXPECT_DOUBLE_EQ(rates.lag_delta, 500.0);
+  const std::string line = rates.ToString();
+  EXPECT_NE(line.find("window seconds=10.000"), std::string::npos) << line;
+  EXPECT_NE(line.find("qps=18.0"), std::string::npos) << line;
+}
+
+TEST(SnapshotRingTest, EvictsOldestPastCapacity) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("q_total");
+  SnapshotRing ring(3);
+  for (int i = 1; i <= 5; ++i) {
+    c->Increment();
+    ring.Take(registry, i * 1'000'000);
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_EQ(ring.Nth(0).steady_micros, 5'000'000);  // Newest first.
+  EXPECT_EQ(ring.Nth(2).steady_micros, 3'000'000);
+}
+
+TEST(SnapshotRingTest, LatestAndFullDeltas) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("q_total");
+  SnapshotRing ring(8);
+  EXPECT_FALSE(ring.LatestDelta().has_value());
+  ring.Take(registry, 0);
+  EXPECT_FALSE(ring.FullDelta().has_value());
+  c->Increment(5);
+  ring.Take(registry, 1'000'000);
+  c->Increment(10);
+  ring.Take(registry, 2'000'000);
+  const auto latest = ring.LatestDelta();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->CounterDelta("q_total"), 10u);
+  EXPECT_DOUBLE_EQ(latest->seconds, 1.0);
+  const auto full = ring.FullDelta();
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->CounterDelta("q_total"), 15u);
+  EXPECT_DOUBLE_EQ(full->seconds, 2.0);
+}
+
+TEST(SnapshotRingTest, SnapshotsRacingObservationChurn) {
+  // TakeSnapshot iterates live series while writers observe and register:
+  // must never crash or deadlock (exercised under sanitizers by the repeat
+  // stage), and captured counters never exceed the final total.
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&registry, &stop, t] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        registry
+            .GetCounter("churn_total",
+                        {{"k", "t" + std::to_string(t) + "-" +
+                                   std::to_string(i % 13)}})
+            ->Increment();
+        registry.GetHistogram("churn_ms")->Observe(i % 32);
+        ++i;
+      }
+    });
+  }
+  SnapshotRing ring(4);
+  uint64_t last_total = 0;
+  for (int round = 0; round < 100; ++round) {
+    const MetricsSnapshot snap = ring.Take(registry, round * 1000);
+    const uint64_t total = snap.CounterFamilyTotal("churn_total");
+    EXPECT_GE(total, last_total);  // Counters are monotone across snaps.
+    last_total = total;
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_LE(last_total,
+            TakeSnapshot(registry, 0).CounterFamilyTotal("churn_total"));
+}
+
+}  // namespace
+}  // namespace pinot

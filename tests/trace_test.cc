@@ -430,6 +430,162 @@ TEST_F(TraceClusterTest, SlowQueryLogCapturesInjectedDelay) {
   EXPECT_GE(worst[0].latency_millis, 20.0);
 }
 
+TEST(SlowQueryLogTest, DumpCarriesTableAndReceipt) {
+  SlowQueryLog log(SlowQueryLog::Options{0.0, 2});
+  EXPECT_TRUE(log.Record(12.0, "events", "SELECT count(*) FROM events",
+                         TinySpan(),
+                         "receipt: phases queue=0.100ms\n"
+                         "receipt: work docs_scanned=42\n"));
+  const std::string dump = log.Dump();
+  EXPECT_NE(dump.find("# table=events"), std::string::npos) << dump;
+  // Receipt lines are comment-prefixed so span-grammar consumers skip them.
+  EXPECT_NE(dump.find("# receipt: phases queue=0.100ms"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("# receipt: work docs_scanned=42"), std::string::npos)
+      << dump;
+}
+
+TEST(SlowQueryLogTest, RecordReportsThresholdCrossing) {
+  SlowQueryLog log(SlowQueryLog::Options{/*threshold_millis=*/50.0,
+                                         /*capacity=*/1});
+  EXPECT_FALSE(log.Record(10.0, "t", "fast", TinySpan(), ""));
+  EXPECT_TRUE(log.Record(60.0, "t", "slow", TinySpan(), ""));
+  // Slow but not retained (worse entry already holds the only slot): still
+  // reported as slow so the per-table counter keeps counting.
+  EXPECT_TRUE(log.Record(55.0, "t", "also slow", TinySpan(), ""));
+  EXPECT_EQ(log.size(), 1u);
+}
+
+// Sums an annotation over every span in the tree whose name starts with
+// `prefix`.
+int64_t SumAnnotation(const TraceSpan& span, const std::string& prefix,
+                      const std::string& key) {
+  int64_t total = 0;
+  if (span.name.rfind(prefix, 0) == 0) total += span.Annotation(key, 0);
+  for (const auto& child : span.children) {
+    total += SumAnnotation(child, prefix, key);
+  }
+  return total;
+}
+
+// Tentpole: a TRACE'd query renders a resource receipt whose totals agree
+// with the execution stats and with the per-segment span annotations.
+TEST_F(TraceClusterTest, TracedQueryRendersConsistentReceipt) {
+  PinotCluster cluster(PinotClusterOptions{});
+  SetUpHybrid(&cluster);
+
+  auto result = cluster.Execute(
+      "TRACE SELECT sum(impressions) FROM analytics WHERE country = 'us'");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  ASSERT_TRUE(result.span.has_value());
+
+  const QueryReceipt& receipt = result.receipt;
+  // Receipt doc/segment tallies mirror the canonical execution stats.
+  EXPECT_EQ(receipt.docs_scanned, result.stats.docs_scanned);
+  EXPECT_EQ(receipt.segments_queried, result.stats.segments_queried);
+  EXPECT_EQ(receipt.segments_pruned, result.stats.segments_pruned);
+  // ...and both agree with the per-segment span annotations.
+  EXPECT_EQ(SumAnnotation(*result.span, "segment:", "docs_scanned"),
+            static_cast<int64_t>(receipt.docs_scanned));
+  // One scatter call per physical table of the hybrid plan.
+  EXPECT_EQ(receipt.calls, result.trace.events.size());
+  EXPECT_EQ(receipt.calls, 2u);
+  EXPECT_EQ(receipt.retries, result.trace.retries);
+  EXPECT_EQ(receipt.hedges, result.trace.hedges);
+  // Work actually happened, and the phase clocks ran.
+  EXPECT_GT(receipt.docs_scanned, 0u);
+  EXPECT_GT(receipt.scan_bytes, 0u);
+  EXPECT_GT(receipt.payload_bytes, 0u);
+  EXPECT_GT(receipt.scatter_micros, 0);
+  EXPECT_GE(receipt.queue_micros, 0);
+  EXPECT_GE(receipt.filter_micros, 0);
+
+  // The rendered receipt rides after the trace tree.
+  const std::string rendered = result.ToString();
+  const size_t trace_at = rendered.find("--- trace ---");
+  const size_t receipt_at = rendered.find("--- receipt ---");
+  ASSERT_NE(trace_at, std::string::npos) << rendered;
+  ASSERT_NE(receipt_at, std::string::npos) << rendered;
+  EXPECT_GT(receipt_at, trace_at);
+  EXPECT_NE(rendered.find("receipt: phases queue="), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("receipt: work docs_scanned="), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("receipt: scatter calls=2"), std::string::npos)
+      << rendered;
+}
+
+TEST_F(TraceClusterTest, ReceiptAccountsPrunedDocs) {
+  PinotCluster cluster(PinotClusterOptions{});
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineConfig()).ok());
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg0"))
+          .ok());
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg1"))
+          .ok());
+  // Fixture days are 100-103: disjoint predicate prunes both segments.
+  auto result = cluster.Execute(
+      "TRACE SELECT count(*) FROM analytics WHERE day > 500");
+  ASSERT_FALSE(result.partial) << result.error_message;
+  EXPECT_EQ(result.receipt.segments_pruned, 2u);
+  EXPECT_EQ(result.receipt.segments_queried, 0u);
+  EXPECT_EQ(result.receipt.docs_pruned, 24u);  // 12 rows per fixture segment.
+  EXPECT_EQ(result.receipt.docs_scanned, 0u);
+}
+
+TEST_F(TraceClusterTest, PerTableSeriesRollUpOnQueryFamilies) {
+  PinotCluster cluster(PinotClusterOptions{});
+  SetUpHybrid(&cluster);
+  cluster.Execute("SELECT count(*) FROM analytics");
+  const std::string dump = cluster.MetricsDump();
+  // Broker families roll up under the logical table...
+  EXPECT_NE(dump.find("broker_queries_total{table=\"analytics\"} 1"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("broker_query_latency_ms_count{table=\"analytics\"}"),
+            std::string::npos)
+      << dump;
+  // ...and server families do too (the physical _OFFLINE/_REALTIME split
+  // collapses onto the logical name).
+  EXPECT_NE(dump.find("server_queries_total{table=\"analytics\"}"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("server_docs_scanned_total{table=\"analytics\"}"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("server_scan_bytes_total{table=\"analytics\"}"),
+            std::string::npos)
+      << dump;
+  // The unlabeled broker-wide series keeps its old meaning alongside.
+  EXPECT_NE(dump.find("broker_queries_total 1"), std::string::npos) << dump;
+}
+
+TEST_F(TraceClusterTest, SlowQueryCounterAndLogCarryTable) {
+  PinotClusterOptions options;
+  options.num_servers = 1;
+  options.broker_options.slow_query_threshold_millis = 20.0;
+  options.broker_options.slow_query_log_capacity = 4;
+  PinotCluster cluster(options);
+  Controller* leader = cluster.leader_controller();
+  ASSERT_TRUE(leader->AddTable(OfflineConfig()).ok());
+  ASSERT_TRUE(
+      leader->UploadSegment("analytics_OFFLINE", BuildSegmentBlob("seg0"))
+          .ok());
+  cluster.server(0)->InjectQueryDelay(1, 60);
+  auto result = cluster.Execute("SELECT count(*) FROM analytics");
+  ASSERT_FALSE(result.partial) << result.error_message;
+
+  EXPECT_EQ(cluster.metrics()->CounterValue("broker_slow_queries_total",
+                                            {{"table", "analytics"}}),
+            1u);
+  const std::string dump = cluster.SlowQueryLogDump();
+  EXPECT_NE(dump.find("# table=analytics"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("# receipt: phases"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("# receipt: work"), std::string::npos) << dump;
+}
+
 TEST_F(TraceClusterTest, PhaseHistogramsRecorded) {
   PinotCluster cluster(PinotClusterOptions{});
   SetUpHybrid(&cluster);
